@@ -1,0 +1,68 @@
+// Ablation: capacity planning under the paper's demand growth (Figure 2d)
+// and efficiency roadmaps (Figure 6) — just-in-time vs buy-ahead purchasing
+// and the carbon value of per-generation efficiency gains.
+#include <cstdio>
+
+#include "datacenter/capacity_planner.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::datacenter;
+
+  CapacityPlanConfig cfg;
+  cfg.demand_per_period = {1.0, 1.43, 2.03, 2.9, 4.1, 5.9};  // 2.9x per 18mo
+  cfg.grid = grids::us_average();
+
+  std::printf(
+      "Capacity planning: demand 2.9x per 18 months, hardware +10%% "
+      "perf/server per half-year\n\n");
+  const auto jit = plan_just_in_time(cfg);
+  const auto ahead = plan_buy_ahead(cfg);
+
+  report::Table t({"period", "demand", "JIT buys", "JIT fleet",
+                   "buy-ahead fleet"});
+  for (std::size_t i = 0; i < jit.periods.size(); ++i) {
+    t.add_row_values("H" + std::to_string(i),
+                     {jit.periods[i].demand,
+                      static_cast<double>(jit.periods[i].servers_bought),
+                      static_cast<double>(jit.periods[i].fleet_size),
+                      static_cast<double>(ahead.periods[i].fleet_size)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  report::Table c({"strategy", "embodied tCO2e", "operational tCO2e",
+                   "total tCO2e"});
+  for (const auto& [name, plan] :
+       {std::pair{"just-in-time", jit}, std::pair{"buy-ahead", ahead}}) {
+    c.add_row_values(name, {to_tonnes_co2e(plan.total_embodied),
+                            to_tonnes_co2e(plan.total_operational),
+                            to_tonnes_co2e(plan.total())});
+  }
+  std::printf("%s\n", c.to_string().c_str());
+  std::printf(
+      "Just-in-time purchasing saves %.0f%% total carbon: later cohorts "
+      "deliver more compute per server (less embodied) and the fleet is "
+      "never over-provisioned (less idle operational).\n\n",
+      (1.0 - to_grams_co2e(jit.total()) / to_grams_co2e(ahead.total())) * 100.0);
+
+  std::printf("Efficiency-roadmap sensitivity (just-in-time):\n");
+  report::Table e({"perf growth / half-year", "servers bought", "total tCO2e"});
+  for (double growth : {1.0, 1.05, 1.10, 1.20, 1.35}) {
+    CapacityPlanConfig g = cfg;
+    g.efficiency_growth_per_period = growth;
+    const auto plan = plan_just_in_time(g);
+    int bought = 0;
+    for (const auto& p : plan.periods) {
+      bought += p.servers_bought;
+    }
+    e.add_row_values(report::fmt_percent(growth - 1.0),
+                     {static_cast<double>(bought), to_tonnes_co2e(plan.total())});
+  }
+  std::printf("%s", e.to_string().c_str());
+  std::printf(
+      "\nReading: hardware efficiency roadmaps are a *capacity* lever — at "
+      "the paper's growth rates, each extra 10%% per-generation gain "
+      "retires hundreds of tonnes of embodied + operational carbon.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: weather-dependent PUE and datacenter siting (Section III-C's
+// PUE 1.10 claim). Compares annual mean PUE and facility carbon across
+// climates, and shows the free-cooling / chiller transition.
+#include <cstdio>
+
+#include "core/operational.h"
+#include "datacenter/cooling.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::datacenter;
+
+  const CoolingModel cooling{};
+  const Power it_load = megawatts(20.0);
+
+  std::printf("Siting ablation: 20 MW IT load for one year\n\n");
+  report::Table t({"site", "mean temp", "annual mean PUE", "facility energy",
+                   "cooling overhead", "carbon (us-average grid)"});
+  for (const auto& [name, climate] :
+       {std::pair{"nordic", climates::nordic()},
+        std::pair{"temperate", climates::temperate()},
+        std::pair{"hot-desert", climates::hot_desert()}}) {
+    const double mean_pue =
+        cooling.mean_pue(climate, seconds(0.0), years(1.0), 4096);
+    const Energy facility =
+        facility_energy_over(cooling, climate, it_load, seconds(0.0), days(365.0));
+    const Energy it = it_load * days(365.0);
+    const CarbonMass carbon = facility * grids::us_average().average;
+    t.add_row({name, report::fmt(climate.mean_celsius) + " C",
+               report::fmt(mean_pue), to_string(facility),
+               report::fmt_percent(facility / it - 1.0),
+               to_string(carbon)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("PUE vs outside temperature (economizer curve):\n");
+  report::Table p({"temp (C)", "PUE"});
+  for (double temp : {-10.0, 0.0, 10.0, 18.0, 25.0, 32.0, 40.0, 50.0}) {
+    p.add_row_values(report::fmt(temp), {cooling.pue_at_temperature(temp)});
+  }
+  std::printf("%s\n", p.to_string().c_str());
+
+  const double typical =
+      cooling.mean_pue(climates::hot_desert(), seconds(0.0), years(1.0), 4096) *
+      1.15;  // small-scale facility: worse airflow management on top
+  std::printf(
+      "Paper context: hyperscale PUE ~1.10 vs typical ~%.2f — \"about 40%% "
+      "more efficient than small-scale, typical data centers\". The nordic "
+      "and temperate rows above reach the hyperscale figure with free-air "
+      "cooling; siting alone is worth %.0f%% of facility energy between the "
+      "best and worst rows.\n",
+      typical,
+      (cooling.mean_pue(climates::hot_desert(), seconds(0.0), years(1.0), 4096) /
+           cooling.mean_pue(climates::nordic(), seconds(0.0), years(1.0), 4096) -
+       1.0) *
+          100.0);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: communication compression for federated learning (Section
+// IV-B / Appendix B). Sweeps schemes on a communication-heavy and a
+// compute-heavy application; the optimum is interior and app-dependent.
+#include <cstdio>
+
+#include "fl/compression.h"
+#include "report/table.h"
+
+namespace {
+
+void run_app(const char* title, sustainai::fl::FlApplicationConfig app) {
+  using namespace sustainai;
+  using namespace sustainai::fl;
+  Population::Config pop;
+  pop.num_clients = 5000;
+
+  std::printf("%s (model %s, local compute %s/round)\n\n", title,
+              to_string(app.model_size).c_str(),
+              to_string(app.reference_compute_time).c_str());
+  report::Table t({"scheme", "rounds", "compute", "communication", "total",
+                   "kgCO2e"});
+  for (const CompressionScheme& s : canonical_schemes()) {
+    const auto r = evaluate_compression(app, pop, s);
+    t.add_row({s.name, std::to_string(r.rounds), to_string(r.compute_energy),
+               to_string(r.communication_energy), to_string(r.total_energy()),
+               report::fmt(to_kg_co2e(r.carbon))});
+  }
+  const auto best = best_scheme(app, pop, canonical_schemes());
+  std::printf("%sbest scheme: %s\n\n", t.to_string().c_str(),
+              best.scheme.name.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::fl;
+
+  FlApplicationConfig comm_heavy;
+  comm_heavy.name = "comm-heavy";
+  comm_heavy.model_size = megabytes(60.0);
+  comm_heavy.reference_compute_time = minutes(1.0);
+  comm_heavy.clients_per_round = 100;
+  comm_heavy.rounds_per_day = 12.0;
+  comm_heavy.campaign = days(30.0);
+  run_app("Communication-heavy application", comm_heavy);
+
+  FlApplicationConfig compute_heavy = comm_heavy;
+  compute_heavy.name = "compute-heavy";
+  compute_heavy.model_size = megabytes(2.0);
+  compute_heavy.reference_compute_time = minutes(10.0);
+  run_app("Compute-heavy application", compute_heavy);
+
+  std::printf(
+      "Reading: on communication-dominated apps, QSGD/PowerSGD-class "
+      "compression cuts total edge energy despite extra convergence "
+      "rounds; on compute-dominated apps, aggressive sparsification "
+      "backfires — exactly the paper's call to optimize the *communication* "
+      "share of on-device learning.\n");
+  return 0;
+}

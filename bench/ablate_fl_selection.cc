@@ -1,0 +1,54 @@
+// Ablation: heterogeneity/energy-aware client selection for federated
+// learning (Section IV-C). Compares random, straggler-avoiding, and
+// energy-aware selection on round time, energy, carbon, and fairness.
+#include <cstdio>
+
+#include "fl/selection.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::fl;
+
+  SelectionCampaignConfig cfg;
+  cfg.app.name = "FL-1";
+  cfg.app.clients_per_round = 100;
+  cfg.app.rounds_per_day = 24.0;
+  cfg.app.campaign = days(30.0);
+  cfg.population.num_clients = 10000;
+  cfg.candidate_oversampling = 3.0;
+
+  std::printf(
+      "FL client-selection ablation: 30-day campaign, 100 clients/round, "
+      "3x candidate pool\n\n");
+  const auto outcomes = compare_policies(cfg);
+  report::Table t({"policy", "energy", "carbon (kg)", "comm share",
+                   "mean round time", "unique clients touched"});
+  double random_kg = 0.0;
+  double random_round_s = 0.0;
+  for (const auto& o : outcomes) {
+    if (o.policy == SelectionPolicy::kRandom) {
+      random_kg = to_kg_co2e(o.footprint.carbon);
+      random_round_s = to_seconds(o.mean_round_time);
+    }
+    t.add_row({to_string(o.policy), to_string(o.footprint.total_energy()),
+               report::fmt(to_kg_co2e(o.footprint.carbon)),
+               report::fmt_percent(o.footprint.communication_share()),
+               to_string(o.mean_round_time),
+               report::fmt_percent(o.unique_client_fraction)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  for (const auto& o : outcomes) {
+    if (o.policy == SelectionPolicy::kEnergyAware) {
+      std::printf(
+          "Energy-aware selection cuts campaign carbon by %.0f%% and round "
+          "time by %.0f%% vs random, at the fairness cost of touching a "
+          "narrower slice of the population (bias the AutoFL literature "
+          "mitigates with constraints).\n",
+          (1.0 - to_kg_co2e(o.footprint.carbon) / random_kg) * 100.0,
+          (1.0 - to_seconds(o.mean_round_time) / random_round_s) * 100.0);
+    }
+  }
+  return 0;
+}

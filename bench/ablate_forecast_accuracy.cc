@@ -1,0 +1,83 @@
+// Ablation: how much of carbon-aware scheduling's value survives
+// imperfect forecasts (Section IV-C requires schedulers to "predict ...
+// the intermittent energy generation patterns"). Compares FIFO,
+// persistence-forecast scheduling, and perfect foresight across grids.
+#include <cstdio>
+
+#include "datacenter/forecast.h"
+#include "datagen/trace.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::datacenter;
+
+  // Deferrable night-submitted jobs.
+  datagen::Rng rng(99);
+  std::vector<BatchJob> jobs;
+  int id = 0;
+  for (const Duration& arrival :
+       datagen::poisson_arrivals(3.0, days(5.0), rng)) {
+    BatchJob j;
+    j.id = "job-" + std::to_string(id++);
+    j.power = kilowatts(22.4);
+    j.duration = hours(3.0);
+    j.arrival = days(1.0) + arrival;  // start after one observed day
+    j.slack = hours(20.0);
+    jobs.push_back(j);
+  }
+
+  struct GridCase {
+    const char* name;
+    IntermittentGrid::Config config;
+  };
+  std::vector<GridCase> cases;
+  {
+    IntermittentGrid::Config solar;
+    solar.profile = grids::us_west_solar();
+    solar.solar_share = 0.6;
+    solar.wind_share = 0.1;
+    solar.firm_share = 0.1;
+    solar.seed = 7;
+    cases.push_back({"solar-heavy", solar});
+    IntermittentGrid::Config windy;
+    windy.profile = grids::us_average();
+    windy.solar_share = 0.1;
+    windy.wind_share = 0.5;
+    windy.firm_share = 0.1;
+    windy.seed = 7;
+    cases.push_back({"wind-heavy", windy});
+  }
+
+  std::printf(
+      "Forecast-accuracy ablation: %zu deferrable jobs, three policies\n\n",
+      jobs.size());
+  report::Table t({"grid", "forecast MAPE", "policy", "carbon",
+                   "vs FIFO", "mean delay (h)"});
+  for (const GridCase& gc : cases) {
+    const IntermittentGrid grid(gc.config);
+    const PersistenceForecaster forecaster(grid);
+    const double mape = forecaster.mape(days(1.0), days(6.0));
+    const auto fifo = run_schedule(jobs, grid, FifoPolicy());
+    const auto persistence =
+        run_schedule(jobs, grid, PersistenceForecastPolicy());
+    const auto perfect = run_schedule(jobs, grid, ForecastPolicy());
+    const double fifo_g = to_grams_co2e(fifo.total_carbon);
+    for (const auto& [label, r] :
+         {std::pair{"fifo", fifo}, std::pair{"persistence", persistence},
+          std::pair{"perfect", perfect}}) {
+      t.add_row({gc.name, report::fmt_percent(mape), label,
+                 to_string(r.total_carbon),
+                 report::fmt_percent(to_grams_co2e(r.total_carbon) / fifo_g - 1.0),
+                 report::fmt(to_hours(r.mean_delay))});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Reading: on solar-dominated grids the diurnal cycle makes "
+      "persistence forecasting nearly as good as perfect foresight; on "
+      "wind-dominated grids forecast error eats a large share of the "
+      "achievable saving — carbon-aware scheduling is only as good as its "
+      "generation forecast.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: hardware lifetime extension vs silent data corruption
+// (Appendix B). Sweeps the replacement age and the SDC detection coverage;
+// reports the carbon-optimal replacement point.
+#include <cstdio>
+
+#include "mlcycle/reliability.h"
+#include "report/ascii_chart.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::mlcycle;
+
+  ReplacementPolicyConfig cfg;
+  cfg.aging.base_sdc_rate_per_year = 0.02;
+  cfg.aging.wearout_growth_per_year = 0.8;
+  cfg.embodied = kg_co2e(5600.0);        // 8-GPU training host
+  cfg.carbon_per_sdc_event = kg_co2e(300.0);  // rerun of a poisoned workflow
+
+  std::printf("Hardware replacement-age ablation (8-GPU training host)\n\n");
+  report::Table t({"replacement age", "embodied kg/yr", "SDC events/yr",
+                   "SDC kg/yr", "total kg/yr"});
+  std::vector<double> curve;
+  for (double a = 1.0; a <= 10.0; a += 1.0) {
+    const double embodied_per_year = to_kg_co2e(cfg.embodied) / a;
+    const double events_per_year =
+        cfg.aging.expected_sdc_events(years(a)) / a;
+    const double sdc_per_year =
+        events_per_year * to_kg_co2e(cfg.carbon_per_sdc_event);
+    t.add_row_values(report::fmt(a) + " yr",
+                     {embodied_per_year, events_per_year, sdc_per_year,
+                      embodied_per_year + sdc_per_year});
+    curve.push_back(embodied_per_year + sdc_per_year);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("annualized carbon vs age : %s\n\n",
+              report::sparkline(curve).c_str());
+
+  const Duration best = optimal_replacement_age(cfg);
+  std::printf("carbon-optimal replacement age : %.1f years (%.0f kg/yr)\n",
+              to_years(best), to_kg_co2e(annualized_carbon(cfg, best)));
+
+  report::Table d({"SDC detection coverage", "optimal age", "kg/yr at optimum"});
+  for (double coverage : {0.0, 0.5, 0.9, 0.99}) {
+    ReplacementPolicyConfig covered = cfg;
+    covered.carbon_per_sdc_event = cfg.carbon_per_sdc_event * (1.0 - coverage);
+    const Duration age = optimal_replacement_age(covered);
+    d.add_row({report::fmt_percent(coverage), report::fmt(to_years(age)) + " yr",
+               report::fmt(to_kg_co2e(annualized_carbon(covered, age)))});
+  }
+  std::printf("\n%s", d.to_string().c_str());
+  std::printf(
+      "\nReading: without fault tolerance, wear-out forces early "
+      "replacement and the embodied bill dominates; algorithmic SDC "
+      "detection (Appendix B) extends the carbon-optimal lifetime by "
+      "years.\n");
+  return 0;
+}

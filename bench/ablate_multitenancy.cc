@@ -1,0 +1,55 @@
+// Ablation: accelerator multi-tenancy (Section IV-C). Sweeps tenant demand
+// and interference penalty to map where consolidation wins on total carbon
+// and where interference erases the embodied savings.
+#include <cstdio>
+
+#include "optim/multitenancy.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::optim;
+
+  const hw::DeviceSpec device = hw::catalog::nvidia_v100();
+  const OperationalCarbonModel op(1.1, grids::us_average());
+  const Duration month = days(30.0);
+  const int num_tenants = 24;
+
+  std::printf(
+      "Multi-tenancy ablation: %d experimentation tenants on V100s, 30 "
+      "days\n\n",
+      num_tenants);
+  report::Table t({"demand", "penalty", "devices (dedicated->packed)",
+                   "op carbon delta", "embodied delta", "total delta"});
+  for (double demand : {0.20, 0.35, 0.50}) {
+    for (double penalty : {0.02, 0.06, 0.15, 0.40}) {
+      std::vector<TenantWorkload> tenants;
+      for (int i = 0; i < num_tenants; ++i) {
+        tenants.push_back({"t" + std::to_string(i), demand, gigabytes(6.0)});
+      }
+      MultiTenancyConfig cfg;
+      cfg.interference_penalty = penalty;
+      const auto dedicated = dedicated_placement(tenants, device);
+      const auto packed = consolidated_placement(tenants, device, cfg);
+      const auto cd = placement_carbon(dedicated, device, month, cfg, op);
+      const auto cp = placement_carbon(packed, device, month, cfg, op);
+      auto delta = [](CarbonMass a, CarbonMass b) {
+        return report::fmt_percent(to_grams_co2e(a) / to_grams_co2e(b) - 1.0);
+      };
+      t.add_row({report::fmt_percent(demand), report::fmt(penalty),
+                 std::to_string(dedicated.devices_used) + " -> " +
+                     std::to_string(packed.devices_used),
+                 delta(cp.operational, cd.operational),
+                 delta(cp.embodied, cd.embodied),
+                 delta(cp.total(), cd.total())});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Reading: at the paper's 30-50%% utilization band, consolidation cuts "
+      "total carbon for any realistic interference penalty; only "
+      "pathological co-location (>= 40%% slowdown per neighbor) flips the "
+      "operational term enough to matter — the paper's \"at the expense of "
+      "potential operational carbon footprint increase\".\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: carbon-aware queueing vs cluster capacity (Section IV-C:
+// "such scheduling algorithms might require server over-provisioning to
+// allow for flexibility of shifting workloads"). A Poisson trace of
+// deferrable retraining jobs runs on machine pools of different sizes
+// under FIFO and green policies.
+#include <cstdio>
+
+#include "datacenter/queue_sim.h"
+#include "datagen/trace.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::datacenter;
+
+  // A week-long Poisson trace: ~4 jobs/hour, 3-hour jobs, 18 h slack.
+  datagen::Rng rng(2024);
+  std::vector<BatchJob> jobs;
+  int id = 0;
+  for (const Duration& arrival :
+       datagen::poisson_arrivals(4.0, days(7.0), rng)) {
+    BatchJob j;
+    j.id = "job-" + std::to_string(id++);
+    j.power = kilowatts(22.4);
+    j.duration = hours(3.0);
+    j.arrival = arrival;
+    j.slack = hours(18.0);
+    jobs.push_back(j);
+  }
+
+  QueueSimConfig base;
+  base.grid.profile = grids::us_west_solar();
+  base.grid.solar_share = 0.6;
+  base.grid.firm_share = 0.1;
+  base.grid.seed = 7;
+  base.green_threshold = grams_per_kwh(250.0);
+  base.max_horizon = days(21.0);
+
+  std::printf("Queueing ablation: %zu deferrable jobs over one week\n\n",
+              jobs.size());
+  report::Table t({"machines", "policy", "carbon", "mean wait (h)",
+                   "utilization", "peak running"});
+  double fifo_carbon_at_min = 0.0;
+  double green_carbon_at_big = 0.0;
+  for (int machines : {16, 24, 48, 96}) {
+    QueueSimConfig cfg = base;
+    cfg.machines = machines;
+    for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kGreedyGreen}) {
+      const QueueSimResult r = run_queue_sim(jobs, cfg, policy);
+      t.add_row({std::to_string(machines), r.policy_name,
+                 to_string(r.total_carbon), report::fmt(to_hours(r.mean_wait)),
+                 report::fmt_percent(r.utilization),
+                 std::to_string(r.peak_running)});
+      if (machines == 16 && policy == QueuePolicy::kFifo) {
+        fifo_carbon_at_min = to_grams_co2e(r.total_carbon);
+      }
+      if (machines == 96 && policy == QueuePolicy::kGreedyGreen) {
+        green_carbon_at_big = to_grams_co2e(r.total_carbon);
+      }
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Reading: on a tight pool the green policy has little room — slack is "
+      "eaten by queueing. Over-provisioned pools let it concentrate work in "
+      "the solar window (%.0f%% carbon saving vs the tight FIFO pool), at "
+      "the cost of idle machines whose embodied carbon the fleet must also "
+      "carry — the exact tension Section IV-C flags.\n",
+      (1.0 - green_carbon_at_big / fifo_carbon_at_min) * 100.0);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: battery energy storage toward 24/7 carbon-free computing
+// (Section IV-C). Sweeps battery capacity and renewable over-procurement;
+// reports hourly CFE coverage, curtailment, and the net carbon including
+// the battery's own manufacturing footprint.
+#include <cstdio>
+
+#include "datacenter/storage.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::datacenter;
+
+  StorageSimConfig base;
+  base.grid.profile = grids::us_west_solar();
+  base.grid.solar_share = 0.9;
+  base.grid.wind_share = 0.1;
+  base.grid.firm_share = 0.0;
+  base.grid.seed = 5;
+  base.datacenter_load = megawatts(10.0);
+  base.horizon = days(30.0);
+  base.battery.max_charge = megawatts(30.0);
+  base.battery.max_discharge = megawatts(30.0);
+
+  std::printf(
+      "24/7 CFE ablation: 10 MW datacenter on a solar-heavy grid, 30 days\n\n");
+  report::Table t({"procurement", "battery (MWh)", "CFE coverage",
+                   "curtailed (MWh)", "grid tCO2e", "battery tCO2e",
+                   "net tCO2e"});
+  for (double procurement : {1.0, 1.5, 2.0, 3.0}) {
+    for (double battery_mwh : {0.0, 20.0, 80.0, 240.0}) {
+      StorageSimConfig cfg = base;
+      cfg.procurement_ratio = procurement;
+      cfg.battery.capacity = megawatt_hours(battery_mwh);
+      const StorageSimResult r = simulate_storage(cfg);
+      t.add_row({report::fmt_factor(procurement), report::fmt(battery_mwh),
+                 report::fmt_percent(r.cfe_coverage),
+                 report::fmt(to_megawatt_hours(r.curtailed)),
+                 report::fmt(to_tonnes_co2e(r.grid_carbon)),
+                 report::fmt(to_tonnes_co2e(r.battery_embodied_amortized)),
+                 report::fmt(to_tonnes_co2e(r.total_carbon()))});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Reading: over-procurement alone saturates well below 100%% CFE (the "
+      "sun sets); batteries convert curtailed solar into night coverage. "
+      "The last decile of 24/7 coverage costs disproportionate battery "
+      "capacity, whose manufacturing carbon starts to show in the net "
+      "column — the design space the paper calls \"interesting\".\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Appendix A / Section IV-A: selection-via-proxy data sampling — 10% of the
+// data preserves the relative ranking of recommendation algorithms at a
+// 5.8x execution speedup; plus the data-perishability half-life analysis.
+#include <cstdio>
+
+#include "report/table.h"
+#include "scaling/perishability.h"
+#include "scaling/sampling.h"
+
+int main() {
+  using namespace sustainai;
+
+  const scaling::SamplingStudy study(scaling::SamplingStudy::Config{});
+  const auto sweep = study.sweep({1.0, 0.5, 0.25, 0.10, 0.05, 0.01, 0.001});
+
+  std::printf("Data sampling: ranking preservation vs sample fraction\n\n");
+  report::Table t({"sample", "kendall tau", "top-1 agreement", "speedup"});
+  for (const auto& o : sweep) {
+    t.add_row({report::fmt_percent(o.sample_fraction),
+               report::fmt(o.mean_kendall_tau),
+               report::fmt_percent(o.top1_agreement),
+               report::fmt_factor(o.speedup)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const auto ten = study.evaluate(0.10);
+  std::printf("Paper claims vs measured:\n");
+  std::printf(
+      "  10%% sample preserves relative ranking : tau %.3f, top-1 %.0f%%\n",
+      ten.mean_kendall_tau, ten.top1_agreement * 100.0);
+  std::printf("  ... at 5.8x average speedup            : measured %.2fx\n\n",
+              ten.speedup);
+
+  std::printf("Data perishability: value half-life and retention windows\n\n");
+  scaling::DataHalfLife decay;
+  decay.half_life = years(7.0);  // "< 7 years" for NLP datasets
+  report::Table h({"keep window", "storage kept", "predictive value kept"});
+  const Duration horizon = years(10.0);
+  for (double w : {1.0, 2.0, 4.0, 7.0, 10.0}) {
+    h.add_row({report::fmt(w) + " yr",
+               report::fmt_percent(scaling::storage_fraction(horizon, years(w))),
+               report::fmt_percent(
+                   scaling::retained_value_fraction(horizon, years(w), decay))});
+  }
+  std::printf("%s\n", h.to_string().c_str());
+  const Duration w90 = scaling::window_for_value(0.9, horizon, decay);
+  std::printf(
+      "Retaining 90%% of predictive value needs only the newest %.1f years "
+      "(%.0f%% of storage) — the half-life-aware sampling strategy of "
+      "Section IV-A.\n",
+      to_years(w90), scaling::storage_fraction(horizon, w90) * 100.0);
+  return 0;
+}

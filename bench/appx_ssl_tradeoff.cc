@@ -1,0 +1,49 @@
+// Appendix C: supervised vs self-supervised vs semi-supervised (PAWS)
+// pre-training cost, and foundation-model amortization break-even.
+#include <cstdio>
+
+#include "report/table.h"
+#include "scaling/ssl.h"
+
+int main() {
+  using namespace sustainai;
+
+  const auto regimes = scaling::appendix_c_regimes();
+
+  std::printf("Appendix C: pre-training regimes on ImageNet/ResNet-50\n\n");
+  report::Table t({"regime", "pretrain ep", "finetune ep", "total ep",
+                   "top-1", "labels needed", "epochs / point"});
+  for (const auto& r : regimes) {
+    t.add_row({r.name, report::fmt(r.pretrain_epochs),
+               report::fmt(r.finetune_epochs), report::fmt(r.single_task_epochs()),
+               report::fmt(r.top1_accuracy), report::fmt_percent(r.label_fraction),
+               report::fmt(r.epochs_per_point())});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Paper claims vs measured:\n");
+  std::printf(
+      "  labels are worth ~10x training effort : SSL pretrain/supervised = "
+      "%.1fx\n",
+      regimes[1].pretrain_epochs / regimes[0].single_task_epochs());
+  std::printf(
+      "  PAWS with 10%% labels nearly closes the gap : 75.5 vs 76.1 top-1 "
+      "at %.1fx fewer epochs than SSL\n",
+      regimes[1].single_task_epochs() / regimes[2].single_task_epochs());
+
+  std::printf("\nFoundation-model amortization (pretrain once, finetune per task)\n\n");
+  const scaling::PretrainRegime foundation{"foundation", 1000.0, 10.0, 75.0, 0.0};
+  report::Table am({"downstream tasks", "amortized epochs/task",
+                    "vs supervised (90 ep)"});
+  for (int n : {1, 5, 13, 50, 200}) {
+    const double per_task = scaling::amortized_epochs_per_task(foundation, n);
+    am.add_row({std::to_string(n), report::fmt(per_task),
+                per_task <= 90.0 ? "cheaper" : "more expensive"});
+  }
+  std::printf("%s\n", am.to_string().c_str());
+  std::printf(
+      "Break-even at %d downstream tasks — beyond that, the expensive "
+      "foundation pre-train amortizes into a net carbon win.\n",
+      scaling::breakeven_tasks(foundation, 90.0));
+  return 0;
+}

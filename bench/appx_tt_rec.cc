@@ -1,0 +1,76 @@
+// Section IV-B memory-efficient model architectures: tensor-train
+// compressed embeddings (TT-Rec) on real kernels — memory saved, compute
+// added, and the embodied-carbon consequence of needing far less DRAM.
+#include <chrono>
+#include <cstdio>
+
+#include "datagen/rng.h"
+#include "hw/technology.h"
+#include "recsys/tt_embedding.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::recsys;
+
+  std::printf("TT-Rec embedding compression (1M-row x 64-dim table)\n\n");
+  report::Table t({"ranks", "parameters", "size", "compression", "FLOPs/lookup",
+                   "lookup time (us)"});
+  datagen::Rng rng(11);
+  const double dense_bytes = 1e6 * 64.0 * 4.0;
+  for (int rank : {4, 8, 16, 32}) {
+    TtShape shape;
+    shape.row_factors = {100, 100, 100};
+    shape.dim_factors = {4, 4, 4};
+    shape.ranks = {rank, rank};
+    const TtEmbeddingTable table(shape, rng);
+
+    // Wall-clock a batch of lookups.
+    const auto start = std::chrono::steady_clock::now();
+    volatile float sink = 0.0f;
+    const int lookups = 20000;
+    for (int i = 0; i < lookups; ++i) {
+      sink += table.lookup((i * 7919L) % table.rows())[0];
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() /
+                      lookups;
+    t.add_row({"(" + std::to_string(rank) + "," + std::to_string(rank) + ")",
+               report::fmt(static_cast<double>(table.parameter_count())),
+               to_string(table.size_bytes()),
+               report::fmt_factor(table.compression_ratio()),
+               report::fmt(static_cast<double>(table.flops_per_lookup())),
+               report::fmt(us)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("dense fp32 equivalent: %s\n\n",
+              to_string(bytes(dense_bytes)).c_str());
+
+  // Embodied consequence: a 10B-parameter production embedding layer (40 GB
+  // fp32) needs DRAM whose manufacturing carbon TT-Rec mostly retires.
+  const double dense_gb = 40.0;
+  TtShape prod;
+  prod.row_factors = {1000, 800, 800};  // 640M rows
+  prod.dim_factors = {4, 4, 4};
+  prod.ranks = {16, 16};
+  datagen::Rng rng2(12);
+  const TtEmbeddingTable prod_table(prod, rng2);
+  const double tt_gb = to_gigabytes(prod_table.size_bytes());
+  const CarbonMass dense_dram =
+      hw::memory_embodied(hw::MemoryTech::kDdr4, gigabytes(dense_gb));
+  const CarbonMass tt_dram =
+      hw::memory_embodied(hw::MemoryTech::kDdr4, gigabytes(tt_gb));
+  std::printf(
+      "Production-scale what-if: %.0f GB dense embeddings -> %.3f GB TT "
+      "cores (%.0fx).\nDRAM manufacturing carbon: %s -> %s per replica.\n\n",
+      dense_gb, tt_gb, prod_table.compression_ratio(),
+      to_string(dense_dram).c_str(), to_string(tt_dram).c_str());
+  std::printf(
+      "Paper claims vs measured:\n"
+      "  TT-Rec > 100x memory reduction : measured %.0fx at ranks (16,16)\n"
+      "  trade-off: a few hundred extra FLOPs per lookup (compute is cheap; "
+      "memory capacity is the scarce, embodied-carbon-heavy resource)\n",
+      prod_table.compression_ratio());
+  return 0;
+}

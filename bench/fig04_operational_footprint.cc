@@ -1,0 +1,82 @@
+// Figure 4: operational carbon footprint of large-scale ML tasks — the six
+// production models (offline training / online training / inference) next
+// to the published open-source training footprints.
+#include <cstdio>
+
+#include "mlcycle/model_zoo.h"
+#include "report/ascii_chart.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using mlcycle::OpCategory;
+
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  const auto models = mlcycle::production_models(ctx);
+
+  std::printf(
+      "Figure 4: operational carbon footprint (tCO2e, location-based, "
+      "%s grid, PUE %.2f)\n\n",
+      ctx.operational.grid().name.c_str(), ctx.operational.pue());
+
+  report::Table t({"task", "params (B)", "offline train", "online train",
+                   "inference", "total"});
+  std::vector<std::string> labels;
+  std::vector<double> totals;
+  CarbonMass training_sum = grams_co2e(0.0);
+  for (const auto& m : models) {
+    const double off =
+        to_tonnes_co2e(m.operational_carbon(OpCategory::kOfflineTraining, ctx));
+    const double on =
+        to_tonnes_co2e(m.operational_carbon(OpCategory::kOnlineTraining, ctx));
+    const double inf =
+        to_tonnes_co2e(m.operational_carbon(OpCategory::kInference, ctx));
+    t.add_row_values(m.name, {m.params_billions, off, on, inf, off + on + inf});
+    labels.push_back(m.name);
+    totals.push_back(off + on + inf);
+    training_sum += m.training_carbon(ctx);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  report::Table oss({"OSS model", "params (B)", "training energy",
+                     "training tCO2e", "source"});
+  for (const auto& m : mlcycle::oss_models()) {
+    oss.add_row({m.name, report::fmt(m.params_billions),
+                 to_string(m.training_energy),
+                 report::fmt(to_tonnes_co2e(m.training_carbon)), m.source});
+    labels.push_back(m.name);
+    totals.push_back(to_tonnes_co2e(m.training_carbon));
+  }
+  std::printf("%s\n", oss.to_string().c_str());
+
+  std::printf("All tasks (tCO2e):\n%s\n",
+              report::bar_chart(labels, totals).c_str());
+
+  const double avg_training = to_tonnes_co2e(training_sum) / models.size();
+  const double meena =
+      to_tonnes_co2e(mlcycle::find_oss_model("Meena").training_carbon);
+  const double gpt3 =
+      to_tonnes_co2e(mlcycle::find_oss_model("GPT-3").training_carbon);
+  const auto& lm = mlcycle::find_model(models, "LM");
+  const double lm_train = to_tonnes_co2e(lm.training_carbon(ctx));
+  const double lm_inf = to_tonnes_co2e(lm.inference_carbon(ctx));
+  const auto& rm1 = mlcycle::find_model(models, "RM1");
+
+  std::printf("Paper claims vs measured:\n");
+  std::printf("  avg production training = 1.8x Meena   : measured %.2fx\n",
+              avg_training / meena);
+  std::printf("  avg production training ~ GPT-3 / 3    : measured %.2fx\n",
+              avg_training / gpt3);
+  std::printf("  LM training:inference = 35:65          : measured %.0f:%.0f\n",
+              100.0 * lm_train / (lm_train + lm_inf),
+              100.0 * lm_inf / (lm_train + lm_inf));
+  std::printf("  RM training ~= inference               : RM1 ratio %.2f\n",
+              to_grams_co2e(rm1.training_carbon(ctx)) /
+                  to_grams_co2e(rm1.inference_carbon(ctx)));
+  std::printf(
+      "  params do not predict carbon           : Switch (1.5T) %.1f t < "
+      "GPT-3 (175B) %.1f t\n",
+      to_tonnes_co2e(mlcycle::find_oss_model("Switch Transformer").training_carbon),
+      gpt3);
+  return 0;
+}

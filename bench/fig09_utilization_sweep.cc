@@ -1,0 +1,67 @@
+// Figure 9: carbon footprint of LM training vs GPU utilization, with and
+// without carbon-free energy. Embodied carbon is amortized per occupied
+// device-hour (whole training-system share, the paper's 2000 kg Mac-Pro
+// anchor); allocated accelerators draw near-peak power whether or not they
+// do useful work, so both components scale inversely with utilization.
+#include <array>
+#include <cstdio>
+
+#include "core/embodied.h"
+#include "core/operational.h"
+#include "hw/spec.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+
+  const hw::DeviceSpec v100 = hw::catalog::nvidia_v100();
+  const OperationalCarbonModel op(1.1, grids::us_average());
+  const EmbodiedCarbonModel embodied(kg_co2e(kGpuSystemEmbodiedKg),
+                                     v100.lifetime, 1.0);
+  const double busy_gpu_days = 1000.0;  // fixed useful compute (LM training)
+  const double cfe = 0.90;
+
+  auto row_at = [&](double u) {
+    const Duration occupied = days(busy_gpu_days / u);
+    const Energy energy = v100.tdp * occupied;
+    const double op_t = to_tonnes_co2e(op.location_based(energy));
+    const double emb_t = to_tonnes_co2e(embodied.attribute(occupied));
+    const double op_green_t =
+        to_tonnes_co2e(market_based(op.location_based(energy), cfe));
+    return std::array<double, 5>{op_t, emb_t, op_t + emb_t,
+                                 op_green_t + emb_t,
+                                 emb_t / (op_green_t + emb_t)};
+  };
+
+  std::printf(
+      "Figure 9: LM training footprint vs GPU utilization "
+      "(tCO2e per %.0f busy GPU-days)\n\n",
+      busy_gpu_days);
+  report::Table t({"utilization", "operational", "embodied", "total",
+                   "total w/ CFE", "embodied share w/ CFE"});
+  for (double u : {0.20, 0.25, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90}) {
+    const auto r = row_at(u);
+    t.add_row({report::fmt_percent(u), report::fmt(r[0]), report::fmt(r[1]),
+               report::fmt(r[2]), report::fmt(r[3]),
+               report::fmt_percent(r[4])});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const auto at25 = row_at(0.25);
+  const auto at30 = row_at(0.30);
+  const auto at80 = row_at(0.80);
+  std::printf("Paper claims vs measured:\n");
+  std::printf(
+      "  raising utilization to 80%% cuts footprint ~3x : measured %.2fx "
+      "(from 30%%), %.2fx (from 25%%)\n",
+      at30[2] / at80[2], at25[2] / at80[2]);
+  std::printf(
+      "  renewables cut a further ~2x                   : measured %.2fx at "
+      "80%% utilization, %.0f%% CFE\n",
+      at80[2] / at80[3], cfe * 100.0);
+  std::printf(
+      "  embodied becomes the dominating source         : measured %.0f%% of "
+      "the CFE total\n",
+      at80[4] * 100.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 12 / Appendix A: data-model tandem scaling for recommendation
+// models — normalized entropy vs energy per training step, the Pareto
+// frontier, the yellow/green star comparison, and the tiny power-law
+// exponent of quality vs energy.
+#include <cstdio>
+
+#include "report/table.h"
+#include "scaling/scaling_grid.h"
+
+int main() {
+  using namespace sustainai;
+
+  const scaling::ScalingGrid grid = scaling::figure12_grid();
+
+  std::printf("Figure 12: NE(data, model) over the scaling grid\n\n");
+  // Blue solid lines: model scaling at fixed data size.
+  report::Table t({"data \\ model", "1x", "2x", "4x", "8x", "16x"});
+  for (double d : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    std::vector<double> row;
+    for (double m : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+      row.push_back(grid.at(d, m).normalized_entropy);
+    }
+    t.add_row_values("data " + report::fmt_factor(d), row);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Energy per training step by model scale:\n");
+  report::Table e({"model scale", "energy/step (normalized)"});
+  for (double m : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    e.add_row_values(report::fmt_factor(m), {grid.law().energy_per_step(m)});
+  }
+  std::printf("%s\n", e.to_string().c_str());
+
+  std::printf("Energy-optimal (Pareto) frontier, total energy vs NE:\n");
+  report::Table p({"data", "model", "total energy", "NE"});
+  for (const auto& pt : grid.pareto_frontier()) {
+    p.add_row_values(report::fmt_factor(pt.data_factor),
+                     {pt.model_factor, pt.total_energy, pt.normalized_entropy});
+  }
+  std::printf("%s\n", p.to_string().c_str());
+
+  const auto yellow = grid.at(2.0, 2.0);
+  const auto green = grid.at(8.0, 16.0);
+  std::printf("Paper claims vs measured:\n");
+  std::printf(
+      "  yellow star (2x,2x) uses ~4x less energy than green (8x,16x) : "
+      "measured %.2fx (per step)\n",
+      green.energy_per_step / yellow.energy_per_step);
+  std::printf(
+      "  ... at only 0.004 NE degradation                              : "
+      "measured %.4f\n",
+      yellow.normalized_entropy - green.normalized_entropy);
+  std::printf(
+      "  quality-vs-energy power law is tiny (0.002-0.004)             : "
+      "fitted frontier exponent %.4f\n",
+      -grid.frontier_power_exponent());
+  std::printf(
+      "  single-axis scaling deviates from the tandem-optimal trend    : "
+      "NE(4x,4x)=%.4f < NE(16x data,1x model)=%.4f at equal-or-less energy\n",
+      grid.law().normalized_entropy(4.0, 4.0),
+      grid.law().normalized_entropy(16.0, 1.0));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Section V-A: what happens to a leaderboard when energy is measured.
+// Synthesizes an MLPerf-style submission pool whose quality follows a
+// diminishing power law in training energy (the Figure 2a/12 regime), then
+// compares quality-only, energy-only, and efficiency rankings.
+#include <cstdio>
+
+#include "datagen/rng.h"
+#include "mlcycle/leaderboard.h"
+#include "report/table.h"
+#include "scaling/power_law.h"
+
+int main() {
+  using namespace sustainai;
+  using mlcycle::Ranking;
+
+  // Quality = 0.70 + 0.05 * log10(energy_mwh) + noise: each decade of
+  // energy buys five points — with heavy scatter from methodology.
+  datagen::Rng rng(31);
+  mlcycle::Leaderboard board;
+  const char* kTeams[] = {"alpha", "bravo", "carbonsix", "delta", "epsilon",
+                          "frugal", "gigawatt", "halfwatt", "ion", "joule",
+                          "kilo", "lumen"};
+  for (int i = 0; i < 12; ++i) {
+    const double energy_mwh = std::pow(10.0, rng.uniform(-0.5, 3.0));
+    const double quality =
+        0.70 + 0.05 * std::log10(energy_mwh) + rng.normal(0.0, 0.02);
+    board.submit({kTeams[i], quality, megawatt_hours(energy_mwh),
+                  days(energy_mwh / 10.0)});
+  }
+
+  std::printf("Efficiency-aware leaderboard (12 synthetic submissions)\n\n");
+  report::Table t({"rank", "quality-only", "energy-only", "quality/MWh"});
+  const auto by_quality = board.rank(Ranking::kQualityOnly);
+  const auto by_energy = board.rank(Ranking::kEnergyOnly);
+  const auto by_eff = board.rank(Ranking::kQualityPerMwh);
+  for (std::size_t i = 0; i < by_quality.size(); ++i) {
+    t.add_row({std::to_string(i + 1),
+               board.submissions()[by_quality[i]].name,
+               board.submissions()[by_energy[i]].name,
+               board.submissions()[by_eff[i]].name});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  report::Table detail({"team", "quality", "energy", "quality/MWh",
+                        "on Pareto frontier"});
+  const auto frontier = board.pareto_entries();
+  auto on_frontier = [&](std::size_t idx) {
+    for (std::size_t f : frontier) {
+      if (f == idx) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t idx : by_quality) {
+    const auto& s = board.submissions()[idx];
+    detail.add_row({s.name, report::fmt(s.quality), to_string(s.energy_to_result),
+                    report::fmt(s.quality / to_megawatt_hours(s.energy_to_result)),
+                    on_frontier(idx) ? "yes" : ""});
+  }
+  std::printf("%s\n", detail.to_string().c_str());
+
+  std::printf(
+      "Ranking disagreement (normalized Spearman footrule) vs quality-only:\n"
+      "  energy-only    : %.2f\n"
+      "  quality-per-MWh: %.2f\n\n",
+      board.ranking_disagreement(Ranking::kQualityOnly, Ranking::kEnergyOnly),
+      board.ranking_disagreement(Ranking::kQualityOnly, Ranking::kQualityPerMwh));
+  std::printf(
+      "Reading: once energy is a reported metric (the paper's MLPerf "
+      "call-to-action), the podium reshuffles substantially and only "
+      "Pareto-frontier submissions remain defensible — quality gains bought "
+      "by brute-force energy stop ranking.\n");
+  return 0;
+}

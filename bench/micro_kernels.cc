@@ -1,0 +1,185 @@
+// google-benchmark microbenchmarks of the library's hot kernels: numeric
+// conversion, table quantization, telemetry sampling, scheduler probing,
+// FL round simulation, and the RNG.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "datacenter/scheduler.h"
+#include "datagen/rng.h"
+#include "fl/round_sim.h"
+#include "mlcycle/experiment_pool.h"
+#include "optim/quantization.h"
+#include "recsys/dlrm.h"
+#include "recsys/tt_embedding.h"
+#include "recsys/trainer.h"
+#include "telemetry/attribution.h"
+#include "telemetry/counters.h"
+#include "telemetry/rapl_sim.h"
+
+namespace {
+
+using namespace sustainai;
+
+void BM_FloatToHalf(benchmark::State& state) {
+  datagen::Rng rng(1);
+  std::vector<float> values(4096);
+  for (float& v : values) {
+    v = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (float v : values) {
+      acc += optim::float_to_half(v);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_FloatToHalf);
+
+void BM_QuantizeTable(benchmark::State& state) {
+  datagen::Rng rng(2);
+  const auto format = static_cast<optim::NumericFormat>(state.range(0));
+  const optim::EmbeddingTable table =
+      optim::EmbeddingTable::random(1000, 64, rng);
+  for (auto _ : state) {
+    optim::QuantizedTable q = optim::quantize(table, format);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000 * 64);
+}
+BENCHMARK(BM_QuantizeTable)
+    ->Arg(static_cast<int>(optim::NumericFormat::kFp16))
+    ->Arg(static_cast<int>(optim::NumericFormat::kBf16))
+    ->Arg(static_cast<int>(optim::NumericFormat::kInt8RowWise));
+
+void BM_RaplSamplePipeline(benchmark::State& state) {
+  telemetry::RaplDomainSim domain(16);
+  telemetry::CounterSampler sampler(domain);
+  for (auto _ : state) {
+    domain.advance(watts(150.0), seconds(0.1));
+    benchmark::DoNotOptimize(sampler.sample());
+  }
+}
+BENCHMARK(BM_RaplSamplePipeline);
+
+void BM_ForecastPolicyChooseStart(benchmark::State& state) {
+  IntermittentGrid::Config cfg;
+  cfg.profile = grids::us_west_solar();
+  cfg.solar_share = 0.5;
+  cfg.firm_share = 0.1;
+  const IntermittentGrid grid(cfg);
+  const datacenter::ForecastPolicy policy(minutes(15.0));
+  datacenter::BatchJob job;
+  job.power = kilowatts(3.0);
+  job.duration = hours(4.0);
+  job.arrival = hours(20.0);
+  job.slack = hours(24.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.choose_start(job, grid));
+  }
+}
+BENCHMARK(BM_ForecastPolicyChooseStart);
+
+void BM_ExperimentPoolSampling(benchmark::State& state) {
+  const mlcycle::ExperimentPool pool(mlcycle::ExperimentPool::Config{});
+  datagen::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.sample(rng));
+  }
+}
+BENCHMARK(BM_ExperimentPoolSampling);
+
+void BM_FlRound(benchmark::State& state) {
+  fl::FlApplicationConfig app;
+  app.clients_per_round = static_cast<int>(state.range(0));
+  app.rounds_per_day = 1.0;
+  app.campaign = days(1.0);
+  fl::Population::Config pop;
+  pop.num_clients = 2000;
+  const fl::RoundSimulator sim(app, pop);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlRound)->Arg(50)->Arg(200);
+
+void BM_DlrmForward(benchmark::State& state) {
+  recsys::DlrmConfig cfg;
+  cfg.table_rows = {50000, 20000, 10000};
+  cfg.embedding_dim = 32;
+  const recsys::DlrmModel model(cfg);
+  datagen::Rng rng(5);
+  std::vector<recsys::DlrmSample> samples;
+  for (int i = 0; i < 64; ++i) {
+    samples.push_back(model.random_sample(rng));
+  }
+  const auto format = static_cast<optim::NumericFormat>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.forward_quantized(samples[i++ % samples.size()], format));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DlrmForward)
+    ->Arg(static_cast<int>(optim::NumericFormat::kFp32))
+    ->Arg(static_cast<int>(optim::NumericFormat::kInt8RowWise));
+
+void BM_TtEmbeddingLookup(benchmark::State& state) {
+  recsys::TtShape shape;
+  shape.row_factors = {100, 100, 100};
+  shape.dim_factors = {4, 4, 4};
+  const int rank = static_cast<int>(state.range(0));
+  shape.ranks = {rank, rank};
+  datagen::Rng rng(6);
+  const recsys::TtEmbeddingTable table(shape, rng);
+  long row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(row));
+    row = (row + 7919) % table.rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TtEmbeddingLookup)->Arg(8)->Arg(16);
+
+void BM_DlrmTrainStep(benchmark::State& state) {
+  recsys::TrainableDlrmConfig cfg;
+  cfg.table_rows = {2000, 1000};
+  recsys::TrainableDlrm model(cfg);
+  const auto data = recsys::synthesize_ctr_dataset(cfg, 128, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.train_step(data[i++ % data.size()], 0.03f));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DlrmTrainStep);
+
+void BM_AttributeEnergy(benchmark::State& state) {
+  std::vector<telemetry::JobUsage> jobs;
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back({"j" + std::to_string(i), 900.0 + i * 10.0, hours(0.5)});
+  }
+  telemetry::AttributionConfig cfg;
+  cfg.idle_power = watts(120.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        telemetry::attribute_energy(kilowatt_hours(1.0), hours(1.0), jobs, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AttributeEnergy);
+
+void BM_Xoshiro(benchmark::State& state) {
+  datagen::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace

@@ -1,0 +1,246 @@
+// The reproduction gate: re-derives every figure's headline claim through
+// the library and prints PASS/FAIL per claim. Exit code = number of
+// failures, so CI can gate on `bench/reproduce_all`.
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/embodied.h"
+#include "core/equivalence.h"
+#include "datagen/stats.h"
+#include "fl/round_sim.h"
+#include "mlcycle/data_pipeline.h"
+#include "mlcycle/disaggregation.h"
+#include "mlcycle/experiment_pool.h"
+#include "mlcycle/model_zoo.h"
+#include "optim/cascade.h"
+#include "optim/jevons.h"
+#include "optim/quantization.h"
+#include "report/table.h"
+#include "scaling/sampling.h"
+#include "scaling/scaling_grid.h"
+#include "scaling/ssl.h"
+
+namespace {
+
+using namespace sustainai;
+
+struct Check {
+  std::string id;
+  std::string claim;
+  double measured = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool pass() const { return measured >= lo && measured <= hi; }
+};
+
+std::vector<Check> run_checks() {
+  std::vector<Check> checks;
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  const auto models = mlcycle::production_models(ctx);
+
+  // Fig 2b: 2.4x data -> 3.2x bandwidth.
+  checks.push_back({"fig2b", "2.4x data -> 3.2x ingestion bandwidth",
+                    std::pow(2.4, mlcycle::DataPipeline::kBandwidthGrowthExponent),
+                    3.15, 3.25});
+
+  // Fig 4 aggregates.
+  CarbonMass train_sum = grams_co2e(0.0);
+  for (const auto& m : models) {
+    train_sum += m.training_carbon(ctx);
+  }
+  const double avg_train_t = to_tonnes_co2e(train_sum) / 6.0;
+  checks.push_back({"fig4-meena", "avg production training = 1.8x Meena",
+                    avg_train_t / 96.4, 1.75, 1.85});
+  checks.push_back({"fig4-gpt3", "avg production training ~ GPT-3 / 3",
+                    avg_train_t / 552.1, 0.28, 0.35});
+  const auto& lm = mlcycle::find_model(models, "LM");
+  const double lm_train = to_grams_co2e(lm.training_carbon(ctx));
+  const double lm_inf = to_grams_co2e(lm.inference_carbon(ctx));
+  checks.push_back({"fig4-lm", "LM training share = 35%",
+                    lm_train / (lm_train + lm_inf), 0.34, 0.36});
+  double worst_rm_ratio = 1.0;
+  for (const auto& m : models) {
+    if (m.name == "LM") {
+      continue;
+    }
+    const double r = to_grams_co2e(m.training_carbon(ctx)) /
+                     to_grams_co2e(m.inference_carbon(ctx));
+    worst_rm_ratio = std::max(worst_rm_ratio, std::max(r, 1.0 / r));
+  }
+  checks.push_back({"fig4-rm", "RM training ~ inference (worst |ratio|)",
+                    worst_rm_ratio, 1.0, 1.15});
+
+  // Fig 5: embodied share ~30%, embodied dominates under CFE.
+  double op_g = 0.0;
+  double emb_g = 0.0;
+  for (const auto& m : models) {
+    const PhaseFootprint total = m.footprint(ctx).total();
+    op_g += to_grams_co2e(total.operational);
+    emb_g += to_grams_co2e(total.embodied);
+  }
+  checks.push_back({"fig5-split", "embodied share of total ~ 30%",
+                    emb_g / (op_g + emb_g), 0.25, 0.33});
+  checks.push_back({"fig5-cfe", "embodied dominates at 90% CFE (share)",
+                    emb_g / (op_g * 0.1 + emb_g), 0.60, 1.0});
+
+  // Fig 6: 20% per wave.
+  checks.push_back({"fig6", "per-half-year reduction ~ 20%",
+                    optim::default_wave().combined_reduction(), 0.19, 0.21});
+
+  // Fig 7: > 800x.
+  checks.push_back({"fig7", "LM cascade > 800x",
+                    optim::lm_serving_cascade().cumulative_gain(), 800.0,
+                    830.0});
+
+  // Fig 8: net -28.5%.
+  const double growth = optim::implied_demand_growth(
+      optim::default_wave().combined_reduction(), 0.715, 4);
+  const auto jevons = optim::simulate_jevons(optim::default_wave(), growth, 4);
+  checks.push_back({"fig8", "net fleet change ~ -28.5%",
+                    -jevons.net_fleet_change(), 0.275, 0.295});
+
+  // Fig 9: utilization sweep factors.
+  {
+    const hw::DeviceSpec v100 = hw::catalog::nvidia_v100();
+    const OperationalCarbonModel op(1.1, grids::us_average());
+    const EmbodiedCarbonModel embodied(kg_co2e(kGpuSystemEmbodiedKg),
+                                       v100.lifetime, 1.0);
+    auto total_at = [&](double u, double cfe) {
+      const Duration occupied = days(1000.0 / u);
+      return to_grams_co2e(
+          market_based(op.location_based(v100.tdp * occupied), cfe) +
+          embodied.attribute(occupied));
+    };
+    checks.push_back({"fig9-util", "30% -> 80% utilization factor ~ 2.67x",
+                      total_at(0.30, 0.0) / total_at(0.80, 0.0), 2.6, 2.75});
+    checks.push_back({"fig9-green", "renewables factor ~ 2-3x at 80% util",
+                      total_at(0.80, 0.0) / total_at(0.80, 0.9), 1.8, 3.2});
+  }
+
+  // Fig 10: utilization mass + pool percentiles.
+  {
+    const mlcycle::ExperimentPool pool(mlcycle::ExperimentPool::Config{});
+    const auto jobs = pool.sample_pool(30000);
+    datagen::Histogram hist(0.0, 1.0, 10);
+    std::vector<double> sizes;
+    for (const auto& j : jobs) {
+      hist.add(j.utilization);
+      sizes.push_back(j.gpu_days);
+    }
+    checks.push_back({"fig10-mass", "utilization mass in [30%, 50%)",
+                      hist.mass_between(0.3, 0.5), 0.40, 0.70});
+    checks.push_back({"fig10-p50", "p50 experiment ~ 1.5 GPU-days",
+                      datagen::percentile(sizes, 0.5), 1.35, 1.65});
+    checks.push_back({"fig10-p99", "p99 experiment ~ 24 GPU-days",
+                      datagen::percentile(sizes, 0.99), 20.0, 29.0});
+  }
+
+  // Fig 11: FL-1 within the Transformer-Big band.
+  {
+    fl::FlApplicationConfig fl1;
+    fl1.name = "FL-1";
+    fl1.clients_per_round = 100;
+    fl1.rounds_per_day = 24.0;
+    fl1.campaign = days(90.0);
+    const fl::RoundSimulator sim(fl1, fl::Population::Config{});
+    const fl::FlFootprint fp =
+        fl::estimate_footprint("FL-1", sim.run(), fl::default_fl_assumptions());
+    const double p100_kg = to_kg_co2e(fl::figure11_baselines()[0].carbon);
+    checks.push_back({"fig11", "FL-1 / P100-Base carbon within [1/3, 3]",
+                      to_kg_co2e(fp.carbon) / p100_kg, 1.0 / 3.0, 3.0});
+  }
+
+  // Fig 12: stars and exponent.
+  {
+    const scaling::ScalingGrid grid = scaling::figure12_grid();
+    checks.push_back({"fig12-energy", "green/yellow per-step energy = 4x",
+                      grid.at(8.0, 16.0).energy_per_step /
+                          grid.at(2.0, 2.0).energy_per_step,
+                      3.99, 4.01});
+    checks.push_back({"fig12-ne", "NE degradation ~ 0.004",
+                      grid.at(2.0, 2.0).normalized_entropy -
+                          grid.at(8.0, 16.0).normalized_entropy,
+                      0.003, 0.006});
+    checks.push_back({"fig12-power", "power-law exponent tiny",
+                      -grid.frontier_power_exponent(), 0.001, 0.01});
+  }
+
+  // App A: 5.8x speedup at 10%.
+  {
+    const scaling::SamplingStudy study(scaling::SamplingStudy::Config{});
+    const auto outcome = study.evaluate(0.10);
+    checks.push_back({"appA-speedup", "10% sample -> 5.8x speedup",
+                      outcome.speedup, 5.6, 6.0});
+    checks.push_back({"appA-tau", "ranking preserved (Kendall tau)",
+                      outcome.mean_kendall_tau, 0.85, 1.0});
+  }
+
+  // App B: +56% disaggregation.
+  {
+    mlcycle::TrainingPipelineConfig cfg;
+    cfg.coupled_ingest_samples_per_s = cfg.trainer_peak_samples_per_s / 1.56;
+    const double gain = mlcycle::disaggregated_pipeline(cfg).samples_per_s /
+                        mlcycle::coupled_pipeline(cfg).samples_per_s;
+    checks.push_back({"appB", "disaggregation throughput gain = 1.56x", gain,
+                      1.55, 1.57});
+  }
+
+  // App C: labels worth ~10x.
+  {
+    const auto regimes = scaling::appendix_c_regimes();
+    checks.push_back({"appC", "SSL pretrain / supervised epochs ~ 11x",
+                      regimes[1].pretrain_epochs /
+                          regimes[0].single_task_epochs(),
+                      10.0, 12.0});
+  }
+
+  // Section III-B quantization numbers.
+  {
+    optim::RmQuantizationPlan plan;
+    plan.quantized_size_fraction = 0.30;
+    plan.quantized_access_fraction = 0.414;
+    checks.push_back({"rm2-size", "RM2 size reduction = 15%",
+                      plan.size_reduction(), 0.149, 0.151});
+    checks.push_back({"rm2-bw", "RM2 bandwidth reduction = 20.7%",
+                      plan.bandwidth_reduction(), 0.206, 0.208});
+    optim::InferenceLatencyModel latency;
+    latency.compute_time = seconds(0.4e-3);
+    latency.bytes_per_inference = megabytes(8.0);
+    latency.offchip_bandwidth = gigabytes_per_second(12.8);
+    latency.onchip_bandwidth = gigabytes_per_second(200.0);
+    latency.onchip_capacity = megabytes(64.0);
+    checks.push_back({"rm1-latency", "RM1 latency gain ~ 2.5x",
+                      latency.latency(megabytes(100.0), 1.0) /
+                          latency.latency(megabytes(55.0), 0.5),
+                      2.1, 2.9});
+  }
+
+  // Equivalence anchor.
+  checks.push_back({"meena-miles", "Meena ~ 242,231 passenger-vehicle miles",
+                    to_passenger_vehicle_miles(tonnes_co2e(96.4)), 239000.0,
+                    245000.0});
+  return checks;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Check> checks = run_checks();
+  report::Table t({"check", "claim", "measured", "accept band", "verdict"});
+  int failures = 0;
+  for (const Check& c : checks) {
+    if (!c.pass()) {
+      ++failures;
+    }
+    t.add_row({c.id, c.claim, report::fmt(c.measured),
+               "[" + report::fmt(c.lo) + ", " + report::fmt(c.hi) + "]",
+               c.pass() ? "PASS" : "FAIL"});
+  }
+  std::printf("Reproduction gate: every figure's headline claim re-derived\n\n");
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("%zu checks, %d failures\n", checks.size(), failures);
+  return failures;
+}

@@ -1,0 +1,60 @@
+// Scenario: should a small personalization model train on-device
+// (federated learning) or in the datacenter? Reproduces the Figure 11
+// decision problem end-to-end: simulate a 90-day FL campaign over a
+// heterogeneous client population, estimate its footprint with the paper's
+// methodology, and compare against centralized baselines.
+#include <cstdio>
+
+#include "fl/round_sim.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+
+  fl::FlApplicationConfig app;
+  app.name = "keyboard-personalization";
+  app.model_size = megabytes(20.0);
+  app.reference_compute_time = minutes(4.0);
+  app.clients_per_round = 100;
+  app.rounds_per_day = 24.0;
+  app.campaign = days(90.0);
+
+  fl::Population::Config population;
+  population.num_clients = 10000;
+
+  const fl::RoundSimulator sim(app, population);
+  const auto log = sim.run();
+  const fl::FlFootprint fp =
+      fl::estimate_footprint(app.name, log, fl::default_fl_assumptions());
+
+  std::printf("Federated campaign: %d rounds, %zu client participations\n\n",
+              sim.total_rounds(), log.size());
+  report::Table t({"metric", "value"});
+  t.add_row({"device compute energy", to_string(fp.compute_energy)});
+  t.add_row({"wireless communication energy", to_string(fp.communication_energy)});
+  t.add_row({"communication share", report::fmt_percent(fp.communication_share())});
+  t.add_row({"energy wasted by dropouts", report::fmt_percent(fp.wasted_fraction)});
+  t.add_row({"carbon", to_string(fp.carbon)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Centralized alternatives (Transformer-Big class training):\n\n");
+  report::Table b({"baseline", "energy", "carbon", "vs FL"});
+  for (const auto& base : fl::figure11_baselines()) {
+    b.add_row({base.name, to_string(base.training_energy),
+               to_string(base.carbon),
+               report::fmt_factor(to_grams_co2e(fp.carbon) /
+                                  to_grams_co2e(base.carbon))});
+  }
+  std::printf("%s\n", b.to_string().c_str());
+
+  std::printf(
+      "Takeaways (Section IV-C):\n"
+      "  * the \"small\" FL task emits carbon comparable to centralized\n"
+      "    training of a much larger model;\n"
+      "  * ~%.0f%% of the edge energy is wireless communication — optimize\n"
+      "    communication, not just client compute;\n"
+      "  * renewable procurement rescues the datacenter baselines but not\n"
+      "    the edge, where the residential grid mix applies.\n",
+      fp.communication_share() * 100.0);
+  return 0;
+}

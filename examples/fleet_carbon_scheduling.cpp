@@ -1,0 +1,98 @@
+// Scenario: a week in a datacenter region — diurnal web load with
+// Auto-Scaling harvesting off-peak capacity for opportunistic training, and
+// carbon-aware scheduling of deferrable training jobs against an
+// intermittent solar-heavy grid (Sections III-C and IV-C).
+#include <cstdio>
+
+#include "datacenter/fleet_sim.h"
+#include "datacenter/scheduler.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::datacenter;
+
+  // --- Fleet: web tier + AI training tier --------------------------------
+  Cluster cluster;
+  ServerGroup web;
+  web.name = "web-tier";
+  web.sku = hw::skus::web_tier();
+  web.count = 2000;
+  web.tier = Tier::kWeb;
+  web.load = DiurnalProfile{0.35, 0.90, 20.0};
+  web.autoscalable = true;
+  cluster.add_group(web);
+
+  ServerGroup training;
+  training.name = "ai-training";
+  training.sku = hw::skus::gpu_training_8x();
+  training.count = 100;
+  training.tier = Tier::kAiTraining;
+  training.load = flat_profile(0.55);
+  cluster.add_group(training);
+
+  FleetSimulator::Config cfg;
+  cfg.cluster = cluster;
+  cfg.grid.profile = grids::us_west_solar();
+  cfg.grid.solar_share = 0.5;
+  cfg.grid.wind_share = 0.15;
+  cfg.grid.firm_share = 0.10;
+  cfg.horizon = days(7.0);
+
+  std::printf("One week of fleet simulation (%d servers)\n\n",
+              cluster.total_servers());
+  report::Table t({"configuration", "IT energy", "facility energy",
+                   "location carbon", "harvested server-hours"});
+  for (bool autoscale : {false, true}) {
+    FleetSimulator::Config c = cfg;
+    c.enable_autoscaler = autoscale;
+    c.opportunistic_training = autoscale;
+    const auto r = FleetSimulator(c).run();
+    t.add_row({autoscale ? "auto-scaling + opportunistic" : "static",
+               to_string(r.it_energy), to_string(r.facility_energy),
+               to_string(r.location_carbon),
+               report::fmt(r.opportunistic_server_hours)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // --- Carbon-aware scheduling of deferrable training ---------------------
+  std::printf("Carbon-aware scheduling of 24 deferrable training jobs\n\n");
+  const IntermittentGrid grid(cfg.grid);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 24; ++i) {
+    BatchJob j;
+    j.id = "retrain-" + std::to_string(i);
+    j.power = kilowatts(22.4);  // one 8-GPU training host at ~80%
+    j.duration = hours(4.0);
+    j.arrival = hours(static_cast<double>(i % 24));
+    j.slack = hours(20.0);
+    jobs.push_back(j);
+  }
+
+  const FifoPolicy fifo;
+  const ThresholdPolicy threshold(grams_per_kwh(200.0));
+  const ForecastPolicy forecast;
+  report::Table s({"policy", "carbon", "mean delay (h)", "peak power"});
+  double fifo_g = 0.0;
+  for (const SchedulerPolicy* p :
+       std::initializer_list<const SchedulerPolicy*>{&fifo, &threshold,
+                                                     &forecast}) {
+    const ScheduleResult r = run_schedule(jobs, grid, *p);
+    if (p == &fifo) {
+      fifo_g = to_grams_co2e(r.total_carbon);
+    }
+    s.add_row({r.policy_name, to_string(r.total_carbon),
+               report::fmt(to_hours(r.mean_delay)),
+               to_string(r.peak_concurrent_power)});
+  }
+  std::printf("%s\n", s.to_string().c_str());
+
+  const ScheduleResult best = run_schedule(jobs, grid, forecast);
+  std::printf(
+      "Forecast-based shifting into the solar window cuts job carbon by "
+      "%.0f%%, at the cost of %.1f h mean delay and higher peak concurrent "
+      "power (the over-provisioning trade-off of Section IV-C).\n",
+      (1.0 - to_grams_co2e(best.total_carbon) / fifo_g) * 100.0,
+      to_hours(best.mean_delay));
+  return 0;
+}

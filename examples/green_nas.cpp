@@ -1,0 +1,74 @@
+// Scenario: carbon-aware neural architecture search (Section IV-B).
+// Compare search strategies on cost, then select the deployment
+// configuration multi-objectively — with serving carbon in the cost
+// function instead of accuracy alone.
+#include <cstdio>
+
+#include "core/operational.h"
+#include "mlcycle/model_zoo.h"
+#include "optim/nas_hpo.h"
+#include "optim/pareto.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+  using namespace sustainai::optim;
+
+  const SearchSimulator sim(SearchSimulator::Config{
+      .num_candidates = 400,
+      .full_training_gpu_days = 8.0,
+      .quality_mean = 0.72,
+      .quality_stddev = 0.05,
+      .observation_noise = 0.01,
+      .seed = 4242,
+  });
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+
+  std::printf("Search-strategy cost (400 candidates, 8 GPU-days full training)\n\n");
+  report::Table t({"strategy", "GPU-days", "search tCO2e", "best top-1",
+                   "overhead vs 1 training"});
+  const auto report_strategy = [&](const char* name, const SearchOutcome& o) {
+    t.add_row({name, report::fmt(o.total_gpu_days),
+               report::fmt(to_tonnes_co2e(
+                   ctx.operational_carbon_of_gpu_days(o.total_gpu_days))),
+               report::fmt(o.best_quality),
+               report::fmt_factor(o.overhead_factor(8.0))});
+  };
+  report_strategy("grid search", sim.run_grid());
+  report_strategy("random-64", sim.run_random(64));
+  report_strategy("successive halving", sim.run_successive_halving());
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "(Strubell et al.'s grid-search NAS at 4789 trials ~ %.0fx overhead — "
+      "the paper's \"over 3000x\".)\n\n",
+      nas_overhead_factor(4789, 0.64));
+
+  // Multi-objective deployment choice: serving carbon as a first-class
+  // objective next to accuracy.
+  std::vector<ObjectivePoint> points;
+  for (const Candidate& c : sim.candidates()) {
+    points.push_back({c.inference_cost, c.final_quality, ""});
+  }
+  const auto frontier = pareto_frontier(points);
+  double best_quality = 0.0;
+  for (const auto& p : points) {
+    best_quality = std::max(best_quality, p.quality);
+  }
+  const std::size_t apex = cheapest_at_least(points, best_quality);
+  const std::size_t green = cheapest_at_least(points, best_quality - 0.01);
+
+  std::printf("Deployment selection (%zu Pareto-optimal of %zu candidates)\n\n",
+              frontier.size(), points.size());
+  report::Table s({"pick", "top-1", "relative serving cost"});
+  s.add_row({"accuracy-only", report::fmt(points[apex].quality),
+             report::fmt(points[apex].cost)});
+  s.add_row({"green (within 0.01 of best)", report::fmt(points[green].quality),
+             report::fmt(points[green].cost)});
+  std::printf("%s\n", s.to_string().c_str());
+  std::printf(
+      "Accepting a 0.01 accuracy sacrifice cuts serving cost %.0f%% — over "
+      "trillions of daily predictions that is the difference the paper "
+      "wants leaderboards to expose.\n",
+      (1.0 - points[green].cost / points[apex].cost) * 100.0);
+  return 0;
+}

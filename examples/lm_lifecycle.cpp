@@ -1,0 +1,60 @@
+// Scenario: the full lifecycle of the LM universal-translation model —
+// data processing, experimentation, training, inference — before and after
+// the cross-stack optimization cascade of Figure 7.
+#include <cstdio>
+
+#include "core/equivalence.h"
+#include "mlcycle/model_zoo.h"
+#include "optim/cascade.h"
+#include "report/table.h"
+
+int main() {
+  using namespace sustainai;
+
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  const auto models = mlcycle::production_models(ctx);
+  const mlcycle::ProductionModel& lm = mlcycle::find_model(models, "LM");
+
+  std::printf("LM lifecycle footprint (%s)\n\n", lm.description.c_str());
+  const LifecycleFootprint fp = lm.footprint(ctx);
+  report::Table t({"phase", "energy", "operational", "embodied", "share"});
+  for (Phase phase : kAllPhases) {
+    const PhaseFootprint& f = fp.phase(phase);
+    t.add_row({to_string(phase), to_string(f.energy), to_string(f.operational),
+               to_string(f.embodied),
+               report::fmt_percent(fp.operational_share(phase))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const PhaseFootprint total = fp.total();
+  std::printf("total: %s (~%.0f passenger-vehicle miles)\n\n",
+              to_string(total.total()).c_str(),
+              to_passenger_vehicle_miles(total.total()));
+
+  // Apply the Figure 7 serving cascade to LM's inference energy: this is
+  // the 800x+ story of Section III-B.
+  const optim::OptimizationCascade cascade = optim::lm_serving_cascade();
+  const Energy inference_now = fp.phase(Phase::kInference).energy;
+  // Back out what serving would have cost on the unoptimized CPU baseline.
+  const Energy cpu_baseline = inference_now * cascade.cumulative_gain();
+  std::printf("Counterfactual: unoptimized CPU serving would need %s "
+              "(vs %s today, %.0fx saved)\n",
+              to_string(cpu_baseline).c_str(), to_string(inference_now).c_str(),
+              cascade.cumulative_gain());
+  report::Table steps({"optimization", "gain", "serving energy after"});
+  const auto energies = cascade.energy_after_each_step(cpu_baseline);
+  for (std::size_t i = 0; i < cascade.steps().size(); ++i) {
+    steps.add_row({cascade.steps()[i].name,
+                   report::fmt_factor(cascade.steps()[i].gain),
+                   to_string(energies[i])});
+  }
+  std::printf("%s\n", steps.to_string().c_str());
+
+  // What the optimization is worth in carbon terms per analysis window.
+  const CarbonMass saved =
+      ctx.operational.location_based(cpu_baseline - inference_now);
+  std::printf("carbon avoided per %.0f-day window: %s (~%.0f US home-years)\n",
+              to_days(ctx.analysis_window), to_string(saved).c_str(),
+              to_us_home_years(saved));
+  return 0;
+}

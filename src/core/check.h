@@ -1,0 +1,20 @@
+// Precondition checking for public API boundaries.
+//
+// Violations of documented preconditions throw std::invalid_argument so that
+// misuse is loud in tests and examples. Internal invariants use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sustainai {
+
+// Throws std::invalid_argument with `message` when `condition` is false.
+// Use for caller-supplied values at public API boundaries only.
+inline void check_arg(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+}  // namespace sustainai

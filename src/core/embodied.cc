@@ -1,0 +1,46 @@
+#include "core/embodied.h"
+
+#include "core/check.h"
+
+namespace sustainai {
+
+EmbodiedCarbonModel::EmbodiedCarbonModel(CarbonMass manufacturing_total,
+                                         Duration lifetime,
+                                         double average_utilization)
+    : manufacturing_total_(manufacturing_total),
+      lifetime_(lifetime),
+      average_utilization_(average_utilization) {
+  check_arg(to_grams_co2e(manufacturing_total_) >= 0.0,
+            "EmbodiedCarbonModel: manufacturing footprint must be non-negative");
+  check_arg(to_seconds(lifetime_) > 0.0,
+            "EmbodiedCarbonModel: lifetime must be positive");
+  check_arg(average_utilization_ > 0.0 && average_utilization_ <= 1.0,
+            "EmbodiedCarbonModel: utilization must be in (0, 1]");
+}
+
+EmbodiedCarbonModel EmbodiedCarbonModel::from_components(
+    const std::vector<ComponentFootprint>& components, Duration lifetime,
+    double average_utilization) {
+  CarbonMass total = grams_co2e(0.0);
+  for (const ComponentFootprint& c : components) {
+    total += c.manufacturing;
+  }
+  return EmbodiedCarbonModel(total, lifetime, average_utilization);
+}
+
+CarbonMass EmbodiedCarbonModel::attribute(Duration busy_time) const {
+  check_arg(to_seconds(busy_time) >= 0.0,
+            "attribute: busy_time must be non-negative");
+  const double life_share = busy_time / lifetime_;
+  return manufacturing_total_ * (life_share / average_utilization_);
+}
+
+CarbonMass EmbodiedCarbonModel::per_busy_hour() const {
+  return attribute(hours(1.0));
+}
+
+EmbodiedCarbonModel EmbodiedCarbonModel::with_utilization(double utilization) const {
+  return EmbodiedCarbonModel(manufacturing_total_, lifetime_, utilization);
+}
+
+}  // namespace sustainai

@@ -1,0 +1,65 @@
+// Embodied (manufacturing) carbon accounting via Life Cycle Analysis.
+//
+// Section II-B / III-A methodology: a fixed manufacturing footprint is paid
+// up-front for every system; a task is charged the share of the system's
+// service life it occupies, inflated by fleet under-utilization (idle
+// machines still had to be manufactured). The paper anchors GPU training
+// systems to the Apple Mac Pro LCA (2000 kg CO2e), CPU-only systems to half
+// of that, and assumes 30-60% average utilization over a 3-5 year lifetime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+
+namespace sustainai {
+
+// Manufacturing footprint of one system component.
+struct ComponentFootprint {
+  std::string name;
+  CarbonMass manufacturing;
+};
+
+// Amortizes a system's manufacturing footprint over its service life.
+class EmbodiedCarbonModel {
+ public:
+  // `lifetime` > 0; `average_utilization` in (0, 1]: the fleet-average
+  // fraction of the system's life spent doing useful work.
+  EmbodiedCarbonModel(CarbonMass manufacturing_total, Duration lifetime,
+                      double average_utilization);
+
+  // Builds the total from a bill of materials.
+  static EmbodiedCarbonModel from_components(
+      const std::vector<ComponentFootprint>& components, Duration lifetime,
+      double average_utilization);
+
+  // Embodied carbon attributed to a task that keeps the system busy for
+  // `busy_time`: manufacturing * (busy / lifetime) / utilization.
+  [[nodiscard]] CarbonMass attribute(Duration busy_time) const;
+
+  // Steady-state embodied carbon "rate" while the system does useful work.
+  [[nodiscard]] CarbonMass per_busy_hour() const;
+
+  [[nodiscard]] CarbonMass manufacturing_total() const { return manufacturing_total_; }
+  [[nodiscard]] Duration lifetime() const { return lifetime_; }
+  [[nodiscard]] double average_utilization() const { return average_utilization_; }
+
+  // Returns a copy with a different utilization assumption (Figure 9 sweeps).
+  [[nodiscard]] EmbodiedCarbonModel with_utilization(double utilization) const;
+
+ private:
+  CarbonMass manufacturing_total_;
+  Duration lifetime_;
+  double average_utilization_;
+};
+
+// Paper anchor values (Section III-A).
+inline constexpr double kGpuSystemEmbodiedKg = 2000.0;  // Apple Mac Pro LCA
+inline constexpr double kCpuSystemEmbodiedKg = 1000.0;  // "half the embodied emissions"
+inline constexpr double kServerLifetimeYearsLow = 3.0;
+inline constexpr double kServerLifetimeYearsHigh = 5.0;
+inline constexpr double kFleetUtilizationLow = 0.30;
+inline constexpr double kFleetUtilizationHigh = 0.60;
+
+}  // namespace sustainai

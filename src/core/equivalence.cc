@@ -1,0 +1,21 @@
+#include "core/equivalence.h"
+
+namespace sustainai {
+
+double to_passenger_vehicle_miles(CarbonMass m) {
+  return to_grams_co2e(m) / kGramsPerPassengerVehicleMile;
+}
+
+double to_gallons_gasoline(CarbonMass m) {
+  return to_kg_co2e(m) / kKgPerGallonGasoline;
+}
+
+double to_smartphone_charges(CarbonMass m) {
+  return to_grams_co2e(m) / kGramsPerSmartphoneCharge;
+}
+
+double to_us_home_years(CarbonMass m) {
+  return to_tonnes_co2e(m) / kTonnesPerUsHomeYear;
+}
+
+}  // namespace sustainai

@@ -1,0 +1,23 @@
+// Carbon-mass equivalences (EPA greenhouse-gas equivalency factors).
+//
+// The paper contextualizes footprints as "equivalent to N miles driven by an
+// average passenger vehicle" (e.g. Meena ~ 242,231 miles). These helpers
+// reproduce those conversions.
+#pragma once
+
+#include "core/units.h"
+
+namespace sustainai {
+
+// EPA equivalency factors.
+inline constexpr double kGramsPerPassengerVehicleMile = 398.0;  // gCO2e / mile
+inline constexpr double kKgPerGallonGasoline = 8.887;           // kgCO2e / gallon
+inline constexpr double kGramsPerSmartphoneCharge = 12.2;       // gCO2e / charge
+inline constexpr double kTonnesPerUsHomeYear = 7.5;             // tCO2e / home-year
+
+[[nodiscard]] double to_passenger_vehicle_miles(CarbonMass m);
+[[nodiscard]] double to_gallons_gasoline(CarbonMass m);
+[[nodiscard]] double to_smartphone_charges(CarbonMass m);
+[[nodiscard]] double to_us_home_years(CarbonMass m);
+
+}  // namespace sustainai

@@ -1,0 +1,48 @@
+#include "core/ghg.h"
+
+#include "core/check.h"
+
+namespace sustainai {
+
+CarbonMass GhgInventory::scope2_location() const {
+  check_arg(to_joules(purchased_electricity) >= 0.0,
+            "GhgInventory: electricity must be >= 0");
+  return purchased_electricity * grid.average;
+}
+
+CarbonMass GhgInventory::scope2_market() const {
+  return market_based(scope2_location(), cfe_coverage);
+}
+
+CarbonMass GhgInventory::total_location() const {
+  return scope1 + scope2_location() + scope3_value_chain;
+}
+
+CarbonMass GhgInventory::total_market() const {
+  return scope1 + scope2_market() + scope3_value_chain;
+}
+
+double GhgInventory::scope3_share_market() const {
+  const double total = to_grams_co2e(total_market());
+  return total > 0.0 ? to_grams_co2e(scope3_value_chain) / total : 0.0;
+}
+
+double GhgInventory::scope3_share_location() const {
+  const double total = to_grams_co2e(total_location());
+  return total > 0.0 ? to_grams_co2e(scope3_value_chain) / total : 0.0;
+}
+
+GhgInventory hyperscaler_2020_inventory() {
+  GhgInventory inv;
+  // Backup generators + vehicle fleet: tens of kilotonnes.
+  inv.scope1 = tonnes_co2e(25000.0);
+  // "demanding over 7.17 million MWh in 2020", 100% renewable-matched.
+  inv.purchased_electricity = megawatt_hours(7.17e6);
+  inv.grid = grids::us_average();
+  inv.cfe_coverage = 1.0;
+  // Value chain: construction + hardware manufacturing, a few megatonnes.
+  inv.scope3_value_chain = tonnes_co2e(3.6e6);
+  return inv;
+}
+
+}  // namespace sustainai

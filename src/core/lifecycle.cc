@@ -1,0 +1,60 @@
+#include "core/lifecycle.h"
+
+namespace sustainai {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kDataProcessing:
+      return "data";
+    case Phase::kExperimentation:
+      return "experimentation";
+    case Phase::kTraining:
+      return "training";
+    case Phase::kInference:
+      return "inference";
+  }
+  return "unknown";
+}
+
+void LifecycleFootprint::add(Phase phase, const PhaseFootprint& footprint) {
+  phases_[static_cast<size_t>(phase)] += footprint;
+}
+
+const PhaseFootprint& LifecycleFootprint::phase(Phase phase) const {
+  return phases_[static_cast<size_t>(phase)];
+}
+
+PhaseFootprint LifecycleFootprint::total() const {
+  PhaseFootprint sum{};
+  for (const PhaseFootprint& p : phases_) {
+    sum += p;
+  }
+  return sum;
+}
+
+double LifecycleFootprint::energy_share(Phase phase) const {
+  const double total_j = to_joules(total().energy);
+  if (total_j <= 0.0) {
+    return 0.0;
+  }
+  return to_joules(this->phase(phase).energy) / total_j;
+}
+
+double LifecycleFootprint::operational_share(Phase phase) const {
+  const double total_g = to_grams_co2e(total().operational);
+  if (total_g <= 0.0) {
+    return 0.0;
+  }
+  return to_grams_co2e(this->phase(phase).operational) / total_g;
+}
+
+double LifecycleFootprint::embodied_fraction() const {
+  const PhaseFootprint sum = total();
+  const double total_g = to_grams_co2e(sum.total());
+  if (total_g <= 0.0) {
+    return 0.0;
+  }
+  return to_grams_co2e(sum.embodied) / total_g;
+}
+
+}  // namespace sustainai

@@ -1,0 +1,77 @@
+// Lifecycle aggregation across the ML development cycle (Section II).
+//
+// The paper splits the model development cycle into Data Processing,
+// Experimentation, Training (offline + online) and Inference, and reports
+// per-phase operational plus system-lifetime embodied footprints (Figures
+// 3, 4, 5). This header provides the aggregation types shared by the
+// mlcycle simulator and the figure harnesses.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/units.h"
+
+namespace sustainai {
+
+// Phases of the ML model development cycle.
+enum class Phase {
+  kDataProcessing = 0,
+  kExperimentation = 1,
+  kTraining = 2,
+  kInference = 3,
+};
+inline constexpr int kNumPhases = 4;
+inline constexpr std::array<Phase, kNumPhases> kAllPhases = {
+    Phase::kDataProcessing, Phase::kExperimentation, Phase::kTraining,
+    Phase::kInference};
+
+[[nodiscard]] const char* to_string(Phase phase);
+
+// Training sub-categories used by Figure 4.
+enum class TrainingMode { kOffline, kOnline };
+
+// Energy + carbon attributed to one phase.
+struct PhaseFootprint {
+  Energy energy;             // IT-side energy
+  CarbonMass operational;    // after PUE x intensity (location-based)
+  CarbonMass embodied;       // amortized manufacturing share
+
+  [[nodiscard]] CarbonMass total() const { return operational + embodied; }
+
+  PhaseFootprint& operator+=(const PhaseFootprint& other) {
+    energy += other.energy;
+    operational += other.operational;
+    embodied += other.embodied;
+    return *this;
+  }
+  friend PhaseFootprint operator+(PhaseFootprint a, const PhaseFootprint& b) {
+    a += b;
+    return a;
+  }
+};
+
+// Footprint of a full model lifecycle, broken down per phase.
+class LifecycleFootprint {
+ public:
+  LifecycleFootprint() = default;
+
+  void add(Phase phase, const PhaseFootprint& footprint);
+
+  [[nodiscard]] const PhaseFootprint& phase(Phase phase) const;
+  [[nodiscard]] PhaseFootprint total() const;
+
+  // Share of total *energy* attributable to `phase`, in [0,1].
+  // Returns 0 when the total is zero.
+  [[nodiscard]] double energy_share(Phase phase) const;
+  // Share of total *operational carbon* attributable to `phase`.
+  [[nodiscard]] double operational_share(Phase phase) const;
+
+  // Fraction of total carbon (operational + embodied) that is embodied.
+  [[nodiscard]] double embodied_fraction() const;
+
+ private:
+  std::array<PhaseFootprint, kNumPhases> phases_{};
+};
+
+}  // namespace sustainai

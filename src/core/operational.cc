@@ -1,0 +1,29 @@
+#include "core/operational.h"
+
+#include "core/check.h"
+
+namespace sustainai {
+
+OperationalCarbonModel::OperationalCarbonModel(double pue, GridProfile grid,
+                                               double cfe_coverage)
+    : pue_(pue), grid_(std::move(grid)), cfe_coverage_(cfe_coverage) {
+  check_arg(pue_ >= 1.0, "OperationalCarbonModel: PUE must be >= 1.0");
+  check_arg(cfe_coverage_ >= 0.0 && cfe_coverage_ <= 1.0,
+            "OperationalCarbonModel: cfe_coverage must be in [0, 1]");
+}
+
+Energy OperationalCarbonModel::facility_energy(Energy it_energy) const {
+  check_arg(to_joules(it_energy) >= 0.0,
+            "facility_energy: energy must be non-negative");
+  return it_energy * pue_;
+}
+
+CarbonMass OperationalCarbonModel::location_based(Energy it_energy) const {
+  return facility_energy(it_energy) * grid_.average;
+}
+
+CarbonMass OperationalCarbonModel::market_based_emissions(Energy it_energy) const {
+  return market_based(location_based(it_energy), cfe_coverage_);
+}
+
+}  // namespace sustainai

@@ -1,0 +1,44 @@
+// Operational carbon accounting (Section III-A methodology).
+//
+// Operational emissions = IT energy x PUE x grid carbon intensity, with
+// optional market-based netting for procured carbon-free energy. Matches the
+// paper's assumptions: PUE 1.1, location-based intensities, and Facebook's
+// 100% renewable-energy matching.
+#pragma once
+
+#include "core/carbon_intensity.h"
+#include "core/units.h"
+
+namespace sustainai {
+
+class OperationalCarbonModel {
+ public:
+  // `pue` >= 1.0; `grid` supplies the location-based emission factor;
+  // `cfe_coverage` in [0,1] is the market-based carbon-free matching share.
+  OperationalCarbonModel(double pue, GridProfile grid, double cfe_coverage = 0.0);
+
+  // Facility energy drawn from the grid for `it_energy` of IT load.
+  [[nodiscard]] Energy facility_energy(Energy it_energy) const;
+
+  // Location-based operational emissions for `it_energy` of IT load.
+  [[nodiscard]] CarbonMass location_based(Energy it_energy) const;
+
+  // Market-based emissions after netting procured carbon-free energy.
+  [[nodiscard]] CarbonMass market_based_emissions(Energy it_energy) const;
+
+  [[nodiscard]] double pue() const { return pue_; }
+  [[nodiscard]] const GridProfile& grid() const { return grid_; }
+  [[nodiscard]] double cfe_coverage() const { return cfe_coverage_; }
+
+ private:
+  double pue_;
+  GridProfile grid_;
+  double cfe_coverage_;
+};
+
+// The paper's datacenter PUE (Section III-A): "Facebook's data centers are
+// about 40% more efficient than small-scale, typical data centers".
+inline constexpr double kHyperscalePue = 1.10;
+inline constexpr double kTypicalPue = 1.55;  // small-scale datacenter baseline
+
+}  // namespace sustainai

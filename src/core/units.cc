@@ -1,0 +1,83 @@
+#include "core/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace sustainai {
+namespace {
+
+// Formats `value` with the best matching scale from `scales` (descending).
+struct Scale {
+  double factor;
+  const char* suffix;
+};
+
+template <size_t N>
+std::string format_scaled(double value, const std::array<Scale, N>& scales) {
+  double magnitude = std::fabs(value);
+  for (const Scale& s : scales) {
+    if (magnitude >= s.factor || &s == &scales.back()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3g %s", value / s.factor, s.suffix);
+      return buf;
+    }
+  }
+  return "0";
+}
+
+}  // namespace
+
+std::string to_string(Energy e) {
+  static constexpr std::array<Scale, 5> kScales{{{1e6 * kJoulesPerKwh, "GWh"},
+                                                 {1e3 * kJoulesPerKwh, "MWh"},
+                                                 {kJoulesPerKwh, "kWh"},
+                                                 {3600.0, "Wh"},
+                                                 {1.0, "J"}}};
+  return format_scaled(e.base(), kScales);
+}
+
+std::string to_string(Power p) {
+  static constexpr std::array<Scale, 4> kScales{
+      {{1e9, "GW"}, {1e6, "MW"}, {1e3, "kW"}, {1.0, "W"}}};
+  return format_scaled(p.base(), kScales);
+}
+
+std::string to_string(Duration d) {
+  static constexpr std::array<Scale, 5> kScales{{{kSecondsPerYear, "yr"},
+                                                 {kSecondsPerDay, "d"},
+                                                 {kSecondsPerHour, "h"},
+                                                 {60.0, "min"},
+                                                 {1.0, "s"}}};
+  return format_scaled(d.base(), kScales);
+}
+
+std::string to_string(CarbonMass m) {
+  static constexpr std::array<Scale, 3> kScales{
+      {{1e6, "tCO2e"}, {1e3, "kgCO2e"}, {1.0, "gCO2e"}}};
+  return format_scaled(m.base(), kScales);
+}
+
+std::string to_string(CarbonIntensity ci) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g gCO2e/kWh", to_grams_per_kwh(ci));
+  return buf;
+}
+
+std::string to_string(DataSize s) {
+  static constexpr std::array<Scale, 7> kScales{{{1e18, "EB"},
+                                                 {1e15, "PB"},
+                                                 {1e12, "TB"},
+                                                 {1e9, "GB"},
+                                                 {1e6, "MB"},
+                                                 {1e3, "kB"},
+                                                 {1.0, "B"}}};
+  return format_scaled(s.base(), kScales);
+}
+
+std::string to_string(Bandwidth b) {
+  static constexpr std::array<Scale, 4> kScales{
+      {{1e9, "GB/s"}, {1e6, "MB/s"}, {1e3, "kB/s"}, {1.0, "B/s"}}};
+  return format_scaled(b.base(), kScales);
+}
+
+}  // namespace sustainai

@@ -1,0 +1,191 @@
+// Strong-typed physical quantities for carbon accounting.
+//
+// Every quantity is a dimension-tagged wrapper around a double stored in a
+// fixed base unit. Mixing dimensions is a compile error; the only cross-
+// dimension operators defined are the physically meaningful ones
+// (power x time = energy, energy x carbon intensity = carbon mass, ...).
+//
+// Base units:
+//   Energy          joule (J)
+//   Power           watt (W)
+//   Duration        second (s)
+//   CarbonMass      gram CO2-equivalent (gCO2e)
+//   CarbonIntensity gram CO2e per joule (g/J)
+//   DataSize        byte (B)
+//   Bandwidth       byte per second (B/s)
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace sustainai {
+
+// Dimension-tagged scalar. `Tag` is an empty struct naming the dimension.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+
+  // Named escape hatches; prefer the dimension-specific factories below.
+  static constexpr Quantity from_base(double value) { return Quantity(value); }
+  [[nodiscard]] constexpr double base() const { return value_; }
+
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(value_); }
+
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity(a.value_ + b.value_); }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity(a.value_ - b.value_); }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity(-a.value_); }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity(a.value_ * s); }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity(s * a.value_); }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity(a.value_ / s); }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.value_ / b.value_; }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) { return a.value_ <=> b.value_; }
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.value_ == b.value_; }
+
+ private:
+  constexpr explicit Quantity(double value) : value_(value) {}
+  double value_ = 0.0;
+};
+
+namespace dim {
+struct EnergyTag {};
+struct PowerTag {};
+struct DurationTag {};
+struct CarbonMassTag {};
+struct CarbonIntensityTag {};
+struct DataSizeTag {};
+struct BandwidthTag {};
+}  // namespace dim
+
+using Energy = Quantity<dim::EnergyTag>;
+using Power = Quantity<dim::PowerTag>;
+using Duration = Quantity<dim::DurationTag>;
+using CarbonMass = Quantity<dim::CarbonMassTag>;
+using CarbonIntensity = Quantity<dim::CarbonIntensityTag>;
+using DataSize = Quantity<dim::DataSizeTag>;
+using Bandwidth = Quantity<dim::BandwidthTag>;
+
+// --- Factories and accessors -------------------------------------------------
+
+inline constexpr double kJoulesPerKwh = 3.6e6;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerYear = 365.25 * kSecondsPerDay;
+
+// Energy
+constexpr Energy joules(double j) { return Energy::from_base(j); }
+constexpr Energy watt_hours(double wh) { return Energy::from_base(wh * 3600.0); }
+constexpr Energy kilowatt_hours(double kwh) { return Energy::from_base(kwh * kJoulesPerKwh); }
+constexpr Energy megawatt_hours(double mwh) { return Energy::from_base(mwh * 1e3 * kJoulesPerKwh); }
+constexpr Energy gigawatt_hours(double gwh) { return Energy::from_base(gwh * 1e6 * kJoulesPerKwh); }
+constexpr double to_joules(Energy e) { return e.base(); }
+constexpr double to_kilowatt_hours(Energy e) { return e.base() / kJoulesPerKwh; }
+constexpr double to_megawatt_hours(Energy e) { return e.base() / (1e3 * kJoulesPerKwh); }
+
+// Power
+constexpr Power watts(double w) { return Power::from_base(w); }
+constexpr Power kilowatts(double kw) { return Power::from_base(kw * 1e3); }
+constexpr Power megawatts(double mw) { return Power::from_base(mw * 1e6); }
+constexpr double to_watts(Power p) { return p.base(); }
+constexpr double to_kilowatts(Power p) { return p.base() / 1e3; }
+constexpr double to_megawatts(Power p) { return p.base() / 1e6; }
+
+// Duration
+constexpr Duration seconds(double s) { return Duration::from_base(s); }
+constexpr Duration minutes(double m) { return Duration::from_base(m * 60.0); }
+constexpr Duration hours(double h) { return Duration::from_base(h * kSecondsPerHour); }
+constexpr Duration days(double d) { return Duration::from_base(d * kSecondsPerDay); }
+constexpr Duration years(double y) { return Duration::from_base(y * kSecondsPerYear); }
+constexpr double to_seconds(Duration d) { return d.base(); }
+constexpr double to_hours(Duration d) { return d.base() / kSecondsPerHour; }
+constexpr double to_days(Duration d) { return d.base() / kSecondsPerDay; }
+constexpr double to_years(Duration d) { return d.base() / kSecondsPerYear; }
+
+// Carbon mass
+constexpr CarbonMass grams_co2e(double g) { return CarbonMass::from_base(g); }
+constexpr CarbonMass kg_co2e(double kg) { return CarbonMass::from_base(kg * 1e3); }
+constexpr CarbonMass tonnes_co2e(double t) { return CarbonMass::from_base(t * 1e6); }
+constexpr double to_grams_co2e(CarbonMass m) { return m.base(); }
+constexpr double to_kg_co2e(CarbonMass m) { return m.base() / 1e3; }
+constexpr double to_tonnes_co2e(CarbonMass m) { return m.base() / 1e6; }
+
+// Carbon intensity (grid emission factor)
+constexpr CarbonIntensity grams_per_kwh(double g) {
+  return CarbonIntensity::from_base(g / kJoulesPerKwh);
+}
+constexpr double to_grams_per_kwh(CarbonIntensity ci) { return ci.base() * kJoulesPerKwh; }
+
+// Data size
+constexpr DataSize bytes(double b) { return DataSize::from_base(b); }
+constexpr DataSize kilobytes(double kb) { return DataSize::from_base(kb * 1e3); }
+constexpr DataSize megabytes(double mb) { return DataSize::from_base(mb * 1e6); }
+constexpr DataSize gigabytes(double gb) { return DataSize::from_base(gb * 1e9); }
+constexpr DataSize terabytes(double tb) { return DataSize::from_base(tb * 1e12); }
+constexpr DataSize petabytes(double pb) { return DataSize::from_base(pb * 1e15); }
+constexpr DataSize exabytes(double eb) { return DataSize::from_base(eb * 1e18); }
+constexpr double to_bytes(DataSize s) { return s.base(); }
+constexpr double to_gigabytes(DataSize s) { return s.base() / 1e9; }
+constexpr double to_exabytes(DataSize s) { return s.base() / 1e18; }
+
+// Bandwidth
+constexpr Bandwidth bytes_per_second(double bps) { return Bandwidth::from_base(bps); }
+constexpr Bandwidth megabytes_per_second(double mbps) { return Bandwidth::from_base(mbps * 1e6); }
+constexpr Bandwidth gigabytes_per_second(double gbps) { return Bandwidth::from_base(gbps * 1e9); }
+constexpr double to_bytes_per_second(Bandwidth b) { return b.base(); }
+
+// --- Cross-dimension physics -------------------------------------------------
+
+constexpr Energy operator*(Power p, Duration t) { return Energy::from_base(p.base() * t.base()); }
+constexpr Energy operator*(Duration t, Power p) { return p * t; }
+constexpr Power operator/(Energy e, Duration t) { return Power::from_base(e.base() / t.base()); }
+constexpr Duration operator/(Energy e, Power p) { return Duration::from_base(e.base() / p.base()); }
+
+constexpr CarbonMass operator*(Energy e, CarbonIntensity ci) {
+  return CarbonMass::from_base(e.base() * ci.base());
+}
+constexpr CarbonMass operator*(CarbonIntensity ci, Energy e) { return e * ci; }
+constexpr CarbonIntensity operator/(CarbonMass m, Energy e) {
+  return CarbonIntensity::from_base(m.base() / e.base());
+}
+
+constexpr DataSize operator*(Bandwidth b, Duration t) {
+  return DataSize::from_base(b.base() * t.base());
+}
+constexpr DataSize operator*(Duration t, Bandwidth b) { return b * t; }
+constexpr Bandwidth operator/(DataSize s, Duration t) {
+  return Bandwidth::from_base(s.base() / t.base());
+}
+constexpr Duration operator/(DataSize s, Bandwidth b) {
+  return Duration::from_base(s.base() / b.base());
+}
+
+// --- Human-readable formatting (auto-scaled unit prefix) ----------------------
+
+std::string to_string(Energy e);
+std::string to_string(Power p);
+std::string to_string(Duration d);
+std::string to_string(CarbonMass m);
+std::string to_string(CarbonIntensity ci);
+std::string to_string(DataSize s);
+std::string to_string(Bandwidth b);
+
+}  // namespace sustainai

@@ -1,0 +1,48 @@
+#include "datacenter/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+
+AutoScaler::AutoScaler(Config config) : config_(config) {
+  check_arg(config_.target_utilization > 0.0 && config_.target_utilization <= 1.0,
+            "AutoScaler: target_utilization must be in (0, 1]");
+  check_arg(config_.max_freed_fraction >= 0.0 && config_.max_freed_fraction < 1.0,
+            "AutoScaler: max_freed_fraction must be in [0, 1)");
+  check_arg(config_.min_active_fraction > 0.0 && config_.min_active_fraction <= 1.0,
+            "AutoScaler: min_active_fraction must be in (0, 1]");
+}
+
+AutoScaler::Decision AutoScaler::step(int total_servers,
+                                      double demand_fraction) const {
+  check_arg(total_servers >= 0, "AutoScaler::step: total_servers must be >= 0");
+  check_arg(demand_fraction >= 0.0 && demand_fraction <= 1.0,
+            "AutoScaler::step: demand_fraction must be in [0, 1]");
+  Decision d;
+  if (total_servers == 0) {
+    return d;
+  }
+  // Servers needed so each active one runs at the target utilization.
+  const double needed =
+      demand_fraction * total_servers / config_.target_utilization;
+  const int min_active = static_cast<int>(
+      std::ceil(config_.min_active_fraction * total_servers));
+  const int max_freed = static_cast<int>(
+      std::floor(config_.max_freed_fraction * total_servers));
+  int active = static_cast<int>(std::ceil(needed));
+  active = std::max(active, min_active);
+  active = std::max(active, total_servers - max_freed);
+  active = std::min(active, total_servers);
+  d.active_servers = active;
+  d.freed_servers = total_servers - active;
+  // The demand is concentrated on the active servers; cap at 1.0 (can only
+  // exceed it transiently when min/max clamps bind).
+  d.active_utilization =
+      std::min(1.0, demand_fraction * total_servers / std::max(active, 1));
+  return d;
+}
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,45 @@
+// Auto-Scaling of over-provisioned diurnal tiers (Section III-C).
+//
+// "Auto-Scaling frees the over-provisioned capacity during off-peak hours,
+// by up to 25% of the web tier's machines ... providing opportunistic
+// server capacity for others to use, including offline ML training."
+//
+// Given instantaneous demand (as a fraction of tier peak), the policy
+// decides how many servers stay active — concentrating load to keep active
+// servers near a target utilization — and how many are freed for
+// opportunistic work, capped at `max_freed_fraction`.
+#pragma once
+
+namespace sustainai::datacenter {
+
+class AutoScaler {
+ public:
+  struct Config {
+    // Active servers aim to run at this utilization.
+    double target_utilization = 0.75;
+    // Never free more than this fraction of the tier (paper: up to 25%).
+    double max_freed_fraction = 0.25;
+    // Always keep this fraction active as failure headroom.
+    double min_active_fraction = 0.50;
+  };
+
+  struct Decision {
+    int active_servers = 0;
+    int freed_servers = 0;
+    // Utilization of each active server after load concentration.
+    double active_utilization = 0.0;
+  };
+
+  explicit AutoScaler(Config config);
+
+  // `demand_fraction` in [0,1]: tier-wide offered load relative to the load
+  // the whole tier serves at full utilization.
+  [[nodiscard]] Decision step(int total_servers, double demand_fraction) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,89 @@
+#include "datacenter/capacity_planner.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+namespace {
+
+struct Cohort {
+  int bought_period = 0;
+  int count = 0;
+  double per_server_capacity = 1.0;
+};
+
+CapacityPlanResult run_plan(const CapacityPlanConfig& config,
+                            bool buy_ahead) {
+  check_arg(!config.demand_per_period.empty(),
+            "capacity plan: demand series must be non-empty");
+  check_arg(config.efficiency_growth_per_period >= 1.0,
+            "capacity plan: efficiency growth must be >= 1");
+  check_arg(config.server_life_periods >= 1,
+            "capacity plan: server life must be >= 1 period");
+
+  CapacityPlanResult result;
+  result.total_embodied = grams_co2e(0.0);
+  result.total_operational = grams_co2e(0.0);
+  std::vector<Cohort> fleet;
+
+  const auto periods = static_cast<int>(config.demand_per_period.size());
+  for (int p = 0; p < periods; ++p) {
+    // Retire cohorts past their service life.
+    std::erase_if(fleet, [&](const Cohort& c) {
+      return p - c.bought_period >= config.server_life_periods;
+    });
+
+    double capacity = 0.0;
+    int fleet_size = 0;
+    for (const Cohort& c : fleet) {
+      capacity += c.count * c.per_server_capacity;
+      fleet_size += c.count;
+    }
+
+    const double demand = config.demand_per_period[static_cast<std::size_t>(p)];
+    double target = demand;
+    if (buy_ahead && p == 0) {
+      target = config.demand_per_period.back();
+    }
+
+    PeriodPlan plan;
+    plan.period = p;
+    plan.demand = demand;
+    const double gen_capacity =
+        std::pow(config.efficiency_growth_per_period, p);
+    if (capacity < target && (!buy_ahead || p == 0)) {
+      plan.servers_bought = static_cast<int>(
+          std::ceil((target - capacity) / gen_capacity));
+      fleet.push_back(Cohort{p, plan.servers_bought, gen_capacity});
+      capacity += plan.servers_bought * gen_capacity;
+      fleet_size += plan.servers_bought;
+      plan.embodied_purchased =
+          config.server_embodied * static_cast<double>(plan.servers_bought);
+    }
+    plan.fleet_size = fleet_size;
+    plan.capacity = capacity;
+
+    // Operational carbon of the in-service fleet for one period.
+    const Energy it_energy = config.server_power * config.period *
+                             static_cast<double>(fleet_size);
+    plan.operational = it_energy * config.pue * config.grid.average;
+
+    result.total_embodied += plan.embodied_purchased;
+    result.total_operational += plan.operational;
+    result.periods.push_back(plan);
+  }
+  return result;
+}
+
+}  // namespace
+
+CapacityPlanResult plan_just_in_time(const CapacityPlanConfig& config) {
+  return run_plan(config, /*buy_ahead=*/false);
+}
+
+CapacityPlanResult plan_buy_ahead(const CapacityPlanConfig& config) {
+  return run_plan(config, /*buy_ahead=*/true);
+}
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,63 @@
+// Capacity planning under demand growth and hardware-efficiency roadmaps
+// (Figures 2d and 8 connected).
+//
+// Demand for AI compute grows every half-year; hardware bought later is
+// more efficient (performance per watt per dollar per kg of embodied
+// carbon improves each generation). The planner decides how many servers
+// to buy each period to meet demand, and accounts both the embodied carbon
+// of purchases and the fleet's operational carbon — letting us quantify
+// "buy early vs just-in-time" and the carbon value of efficiency roadmaps.
+#pragma once
+
+#include <vector>
+
+#include "core/carbon_intensity.h"
+#include "core/units.h"
+
+namespace sustainai::datacenter {
+
+struct CapacityPlanConfig {
+  // Normalized compute demand per half-year; index 0 is "now".
+  std::vector<double> demand_per_period = {1.0, 1.2, 1.5, 1.9, 2.4, 2.9};
+  // Compute throughput of a server bought in period p relative to period 0.
+  double efficiency_growth_per_period = 1.10;
+  // A period-0 server: power draw, embodied carbon, service life (periods).
+  Power server_power = kilowatts(2.8);
+  CarbonMass server_embodied = kg_co2e(5600.0);
+  int server_life_periods = 8;  // 4 years of half-year periods
+  // Power stays ~constant across generations (perf/W improves instead).
+  GridProfile grid;
+  double pue = 1.10;
+  Duration period = days(182.625);
+};
+
+struct PeriodPlan {
+  int period = 0;
+  int servers_bought = 0;
+  int fleet_size = 0;          // servers in service
+  double capacity = 0.0;       // normalized compute the fleet can deliver
+  double demand = 0.0;
+  CarbonMass embodied_purchased;
+  CarbonMass operational;
+};
+
+struct CapacityPlanResult {
+  std::vector<PeriodPlan> periods;
+  CarbonMass total_embodied;
+  CarbonMass total_operational;
+  [[nodiscard]] CarbonMass total() const {
+    return total_embodied + total_operational;
+  }
+};
+
+// Just-in-time planner: each period, buy the fewest current-generation
+// servers needed to cover demand (retiring servers past their life).
+[[nodiscard]] CapacityPlanResult plan_just_in_time(const CapacityPlanConfig& config);
+
+// Buy-ahead planner: purchase in period 0 the whole fleet needed for the
+// final period's demand (at period-0 efficiency). The contrast shows why
+// deferring purchases to newer generations saves both embodied and
+// operational carbon.
+[[nodiscard]] CapacityPlanResult plan_buy_ahead(const CapacityPlanConfig& config);
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,62 @@
+#include "datacenter/cluster.h"
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+
+const char* to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kWeb:
+      return "web";
+    case Tier::kAiExperimentation:
+      return "ai-experimentation";
+    case Tier::kAiTraining:
+      return "ai-training";
+    case Tier::kAiInference:
+      return "ai-inference";
+    case Tier::kStorage:
+      return "storage";
+  }
+  return "unknown";
+}
+
+void Cluster::add_group(ServerGroup group) {
+  check_arg(group.count >= 0, "Cluster::add_group: count must be >= 0");
+  groups_.push_back(std::move(group));
+}
+
+Power Cluster::peak_it_power() const {
+  Power total = watts(0.0);
+  for (const ServerGroup& g : groups_) {
+    total += g.sku.peak_power() * static_cast<double>(g.count);
+  }
+  return total;
+}
+
+Power Cluster::peak_it_power(Tier tier) const {
+  Power total = watts(0.0);
+  for (const ServerGroup& g : groups_) {
+    if (g.tier == tier) {
+      total += g.sku.peak_power() * static_cast<double>(g.count);
+    }
+  }
+  return total;
+}
+
+CarbonMass Cluster::embodied_total() const {
+  CarbonMass total = grams_co2e(0.0);
+  for (const ServerGroup& g : groups_) {
+    total += g.sku.embodied_total() * static_cast<double>(g.count);
+  }
+  return total;
+}
+
+int Cluster::total_servers() const {
+  int n = 0;
+  for (const ServerGroup& g : groups_) {
+    n += g.count;
+  }
+  return n;
+}
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,61 @@
+// Cluster composition: groups of identical servers assigned to purposes.
+//
+// Models the fleet layout behind Figure 3a (power capacity split across
+// Experimentation / Training / Inference) plus the non-AI web tier that
+// Auto-Scaling harvests for opportunistic training (Section III-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lifecycle.h"
+#include "core/units.h"
+#include "datacenter/diurnal.h"
+#include "hw/server.h"
+
+namespace sustainai::datacenter {
+
+// The role a server group plays in the fleet.
+enum class Tier {
+  kWeb,              // front-end / non-AI; autoscalable
+  kAiExperimentation,
+  kAiTraining,
+  kAiInference,
+  kStorage,          // data storage + ingestion pipeline
+};
+
+[[nodiscard]] const char* to_string(Tier tier);
+
+struct ServerGroup {
+  std::string name;
+  hw::ServerSku sku;
+  int count = 0;
+  Tier tier = Tier::kWeb;
+  DiurnalProfile load;
+  bool autoscalable = false;
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+
+  void add_group(ServerGroup group);
+
+  [[nodiscard]] const std::vector<ServerGroup>& groups() const { return groups_; }
+
+  // Nameplate (all-servers-at-peak) IT power.
+  [[nodiscard]] Power peak_it_power() const;
+
+  // Peak IT power of all groups in `tier`.
+  [[nodiscard]] Power peak_it_power(Tier tier) const;
+
+  // Total manufacturing footprint of every server in the cluster.
+  [[nodiscard]] CarbonMass embodied_total() const;
+
+  [[nodiscard]] int total_servers() const;
+
+ private:
+  std::vector<ServerGroup> groups_;
+};
+
+}  // namespace sustainai::datacenter

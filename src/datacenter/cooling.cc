@@ -1,0 +1,93 @@
+#include "datacenter/cooling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+
+double ClimateModel::temperature_at(Duration t) const {
+  const double day_of_year =
+      std::fmod(to_seconds(t), kSecondsPerYear) / kSecondsPerDay;
+  const double hour = std::fmod(to_seconds(t), kSecondsPerDay) / kSecondsPerHour;
+  const double seasonal =
+      seasonal_amplitude *
+      std::cos(2.0 * M_PI * (day_of_year - hottest_day_of_year) / 365.25);
+  const double diurnal =
+      diurnal_amplitude * std::cos(2.0 * M_PI * (hour - hottest_hour) / 24.0);
+  return mean_celsius + seasonal + diurnal;
+}
+
+double CoolingModel::pue_at_temperature(double celsius) const {
+  check_arg(base_pue >= 1.0, "CoolingModel: base PUE must be >= 1.0");
+  check_arg(max_pue >= base_pue, "CoolingModel: max PUE must be >= base");
+  if (celsius <= free_cooling_celsius) {
+    return base_pue;
+  }
+  const double pue =
+      base_pue + pue_per_excess_celsius * (celsius - free_cooling_celsius);
+  return std::min(pue, max_pue);
+}
+
+double CoolingModel::pue_at(const ClimateModel& climate, Duration t) const {
+  return pue_at_temperature(climate.temperature_at(t));
+}
+
+double CoolingModel::mean_pue(const ClimateModel& climate, Duration start,
+                              Duration window, int steps) const {
+  check_arg(steps >= 1, "mean_pue: steps must be >= 1");
+  check_arg(to_seconds(window) > 0.0, "mean_pue: window must be positive");
+  double sum = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const Duration t = start + window * (static_cast<double>(i) / steps);
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    sum += w * pue_at(climate, t);
+  }
+  return sum / steps;
+}
+
+Energy facility_energy_over(const CoolingModel& cooling,
+                            const ClimateModel& climate, Power it_load,
+                            Duration start, Duration window, Duration step) {
+  check_arg(to_watts(it_load) >= 0.0,
+            "facility_energy_over: load must be >= 0");
+  check_arg(to_seconds(step) > 0.0, "facility_energy_over: step must be > 0");
+  Energy total = joules(0.0);
+  for (double s = 0.0; s < to_seconds(window); s += to_seconds(step)) {
+    const Duration t = start + seconds(s);
+    const double dt =
+        std::min(to_seconds(step), to_seconds(window) - s);
+    total += it_load * seconds(dt) * cooling.pue_at(climate, t);
+  }
+  return total;
+}
+
+namespace climates {
+
+ClimateModel nordic() {
+  ClimateModel c;
+  c.mean_celsius = 5.0;
+  c.seasonal_amplitude = 9.0;
+  c.diurnal_amplitude = 4.0;
+  return c;
+}
+
+ClimateModel temperate() {
+  ClimateModel c;
+  c.mean_celsius = 14.0;
+  c.seasonal_amplitude = 10.0;
+  c.diurnal_amplitude = 6.0;
+  return c;
+}
+
+ClimateModel hot_desert() {
+  ClimateModel c;
+  c.mean_celsius = 25.0;
+  c.seasonal_amplitude = 10.0;
+  c.diurnal_amplitude = 9.0;
+  return c;
+}
+
+}  // namespace climates
+}  // namespace sustainai::datacenter

@@ -1,0 +1,59 @@
+// Weather-dependent cooling and PUE (Section III-C).
+//
+// "Achieving a Power Usage Effectiveness (PUE) of about 1.10, Facebook's
+// data centers are about 40% more efficient than small-scale, typical data
+// centers." Hyperscale facilities reach that figure with free-air
+// (economizer) cooling whose overhead depends on outside temperature; the
+// model below exposes PUE as a function of weather so fleet simulations and
+// schedulers can see seasonal/diurnal cooling effects.
+#pragma once
+
+#include "core/units.h"
+
+namespace sustainai::datacenter {
+
+// Sinusoidal climate: seasonal cycle plus a diurnal cycle on top.
+struct ClimateModel {
+  double mean_celsius = 12.0;
+  double seasonal_amplitude = 10.0;  // +- around the mean over the year
+  double diurnal_amplitude = 5.0;    // +- around the day's mean
+  double hottest_hour = 15.0;        // local hour of the daily peak
+  double hottest_day_of_year = 200.0;
+
+  // Outside temperature at absolute time `t` (t = 0 is midnight, Jan 1).
+  [[nodiscard]] double temperature_at(Duration t) const;
+};
+
+// Economizer cooling curve: below `free_cooling_celsius` the facility runs
+// on outside air at `base_pue`; above it, mechanical chillers add overhead
+// proportional to the excess temperature, clamped at `max_pue`.
+struct CoolingModel {
+  double base_pue = 1.08;
+  double free_cooling_celsius = 18.0;
+  double pue_per_excess_celsius = 0.02;
+  double max_pue = 1.60;
+
+  [[nodiscard]] double pue_at_temperature(double celsius) const;
+  [[nodiscard]] double pue_at(const ClimateModel& climate, Duration t) const;
+
+  // Time-averaged PUE over [start, start + window] at `steps` resolution.
+  [[nodiscard]] double mean_pue(const ClimateModel& climate, Duration start,
+                                Duration window, int steps = 512) const;
+};
+
+// Facility energy for an IT load profile under weather-dependent PUE,
+// integrated at `step` resolution.
+[[nodiscard]] Energy facility_energy_over(const CoolingModel& cooling,
+                                          const ClimateModel& climate,
+                                          Power it_load, Duration start,
+                                          Duration window,
+                                          Duration step = hours(1.0));
+
+// Reference climates for siting studies.
+namespace climates {
+ClimateModel nordic();      // cool: free cooling nearly year-round
+ClimateModel temperate();   // mixed
+ClimateModel hot_desert();  // chiller-bound summers
+}  // namespace climates
+
+}  // namespace sustainai::datacenter

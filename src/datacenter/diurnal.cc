@@ -1,0 +1,27 @@
+#include "datacenter/diurnal.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+
+double DiurnalProfile::utilization_at(Duration t) const {
+  check_arg(trough >= 0.0 && trough <= peak && peak <= 1.0,
+            "DiurnalProfile: need 0 <= trough <= peak <= 1");
+  const double hour = std::fmod(to_seconds(t), kSecondsPerDay) / kSecondsPerHour;
+  const double phase = 2.0 * M_PI * (hour - peak_hour) / 24.0;
+  return trough + (peak - trough) * 0.5 * (1.0 + std::cos(phase));
+}
+
+DiurnalProfile flat_profile(double utilization) {
+  check_arg(utilization >= 0.0 && utilization <= 1.0,
+            "flat_profile: utilization must be in [0, 1]");
+  DiurnalProfile p;
+  p.trough = utilization;
+  p.peak = utilization;
+  p.peak_hour = 0.0;
+  return p;
+}
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,27 @@
+// Diurnal load profiles (Section III-C: "server utilization exhibits a
+// diurnal pattern", enabling Auto-Scaling to free off-peak capacity).
+#pragma once
+
+#include "core/units.h"
+
+namespace sustainai::datacenter {
+
+// Smooth day-night utilization curve: a raised cosine between `trough` at
+// the anti-peak hour and `peak` at `peak_hour`.
+struct DiurnalProfile {
+  double trough = 0.4;     // minimum utilization (middle of the night)
+  double peak = 0.9;       // maximum utilization (busiest hour)
+  double peak_hour = 20.0; // local hour of the peak
+
+  // Utilization in [trough, peak] at absolute time `t` (seconds from the
+  // local midnight of day 0).
+  [[nodiscard]] double utilization_at(Duration t) const;
+
+  // 24h mean utilization of the profile.
+  [[nodiscard]] double mean_utilization() const { return 0.5 * (trough + peak); }
+};
+
+// A flat profile (batch/training tiers whose load is scheduler-driven).
+[[nodiscard]] DiurnalProfile flat_profile(double utilization);
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,103 @@
+#include "datacenter/fleet_sim.h"
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+
+Energy FleetSimulator::Result::it_energy_for(Tier tier) const {
+  Energy sum = joules(0.0);
+  for (const GroupResult& g : groups) {
+    if (g.tier == tier) {
+      sum += g.it_energy;
+    }
+  }
+  return sum;
+}
+
+FleetSimulator::FleetSimulator(Config config) : config_(std::move(config)) {
+  check_arg(config_.pue >= 1.0, "FleetSimulator: PUE must be >= 1.0");
+  check_arg(to_seconds(config_.step) > 0.0, "FleetSimulator: step must be positive");
+  check_arg(to_seconds(config_.horizon) >= to_seconds(config_.step),
+            "FleetSimulator: horizon must cover at least one step");
+  check_arg(config_.opportunistic_utilization >= 0.0 &&
+                config_.opportunistic_utilization <= 1.0,
+            "FleetSimulator: opportunistic utilization must be in [0, 1]");
+}
+
+FleetSimulator::Result FleetSimulator::run() const {
+  const IntermittentGrid grid(config_.grid);
+  const AutoScaler scaler(config_.autoscaler);
+  const auto& groups = config_.cluster.groups();
+
+  Result result;
+  result.it_energy = joules(0.0);
+  result.opportunistic_energy = joules(0.0);
+  result.groups.resize(groups.size());
+  std::vector<double> util_weight(groups.size(), 0.0);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    result.groups[i].name = groups[i].name;
+    result.groups[i].tier = groups[i].tier;
+    result.groups[i].it_energy = joules(0.0);
+  }
+
+  double location_g = 0.0;
+  const double step_s = to_seconds(config_.step);
+  const auto steps =
+      static_cast<long>(to_seconds(config_.horizon) / step_s);
+  double step_count = 0.0;
+
+  for (long s = 0; s < steps; ++s) {
+    const Duration now = seconds(step_s * static_cast<double>(s));
+    const CarbonIntensity intensity = grid.intensity_at(now);
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const ServerGroup& g = groups[i];
+      if (g.count == 0) {
+        continue;
+      }
+      const double demand = g.load.utilization_at(now);
+      Energy group_energy = joules(0.0);
+      double recorded_util = demand;
+
+      if (g.autoscalable && config_.enable_autoscaler) {
+        const AutoScaler::Decision d = scaler.step(g.count, demand);
+        group_energy =
+            g.sku.energy(d.active_utilization, d.active_utilization,
+                         config_.step) *
+            static_cast<double>(d.active_servers);
+        recorded_util = d.active_utilization;
+        result.groups[i].freed_server_hours +=
+            d.freed_servers * step_s / kSecondsPerHour;
+        if (config_.opportunistic_training && d.freed_servers > 0) {
+          const Energy opp =
+              g.sku.energy(config_.opportunistic_utilization,
+                           config_.opportunistic_utilization, config_.step) *
+              static_cast<double>(d.freed_servers);
+          result.opportunistic_energy += opp;
+          result.opportunistic_server_hours +=
+              d.freed_servers * step_s / kSecondsPerHour;
+          group_energy += opp;
+        }
+      } else {
+        group_energy = g.sku.energy(demand, demand, config_.step) *
+                       static_cast<double>(g.count);
+      }
+
+      result.groups[i].it_energy += group_energy;
+      util_weight[i] += recorded_util;
+      result.it_energy += group_energy;
+      location_g += to_joules(group_energy * config_.pue) * intensity.base();
+    }
+    step_count += 1.0;
+  }
+
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    result.groups[i].mean_utilization =
+        step_count > 0.0 ? util_weight[i] / step_count : 0.0;
+  }
+  result.facility_energy = result.it_energy * config_.pue;
+  result.location_carbon = grams_co2e(location_g);
+  result.market_carbon = market_based(result.location_carbon, config_.cfe_coverage);
+  return result;
+}
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,66 @@
+// Time-stepped fleet energy/carbon simulation (Section III-C, Figure 3c).
+//
+// Steps a Cluster through a horizon: every group follows its diurnal load;
+// autoscalable tiers are consolidated by the AutoScaler and their freed
+// servers optionally run opportunistic offline training; IT energy is
+// inflated by PUE and converted to carbon against a time-varying grid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/carbon_intensity.h"
+#include "core/units.h"
+#include "datacenter/autoscaler.h"
+#include "datacenter/cluster.h"
+
+namespace sustainai::datacenter {
+
+class FleetSimulator {
+ public:
+  struct Config {
+    Cluster cluster;
+    double pue = 1.10;
+    IntermittentGrid::Config grid;
+    double cfe_coverage = 0.0;  // market-based renewable matching
+    Duration step = minutes(15.0);
+    Duration horizon = days(7.0);
+    bool enable_autoscaler = true;
+    AutoScaler::Config autoscaler;
+    // Freed web-tier servers run offline training at this utilization.
+    bool opportunistic_training = true;
+    double opportunistic_utilization = 0.90;
+  };
+
+  struct GroupResult {
+    std::string name;
+    Tier tier = Tier::kWeb;
+    Energy it_energy;
+    double mean_utilization = 0.0;   // time-weighted, active servers only
+    double freed_server_hours = 0.0;
+  };
+
+  struct Result {
+    std::vector<GroupResult> groups;
+    Energy it_energy;
+    Energy facility_energy;
+    CarbonMass location_carbon;
+    CarbonMass market_carbon;
+    // Server-hours harvested for opportunistic training.
+    double opportunistic_server_hours = 0.0;
+    Energy opportunistic_energy;
+    [[nodiscard]] Energy it_energy_for(Tier tier) const;
+
+   private:
+    friend class FleetSimulator;
+  };
+
+  explicit FleetSimulator(Config config);
+
+  [[nodiscard]] Result run() const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace sustainai::datacenter

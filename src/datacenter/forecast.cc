@@ -1,0 +1,75 @@
+#include "datacenter/forecast.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+
+PersistenceForecaster::PersistenceForecaster(const IntermittentGrid& grid)
+    : grid_(grid) {}
+
+CarbonIntensity PersistenceForecaster::predict(Duration t) const {
+  check_arg(to_seconds(t) >= 0.0, "PersistenceForecaster: t must be >= 0");
+  const double lag_s = std::max(0.0, to_seconds(t) - kSecondsPerDay);
+  return grid_.intensity_at(seconds(lag_s));
+}
+
+CarbonIntensity PersistenceForecaster::predict_mean(Duration start,
+                                                    Duration window,
+                                                    int steps) const {
+  check_arg(steps >= 1, "predict_mean: steps must be >= 1");
+  check_arg(to_seconds(window) > 0.0, "predict_mean: window must be positive");
+  double sum = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const Duration t = start + window * (static_cast<double>(i) / steps);
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    sum += w * predict(t).base();
+  }
+  return CarbonIntensity::from_base(sum / steps);
+}
+
+double PersistenceForecaster::mape(Duration start, Duration horizon,
+                                   Duration step) const {
+  check_arg(to_seconds(step) > 0.0, "mape: step must be positive");
+  check_arg(to_seconds(horizon) >= to_seconds(step),
+            "mape: horizon must cover at least one step");
+  double sum = 0.0;
+  long count = 0;
+  for (double s = 0.0; s < to_seconds(horizon); s += to_seconds(step)) {
+    const Duration t = start + seconds(s);
+    const double actual = grid_.intensity_at(t).base();
+    if (actual <= 0.0) {
+      continue;  // avoid division blow-ups during fully-clean intervals
+    }
+    sum += std::fabs(predict(t).base() - actual) / actual;
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+PersistenceForecastPolicy::PersistenceForecastPolicy(Duration probe_step)
+    : probe_step_(probe_step) {
+  check_arg(to_seconds(probe_step_) > 0.0,
+            "PersistenceForecastPolicy: probe step must be positive");
+}
+
+Duration PersistenceForecastPolicy::choose_start(
+    const BatchJob& job, const IntermittentGrid& grid) const {
+  const PersistenceForecaster forecaster(grid);
+  const double slack_s = to_seconds(job.slack);
+  Duration best = job.arrival;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (double off = 0.0; off <= slack_s; off += to_seconds(probe_step_)) {
+    const Duration t = job.arrival + seconds(off);
+    const double mean = forecaster.predict_mean(t, job.duration).base();
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace sustainai::datacenter

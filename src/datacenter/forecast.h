@@ -1,0 +1,49 @@
+// Carbon-intensity forecasting for scheduling (Section IV-C: schedulers
+// must "predict and exploit the intermittent energy generation patterns").
+//
+// ForecastPolicy (scheduler.h) assumes perfect foresight. Real systems
+// forecast; this header provides a day-ahead persistence forecaster
+// (tomorrow looks like today — the standard baseline in grid forecasting)
+// and a scheduling policy driven by it, so the value of forecast accuracy
+// can be measured: perfect >= persistence >= FIFO.
+#pragma once
+
+#include "core/carbon_intensity.h"
+#include "datacenter/scheduler.h"
+
+namespace sustainai::datacenter {
+
+// Day-ahead persistence forecast: predicted intensity at time t is the
+// actual intensity at t - 24h (for t within the first day, the actual is
+// used — the scheduler has observed "today" so far).
+class PersistenceForecaster {
+ public:
+  explicit PersistenceForecaster(const IntermittentGrid& grid);
+
+  [[nodiscard]] CarbonIntensity predict(Duration t) const;
+  // Mean predicted intensity over [start, start+window].
+  [[nodiscard]] CarbonIntensity predict_mean(Duration start, Duration window,
+                                             int steps = 64) const;
+
+  // Mean absolute percentage error of the forecast over a horizon.
+  [[nodiscard]] double mape(Duration start, Duration horizon,
+                            Duration step = minutes(30.0)) const;
+
+ private:
+  const IntermittentGrid& grid_;
+};
+
+// Forecast-driven slack scheduling using the persistence forecaster
+// instead of ground truth.
+class PersistenceForecastPolicy final : public SchedulerPolicy {
+ public:
+  explicit PersistenceForecastPolicy(Duration probe_step = minutes(15.0));
+  [[nodiscard]] std::string name() const override { return "persistence-forecast"; }
+  [[nodiscard]] Duration choose_start(const BatchJob& job,
+                                      const IntermittentGrid& grid) const override;
+
+ private:
+  Duration probe_step_;
+};
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,139 @@
+#include "datacenter/queue_sim.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+
+const char* to_string(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFifo:
+      return "queue-fifo";
+    case QueuePolicy::kGreedyGreen:
+      return "queue-green";
+  }
+  return "unknown";
+}
+
+QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
+                             const QueueSimConfig& config, QueuePolicy policy) {
+  check_arg(config.machines >= 1, "run_queue_sim: need >= 1 machine");
+  check_arg(to_seconds(config.step) > 0.0, "run_queue_sim: step must be > 0");
+  for (const BatchJob& j : jobs) {
+    check_arg(to_seconds(j.duration) > 0.0,
+              "run_queue_sim: job durations must be positive");
+    check_arg(to_seconds(j.slack) >= 0.0,
+              "run_queue_sim: job slack must be >= 0");
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const BatchJob& a, const BatchJob& b) {
+    return to_seconds(a.arrival) < to_seconds(b.arrival);
+  });
+
+  const IntermittentGrid grid(config.grid);
+  struct Running {
+    std::size_t job_index;
+    double remaining_s;
+    double started_s;
+    double carbon_g = 0.0;
+  };
+  std::vector<Running> running;
+  std::vector<std::size_t> queue;  // FIFO order of waiting job indices
+  std::vector<CompletedJob> done(jobs.size());
+  std::vector<bool> completed(jobs.size(), false);
+
+  const double step_s = to_seconds(config.step);
+  std::size_t next_arrival = 0;
+  std::size_t finished = 0;
+  double now_s = 0.0;
+  double busy_machine_s = 0.0;
+  int peak_running = 0;
+
+  while (finished < jobs.size()) {
+    check_arg(now_s <= to_seconds(config.max_horizon),
+              "run_queue_sim: exceeded max horizon (overloaded config?)");
+    // Admit arrivals up to now.
+    while (next_arrival < jobs.size() &&
+           to_seconds(jobs[next_arrival].arrival) <= now_s + 1e-9) {
+      queue.push_back(next_arrival);
+      ++next_arrival;
+    }
+    // Start jobs while machines are free.
+    const double intensity_now = grid.intensity_at(seconds(now_s)).base();
+    std::vector<std::size_t> still_waiting;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::size_t ji = queue[qi];
+      if (static_cast<int>(running.size()) >= config.machines) {
+        still_waiting.insert(still_waiting.end(), queue.begin() + qi,
+                             queue.end());
+        break;
+      }
+      const BatchJob& job = jobs[ji];
+      const double waited_s = now_s - to_seconds(job.arrival);
+      bool start = true;
+      if (policy == QueuePolicy::kGreedyGreen &&
+          waited_s + 1e-9 < to_seconds(job.slack) &&
+          intensity_now > config.green_threshold.base()) {
+        start = false;  // defer: grid is dirty and we still have slack
+      }
+      if (start) {
+        running.push_back(Running{ji, to_seconds(job.duration), now_s});
+      } else {
+        still_waiting.push_back(ji);
+      }
+    }
+    queue.swap(still_waiting);
+    peak_running = std::max(peak_running, static_cast<int>(running.size()));
+
+    // Advance one step.
+    const double intensity = grid.intensity_at(seconds(now_s)).base();
+    for (Running& r : running) {
+      const double dt = std::min(step_s, r.remaining_s);
+      const double energy_j =
+          to_watts(jobs[r.job_index].power) * dt * config.pue;
+      r.carbon_g += energy_j * intensity;
+      r.remaining_s -= dt;
+      busy_machine_s += dt;
+    }
+    now_s += step_s;
+    // Retire finished jobs.
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].remaining_s <= 1e-9) {
+        const Running& r = running[i];
+        CompletedJob c;
+        c.job = jobs[r.job_index];
+        c.start = seconds(r.started_s);
+        c.finish = seconds(r.started_s + to_seconds(c.job.duration));
+        c.carbon = grams_co2e(r.carbon_g);
+        done[r.job_index] = c;
+        completed[r.job_index] = true;
+        ++finished;
+        running[i] = running.back();
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  QueueSimResult result;
+  result.policy_name = to_string(policy);
+  result.total_carbon = grams_co2e(0.0);
+  double wait_s = 0.0;
+  double makespan_s = 0.0;
+  for (const CompletedJob& c : done) {
+    result.total_carbon += c.carbon;
+    wait_s += to_seconds(c.wait());
+    makespan_s = std::max(makespan_s, to_seconds(c.finish));
+  }
+  result.mean_wait =
+      seconds(jobs.empty() ? 0.0 : wait_s / static_cast<double>(jobs.size()));
+  result.makespan = seconds(makespan_s);
+  result.utilization =
+      makespan_s > 0.0 ? busy_machine_s / (makespan_s * config.machines) : 0.0;
+  result.peak_running = peak_running;
+  result.jobs = std::move(done);
+  return result;
+}
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,64 @@
+// Capacity-constrained carbon-aware queueing (Section IV-C).
+//
+// The slack-window scheduler (scheduler.h) assumes unlimited machines;
+// real clusters queue. This discrete-time simulator runs jobs on a fixed
+// machine pool: a FIFO baseline starts jobs as machines free up, while the
+// green policy additionally holds *deferrable* jobs back while the grid is
+// dirty — but never beyond their slack — modeling the interplay the paper
+// highlights between carbon-aware shifting and capacity over-provisioning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/carbon_intensity.h"
+#include "core/units.h"
+#include "datacenter/scheduler.h"
+
+namespace sustainai::datacenter {
+
+enum class QueuePolicy {
+  kFifo,         // start any queued job when a machine frees up
+  kGreedyGreen,  // defer while intensity > threshold, within slack
+};
+
+[[nodiscard]] const char* to_string(QueuePolicy policy);
+
+struct QueueSimConfig {
+  int machines = 8;
+  IntermittentGrid::Config grid;
+  double pue = 1.10;
+  Duration step = minutes(15.0);
+  // Green policy: run while instantaneous intensity is at or below this.
+  CarbonIntensity green_threshold = grams_per_kwh(250.0);
+  // Safety horizon: simulation aborts (throws) if jobs cannot finish
+  // within `max_horizon` — indicates an overloaded configuration.
+  Duration max_horizon = days(60.0);
+};
+
+struct CompletedJob {
+  BatchJob job;
+  Duration start;
+  Duration finish;
+  CarbonMass carbon;
+  [[nodiscard]] Duration wait() const { return start - job.arrival; }
+};
+
+struct QueueSimResult {
+  std::string policy_name;
+  std::vector<CompletedJob> jobs;
+  CarbonMass total_carbon;
+  Duration mean_wait;
+  Duration makespan;  // finish time of the last job
+  // Machine-time actually used / machine-time available until makespan.
+  double utilization = 0.0;
+  int peak_running = 0;
+};
+
+// Jobs must have positive duration; each job occupies one machine for its
+// whole duration (non-preemptible).
+[[nodiscard]] QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
+                                           const QueueSimConfig& config,
+                                           QueuePolicy policy);
+
+}  // namespace sustainai::datacenter

@@ -1,0 +1,152 @@
+#include "datacenter/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+namespace {
+
+// Carbon of running `job` starting at `start` against `grid` with `pue`.
+CarbonMass job_carbon(const BatchJob& job, Duration start,
+                      const IntermittentGrid& grid, double pue) {
+  const CarbonIntensity mean = grid.mean_intensity(start, job.duration);
+  return (job.power * job.duration * pue) * mean;
+}
+
+// Max concurrent power over the schedule, evaluated at job start/end edges.
+Power peak_power(const std::vector<ScheduledJob>& jobs) {
+  Power peak = watts(0.0);
+  for (const ScheduledJob& edge : jobs) {
+    // Evaluate just after this job starts.
+    const double t = to_seconds(edge.start) + 1e-6;
+    Power concurrent = watts(0.0);
+    for (const ScheduledJob& j : jobs) {
+      const double s = to_seconds(j.start);
+      const double e = s + to_seconds(j.job.duration);
+      if (t >= s && t < e) {
+        concurrent += j.job.power;
+      }
+    }
+    peak = std::max(peak, concurrent);
+  }
+  return peak;
+}
+
+ScheduleResult summarize(std::string policy_name, std::vector<ScheduledJob> jobs) {
+  ScheduleResult result;
+  result.policy_name = std::move(policy_name);
+  result.total_carbon = grams_co2e(0.0);
+  double delay_s = 0.0;
+  for (const ScheduledJob& j : jobs) {
+    result.total_carbon += j.carbon;
+    delay_s += to_seconds(j.delay());
+  }
+  result.mean_delay =
+      seconds(jobs.empty() ? 0.0 : delay_s / static_cast<double>(jobs.size()));
+  result.peak_concurrent_power = peak_power(jobs);
+  result.jobs = std::move(jobs);
+  return result;
+}
+
+}  // namespace
+
+Duration FifoPolicy::choose_start(const BatchJob& job,
+                                  const IntermittentGrid& /*grid*/) const {
+  return job.arrival;
+}
+
+ThresholdPolicy::ThresholdPolicy(CarbonIntensity threshold, Duration probe_step)
+    : threshold_(threshold), probe_step_(probe_step) {
+  check_arg(to_seconds(probe_step_) > 0.0,
+            "ThresholdPolicy: probe step must be positive");
+}
+
+Duration ThresholdPolicy::choose_start(const BatchJob& job,
+                                       const IntermittentGrid& grid) const {
+  const double slack_s = to_seconds(job.slack);
+  Duration best = job.arrival;
+  double best_intensity = std::numeric_limits<double>::infinity();
+  for (double off = 0.0; off <= slack_s; off += to_seconds(probe_step_)) {
+    const Duration t = job.arrival + seconds(off);
+    const double intensity = grid.intensity_at(t).base();
+    if (intensity <= threshold_.base()) {
+      return t;
+    }
+    if (intensity < best_intensity) {
+      best_intensity = intensity;
+      best = t;
+    }
+  }
+  return best;
+}
+
+ForecastPolicy::ForecastPolicy(Duration probe_step) : probe_step_(probe_step) {
+  check_arg(to_seconds(probe_step_) > 0.0,
+            "ForecastPolicy: probe step must be positive");
+}
+
+Duration ForecastPolicy::choose_start(const BatchJob& job,
+                                      const IntermittentGrid& grid) const {
+  const double slack_s = to_seconds(job.slack);
+  Duration best = job.arrival;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (double off = 0.0; off <= slack_s; off += to_seconds(probe_step_)) {
+    const Duration t = job.arrival + seconds(off);
+    const double mean = grid.mean_intensity(t, job.duration).base();
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = t;
+    }
+  }
+  return best;
+}
+
+ScheduleResult run_schedule(const std::vector<BatchJob>& jobs,
+                            const IntermittentGrid& grid,
+                            const SchedulerPolicy& policy, double pue) {
+  check_arg(pue >= 1.0, "run_schedule: PUE must be >= 1.0");
+  std::vector<ScheduledJob> scheduled;
+  scheduled.reserve(jobs.size());
+  for (const BatchJob& job : jobs) {
+    check_arg(to_seconds(job.duration) > 0.0,
+              "run_schedule: job duration must be positive");
+    check_arg(to_seconds(job.slack) >= 0.0,
+              "run_schedule: job slack must be non-negative");
+    const Duration start = policy.choose_start(job, grid);
+    check_arg(to_seconds(start) >= to_seconds(job.arrival) &&
+                  to_seconds(start) <= to_seconds(job.arrival + job.slack),
+              "run_schedule: policy chose a start outside the slack window");
+    scheduled.push_back(
+        ScheduledJob{job, start, job_carbon(job, start, grid, pue)});
+  }
+  return summarize(policy.name(), std::move(scheduled));
+}
+
+ScheduleResult run_cross_region_schedule(const std::vector<BatchJob>& jobs,
+                                         const std::vector<IntermittentGrid>& grids,
+                                         const SchedulerPolicy& policy,
+                                         double pue) {
+  check_arg(!grids.empty(), "run_cross_region_schedule: need at least one grid");
+  std::vector<ScheduledJob> scheduled;
+  scheduled.reserve(jobs.size());
+  for (const BatchJob& job : jobs) {
+    ScheduledJob best{};
+    double best_g = std::numeric_limits<double>::infinity();
+    for (const IntermittentGrid& grid : grids) {
+      const Duration start = policy.choose_start(job, grid);
+      const CarbonMass carbon = job_carbon(job, start, grid, pue);
+      if (to_grams_co2e(carbon) < best_g) {
+        best_g = to_grams_co2e(carbon);
+        best = ScheduledJob{job, start, carbon};
+        best.job.id = job.id + "@" + grid.profile().name;
+      }
+    }
+    scheduled.push_back(std::move(best));
+  }
+  return summarize(policy.name() + "+cross-region", std::move(scheduled));
+}
+
+}  // namespace sustainai::datacenter

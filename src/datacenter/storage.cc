@@ -1,0 +1,105 @@
+#include "datacenter/storage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+
+StorageSimResult simulate_storage(const StorageSimConfig& config) {
+  check_arg(to_watts(config.datacenter_load) > 0.0,
+            "simulate_storage: load must be positive");
+  check_arg(config.procurement_ratio >= 0.0,
+            "simulate_storage: procurement ratio must be >= 0");
+  check_arg(config.battery.round_trip_efficiency > 0.0 &&
+                config.battery.round_trip_efficiency <= 1.0,
+            "simulate_storage: round-trip efficiency must be in (0, 1]");
+  check_arg(to_seconds(config.step) > 0.0,
+            "simulate_storage: step must be positive");
+  check_arg(to_seconds(config.horizon) >= to_seconds(config.step),
+            "simulate_storage: horizon must cover at least one step");
+
+  const IntermittentGrid grid(config.grid);
+  // Split round-trip losses evenly between charge and discharge.
+  const double one_way_eff = std::sqrt(config.battery.round_trip_efficiency);
+
+  StorageSimResult r;
+  r.load_energy = joules(0.0);
+  r.renewable_used_direct = joules(0.0);
+  r.battery_discharged = joules(0.0);
+  r.fossil_energy = joules(0.0);
+  r.curtailed = joules(0.0);
+  double grid_carbon_g = 0.0;
+
+  double state_of_charge_j = 0.0;  // stored energy (post-charge-loss)
+  const double step_s = to_seconds(config.step);
+  const auto steps = static_cast<long>(to_seconds(config.horizon) / step_s);
+
+  for (long s = 0; s < steps; ++s) {
+    const Duration now = seconds(step_s * static_cast<double>(s));
+    const Energy load = config.datacenter_load * config.step;
+    r.load_energy += load;
+
+    const double availability = grid.carbon_free_availability(now);
+    const Energy renewable =
+        config.datacenter_load * config.procurement_ratio * availability *
+        config.step;
+
+    const double load_j = to_joules(load);
+    const double renewable_j = to_joules(renewable);
+    const double direct_j = std::min(load_j, renewable_j);
+    r.renewable_used_direct += joules(direct_j);
+
+    double deficit_j = load_j - direct_j;
+    double surplus_j = renewable_j - direct_j;
+
+    // Charge from surplus.
+    if (surplus_j > 0.0) {
+      const double charge_limit_j =
+          std::min(surplus_j, to_watts(config.battery.max_charge) * step_s);
+      const double room_j =
+          to_joules(config.battery.capacity) - state_of_charge_j;
+      const double accepted_j =
+          std::min(charge_limit_j * one_way_eff, std::max(room_j, 0.0));
+      state_of_charge_j += accepted_j;
+      const double drawn_j = accepted_j / one_way_eff;
+      r.curtailed += joules(surplus_j - drawn_j);
+    }
+
+    // Discharge into deficit.
+    if (deficit_j > 0.0 && state_of_charge_j > 0.0) {
+      const double discharge_limit_j =
+          std::min(state_of_charge_j,
+                   to_watts(config.battery.max_discharge) * step_s);
+      const double delivered_j =
+          std::min(deficit_j, discharge_limit_j * one_way_eff);
+      state_of_charge_j -= delivered_j / one_way_eff;
+      r.battery_discharged += joules(delivered_j);
+      deficit_j -= delivered_j;
+    }
+
+    // Residual deficit burns the fossil marginal mix.
+    if (deficit_j > 0.0) {
+      r.fossil_energy += joules(deficit_j);
+      grid_carbon_g += deficit_j * config.grid.profile.fossil_marginal.base();
+    }
+  }
+
+  r.cfe_coverage =
+      1.0 - to_joules(r.fossil_energy) / to_joules(r.load_energy);
+  r.grid_carbon = grams_co2e(grid_carbon_g);
+  const double capacity_kwh = to_kilowatt_hours(config.battery.capacity);
+  const CarbonMass battery_total =
+      config.battery.embodied_per_kwh * capacity_kwh;
+  r.battery_embodied_amortized =
+      battery_total * (config.horizon / config.battery.lifetime);
+  return r;
+}
+
+StorageSimResult simulate_without_storage(StorageSimConfig config) {
+  config.battery.capacity = joules(0.0);
+  return simulate_storage(config);
+}
+
+}  // namespace sustainai::datacenter

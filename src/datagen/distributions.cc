@@ -1,0 +1,119 @@
+#include "datagen/distributions.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::datagen {
+
+double inverse_normal_cdf(double p) {
+  check_arg(p > 0.0 && p < 1.0, "inverse_normal_cdf: p must be in (0, 1)");
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double LognormalSpec::quantile(double q) const {
+  return std::exp(mu + sigma * inverse_normal_cdf(q));
+}
+
+double LognormalSpec::cdf(double x) const {
+  check_arg(x > 0.0, "LognormalSpec::cdf: x must be positive");
+  return normal_cdf((std::log(x) - mu) / sigma);
+}
+
+double LognormalSpec::mean() const { return std::exp(mu + 0.5 * sigma * sigma); }
+
+double LognormalSpec::median() const { return std::exp(mu); }
+
+double LognormalSpec::sample(Rng& rng) const { return rng.lognormal(mu, sigma); }
+
+LognormalSpec lognormal_from_quantiles(double p1, double value_at_p1, double p2,
+                                       double value_at_p2) {
+  check_arg(p1 > 0.0 && p1 < p2 && p2 < 1.0,
+            "lognormal_from_quantiles: need 0 < p1 < p2 < 1");
+  check_arg(value_at_p1 > 0.0 && value_at_p1 < value_at_p2,
+            "lognormal_from_quantiles: need 0 < value_at_p1 < value_at_p2");
+  const double z1 = inverse_normal_cdf(p1);
+  const double z2 = inverse_normal_cdf(p2);
+  LognormalSpec spec;
+  spec.sigma = (std::log(value_at_p2) - std::log(value_at_p1)) / (z2 - z1);
+  spec.mu = std::log(value_at_p1) - spec.sigma * z1;
+  return spec;
+}
+
+double sample_gamma(Rng& rng, double shape, double scale) {
+  check_arg(shape > 0.0 && scale > 0.0,
+            "sample_gamma: shape and scale must be positive");
+  if (shape < 1.0) {
+    // Boosting: Gamma(a) = Gamma(a+1) * U^(1/a).
+    const double u = rng.uniform01();
+    return sample_gamma(rng, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) {
+      continue;
+    }
+    v = v * v * v;
+    const double u = rng.uniform01();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return scale * d * v;
+    }
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double BetaSpec::sample(Rng& rng) const {
+  const double x = sample_gamma(rng, alpha, 1.0);
+  const double y = sample_gamma(rng, beta, 1.0);
+  return x / (x + y);
+}
+
+BetaSpec beta_from_moments(double mean, double stddev) {
+  check_arg(mean > 0.0 && mean < 1.0, "beta_from_moments: mean must be in (0, 1)");
+  const double var = stddev * stddev;
+  check_arg(var > 0.0 && var < mean * (1.0 - mean),
+            "beta_from_moments: stddev infeasible for a Beta distribution");
+  const double common = mean * (1.0 - mean) / var - 1.0;
+  BetaSpec spec;
+  spec.alpha = mean * common;
+  spec.beta = (1.0 - mean) * common;
+  return spec;
+}
+
+}  // namespace sustainai::datagen

@@ -1,0 +1,61 @@
+// Distribution calibration from published summary statistics.
+//
+// The paper reports production workload statistics as quantiles (p50 = 1.5
+// GPU-days, p99 = 24 GPU-days, ...). A two-parameter lognormal is uniquely
+// determined by any two quantiles; these helpers solve for (mu, sigma) so
+// the simulators reproduce the published percentiles exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "datagen/rng.h"
+
+namespace sustainai::datagen {
+
+// Inverse standard-normal CDF (Acklam's rational approximation,
+// |relative error| < 1.15e-9 on (0, 1)).
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double x);
+
+// Lognormal parameters in log space.
+struct LognormalSpec {
+  double mu = 0.0;
+  double sigma = 1.0;
+
+  // Value of the q-th quantile (q in (0, 1)).
+  [[nodiscard]] double quantile(double q) const;
+  // CDF at x > 0.
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+
+  [[nodiscard]] double sample(Rng& rng) const;
+};
+
+// Solves for the lognormal matching two quantile constraints
+// (value_at_p1 at probability p1, value_at_p2 at probability p2).
+// Preconditions: 0 < p1 < p2 < 1 and 0 < value_at_p1 < value_at_p2.
+[[nodiscard]] LognormalSpec lognormal_from_quantiles(double p1, double value_at_p1,
+                                                     double p2, double value_at_p2);
+
+// A Beta(alpha, beta) sampler (used for utilization distributions whose
+// support is [0, 1]). Sampled via the Johnk/gamma method.
+struct BetaSpec {
+  double alpha = 1.0;
+  double beta = 1.0;
+
+  [[nodiscard]] double mean() const { return alpha / (alpha + beta); }
+  [[nodiscard]] double sample(Rng& rng) const;
+};
+
+// Solves Beta parameters from a target mean and standard deviation.
+// Preconditions: 0 < mean < 1 and stddev small enough to be feasible
+// (stddev^2 < mean * (1 - mean)).
+[[nodiscard]] BetaSpec beta_from_moments(double mean, double stddev);
+
+// Gamma(shape, scale) sampler (Marsaglia-Tsang); building block for Beta.
+[[nodiscard]] double sample_gamma(Rng& rng, double shape, double scale);
+
+}  // namespace sustainai::datagen

@@ -1,0 +1,102 @@
+#include "datagen/growth.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sustainai::datagen {
+
+std::vector<double> exponential_series(double initial, double factor_per_period,
+                                       int periods) {
+  check_arg(periods >= 0, "exponential_series: periods must be >= 0");
+  check_arg(factor_per_period > 0.0,
+            "exponential_series: growth factor must be positive");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(periods) + 1);
+  double v = initial;
+  for (int i = 0; i <= periods; ++i) {
+    out.push_back(v);
+    v *= factor_per_period;
+  }
+  return out;
+}
+
+std::vector<double> logistic_series(double capacity, double rate, double midpoint,
+                                    int periods) {
+  check_arg(periods >= 0, "logistic_series: periods must be >= 0");
+  check_arg(capacity > 0.0, "logistic_series: capacity must be positive");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(periods) + 1);
+  for (int i = 0; i <= periods; ++i) {
+    out.push_back(capacity / (1.0 + std::exp(-rate * (i - midpoint))));
+  }
+  return out;
+}
+
+std::vector<double> cumulative(const std::vector<double>& series) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  double sum = 0.0;
+  for (double v : series) {
+    sum += v;
+    out.push_back(sum);
+  }
+  return out;
+}
+
+double compound_growth_factor(double first, double last, int periods) {
+  check_arg(first > 0.0 && last > 0.0,
+            "compound_growth_factor: values must be positive");
+  check_arg(periods >= 1, "compound_growth_factor: periods must be >= 1");
+  return std::pow(last / first, 1.0 / periods);
+}
+
+double growth_multiple(const std::vector<double>& series) {
+  check_arg(series.size() >= 2, "growth_multiple: need at least two points");
+  check_arg(series.front() != 0.0, "growth_multiple: first value must be non-zero");
+  return series.back() / series.front();
+}
+
+double ExponentialFit::at(double x) const { return a * std::exp(b * x); }
+
+double ExponentialFit::doubling_time() const {
+  if (b <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::log(2.0) / b;
+}
+
+ExponentialFit fit_exponential(const std::vector<double>& x,
+                               const std::vector<double>& y) {
+  check_arg(x.size() == y.size(), "fit_exponential: size mismatch");
+  check_arg(x.size() >= 2, "fit_exponential: need at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    check_arg(y[i] > 0.0, "fit_exponential: all y must be positive");
+    const double ly = std::log(y[i]);
+    sx += x[i];
+    sy += ly;
+    sxx += x[i] * x[i];
+    sxy += x[i] * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  check_arg(denom != 0.0, "fit_exponential: x values are degenerate");
+  ExponentialFit fit;
+  fit.b = (n * sxy - sx * sy) / denom;
+  fit.a = std::exp((sy - fit.b * sx) / n);
+  // R^2 of log-linear regression.
+  const double ybar = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ly = std::log(y[i]);
+    const double pred = std::log(fit.a) + fit.b * x[i];
+    ss_res += (ly - pred) * (ly - pred);
+    ss_tot += (ly - ybar) * (ly - ybar);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace sustainai::datagen

@@ -1,0 +1,43 @@
+// Growth-curve generators and fitting (Figures 1, 2, 3c).
+//
+// The paper's growth narratives are compound-growth series (data 2.4x over
+// two years, capacity 2.9x over 18 months, arXiv paper counts, datacenter
+// electricity). These helpers generate and summarize such series.
+#pragma once
+
+#include <vector>
+
+namespace sustainai::datagen {
+
+// `initial * factor_per_period^i` for i in [0, periods].
+[[nodiscard]] std::vector<double> exponential_series(double initial,
+                                                     double factor_per_period,
+                                                     int periods);
+
+// Logistic (S-curve) series: capacity / (1 + exp(-rate * (i - midpoint))).
+[[nodiscard]] std::vector<double> logistic_series(double capacity, double rate,
+                                                  double midpoint, int periods);
+
+// Cumulative sum of a series (monthly counts -> cumulative counts, Fig 1).
+[[nodiscard]] std::vector<double> cumulative(const std::vector<double>& series);
+
+// Compound growth factor per period implied by first/last of a series.
+[[nodiscard]] double compound_growth_factor(double first, double last, int periods);
+
+// Overall growth multiple of a series (last / first).
+[[nodiscard]] double growth_multiple(const std::vector<double>& series);
+
+// Least-squares fit of y = a * exp(b * x) via log-linear regression.
+// Requires all y > 0 and at least two points.
+struct ExponentialFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;  // of the log-linear fit
+  [[nodiscard]] double at(double x) const;
+  // Doubling period implied by the fit (in x units); +inf if b <= 0.
+  [[nodiscard]] double doubling_time() const;
+};
+[[nodiscard]] ExponentialFit fit_exponential(const std::vector<double>& x,
+                                             const std::vector<double>& y);
+
+}  // namespace sustainai::datagen

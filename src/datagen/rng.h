@@ -1,0 +1,55 @@
+// Deterministic random number generation for all simulators.
+//
+// xoshiro256++ seeded via splitmix64: fast, high quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-reproducible across standard
+// library implementations, which the figure harnesses rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sustainai::datagen {
+
+// splitmix64 step; used for seeding and cheap stateless hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Box-Muller (caches the second variate).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Lognormal with the given log-space parameters.
+  double lognormal(double mu, double sigma);
+
+  // Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+  // Forks an independent stream (stable under call-order changes elsewhere).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sustainai::datagen

@@ -1,0 +1,100 @@
+#include "datagen/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sustainai::datagen {
+
+double mean(std::span<const double> values) {
+  check_arg(!values.empty(), "mean: empty input");
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  check_arg(!values.empty(), "variance: empty input");
+  const double m = mean(values);
+  double sum = 0.0;
+  for (double v : values) {
+    sum += (v - m) * (v - m);
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double min_value(std::span<const double> values) {
+  check_arg(!values.empty(), "min_value: empty input");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  check_arg(!values.empty(), "max_value: empty input");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double q) {
+  check_arg(!values.empty(), "percentile: empty input");
+  check_arg(q >= 0.0 && q <= 1.0, "percentile: q must be in [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(pos));
+  const auto upper = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - frac) + sorted[upper] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, int num_bins) : lo_(lo), hi_(hi) {
+  check_arg(lo < hi, "Histogram: lo must be < hi");
+  check_arg(num_bins >= 1, "Histogram: need at least one bin");
+  width_ = (hi - lo) / num_bins;
+  counts_.assign(static_cast<std::size_t>(num_bins), 0);
+}
+
+void Histogram::add(double value) {
+  int bin = static_cast<int>(std::floor((value - lo_) / width_));
+  bin = std::clamp(bin, 0, num_bins() - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) {
+    add(v);
+  }
+}
+
+double Histogram::fraction(int bin) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::mass_between(double lo, double hi) const {
+  double mass = 0.0;
+  for (int b = 0; b < num_bins(); ++b) {
+    if (bin_lo(b) >= lo && bin_hi(b) <= hi + 1e-12) {
+      mass += fraction(b);
+    }
+  }
+  return mass;
+}
+
+double Histogram::bin_lo(int bin) const { return lo_ + width_ * bin; }
+double Histogram::bin_hi(int bin) const { return lo_ + width_ * (bin + 1); }
+
+std::string Histogram::bin_label(int bin) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.3g, %.3g)", bin_lo(bin), bin_hi(bin));
+  return buf;
+}
+
+}  // namespace sustainai::datagen

@@ -1,0 +1,49 @@
+// Descriptive statistics and histograms for simulator outputs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sustainai::datagen {
+
+[[nodiscard]] double mean(std::span<const double> values);
+[[nodiscard]] double variance(std::span<const double> values);  // population
+[[nodiscard]] double stddev(std::span<const double> values);
+[[nodiscard]] double min_value(std::span<const double> values);
+[[nodiscard]] double max_value(std::span<const double> values);
+
+// q-th percentile via linear interpolation between order statistics
+// (the common "type 7" estimator). q in [0, 1]. values need not be sorted.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+// Fixed-width histogram over [lo, hi); values outside are clamped into the
+// first/last bin so that mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] int num_bins() const { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] std::size_t count(int bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  // Fraction of samples in `bin`, 0 if empty.
+  [[nodiscard]] double fraction(int bin) const;
+  // Fraction of mass whose value lies in [lo, hi) (sums covered bins).
+  [[nodiscard]] double mass_between(double lo, double hi) const;
+  [[nodiscard]] double bin_lo(int bin) const;
+  [[nodiscard]] double bin_hi(int bin) const;
+  [[nodiscard]] std::string bin_label(int bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sustainai::datagen

@@ -1,0 +1,42 @@
+#include "datagen/trace.h"
+
+#include "core/check.h"
+
+namespace sustainai::datagen {
+
+std::vector<Duration> poisson_arrivals(double rate_per_hour, Duration horizon,
+                                       Rng& rng) {
+  check_arg(rate_per_hour > 0.0, "poisson_arrivals: rate must be positive");
+  check_arg(to_seconds(horizon) >= 0.0, "poisson_arrivals: horizon must be >= 0");
+  std::vector<Duration> arrivals;
+  double t_hours = 0.0;
+  const double horizon_hours = to_hours(horizon);
+  for (;;) {
+    t_hours += rng.exponential(rate_per_hour);
+    if (t_hours >= horizon_hours) {
+      break;
+    }
+    arrivals.push_back(hours(t_hours));
+  }
+  return arrivals;
+}
+
+std::vector<Duration> poisson_arrivals_modulated(
+    const std::function<double(Duration)>& rate_at, double max_rate_per_hour,
+    Duration horizon, Rng& rng) {
+  check_arg(max_rate_per_hour > 0.0,
+            "poisson_arrivals_modulated: max rate must be positive");
+  std::vector<Duration> arrivals;
+  for (const Duration& candidate :
+       poisson_arrivals(max_rate_per_hour, horizon, rng)) {
+    const double rate = rate_at(candidate);
+    check_arg(rate >= 0.0 && rate <= max_rate_per_hour + 1e-9,
+              "poisson_arrivals_modulated: rate_at out of [0, max]");
+    if (rng.uniform01() < rate / max_rate_per_hour) {
+      arrivals.push_back(candidate);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace sustainai::datagen

@@ -1,0 +1,28 @@
+// Arrival-process generation for workload traces.
+//
+// Production job traces are closed; schedulers and fleet simulations are
+// driven instead by Poisson arrivals, optionally modulated by a diurnal
+// rate profile (thinning), which reproduces the day/night submission
+// pattern of research clusters.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/units.h"
+#include "datagen/rng.h"
+
+namespace sustainai::datagen {
+
+// Homogeneous Poisson arrivals over [0, horizon) at `rate_per_hour`.
+[[nodiscard]] std::vector<Duration> poisson_arrivals(double rate_per_hour,
+                                                     Duration horizon,
+                                                     Rng& rng);
+
+// Non-homogeneous Poisson via thinning: `rate_at(t)` must return the
+// instantaneous rate (per hour) and never exceed `max_rate_per_hour`.
+[[nodiscard]] std::vector<Duration> poisson_arrivals_modulated(
+    const std::function<double(Duration)>& rate_at, double max_rate_per_hour,
+    Duration horizon, Rng& rng);
+
+}  // namespace sustainai::datagen

@@ -1,0 +1,70 @@
+#include "fl/compression.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sustainai::fl {
+
+std::vector<CompressionScheme> canonical_schemes() {
+  return {
+      {"none", 1.0, 1.0, 1.0},
+      {"fp16-updates", 2.0, 1.0, 1.02},
+      {"qsgd-int8", 4.0, 1.0, 1.08},
+      {"powersgd-rank4", 16.0, 1.0, 1.20},
+      {"topk-1%", 50.0, 1.0, 1.60},
+  };
+}
+
+CompressedCampaignResult evaluate_compression(
+    const FlApplicationConfig& app, const Population::Config& population,
+    const CompressionScheme& scheme, const FlEstimatorAssumptions& assumptions) {
+  check_arg(scheme.upload_ratio >= 1.0 && scheme.download_ratio >= 1.0,
+            "evaluate_compression: ratios must be >= 1");
+  check_arg(scheme.rounds_factor >= 1.0,
+            "evaluate_compression: rounds factor must be >= 1");
+
+  // Stretch the campaign by the convergence penalty, shrink the payloads.
+  FlApplicationConfig compressed = app;
+  compressed.name = app.name + "/" + scheme.name;
+  compressed.campaign = app.campaign * scheme.rounds_factor;
+
+  const RoundSimulator sim(compressed, population);
+  const auto log = sim.run();
+
+  CompressedCampaignResult result;
+  result.scheme = scheme;
+  result.rounds = sim.total_rounds();
+  result.compute_energy = joules(0.0);
+  result.communication_energy = joules(0.0);
+  for (const ClientLogEntry& e : log) {
+    result.compute_energy += assumptions.device_power * e.compute_time;
+    // Comm time shrinks with the payload ratio.
+    const Duration comm = e.download_time / scheme.download_ratio +
+                          e.upload_time / scheme.upload_ratio;
+    result.communication_energy += assumptions.router_power * comm;
+  }
+  result.carbon = result.total_energy() * assumptions.grid.average;
+  return result;
+}
+
+CompressedCampaignResult best_scheme(
+    const FlApplicationConfig& app, const Population::Config& population,
+    const std::vector<CompressionScheme>& schemes,
+    const FlEstimatorAssumptions& assumptions) {
+  check_arg(!schemes.empty(), "best_scheme: need at least one scheme");
+  CompressedCampaignResult best;
+  double best_j = std::numeric_limits<double>::infinity();
+  for (const CompressionScheme& scheme : schemes) {
+    CompressedCampaignResult r =
+        evaluate_compression(app, population, scheme, assumptions);
+    if (to_joules(r.total_energy()) < best_j) {
+      best_j = to_joules(r.total_energy());
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+}  // namespace sustainai::fl

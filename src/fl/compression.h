@@ -1,0 +1,62 @@
+// Communication compression for federated learning (Section IV-B:
+// "reducing communication cost via compression" — QSGD/PowerSGD-class
+// schemes — and Appendix B's observation that "the wireless communication
+// energy cost takes up a significant portion of the overall energy
+// footprint of federated learning").
+//
+// A compression scheme shrinks the bytes exchanged per round but degrades
+// the update quality, requiring extra rounds to reach the same model
+// quality. The net edge energy is:
+//   rounds x extra_rounds_factor x (compute + comm / ratio_down,up)
+// — minimized at an interior compression level when communication is a
+// large share of the round energy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "fl/round_sim.h"
+
+namespace sustainai::fl {
+
+struct CompressionScheme {
+  std::string name = "none";
+  // Payload shrink factors (>= 1). Uplink updates compress harder than the
+  // downlink model in most schemes.
+  double upload_ratio = 1.0;
+  double download_ratio = 1.0;
+  // Convergence penalty: rounds needed relative to uncompressed training.
+  double rounds_factor = 1.0;
+};
+
+// Canonical schemes: none, fp16 updates, QSGD-style int8, PowerSGD-style
+// low-rank, and an aggressive top-k sparsifier.
+[[nodiscard]] std::vector<CompressionScheme> canonical_schemes();
+
+struct CompressedCampaignResult {
+  CompressionScheme scheme;
+  int rounds = 0;
+  Energy compute_energy;
+  Energy communication_energy;
+  CarbonMass carbon;
+  [[nodiscard]] Energy total_energy() const {
+    return compute_energy + communication_energy;
+  }
+};
+
+// Evaluates a baseline campaign (rounds at `app.rounds_per_day` over the
+// campaign window = the uncompressed round count) under `scheme`:
+// the payloads shrink, the round count grows by rounds_factor.
+[[nodiscard]] CompressedCampaignResult evaluate_compression(
+    const FlApplicationConfig& app, const Population::Config& population,
+    const CompressionScheme& scheme,
+    const FlEstimatorAssumptions& assumptions = default_fl_assumptions());
+
+// The scheme from `schemes` minimizing total campaign energy.
+[[nodiscard]] CompressedCampaignResult best_scheme(
+    const FlApplicationConfig& app, const Population::Config& population,
+    const std::vector<CompressionScheme>& schemes,
+    const FlEstimatorAssumptions& assumptions = default_fl_assumptions());
+
+}  // namespace sustainai::fl

@@ -1,0 +1,54 @@
+#include "fl/population.h"
+
+#include <numeric>
+
+#include "core/check.h"
+
+namespace sustainai::fl {
+namespace {
+
+Bandwidth from_mbps(double megabits_per_second) {
+  return bytes_per_second(megabits_per_second * 1e6 / 8.0);
+}
+
+}  // namespace
+
+Population::Population(Config config) : config_(config) {
+  check_arg(config_.num_clients >= 1, "Population: need >= 1 client");
+  check_arg(config_.dropout_probability >= 0.0 &&
+                config_.dropout_probability < 1.0,
+            "Population: dropout probability must be in [0, 1)");
+  datagen::Rng rng(config_.seed);
+  clients_.reserve(static_cast<std::size_t>(config_.num_clients));
+  for (int i = 0; i < config_.num_clients; ++i) {
+    ClientDevice c;
+    c.id = i;
+    c.compute_speed = rng.lognormal(0.0, config_.speed_sigma);
+    c.download = from_mbps(config_.median_download_mbps) *
+                 rng.lognormal(0.0, config_.bandwidth_sigma);
+    c.upload = from_mbps(config_.median_upload_mbps) *
+               rng.lognormal(0.0, config_.bandwidth_sigma);
+    c.dropout_probability = config_.dropout_probability;
+    clients_.push_back(c);
+  }
+}
+
+std::vector<const ClientDevice*> Population::sample_participants(
+    int k, datagen::Rng& rng) const {
+  check_arg(k >= 1 && k <= static_cast<int>(clients_.size()),
+            "sample_participants: k out of range");
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> idx(clients_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<const ClientDevice*> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int t = 0; t < k; ++t) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(t, static_cast<std::int64_t>(idx.size()) - 1));
+    std::swap(idx[static_cast<std::size_t>(t)], idx[pick]);
+    out.push_back(&clients_[idx[static_cast<std::size_t>(t)]]);
+  }
+  return out;
+}
+
+}  // namespace sustainai::fl

@@ -1,0 +1,55 @@
+// Heterogeneous client-device population for federated learning
+// (Section IV-C, Appendix B).
+//
+// "Model training on client edge devices is inherently less energy-
+// efficient because of the high wireless communication overheads ... large
+// degree of system heterogeneity among client edge devices." Clients vary
+// in compute speed and network bandwidth (lognormal spreads), and may drop
+// out of a round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/units.h"
+#include "datagen/rng.h"
+
+namespace sustainai::fl {
+
+struct ClientDevice {
+  int id = 0;
+  // Local-training speed relative to the reference device (higher = faster).
+  double compute_speed = 1.0;
+  Bandwidth download;
+  Bandwidth upload;
+  // Probability the client drops out mid-round (its work is wasted).
+  double dropout_probability = 0.05;
+};
+
+class Population {
+ public:
+  struct Config {
+    int num_clients = 10000;
+    double speed_sigma = 0.5;       // lognormal sigma of compute speed
+    double median_download_mbps = 8.0;  // megabits/s
+    double median_upload_mbps = 3.0;
+    double bandwidth_sigma = 0.7;
+    double dropout_probability = 0.05;
+    std::uint64_t seed = 17;
+  };
+
+  explicit Population(Config config);
+
+  [[nodiscard]] const std::vector<ClientDevice>& clients() const { return clients_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  // Uniformly samples `k` distinct participants for one round.
+  [[nodiscard]] std::vector<const ClientDevice*> sample_participants(
+      int k, datagen::Rng& rng) const;
+
+ private:
+  Config config_;
+  std::vector<ClientDevice> clients_;
+};
+
+}  // namespace sustainai::fl

@@ -1,0 +1,109 @@
+#include "fl/round_sim.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::fl {
+
+RoundSimulator::RoundSimulator(FlApplicationConfig app,
+                               Population::Config population)
+    : app_(std::move(app)), population_(population) {
+  check_arg(app_.clients_per_round >= 1 &&
+                app_.clients_per_round <= population.num_clients,
+            "RoundSimulator: clients_per_round out of range");
+  check_arg(app_.rounds_per_day > 0.0,
+            "RoundSimulator: rounds_per_day must be positive");
+}
+
+int RoundSimulator::total_rounds() const {
+  return static_cast<int>(std::floor(to_days(app_.campaign) * app_.rounds_per_day));
+}
+
+std::vector<ClientLogEntry> RoundSimulator::run() const {
+  datagen::Rng rng(app_.seed);
+  std::vector<ClientLogEntry> log;
+  const int rounds = total_rounds();
+  log.reserve(static_cast<std::size_t>(rounds) *
+              static_cast<std::size_t>(app_.clients_per_round));
+  for (int round = 0; round < rounds; ++round) {
+    const auto participants =
+        population_.sample_participants(app_.clients_per_round, rng);
+    for (const ClientDevice* client : participants) {
+      ClientLogEntry e;
+      e.client_id = client->id;
+      e.round = round;
+      e.download_time = app_.model_size / client->download;
+      e.upload_time = app_.model_size / client->upload;
+      e.compute_time = app_.reference_compute_time / client->compute_speed;
+      e.completed = !rng.bernoulli(client->dropout_probability);
+      if (!e.completed) {
+        // Dropouts quit at a uniformly random point of local training and
+        // never upload.
+        e.compute_time = e.compute_time * rng.uniform01();
+        e.upload_time = seconds(0.0);
+      }
+      log.push_back(e);
+    }
+  }
+  return log;
+}
+
+FlEstimatorAssumptions default_fl_assumptions() {
+  return FlEstimatorAssumptions{watts(3.0), watts(7.5), grids::us_average()};
+}
+
+double FlFootprint::communication_share() const {
+  const double total = to_joules(total_energy());
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return to_joules(communication_energy) / total;
+}
+
+FlFootprint estimate_footprint(const std::string& name,
+                               const std::vector<ClientLogEntry>& log,
+                               const FlEstimatorAssumptions& assumptions) {
+  FlFootprint fp;
+  fp.name = name;
+  fp.compute_energy = joules(0.0);
+  fp.communication_energy = joules(0.0);
+  fp.log_entries = log.size();
+  Energy wasted = joules(0.0);
+  for (const ClientLogEntry& e : log) {
+    const Energy compute = assumptions.device_power * e.compute_time;
+    const Energy comm =
+        assumptions.router_power * (e.download_time + e.upload_time);
+    fp.compute_energy += compute;
+    fp.communication_energy += comm;
+    if (!e.completed) {
+      wasted += compute + comm;
+    }
+  }
+  // The edge has no PUE multiplier; intensity is the residential grid's.
+  fp.carbon = fp.total_energy() * assumptions.grid.average;
+  const double total_j = to_joules(fp.total_energy());
+  fp.wasted_fraction = total_j > 0.0 ? to_joules(wasted) / total_j : 0.0;
+  return fp;
+}
+
+std::vector<CentralizedBaseline> figure11_baselines() {
+  // Strubell et al.: Transformer-Big on P100 consumed ~201 kWh.
+  const Energy p100_energy = kilowatt_hours(201.0);
+  const Energy tpu_energy = p100_energy / 4.6;  // domain-specific efficiency
+  const GridProfile cloud = grids::us_average();
+  const GridProfile green = grids::us_west_solar();  // renewable-heavy cloud
+  // Cloud training pays datacenter PUE (1.1); green variants additionally
+  // net 90% of energy against procured carbon-free supply.
+  auto emissions = [](Energy e, const GridProfile& grid, double cfe) {
+    return market_based(e * 1.1 * grid.average, cfe);
+  };
+  return {
+      {"P100-Base", p100_energy, emissions(p100_energy, cloud, 0.0)},
+      {"TPU-Base", tpu_energy, emissions(tpu_energy, cloud, 0.0)},
+      {"P100-Green", p100_energy, emissions(p100_energy, green, 0.9)},
+      {"TPU-Green", tpu_energy, emissions(tpu_energy, green, 0.9)},
+  };
+}
+
+}  // namespace sustainai::fl

@@ -1,0 +1,137 @@
+#include "fl/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/check.h"
+
+namespace sustainai::fl {
+namespace {
+
+// Predicted wall times for one client under an application config.
+struct ClientCost {
+  const ClientDevice* client = nullptr;
+  Duration compute;
+  Duration download;
+  Duration upload;
+
+  [[nodiscard]] Duration round_time() const {
+    return compute + download + upload;
+  }
+  [[nodiscard]] Energy energy(const FlEstimatorAssumptions& a) const {
+    return a.device_power * compute + a.router_power * (download + upload);
+  }
+};
+
+ClientCost cost_of(const ClientDevice& c, const FlApplicationConfig& app) {
+  ClientCost cost;
+  cost.client = &c;
+  cost.compute = app.reference_compute_time / c.compute_speed;
+  cost.download = app.model_size / c.download;
+  cost.upload = app.model_size / c.upload;
+  return cost;
+}
+
+}  // namespace
+
+const char* to_string(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kRandom:
+      return "random";
+    case SelectionPolicy::kFastCompute:
+      return "fast-compute";
+    case SelectionPolicy::kEnergyAware:
+      return "energy-aware";
+  }
+  return "unknown";
+}
+
+SelectionOutcome run_campaign(const SelectionCampaignConfig& config,
+                              SelectionPolicy policy) {
+  check_arg(config.candidate_oversampling >= 1.0,
+            "run_campaign: oversampling must be >= 1");
+  const Population population(config.population);
+  const FlApplicationConfig& app = config.app;
+  const int cohort = app.clients_per_round;
+  const int pool = std::min(
+      static_cast<int>(std::lround(cohort * config.candidate_oversampling)),
+      config.population.num_clients);
+  check_arg(pool >= cohort, "run_campaign: candidate pool smaller than cohort");
+
+  datagen::Rng rng(app.seed ^ 0xc11e47ULL);
+  const int rounds = static_cast<int>(
+      std::floor(to_days(app.campaign) * app.rounds_per_day));
+
+  std::vector<ClientLogEntry> log;
+  log.reserve(static_cast<std::size_t>(rounds) * cohort);
+  double round_time_sum_s = 0.0;
+  std::set<int> unique_clients;
+
+  for (int round = 0; round < rounds; ++round) {
+    const auto candidates = population.sample_participants(pool, rng);
+    std::vector<ClientCost> costs;
+    costs.reserve(candidates.size());
+    for (const ClientDevice* c : candidates) {
+      costs.push_back(cost_of(*c, app));
+    }
+    switch (policy) {
+      case SelectionPolicy::kRandom:
+        break;  // candidates are already a uniform draw; take the first K
+      case SelectionPolicy::kFastCompute:
+        std::partial_sort(costs.begin(), costs.begin() + cohort, costs.end(),
+                          [](const ClientCost& a, const ClientCost& b) {
+                            return to_seconds(a.round_time()) <
+                                   to_seconds(b.round_time());
+                          });
+        break;
+      case SelectionPolicy::kEnergyAware:
+        std::partial_sort(costs.begin(), costs.begin() + cohort, costs.end(),
+                          [&](const ClientCost& a, const ClientCost& b) {
+                            return to_joules(a.energy(config.assumptions)) <
+                                   to_joules(b.energy(config.assumptions));
+                          });
+        break;
+    }
+
+    double slowest_s = 0.0;
+    for (int k = 0; k < cohort; ++k) {
+      const ClientCost& c = costs[static_cast<std::size_t>(k)];
+      ClientLogEntry e;
+      e.client_id = c.client->id;
+      e.round = round;
+      e.compute_time = c.compute;
+      e.download_time = c.download;
+      e.upload_time = c.upload;
+      e.completed = !rng.bernoulli(c.client->dropout_probability);
+      if (!e.completed) {
+        e.compute_time = e.compute_time * rng.uniform01();
+        e.upload_time = seconds(0.0);
+      }
+      slowest_s = std::max(slowest_s, to_seconds(c.round_time()));
+      unique_clients.insert(c.client->id);
+      log.push_back(e);
+    }
+    round_time_sum_s += slowest_s;
+  }
+
+  SelectionOutcome outcome;
+  outcome.policy = policy;
+  outcome.footprint = estimate_footprint(
+      app.name + "/" + to_string(policy), log, config.assumptions);
+  outcome.mean_round_time =
+      seconds(rounds > 0 ? round_time_sum_s / rounds : 0.0);
+  outcome.unique_client_fraction =
+      static_cast<double>(unique_clients.size()) /
+      static_cast<double>(config.population.num_clients);
+  return outcome;
+}
+
+std::vector<SelectionOutcome> compare_policies(
+    const SelectionCampaignConfig& config) {
+  return {run_campaign(config, SelectionPolicy::kRandom),
+          run_campaign(config, SelectionPolicy::kFastCompute),
+          run_campaign(config, SelectionPolicy::kEnergyAware)};
+}
+
+}  // namespace sustainai::fl

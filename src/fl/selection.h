@@ -1,0 +1,52 @@
+// Heterogeneity- and energy-aware client selection for federated learning
+// (Section IV-C: "Optimizing the overall energy efficiency of FL and
+// on-device AI is an important first step", citing AutoFL-class work).
+//
+// Each round the server sees a candidate pool several times larger than
+// the cohort it needs and picks participants by policy. Random selection
+// is the baseline; compute-aware selection minimizes straggler-bound round
+// time; energy-aware selection minimizes the predicted per-client energy
+// (compute + communication).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fl/round_sim.h"
+
+namespace sustainai::fl {
+
+enum class SelectionPolicy {
+  kRandom,        // uniform over candidates (baseline)
+  kFastCompute,   // pick the fastest devices (straggler mitigation)
+  kEnergyAware,   // pick clients with the lowest predicted energy
+};
+
+[[nodiscard]] const char* to_string(SelectionPolicy policy);
+
+struct SelectionCampaignConfig {
+  FlApplicationConfig app;
+  Population::Config population;
+  // Candidate pool per round, as a multiple of clients_per_round.
+  double candidate_oversampling = 3.0;
+  FlEstimatorAssumptions assumptions = default_fl_assumptions();
+};
+
+struct SelectionOutcome {
+  SelectionPolicy policy = SelectionPolicy::kRandom;
+  FlFootprint footprint;
+  // Mean wall-clock round time (bounded by the slowest participant).
+  Duration mean_round_time;
+  // Mean number of distinct clients touched per round (fairness proxy).
+  double unique_client_fraction = 0.0;
+};
+
+// Runs the full campaign under one policy.
+[[nodiscard]] SelectionOutcome run_campaign(const SelectionCampaignConfig& config,
+                                            SelectionPolicy policy);
+
+// Runs all three policies on identical candidate draws.
+[[nodiscard]] std::vector<SelectionOutcome> compare_policies(
+    const SelectionCampaignConfig& config);
+
+}  // namespace sustainai::fl

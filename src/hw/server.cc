@@ -1,0 +1,68 @@
+#include "hw/server.h"
+
+#include "core/check.h"
+
+namespace sustainai::hw {
+
+ServerSku::ServerSku(std::string name, DeviceSpec host)
+    : name_(std::move(name)), host_(std::move(host)) {}
+
+ServerSku::ServerSku(std::string name, DeviceSpec host, DeviceSpec accelerator,
+                     int accelerator_count)
+    : name_(std::move(name)),
+      host_(std::move(host)),
+      accelerator_(std::move(accelerator)),
+      accelerator_count_(accelerator_count) {
+  check_arg(accelerator_count_ >= 0,
+            "ServerSku: accelerator_count must be >= 0");
+}
+
+Power ServerSku::power_at(double host_utilization,
+                          double accelerator_utilization) const {
+  Power p = host_.power_at(host_utilization);
+  if (accelerator_count_ > 0) {
+    p += accelerator_.power_at(accelerator_utilization) *
+         static_cast<double>(accelerator_count_);
+  }
+  return p;
+}
+
+Energy ServerSku::energy(double host_utilization, double accelerator_utilization,
+                         Duration time) const {
+  check_arg(to_seconds(time) >= 0.0, "ServerSku::energy: time must be >= 0");
+  return power_at(host_utilization, accelerator_utilization) * time;
+}
+
+CarbonMass ServerSku::embodied_total() const {
+  return host_.embodied +
+         accelerator_.embodied * static_cast<double>(accelerator_count_);
+}
+
+EmbodiedCarbonModel ServerSku::embodied_model(double average_utilization) const {
+  return EmbodiedCarbonModel(embodied_total(), host_.lifetime,
+                             average_utilization);
+}
+
+namespace skus {
+
+ServerSku web_tier() {
+  DeviceSpec host = catalog::cpu_server();
+  host.embodied = kg_co2e(kCpuSystemEmbodiedKg);
+  return ServerSku("web-tier", std::move(host));
+}
+
+ServerSku gpu_training_8x() {
+  // Host board/chassis carries the remaining 40% of the 2000 kg anchor.
+  DeviceSpec host = catalog::cpu_server();
+  host.embodied = kg_co2e(kGpuSystemEmbodiedKg * 0.4);
+  return ServerSku("gpu-training-8x", std::move(host), catalog::nvidia_v100(), 8);
+}
+
+ServerSku gpu_inference_2x() {
+  DeviceSpec host = catalog::cpu_server();
+  host.embodied = kg_co2e(kGpuSystemEmbodiedKg * 0.4);
+  return ServerSku("gpu-inference-2x", std::move(host), catalog::nvidia_a100(), 2);
+}
+
+}  // namespace skus
+}  // namespace sustainai::hw

@@ -1,0 +1,65 @@
+// Server SKU composition (Section III-C: Facebook customizes SKUs —
+// compute, memcached, storage tiers and ML accelerators).
+//
+// A ServerSku combines a CPU host with zero or more accelerators and
+// exposes whole-system power, energy, and embodied-carbon queries used by
+// the datacenter fleet simulator.
+#pragma once
+
+#include <string>
+
+#include "core/embodied.h"
+#include "core/units.h"
+#include "hw/spec.h"
+
+namespace sustainai::hw {
+
+class ServerSku {
+ public:
+  // Empty placeholder SKU (no host power, no accelerators); useful as a
+  // default member before a real SKU is assigned.
+  ServerSku() = default;
+  // CPU-only server.
+  explicit ServerSku(std::string name, DeviceSpec host);
+  // Accelerated server with `accelerator_count` identical accelerators.
+  ServerSku(std::string name, DeviceSpec host, DeviceSpec accelerator,
+            int accelerator_count);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const DeviceSpec& host() const { return host_; }
+  [[nodiscard]] const DeviceSpec& accelerator() const { return accelerator_; }
+  [[nodiscard]] int accelerator_count() const { return accelerator_count_; }
+  [[nodiscard]] bool is_accelerated() const { return accelerator_count_ > 0; }
+
+  // Whole-server power with separate host/accelerator utilizations.
+  [[nodiscard]] Power power_at(double host_utilization,
+                               double accelerator_utilization) const;
+  [[nodiscard]] Power idle_power() const { return power_at(0.0, 0.0); }
+  [[nodiscard]] Power peak_power() const { return power_at(1.0, 1.0); }
+
+  [[nodiscard]] Energy energy(double host_utilization,
+                              double accelerator_utilization,
+                              Duration time) const;
+
+  // Total manufacturing footprint of the server.
+  [[nodiscard]] CarbonMass embodied_total() const;
+
+  // Embodied model amortizing the whole server over the host lifetime at
+  // `average_utilization`.
+  [[nodiscard]] EmbodiedCarbonModel embodied_model(double average_utilization) const;
+
+ private:
+  std::string name_;
+  DeviceSpec host_;
+  DeviceSpec accelerator_;
+  int accelerator_count_ = 0;
+};
+
+// Canonical SKUs used by the fleet simulator.
+namespace skus {
+ServerSku web_tier();          // CPU-only front-end server
+ServerSku gpu_training_8x();   // 8x V100 training host (2000 kg class)
+ServerSku gpu_inference_2x();  // 2x accelerator inference host
+}  // namespace skus
+
+}  // namespace sustainai::hw

@@ -1,0 +1,96 @@
+#include "hw/spec.h"
+
+#include "core/check.h"
+#include "core/embodied.h"
+
+namespace sustainai::hw {
+
+const char* to_string(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kCpuServer:
+      return "cpu-server";
+    case DeviceClass::kGpu:
+      return "gpu";
+    case DeviceClass::kTpu:
+      return "tpu";
+    case DeviceClass::kEdgeDevice:
+      return "edge-device";
+    case DeviceClass::kRouter:
+      return "router";
+  }
+  return "unknown";
+}
+
+Power DeviceSpec::power_at(double utilization) const {
+  check_arg(utilization >= 0.0 && utilization <= 1.0,
+            "DeviceSpec::power_at: utilization must be in [0, 1]");
+  const Power idle = tdp * idle_fraction;
+  return idle + (tdp - idle) * utilization;
+}
+
+Energy DeviceSpec::energy(double utilization, Duration time) const {
+  check_arg(to_seconds(time) >= 0.0, "DeviceSpec::energy: time must be >= 0");
+  return power_at(utilization) * time;
+}
+
+namespace catalog {
+namespace {
+
+DeviceSpec make(std::string name, DeviceClass cls, double tdp_w,
+                double idle_fraction, double memory_gb, double tflops,
+                double embodied_kg, double lifetime_years) {
+  DeviceSpec d;
+  d.name = std::move(name);
+  d.device_class = cls;
+  d.tdp = watts(tdp_w);
+  d.idle_fraction = idle_fraction;
+  d.memory = gigabytes(memory_gb);
+  d.peak_tflops = tflops;
+  d.embodied = kg_co2e(embodied_kg);
+  d.lifetime = years(lifetime_years);
+  return d;
+}
+
+}  // namespace
+
+// Per-accelerator embodied share. The paper anchors a "GPU-based AI
+// training system" to the Apple Mac Pro LCA: one 28-core CPU host with
+// *dual* GPUs at 2000 kg CO2e. Attributing ~40% to the host board/chassis
+// leaves 600 kg per accelerator slice. This anchoring is what produces the
+// paper's ~30/70 embodied/operational split (Figure 5) under the 30-60%
+// fleet-utilization and 3-5 year lifetime assumptions.
+constexpr double kAcceleratorEmbodiedKg = 2000.0 * 0.6 / 2.0;  // = 600 kg
+
+DeviceSpec nvidia_p100() {
+  return make("nvidia-p100", DeviceClass::kGpu, 250.0, 0.30, 16.0, 9.3,
+              kAcceleratorEmbodiedKg, 4.0);
+}
+DeviceSpec nvidia_v100() {
+  return make("nvidia-v100", DeviceClass::kGpu, 300.0, 0.30, 32.0, 15.7,
+              kAcceleratorEmbodiedKg, 4.0);
+}
+DeviceSpec nvidia_a100() {
+  return make("nvidia-a100", DeviceClass::kGpu, 400.0, 0.28, 80.0, 19.5,
+              kAcceleratorEmbodiedKg, 4.0);
+}
+DeviceSpec tpu_like() {
+  return make("tpu-like", DeviceClass::kTpu, 283.0, 0.25, 32.0, 22.0,
+              kAcceleratorEmbodiedKg, 4.0);
+}
+DeviceSpec cpu_server() {
+  return make("cpu-server-28c", DeviceClass::kCpuServer, 400.0, 0.35, 256.0, 3.0,
+              kCpuSystemEmbodiedKg, 4.0);
+}
+DeviceSpec edge_device() {
+  // Appendix B: device power assumed 3 W; client-device manufacturing is
+  // ~74% of its total footprint (Section IV-C), anchored at ~60 kg total.
+  return make("edge-device", DeviceClass::kEdgeDevice, 3.0, 0.10, 6.0, 0.01,
+              60.0 * 0.74, 3.0);
+}
+DeviceSpec wifi_router() {
+  return make("wifi-router", DeviceClass::kRouter, 7.5, 0.90, 0.5, 0.0, 20.0,
+              5.0);
+}
+
+}  // namespace catalog
+}  // namespace sustainai::hw

@@ -1,0 +1,56 @@
+// Hardware catalog: device specifications used throughout the simulators.
+//
+// TDP / memory / peak-compute values come from public spec sheets; embodied
+// (manufacturing) footprints follow the paper's anchoring (Section III-A):
+// a GPU-based training system ~ Apple Mac Pro LCA (2000 kg CO2e), a
+// CPU-only server half of that. Edge-device constants (3 W device, 7.5 W
+// router) follow the federated-learning methodology in Appendix B.
+#pragma once
+
+#include <string>
+
+#include "core/units.h"
+
+namespace sustainai::hw {
+
+enum class DeviceClass {
+  kCpuServer,
+  kGpu,
+  kTpu,
+  kEdgeDevice,
+  kRouter,
+};
+
+[[nodiscard]] const char* to_string(DeviceClass cls);
+
+// One device (or device slice) with a power/compute/embodied profile.
+struct DeviceSpec {
+  std::string name;
+  DeviceClass device_class = DeviceClass::kGpu;
+  Power tdp;                   // board/system power at full load
+  double idle_fraction = 0.3;  // idle power as a fraction of TDP
+  DataSize memory;             // on-device memory capacity
+  double peak_tflops = 0.0;    // dense fp32 peak
+  CarbonMass embodied;         // manufacturing footprint of this unit
+  Duration lifetime = years(4.0);
+
+  // Instantaneous power at `utilization` in [0,1]:
+  // idle + (tdp - idle) * utilization.
+  [[nodiscard]] Power power_at(double utilization) const;
+
+  // Energy to run at `utilization` for `time`.
+  [[nodiscard]] Energy energy(double utilization, Duration time) const;
+};
+
+// Catalog entries (public spec-sheet values).
+namespace catalog {
+DeviceSpec nvidia_p100();   // 250 W, 16 GB, 9.3 TF
+DeviceSpec nvidia_v100();   // 300 W, 32 GB, 15.7 TF
+DeviceSpec nvidia_a100();   // 400 W, 80 GB, 19.5 TF
+DeviceSpec tpu_like();      // 283 W, 32 GB domain-specific accelerator
+DeviceSpec cpu_server();    // dual-socket 28-core class host, 400 W
+DeviceSpec edge_device();   // 3 W smartphone-class client (Appendix B)
+DeviceSpec wifi_router();   // 7.5 W home router (Appendix B)
+}  // namespace catalog
+
+}  // namespace sustainai::hw

@@ -1,0 +1,157 @@
+#include "hw/technology.h"
+
+#include "core/check.h"
+
+namespace sustainai::hw {
+
+const char* to_string(MemoryTech tech) {
+  switch (tech) {
+    case MemoryTech::kDdr3:
+      return "ddr3";
+    case MemoryTech::kDdr4:
+      return "ddr4";
+    case MemoryTech::kDdr5:
+      return "ddr5";
+    case MemoryTech::kHbm2:
+      return "hbm2";
+  }
+  return "unknown";
+}
+
+const char* to_string(StorageTech tech) {
+  switch (tech) {
+    case StorageTech::kHdd:
+      return "hdd";
+    case StorageTech::kTlcNand:
+      return "tlc-nand";
+    case StorageTech::kQlcNand:
+      return "qlc-nand";
+  }
+  return "unknown";
+}
+
+const char* to_string(LogicNode node) {
+  switch (node) {
+    case LogicNode::k28nm:
+      return "28nm";
+    case LogicNode::k14nm:
+      return "14nm";
+    case LogicNode::k7nm:
+      return "7nm";
+    case LogicNode::k5nm:
+      return "5nm";
+  }
+  return "unknown";
+}
+
+CarbonMass memory_embodied_per_gb(MemoryTech tech) {
+  switch (tech) {
+    case MemoryTech::kDdr3:
+      return kg_co2e(0.85);
+    case MemoryTech::kDdr4:
+      return kg_co2e(0.45);
+    case MemoryTech::kDdr5:
+      return kg_co2e(0.30);
+    case MemoryTech::kHbm2:
+      return kg_co2e(0.55);  // stacking + TSV overhead over DDR5-class dies
+  }
+  return kg_co2e(0.45);
+}
+
+CarbonMass storage_embodied_per_gb(StorageTech tech) {
+  switch (tech) {
+    case StorageTech::kHdd:
+      return kg_co2e(0.004);  // ~4 kg per TB
+    case StorageTech::kTlcNand:
+      return kg_co2e(0.10);
+    case StorageTech::kQlcNand:
+      return kg_co2e(0.06);
+  }
+  return kg_co2e(0.06);
+}
+
+CarbonMass logic_embodied_per_cm2(LogicNode node) {
+  switch (node) {
+    case LogicNode::k28nm:
+      return kg_co2e(0.8);
+    case LogicNode::k14nm:
+      return kg_co2e(1.0);
+    case LogicNode::k7nm:
+      return kg_co2e(1.5);
+    case LogicNode::k5nm:
+      return kg_co2e(1.9);
+  }
+  return kg_co2e(1.0);
+}
+
+CarbonMass memory_embodied(MemoryTech tech, DataSize capacity) {
+  check_arg(to_bytes(capacity) >= 0.0, "memory_embodied: capacity must be >= 0");
+  return memory_embodied_per_gb(tech) * to_gigabytes(capacity);
+}
+
+CarbonMass storage_embodied(StorageTech tech, DataSize capacity) {
+  check_arg(to_bytes(capacity) >= 0.0, "storage_embodied: capacity must be >= 0");
+  return storage_embodied_per_gb(tech) * to_gigabytes(capacity);
+}
+
+CarbonMass logic_embodied(LogicNode node, double die_area_cm2) {
+  check_arg(die_area_cm2 >= 0.0, "logic_embodied: die area must be >= 0");
+  return logic_embodied_per_cm2(node) * die_area_cm2;
+}
+
+ServerBom& ServerBom::add_logic(std::string name, LogicNode node,
+                                double die_area_cm2, int count) {
+  check_arg(count >= 1, "ServerBom::add_logic: count must be >= 1");
+  items_.push_back(
+      {std::move(name), logic_embodied(node, die_area_cm2) * count});
+  return *this;
+}
+
+ServerBom& ServerBom::add_memory(std::string name, MemoryTech tech,
+                                 DataSize capacity) {
+  items_.push_back({std::move(name), memory_embodied(tech, capacity)});
+  return *this;
+}
+
+ServerBom& ServerBom::add_storage(std::string name, StorageTech tech,
+                                  DataSize capacity) {
+  items_.push_back({std::move(name), storage_embodied(tech, capacity)});
+  return *this;
+}
+
+ServerBom& ServerBom::add_fixed(std::string name, CarbonMass footprint) {
+  check_arg(to_grams_co2e(footprint) >= 0.0,
+            "ServerBom::add_fixed: footprint must be >= 0");
+  items_.push_back({std::move(name), footprint});
+  return *this;
+}
+
+CarbonMass ServerBom::total() const {
+  CarbonMass sum = grams_co2e(0.0);
+  for (const Item& item : items_) {
+    sum += item.footprint;
+  }
+  return sum;
+}
+
+ServerBom legacy_cpu_server_bom() {
+  ServerBom bom;
+  bom.add_logic("2x 28nm cpu", LogicNode::k28nm, 6.0, 2)
+      .add_memory("256 GB ddr3", MemoryTech::kDdr3, gigabytes(256.0))
+      .add_storage("8 TB hdd", StorageTech::kHdd, terabytes(8.0))
+      .add_fixed("chassis/psu/mainboard", kg_co2e(550.0));
+  return bom;
+}
+
+ServerBom modern_training_node_bom() {
+  ServerBom bom;
+  bom.add_logic("2x 7nm cpu", LogicNode::k7nm, 4.0, 2)
+      .add_logic("8x 7nm accelerator", LogicNode::k7nm, 8.0, 8)
+      .add_memory("512 GB ddr4", MemoryTech::kDdr4, gigabytes(512.0))
+      .add_memory("8x 32 GB hbm2", MemoryTech::kHbm2, gigabytes(256.0))
+      .add_storage("16 TB tlc-nand", StorageTech::kTlcNand, terabytes(16.0))
+      .add_fixed("chassis/psu/mainboard/nvlink", kg_co2e(800.0));
+  return bom;
+}
+
+}  // namespace sustainai::hw

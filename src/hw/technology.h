@@ -1,0 +1,70 @@
+// Per-technology embodied-carbon intensities (Section IV-C).
+//
+// "The environmental footprint characteristics of processors over the
+// generations of CMOS technologies, DDRx and HBM memory technologies,
+// SSD/NAND-flash/HDD storage technologies can be orders-of-magnitude
+// different. Thus, designing AI systems with the least environmental
+// impact requires explicit consideration of environmental footprint
+// characteristics at the design time."
+//
+// Intensities are approximate public LCA values (semiconductor fab LCAs,
+// "Chasing Carbon"-class studies); the load-bearing property is the
+// *relative* ordering across technologies, which spans two orders of
+// magnitude between DRAM and HDD per byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+
+namespace sustainai::hw {
+
+enum class MemoryTech { kDdr3, kDdr4, kDdr5, kHbm2 };
+enum class StorageTech { kHdd, kTlcNand, kQlcNand };
+enum class LogicNode { k28nm, k14nm, k7nm, k5nm };
+
+[[nodiscard]] const char* to_string(MemoryTech tech);
+[[nodiscard]] const char* to_string(StorageTech tech);
+[[nodiscard]] const char* to_string(LogicNode node);
+
+// Manufacturing carbon per GB of capacity.
+[[nodiscard]] CarbonMass memory_embodied_per_gb(MemoryTech tech);
+[[nodiscard]] CarbonMass storage_embodied_per_gb(StorageTech tech);
+// Manufacturing carbon per cm^2 of logic die (newer nodes: more litho
+// steps, more energy per wafer).
+[[nodiscard]] CarbonMass logic_embodied_per_cm2(LogicNode node);
+
+[[nodiscard]] CarbonMass memory_embodied(MemoryTech tech, DataSize capacity);
+[[nodiscard]] CarbonMass storage_embodied(StorageTech tech, DataSize capacity);
+[[nodiscard]] CarbonMass logic_embodied(LogicNode node, double die_area_cm2);
+
+// A server bill of materials assembled from technology choices; computes
+// the total manufacturing footprint so design-time what-ifs (DDR4 vs HBM,
+// flash vs disk, node shrink) can be costed.
+class ServerBom {
+ public:
+  ServerBom& add_logic(std::string name, LogicNode node, double die_area_cm2,
+                       int count = 1);
+  ServerBom& add_memory(std::string name, MemoryTech tech, DataSize capacity);
+  ServerBom& add_storage(std::string name, StorageTech tech, DataSize capacity);
+  // Chassis/PSU/mainboard and assembly overhead.
+  ServerBom& add_fixed(std::string name, CarbonMass footprint);
+
+  struct Item {
+    std::string name;
+    CarbonMass footprint;
+  };
+  [[nodiscard]] const std::vector<Item>& items() const { return items_; }
+  [[nodiscard]] CarbonMass total() const;
+
+ private:
+  std::vector<Item> items_;
+};
+
+// Reference BOMs: an HDD-era CPU server vs a flash + HBM accelerator node,
+// illustrating how technology choice moves the embodied total.
+[[nodiscard]] ServerBom legacy_cpu_server_bom();
+[[nodiscard]] ServerBom modern_training_node_bom();
+
+}  // namespace sustainai::hw

@@ -1,0 +1,124 @@
+#include "mlcycle/carbon_budget.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+namespace {
+
+void validate(const std::vector<ExperimentProposal>& proposals,
+              CarbonMass budget) {
+  check_arg(to_grams_co2e(budget) >= 0.0, "allocate: budget must be >= 0");
+  for (const ExperimentProposal& p : proposals) {
+    check_arg(to_grams_co2e(p.footprint) > 0.0,
+              "allocate: proposal '" + p.name + "' needs a positive footprint");
+    check_arg(p.expected_value >= 0.0,
+              "allocate: proposal '" + p.name + "' needs non-negative value");
+  }
+}
+
+// Density-sorted index order.
+std::vector<std::size_t> density_order(
+    const std::vector<ExperimentProposal>& proposals) {
+  std::vector<std::size_t> order(proposals.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return proposals[a].expected_value / to_grams_co2e(proposals[a].footprint) >
+           proposals[b].expected_value / to_grams_co2e(proposals[b].footprint);
+  });
+  return order;
+}
+
+}  // namespace
+
+BudgetAllocation allocate_greedy(const std::vector<ExperimentProposal>& proposals,
+                                 CarbonMass budget) {
+  validate(proposals, budget);
+  BudgetAllocation out;
+  out.total_footprint = grams_co2e(0.0);
+  double remaining = to_grams_co2e(budget);
+  for (std::size_t idx : density_order(proposals)) {
+    const double cost = to_grams_co2e(proposals[idx].footprint);
+    if (cost <= remaining) {
+      remaining -= cost;
+      out.selected.push_back(idx);
+      out.total_value += proposals[idx].expected_value;
+      out.total_footprint += proposals[idx].footprint;
+    }
+  }
+  std::sort(out.selected.begin(), out.selected.end());
+  return out;
+}
+
+namespace {
+
+// Branch-and-bound state over density-sorted items.
+struct Solver {
+  const std::vector<ExperimentProposal>& proposals;
+  const std::vector<std::size_t>& order;
+  double best_value = 0.0;
+  std::vector<std::size_t> best_set;
+  std::vector<std::size_t> current;
+
+  // Fractional-relaxation upper bound from position `pos` with `remaining`
+  // budget and `value` accumulated.
+  [[nodiscard]] double upper_bound(std::size_t pos, double remaining,
+                                   double value) const {
+    for (std::size_t k = pos; k < order.size(); ++k) {
+      const ExperimentProposal& p = proposals[order[k]];
+      const double cost = to_grams_co2e(p.footprint);
+      if (cost <= remaining) {
+        remaining -= cost;
+        value += p.expected_value;
+      } else {
+        return value + p.expected_value * (remaining / cost);
+      }
+    }
+    return value;
+  }
+
+  void search(std::size_t pos, double remaining, double value) {
+    if (value > best_value) {
+      best_value = value;
+      best_set = current;
+    }
+    if (pos >= order.size()) {
+      return;
+    }
+    if (upper_bound(pos, remaining, value) <= best_value + 1e-12) {
+      return;  // cannot beat the incumbent
+    }
+    const ExperimentProposal& p = proposals[order[pos]];
+    const double cost = to_grams_co2e(p.footprint);
+    if (cost <= remaining) {  // include
+      current.push_back(order[pos]);
+      search(pos + 1, remaining - cost, value + p.expected_value);
+      current.pop_back();
+    }
+    search(pos + 1, remaining, value);  // exclude
+  }
+};
+
+}  // namespace
+
+BudgetAllocation allocate_optimal(const std::vector<ExperimentProposal>& proposals,
+                                  CarbonMass budget) {
+  validate(proposals, budget);
+  const std::vector<std::size_t> order = density_order(proposals);
+  Solver solver{proposals, order};
+  solver.search(0, to_grams_co2e(budget), 0.0);
+
+  BudgetAllocation out;
+  out.total_footprint = grams_co2e(0.0);
+  out.selected = solver.best_set;
+  std::sort(out.selected.begin(), out.selected.end());
+  for (std::size_t idx : out.selected) {
+    out.total_value += proposals[idx].expected_value;
+    out.total_footprint += proposals[idx].footprint;
+  }
+  return out;
+}
+
+}  // namespace sustainai::mlcycle

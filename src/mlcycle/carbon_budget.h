@@ -1,0 +1,41 @@
+// Carbon-budgeted experiment selection (Section IV's sustainability
+// mindset: "we must achieve competitive model accuracy at a fixed or even
+// reduced computational and environmental cost").
+//
+// Given a team's carbon budget for a planning period and a slate of
+// proposed experiments (expected research value, estimated footprint), the
+// allocator selects what to run. Greedy by value density is the classic
+// knapsack heuristic; exact selection via dynamic programming over
+// discretized budget units is provided for comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+
+namespace sustainai::mlcycle {
+
+struct ExperimentProposal {
+  std::string name;
+  double expected_value = 1.0;  // research value (arbitrary units)
+  CarbonMass footprint;         // estimated carbon to run
+};
+
+struct BudgetAllocation {
+  std::vector<std::size_t> selected;  // indices into the proposal slate
+  double total_value = 0.0;
+  CarbonMass total_footprint;
+};
+
+// Greedy by value / footprint density; skips items that no longer fit.
+[[nodiscard]] BudgetAllocation allocate_greedy(
+    const std::vector<ExperimentProposal>& proposals, CarbonMass budget);
+
+// Exact 0/1 knapsack via branch-and-bound with a fractional upper bound.
+// Intended for slates of tens of proposals (worst case exponential, but
+// pruning makes typical slates instantaneous).
+[[nodiscard]] BudgetAllocation allocate_optimal(
+    const std::vector<ExperimentProposal>& proposals, CarbonMass budget);
+
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,41 @@
+#include "mlcycle/data_pipeline.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+
+DataPipeline::DataPipeline(Config config) : config_(config) {
+  check_arg(to_bytes(config_.stored) >= 0.0,
+            "DataPipeline: stored size must be >= 0");
+  check_arg(to_bytes_per_second(config_.ingestion) >= 0.0,
+            "DataPipeline: ingestion bandwidth must be >= 0");
+}
+
+Power DataPipeline::storage_power() const {
+  const double petabytes_stored = to_bytes(config_.stored) / 1e15;
+  return config_.storage_power_per_pb * petabytes_stored;
+}
+
+Energy DataPipeline::ingestion_energy_over(Duration window) const {
+  check_arg(to_seconds(window) >= 0.0,
+            "ingestion_energy_over: window must be >= 0");
+  const DataSize moved = config_.ingestion * window;
+  return config_.ingestion_energy_per_gb * (to_bytes(moved) / 1e9);
+}
+
+Energy DataPipeline::energy_over(Duration window) const {
+  return storage_power() * window + ingestion_energy_over(window);
+}
+
+DataPipeline DataPipeline::scaled(double data_factor) const {
+  check_arg(data_factor > 0.0, "DataPipeline::scaled: factor must be positive");
+  Config scaled_config = config_;
+  scaled_config.stored = config_.stored * data_factor;
+  scaled_config.ingestion =
+      config_.ingestion * std::pow(data_factor, kBandwidthGrowthExponent);
+  return DataPipeline(scaled_config);
+}
+
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,53 @@
+// Data storage and ingestion pipeline (Sections I, II; Figures 2b, 3b).
+//
+// "The amount of training data ... has increased by 2.4x ... reaching
+// exabyte scale. The increase in data size has led to a 3.2x increase in
+// data ingestion bandwidth demand. Data storage and the ingestion pipeline
+// accounts for a significant portion of the infrastructure and power
+// capacity compared to ML training."
+#pragma once
+
+#include "core/units.h"
+
+namespace sustainai::mlcycle {
+
+class DataPipeline {
+ public:
+  struct Config {
+    DataSize stored = petabytes(100.0);
+    Bandwidth ingestion = gigabytes_per_second(10.0);
+    // Storage-tier wall power per petabyte stored (drives + storage servers
+    // + replication overhead).
+    Power storage_power_per_pb = kilowatts(1.2);
+    // IT energy to read + decode + preprocess one GB through the ingestion
+    // and feature-extraction pipeline.
+    Energy ingestion_energy_per_gb = joules(25e3);
+  };
+
+  explicit DataPipeline(Config config);
+
+  // Constant power of keeping the dataset stored.
+  [[nodiscard]] Power storage_power() const;
+
+  // Energy of ingesting at the configured bandwidth for `window`.
+  [[nodiscard]] Energy ingestion_energy_over(Duration window) const;
+
+  // Storage + ingestion IT energy over `window`.
+  [[nodiscard]] Energy energy_over(Duration window) const;
+
+  // Pipeline after scaling the dataset by `data_factor`: storage scales with
+  // size; ingestion bandwidth demand grows super-linearly with data (richer
+  // features are re-read more often), with the paper's observed exponent
+  // (2.4x data -> 3.2x bandwidth ==> exponent ~ 1.33).
+  [[nodiscard]] DataPipeline scaled(double data_factor) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  // Exponent relating bandwidth growth to data growth: 3.2 = 2.4^e.
+  static constexpr double kBandwidthGrowthExponent = 1.3288;
+
+ private:
+  Config config_;
+};
+
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,85 @@
+#include "mlcycle/disaggregation.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+
+Energy PipelineThroughput::energy_for_samples(double samples) const {
+  check_arg(samples >= 0.0, "energy_for_samples: samples must be >= 0");
+  if (samples_per_s <= 0.0) {
+    return joules(0.0);
+  }
+  const Duration time = seconds(samples / samples_per_s);
+  return total_power * time;
+}
+
+PipelineThroughput coupled_pipeline(const TrainingPipelineConfig& config) {
+  check_arg(config.num_trainers >= 1, "coupled_pipeline: need >= 1 trainer");
+  check_arg(config.coupled_ingest_samples_per_s > 0.0 &&
+                config.trainer_peak_samples_per_s > 0.0,
+            "coupled_pipeline: rates must be positive");
+  PipelineThroughput out;
+  const double per_trainer = std::min(config.trainer_peak_samples_per_s,
+                                      config.coupled_ingest_samples_per_s);
+  out.samples_per_s = per_trainer * config.num_trainers;
+  out.trainer_hosts = config.num_trainers;
+  out.reader_hosts = 0;
+  out.total_power = config.trainer_power * static_cast<double>(config.num_trainers);
+  out.total_embodied =
+      config.trainer_embodied * static_cast<double>(config.num_trainers);
+  return out;
+}
+
+PipelineThroughput disaggregated_pipeline(const TrainingPipelineConfig& config) {
+  check_arg(config.num_trainers >= 1, "disaggregated_pipeline: need >= 1 trainer");
+  check_arg(config.reader_samples_per_s > 0.0,
+            "disaggregated_pipeline: reader rate must be positive");
+  PipelineThroughput out;
+  const double demand =
+      config.trainer_peak_samples_per_s * config.num_trainers;
+  const int readers =
+      static_cast<int>(std::ceil(demand / config.reader_samples_per_s));
+  out.samples_per_s = demand;
+  out.trainer_hosts = config.num_trainers;
+  out.reader_hosts = readers;
+  out.total_power =
+      config.trainer_power * static_cast<double>(config.num_trainers) +
+      config.reader_power * static_cast<double>(readers);
+  out.total_embodied =
+      config.trainer_embodied * static_cast<double>(config.num_trainers) +
+      config.reader_embodied * static_cast<double>(readers);
+  return out;
+}
+
+double expected_wasted_fraction(const CheckpointConfig& config) {
+  check_arg(config.failure_rate_per_hour >= 0.0,
+            "expected_wasted_fraction: failure rate must be >= 0");
+  check_arg(to_seconds(config.checkpoint_interval) > 0.0,
+            "expected_wasted_fraction: interval must be positive");
+  check_arg(config.num_hosts >= 1,
+            "expected_wasted_fraction: need >= 1 host");
+  const double system_rate_per_hour =
+      config.failure_rate_per_hour * config.num_hosts;
+  const double interval_h = to_hours(config.checkpoint_interval);
+  const double cost_h = to_hours(config.checkpoint_cost);
+  // Per interval: checkpoint cost, plus on failure (prob ~ rate * interval)
+  // an average of half the interval is recomputed.
+  const double failures_per_interval = system_rate_per_hour * interval_h;
+  const double lost_h = cost_h + failures_per_interval * interval_h / 2.0;
+  return lost_h / (interval_h + lost_h);
+}
+
+Duration young_daly_interval(const CheckpointConfig& config) {
+  check_arg(config.failure_rate_per_hour > 0.0,
+            "young_daly_interval: failure rate must be positive");
+  const double system_rate_per_hour =
+      config.failure_rate_per_hour * config.num_hosts;
+  const double mtbf_h = 1.0 / system_rate_per_hour;
+  const double interval_h =
+      std::sqrt(2.0 * to_hours(config.checkpoint_cost) * mtbf_h);
+  return hours(interval_h);
+}
+
+}  // namespace sustainai::mlcycle

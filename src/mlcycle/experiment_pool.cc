@@ -1,0 +1,61 @@
+#include "mlcycle/experiment_pool.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+
+ExperimentPool::ExperimentPool(Config config)
+    : config_(config),
+      size_dist_(datagen::lognormal_from_quantiles(0.50, config.p50_gpu_days,
+                                                   0.99, config.p99_gpu_days)),
+      util_dist_(datagen::beta_from_moments(config.utilization_mean,
+                                            config.utilization_stddev)) {
+  check_arg(config_.large_scale_probability >= 0.0 &&
+                config_.large_scale_probability <= 1.0,
+            "ExperimentPool: large_scale_probability must be in [0, 1]");
+  check_arg(config_.large_scale_min_gpu_days <= config_.large_scale_max_gpu_days,
+            "ExperimentPool: large-scale GPU-day range is inverted");
+}
+
+GpuJob ExperimentPool::sample(datagen::Rng& rng) const {
+  GpuJob job;
+  if (rng.bernoulli(config_.large_scale_probability)) {
+    job.gpu_days = rng.uniform(config_.large_scale_min_gpu_days,
+                               config_.large_scale_max_gpu_days);
+    job.num_devices = 512;  // large-scale runs are heavily parallel
+  } else {
+    job.gpu_days = size_dist_.sample(rng);
+    job.num_devices = std::max(1, static_cast<int>(job.gpu_days / 2.0));
+  }
+  job.utilization = std::clamp(util_dist_.sample(rng), 0.01, 1.0);
+  return job;
+}
+
+std::vector<GpuJob> ExperimentPool::sample_pool(int n) const {
+  check_arg(n >= 0, "ExperimentPool::sample_pool: n must be >= 0");
+  datagen::Rng rng(config_.seed);
+  std::vector<GpuJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    GpuJob job = sample(rng);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "exp-%06d", i);
+    job.id = buf;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+Energy ExperimentPool::total_energy(const std::vector<GpuJob>& jobs,
+                                    const hw::DeviceSpec& device) {
+  Energy sum = joules(0.0);
+  for (const GpuJob& job : jobs) {
+    sum += job.energy(device);
+  }
+  return sum;
+}
+
+}  // namespace sustainai::mlcycle

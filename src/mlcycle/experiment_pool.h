@@ -1,0 +1,64 @@
+// The research-cluster experimentation pool (Section II-A, Figure 10).
+//
+// "Within Facebook's ML research cluster, 50% (p50) of ML training
+// experiments take up to 1.5 GPU days while 99% (p99) of the experiments
+// complete within 24 GPU days. There are a number of large-scale, trillion
+// parameter models which require over 500 GPU days."
+//
+// The pool draws job sizes from a lognormal calibrated to those quantiles,
+// mixed with a rare heavy tail for trillion-parameter runs, and utilizations
+// from a Beta distribution whose bulk sits at 30-50% (Figure 10).
+#pragma once
+
+#include <vector>
+
+#include "datagen/distributions.h"
+#include "datagen/rng.h"
+#include "hw/spec.h"
+#include "mlcycle/job.h"
+
+namespace sustainai::mlcycle {
+
+class ExperimentPool {
+ public:
+  struct Config {
+    // Published quantiles of experiment cost.
+    double p50_gpu_days = 1.5;
+    double p99_gpu_days = 24.0;
+    // Heavy tail: probability that a workflow is a large-scale run, and its
+    // GPU-day range (uniform).
+    double large_scale_probability = 0.001;
+    double large_scale_min_gpu_days = 500.0;
+    double large_scale_max_gpu_days = 1500.0;
+    // GPU utilization (Figure 10): bulk in 30-50%.
+    double utilization_mean = 0.42;
+    double utilization_stddev = 0.13;
+    std::uint64_t seed = 2022;
+  };
+
+  explicit ExperimentPool(Config config);
+
+  // Samples one experimentation workflow.
+  [[nodiscard]] GpuJob sample(datagen::Rng& rng) const;
+
+  // Samples `n` workflows from the pool's own seeded stream.
+  [[nodiscard]] std::vector<GpuJob> sample_pool(int n) const;
+
+  // Aggregate IT energy of a set of workflows on `device`.
+  [[nodiscard]] static Energy total_energy(const std::vector<GpuJob>& jobs,
+                                           const hw::DeviceSpec& device);
+
+  [[nodiscard]] const datagen::LognormalSpec& size_distribution() const {
+    return size_dist_;
+  }
+  [[nodiscard]] const datagen::BetaSpec& utilization_distribution() const {
+    return util_dist_;
+  }
+
+ private:
+  Config config_;
+  datagen::LognormalSpec size_dist_;
+  datagen::BetaSpec util_dist_;
+};
+
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,59 @@
+#include "mlcycle/inference_serving.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+
+InferenceService::InferenceService(Config config) : config_(std::move(config)) {
+  check_arg(config_.predictions_per_day >= 0.0,
+            "InferenceService: predictions_per_day must be >= 0");
+  check_arg(config_.peak_to_average >= 1.0,
+            "InferenceService: peak_to_average must be >= 1");
+  check_arg(config_.max_server_utilization > 0.0 &&
+                config_.max_server_utilization <= 1.0,
+            "InferenceService: max_server_utilization must be in (0, 1]");
+  check_arg(config_.server_peak_qps > 0.0,
+            "InferenceService: server_peak_qps must be positive");
+}
+
+int InferenceService::servers_required() const {
+  const double average_qps = config_.predictions_per_day / kSecondsPerDay;
+  const double peak_qps = average_qps * config_.peak_to_average;
+  const double capacity_per_server =
+      config_.server_peak_qps * config_.max_server_utilization;
+  return static_cast<int>(std::ceil(peak_qps / capacity_per_server));
+}
+
+double InferenceService::average_utilization() const {
+  const int servers = servers_required();
+  if (servers == 0) {
+    return 0.0;
+  }
+  const double average_qps = config_.predictions_per_day / kSecondsPerDay;
+  return average_qps / (servers * config_.server_peak_qps);
+}
+
+Energy InferenceService::energy_over(Duration window) const {
+  check_arg(to_seconds(window) >= 0.0, "energy_over: window must be >= 0");
+  const int servers = servers_required();
+  // Idle floor of the provisioned fleet.
+  const Energy idle =
+      config_.sku.idle_power() * window * static_cast<double>(servers);
+  // Dynamic energy proportional to predictions served.
+  const double predictions =
+      config_.predictions_per_day * to_days(window);
+  const Energy dynamic = config_.energy_per_prediction * predictions;
+  return idle + dynamic;
+}
+
+Energy InferenceService::effective_energy_per_prediction() const {
+  const double predictions_per_day = config_.predictions_per_day;
+  if (predictions_per_day <= 0.0) {
+    return joules(0.0);
+  }
+  return energy_over(days(1.0)) / predictions_per_day;
+}
+
+}  // namespace sustainai::mlcycle

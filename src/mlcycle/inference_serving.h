@@ -1,0 +1,52 @@
+// Inference serving model (Section II-A: "trillions of daily predictions").
+//
+// Serving is tail-latency-bounded: a server is provisioned for peak QPS and
+// cannot run at 100% utilization. Given per-prediction compute cost and
+// traffic, the model derives the serving fleet size, energy, and per-
+// prediction energy — the quantities behind the Inference bars of
+// Figures 3 and 4.
+#pragma once
+
+#include "core/units.h"
+#include "hw/server.h"
+
+namespace sustainai::mlcycle {
+
+class InferenceService {
+ public:
+  struct Config {
+    double predictions_per_day = 1e12;
+    // Per-prediction IT energy on the serving SKU at full utilization.
+    Energy energy_per_prediction = joules(1e-3);
+    // Peak-hour traffic relative to daily average (diurnal peaking).
+    double peak_to_average = 1.5;
+    // Latency headroom: servers are sized so peak load uses this fraction
+    // of their throughput.
+    double max_server_utilization = 0.6;
+    hw::ServerSku sku = hw::skus::gpu_inference_2x();
+    // Predictions per second one fully-busy server sustains.
+    double server_peak_qps = 20000.0;
+  };
+
+  explicit InferenceService(Config config);
+
+  // Servers needed to serve peak traffic within the latency headroom.
+  [[nodiscard]] int servers_required() const;
+
+  // Average serving-fleet utilization implied by mean traffic.
+  [[nodiscard]] double average_utilization() const;
+
+  // IT energy over `window` (dynamic per-prediction energy + idle floor of
+  // the provisioned fleet).
+  [[nodiscard]] Energy energy_over(Duration window) const;
+
+  // Effective IT energy per prediction including the idle floor.
+  [[nodiscard]] Energy effective_energy_per_prediction() const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,19 @@
+#include "mlcycle/job.h"
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+
+Duration GpuJob::wall_clock() const {
+  check_arg(num_devices >= 1, "GpuJob: num_devices must be >= 1");
+  return days(gpu_days / static_cast<double>(num_devices));
+}
+
+Duration GpuJob::device_time() const { return days(gpu_days); }
+
+Energy GpuJob::energy(const hw::DeviceSpec& device) const {
+  check_arg(gpu_days >= 0.0, "GpuJob: gpu_days must be >= 0");
+  return device.power_at(utilization) * device_time();
+}
+
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,31 @@
+// Training-job primitives.
+//
+// The paper measures workloads in GPU-days (Section II-A): a job's compute
+// demand is `gpu_days`, executed on `num_devices` identical accelerators at
+// some average utilization. Energy follows from the device power model.
+#pragma once
+
+#include <string>
+
+#include "core/units.h"
+#include "hw/spec.h"
+
+namespace sustainai::mlcycle {
+
+struct GpuJob {
+  std::string id;
+  double gpu_days = 0.0;       // device-days of occupancy
+  int num_devices = 1;         // devices used concurrently
+  double utilization = 0.5;    // average device utilization while running
+
+  // Wall-clock duration on `num_devices` devices.
+  [[nodiscard]] Duration wall_clock() const;
+
+  // Total device-occupancy time (gpu_days as a Duration).
+  [[nodiscard]] Duration device_time() const;
+
+  // IT energy on `device` (all devices, full run).
+  [[nodiscard]] Energy energy(const hw::DeviceSpec& device) const;
+};
+
+}  // namespace sustainai::mlcycle

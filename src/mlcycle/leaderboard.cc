@@ -1,0 +1,84 @@
+#include "mlcycle/leaderboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+#include "optim/pareto.h"
+
+namespace sustainai::mlcycle {
+
+const char* to_string(Ranking ranking) {
+  switch (ranking) {
+    case Ranking::kQualityOnly:
+      return "quality-only";
+    case Ranking::kEnergyOnly:
+      return "energy-only";
+    case Ranking::kQualityPerMwh:
+      return "quality-per-mwh";
+  }
+  return "unknown";
+}
+
+void Leaderboard::submit(Submission submission) {
+  check_arg(!submission.name.empty(), "Leaderboard: submission needs a name");
+  check_arg(to_joules(submission.energy_to_result) > 0.0,
+            "Leaderboard: energy-to-result must be positive");
+  submissions_.push_back(std::move(submission));
+}
+
+double Leaderboard::score(const Submission& s, Ranking ranking) const {
+  switch (ranking) {
+    case Ranking::kQualityOnly:
+      return s.quality;
+    case Ranking::kEnergyOnly:
+      return -to_joules(s.energy_to_result);
+    case Ranking::kQualityPerMwh:
+      return s.quality / to_megawatt_hours(s.energy_to_result);
+  }
+  return 0.0;
+}
+
+std::vector<std::size_t> Leaderboard::rank(Ranking ranking) const {
+  std::vector<std::size_t> order(submissions_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return score(submissions_[a], ranking) > score(submissions_[b], ranking);
+  });
+  return order;
+}
+
+double Leaderboard::ranking_disagreement(Ranking a, Ranking b) const {
+  check_arg(submissions_.size() >= 2,
+            "ranking_disagreement: need at least two submissions");
+  const auto ra = rank(a);
+  const auto rb = rank(b);
+  const std::size_t n = submissions_.size();
+  // Position of each submission under each ranking.
+  std::vector<std::size_t> pos_a(n);
+  std::vector<std::size_t> pos_b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos_a[ra[i]] = i;
+    pos_b[rb[i]] = i;
+  }
+  double footrule = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    footrule += std::fabs(static_cast<double>(pos_a[s]) -
+                          static_cast<double>(pos_b[s]));
+  }
+  // Max footrule is floor(n^2 / 2).
+  const double max_footrule = std::floor(static_cast<double>(n) * n / 2.0);
+  return footrule / max_footrule;
+}
+
+std::vector<std::size_t> Leaderboard::pareto_entries() const {
+  std::vector<optim::ObjectivePoint> points;
+  points.reserve(submissions_.size());
+  for (const Submission& s : submissions_) {
+    points.push_back({to_joules(s.energy_to_result), s.quality, s.name});
+  }
+  return optim::pareto_frontier(points);
+}
+
+}  // namespace sustainai::mlcycle

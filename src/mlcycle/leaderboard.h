@@ -1,0 +1,61 @@
+// Efficiency-aware leaderboards (Section V-A).
+//
+// "In addition to incorporating an efficiency measure as part of leader
+// boards for various ML tasks ... The MLPerf benchmark standards can
+// advance the field of AI in an environmentally-competitive manner by
+// enabling the measurement of energy and/or carbon footprint."
+//
+// A leaderboard holds submissions with quality and measured
+// energy-to-result; it ranks them by quality alone (today's practice), by
+// energy alone, and by quality-per-energy efficiency score — quantifying
+// how much the podium changes once efficiency counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+
+namespace sustainai::mlcycle {
+
+struct Submission {
+  std::string name;
+  double quality = 0.0;        // accuracy / BLEU / AUC...
+  Energy energy_to_result;     // measured energy to reach that quality
+  Duration time_to_result;
+};
+
+enum class Ranking {
+  kQualityOnly,     // today's leaderboards
+  kEnergyOnly,      // fastest-to-green
+  kQualityPerMwh,   // efficiency score: quality per MWh
+};
+
+[[nodiscard]] const char* to_string(Ranking ranking);
+
+class Leaderboard {
+ public:
+  void submit(Submission submission);
+
+  [[nodiscard]] const std::vector<Submission>& submissions() const {
+    return submissions_;
+  }
+
+  // Indices into submissions(), best first, under the given ranking.
+  [[nodiscard]] std::vector<std::size_t> rank(Ranking ranking) const;
+
+  // Spearman footrule distance between two rankings, normalized to [0, 1]:
+  // 0 = identical order, 1 = maximal displacement. Measures how much
+  // adding efficiency reshuffles the board.
+  [[nodiscard]] double ranking_disagreement(Ranking a, Ranking b) const;
+
+  // Submissions on the quality-vs-energy Pareto frontier (ascending energy).
+  [[nodiscard]] std::vector<std::size_t> pareto_entries() const;
+
+ private:
+  [[nodiscard]] double score(const Submission& s, Ranking ranking) const;
+
+  std::vector<Submission> submissions_;
+};
+
+}  // namespace sustainai::mlcycle

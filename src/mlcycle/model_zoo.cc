@@ -1,0 +1,194 @@
+#include "mlcycle/model_zoo.h"
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+
+Energy AccountingContext::energy_of_gpu_days(double gpu_days) const {
+  check_arg(gpu_days >= 0.0, "energy_of_gpu_days: gpu_days must be >= 0");
+  return device.power_at(device_utilization) * days(gpu_days);
+}
+
+CarbonMass AccountingContext::operational_carbon_of_gpu_days(double gpu_days) const {
+  return operational.location_based(energy_of_gpu_days(gpu_days));
+}
+
+CarbonMass AccountingContext::embodied_carbon_of_gpu_days(double gpu_days) const {
+  const EmbodiedCarbonModel model(device.embodied, device.lifetime,
+                                  embodied_utilization);
+  return model.attribute(days(gpu_days));
+}
+
+double AccountingContext::gpu_days_for_operational_carbon(CarbonMass target) const {
+  const CarbonMass per_day = operational_carbon_of_gpu_days(1.0);
+  check_arg(to_grams_co2e(per_day) > 0.0,
+            "gpu_days_for_operational_carbon: zero per-day carbon");
+  return target / per_day;
+}
+
+AccountingContext default_accounting() {
+  return AccountingContext{
+      OperationalCarbonModel(kHyperscalePue, grids::us_average(),
+                             /*cfe_coverage=*/1.0),
+      hw::catalog::nvidia_v100(),
+      /*device_utilization=*/0.5,
+      /*embodied_utilization=*/0.45,
+      /*analysis_window=*/days(90.0)};
+}
+
+const char* to_string(OpCategory category) {
+  switch (category) {
+    case OpCategory::kOfflineTraining:
+      return "offline-training";
+    case OpCategory::kOnlineTraining:
+      return "online-training";
+    case OpCategory::kInference:
+      return "inference";
+  }
+  return "unknown";
+}
+
+double ProductionModel::category_gpu_days(OpCategory category) const {
+  switch (category) {
+    case OpCategory::kOfflineTraining:
+      return experimentation_gpu_days + offline_training_gpu_days;
+    case OpCategory::kOnlineTraining:
+      return online_training_gpu_days;
+    case OpCategory::kInference:
+      return inference_gpu_days;
+  }
+  return 0.0;
+}
+
+CarbonMass ProductionModel::operational_carbon(OpCategory category,
+                                               const AccountingContext& ctx) const {
+  return ctx.operational_carbon_of_gpu_days(category_gpu_days(category));
+}
+
+CarbonMass ProductionModel::training_carbon(const AccountingContext& ctx) const {
+  return operational_carbon(OpCategory::kOfflineTraining, ctx) +
+         operational_carbon(OpCategory::kOnlineTraining, ctx);
+}
+
+CarbonMass ProductionModel::inference_carbon(const AccountingContext& ctx) const {
+  return operational_carbon(OpCategory::kInference, ctx);
+}
+
+LifecycleFootprint ProductionModel::footprint(const AccountingContext& ctx) const {
+  LifecycleFootprint fp;
+  auto add = [&](Phase phase, double gpu_days) {
+    PhaseFootprint f{};
+    f.energy = ctx.energy_of_gpu_days(gpu_days);
+    f.operational = ctx.operational_carbon_of_gpu_days(gpu_days);
+    f.embodied = ctx.embodied_carbon_of_gpu_days(gpu_days);
+    fp.add(phase, f);
+  };
+  add(Phase::kDataProcessing, data_gpu_days);
+  add(Phase::kExperimentation, experimentation_gpu_days);
+  add(Phase::kTraining, offline_training_gpu_days + online_training_gpu_days);
+  add(Phase::kInference, inference_gpu_days);
+  return fp;
+}
+
+std::vector<ProductionModel> production_models(const AccountingContext& ctx) {
+  // Carbon targets in tCO2e (location-based operational), read off Figure 4
+  // and chosen so every published aggregate constraint holds; see header.
+  struct Target {
+    const char* name;
+    const char* description;
+    double params_b;
+    double embedding_fraction;
+    RetrainCadence cadence;
+    double offline_t;    // experimentation + offline training
+    double online_t;     // online (recurring) training
+    double inference_t;  // serving over the analysis window
+    double data_t;       // storage + ingestion share
+  };
+  // Average training (offline+online) across the six models:
+  // (136 + 226 + 191 + 157 + 200 + 131) / 6 = 173.5 t
+  //   = 1.8 x Meena (96.4 t)  and  ~ GPT-3 (552.1 t) / 3.
+  static constexpr Target kTargets[] = {
+      {"LM", "Transformer-based universal language model (XLM-R class)", 0.55,
+       0.0, RetrainCadence::kWeekly, 136.0, 0.0, 252.6, 25.0},
+      {"RM1", "event-prediction recommendation/ranking model", 12.0, 0.97,
+       RetrainCadence::kDaily, 113.0, 113.0, 240.0, 186.0},
+      {"RM2", "feed ranking model", 10.0, 0.96, RetrainCadence::kHourly, 95.5,
+       95.5, 185.0, 150.0},
+      {"RM3", "ads ranking model", 5.0, 0.95, RetrainCadence::kDaily, 87.0,
+       70.0, 165.0, 120.0},
+      {"RM4", "large-scale retrieval model", 8.0, 0.96, RetrainCadence::kWeekly,
+       110.0, 90.0, 210.0, 140.0},
+      {"RM5", "integrity/content-understanding ranking model", 2.0, 0.95,
+       RetrainCadence::kDaily, 70.0, 61.0, 124.0, 90.0},
+  };
+
+  std::vector<ProductionModel> models;
+  models.reserve(std::size(kTargets));
+  for (const Target& t : kTargets) {
+    ProductionModel m;
+    m.name = t.name;
+    m.description = t.description;
+    m.params_billions = t.params_b;
+    m.embedding_fraction = t.embedding_fraction;
+    m.cadence = t.cadence;
+    const double offline_days =
+        ctx.gpu_days_for_operational_carbon(tonnes_co2e(t.offline_t));
+    // Fleet power capacity splits 10:20 between Experimentation and
+    // Training (Figure 3a), so 1/3 of the offline budget is experimentation.
+    m.experimentation_gpu_days = offline_days / 3.0;
+    m.offline_training_gpu_days = offline_days * 2.0 / 3.0;
+    m.online_training_gpu_days =
+        ctx.gpu_days_for_operational_carbon(tonnes_co2e(t.online_t));
+    m.inference_gpu_days =
+        ctx.gpu_days_for_operational_carbon(tonnes_co2e(t.inference_t));
+    m.data_gpu_days =
+        ctx.gpu_days_for_operational_carbon(tonnes_co2e(t.data_t));
+    models.push_back(std::move(m));
+  }
+  return models;
+}
+
+const ProductionModel& find_model(const std::vector<ProductionModel>& models,
+                                  const std::string& name) {
+  for (const ProductionModel& m : models) {
+    if (m.name == name) {
+      return m;
+    }
+  }
+  check_arg(false, "find_model: unknown model '" + name + "'");
+  return models.front();  // unreachable
+}
+
+std::vector<OssModel> oss_models() {
+  auto make = [](std::string name, double params_b, double mwh, double tonnes,
+                 std::string source) {
+    OssModel m;
+    m.name = std::move(name);
+    m.params_billions = params_b;
+    m.training_energy = megawatt_hours(mwh);
+    m.training_carbon = tonnes_co2e(tonnes);
+    m.source = std::move(source);
+    return m;
+  };
+  return {
+      make("BERT-NAS", 0.11, 656.3, 284.0, "Strubell et al. 2019"),
+      make("T5", 11.0, 85.7, 46.7, "Patterson et al. 2021"),
+      make("Meena", 2.6, 232.0, 96.4, "Patterson et al. 2021"),
+      make("GShard-600B", 600.0, 24.1, 4.3, "Patterson et al. 2021"),
+      make("Switch Transformer", 1500.0, 179.0, 59.1, "Patterson et al. 2021"),
+      make("GPT-3", 175.0, 1287.0, 552.1, "Patterson et al. 2021"),
+  };
+}
+
+const OssModel& find_oss_model(const std::string& name) {
+  static const std::vector<OssModel> kModels = oss_models();
+  for (const OssModel& m : kModels) {
+    if (m.name == name) {
+      return m;
+    }
+  }
+  check_arg(false, "find_oss_model: unknown model '" + name + "'");
+  return kModels.front();  // unreachable
+}
+
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,71 @@
+#include "mlcycle/reliability.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+
+double AgingModel::sdc_rate_at(Duration age) const {
+  check_arg(to_seconds(age) >= 0.0, "sdc_rate_at: age must be >= 0");
+  return base_sdc_rate_per_year *
+         std::exp(wearout_growth_per_year * to_years(age));
+}
+
+double AgingModel::expected_sdc_events(Duration lifetime) const {
+  check_arg(to_seconds(lifetime) >= 0.0,
+            "expected_sdc_events: lifetime must be >= 0");
+  const double t = to_years(lifetime);
+  if (wearout_growth_per_year == 0.0) {
+    return base_sdc_rate_per_year * t;
+  }
+  // Integral of base * exp(g * a) da over [0, t].
+  return base_sdc_rate_per_year *
+         (std::exp(wearout_growth_per_year * t) - 1.0) /
+         wearout_growth_per_year;
+}
+
+CarbonMass annualized_carbon(const ReplacementPolicyConfig& config,
+                             Duration replacement_age) {
+  check_arg(to_seconds(replacement_age) > 0.0,
+            "annualized_carbon: replacement age must be positive");
+  const double age_years = to_years(replacement_age);
+  const CarbonMass embodied_per_year = config.embodied / age_years;
+  const double events_per_year =
+      config.aging.expected_sdc_events(replacement_age) / age_years;
+  return embodied_per_year + config.carbon_per_sdc_event * events_per_year;
+}
+
+Duration optimal_replacement_age(const ReplacementPolicyConfig& config,
+                                 Duration min_age, Duration max_age,
+                                 Duration step) {
+  check_arg(to_seconds(min_age) > 0.0 &&
+                to_seconds(min_age) <= to_seconds(max_age),
+            "optimal_replacement_age: invalid age range");
+  check_arg(to_seconds(step) > 0.0,
+            "optimal_replacement_age: step must be positive");
+  Duration best = min_age;
+  double best_g = std::numeric_limits<double>::infinity();
+  for (double a = to_seconds(min_age); a <= to_seconds(max_age);
+       a += to_seconds(step)) {
+    const double g = to_grams_co2e(annualized_carbon(config, seconds(a)));
+    if (g < best_g) {
+      best_g = g;
+      best = seconds(a);
+    }
+  }
+  return best;
+}
+
+Duration optimal_age_with_detection(const ReplacementPolicyConfig& config,
+                                    double detection_coverage) {
+  check_arg(detection_coverage >= 0.0 && detection_coverage < 1.0,
+            "optimal_age_with_detection: coverage must be in [0, 1)");
+  ReplacementPolicyConfig covered = config;
+  covered.carbon_per_sdc_event =
+      config.carbon_per_sdc_event * (1.0 - detection_coverage);
+  return optimal_replacement_age(covered);
+}
+
+}  // namespace sustainai::mlcycle

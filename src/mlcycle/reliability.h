@@ -1,0 +1,64 @@
+// Hardware aging, silent data corruption, and lifetime extension
+// (Appendix B: "Fault-Tolerant AI Systems and Hardware").
+//
+// "One way to amortize the rising embodied carbon cost of AI
+// infrastructures is to extend hardware lifetime. However, hardware ages —
+// depending on the wear-out characteristics, increasingly more errors can
+// surface over time and result in silent data corruption, leading to
+// erroneous computation, model accuracy degradation ... Decommissioning an
+// AI system entirely because of hardware faults is expensive from the
+// perspective of resource and environmental footprints."
+//
+// Model: per-server SDC hazard grows exponentially with age (classic
+// wear-out tail of the bathtub curve). Each corruption event silently
+// poisons a training workflow, which must be rerun — burning operational
+// carbon. Replacing hardware at age A costs embodied/A per year. The sum
+// has an interior optimum: the carbon-optimal replacement age.
+#pragma once
+
+#include "core/units.h"
+
+namespace sustainai::mlcycle {
+
+struct AgingModel {
+  // SDC events per server-year when new.
+  double base_sdc_rate_per_year = 0.02;
+  // Exponential hazard growth per year of age.
+  double wearout_growth_per_year = 0.8;
+
+  // Instantaneous SDC rate at `age`.
+  [[nodiscard]] double sdc_rate_at(Duration age) const;
+  // Expected SDC events over a service life of `lifetime` (hazard integral).
+  [[nodiscard]] double expected_sdc_events(Duration lifetime) const;
+};
+
+struct ReplacementPolicyConfig {
+  AgingModel aging;
+  // Manufacturing footprint paid per replacement.
+  CarbonMass embodied = kg_co2e(5600.0);  // 8-GPU training host
+  // Operational carbon wasted per SDC event (rerun of the poisoned
+  // training workflow).
+  CarbonMass carbon_per_sdc_event = kg_co2e(300.0);
+};
+
+// Average carbon per service-year if servers are replaced at `replacement_age`:
+//   embodied / age  +  sdc_events(age)/age * carbon_per_event.
+// (Steady operational carbon is age-independent and omitted.)
+[[nodiscard]] CarbonMass annualized_carbon(const ReplacementPolicyConfig& config,
+                                           Duration replacement_age);
+
+// Grid search for the carbon-optimal replacement age in
+// [min_age, max_age] at `step` resolution.
+[[nodiscard]] Duration optimal_replacement_age(const ReplacementPolicyConfig& config,
+                                               Duration min_age = years(1.0),
+                                               Duration max_age = years(12.0),
+                                               Duration step = days(30.0));
+
+// Algorithmic fault tolerance (Appendix B): a detection mechanism catches
+// a fraction of corruptions before they poison a full run, reducing the
+// per-event cost. Returns the new optimal age — detection lets hardware
+// live longer.
+[[nodiscard]] Duration optimal_age_with_detection(
+    const ReplacementPolicyConfig& config, double detection_coverage);
+
+}  // namespace sustainai::mlcycle

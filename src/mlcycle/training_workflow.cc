@@ -1,0 +1,83 @@
+#include "mlcycle/training_workflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sustainai::mlcycle {
+
+const char* to_string(RetrainCadence cadence) {
+  switch (cadence) {
+    case RetrainCadence::kHourly:
+      return "hourly";
+    case RetrainCadence::kDaily:
+      return "daily";
+    case RetrainCadence::kWeekly:
+      return "weekly";
+    case RetrainCadence::kMonthly:
+      return "monthly";
+  }
+  return "unknown";
+}
+
+Duration retrain_interval(RetrainCadence cadence) {
+  switch (cadence) {
+    case RetrainCadence::kHourly:
+      return hours(1.0);
+    case RetrainCadence::kDaily:
+      return days(1.0);
+    case RetrainCadence::kWeekly:
+      return days(7.0);
+    case RetrainCadence::kMonthly:
+      return days(30.0);
+  }
+  return days(7.0);
+}
+
+int retrain_count(RetrainCadence cadence, Duration window) {
+  check_arg(to_seconds(window) >= 0.0, "retrain_count: window must be >= 0");
+  const double runs = to_seconds(window) / to_seconds(retrain_interval(cadence));
+  return 1 + static_cast<int>(std::floor(runs));
+}
+
+ProductionTraining::ProductionTraining(Config config)
+    : config_(config),
+      size_dist_(datagen::lognormal_from_quantiles(0.50, config.p50_gpu_days,
+                                                   0.99, config.p99_gpu_days)),
+      util_dist_(datagen::beta_from_moments(config.utilization_mean,
+                                            config.utilization_stddev)) {}
+
+GpuJob ProductionTraining::sample(datagen::Rng& rng) const {
+  GpuJob job;
+  job.gpu_days = size_dist_.sample(rng);
+  job.num_devices = std::max(1, static_cast<int>(job.gpu_days));
+  job.utilization = std::clamp(util_dist_.sample(rng), 0.01, 1.0);
+  return job;
+}
+
+std::vector<GpuJob> ProductionTraining::sample_workflows(int n) const {
+  check_arg(n >= 0, "sample_workflows: n must be >= 0");
+  datagen::Rng rng(config_.seed);
+  std::vector<GpuJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    GpuJob job = sample(rng);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "prod-%06d", i);
+    job.id = buf;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+double ProductionTraining::gpu_days_over_window(double gpu_days_per_run,
+                                                RetrainCadence cadence,
+                                                Duration window) {
+  check_arg(gpu_days_per_run >= 0.0,
+            "gpu_days_over_window: gpu_days_per_run must be >= 0");
+  return gpu_days_per_run * retrain_count(cadence, window);
+}
+
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,60 @@
+// Production training workflows and retraining cadence (Section II-A).
+//
+// "A p50 production model training workflow takes 2.96 GPU days while a
+// training workflow at p99 can take up to 125 GPU days." Models retrain at
+// task-dependent cadences: Search hourly, Language Translation weekly.
+#pragma once
+
+#include <vector>
+
+#include "datagen/distributions.h"
+#include "datagen/rng.h"
+#include "mlcycle/job.h"
+
+namespace sustainai::mlcycle {
+
+enum class RetrainCadence {
+  kHourly,
+  kDaily,
+  kWeekly,
+  kMonthly,
+};
+
+[[nodiscard]] const char* to_string(RetrainCadence cadence);
+// Interval between retraining runs.
+[[nodiscard]] Duration retrain_interval(RetrainCadence cadence);
+// Number of (re)training runs within `window` (>= 1: the initial training).
+[[nodiscard]] int retrain_count(RetrainCadence cadence, Duration window);
+
+class ProductionTraining {
+ public:
+  struct Config {
+    double p50_gpu_days = 2.96;
+    double p99_gpu_days = 125.0;
+    double utilization_mean = 0.50;  // production jobs run hotter than research
+    double utilization_stddev = 0.12;
+    std::uint64_t seed = 7;
+  };
+
+  explicit ProductionTraining(Config config);
+
+  [[nodiscard]] GpuJob sample(datagen::Rng& rng) const;
+  [[nodiscard]] std::vector<GpuJob> sample_workflows(int n) const;
+
+  // GPU-days consumed over `window` by a model whose single (re)training run
+  // costs `gpu_days_per_run` and which retrains at `cadence`.
+  [[nodiscard]] static double gpu_days_over_window(double gpu_days_per_run,
+                                                   RetrainCadence cadence,
+                                                   Duration window);
+
+  [[nodiscard]] const datagen::LognormalSpec& size_distribution() const {
+    return size_dist_;
+  }
+
+ private:
+  Config config_;
+  datagen::LognormalSpec size_dist_;
+  datagen::BetaSpec util_dist_;
+};
+
+}  // namespace sustainai::mlcycle

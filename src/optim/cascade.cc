@@ -1,0 +1,71 @@
+#include "optim/cascade.h"
+
+#include "core/check.h"
+
+namespace sustainai::optim {
+
+void OptimizationCascade::add_step(OptimizationStep step) {
+  check_arg(step.gain > 0.0, "OptimizationCascade: gain must be positive");
+  steps_.push_back(std::move(step));
+}
+
+double OptimizationCascade::cumulative_gain() const {
+  double g = 1.0;
+  for (const OptimizationStep& s : steps_) {
+    g *= s.gain;
+  }
+  return g;
+}
+
+std::vector<double> OptimizationCascade::cumulative_gains() const {
+  std::vector<double> out;
+  out.reserve(steps_.size());
+  double g = 1.0;
+  for (const OptimizationStep& s : steps_) {
+    g *= s.gain;
+    out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<Energy> OptimizationCascade::energy_after_each_step(
+    Energy baseline) const {
+  std::vector<Energy> out;
+  out.reserve(steps_.size());
+  for (double g : cumulative_gains()) {
+    out.push_back(baseline / g);
+  }
+  return out;
+}
+
+double CacheModel::energy_gain() const {
+  check_arg(hit_rate >= 0.0 && hit_rate <= 1.0,
+            "CacheModel: hit_rate must be in [0, 1]");
+  check_arg(hit_cost_fraction > 0.0 && hit_cost_fraction <= 1.0,
+            "CacheModel: hit_cost_fraction must be in (0, 1]");
+  return 1.0 / (hit_rate * hit_cost_fraction + (1.0 - hit_rate));
+}
+
+double CacheModel::hit_rate_for_gain(double target_gain, double hit_cost_fraction) {
+  check_arg(target_gain >= 1.0, "hit_rate_for_gain: target gain must be >= 1");
+  check_arg(hit_cost_fraction > 0.0 && hit_cost_fraction < 1.0,
+            "hit_rate_for_gain: hit_cost_fraction must be in (0, 1)");
+  check_arg(target_gain <= 1.0 / hit_cost_fraction,
+            "hit_rate_for_gain: target gain unreachable at this hit cost");
+  // Solve 1/g = h*c + (1-h)  =>  h = (1 - 1/g) / (1 - c).
+  return (1.0 - 1.0 / target_gain) / (1.0 - hit_cost_fraction);
+}
+
+OptimizationCascade lm_serving_cascade() {
+  OptimizationCascade cascade;
+  cascade.add_step({"platform-caching", 6.7,
+                    "precompute + cache frequent embeddings in DRAM/flash"});
+  cascade.add_step({"gpu-acceleration", 10.1,
+                    "move serving from CPU hosts to GPU-based AI hardware"});
+  cascade.add_step({"half-precision", 2.4, "fp32 -> fp16 operations on GPU"});
+  cascade.add_step({"fused-kernels", 5.0,
+                    "custom operators scheduling encoder steps in one kernel"});
+  return cascade;
+}
+
+}  // namespace sustainai::optim

@@ -1,0 +1,65 @@
+// Cross-stack optimization cascades (Section III-B, Figure 7).
+//
+// "Platform-level caching, GPU acceleration, low precision format on
+// accelerator, and model optimization ... in aggregate reduce the
+// infrastructure resources required to serve LM at scale by over 800x."
+// Gains compose multiplicatively; the cascade tracks energy after each step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+
+namespace sustainai::optim {
+
+struct OptimizationStep {
+  std::string name;
+  // Energy-efficiency gain factor (> 1 means less energy per unit work).
+  double gain = 1.0;
+  std::string mechanism;
+};
+
+class OptimizationCascade {
+ public:
+  OptimizationCascade() = default;
+
+  void add_step(OptimizationStep step);
+
+  [[nodiscard]] const std::vector<OptimizationStep>& steps() const { return steps_; }
+
+  // Product of all step gains.
+  [[nodiscard]] double cumulative_gain() const;
+
+  // Cumulative gain after each step (same length as steps()).
+  [[nodiscard]] std::vector<double> cumulative_gains() const;
+
+  // Energy required after each step for work whose unoptimized cost is
+  // `baseline` (element 0 is after the first step).
+  [[nodiscard]] std::vector<Energy> energy_after_each_step(Energy baseline) const;
+
+ private:
+  std::vector<OptimizationStep> steps_;
+};
+
+// Platform-level embedding cache: precomputed embeddings served from
+// DRAM/flash. The effective energy gain follows from the hit rate and the
+// relative cost of a cache hit versus full recomputation:
+//   gain = 1 / (hit_rate * hit_cost + (1 - hit_rate) * 1).
+struct CacheModel {
+  double hit_rate = 0.9;
+  // Energy of serving a cached embedding relative to recomputing it.
+  double hit_cost_fraction = 0.05;
+
+  [[nodiscard]] double energy_gain() const;
+  // Hit rate needed to reach `target_gain` at this hit cost; throws if the
+  // target is unreachable (i.e. > 1/hit_cost_fraction).
+  [[nodiscard]] static double hit_rate_for_gain(double target_gain,
+                                                double hit_cost_fraction);
+};
+
+// The paper's LM serving cascade: caching 6.7x, GPU acceleration 10.1x,
+// half precision 2.4x, fused Transformer kernels 5x (= 812x total).
+[[nodiscard]] OptimizationCascade lm_serving_cascade();
+
+}  // namespace sustainai::optim

@@ -1,0 +1,71 @@
+#include "optim/jevons.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::optim {
+
+double OptimizationWave::combined_reduction() const {
+  double remaining = 1.0;
+  for (const AreaGain& a : areas) {
+    check_arg(a.reduction >= 0.0 && a.reduction < 1.0,
+              "OptimizationWave: per-area reduction must be in [0, 1)");
+    remaining *= 1.0 - a.reduction;
+  }
+  return 1.0 - remaining;
+}
+
+OptimizationWave default_wave() {
+  // Four areas, each ~5.4%, compounding to 1 - (1 - 0.054)^4 ~ 19.9%.
+  OptimizationWave wave;
+  wave.areas = {
+      {"model", 0.054},           // resource-efficient model architectures
+      {"platform", 0.054},        // framework support, e.g. quantization
+      {"infrastructure", 0.054},  // datacenter + low-precision hardware
+      {"hardware", 0.054},        // domain-specific acceleration
+  };
+  return wave;
+}
+
+double implied_demand_growth(double efficiency_reduction, double net_factor,
+                             int periods) {
+  check_arg(efficiency_reduction >= 0.0 && efficiency_reduction < 1.0,
+            "implied_demand_growth: efficiency reduction must be in [0, 1)");
+  check_arg(net_factor > 0.0, "implied_demand_growth: net factor must be positive");
+  check_arg(periods >= 1, "implied_demand_growth: periods must be >= 1");
+  const double per_period_net = std::pow(net_factor, 1.0 / periods);
+  return per_period_net / (1.0 - efficiency_reduction);
+}
+
+double JevonsResult::net_fleet_change() const {
+  return fleet_power.back() / fleet_power.front() - 1.0;
+}
+
+double JevonsResult::efficiency_only_change() const {
+  return per_work_power.back() / per_work_power.front() - 1.0;
+}
+
+JevonsResult simulate_jevons(const OptimizationWave& wave,
+                             double demand_growth_per_period, int periods) {
+  check_arg(demand_growth_per_period > 0.0,
+            "simulate_jevons: demand growth must be positive");
+  check_arg(periods >= 1, "simulate_jevons: periods must be >= 1");
+  JevonsResult result;
+  double eff = 1.0;
+  double demand = 1.0;
+  result.per_work_power.push_back(eff);
+  result.demand.push_back(demand);
+  result.fleet_power.push_back(eff * demand);
+  const double reduction = wave.combined_reduction();
+  for (int p = 0; p < periods; ++p) {
+    eff *= 1.0 - reduction;
+    demand *= demand_growth_per_period;
+    result.per_work_power.push_back(eff);
+    result.demand.push_back(demand);
+    result.fleet_power.push_back(eff * demand);
+  }
+  return result;
+}
+
+}  // namespace sustainai::optim

@@ -1,0 +1,54 @@
+// Iterative efficiency optimization vs demand growth (Figures 6, 8).
+//
+// "We reduce the power footprint across the machine learning hardware-
+// software stack by 20% every 6 months. But at the same time, AI
+// infrastructure continued to scale out. The net effect, with Jevons'
+// Paradox, is a 28.5% operational power footprint reduction over two
+// years."
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sustainai::optim {
+
+// One half-year optimization wave: per-area multiplicative gains across the
+// stack (model / platform / infrastructure / hardware).
+struct OptimizationWave {
+  struct AreaGain {
+    std::string area;
+    double reduction;  // fractional power reduction from this area, in [0,1)
+  };
+  std::vector<AreaGain> areas;
+
+  // Combined fractional reduction: 1 - prod(1 - r_i).
+  [[nodiscard]] double combined_reduction() const;
+};
+
+// The paper's four optimization areas with per-area reductions chosen so
+// each wave compounds to ~20% (Figure 6).
+[[nodiscard]] OptimizationWave default_wave();
+
+// Per-halfyear demand growth required for the fleet's net power to change
+// by `net_factor` over `periods` half-years while per-work power shrinks by
+// `efficiency_reduction` each period:
+//   ((1 - eff) * demand)^periods = net_factor.
+[[nodiscard]] double implied_demand_growth(double efficiency_reduction,
+                                           double net_factor, int periods);
+
+struct JevonsResult {
+  // Index 0 is the starting point (=1.0); one entry per half-year after.
+  std::vector<double> per_work_power;  // efficiency-only trajectory
+  std::vector<double> demand;          // workload volume trajectory
+  std::vector<double> fleet_power;     // product of the two
+  [[nodiscard]] double net_fleet_change() const;       // last/first - 1
+  [[nodiscard]] double efficiency_only_change() const; // last/first - 1
+};
+
+// Simulates `periods` half-years of a wave applied each period while demand
+// grows by `demand_growth_per_period`.
+[[nodiscard]] JevonsResult simulate_jevons(const OptimizationWave& wave,
+                                           double demand_growth_per_period,
+                                           int periods);
+
+}  // namespace sustainai::optim

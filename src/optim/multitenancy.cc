@@ -1,0 +1,123 @@
+#include "optim/multitenancy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace sustainai::optim {
+namespace {
+
+void validate_tenants(const std::vector<TenantWorkload>& tenants,
+                      const hw::DeviceSpec& device) {
+  check_arg(!tenants.empty(), "placement: need at least one tenant");
+  for (const TenantWorkload& t : tenants) {
+    check_arg(t.compute_demand > 0.0 && t.compute_demand <= 1.0,
+              "placement: compute demand must be in (0, 1]");
+    check_arg(to_bytes(t.memory) <= to_bytes(device.memory),
+              "placement: tenant '" + t.name + "' does not fit device memory");
+  }
+}
+
+}  // namespace
+
+PlacementResult dedicated_placement(const std::vector<TenantWorkload>& tenants,
+                                    const hw::DeviceSpec& device) {
+  validate_tenants(tenants, device);
+  PlacementResult r;
+  r.devices_used = static_cast<int>(tenants.size());
+  double demand = 0.0;
+  for (const TenantWorkload& t : tenants) {
+    demand += t.compute_demand;
+  }
+  r.mean_device_utilization = demand / static_cast<double>(tenants.size());
+  r.throughput_efficiency = 1.0;  // no interference when isolated
+  r.tenants_per_device.assign(tenants.size(), 1);
+  return r;
+}
+
+PlacementResult consolidated_placement(const std::vector<TenantWorkload>& tenants,
+                                       const hw::DeviceSpec& device,
+                                       const MultiTenancyConfig& config) {
+  validate_tenants(tenants, device);
+  check_arg(config.compute_headroom > 0.0 && config.compute_headroom <= 1.0,
+            "consolidated_placement: headroom must be in (0, 1]");
+  check_arg(config.interference_penalty >= 0.0,
+            "consolidated_placement: penalty must be >= 0");
+
+  // First-fit-decreasing by compute demand.
+  std::vector<std::size_t> order(tenants.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tenants[a].compute_demand > tenants[b].compute_demand;
+  });
+
+  struct Bin {
+    double compute = 0.0;
+    double memory_bytes = 0.0;
+    int tenants = 0;
+  };
+  std::vector<Bin> bins;
+  for (std::size_t idx : order) {
+    const TenantWorkload& t = tenants[idx];
+    bool placed = false;
+    for (Bin& bin : bins) {
+      if (bin.compute + t.compute_demand <= config.compute_headroom &&
+          bin.memory_bytes + to_bytes(t.memory) <= to_bytes(device.memory)) {
+        bin.compute += t.compute_demand;
+        bin.memory_bytes += to_bytes(t.memory);
+        ++bin.tenants;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bins.push_back(Bin{t.compute_demand, to_bytes(t.memory), 1});
+    }
+  }
+
+  PlacementResult r;
+  r.devices_used = static_cast<int>(bins.size());
+  double demand = 0.0;
+  for (const TenantWorkload& t : tenants) {
+    demand += t.compute_demand;
+  }
+  r.mean_device_utilization = demand / static_cast<double>(bins.size());
+
+  // Tenant-weighted throughput efficiency under interference.
+  double weighted = 0.0;
+  int total_tenants = 0;
+  for (const Bin& bin : bins) {
+    const double eff =
+        1.0 / (1.0 + config.interference_penalty * (bin.tenants - 1));
+    weighted += eff * bin.tenants;
+    total_tenants += bin.tenants;
+    r.tenants_per_device.push_back(bin.tenants);
+  }
+  r.throughput_efficiency = weighted / total_tenants;
+  return r;
+}
+
+PlacementCarbon placement_carbon(const PlacementResult& placement,
+                                 const hw::DeviceSpec& device,
+                                 Duration busy_time,
+                                 const MultiTenancyConfig& config,
+                                 const OperationalCarbonModel& operational) {
+  check_arg(placement.devices_used >= 1, "placement_carbon: empty placement");
+  check_arg(to_seconds(busy_time) >= 0.0,
+            "placement_carbon: busy_time must be >= 0");
+  // Interference stretches the campaign.
+  const Duration stretched = busy_time / placement.throughput_efficiency;
+  PlacementCarbon out;
+  out.energy =
+      device.energy(std::min(1.0, placement.mean_device_utilization), stretched) *
+      static_cast<double>(placement.devices_used);
+  out.operational = operational.location_based(out.energy);
+  const EmbodiedCarbonModel embodied(device.embodied, device.lifetime,
+                                     config.embodied_amortization_utilization);
+  out.embodied = embodied.attribute(stretched) *
+                 static_cast<double>(placement.devices_used);
+  return out;
+}
+
+}  // namespace sustainai::optim

@@ -1,0 +1,82 @@
+// Accelerator virtualization and multi-tenancy (Section IV-C).
+//
+// "A significant portion of machine learning model experimentation utilizes
+// GPUs at only 30-50% ... Virtualization and workload consolidation
+// technologies can help maximize accelerator utilization ... Multi-tenancy
+// for AI accelerators is gaining traction as an effective way to improve
+// resource utilization, thereby amortizing the upfront embodied carbon
+// footprint ... at the expense of potential operational carbon footprint
+// increase."
+//
+// Model: each tenant workload demands a share of a device's compute and a
+// fixed slice of device memory. Consolidation packs tenants onto devices
+// (first-fit-decreasing under compute headroom + memory constraints);
+// co-located tenants suffer a per-neighbor interference slowdown, so the
+// same work takes longer (operational cost up) while far fewer devices are
+// occupied (embodied cost down).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/embodied.h"
+#include "core/operational.h"
+#include "core/units.h"
+#include "hw/spec.h"
+
+namespace sustainai::optim {
+
+struct TenantWorkload {
+  std::string name;
+  double compute_demand = 0.4;  // average device-compute share in (0, 1]
+  DataSize memory;              // resident working set
+};
+
+struct MultiTenancyConfig {
+  // Max aggregate compute demand packed on one device.
+  double compute_headroom = 0.85;
+  // Fractional throughput loss per co-located neighbor (cache/bandwidth
+  // interference); a tenant with k neighbors runs at 1/(1 + penalty * k).
+  double interference_penalty = 0.06;
+  // Fleet-average utilization used to amortize device embodied carbon.
+  double embodied_amortization_utilization = 0.45;
+};
+
+struct PlacementResult {
+  int devices_used = 0;
+  // Aggregate compute demand / devices used (how busy the fleet looks).
+  double mean_device_utilization = 0.0;
+  // Work completed per unit time relative to fully-isolated execution
+  // (< 1 under interference: the same work takes 1/x longer).
+  double throughput_efficiency = 1.0;
+  // Per-device tenant counts (diagnostics).
+  std::vector<int> tenants_per_device;
+};
+
+// One device per tenant (today's dedicated-allocation baseline).
+[[nodiscard]] PlacementResult dedicated_placement(
+    const std::vector<TenantWorkload>& tenants, const hw::DeviceSpec& device);
+
+// First-fit-decreasing consolidation under compute headroom and memory
+// constraints, with the interference model applied.
+[[nodiscard]] PlacementResult consolidated_placement(
+    const std::vector<TenantWorkload>& tenants, const hw::DeviceSpec& device,
+    const MultiTenancyConfig& config);
+
+// Carbon of completing `busy_time` of isolated-equivalent work per tenant
+// under a placement: interference stretches wall-clock time by
+// 1/throughput_efficiency; every occupied device pays power at the
+// placement's utilization plus amortized embodied carbon for the stretch.
+struct PlacementCarbon {
+  Energy energy;
+  CarbonMass operational;
+  CarbonMass embodied;
+  [[nodiscard]] CarbonMass total() const { return operational + embodied; }
+};
+
+[[nodiscard]] PlacementCarbon placement_carbon(
+    const PlacementResult& placement, const hw::DeviceSpec& device,
+    Duration busy_time, const MultiTenancyConfig& config,
+    const OperationalCarbonModel& operational);
+
+}  // namespace sustainai::optim

@@ -1,0 +1,141 @@
+#include "optim/nas_hpo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace sustainai::optim {
+
+double Candidate::quality_at(double fraction) const {
+  check_arg(fraction >= 0.0 && fraction <= 1.0,
+            "Candidate::quality_at: fraction must be in [0, 1]");
+  // Saturating curve normalized so quality_at(1) == final_quality.
+  const double saturation = 1.0 - std::exp(-curve_rate);
+  return final_quality * (1.0 - std::exp(-curve_rate * fraction)) / saturation;
+}
+
+double SearchOutcome::overhead_factor(double full_training_gpu_days) const {
+  check_arg(full_training_gpu_days > 0.0,
+            "overhead_factor: full training cost must be positive");
+  return total_gpu_days / full_training_gpu_days;
+}
+
+SearchSimulator::SearchSimulator(Config config) : config_(config) {
+  check_arg(config_.num_candidates >= 1, "SearchSimulator: need >= 1 candidate");
+  check_arg(config_.full_training_gpu_days > 0.0,
+            "SearchSimulator: full training cost must be positive");
+  datagen::Rng rng(config_.seed);
+  candidates_.reserve(static_cast<std::size_t>(config_.num_candidates));
+  for (int i = 0; i < config_.num_candidates; ++i) {
+    Candidate c;
+    c.final_quality = std::clamp(
+        rng.normal(config_.quality_mean, config_.quality_stddev), 0.0, 1.0);
+    c.curve_rate = rng.uniform(3.0, 6.0);
+    c.inference_cost = rng.lognormal(0.0, 0.5);
+    candidates_.push_back(c);
+  }
+}
+
+double SearchSimulator::observe(const Candidate& candidate, double fraction,
+                                datagen::Rng& rng) const {
+  return candidate.quality_at(fraction) +
+         rng.normal(0.0, config_.observation_noise);
+}
+
+SearchOutcome SearchSimulator::run_grid() const {
+  SearchOutcome out;
+  double best = -1.0;
+  for (const Candidate& c : candidates_) {
+    out.total_gpu_days += config_.full_training_gpu_days;
+    ++out.configs_fully_trained;
+    best = std::max(best, c.final_quality);
+  }
+  out.best_quality = best;
+  return out;
+}
+
+SearchOutcome SearchSimulator::run_random(int budget_trials) const {
+  check_arg(budget_trials >= 1, "run_random: need >= 1 trial");
+  datagen::Rng rng(config_.seed ^ 0xabcdefULL);
+  // Sample without replacement via partial Fisher-Yates over indices.
+  std::vector<std::size_t> idx(candidates_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const int trials =
+      std::min<int>(budget_trials, static_cast<int>(candidates_.size()));
+  SearchOutcome out;
+  double best = -1.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(t, static_cast<std::int64_t>(idx.size()) - 1));
+    std::swap(idx[static_cast<std::size_t>(t)], idx[pick]);
+    const Candidate& c = candidates_[idx[static_cast<std::size_t>(t)]];
+    out.total_gpu_days += config_.full_training_gpu_days;
+    ++out.configs_fully_trained;
+    best = std::max(best, c.final_quality);
+  }
+  out.best_quality = best;
+  return out;
+}
+
+SearchOutcome SearchSimulator::run_successive_halving(double initial_fraction,
+                                                      double keep_fraction) const {
+  check_arg(initial_fraction > 0.0 && initial_fraction <= 1.0,
+            "run_successive_halving: initial fraction must be in (0, 1]");
+  check_arg(keep_fraction > 0.0 && keep_fraction < 1.0,
+            "run_successive_halving: keep fraction must be in (0, 1)");
+  datagen::Rng rng(config_.seed ^ 0x5eedULL);
+  std::vector<std::size_t> alive(candidates_.size());
+  std::iota(alive.begin(), alive.end(), 0);
+
+  SearchOutcome out;
+  double fraction = initial_fraction;
+  double trained_to = 0.0;  // budget fraction already spent per survivor
+  while (true) {
+    // Train all survivors up to `fraction` (paying only the increment).
+    out.total_gpu_days += (fraction - trained_to) *
+                          config_.full_training_gpu_days *
+                          static_cast<double>(alive.size());
+    trained_to = fraction;
+    if (alive.size() == 1 || fraction >= 1.0) {
+      break;
+    }
+    // Rank by noisy observation at the current fraction; keep the top share.
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(alive.size());
+    for (std::size_t i : alive) {
+      scored.emplace_back(observe(candidates_[i], fraction, rng), i);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(scored.size() * keep_fraction)));
+    alive.clear();
+    for (std::size_t k = 0; k < keep; ++k) {
+      alive.push_back(scored[k].second);
+    }
+    fraction = std::min(1.0, fraction * 2.0);
+  }
+  // Finish the final survivor(s) and select the best observed.
+  if (trained_to < 1.0) {
+    out.total_gpu_days += (1.0 - trained_to) * config_.full_training_gpu_days *
+                          static_cast<double>(alive.size());
+  }
+  out.configs_fully_trained = static_cast<int>(alive.size());
+  double best = -1.0;
+  for (std::size_t i : alive) {
+    best = std::max(best, candidates_[i].final_quality);
+  }
+  out.best_quality = best;
+  return out;
+}
+
+double nas_overhead_factor(int trials, double average_fraction) {
+  check_arg(trials >= 1, "nas_overhead_factor: trials must be >= 1");
+  check_arg(average_fraction > 0.0 && average_fraction <= 1.0,
+            "nas_overhead_factor: average fraction must be in (0, 1]");
+  return static_cast<double>(trials) * average_fraction;
+}
+
+}  // namespace sustainai::optim

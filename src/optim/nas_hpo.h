@@ -1,0 +1,82 @@
+// Neural-architecture-search / hyper-parameter-optimization cost simulator
+// (Section IV-B).
+//
+// "NAS and HPO can be extremely resource-intensive ... grid-search NAS can
+// incur over 3000x environmental footprint overhead. Utilizing much more
+// sample-efficient NAS and HPO methods can translate directly into carbon
+// footprint improvement. ... By detecting and stopping under-performing
+// training workflows early, unnecessary training cycles can be eliminated."
+//
+// Each candidate configuration has a hidden final quality and a saturating
+// learning curve; strategies observe noisy partial-training results and
+// spend GPU-days accordingly. The simulator measures the quality/cost
+// trade-off of grid search, random subsets, and successive halving
+// (early stopping).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/rng.h"
+
+namespace sustainai::optim {
+
+// A candidate configuration with a hidden learning curve.
+struct Candidate {
+  double final_quality = 0.0;   // hidden ground truth, in [0, 1]
+  double curve_rate = 4.0;      // learning-curve saturation rate
+  double inference_cost = 1.0;  // per-query serving cost (for green selection)
+
+  // Noise-free quality after training `fraction` in [0, 1] of the budget.
+  [[nodiscard]] double quality_at(double fraction) const;
+};
+
+struct SearchOutcome {
+  double best_quality = 0.0;        // true final quality of the selected config
+  double total_gpu_days = 0.0;      // compute spent by the strategy
+  int configs_fully_trained = 0;    // candidates trained to completion
+  // Overhead vs training the selected configuration once.
+  [[nodiscard]] double overhead_factor(double full_training_gpu_days) const;
+};
+
+class SearchSimulator {
+ public:
+  struct Config {
+    int num_candidates = 200;
+    double full_training_gpu_days = 10.0;
+    double quality_mean = 0.70;
+    double quality_stddev = 0.06;
+    double observation_noise = 0.01;
+    std::uint64_t seed = 11;
+  };
+
+  explicit SearchSimulator(Config config);
+
+  // Exhaustive grid search: trains every candidate to completion.
+  [[nodiscard]] SearchOutcome run_grid() const;
+
+  // Random search: fully trains a random subset of `budget_trials`.
+  [[nodiscard]] SearchOutcome run_random(int budget_trials) const;
+
+  // Successive halving: trains all candidates to an initial fraction, keeps
+  // the top `keep_fraction` per rung, doubling the budget each rung until
+  // one candidate finishes full training.
+  [[nodiscard]] SearchOutcome run_successive_halving(double initial_fraction = 0.05,
+                                                     double keep_fraction = 0.4) const;
+
+  [[nodiscard]] const std::vector<Candidate>& candidates() const { return candidates_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double observe(const Candidate& candidate, double fraction,
+                               datagen::Rng& rng) const;
+
+  Config config_;
+  std::vector<Candidate> candidates_;
+};
+
+// Published overhead anchor: Strubell et al.'s grid-search NAS spent the
+// equivalent of `trials * average_fraction` full trainings (> 3000x).
+[[nodiscard]] double nas_overhead_factor(int trials, double average_fraction);
+
+}  // namespace sustainai::optim

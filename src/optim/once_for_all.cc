@@ -1,0 +1,35 @@
+#include "optim/once_for_all.h"
+
+#include "core/check.h"
+
+namespace sustainai::optim {
+
+OfaComparison compare_ofa(const OfaCostModel& model, int num_targets,
+                          CarbonMass carbon_per_gpu_day) {
+  check_arg(num_targets >= 1, "compare_ofa: need >= 1 target");
+  check_arg(to_grams_co2e(carbon_per_gpu_day) > 0.0,
+            "compare_ofa: carbon per GPU-day must be positive");
+  OfaComparison out;
+  out.ofa_gpu_days = model.supernet_training_gpu_days +
+                     model.per_target_selection_gpu_days * num_targets;
+  out.conventional_gpu_days =
+      (model.per_target_nas_gpu_days + model.per_target_training_gpu_days) *
+      num_targets;
+  out.ofa_carbon = carbon_per_gpu_day * out.ofa_gpu_days +
+                   model.supernet_extra_embodied;
+  out.conventional_carbon = carbon_per_gpu_day * out.conventional_gpu_days;
+  return out;
+}
+
+int ofa_breakeven_targets(const OfaCostModel& model,
+                          CarbonMass carbon_per_gpu_day, int max_targets) {
+  check_arg(max_targets >= 1, "ofa_breakeven_targets: max_targets must be >= 1");
+  for (int n = 1; n <= max_targets; ++n) {
+    if (compare_ofa(model, n, carbon_per_gpu_day).ofa_wins()) {
+      return n;
+    }
+  }
+  return -1;
+}
+
+}  // namespace sustainai::optim

@@ -1,0 +1,52 @@
+// Once-for-all supernets vs per-target NAS (Section IV-B: "when training is
+// decoupled from NAS, sub-networks tailoring to specialized system hardware
+// can be selected without additional training ... however, at the expense
+// of increased embodied carbon footprint").
+//
+// Cost model: a supernet is trained once (expensive, on a larger training
+// system with more embodied carbon); each deployment target then *selects*
+// a subnet at near-zero training cost. Conventional practice runs NAS plus
+// full training per target. The break-even point in number of targets
+// quantifies when OFA pays.
+#pragma once
+
+#include "core/units.h"
+
+namespace sustainai::optim {
+
+struct OfaCostModel {
+  // Once-for-all route.
+  double supernet_training_gpu_days = 1200.0;
+  double per_target_selection_gpu_days = 2.0;  // evaluation-only search
+  // Extra manufacturing footprint of the larger training system the
+  // supernet requires (the paper's embodied caveat).
+  CarbonMass supernet_extra_embodied = kg_co2e(2000.0);
+
+  // Conventional route, per deployment target.
+  double per_target_nas_gpu_days = 150.0;
+  double per_target_training_gpu_days = 40.0;
+};
+
+struct OfaComparison {
+  double ofa_gpu_days = 0.0;
+  double conventional_gpu_days = 0.0;
+  CarbonMass ofa_carbon;           // operational + extra embodied
+  CarbonMass conventional_carbon;  // operational only
+  [[nodiscard]] bool ofa_wins() const {
+    return to_grams_co2e(ofa_carbon) < to_grams_co2e(conventional_carbon);
+  }
+};
+
+// Compares both routes over `num_targets` deployment targets, converting
+// GPU-days to carbon at `carbon_per_gpu_day`.
+[[nodiscard]] OfaComparison compare_ofa(const OfaCostModel& model,
+                                        int num_targets,
+                                        CarbonMass carbon_per_gpu_day);
+
+// Smallest number of targets at which the OFA route emits less carbon;
+// returns -1 if it never breaks even within `max_targets`.
+[[nodiscard]] int ofa_breakeven_targets(const OfaCostModel& model,
+                                        CarbonMass carbon_per_gpu_day,
+                                        int max_targets = 1000);
+
+}  // namespace sustainai::optim

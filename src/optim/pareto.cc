@@ -1,0 +1,57 @@
+#include "optim/pareto.h"
+
+#include <algorithm>
+
+namespace sustainai::optim {
+
+bool dominates(const ObjectivePoint& a, const ObjectivePoint& b) {
+  const bool no_worse = a.cost <= b.cost && a.quality >= b.quality;
+  const bool strictly_better = a.cost < b.cost || a.quality > b.quality;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> pareto_frontier(std::span<const ObjectivePoint> points) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j != i && dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      frontier.push_back(i);
+    }
+  }
+  std::sort(frontier.begin(), frontier.end(), [&](std::size_t a, std::size_t b) {
+    return points[a].cost < points[b].cost;
+  });
+  return frontier;
+}
+
+std::size_t cheapest_at_least(std::span<const ObjectivePoint> points,
+                              double min_quality) {
+  std::size_t best = points.size();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].quality >= min_quality &&
+        (best == points.size() || points[i].cost < points[best].cost)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t best_under_budget(std::span<const ObjectivePoint> points,
+                              double budget) {
+  std::size_t best = points.size();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].cost <= budget &&
+        (best == points.size() || points[i].quality > points[best].quality)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace sustainai::optim

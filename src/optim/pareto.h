@@ -1,0 +1,38 @@
+// Multi-objective (quality vs cost) utilities (Section IV-B, Figure 12).
+//
+// "Multi-objective optimization explores the Pareto frontier of efficient
+// model quality and system resource trade-offs ... energy and carbon
+// footprint can be directly incorporated into the cost function."
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sustainai::optim {
+
+struct ObjectivePoint {
+  double cost = 0.0;     // lower is better (energy, carbon, latency)
+  double quality = 0.0;  // higher is better (accuracy, -loss)
+  std::string label;
+};
+
+// a dominates b: no worse in both objectives, strictly better in one.
+[[nodiscard]] bool dominates(const ObjectivePoint& a, const ObjectivePoint& b);
+
+// Indices of the non-dominated points, sorted by ascending cost.
+[[nodiscard]] std::vector<std::size_t> pareto_frontier(
+    std::span<const ObjectivePoint> points);
+
+// Cheapest point with quality >= `min_quality`; returns npos-like
+// points.size() if none qualifies.
+[[nodiscard]] std::size_t cheapest_at_least(std::span<const ObjectivePoint> points,
+                                            double min_quality);
+
+// Highest-quality point with cost <= `budget`; returns points.size() if
+// none qualifies.
+[[nodiscard]] std::size_t best_under_budget(std::span<const ObjectivePoint> points,
+                                            double budget);
+
+}  // namespace sustainai::optim

@@ -1,0 +1,285 @@
+#include "optim/quantization.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "core/check.h"
+
+namespace sustainai::optim {
+
+std::uint16_t float_to_half(float value) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t exponent = (bits >> 23) & 0xffu;
+  std::uint32_t mantissa = bits & 0x7fffffu;
+
+  if (exponent == 0xffu) {  // inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                      (mantissa ? 0x200u : 0u));
+  }
+  // Re-bias exponent: half bias 15, float bias 127.
+  const int new_exp = static_cast<int>(exponent) - 127 + 15;
+  if (new_exp >= 31) {  // overflow -> infinity
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (new_exp <= 0) {  // subnormal half (or underflow to zero)
+    if (new_exp < -10) {
+      return static_cast<std::uint16_t>(sign);
+    }
+    // Add the implicit leading 1 and shift into subnormal position.
+    mantissa |= 0x800000u;
+    const int shift = 14 - new_exp;  // in [14, 24]
+    std::uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even.
+    const std::uint32_t round_bit = 1u << (shift - 1);
+    if ((mantissa & round_bit) &&
+        ((mantissa & (round_bit - 1)) || (half_mant & 1u))) {
+      ++half_mant;
+    }
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  // Normal half: keep the top 10 mantissa bits, round to nearest even.
+  std::uint16_t half =
+      static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(new_exp) << 10) |
+                                 (mantissa >> 13));
+  const std::uint32_t round_bit = 0x1000u;  // bit 12
+  if ((mantissa & round_bit) && ((mantissa & (round_bit - 1)) || (half & 1u))) {
+    ++half;  // may carry into the exponent; that is correct (rounds up to inf)
+  }
+  return half;
+}
+
+float half_to_float(std::uint16_t half) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u) << 16;
+  const std::uint32_t exponent = (half >> 10) & 0x1fu;
+  std::uint32_t mantissa = half & 0x3ffu;
+
+  std::uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {  // zero
+      bits = sign;
+    } else {  // subnormal: normalize
+      int e = -1;
+      do {
+        ++e;
+        mantissa <<= 1;
+      } while ((mantissa & 0x400u) == 0);
+      mantissa &= 0x3ffu;
+      bits = sign | ((112u - static_cast<std::uint32_t>(e)) << 23) | (mantissa << 13);
+    }
+  } else if (exponent == 0x1fu) {  // inf / NaN
+    bits = sign | 0x7f800000u | (mantissa << 13);
+  } else {
+    bits = sign | ((exponent + 112u) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+std::uint16_t float_to_bfloat16(float value) {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x7fffffu)) {
+    return static_cast<std::uint16_t>((bits >> 16) | 0x40u);  // quiet NaN
+  }
+  // Round to nearest even on the dropped 16 bits.
+  const std::uint32_t rounding = 0x7fffu + ((bits >> 16) & 1u);
+  bits += rounding;
+  return static_cast<std::uint16_t>(bits >> 16);
+}
+
+float bfloat16_to_float(std::uint16_t bf) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bf) << 16);
+}
+
+EmbeddingTable::EmbeddingTable(int rows, int dim) : rows_(rows), dim_(dim) {
+  check_arg(rows >= 0 && dim >= 1, "EmbeddingTable: invalid shape");
+  data_.assign(static_cast<std::size_t>(rows) * dim, 0.0f);
+}
+
+EmbeddingTable EmbeddingTable::random(int rows, int dim, datagen::Rng& rng) {
+  EmbeddingTable t(rows, dim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.normal(0.0, scale));
+  }
+  return t;
+}
+
+float EmbeddingTable::at(int row, int d) const {
+  return data_[static_cast<std::size_t>(row) * dim_ + d];
+}
+
+float& EmbeddingTable::at(int row, int d) {
+  return data_[static_cast<std::size_t>(row) * dim_ + d];
+}
+
+std::span<const float> EmbeddingTable::row(int r) const {
+  return {data_.data() + static_cast<std::size_t>(r) * dim_,
+          static_cast<std::size_t>(dim_)};
+}
+
+DataSize EmbeddingTable::size_bytes() const {
+  return bytes(static_cast<double>(data_.size()) * sizeof(float));
+}
+
+const char* to_string(NumericFormat format) {
+  switch (format) {
+    case NumericFormat::kFp32:
+      return "fp32";
+    case NumericFormat::kFp16:
+      return "fp16";
+    case NumericFormat::kBf16:
+      return "bf16";
+    case NumericFormat::kInt8RowWise:
+      return "int8-rowwise";
+  }
+  return "unknown";
+}
+
+std::size_t bytes_per_element(NumericFormat format) {
+  switch (format) {
+    case NumericFormat::kFp32:
+      return 4;
+    case NumericFormat::kFp16:
+    case NumericFormat::kBf16:
+      return 2;
+    case NumericFormat::kInt8RowWise:
+      return 1;
+  }
+  return 4;
+}
+
+QuantizedTable quantize(const EmbeddingTable& table, NumericFormat format) {
+  QuantizedTable q;
+  q.format_ = format;
+  q.rows_ = table.rows();
+  q.dim_ = table.dim();
+  const std::size_t n =
+      static_cast<std::size_t>(table.rows()) * static_cast<std::size_t>(table.dim());
+  switch (format) {
+    case NumericFormat::kFp32: {
+      q.fp32_.reserve(n);
+      for (int r = 0; r < table.rows(); ++r) {
+        for (int d = 0; d < table.dim(); ++d) {
+          q.fp32_.push_back(table.at(r, d));
+        }
+      }
+      break;
+    }
+    case NumericFormat::kFp16: {
+      q.half_.reserve(n);
+      for (int r = 0; r < table.rows(); ++r) {
+        for (int d = 0; d < table.dim(); ++d) {
+          q.half_.push_back(float_to_half(table.at(r, d)));
+        }
+      }
+      break;
+    }
+    case NumericFormat::kBf16: {
+      q.half_.reserve(n);
+      for (int r = 0; r < table.rows(); ++r) {
+        for (int d = 0; d < table.dim(); ++d) {
+          q.half_.push_back(float_to_bfloat16(table.at(r, d)));
+        }
+      }
+      break;
+    }
+    case NumericFormat::kInt8RowWise: {
+      q.int8_.reserve(n);
+      q.row_scale_.reserve(static_cast<std::size_t>(table.rows()));
+      for (int r = 0; r < table.rows(); ++r) {
+        float max_abs = 0.0f;
+        for (float v : table.row(r)) {
+          max_abs = std::max(max_abs, std::fabs(v));
+        }
+        const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+        q.row_scale_.push_back(scale);
+        for (float v : table.row(r)) {
+          const long ql = std::lround(v / scale);
+          q.int8_.push_back(static_cast<std::int8_t>(std::clamp(ql, -127L, 127L)));
+        }
+      }
+      break;
+    }
+  }
+  return q;
+}
+
+float QuantizedTable::dequantize(int row, int d) const {
+  const std::size_t idx = static_cast<std::size_t>(row) * dim_ + d;
+  switch (format_) {
+    case NumericFormat::kFp32:
+      return fp32_[idx];
+    case NumericFormat::kFp16:
+      return half_to_float(half_[idx]);
+    case NumericFormat::kBf16:
+      return bfloat16_to_float(half_[idx]);
+    case NumericFormat::kInt8RowWise:
+      return static_cast<float>(int8_[idx]) * row_scale_[static_cast<std::size_t>(row)];
+  }
+  return 0.0f;
+}
+
+DataSize QuantizedTable::size_bytes() const {
+  const double payload = static_cast<double>(rows_) * dim_ *
+                         static_cast<double>(bytes_per_element(format_));
+  const double scales = format_ == NumericFormat::kInt8RowWise
+                            ? static_cast<double>(rows_) * sizeof(float)
+                            : 0.0;
+  return bytes(payload + scales);
+}
+
+QuantizationError measure_error(const EmbeddingTable& original,
+                                const QuantizedTable& quantized) {
+  check_arg(original.rows() == quantized.rows() && original.dim() == quantized.dim(),
+            "measure_error: shape mismatch");
+  QuantizationError err;
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  const double n = static_cast<double>(original.rows()) * original.dim();
+  for (int r = 0; r < original.rows(); ++r) {
+    for (int d = 0; d < original.dim(); ++d) {
+      const double e = std::fabs(static_cast<double>(original.at(r, d)) -
+                                 quantized.dequantize(r, d));
+      err.max_abs = std::max(err.max_abs, e);
+      sum_abs += e;
+      sum_sq += e * e;
+    }
+  }
+  if (n > 0) {
+    err.mean_abs = sum_abs / n;
+    err.rms = std::sqrt(sum_sq / n);
+  }
+  return err;
+}
+
+double RmQuantizationPlan::size_reduction() const {
+  check_arg(quantized_size_fraction >= 0.0 && quantized_size_fraction <= 1.0,
+            "RmQuantizationPlan: quantized_size_fraction must be in [0, 1]");
+  const double per_byte_saving =
+      1.0 - static_cast<double>(bytes_per_element(format)) /
+                static_cast<double>(bytes_per_element(NumericFormat::kFp32));
+  return quantized_size_fraction * per_byte_saving;
+}
+
+double RmQuantizationPlan::bandwidth_reduction() const {
+  check_arg(quantized_access_fraction >= 0.0 && quantized_access_fraction <= 1.0,
+            "RmQuantizationPlan: quantized_access_fraction must be in [0, 1]");
+  const double per_byte_saving =
+      1.0 - static_cast<double>(bytes_per_element(format)) /
+                static_cast<double>(bytes_per_element(NumericFormat::kFp32));
+  return quantized_access_fraction * per_byte_saving;
+}
+
+Duration InferenceLatencyModel::latency(DataSize working_set,
+                                        double bytes_scale) const {
+  check_arg(bytes_scale > 0.0, "InferenceLatencyModel: bytes_scale must be > 0");
+  const Bandwidth bw = to_bytes(working_set) <= to_bytes(onchip_capacity)
+                           ? onchip_bandwidth
+                           : offchip_bandwidth;
+  const DataSize traffic = bytes_per_inference * bytes_scale;
+  return compute_time + traffic / bw;
+}
+
+}  // namespace sustainai::optim

@@ -1,0 +1,134 @@
+// Model quantization for recommendation models (Section III-B).
+//
+// "By converting 32-bit floating-point numerical representation to 16-bit,
+// we can reduce the overall RM2 model size by 15% ... 20.7% reduction in
+// memory bandwidth consumption. Furthermore ... for RM1, quantization has
+// enabled RM deployment on highly power-efficient systems with smaller
+// on-chip memory, leading to an end-to-end inference latency improvement
+// of 2.5 times."
+//
+// This module contains *real* conversion kernels — IEEE 754 binary16,
+// bfloat16, and row-wise symmetric int8 over embedding tables — plus the
+// model-level size/bandwidth/latency accounting built on top of them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/units.h"
+#include "datagen/rng.h"
+
+namespace sustainai::optim {
+
+// --- Scalar numeric conversions ----------------------------------------------
+
+// float -> IEEE 754 binary16, round-to-nearest-even, with denormal,
+// overflow-to-infinity, and NaN handling.
+[[nodiscard]] std::uint16_t float_to_half(float value);
+[[nodiscard]] float half_to_float(std::uint16_t half);
+
+// float -> bfloat16 (truncated-exponent format), round-to-nearest-even.
+[[nodiscard]] std::uint16_t float_to_bfloat16(float value);
+[[nodiscard]] float bfloat16_to_float(std::uint16_t bf);
+
+// --- Embedding tables ----------------------------------------------------------
+
+// Dense row-major embedding table (the >= 95%-of-model-size structure in
+// production RMs).
+class EmbeddingTable {
+ public:
+  EmbeddingTable(int rows, int dim);
+
+  // Gaussian-initialized table (scale ~ 1/sqrt(dim), as trained tables are).
+  static EmbeddingTable random(int rows, int dim, datagen::Rng& rng);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] float at(int row, int d) const;
+  float& at(int row, int d);
+  [[nodiscard]] std::span<const float> row(int r) const;
+  [[nodiscard]] DataSize size_bytes() const;
+
+ private:
+  int rows_;
+  int dim_;
+  std::vector<float> data_;
+};
+
+enum class NumericFormat { kFp32, kFp16, kBf16, kInt8RowWise };
+[[nodiscard]] const char* to_string(NumericFormat format);
+// Payload bytes per element (excludes row scales for int8).
+[[nodiscard]] std::size_t bytes_per_element(NumericFormat format);
+
+// A quantized copy of an embedding table.
+class QuantizedTable {
+ public:
+  [[nodiscard]] NumericFormat format() const { return format_; }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  // Dequantized value (what inference reads back).
+  [[nodiscard]] float dequantize(int row, int d) const;
+  // Total bytes including per-row scales where applicable.
+  [[nodiscard]] DataSize size_bytes() const;
+
+ private:
+  friend QuantizedTable quantize(const EmbeddingTable& table, NumericFormat format);
+  NumericFormat format_ = NumericFormat::kFp32;
+  int rows_ = 0;
+  int dim_ = 0;
+  std::vector<float> fp32_;
+  std::vector<std::uint16_t> half_;   // fp16 or bf16 payload
+  std::vector<std::int8_t> int8_;
+  std::vector<float> row_scale_;      // int8 row-wise symmetric scales
+};
+
+[[nodiscard]] QuantizedTable quantize(const EmbeddingTable& table,
+                                      NumericFormat format);
+
+struct QuantizationError {
+  double max_abs = 0.0;
+  double mean_abs = 0.0;
+  double rms = 0.0;
+};
+
+[[nodiscard]] QuantizationError measure_error(const EmbeddingTable& original,
+                                              const QuantizedTable& quantized);
+
+// --- RM-level accounting --------------------------------------------------------
+
+// Size/bandwidth effects of quantizing a subset of an RM's tables.
+struct RmQuantizationPlan {
+  // Share of model bytes held in embedding tables (>= 95% for RMs).
+  double embedding_fraction = 0.96;
+  // Share of *model bytes* actually converted to the target format. (Hot,
+  // accuracy-sensitive tables are kept in fp32, so this is < 1.)
+  double quantized_size_fraction = 0.30;
+  // Share of *memory traffic* that hits converted tables (hot tables are
+  // read more often than their size share).
+  double quantized_access_fraction = 0.414;
+  NumericFormat format = NumericFormat::kFp16;
+
+  // Fractional reduction in total model size (e.g. 0.15 = 15%).
+  [[nodiscard]] double size_reduction() const;
+  // Fractional reduction in memory bandwidth consumption.
+  [[nodiscard]] double bandwidth_reduction() const;
+};
+
+// Serving latency: compute plus memory traffic served from on-chip SRAM
+// when the working set fits, and from DRAM otherwise. Quantization shrinks
+// the working set below the on-chip capacity of small power-efficient
+// accelerators, producing the step-function 2.5x latency gain.
+struct InferenceLatencyModel {
+  Duration compute_time = seconds(1e-3);
+  DataSize bytes_per_inference = megabytes(8.0);
+  Bandwidth offchip_bandwidth = gigabytes_per_second(25.6);
+  Bandwidth onchip_bandwidth = gigabytes_per_second(400.0);
+  DataSize onchip_capacity = megabytes(64.0);
+
+  // `working_set` decides the tier; `bytes_scale` scales traffic (< 1 after
+  // quantization).
+  [[nodiscard]] Duration latency(DataSize working_set, double bytes_scale) const;
+};
+
+}  // namespace sustainai::optim

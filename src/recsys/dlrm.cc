@@ -1,0 +1,207 @@
+#include "recsys/dlrm.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::recsys {
+namespace {
+
+std::vector<int> bottom_widths(const DlrmConfig& config) {
+  std::vector<int> widths{config.dense_features};
+  widths.insert(widths.end(), config.bottom_hidden.begin(),
+                config.bottom_hidden.end());
+  widths.push_back(config.embedding_dim);
+  return widths;
+}
+
+int interaction_features(const DlrmConfig& config) {
+  // Pairwise dot products among bottom output + T pooled embeddings,
+  // concatenated with the bottom output itself.
+  const int vectors = static_cast<int>(config.table_rows.size()) + 1;
+  return vectors * (vectors - 1) / 2 + config.embedding_dim;
+}
+
+std::vector<int> top_widths(const DlrmConfig& config) {
+  std::vector<int> widths{interaction_features(config)};
+  widths.insert(widths.end(), config.top_hidden.begin(),
+                config.top_hidden.end());
+  widths.push_back(1);
+  return widths;
+}
+
+Mlp make_mlp(const std::vector<int>& widths, std::uint64_t seed) {
+  datagen::Rng rng(seed);
+  return Mlp(widths, rng);
+}
+
+}  // namespace
+
+DlrmModel::DlrmModel(DlrmConfig config)
+    : config_(std::move(config)),
+      bottom_(make_mlp(bottom_widths(config_), config_.seed ^ 0xb0770bULL)),
+      top_(make_mlp(top_widths(config_), config_.seed ^ 0x70f0f0ULL)) {
+  check_arg(!config_.table_rows.empty(), "DlrmModel: need at least one table");
+  check_arg(config_.embedding_dim >= 1, "DlrmModel: embedding_dim must be >= 1");
+  check_arg(config_.indices_per_table >= 1,
+            "DlrmModel: indices_per_table must be >= 1");
+  datagen::Rng rng(config_.seed);
+  tables_.reserve(config_.table_rows.size());
+  for (int rows : config_.table_rows) {
+    check_arg(rows >= 1, "DlrmModel: table rows must be >= 1");
+    tables_.push_back(
+        optim::EmbeddingTable::random(rows, config_.embedding_dim, rng));
+  }
+  fp16_tables_.reserve(tables_.size());
+  bf16_tables_.reserve(tables_.size());
+  int8_tables_.reserve(tables_.size());
+  for (const optim::EmbeddingTable& t : tables_) {
+    fp16_tables_.push_back(optim::quantize(t, optim::NumericFormat::kFp16));
+    bf16_tables_.push_back(optim::quantize(t, optim::NumericFormat::kBf16));
+    int8_tables_.push_back(
+        optim::quantize(t, optim::NumericFormat::kInt8RowWise));
+  }
+}
+
+template <typename Getter>
+void DlrmModel::pool_table(std::size_t table, std::span<const int> indices,
+                           Getter&& getter, std::span<float> out) const {
+  for (float& v : out) {
+    v = 0.0f;
+  }
+  for (int row : indices) {
+    check_arg(row >= 0 && row < config_.table_rows[table],
+              "DlrmModel: sparse index out of range");
+    for (int d = 0; d < config_.embedding_dim; ++d) {
+      out[static_cast<std::size_t>(d)] += getter(table, row, d);
+    }
+  }
+}
+
+float DlrmModel::interact_and_score(
+    std::span<const float> bottom_out,
+    const std::vector<std::vector<float>>& pooled) const {
+  // Collect the interaction operands: bottom output first, then tables.
+  std::vector<std::span<const float>> vectors;
+  vectors.reserve(pooled.size() + 1);
+  vectors.push_back(bottom_out);
+  for (const auto& p : pooled) {
+    vectors.emplace_back(p.data(), p.size());
+  }
+  std::vector<float> features;
+  features.reserve(static_cast<std::size_t>(interaction_features(config_)));
+  for (std::size_t a = 0; a < vectors.size(); ++a) {
+    for (std::size_t b = a + 1; b < vectors.size(); ++b) {
+      float dot = 0.0f;
+      for (int d = 0; d < config_.embedding_dim; ++d) {
+        dot += vectors[a][static_cast<std::size_t>(d)] *
+               vectors[b][static_cast<std::size_t>(d)];
+      }
+      features.push_back(dot);
+    }
+  }
+  features.insert(features.end(), bottom_out.begin(), bottom_out.end());
+  const std::vector<float> logit = top_.forward(features);
+  return sigmoid(logit[0]);
+}
+
+float DlrmModel::forward(const DlrmSample& sample) const {
+  check_arg(sample.sparse.size() == tables_.size(),
+            "DlrmModel::forward: wrong number of sparse feature lists");
+  const std::vector<float> bottom_out = bottom_.forward(sample.dense);
+  std::vector<std::vector<float>> pooled(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    pooled[t].assign(static_cast<std::size_t>(config_.embedding_dim), 0.0f);
+    pool_table(
+        t, sample.sparse[t],
+        [&](std::size_t table, int row, int d) {
+          return tables_[table].at(row, d);
+        },
+        pooled[t]);
+  }
+  return interact_and_score(bottom_out, pooled);
+}
+
+float DlrmModel::forward_quantized(const DlrmSample& sample,
+                                   optim::NumericFormat format) const {
+  check_arg(sample.sparse.size() == tables_.size(),
+            "DlrmModel::forward_quantized: wrong number of sparse lists");
+  const std::vector<optim::QuantizedTable>* quantized = nullptr;
+  switch (format) {
+    case optim::NumericFormat::kFp32:
+      return forward(sample);
+    case optim::NumericFormat::kFp16:
+      quantized = &fp16_tables_;
+      break;
+    case optim::NumericFormat::kBf16:
+      quantized = &bf16_tables_;
+      break;
+    case optim::NumericFormat::kInt8RowWise:
+      quantized = &int8_tables_;
+      break;
+  }
+  const std::vector<float> bottom_out = bottom_.forward(sample.dense);
+  std::vector<std::vector<float>> pooled(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    pooled[t].assign(static_cast<std::size_t>(config_.embedding_dim), 0.0f);
+    pool_table(
+        t, sample.sparse[t],
+        [&](std::size_t table, int row, int d) {
+          return (*quantized)[table].dequantize(row, d);
+        },
+        pooled[t]);
+  }
+  return interact_and_score(bottom_out, pooled);
+}
+
+DlrmSample DlrmModel::random_sample(datagen::Rng& rng) const {
+  DlrmSample sample;
+  sample.dense.reserve(static_cast<std::size_t>(config_.dense_features));
+  for (int i = 0; i < config_.dense_features; ++i) {
+    sample.dense.push_back(static_cast<float>(rng.normal(0.0, 1.0)));
+  }
+  sample.sparse.resize(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    for (int k = 0; k < config_.indices_per_table; ++k) {
+      sample.sparse[t].push_back(static_cast<int>(
+          rng.uniform_int(0, config_.table_rows[t] - 1)));
+    }
+  }
+  return sample;
+}
+
+DataSize DlrmModel::embedding_bytes() const {
+  double total = 0.0;
+  for (const optim::EmbeddingTable& t : tables_) {
+    total += to_bytes(t.size_bytes());
+  }
+  return bytes(total);
+}
+
+DataSize DlrmModel::mlp_bytes() const {
+  return bytes(static_cast<double>(bottom_.parameter_count() +
+                                   top_.parameter_count()) *
+               sizeof(float));
+}
+
+DataSize DlrmModel::model_bytes() const {
+  return embedding_bytes() + mlp_bytes();
+}
+
+double DlrmModel::embedding_fraction() const {
+  return to_bytes(embedding_bytes()) / to_bytes(model_bytes());
+}
+
+DataSize DlrmModel::embedding_bytes_per_inference(
+    optim::NumericFormat format) const {
+  const double rows_read =
+      static_cast<double>(tables_.size()) * config_.indices_per_table;
+  double per_row = static_cast<double>(config_.embedding_dim) *
+                   static_cast<double>(optim::bytes_per_element(format));
+  if (format == optim::NumericFormat::kInt8RowWise) {
+    per_row += sizeof(float);  // the row scale travels with the row
+  }
+  return bytes(rows_read * per_row);
+}
+
+}  // namespace sustainai::recsys

@@ -1,0 +1,89 @@
+// A miniature DLRM-class recommendation model (Naumov et al., the paper's
+// reference RM architecture): a bottom MLP over dense features, sparse
+// embedding bags over categorical features, pairwise dot-product feature
+// interactions, and a top MLP producing a click probability.
+//
+// The model is real, runnable C++ — it is what the quantization experiment
+// (Section III-B) operates on: embedding tables can be served in fp32,
+// fp16, bf16, or row-wise int8, and the class accounts model size, the
+// >= 95% embedding share, and bytes touched per inference.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/units.h"
+#include "datagen/rng.h"
+#include "optim/quantization.h"
+#include "recsys/mlp.h"
+
+namespace sustainai::recsys {
+
+struct DlrmConfig {
+  int dense_features = 13;
+  std::vector<int> table_rows = {100000, 50000, 20000, 10000, 5000};
+  int embedding_dim = 32;
+  // Hidden widths; input/output widths are derived.
+  std::vector<int> bottom_hidden = {64, 32};
+  std::vector<int> top_hidden = {64, 32};
+  // Multi-hot lookups per table per sample.
+  int indices_per_table = 4;
+  std::uint64_t seed = 1234;
+};
+
+// One inference request: dense features + per-table index lists.
+struct DlrmSample {
+  std::vector<float> dense;
+  std::vector<std::vector<int>> sparse;  // one vector of indices per table
+};
+
+class DlrmModel {
+ public:
+  explicit DlrmModel(DlrmConfig config);
+
+  // Click probability in (0, 1).
+  [[nodiscard]] float forward(const DlrmSample& sample) const;
+
+  // Forward pass with embedding tables served from quantized storage;
+  // `format` selects the serving precision of every table.
+  [[nodiscard]] float forward_quantized(const DlrmSample& sample,
+                                        optim::NumericFormat format) const;
+
+  // Draws a valid random sample (indices within table bounds).
+  [[nodiscard]] DlrmSample random_sample(datagen::Rng& rng) const;
+
+  // --- Size and traffic accounting (Section III-B) ---
+  [[nodiscard]] DataSize embedding_bytes() const;
+  [[nodiscard]] DataSize mlp_bytes() const;
+  [[nodiscard]] DataSize model_bytes() const;
+  // Share of model bytes held in embedding tables (>= 95% for real RMs).
+  [[nodiscard]] double embedding_fraction() const;
+  // Embedding bytes read per inference at the given serving precision.
+  [[nodiscard]] DataSize embedding_bytes_per_inference(
+      optim::NumericFormat format) const;
+
+  [[nodiscard]] const DlrmConfig& config() const { return config_; }
+
+ private:
+  // Pools (sums) embedding rows for one table; `getter(row, d)` reads a
+  // weight in the requested precision.
+  template <typename Getter>
+  void pool_table(std::size_t table, std::span<const int> indices,
+                  Getter&& getter, std::span<float> out) const;
+
+  [[nodiscard]] float interact_and_score(std::span<const float> bottom_out,
+                                         const std::vector<std::vector<float>>&
+                                             pooled) const;
+
+  DlrmConfig config_;
+  std::vector<optim::EmbeddingTable> tables_;
+  // Lazily-built quantized copies per format (built in the constructor for
+  // the three quantized formats so forward_quantized is const and cheap).
+  std::vector<optim::QuantizedTable> fp16_tables_;
+  std::vector<optim::QuantizedTable> bf16_tables_;
+  std::vector<optim::QuantizedTable> int8_tables_;
+  Mlp bottom_;
+  Mlp top_;
+};
+
+}  // namespace sustainai::recsys

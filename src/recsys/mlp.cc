@@ -1,0 +1,97 @@
+#include "recsys/mlp.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::recsys {
+
+DenseLayer::DenseLayer(int in_features, int out_features, bool relu)
+    : in_features_(in_features), out_features_(out_features), relu_(relu) {
+  check_arg(in_features >= 1 && out_features >= 1,
+            "DenseLayer: features must be >= 1");
+  weights_.assign(
+      static_cast<std::size_t>(in_features) * static_cast<std::size_t>(out_features),
+      0.0f);
+  bias_.assign(static_cast<std::size_t>(out_features), 0.0f);
+}
+
+DenseLayer DenseLayer::random(int in_features, int out_features, bool relu,
+                              datagen::Rng& rng) {
+  DenseLayer layer(in_features, out_features, relu);
+  const double scale = std::sqrt(2.0 / in_features);  // He init
+  for (float& w : layer.weights_) {
+    w = static_cast<float>(rng.normal(0.0, scale));
+  }
+  return layer;
+}
+
+void DenseLayer::forward(std::span<const float> in, std::span<float> out) const {
+  check_arg(static_cast<int>(in.size()) == in_features_,
+            "DenseLayer::forward: input size mismatch");
+  check_arg(static_cast<int>(out.size()) == out_features_,
+            "DenseLayer::forward: output size mismatch");
+  for (int o = 0; o < out_features_; ++o) {
+    const float* row =
+        weights_.data() + static_cast<std::size_t>(o) * in_features_;
+    float acc = bias_[static_cast<std::size_t>(o)];
+    for (int i = 0; i < in_features_; ++i) {
+      acc += row[i] * in[static_cast<std::size_t>(i)];
+    }
+    out[static_cast<std::size_t>(o)] = relu_ && acc < 0.0f ? 0.0f : acc;
+  }
+}
+
+std::size_t DenseLayer::parameter_count() const {
+  return weights_.size() + bias_.size();
+}
+
+float& DenseLayer::weight(int out, int in) {
+  return weights_[static_cast<std::size_t>(out) * in_features_ + in];
+}
+
+float DenseLayer::weight(int out, int in) const {
+  return weights_[static_cast<std::size_t>(out) * in_features_ + in];
+}
+
+Mlp::Mlp(const std::vector<int>& widths, datagen::Rng& rng) {
+  check_arg(widths.size() >= 2, "Mlp: need at least input and output widths");
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    const bool relu = i + 2 < widths.size();  // no ReLU on the last layer
+    layers_.push_back(
+        DenseLayer::random(widths[i], widths[i + 1], relu, rng));
+  }
+}
+
+std::vector<float> Mlp::forward(std::span<const float> in) const {
+  std::vector<float> current(in.begin(), in.end());
+  std::vector<float> next;
+  for (const DenseLayer& layer : layers_) {
+    next.assign(static_cast<std::size_t>(layer.out_features()), 0.0f);
+    layer.forward(current, next);
+    current.swap(next);
+  }
+  return current;
+}
+
+int Mlp::in_features() const { return layers_.front().in_features(); }
+int Mlp::out_features() const { return layers_.back().out_features(); }
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t count = 0;
+  for (const DenseLayer& layer : layers_) {
+    count += layer.parameter_count();
+  }
+  return count;
+}
+
+float sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+}  // namespace sustainai::recsys

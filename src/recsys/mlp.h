@@ -1,0 +1,66 @@
+// Dense multi-layer perceptron — the "computationally-intensive" FC
+// sub-net of a recommendation model (Section III-B: "There are two primary
+// sub-nets in a RM: the dense fully-connected (FC) network and the sparse
+// embedding-based network").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "datagen/rng.h"
+
+namespace sustainai::recsys {
+
+// One fully-connected layer with optional ReLU.
+class DenseLayer {
+ public:
+  DenseLayer(int in_features, int out_features, bool relu);
+
+  static DenseLayer random(int in_features, int out_features, bool relu,
+                           datagen::Rng& rng);
+
+  // `out` must have size out_features(); `in` size in_features().
+  void forward(std::span<const float> in, std::span<float> out) const;
+
+  [[nodiscard]] int in_features() const { return in_features_; }
+  [[nodiscard]] int out_features() const { return out_features_; }
+  [[nodiscard]] bool has_relu() const { return relu_; }
+  [[nodiscard]] std::size_t parameter_count() const;
+  float& weight(int out, int in);
+  [[nodiscard]] float weight(int out, int in) const;
+  float& bias(int out) { return bias_[static_cast<std::size_t>(out)]; }
+  [[nodiscard]] float bias(int out) const {
+    return bias_[static_cast<std::size_t>(out)];
+  }
+
+ private:
+  int in_features_;
+  int out_features_;
+  bool relu_;
+  std::vector<float> weights_;  // row-major [out][in]
+  std::vector<float> bias_;
+};
+
+// A stack of DenseLayers; ReLU on all but the last.
+class Mlp {
+ public:
+  // `widths` = {in, hidden..., out}; needs at least in and out.
+  Mlp(const std::vector<int>& widths, datagen::Rng& rng);
+
+  [[nodiscard]] std::vector<float> forward(std::span<const float> in) const;
+  [[nodiscard]] int in_features() const;
+  [[nodiscard]] int out_features() const;
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  // Layer access for training (backpropagation lives in trainer.h).
+  [[nodiscard]] const std::vector<DenseLayer>& layers() const { return layers_; }
+  [[nodiscard]] std::vector<DenseLayer>& layers() { return layers_; }
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+// Numerically stable logistic.
+[[nodiscard]] float sigmoid(float x);
+
+}  // namespace sustainai::recsys

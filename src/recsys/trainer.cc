@@ -1,0 +1,319 @@
+#include "recsys/trainer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace sustainai::recsys {
+namespace {
+
+// Per-MLP activations: inputs[i] feeds layer i; inputs[L] is the output.
+struct MlpCache {
+  std::vector<std::vector<float>> inputs;
+};
+
+void mlp_forward_cached(const Mlp& mlp, std::span<const float> in,
+                        MlpCache& cache) {
+  cache.inputs.clear();
+  cache.inputs.emplace_back(in.begin(), in.end());
+  for (const DenseLayer& layer : mlp.layers()) {
+    std::vector<float> out(static_cast<std::size_t>(layer.out_features()));
+    layer.forward(cache.inputs.back(), out);
+    cache.inputs.push_back(std::move(out));
+  }
+}
+
+// SGD backward through the whole MLP; returns dL/dinput. Gradients are
+// computed with pre-update weights, then weights are updated in place.
+std::vector<float> mlp_backward(Mlp& mlp, const MlpCache& cache,
+                                std::vector<float> dout, float lr) {
+  for (std::size_t li = mlp.layers().size(); li-- > 0;) {
+    DenseLayer& layer = mlp.layers()[li];
+    const std::vector<float>& x = cache.inputs[li];
+    const std::vector<float>& out = cache.inputs[li + 1];
+    // ReLU mask.
+    std::vector<float> dpre = dout;
+    if (layer.has_relu()) {
+      for (int o = 0; o < layer.out_features(); ++o) {
+        if (out[static_cast<std::size_t>(o)] <= 0.0f) {
+          dpre[static_cast<std::size_t>(o)] = 0.0f;
+        }
+      }
+    }
+    // dL/dx with pre-update weights.
+    std::vector<float> dx(static_cast<std::size_t>(layer.in_features()), 0.0f);
+    for (int o = 0; o < layer.out_features(); ++o) {
+      const float g = dpre[static_cast<std::size_t>(o)];
+      if (g == 0.0f) {
+        continue;
+      }
+      for (int i = 0; i < layer.in_features(); ++i) {
+        dx[static_cast<std::size_t>(i)] += layer.weight(o, i) * g;
+      }
+    }
+    // SGD update.
+    for (int o = 0; o < layer.out_features(); ++o) {
+      const float g = dpre[static_cast<std::size_t>(o)];
+      if (g == 0.0f) {
+        continue;
+      }
+      for (int i = 0; i < layer.in_features(); ++i) {
+        layer.weight(o, i) -= lr * g * x[static_cast<std::size_t>(i)];
+      }
+      layer.bias(o) -= lr * g;
+    }
+    dout = std::move(dx);
+  }
+  return dout;
+}
+
+std::vector<int> bottom_widths(const TrainableDlrmConfig& c) {
+  return {c.dense_features, c.bottom_hidden, c.embedding_dim};
+}
+
+int interaction_count(const TrainableDlrmConfig& c) {
+  const int vectors = static_cast<int>(c.table_rows.size()) + 1;
+  return vectors * (vectors - 1) / 2;
+}
+
+std::vector<int> top_widths(const TrainableDlrmConfig& c) {
+  return {interaction_count(c) + c.embedding_dim, c.top_hidden, 1};
+}
+
+Mlp make_mlp(const std::vector<int>& widths, std::uint64_t seed) {
+  datagen::Rng rng(seed);
+  return Mlp(widths, rng);
+}
+
+float logloss(float p, float y) {
+  constexpr float kEps = 1e-7f;
+  const float clamped = std::min(std::max(p, kEps), 1.0f - kEps);
+  return -(y * std::log(clamped) + (1.0f - y) * std::log(1.0f - clamped));
+}
+
+}  // namespace
+
+struct TrainableDlrm::ForwardCache {
+  MlpCache bottom;
+  std::vector<std::vector<float>> pooled;  // one vector per table
+  std::vector<float> top_input;
+  MlpCache top;
+  float probability = 0.0f;
+};
+
+TrainableDlrm::TrainableDlrm(TrainableDlrmConfig config)
+    : config_(std::move(config)),
+      bottom_(make_mlp(bottom_widths(config_), config_.seed ^ 0x1111ULL)),
+      top_(make_mlp(top_widths(config_), config_.seed ^ 0x2222ULL)) {
+  check_arg(!config_.table_rows.empty(), "TrainableDlrm: need >= 1 table");
+  check_arg(config_.embedding_dim >= 1,
+            "TrainableDlrm: embedding_dim must be >= 1");
+  datagen::Rng rng(config_.seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.embedding_dim));
+  for (int rows : config_.table_rows) {
+    check_arg(rows >= 1, "TrainableDlrm: table rows must be >= 1");
+    std::vector<float> table(static_cast<std::size_t>(rows) *
+                             config_.embedding_dim);
+    for (float& v : table) {
+      v = static_cast<float>(rng.normal(0.0, scale));
+    }
+    tables_.push_back(std::move(table));
+  }
+}
+
+void TrainableDlrm::forward_internal(const LabeledSample& sample,
+                                     ForwardCache& cache) const {
+  check_arg(sample.indices.size() == tables_.size(),
+            "TrainableDlrm: wrong number of sparse indices");
+  check_arg(static_cast<int>(sample.dense.size()) == config_.dense_features,
+            "TrainableDlrm: wrong dense feature count");
+  mlp_forward_cached(bottom_, sample.dense, cache.bottom);
+  const std::vector<float>& b = cache.bottom.inputs.back();
+  const int d = config_.embedding_dim;
+
+  cache.pooled.clear();
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const int idx = sample.indices[t];
+    check_arg(idx >= 0 && idx < config_.table_rows[t],
+              "TrainableDlrm: sparse index out of range");
+    const float* row = tables_[t].data() + static_cast<std::size_t>(idx) * d;
+    cache.pooled.emplace_back(row, row + d);
+  }
+
+  // Interactions among [b, e_1 .. e_T], then concat b.
+  cache.top_input.clear();
+  std::vector<const std::vector<float>*> vecs;
+  vecs.push_back(&b);
+  for (const auto& p : cache.pooled) {
+    vecs.push_back(&p);
+  }
+  for (std::size_t a = 0; a < vecs.size(); ++a) {
+    for (std::size_t c = a + 1; c < vecs.size(); ++c) {
+      float dot = 0.0f;
+      for (int j = 0; j < d; ++j) {
+        dot += (*vecs[a])[static_cast<std::size_t>(j)] *
+               (*vecs[c])[static_cast<std::size_t>(j)];
+      }
+      cache.top_input.push_back(dot);
+    }
+  }
+  cache.top_input.insert(cache.top_input.end(), b.begin(), b.end());
+
+  mlp_forward_cached(top_, cache.top_input, cache.top);
+  cache.probability = sigmoid(cache.top.inputs.back()[0]);
+}
+
+float TrainableDlrm::predict(const LabeledSample& sample) const {
+  ForwardCache cache;
+  forward_internal(sample, cache);
+  return cache.probability;
+}
+
+float TrainableDlrm::train_step(const LabeledSample& sample,
+                                float learning_rate) {
+  check_arg(learning_rate > 0.0f, "train_step: learning rate must be positive");
+  ForwardCache cache;
+  forward_internal(sample, cache);
+  const float loss = logloss(cache.probability, sample.label);
+
+  // d logloss / d logit = p - y.
+  std::vector<float> dlogit = {cache.probability - sample.label};
+  const std::vector<float> dtop_in =
+      mlp_backward(top_, cache.top, std::move(dlogit), learning_rate);
+
+  const int d = config_.embedding_dim;
+  const std::size_t num_vectors = tables_.size() + 1;
+  const std::size_t num_interactions = num_vectors * (num_vectors - 1) / 2;
+
+  // Gradients on the interaction vectors [b, e_1 .. e_T].
+  const std::vector<float>& b = cache.bottom.inputs.back();
+  std::vector<const std::vector<float>*> vecs;
+  vecs.push_back(&b);
+  for (const auto& p : cache.pooled) {
+    vecs.push_back(&p);
+  }
+  std::vector<std::vector<float>> dvec(
+      num_vectors, std::vector<float>(static_cast<std::size_t>(d), 0.0f));
+  std::size_t k = 0;
+  for (std::size_t a = 0; a < num_vectors; ++a) {
+    for (std::size_t c = a + 1; c < num_vectors; ++c, ++k) {
+      const float g = dtop_in[k];
+      if (g == 0.0f) {
+        continue;
+      }
+      for (int j = 0; j < d; ++j) {
+        dvec[a][static_cast<std::size_t>(j)] +=
+            g * (*vecs[c])[static_cast<std::size_t>(j)];
+        dvec[c][static_cast<std::size_t>(j)] +=
+            g * (*vecs[a])[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  // The concatenated copy of b contributes directly.
+  for (int j = 0; j < d; ++j) {
+    dvec[0][static_cast<std::size_t>(j)] +=
+        dtop_in[num_interactions + static_cast<std::size_t>(j)];
+  }
+
+  // Update embedding rows.
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    float* row = tables_[t].data() +
+                 static_cast<std::size_t>(sample.indices[t]) * d;
+    for (int j = 0; j < d; ++j) {
+      row[j] -= learning_rate * dvec[t + 1][static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Backprop through the bottom MLP.
+  mlp_backward(bottom_, cache.bottom, std::move(dvec[0]), learning_rate);
+  return loss;
+}
+
+double TrainableDlrm::evaluate(const std::vector<LabeledSample>& data) const {
+  check_arg(!data.empty(), "evaluate: empty dataset");
+  double sum = 0.0;
+  for (const LabeledSample& s : data) {
+    sum += logloss(predict(s), s.label);
+  }
+  return sum / static_cast<double>(data.size());
+}
+
+std::size_t TrainableDlrm::flops_per_example() const {
+  const std::size_t mlp_macs =
+      bottom_.parameter_count() + top_.parameter_count();
+  const std::size_t interaction_macs =
+      static_cast<std::size_t>(interaction_count(config_)) *
+      static_cast<std::size_t>(config_.embedding_dim);
+  return 2 * (mlp_macs + interaction_macs);  // MAC = 2 FLOPs
+}
+
+std::vector<LabeledSample> synthesize_ctr_dataset(
+    const TrainableDlrmConfig& config, int num_samples, std::uint64_t seed,
+    bool soft_labels) {
+  check_arg(num_samples >= 1, "synthesize_ctr_dataset: need >= 1 sample");
+  // The teacher is a fixed function of the model family (config.seed), so
+  // different data seeds draw different samples from the SAME ground truth.
+  TrainableDlrmConfig teacher_config = config;
+  teacher_config.seed = config.seed ^ 0x7ea4e12ULL;
+  const TrainableDlrm teacher(teacher_config);
+  datagen::Rng rng(seed);
+  std::vector<LabeledSample> data;
+  data.reserve(static_cast<std::size_t>(num_samples));
+  for (int i = 0; i < num_samples; ++i) {
+    LabeledSample s;
+    s.dense.reserve(static_cast<std::size_t>(config.dense_features));
+    for (int f = 0; f < config.dense_features; ++f) {
+      s.dense.push_back(static_cast<float>(rng.normal(0.0, 1.0)));
+    }
+    for (int rows : config.table_rows) {
+      s.indices.push_back(static_cast<int>(rng.uniform_int(0, rows - 1)));
+    }
+    // Sharpen the teacher's logit so the signal dominates label noise.
+    const float p = teacher.predict(s);
+    const float logit = std::log(std::max(p, 1e-6f) / std::max(1.0f - p, 1e-6f));
+    const float sharpened = sigmoid(4.0f * logit);
+    s.label = soft_labels ? sharpened : (rng.bernoulli(sharpened) ? 1.0f : 0.0f);
+    data.push_back(std::move(s));
+  }
+  return data;
+}
+
+Energy TrainingRunResult::energy(double achieved_gflops_per_joule) const {
+  check_arg(achieved_gflops_per_joule > 0.0,
+            "TrainingRunResult: efficiency must be positive");
+  return joules(total_gflops / achieved_gflops_per_joule);
+}
+
+TrainingRunResult train_dlrm(TrainableDlrm& model,
+                             const std::vector<LabeledSample>& train,
+                             const std::vector<LabeledSample>& holdout,
+                             int epochs, float learning_rate) {
+  check_arg(epochs >= 1, "train_dlrm: need >= 1 epoch");
+  check_arg(!train.empty() && !holdout.empty(),
+            "train_dlrm: datasets must be non-empty");
+  datagen::Rng rng(model.config().seed ^ 0x5ff1eULL);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainingRunResult result;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    // Fisher-Yates shuffle.
+    for (std::size_t i = order.size(); i-- > 1;) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i)));
+      std::swap(order[i], order[j]);
+    }
+    for (std::size_t idx : order) {
+      model.train_step(train[idx], learning_rate);
+    }
+    result.epoch_losses.push_back(model.evaluate(holdout));
+  }
+  result.final_loss = result.epoch_losses.back();
+  // Forward ~ flops_per_example; backward ~ 2x forward.
+  result.total_gflops = static_cast<double>(model.flops_per_example()) * 3.0 *
+                        static_cast<double>(train.size()) * epochs / 1e9;
+  return result;
+}
+
+}  // namespace sustainai::recsys

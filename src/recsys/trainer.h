@@ -1,0 +1,87 @@
+// SGD training for the mini-DLRM (the workload whose energy/quality
+// trade-offs Figures 4, 6 and 12 reason about — here made runnable).
+//
+// A teacher model labels synthetic traffic; a student DLRM-style model
+// (bottom MLP -> single-hot embedding lookups -> pairwise dot interactions
+// -> top MLP -> sigmoid) trains with plain SGD on the logistic loss,
+// back-propagating through the full architecture including the embedding
+// rows. Training work is accounted in FLOPs so energy follows from a
+// device's achievable FLOP/s and power — letting the scaling experiments
+// of Figure 12 be re-run on an actual model instead of a closed-form law.
+#pragma once
+
+#include <vector>
+
+#include "core/units.h"
+#include "datagen/rng.h"
+#include "recsys/mlp.h"
+
+namespace sustainai::recsys {
+
+struct TrainableDlrmConfig {
+  int dense_features = 8;
+  std::vector<int> table_rows = {2000, 1000};  // single-hot per table
+  int embedding_dim = 8;
+  int bottom_hidden = 16;
+  int top_hidden = 16;
+  std::uint64_t seed = 99;
+};
+
+// One labeled example: dense features, one index per table, click label.
+struct LabeledSample {
+  std::vector<float> dense;
+  std::vector<int> indices;
+  float label = 0.0f;
+};
+
+class TrainableDlrm {
+ public:
+  explicit TrainableDlrm(TrainableDlrmConfig config);
+
+  // Click probability.
+  [[nodiscard]] float predict(const LabeledSample& sample) const;
+
+  // One SGD step on the logistic loss; returns the loss before the update.
+  float train_step(const LabeledSample& sample, float learning_rate);
+
+  // Mean logistic loss over a dataset.
+  [[nodiscard]] double evaluate(const std::vector<LabeledSample>& data) const;
+
+  // Multiply-accumulate count of one forward (+~2x for backward).
+  [[nodiscard]] std::size_t flops_per_example() const;
+
+  [[nodiscard]] const TrainableDlrmConfig& config() const { return config_; }
+
+ private:
+  struct ForwardCache;
+  void forward_internal(const LabeledSample& sample, ForwardCache& cache) const;
+
+  TrainableDlrmConfig config_;
+  std::vector<std::vector<float>> tables_;  // [table][row * dim + d]
+  Mlp bottom_;
+  Mlp top_;
+};
+
+// Generates a labeled dataset from a hidden teacher of the same family.
+// With `soft_labels` the label is the teacher's (sharpened) click
+// probability instead of a Bernoulli draw — useful for low-variance
+// held-out evaluation (cross-entropy against soft targets).
+[[nodiscard]] std::vector<LabeledSample> synthesize_ctr_dataset(
+    const TrainableDlrmConfig& config, int num_samples, std::uint64_t seed,
+    bool soft_labels = false);
+
+struct TrainingRunResult {
+  std::vector<double> epoch_losses;  // held-out logloss after each epoch
+  double final_loss = 0.0;
+  double total_gflops = 0.0;
+  // Energy on a device achieving `achieved_gflops_per_joule`.
+  [[nodiscard]] Energy energy(double achieved_gflops_per_joule) const;
+};
+
+// Trains on `train`, evaluates on `holdout` each epoch.
+[[nodiscard]] TrainingRunResult train_dlrm(TrainableDlrm& model,
+                                           const std::vector<LabeledSample>& train,
+                                           const std::vector<LabeledSample>& holdout,
+                                           int epochs, float learning_rate);
+
+}  // namespace sustainai::recsys

@@ -1,0 +1,157 @@
+#include "recsys/tt_embedding.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::recsys {
+
+long TtShape::rows() const {
+  return static_cast<long>(row_factors[0]) * row_factors[1] * row_factors[2];
+}
+
+int TtShape::dim() const {
+  return dim_factors[0] * dim_factors[1] * dim_factors[2];
+}
+
+TtEmbeddingTable::TtEmbeddingTable(TtShape shape, datagen::Rng& rng)
+    : shape_(shape) {
+  for (int f : shape_.row_factors) {
+    check_arg(f >= 1, "TtEmbeddingTable: row factors must be >= 1");
+  }
+  for (int f : shape_.dim_factors) {
+    check_arg(f >= 1, "TtEmbeddingTable: dim factors must be >= 1");
+  }
+  for (int r : shape_.ranks) {
+    check_arg(r >= 1, "TtEmbeddingTable: ranks must be >= 1");
+  }
+  const auto [n1, n2, n3] = shape_.row_factors;
+  const auto [d1, d2, d3] = shape_.dim_factors;
+  const auto [r1, r2] = shape_.ranks;
+  core1_.assign(static_cast<std::size_t>(n1) * d1 * r1, 0.0f);
+  core2_.assign(static_cast<std::size_t>(r1) * n2 * d2 * r2, 0.0f);
+  core3_.assign(static_cast<std::size_t>(r2) * n3 * d3, 0.0f);
+  // Row values are sums of r1*r2 triple products; scale per-core sigma so
+  // the reconstructed row variance is ~1/D (dense-table initialization).
+  const double target_var = 1.0 / shape_.dim();
+  const double sigma =
+      std::pow(target_var / (static_cast<double>(r1) * r2), 1.0 / 6.0);
+  for (float& v : core1_) {
+    v = static_cast<float>(rng.normal(0.0, sigma));
+  }
+  for (float& v : core2_) {
+    v = static_cast<float>(rng.normal(0.0, sigma));
+  }
+  for (float& v : core3_) {
+    v = static_cast<float>(rng.normal(0.0, sigma));
+  }
+}
+
+std::array<int, 3> TtEmbeddingTable::decode_index(long row) const {
+  check_arg(row >= 0 && row < rows(), "TtEmbeddingTable: row out of range");
+  const auto [n1, n2, n3] = shape_.row_factors;
+  (void)n1;
+  std::array<int, 3> idx{};
+  idx[2] = static_cast<int>(row % n3);
+  row /= n3;
+  idx[1] = static_cast<int>(row % n2);
+  idx[0] = static_cast<int>(row / n2);
+  return idx;
+}
+
+float& TtEmbeddingTable::g1(int i1, int j1, int r) {
+  const auto [d1, r1] = std::pair{shape_.dim_factors[0], shape_.ranks[0]};
+  return core1_[(static_cast<std::size_t>(i1) * d1 + j1) * r1 + r];
+}
+
+float& TtEmbeddingTable::g2(int r_in, int i2, int j2, int r_out) {
+  const int n2 = shape_.row_factors[1];
+  const int d2 = shape_.dim_factors[1];
+  const int r2 = shape_.ranks[1];
+  return core2_[((static_cast<std::size_t>(r_in) * n2 + i2) * d2 + j2) * r2 +
+                r_out];
+}
+
+float& TtEmbeddingTable::g3(int r_in, int i3, int j3) {
+  const int n3 = shape_.row_factors[2];
+  const int d3 = shape_.dim_factors[2];
+  return core3_[(static_cast<std::size_t>(r_in) * n3 + i3) * d3 + j3];
+}
+
+std::vector<float> TtEmbeddingTable::lookup(long row) const {
+  const auto [i1, i2, i3] = decode_index(row);
+  const auto [d1, d2, d3] = shape_.dim_factors;
+  const auto [r1, r2] = shape_.ranks;
+  const int n2 = shape_.row_factors[1];
+  const int n3 = shape_.row_factors[2];
+
+  // Slices: A[d1][r1], B[r1][d2][r2], C[r2][d3].
+  const float* a = core1_.data() +
+                   static_cast<std::size_t>(i1) * d1 * r1;
+  auto b_at = [&](int ra, int j2, int rb) {
+    return core2_[((static_cast<std::size_t>(ra) * n2 + i2) * d2 + j2) * r2 +
+                  rb];
+  };
+  auto c_at = [&](int rb, int j3) {
+    return core3_[(static_cast<std::size_t>(rb) * n3 + i3) * d3 + j3];
+  };
+
+  // M[j1][j2][rb] = sum_ra A[j1][ra] * B[ra][j2][rb].
+  std::vector<float> m(static_cast<std::size_t>(d1) * d2 * r2, 0.0f);
+  for (int j1 = 0; j1 < d1; ++j1) {
+    for (int ra = 0; ra < r1; ++ra) {
+      const float av = a[static_cast<std::size_t>(j1) * r1 + ra];
+      if (av == 0.0f) {
+        continue;
+      }
+      for (int j2 = 0; j2 < d2; ++j2) {
+        for (int rb = 0; rb < r2; ++rb) {
+          m[(static_cast<std::size_t>(j1) * d2 + j2) * r2 + rb] +=
+              av * b_at(ra, j2, rb);
+        }
+      }
+    }
+  }
+  // row[j1][j2][j3] = sum_rb M[j1][j2][rb] * C[rb][j3].
+  std::vector<float> out(static_cast<std::size_t>(dim()), 0.0f);
+  for (int j1 = 0; j1 < d1; ++j1) {
+    for (int j2 = 0; j2 < d2; ++j2) {
+      for (int rb = 0; rb < r2; ++rb) {
+        const float mv = m[(static_cast<std::size_t>(j1) * d2 + j2) * r2 + rb];
+        if (mv == 0.0f) {
+          continue;
+        }
+        for (int j3 = 0; j3 < d3; ++j3) {
+          out[(static_cast<std::size_t>(j1) * d2 + j2) * d3 + j3] +=
+              mv * c_at(rb, j3);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t TtEmbeddingTable::parameter_count() const {
+  return core1_.size() + core2_.size() + core3_.size();
+}
+
+DataSize TtEmbeddingTable::size_bytes() const {
+  return bytes(static_cast<double>(parameter_count()) * sizeof(float));
+}
+
+DataSize TtEmbeddingTable::dense_equivalent_bytes() const {
+  return bytes(static_cast<double>(rows()) * dim() * sizeof(float));
+}
+
+double TtEmbeddingTable::compression_ratio() const {
+  return to_bytes(dense_equivalent_bytes()) / to_bytes(size_bytes());
+}
+
+std::size_t TtEmbeddingTable::flops_per_lookup() const {
+  const auto [d1, d2, d3] = shape_.dim_factors;
+  const auto [r1, r2] = shape_.ranks;
+  return static_cast<std::size_t>(d1) * d2 * r1 * r2 +
+         static_cast<std::size_t>(d1) * d2 * d3 * r2;
+}
+
+}  // namespace sustainai::recsys

@@ -1,0 +1,70 @@
+// Tensor-train compressed embedding tables (Section IV-B: "the Tensor-
+// Train compression technique (TT-Rec) achieves more than 100x memory
+// capacity reduction with negligible training time and accuracy
+// trade-off").
+//
+// The N x D embedding matrix is factorized as a 3-core TT-matrix:
+// N = n1*n2*n3 rows, D = d1*d2*d3 columns, cores
+//   G1[n1][d1][r1],  G2[r1][n2][d2][r2],  G3[r2][n3][d3].
+// A row lookup decodes the index into (i1, i2, i3) and contracts the three
+// index slices — trading >100x less memory for a few hundred extra FLOPs
+// per lookup (less embodied DRAM, slightly more compute: exactly the
+// trade-off the paper discusses).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/units.h"
+#include "datagen/rng.h"
+
+namespace sustainai::recsys {
+
+struct TtShape {
+  std::array<int, 3> row_factors = {100, 100, 100};  // N = product
+  std::array<int, 3> dim_factors = {4, 4, 4};        // D = product
+  std::array<int, 2> ranks = {16, 16};
+
+  [[nodiscard]] long rows() const;
+  [[nodiscard]] int dim() const;
+};
+
+class TtEmbeddingTable {
+ public:
+  // Gaussian-initialized cores, scaled so reconstructed rows have variance
+  // comparable to a 1/sqrt(D)-initialized dense table.
+  TtEmbeddingTable(TtShape shape, datagen::Rng& rng);
+
+  [[nodiscard]] long rows() const { return shape_.rows(); }
+  [[nodiscard]] int dim() const { return shape_.dim(); }
+
+  // Materializes one embedding row (the inference-path contraction).
+  [[nodiscard]] std::vector<float> lookup(long row) const;
+
+  // Decodes a flat row index into per-core indices (mixed radix, the last
+  // factor fastest).
+  [[nodiscard]] std::array<int, 3> decode_index(long row) const;
+
+  [[nodiscard]] std::size_t parameter_count() const;
+  [[nodiscard]] DataSize size_bytes() const;
+  // Bytes of the equivalent dense fp32 table.
+  [[nodiscard]] DataSize dense_equivalent_bytes() const;
+  [[nodiscard]] double compression_ratio() const;
+  // Multiply-accumulate operations per lookup (the compute cost of the
+  // memory saving).
+  [[nodiscard]] std::size_t flops_per_lookup() const;
+
+  // Direct core access for testing (g1[i1][j1][r], ...).
+  float& g1(int i1, int j1, int r);
+  float& g2(int r_in, int i2, int j2, int r_out);
+  float& g3(int r_in, int i3, int j3);
+
+ private:
+  TtShape shape_;
+  std::vector<float> core1_;  // [n1][d1][r1]
+  std::vector<float> core2_;  // [r1][n2][d2][r2]
+  std::vector<float> core3_;  // [r2][n3][d3]
+};
+
+}  // namespace sustainai::recsys

@@ -1,0 +1,52 @@
+#include "report/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace sustainai::report {
+
+std::string bar_chart(const std::vector<std::string>& labels,
+                      const std::vector<double>& values, int width) {
+  check_arg(labels.size() == values.size(), "bar_chart: size mismatch");
+  check_arg(width >= 1, "bar_chart: width must be >= 1");
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    check_arg(values[i] >= 0.0, "bar_chart: values must be non-negative");
+    max_v = std::max(max_v, values[i]);
+    label_w = std::max(label_w, labels[i].size());
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int n = max_v == 0.0
+                      ? 0
+                      : static_cast<int>(std::lround(values[i] / max_v * width));
+    out << labels[i] << std::string(label_w - labels[i].size(), ' ') << " | "
+        << std::string(static_cast<std::size_t>(n), '#') << " "
+        << values[i] << "\n";
+  }
+  return out.str();
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  constexpr int kNumLevels = 8;
+  if (values.empty()) {
+    return "";
+  }
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  std::ostringstream out;
+  for (double v : values) {
+    int level = hi == lo ? 0
+                         : static_cast<int>((v - lo) / (hi - lo) * (kNumLevels - 1));
+    level = std::clamp(level, 0, kNumLevels - 1);
+    out << kLevels[level];
+  }
+  return out.str();
+}
+
+}  // namespace sustainai::report

@@ -1,0 +1,18 @@
+// Minimal ASCII bar charts so figure harnesses can show shapes inline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sustainai::report {
+
+// Horizontal bar chart; bar lengths scale to `width` at the max value.
+// Values must be non-negative.
+[[nodiscard]] std::string bar_chart(const std::vector<std::string>& labels,
+                                    const std::vector<double>& values,
+                                    int width = 50);
+
+// Sparkline-style line for a series using block characters.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
+}  // namespace sustainai::report

@@ -1,0 +1,28 @@
+// CSV emission for downstream plotting of figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sustainai::report {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row_values(const std::vector<double>& values);
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Writes to `path`; returns false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sustainai::report

@@ -1,0 +1,148 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sustainai::report {
+
+JsonWriter::JsonWriter() = default;
+
+void JsonWriter::comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) {
+      out_ += ',';
+    }
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::write_string(const std::string& s) {
+  out_ += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out_ += buf;
+        } else {
+          out_ += ch;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& key) {
+  comma();
+  write_string(key);
+  out_ += ":{";
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  check_arg(!needs_comma_.empty(), "JsonWriter: unbalanced end_object");
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+  comma();
+  write_string(key);
+  out_ += ":[";
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  check_arg(!needs_comma_.empty(), "JsonWriter: unbalanced end_array");
+  out_ += ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& value) {
+  comma();
+  write_string(key);
+  out_ += ':';
+  write_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const char* value) {
+  return field(key, std::string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value) {
+  comma();
+  write_string(key);
+  char buf[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), ":%.10g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), ":null");
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, long value) {
+  comma();
+  write_string(key);
+  out_ += ':' + std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool value) {
+  comma();
+  write_string(key);
+  out_ += value ? ":true" : ":false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(double value) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(const std::string& value) {
+  comma();
+  write_string(value);
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  check_arg(needs_comma_.empty(), "JsonWriter: unclosed containers");
+  return out_;
+}
+
+}  // namespace sustainai::report

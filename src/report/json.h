@@ -1,0 +1,45 @@
+// Minimal JSON emission for machine-readable carbon reports (Section V-A's
+// "easy-to-adopt telemetry" needs outputs dashboards can ingest).
+//
+// Write-only builder: values are appended in document order; nesting via
+// begin_object/begin_array. No parsing, no DOM — just correct escaping and
+// well-formed output, verified by tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sustainai::report {
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  // Object/array structure. `key` variants are for use inside objects,
+  // keyless variants inside arrays (or for the root).
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(const std::string& key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key);
+  JsonWriter& end_array();
+
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, const char* value);
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, long value);
+  JsonWriter& field(const std::string& key, bool value);
+  JsonWriter& element(double value);
+  JsonWriter& element(const std::string& value);
+
+  // Finishes the document; throws if containers are still open.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void comma();
+  void write_string(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one entry per open container
+};
+
+}  // namespace sustainai::report

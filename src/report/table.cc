@@ -1,0 +1,78 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace sustainai::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  check_arg(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  check_arg(cells.size() == headers_.size(), "Table::add_row: arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::string& label,
+                           const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(fmt(v));
+  }
+  add_row(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_factor(double factor) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3gx", factor);
+  return buf;
+}
+
+}  // namespace sustainai::report

@@ -1,0 +1,38 @@
+// Fixed-width table formatting for figure harnesses.
+//
+// Every bench binary prints the rows/series the paper's figure reports; a
+// shared formatter keeps the output uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sustainai::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with %.4g.
+  void add_row_values(const std::string& label, const std::vector<double>& values);
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with up-to-4 significant digits (helper for cells).
+[[nodiscard]] std::string fmt(double value);
+// Formats as a percentage with one decimal, e.g. "28.5%".
+[[nodiscard]] std::string fmt_percent(double fraction);
+// Formats a multiplicative factor, e.g. "812x".
+[[nodiscard]] std::string fmt_factor(double factor);
+
+}  // namespace sustainai::report

@@ -1,0 +1,50 @@
+#include "scaling/halflife_fit.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::scaling {
+
+double HalfLifeFit::value_at(Duration age) const {
+  check_arg(to_seconds(age) >= 0.0, "HalfLifeFit: age must be >= 0");
+  return initial_value * std::exp2(-to_seconds(age) / to_seconds(half_life));
+}
+
+HalfLifeFit fit_half_life(const std::vector<Duration>& ages,
+                          const std::vector<double>& values) {
+  check_arg(ages.size() == values.size(), "fit_half_life: size mismatch");
+  check_arg(ages.size() >= 2, "fit_half_life: need at least two points");
+  const auto n = static_cast<double>(ages.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < ages.size(); ++i) {
+    check_arg(values[i] > 0.0, "fit_half_life: values must be positive");
+    const double x = to_years(ages[i]);
+    const double y = std::log2(values[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  check_arg(denom != 0.0, "fit_half_life: ages are degenerate");
+  const double slope = (n * sxy - sx * sy) / denom;  // log2-value per year
+  check_arg(slope < 0.0, "fit_half_life: data does not decay");
+  const double intercept = (sy - slope * sx) / n;
+
+  HalfLifeFit fit;
+  fit.half_life = years(-1.0 / slope);
+  fit.initial_value = std::exp2(intercept);
+  const double ybar = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < ages.size(); ++i) {
+    const double y = std::log2(values[i]);
+    const double pred = intercept + slope * to_years(ages[i]);
+    ss_res += (y - pred) * (y - pred);
+    ss_tot += (y - ybar) * (y - ybar);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace sustainai::scaling

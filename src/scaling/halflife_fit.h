@@ -1,0 +1,31 @@
+// Estimating the half-life of data from noisy observations (Section IV-A:
+// "If we were able to predict the half-life time of data, we can devise
+// effective sampling strategies").
+//
+// Given (age, measured predictive value) pairs, fits value = v0 * 2^(-age/H)
+// by log2-linear least squares, returning the estimated half-life and fit
+// quality — the measurement step that turns the perishability model into
+// an actionable retention policy.
+#pragma once
+
+#include <vector>
+
+#include "core/units.h"
+
+namespace sustainai::scaling {
+
+struct HalfLifeFit {
+  Duration half_life;
+  double initial_value = 1.0;  // fitted value at age 0
+  double r_squared = 0.0;
+
+  [[nodiscard]] double value_at(Duration age) const;
+};
+
+// All values must be positive; at least two distinct ages required.
+// Throws std::invalid_argument if the fit implies non-decaying data
+// (half-life would be non-positive/infinite growth).
+[[nodiscard]] HalfLifeFit fit_half_life(const std::vector<Duration>& ages,
+                                        const std::vector<double>& values);
+
+}  // namespace sustainai::scaling

@@ -1,0 +1,63 @@
+#include "scaling/perishability.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::scaling {
+namespace {
+
+// Integral of 2^(-t/H) over [0, w]: H/ln2 * (1 - 2^(-w/H)).
+double value_integral(double window_s, double half_life_s) {
+  const double k = std::log(2.0) / half_life_s;
+  return (1.0 - std::exp(-k * window_s)) / k;
+}
+
+}  // namespace
+
+double DataHalfLife::value_at(Duration age) const {
+  check_arg(to_seconds(age) >= 0.0, "DataHalfLife: age must be >= 0");
+  check_arg(to_seconds(half_life) > 0.0, "DataHalfLife: half-life must be positive");
+  return std::exp2(-to_seconds(age) / to_seconds(half_life));
+}
+
+double storage_fraction(Duration horizon, Duration keep_window) {
+  check_arg(to_seconds(horizon) > 0.0, "storage_fraction: horizon must be positive");
+  check_arg(to_seconds(keep_window) >= 0.0 &&
+                to_seconds(keep_window) <= to_seconds(horizon),
+            "storage_fraction: keep_window must be within [0, horizon]");
+  return to_seconds(keep_window) / to_seconds(horizon);
+}
+
+double retained_value_fraction(Duration horizon, Duration keep_window,
+                               const DataHalfLife& decay) {
+  check_arg(to_seconds(horizon) > 0.0,
+            "retained_value_fraction: horizon must be positive");
+  check_arg(to_seconds(keep_window) >= 0.0 &&
+                to_seconds(keep_window) <= to_seconds(horizon),
+            "retained_value_fraction: keep_window must be within [0, horizon]");
+  const double h = to_seconds(decay.half_life);
+  const double total = value_integral(to_seconds(horizon), h);
+  const double kept = value_integral(to_seconds(keep_window), h);
+  return total > 0.0 ? kept / total : 0.0;
+}
+
+Duration window_for_value(double target_value_fraction, Duration horizon,
+                          const DataHalfLife& decay) {
+  check_arg(target_value_fraction >= 0.0 && target_value_fraction <= 1.0,
+            "window_for_value: target must be in [0, 1]");
+  double lo = 0.0;
+  double hi = to_seconds(horizon);
+  while (hi - lo > 3600.0) {
+    const double mid = 0.5 * (lo + hi);
+    if (retained_value_fraction(horizon, seconds(mid), decay) >=
+        target_value_fraction) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return seconds(hi);
+}
+
+}  // namespace sustainai::scaling

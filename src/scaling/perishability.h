@@ -1,0 +1,37 @@
+// Data perishability: the half-life of predictive value (Section IV-A).
+//
+// "Data collected over time loses its predictive value gradually ...
+// natural language data sets can lose half of their predictive value in
+// ... less than 7 years (the half-life time of data). If we were able to
+// predict the half-life time of data, we can devise effective sampling
+// strategies to subset data at different rates based on its half-life."
+#pragma once
+
+#include "core/units.h"
+
+namespace sustainai::scaling {
+
+struct DataHalfLife {
+  Duration half_life = years(7.0);
+
+  // Predictive value of a sample of age `age`, relative to fresh data.
+  [[nodiscard]] double value_at(Duration age) const;
+};
+
+// For a dataset accumulated at a constant arrival rate over `horizon`,
+// keeping only the most recent `keep_window` of data:
+//   * fraction of storage retained (linear in window length);
+//   * fraction of total predictive value retained (closed form from the
+//     exponential decay integral).
+[[nodiscard]] double storage_fraction(Duration horizon, Duration keep_window);
+[[nodiscard]] double retained_value_fraction(Duration horizon,
+                                             Duration keep_window,
+                                             const DataHalfLife& decay);
+
+// Smallest keep-window retaining at least `target_value_fraction` of the
+// dataset's predictive value (bisection; exact to ~1 hour).
+[[nodiscard]] Duration window_for_value(double target_value_fraction,
+                                        Duration horizon,
+                                        const DataHalfLife& decay);
+
+}  // namespace sustainai::scaling

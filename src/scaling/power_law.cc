@@ -1,0 +1,53 @@
+#include "scaling/power_law.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::scaling {
+
+double PowerLawFit::at(double x) const { return a * std::pow(x, b); }
+
+PowerLawFit fit_power_law(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  check_arg(x.size() == y.size(), "fit_power_law: size mismatch");
+  check_arg(x.size() >= 2, "fit_power_law: need at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    check_arg(x[i] > 0.0 && y[i] > 0.0, "fit_power_law: values must be positive");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  check_arg(denom != 0.0, "fit_power_law: x values are degenerate");
+  PowerLawFit fit;
+  fit.b = (n * sxy - sx * sy) / denom;
+  fit.a = std::exp((sy - fit.b * sx) / n);
+  const double ybar = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ly = std::log(y[i]);
+    const double pred = std::log(fit.a) + fit.b * std::log(x[i]);
+    ss_res += (ly - pred) * (ly - pred);
+    ss_tot += (ly - ybar) * (ly - ybar);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double LogLinearQuality::at_scale(double scale_factor) const {
+  check_arg(scale_factor > 0.0, "LogLinearQuality: scale factor must be positive");
+  return base_quality + gain_per_decade * std::log10(scale_factor);
+}
+
+double LogLinearQuality::scale_for(double target) const {
+  check_arg(gain_per_decade != 0.0, "LogLinearQuality: zero gain per decade");
+  return std::pow(10.0, (target - base_quality) / gain_per_decade);
+}
+
+}  // namespace sustainai::scaling

@@ -1,0 +1,32 @@
+// Power-law fitting and quality-vs-scale curves (Figures 2a, 12).
+#pragma once
+
+#include <vector>
+
+namespace sustainai::scaling {
+
+// y = a * x^b fitted in log-log space by least squares.
+struct PowerLawFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+  [[nodiscard]] double at(double x) const;
+};
+
+// Requires all x, y > 0 and at least two points.
+[[nodiscard]] PowerLawFit fit_power_law(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+// Quality that improves linearly per decade of scale (Figure 2a: GPT-3
+// BLEU rises ~5 -> 40 over a 1000x size increase; Baidu's AUC +0.030 per
+// 1000x).
+struct LogLinearQuality {
+  double base_quality = 0.0;  // quality at scale factor 1
+  double gain_per_decade = 0.0;
+
+  [[nodiscard]] double at_scale(double scale_factor) const;
+  // Scale factor needed to reach `target` quality.
+  [[nodiscard]] double scale_for(double target) const;
+};
+
+}  // namespace sustainai::scaling

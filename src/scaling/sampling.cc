@@ -1,0 +1,86 @@
+#include "scaling/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::scaling {
+
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b) {
+  check_arg(a.size() == b.size(), "kendall_tau: size mismatch");
+  check_arg(a.size() >= 2, "kendall_tau: need at least two items");
+  long concordant = 0;
+  long discordant = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0.0) {
+        ++concordant;
+      } else if (prod < 0.0) {
+        ++discordant;
+      }
+    }
+  }
+  const double pairs = static_cast<double>(a.size()) * (a.size() - 1) / 2.0;
+  return (concordant - discordant) / pairs;
+}
+
+SamplingStudy::SamplingStudy(Config config) : config_(config) {
+  check_arg(config_.num_algorithms >= 2, "SamplingStudy: need >= 2 algorithms");
+  check_arg(config_.num_repeats >= 1, "SamplingStudy: need >= 1 repeat");
+  check_arg(config_.runtime_exponent > 0.0 && config_.runtime_exponent <= 1.0,
+            "SamplingStudy: runtime exponent must be in (0, 1]");
+  datagen::Rng rng(config_.seed);
+  true_quality_.reserve(static_cast<std::size_t>(config_.num_algorithms));
+  for (int i = 0; i < config_.num_algorithms; ++i) {
+    true_quality_.push_back(
+        rng.normal(config_.quality_mean, config_.quality_stddev));
+  }
+}
+
+SamplingStudy::Outcome SamplingStudy::evaluate(double sample_fraction) const {
+  check_arg(sample_fraction > 0.0 && sample_fraction <= 1.0,
+            "SamplingStudy::evaluate: fraction must be in (0, 1]");
+  datagen::Rng rng(config_.seed ^ 0xfeedULL);
+  const double noise = config_.full_data_noise / std::sqrt(sample_fraction);
+  const auto true_best = static_cast<std::size_t>(
+      std::max_element(true_quality_.begin(), true_quality_.end()) -
+      true_quality_.begin());
+
+  Outcome out;
+  out.sample_fraction = sample_fraction;
+  double tau_sum = 0.0;
+  int top1_hits = 0;
+  for (int rep = 0; rep < config_.num_repeats; ++rep) {
+    std::vector<double> observed;
+    observed.reserve(true_quality_.size());
+    for (double q : true_quality_) {
+      observed.push_back(q + rng.normal(0.0, noise));
+    }
+    tau_sum += kendall_tau(true_quality_, observed);
+    const auto picked = static_cast<std::size_t>(
+        std::max_element(observed.begin(), observed.end()) - observed.begin());
+    if (picked == true_best) {
+      ++top1_hits;
+    }
+  }
+  out.mean_kendall_tau = tau_sum / config_.num_repeats;
+  out.top1_agreement = static_cast<double>(top1_hits) / config_.num_repeats;
+  out.speedup = std::pow(sample_fraction, -config_.runtime_exponent);
+  return out;
+}
+
+std::vector<SamplingStudy::Outcome> SamplingStudy::sweep(
+    const std::vector<double>& fractions) const {
+  std::vector<Outcome> out;
+  out.reserve(fractions.size());
+  for (double f : fractions) {
+    out.push_back(evaluate(f));
+  }
+  return out;
+}
+
+}  // namespace sustainai::scaling

@@ -1,0 +1,89 @@
+#include "scaling/scaling_grid.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "scaling/power_law.h"
+
+namespace sustainai::scaling {
+
+double RecsysScalingLaw::normalized_entropy(double data_factor,
+                                            double model_factor) const {
+  check_arg(data_factor > 0.0 && model_factor > 0.0,
+            "RecsysScalingLaw: scale factors must be positive");
+  return ne_floor + data_coeff * std::pow(data_factor, -data_exp) +
+         model_coeff * std::pow(model_factor, -model_exp);
+}
+
+double RecsysScalingLaw::energy_per_step(double model_factor) const {
+  check_arg(model_factor > 0.0, "RecsysScalingLaw: model factor must be positive");
+  return std::pow(model_factor, model_energy_exponent);
+}
+
+double RecsysScalingLaw::total_energy(double data_factor,
+                                      double model_factor) const {
+  // Steps per epoch scale linearly with data; energy/step with model.
+  return data_factor * energy_per_step(model_factor);
+}
+
+ScalingGrid::ScalingGrid(RecsysScalingLaw law, std::vector<double> data_factors,
+                         std::vector<double> model_factors)
+    : law_(law) {
+  check_arg(!data_factors.empty() && !model_factors.empty(),
+            "ScalingGrid: factor lists must be non-empty");
+  points_.reserve(data_factors.size() * model_factors.size());
+  for (double d : data_factors) {
+    for (double m : model_factors) {
+      GridPoint p;
+      p.data_factor = d;
+      p.model_factor = m;
+      p.energy_per_step = law_.energy_per_step(m);
+      p.total_energy = law_.total_energy(d, m);
+      p.normalized_entropy = law_.normalized_entropy(d, m);
+      points_.push_back(p);
+    }
+  }
+}
+
+const GridPoint& ScalingGrid::at(double data_factor, double model_factor) const {
+  for (const GridPoint& p : points_) {
+    if (p.data_factor == data_factor && p.model_factor == model_factor) {
+      return p;
+    }
+  }
+  check_arg(false, "ScalingGrid::at: point not in grid");
+  return points_.front();  // unreachable
+}
+
+std::vector<GridPoint> ScalingGrid::pareto_frontier() const {
+  std::vector<optim::ObjectivePoint> objectives;
+  objectives.reserve(points_.size());
+  for (const GridPoint& p : points_) {
+    objectives.push_back({p.total_energy, -p.normalized_entropy, ""});
+  }
+  std::vector<GridPoint> frontier;
+  for (std::size_t i : optim::pareto_frontier(objectives)) {
+    frontier.push_back(points_[i]);
+  }
+  return frontier;
+}
+
+double ScalingGrid::frontier_power_exponent() const {
+  const std::vector<GridPoint> frontier = pareto_frontier();
+  check_arg(frontier.size() >= 2,
+            "frontier_power_exponent: frontier too small to fit");
+  std::vector<double> energy;
+  std::vector<double> ne;
+  for (const GridPoint& p : frontier) {
+    energy.push_back(p.total_energy);
+    ne.push_back(p.normalized_entropy);
+  }
+  return fit_power_law(energy, ne).b;
+}
+
+ScalingGrid figure12_grid() {
+  return ScalingGrid(RecsysScalingLaw{}, {1.0, 2.0, 4.0, 8.0, 16.0},
+                     {1.0, 2.0, 4.0, 8.0, 16.0});
+}
+
+}  // namespace sustainai::scaling

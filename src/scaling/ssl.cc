@@ -1,0 +1,44 @@
+#include "scaling/ssl.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::scaling {
+
+double PretrainRegime::single_task_epochs() const {
+  return pretrain_epochs + finetune_epochs;
+}
+
+double PretrainRegime::epochs_per_point() const {
+  check_arg(top1_accuracy > 0.0, "epochs_per_point: accuracy must be positive");
+  return single_task_epochs() / top1_accuracy;
+}
+
+std::vector<PretrainRegime> appendix_c_regimes() {
+  return {
+      {"supervised", 0.0, 90.0, 76.1, 1.0},
+      {"simclr-ssl", 1000.0, 60.0, 69.3, 0.0},
+      {"paws-semi", 200.0, 0.0, 75.5, 0.1},
+  };
+}
+
+double amortized_epochs_per_task(const PretrainRegime& regime, int num_tasks) {
+  check_arg(num_tasks >= 1, "amortized_epochs_per_task: need >= 1 task");
+  return regime.pretrain_epochs / num_tasks + regime.finetune_epochs;
+}
+
+int breakeven_tasks(const PretrainRegime& foundation,
+                    double supervised_epochs_per_task) {
+  check_arg(supervised_epochs_per_task > 0.0,
+            "breakeven_tasks: supervised cost must be positive");
+  if (foundation.finetune_epochs >= supervised_epochs_per_task) {
+    return -1;
+  }
+  // pretrain/n + finetune <= supervised  =>  n >= pretrain / (sup - finetune)
+  const double n = foundation.pretrain_epochs /
+                   (supervised_epochs_per_task - foundation.finetune_epochs);
+  return static_cast<int>(std::ceil(n));
+}
+
+}  // namespace sustainai::scaling

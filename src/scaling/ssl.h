@@ -1,0 +1,46 @@
+// Self-supervised vs supervised pre-training cost model (Appendix C).
+//
+// "Chen et al. report 69.3% top-1 ... after SSL pre-training for 1000
+// epochs ... the same model typically achieves at least 76.1% after 90
+// epochs of fully-supervised training ... With access to labels for just
+// 10% of the training images, a ResNet-50 achieves 75.5% top-1 after just
+// 200 epochs of PAWS pre-training. ... a single foundation model can be
+// trained (expensive) but then fine-tuned (inexpensive), amortizing the up
+// front cost across many tasks."
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sustainai::scaling {
+
+struct PretrainRegime {
+  std::string name;
+  double pretrain_epochs = 0.0;   // dataset passes of pre-training
+  double finetune_epochs = 0.0;   // per-task adaptation passes
+  double top1_accuracy = 0.0;     // final top-1 on the benchmark task
+  double label_fraction = 1.0;    // share of labeled data required
+
+  // Total epochs for a single task (pretrain + finetune).
+  [[nodiscard]] double single_task_epochs() const;
+  // Epochs per accuracy point (lower is better).
+  [[nodiscard]] double epochs_per_point() const;
+};
+
+// The Appendix C regimes: supervised, SimCLR-style SSL (+ linear eval),
+// PAWS semi-supervised.
+[[nodiscard]] std::vector<PretrainRegime> appendix_c_regimes();
+
+// Amortized per-task cost of a foundation model reused over `num_tasks`
+// downstream tasks: pretrain/num_tasks + finetune.
+[[nodiscard]] double amortized_epochs_per_task(const PretrainRegime& regime,
+                                               int num_tasks);
+
+// Number of downstream tasks at which the foundation-model route becomes
+// cheaper per task than training `supervised_epochs_per_task` from scratch;
+// returns -1 when it never breaks even (finetune cost alone exceeds the
+// supervised cost).
+[[nodiscard]] int breakeven_tasks(const PretrainRegime& foundation,
+                                  double supervised_epochs_per_task);
+
+}  // namespace sustainai::scaling

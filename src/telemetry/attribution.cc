@@ -1,0 +1,77 @@
+#include "telemetry/attribution.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sustainai::telemetry {
+
+std::vector<JobEnergy> attribute_energy(Energy measured_host_energy,
+                                        Duration window,
+                                        const std::vector<JobUsage>& jobs,
+                                        const AttributionConfig& config) {
+  check_arg(to_joules(measured_host_energy) >= 0.0,
+            "attribute_energy: measured energy must be >= 0");
+  check_arg(to_seconds(window) > 0.0, "attribute_energy: window must be > 0");
+  check_arg(to_watts(config.idle_power) >= 0.0,
+            "attribute_energy: idle power must be >= 0");
+
+  // The idle floor over the window; dynamic is whatever was measured above
+  // it (clamped: a mostly-idle host can measure below the assumed floor).
+  const Energy idle_total_raw = config.idle_power * window;
+  const Energy idle_total =
+      to_joules(idle_total_raw) <= to_joules(measured_host_energy)
+          ? idle_total_raw
+          : measured_host_energy;
+  const Energy dynamic_total = measured_host_energy - idle_total;
+
+  double total_resource_seconds = 0.0;
+  double total_residency_seconds = 0.0;
+  for (const JobUsage& job : jobs) {
+    check_arg(job.resource_seconds >= 0.0,
+              "attribute_energy: resource_seconds must be >= 0");
+    check_arg(to_seconds(job.residency) >= 0.0 &&
+                  to_seconds(job.residency) <= to_seconds(window) + 1e-9,
+              "attribute_energy: residency must be within the window");
+    total_resource_seconds += job.resource_seconds;
+    total_residency_seconds += to_seconds(job.residency);
+  }
+
+  std::vector<JobEnergy> out;
+  out.reserve(jobs.size() + 1);
+  Energy attributed = joules(0.0);
+  for (const JobUsage& job : jobs) {
+    JobEnergy e;
+    e.job_id = job.job_id;
+    e.dynamic = total_resource_seconds > 0.0
+                    ? dynamic_total * (job.resource_seconds / total_resource_seconds)
+                    : joules(0.0);
+    switch (config.idle_policy) {
+      case IdlePolicy::kEvenSplit:
+        e.idle_share = total_residency_seconds > 0.0
+                           ? idle_total * (to_seconds(job.residency) /
+                                           total_residency_seconds)
+                           : joules(0.0);
+        break;
+      case IdlePolicy::kProportional:
+        e.idle_share = total_resource_seconds > 0.0
+                           ? idle_total * (job.resource_seconds /
+                                           total_resource_seconds)
+                           : joules(0.0);
+        break;
+    }
+    attributed += e.total();
+    out.push_back(std::move(e));
+  }
+
+  // Whatever is left (idle host time with no resident job, or dynamic
+  // energy with zero recorded resource-time) stays visible.
+  JobEnergy rest;
+  rest.job_id = "<unallocated>";
+  rest.dynamic = joules(0.0);
+  rest.idle_share = measured_host_energy - attributed;
+  out.push_back(std::move(rest));
+  return out;
+}
+
+}  // namespace sustainai::telemetry

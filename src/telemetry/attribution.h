@@ -1,0 +1,52 @@
+// Per-job energy attribution on shared hardware (Section V-A).
+//
+// Fleet telemetry measures energy per *host* (RAPL package, NVML board),
+// but carbon accounting needs energy per *job*. When several jobs share a
+// device, the measured energy must be split. The standard policy — and the
+// one implemented here — attributes the dynamic (above-idle) energy in
+// proportion to each job's resource-time, and the idle floor either evenly
+// per co-resident job or proportionally (configurable), since idle power
+// would have been drawn regardless of which tenant triggered it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+
+namespace sustainai::telemetry {
+
+// One job's measured resource usage on a shared host over a window.
+struct JobUsage {
+  std::string job_id;
+  // Integrated utilization x time (e.g. core-seconds or SM-seconds).
+  double resource_seconds = 0.0;
+  // Wall-clock residency on the host during the window.
+  Duration residency;
+};
+
+enum class IdlePolicy {
+  kEvenSplit,       // idle floor split evenly over residency time
+  kProportional,    // idle floor follows the dynamic split
+};
+
+struct AttributionConfig {
+  Power idle_power;      // host idle floor during the window
+  IdlePolicy idle_policy = IdlePolicy::kEvenSplit;
+};
+
+struct JobEnergy {
+  std::string job_id;
+  Energy dynamic;
+  Energy idle_share;
+  [[nodiscard]] Energy total() const { return dynamic + idle_share; }
+};
+
+// Splits `measured_host_energy` over `window` among `jobs`.
+// Invariant: the attributed totals sum exactly to the measured energy
+// (unattributed idle time is returned under the job id "<unallocated>").
+[[nodiscard]] std::vector<JobEnergy> attribute_energy(
+    Energy measured_host_energy, Duration window,
+    const std::vector<JobUsage>& jobs, const AttributionConfig& config);
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,24 @@
+#include "telemetry/counters.h"
+
+namespace sustainai::telemetry {
+
+CounterSampler::CounterSampler(const EnergyCounter& counter)
+    : counter_(counter), last_raw_(counter.read_raw()), total_(joules(0.0)) {}
+
+Energy CounterSampler::sample() {
+  const std::uint64_t raw = counter_.read_raw();
+  const std::uint64_t modulus = counter_.wrap_modulus();
+  std::uint64_t delta;
+  if (raw >= last_raw_) {
+    delta = raw - last_raw_;
+  } else {
+    delta = modulus - last_raw_ + raw;  // wrapped once
+    ++wrap_count_;
+  }
+  last_raw_ = raw;
+  const Energy increment = joules(static_cast<double>(delta) * counter_.joules_per_unit());
+  total_ += increment;
+  return increment;
+}
+
+}  // namespace sustainai::telemetry

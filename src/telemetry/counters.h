@@ -1,0 +1,54 @@
+// Counter abstractions for energy telemetry.
+//
+// Real energy telemetry (Intel RAPL MSRs, NVML total-energy queries) exposes
+// monotonically increasing hardware counters of fixed width that wrap
+// around. The sampler below reconstructs true cumulative energy from
+// periodic raw reads, which is the core correctness problem of tools like
+// CodeCarbon/carbontracker that Section V-A calls for.
+#pragma once
+
+#include <cstdint>
+
+#include "core/units.h"
+
+namespace sustainai::telemetry {
+
+// A raw cumulative hardware energy counter.
+class EnergyCounter {
+ public:
+  virtual ~EnergyCounter() = default;
+
+  // Current raw register value in [0, wrap_modulus()).
+  [[nodiscard]] virtual std::uint64_t read_raw() const = 0;
+
+  // Joules represented by one counter LSB.
+  [[nodiscard]] virtual double joules_per_unit() const = 0;
+
+  // Register wraps to 0 at this value (e.g. 2^32 for RAPL MSRs).
+  [[nodiscard]] virtual std::uint64_t wrap_modulus() const = 0;
+};
+
+// Reconstructs cumulative energy from raw counter reads, correcting for
+// wraparound. Correct as long as the counter wraps at most once between
+// consecutive samples (the standard RAPL sampling contract).
+class CounterSampler {
+ public:
+  explicit CounterSampler(const EnergyCounter& counter);
+
+  // Takes one sample; returns energy accumulated since the previous sample.
+  Energy sample();
+
+  // Total energy accumulated across all samples so far.
+  [[nodiscard]] Energy total() const { return total_; }
+
+  // Number of wraparounds observed.
+  [[nodiscard]] int wrap_count() const { return wrap_count_; }
+
+ private:
+  const EnergyCounter& counter_;
+  std::uint64_t last_raw_;
+  Energy total_;
+  int wrap_count_ = 0;
+};
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,47 @@
+#include "telemetry/energy_meter.h"
+
+#include "core/check.h"
+
+namespace sustainai::telemetry {
+
+void EnergyMeter::attach(std::string label, const EnergyCounter& counter) {
+  sources_.push_back(Source{std::move(label), CounterSampler(counter)});
+}
+
+Energy EnergyMeter::sample_all() {
+  Energy delta = joules(0.0);
+  for (Source& s : sources_) {
+    delta += s.sampler.sample();
+  }
+  ++sample_count_;
+  return delta;
+}
+
+Energy EnergyMeter::total() const {
+  Energy sum = joules(0.0);
+  for (const Source& s : sources_) {
+    sum += s.sampler.total();
+  }
+  return sum;
+}
+
+Energy EnergyMeter::total(const std::string& label) const {
+  for (const Source& s : sources_) {
+    if (s.label == label) {
+      return s.sampler.total();
+    }
+  }
+  check_arg(false, "EnergyMeter::total: unknown label '" + label + "'");
+  return joules(0.0);  // unreachable
+}
+
+std::vector<std::string> EnergyMeter::labels() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const Source& s : sources_) {
+    out.push_back(s.label);
+  }
+  return out;
+}
+
+}  // namespace sustainai::telemetry

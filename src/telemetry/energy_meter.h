@@ -1,0 +1,45 @@
+// Polling energy meter over one or more hardware counters.
+//
+// Mirrors how software carbon-telemetry tools work in practice: a sampling
+// thread periodically reads every energy counter (RAPL package/DRAM, NVML
+// per-GPU) and accumulates wrap-corrected deltas per labeled source.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "telemetry/counters.h"
+
+namespace sustainai::telemetry {
+
+class EnergyMeter {
+ public:
+  EnergyMeter() = default;
+
+  // Registers a counter under `label`. The counter must outlive the meter.
+  // Takes an initial reading so subsequent deltas start from "now".
+  void attach(std::string label, const EnergyCounter& counter);
+
+  // Samples every attached counter once; returns the summed delta.
+  Energy sample_all();
+
+  // Cumulative energy across all sources since attach.
+  [[nodiscard]] Energy total() const;
+
+  // Cumulative energy of one source; throws if the label is unknown.
+  [[nodiscard]] Energy total(const std::string& label) const;
+
+  [[nodiscard]] std::vector<std::string> labels() const;
+  [[nodiscard]] int sample_count() const { return sample_count_; }
+
+ private:
+  struct Source {
+    std::string label;
+    CounterSampler sampler;
+  };
+  std::vector<Source> sources_;
+  int sample_count_ = 0;
+};
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,75 @@
+#include "telemetry/model_card.h"
+
+#include <sstream>
+
+#include "core/check.h"
+#include "core/embodied.h"
+#include "core/equivalence.h"
+
+namespace sustainai::telemetry {
+
+std::string render_model_card(const ModelCardInput& input) {
+  check_arg(!input.model_name.empty(), "render_model_card: model name required");
+  check_arg(input.num_devices >= 1, "render_model_card: num_devices must be >= 1");
+  check_arg(input.average_utilization >= 0.0 && input.average_utilization <= 1.0,
+            "render_model_card: utilization must be in [0, 1]");
+  check_arg(input.fleet_utilization > 0.0 && input.fleet_utilization <= 1.0,
+            "render_model_card: fleet utilization must be in (0, 1]");
+
+  const Energy training_energy =
+      input.device.energy(input.average_utilization, input.total_runtime) *
+      static_cast<double>(input.num_devices);
+  const CarbonMass op_location = input.operational.location_based(training_energy);
+  const CarbonMass op_market = input.operational.market_based_emissions(training_energy);
+  const EmbodiedCarbonModel embodied(input.device.embodied, input.device.lifetime,
+                                     input.fleet_utilization);
+  const CarbonMass emb = embodied.attribute(input.total_runtime) *
+                         static_cast<double>(input.num_devices);
+
+  std::ostringstream out;
+  out << "# Model card: " << input.model_name << "\n\n";
+  if (!input.description.empty()) {
+    out << input.description << "\n\n";
+  }
+  out << "## Carbon footprint\n\n";
+  out << "### Hardware disclosure\n\n";
+  out << "- platform: " << input.num_devices << "x " << input.device.name
+      << " (" << to_string(input.device.tdp) << " TDP, "
+      << to_string(input.device.memory) << ")\n";
+  out << "- total runtime: " << to_string(input.total_runtime)
+      << " at average utilization "
+      << static_cast<int>(input.average_utilization * 100.0) << "%\n";
+  out << "- device-hours: "
+      << to_hours(input.total_runtime) * input.num_devices << "\n\n";
+  out << "### Training\n\n";
+  out << "- energy: " << to_string(training_energy) << " (IT), "
+      << to_string(input.operational.facility_energy(training_energy))
+      << " (facility at PUE " << input.operational.pue() << ")\n";
+  out << "- grid: " << input.operational.grid().name << " ("
+      << to_string(input.operational.grid().average) << ")\n";
+  out << "- operational carbon (location-based): " << to_string(op_location)
+      << "\n";
+  out << "- operational carbon (market-based, "
+      << static_cast<int>(input.operational.cfe_coverage() * 100.0)
+      << "% CFE): " << to_string(op_market) << "\n";
+  out << "- embodied carbon (amortized manufacturing): " << to_string(emb)
+      << "\n";
+  out << "- total: " << to_string(op_location + emb) << " (~"
+      << static_cast<long>(to_passenger_vehicle_miles(op_location + emb))
+      << " passenger-vehicle miles)\n";
+
+  if (input.predictions_per_day > 0.0) {
+    const Energy daily =
+        input.energy_per_prediction * input.predictions_per_day;
+    const CarbonMass inference_daily = input.operational.location_based(daily);
+    out << "\n### Inference (deployed)\n\n";
+    out << "- traffic: " << input.predictions_per_day << " predictions/day\n";
+    out << "- energy per prediction: " << to_string(input.energy_per_prediction)
+        << "\n";
+    out << "- operational carbon: " << to_string(inference_daily)
+        << " per day (" << to_string(inference_daily * 365.25) << " per year)\n";
+  }
+  return out.str();
+}
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,38 @@
+// Model cards with a carbon section (Section V-A).
+//
+// "New models must be associated with a model card that, among other
+// aspects of data sets and models, describes the model's overall carbon
+// footprint to train and conduct inference." This generates the carbon
+// section of such a card — markdown, from the same accounting objects the
+// figures use, including the hardware-disclosure fields the paper names as
+// "an important first step" (platform, machine count, total runtime).
+#pragma once
+
+#include <string>
+
+#include "core/lifecycle.h"
+#include "core/operational.h"
+#include "hw/spec.h"
+
+namespace sustainai::telemetry {
+
+struct ModelCardInput {
+  std::string model_name;
+  std::string description;
+  // Hardware disclosure.
+  hw::DeviceSpec device;
+  int num_devices = 8;
+  Duration total_runtime;
+  double average_utilization = 0.5;
+  // Accounting context.
+  OperationalCarbonModel operational;
+  double fleet_utilization = 0.45;  // embodied amortization
+  // Optional serving-side numbers (0 = not deployed).
+  double predictions_per_day = 0.0;
+  Energy energy_per_prediction;
+};
+
+// Renders the carbon section of a model card as markdown.
+[[nodiscard]] std::string render_model_card(const ModelCardInput& input);
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,47 @@
+#include "telemetry/nvml_sim.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::telemetry {
+
+NvmlDeviceSim::NvmlDeviceSim(hw::DeviceSpec spec)
+    : spec_(std::move(spec)), true_energy_(joules(0.0)) {}
+
+void NvmlDeviceSim::set_utilization(double utilization) {
+  check_arg(utilization >= 0.0 && utilization <= 1.0,
+            "NvmlDeviceSim::set_utilization: utilization must be in [0, 1]");
+  utilization_ = utilization;
+}
+
+void NvmlDeviceSim::advance(Duration dt) {
+  check_arg(to_seconds(dt) >= 0.0, "NvmlDeviceSim::advance: dt must be >= 0");
+  const Energy increment = spec_.power_at(utilization_) * dt;
+  true_energy_ += increment;
+  energy_mj_accum_ += to_joules(increment) * 1e3;
+  busy_seconds_weighted_ += utilization_ * to_seconds(dt);
+  total_seconds_ += to_seconds(dt);
+}
+
+std::uint32_t NvmlDeviceSim::power_usage_mw() const {
+  return static_cast<std::uint32_t>(
+      std::llround(to_watts(spec_.power_at(utilization_)) * 1e3));
+}
+
+std::uint32_t NvmlDeviceSim::utilization_percent() const {
+  return static_cast<std::uint32_t>(std::llround(utilization_ * 100.0));
+}
+
+std::uint64_t NvmlDeviceSim::total_energy_mj() const {
+  return static_cast<std::uint64_t>(energy_mj_accum_);
+}
+
+double NvmlDeviceSim::average_utilization() const {
+  if (total_seconds_ <= 0.0) {
+    return 0.0;
+  }
+  return busy_seconds_weighted_ / total_seconds_;
+}
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,57 @@
+// Simulated NVML-style GPU management interface.
+//
+// Substitutes for nvmlDeviceGetPowerUsage / nvmlDeviceGetUtilizationRates /
+// nvmlDeviceGetTotalEnergyConsumption on closed hardware. Power readings
+// are quantized to milliwatts, utilization to integer percent, and the
+// total-energy counter counts millijoules in a 64-bit register — matching
+// the NVML API contract.
+#pragma once
+
+#include <cstdint>
+
+#include "core/units.h"
+#include "hw/spec.h"
+#include "telemetry/counters.h"
+
+namespace sustainai::telemetry {
+
+class NvmlDeviceSim final : public EnergyCounter {
+ public:
+  explicit NvmlDeviceSim(hw::DeviceSpec spec);
+
+  // Sets the device's instantaneous SM utilization in [0, 1].
+  void set_utilization(double utilization);
+
+  // Advances the device by `dt` at its current utilization.
+  void advance(Duration dt);
+
+  // nvmlDeviceGetPowerUsage: current draw in milliwatts.
+  [[nodiscard]] std::uint32_t power_usage_mw() const;
+
+  // nvmlDeviceGetUtilizationRates: integer percent in [0, 100].
+  [[nodiscard]] std::uint32_t utilization_percent() const;
+
+  // nvmlDeviceGetTotalEnergyConsumption: millijoules since init.
+  [[nodiscard]] std::uint64_t total_energy_mj() const;
+
+  // EnergyCounter interface (1 LSB = 1 mJ, effectively unwrapped at 64-bit).
+  [[nodiscard]] std::uint64_t read_raw() const override { return total_energy_mj(); }
+  [[nodiscard]] double joules_per_unit() const override { return 1e-3; }
+  [[nodiscard]] std::uint64_t wrap_modulus() const override { return UINT64_MAX; }
+
+  [[nodiscard]] const hw::DeviceSpec& spec() const { return spec_; }
+  // Ground truth for testing.
+  [[nodiscard]] Energy true_energy() const { return true_energy_; }
+  // Time-weighted average utilization since init.
+  [[nodiscard]] double average_utilization() const;
+
+ private:
+  hw::DeviceSpec spec_;
+  double utilization_ = 0.0;
+  double energy_mj_accum_ = 0.0;
+  Energy true_energy_;
+  double busy_seconds_weighted_ = 0.0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,48 @@
+#include "telemetry/rapl_sim.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::telemetry {
+
+RaplDomainSim::RaplDomainSim(int energy_status_units) : true_energy_(joules(0.0)) {
+  check_arg(energy_status_units >= 0 && energy_status_units <= 31,
+            "RaplDomainSim: ESU exponent out of range");
+  joules_per_lsb_ = std::ldexp(1.0, -energy_status_units);
+}
+
+void RaplDomainSim::advance(Power power, Duration dt) {
+  check_arg(to_watts(power) >= 0.0, "RaplDomainSim::advance: power must be >= 0");
+  check_arg(to_seconds(dt) >= 0.0, "RaplDomainSim::advance: dt must be >= 0");
+  const Energy increment = power * dt;
+  true_energy_ += increment;
+  const double lsbs = to_joules(increment) / joules_per_lsb_ + fractional_lsb_;
+  const double whole = std::floor(lsbs);
+  fractional_lsb_ = lsbs - whole;
+  register_ = (register_ + static_cast<std::uint64_t>(whole)) & 0xffffffffULL;
+}
+
+RaplPackageSim::RaplPackageSim(Config config)
+    : config_(config),
+      package_(config.energy_status_units),
+      dram_(config.energy_status_units) {
+  check_arg(config_.package_idle_fraction >= 0.0 &&
+                config_.package_idle_fraction <= 1.0 &&
+                config_.dram_idle_fraction >= 0.0 &&
+                config_.dram_idle_fraction <= 1.0,
+            "RaplPackageSim: idle fractions must be in [0, 1]");
+}
+
+void RaplPackageSim::advance(double utilization, Duration dt) {
+  check_arg(utilization >= 0.0 && utilization <= 1.0,
+            "RaplPackageSim::advance: utilization must be in [0, 1]");
+  const Power pkg_idle = config_.package_tdp * config_.package_idle_fraction;
+  const Power pkg = pkg_idle + (config_.package_tdp - pkg_idle) * utilization;
+  const Power dram_idle = config_.dram_max * config_.dram_idle_fraction;
+  const Power dram = dram_idle + (config_.dram_max - dram_idle) * utilization;
+  package_.advance(pkg, dt);
+  dram_.advance(dram, dt);
+}
+
+}  // namespace sustainai::telemetry

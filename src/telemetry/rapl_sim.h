@@ -1,0 +1,66 @@
+// Simulated Intel RAPL (Running Average Power Limit) energy counters.
+//
+// Substitutes for MSR_PKG_ENERGY_STATUS / MSR_DRAM_ENERGY_STATUS on closed
+// hardware: 32-bit registers counting energy in units of 2^-ESU joules
+// (ESU from MSR_RAPL_POWER_UNIT, typically 2^-16 J ~ 15.3 uJ). The
+// simulation integrates a caller-driven power signal into the registers,
+// reproducing quantization and wraparound exactly as real RAPL does.
+#pragma once
+
+#include <cstdint>
+
+#include "core/units.h"
+#include "telemetry/counters.h"
+
+namespace sustainai::telemetry {
+
+// One RAPL domain (package, dram, ...) backed by a wrapped 32-bit register.
+class RaplDomainSim final : public EnergyCounter {
+ public:
+  // `energy_status_units` is the ESU exponent: 1 LSB = 2^-esu joules.
+  explicit RaplDomainSim(int energy_status_units = 16);
+
+  // Integrates `power` over `dt` into the register (with sub-LSB carry).
+  void advance(Power power, Duration dt);
+
+  // EnergyCounter interface.
+  [[nodiscard]] std::uint64_t read_raw() const override { return register_; }
+  [[nodiscard]] double joules_per_unit() const override { return joules_per_lsb_; }
+  [[nodiscard]] std::uint64_t wrap_modulus() const override { return 1ULL << 32; }
+
+  // Ground truth for testing the sampling pipeline.
+  [[nodiscard]] Energy true_energy() const { return true_energy_; }
+
+ private:
+  double joules_per_lsb_;
+  std::uint64_t register_ = 0;  // wrapped at 2^32
+  double fractional_lsb_ = 0.0;
+  Energy true_energy_;
+};
+
+// A package with PKG and DRAM domains driven by a CPU utilization signal.
+class RaplPackageSim {
+ public:
+  struct Config {
+    Power package_tdp = watts(205.0);
+    double package_idle_fraction = 0.35;
+    Power dram_max = watts(40.0);
+    double dram_idle_fraction = 0.40;
+    int energy_status_units = 16;
+  };
+
+  explicit RaplPackageSim(Config config);
+
+  // Advances both domains for `dt` at the given utilization in [0,1].
+  void advance(double utilization, Duration dt);
+
+  [[nodiscard]] const RaplDomainSim& package() const { return package_; }
+  [[nodiscard]] const RaplDomainSim& dram() const { return dram_; }
+
+ private:
+  Config config_;
+  RaplDomainSim package_;
+  RaplDomainSim dram_;
+};
+
+}  // namespace sustainai::telemetry

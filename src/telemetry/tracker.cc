@@ -1,0 +1,120 @@
+#include "telemetry/tracker.h"
+
+#include <sstream>
+
+#include "core/check.h"
+#include "core/equivalence.h"
+#include "report/json.h"
+
+namespace sustainai::telemetry {
+
+CarbonTracker::CarbonTracker(Options options) : options_(std::move(options)) {
+  check_arg(options_.embodied_utilization > 0.0 &&
+                options_.embodied_utilization <= 1.0,
+            "CarbonTracker: embodied_utilization must be in (0, 1]");
+}
+
+void CarbonTracker::record_energy(Phase phase, Energy it_energy) {
+  check_arg(to_joules(it_energy) >= 0.0,
+            "CarbonTracker::record_energy: energy must be >= 0");
+  PhaseFootprint f{};
+  f.energy = it_energy;
+  f.operational = options_.operational.location_based(it_energy);
+  footprint_.add(phase, f);
+}
+
+void CarbonTracker::record_device_use(Phase phase, const hw::DeviceSpec& device,
+                                      double utilization, Duration time,
+                                      int count) {
+  check_arg(count >= 1, "CarbonTracker::record_device_use: count must be >= 1");
+  const Energy it_energy = device.energy(utilization, time) * static_cast<double>(count);
+  record_energy(phase, it_energy);
+  record_embodied(phase, device, time, count);
+}
+
+void CarbonTracker::record_embodied(Phase phase, const hw::DeviceSpec& device,
+                                    Duration busy_time, int count) {
+  check_arg(count >= 1, "CarbonTracker::record_embodied: count must be >= 1");
+  const EmbodiedCarbonModel model(device.embodied, device.lifetime,
+                                  options_.embodied_utilization);
+  PhaseFootprint f{};
+  f.embodied = model.attribute(busy_time) * static_cast<double>(count);
+  footprint_.add(phase, f);
+}
+
+CarbonMass CarbonTracker::total_carbon() const {
+  return footprint_.total().total();
+}
+
+std::string CarbonTracker::impact_statement(const std::string& task_name) const {
+  std::ostringstream out;
+  const PhaseFootprint total = footprint_.total();
+  out << "Carbon impact statement: " << task_name << "\n";
+  out << "  grid: " << options_.operational.grid().name
+      << " (" << to_string(options_.operational.grid().average)
+      << "), PUE " << options_.operational.pue() << "\n";
+  for (Phase phase : kAllPhases) {
+    const PhaseFootprint& f = footprint_.phase(phase);
+    if (to_joules(f.energy) == 0.0 && to_grams_co2e(f.embodied) == 0.0) {
+      continue;
+    }
+    out << "  " << to_string(phase) << ": " << to_string(f.energy)
+        << ", operational " << to_string(f.operational) << ", embodied "
+        << to_string(f.embodied) << "\n";
+  }
+  out << "  total energy: " << to_string(total.energy) << "\n";
+  out << "  total operational (location-based): " << to_string(total.operational)
+      << "\n";
+  const CarbonMass market =
+      market_based(total.operational, options_.operational.cfe_coverage());
+  out << "  total operational (market-based, " << options_.operational.cfe_coverage() * 100.0
+      << "% CFE): " << to_string(market) << "\n";
+  out << "  total embodied: " << to_string(total.embodied) << "\n";
+  out << "  total: " << to_string(total.total()) << " (~"
+      << to_passenger_vehicle_miles(total.total())
+      << " passenger-vehicle miles)\n";
+  return out.str();
+}
+
+}  // namespace sustainai::telemetry
+
+namespace sustainai::telemetry {
+
+std::string CarbonTracker::impact_json(const std::string& task_name) const {
+  report::JsonWriter json;
+  json.begin_object();
+  json.field("task", task_name);
+  json.field("grid", options_.operational.grid().name);
+  json.field("grid_g_per_kwh",
+             to_grams_per_kwh(options_.operational.grid().average));
+  json.field("pue", options_.operational.pue());
+  json.field("cfe_coverage", options_.operational.cfe_coverage());
+  json.begin_array("phases");
+  for (Phase phase : kAllPhases) {
+    const PhaseFootprint& f = footprint_.phase(phase);
+    if (to_joules(f.energy) == 0.0 && to_grams_co2e(f.embodied) == 0.0) {
+      continue;
+    }
+    json.begin_object();
+    json.field("phase", to_string(phase));
+    json.field("energy_kwh", to_kilowatt_hours(f.energy));
+    json.field("operational_kg", to_kg_co2e(f.operational));
+    json.field("embodied_kg", to_kg_co2e(f.embodied));
+    json.end_object();
+  }
+  json.end_array();
+  const PhaseFootprint total = footprint_.total();
+  json.field("total_energy_kwh", to_kilowatt_hours(total.energy));
+  json.field("total_operational_location_kg", to_kg_co2e(total.operational));
+  json.field("total_operational_market_kg",
+             to_kg_co2e(market_based(total.operational,
+                                     options_.operational.cfe_coverage())));
+  json.field("total_embodied_kg", to_kg_co2e(total.embodied));
+  json.field("total_kg", to_kg_co2e(total.total()));
+  json.field("passenger_vehicle_miles",
+             to_passenger_vehicle_miles(total.total()));
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,62 @@
+// CarbonTracker: the "easy-to-adopt telemetry" session API (Section V-A).
+//
+// A tracker is configured with an operational model (PUE, grid, carbon-free
+// coverage) and an embodied-utilization assumption, then fed energy or
+// device-time records tagged with the ML development phase. It produces a
+// per-phase LifecycleFootprint plus a human-readable carbon report — the
+// "carbon impact statement" the paper asks every published model to carry.
+#pragma once
+
+#include <string>
+
+#include "core/embodied.h"
+#include "core/lifecycle.h"
+#include "core/operational.h"
+#include "hw/spec.h"
+
+namespace sustainai::telemetry {
+
+class CarbonTracker {
+ public:
+  struct Options {
+    OperationalCarbonModel operational;
+    // Fleet-average utilization used to amortize embodied carbon
+    // (paper assumption: 30-60%; default is the midpoint).
+    double embodied_utilization = 0.45;
+  };
+
+  explicit CarbonTracker(Options options);
+
+  // Records raw measured IT energy for `phase`. If `device` is non-null,
+  // `busy_time` of that device (x `device_count`) is also charged its
+  // amortized embodied carbon.
+  void record_energy(Phase phase, Energy it_energy);
+
+  // Records `time` of use of `count` devices at `utilization`; computes the
+  // IT energy from the device power model and charges amortized embodied
+  // carbon for the occupied device-time.
+  void record_device_use(Phase phase, const hw::DeviceSpec& device,
+                         double utilization, Duration time, int count = 1);
+
+  // Explicitly charges embodied carbon for `busy_time` of `device`.
+  void record_embodied(Phase phase, const hw::DeviceSpec& device,
+                       Duration busy_time, int count = 1);
+
+  [[nodiscard]] const LifecycleFootprint& footprint() const { return footprint_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // Total carbon, operational + embodied.
+  [[nodiscard]] CarbonMass total_carbon() const;
+
+  // Multi-line carbon impact statement.
+  [[nodiscard]] std::string impact_statement(const std::string& task_name) const;
+
+  // Machine-readable impact report (JSON) with the same content.
+  [[nodiscard]] std::string impact_json(const std::string& task_name) const;
+
+ private:
+  Options options_;
+  LifecycleFootprint footprint_;
+};
+
+}  // namespace sustainai::telemetry

@@ -1,0 +1,106 @@
+// Parameterized cross-product sweeps of the accounting pipeline: the same
+// invariants must hold for every (grid, device, PUE, CFE) combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/embodied.h"
+#include "core/operational.h"
+#include "hw/spec.h"
+#include "mlcycle/model_zoo.h"
+
+namespace sustainai {
+namespace {
+
+struct GridCase {
+  const char* name;
+  GridProfile (*make)();
+};
+
+const GridCase kGrids[] = {
+    {"us-average", grids::us_average},
+    {"us-midwest-coal", grids::us_midwest_coal},
+    {"us-west-solar", grids::us_west_solar},
+    {"nordic-hydro", grids::nordic_hydro},
+    {"asia-pacific", grids::asia_pacific},
+};
+
+struct DeviceCase {
+  const char* name;
+  hw::DeviceSpec (*make)();
+};
+
+const DeviceCase kDevices[] = {
+    {"p100", hw::catalog::nvidia_p100},
+    {"v100", hw::catalog::nvidia_v100},
+    {"a100", hw::catalog::nvidia_a100},
+    {"tpu", hw::catalog::tpu_like},
+};
+
+class AccountingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double, double>> {
+ protected:
+  [[nodiscard]] GridProfile grid() const {
+    return kGrids[std::get<0>(GetParam())].make();
+  }
+  [[nodiscard]] hw::DeviceSpec device() const {
+    return kDevices[std::get<1>(GetParam())].make();
+  }
+  [[nodiscard]] double pue() const { return std::get<2>(GetParam()); }
+  [[nodiscard]] double cfe() const { return std::get<3>(GetParam()); }
+};
+
+TEST_P(AccountingSweep, OperationalAccountingInvariants) {
+  const OperationalCarbonModel model(pue(), grid(), cfe());
+  const Energy it = kilowatt_hours(100.0);
+  // Facility >= IT energy (PUE >= 1); carbon non-negative; market <= location.
+  EXPECT_GE(to_joules(model.facility_energy(it)), to_joules(it));
+  const CarbonMass location = model.location_based(it);
+  const CarbonMass market = model.market_based_emissions(it);
+  EXPECT_GE(to_grams_co2e(location), 0.0);
+  EXPECT_LE(to_grams_co2e(market), to_grams_co2e(location) + 1e-9);
+  // Linearity in energy.
+  EXPECT_NEAR(to_grams_co2e(model.location_based(it * 2.0)),
+              2.0 * to_grams_co2e(location), 1e-6);
+}
+
+TEST_P(AccountingSweep, ZooCalibrationHoldsEverywhere) {
+  // The calibrated aggregates are invariant to the accounting context.
+  mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  ctx.operational = OperationalCarbonModel(pue(), grid(), cfe());
+  ctx.device = device();
+  const auto models = mlcycle::production_models(ctx);
+  CarbonMass sum = grams_co2e(0.0);
+  for (const auto& m : models) {
+    sum += m.training_carbon(ctx);
+  }
+  EXPECT_NEAR(to_tonnes_co2e(sum) / 6.0 / 96.4, 1.8, 0.02)
+      << kGrids[std::get<0>(GetParam())].name << "/"
+      << kDevices[std::get<1>(GetParam())].name;
+  const auto& lm = mlcycle::find_model(models, "LM");
+  const double train = to_grams_co2e(lm.training_carbon(ctx));
+  const double inf = to_grams_co2e(lm.inference_carbon(ctx));
+  EXPECT_NEAR(train / (train + inf), 0.35, 0.01);
+}
+
+TEST_P(AccountingSweep, EmbodiedAttributionScalesWithDeviceAnchor) {
+  const hw::DeviceSpec d = device();
+  const EmbodiedCarbonModel embodied(d.embodied, d.lifetime, 0.45);
+  const CarbonMass month = embodied.attribute(days(30.0));
+  EXPECT_GT(to_grams_co2e(month), 0.0);
+  // A month of use never exceeds the manufacturing total.
+  EXPECT_LT(to_grams_co2e(month), to_grams_co2e(d.embodied));
+  // Proportionality.
+  EXPECT_NEAR(embodied.attribute(days(60.0)) / month, 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridDevicePueCfe, AccountingSweep,
+    ::testing::Combine(::testing::Range(0, 5),            // grids
+                       ::testing::Range(0, 4),            // devices
+                       ::testing::Values(1.1, 1.55),      // PUE
+                       ::testing::Values(0.0, 0.9, 1.0))  // CFE coverage
+);
+
+}  // namespace
+}  // namespace sustainai

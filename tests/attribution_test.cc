@@ -1,0 +1,106 @@
+#include "telemetry/attribution.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::telemetry {
+namespace {
+
+AttributionConfig even_config() {
+  AttributionConfig cfg;
+  cfg.idle_power = watts(100.0);
+  cfg.idle_policy = IdlePolicy::kEvenSplit;
+  return cfg;
+}
+
+TEST(Attribution, ConservesMeasuredEnergy) {
+  const std::vector<JobUsage> jobs = {
+      {"a", 1800.0, hours(1.0)},
+      {"b", 600.0, minutes(30.0)},
+  };
+  const Energy measured = kilowatt_hours(1.0);
+  const auto split = attribute_energy(measured, hours(1.0), jobs, even_config());
+  Energy sum = joules(0.0);
+  for (const JobEnergy& e : split) {
+    sum += e.total();
+  }
+  EXPECT_NEAR(to_joules(sum), to_joules(measured), 1e-6);
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split.back().job_id, "<unallocated>");
+}
+
+TEST(Attribution, DynamicSplitsByResourceSeconds) {
+  const std::vector<JobUsage> jobs = {
+      {"a", 3000.0, hours(1.0)},
+      {"b", 1000.0, hours(1.0)},
+  };
+  // 100 W idle for 1 h = 0.1 kWh idle; 0.9 kWh dynamic.
+  const auto split =
+      attribute_energy(kilowatt_hours(1.0), hours(1.0), jobs, even_config());
+  EXPECT_NEAR(to_kilowatt_hours(split[0].dynamic), 0.9 * 0.75, 1e-9);
+  EXPECT_NEAR(to_kilowatt_hours(split[1].dynamic), 0.9 * 0.25, 1e-9);
+  // Idle split evenly by residency (both resident the whole hour).
+  EXPECT_NEAR(to_kilowatt_hours(split[0].idle_share), 0.05, 1e-9);
+  EXPECT_NEAR(to_kilowatt_hours(split[1].idle_share), 0.05, 1e-9);
+}
+
+TEST(Attribution, ProportionalIdleFollowsDynamic) {
+  const std::vector<JobUsage> jobs = {
+      {"a", 3000.0, hours(1.0)},
+      {"b", 1000.0, hours(1.0)},
+  };
+  AttributionConfig cfg = even_config();
+  cfg.idle_policy = IdlePolicy::kProportional;
+  const auto split = attribute_energy(kilowatt_hours(1.0), hours(1.0), jobs, cfg);
+  EXPECT_NEAR(to_kilowatt_hours(split[0].idle_share), 0.075, 1e-9);
+  EXPECT_NEAR(to_kilowatt_hours(split[1].idle_share), 0.025, 1e-9);
+}
+
+TEST(Attribution, ShortResidencyGetsLessIdle) {
+  const std::vector<JobUsage> jobs = {
+      {"long", 100.0, hours(1.0)},
+      {"short", 100.0, minutes(6.0)},
+  };
+  const auto split =
+      attribute_energy(kilowatt_hours(0.5), hours(1.0), jobs, even_config());
+  EXPECT_GT(to_joules(split[0].idle_share), to_joules(split[1].idle_share) * 8.0);
+  // Equal resource-seconds: equal dynamic shares.
+  EXPECT_NEAR(to_joules(split[0].dynamic), to_joules(split[1].dynamic), 1e-6);
+}
+
+TEST(Attribution, IdleHostGoesToUnallocated) {
+  const auto split = attribute_energy(kilowatt_hours(0.1), hours(1.0), {},
+                                      even_config());
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_EQ(split[0].job_id, "<unallocated>");
+  EXPECT_NEAR(to_kilowatt_hours(split[0].total()), 0.1, 1e-9);
+}
+
+TEST(Attribution, MeasuredBelowIdleFloorClamps) {
+  // A throttled host can measure below the nominal idle floor; dynamic
+  // must clamp to zero rather than go negative.
+  const std::vector<JobUsage> jobs = {{"a", 100.0, hours(1.0)}};
+  const auto split = attribute_energy(watt_hours(50.0), hours(1.0), jobs,
+                                      even_config());
+  EXPECT_NEAR(to_joules(split[0].dynamic), 0.0, 1e-9);
+  EXPECT_NEAR(to_watts(split[0].idle_share / hours(1.0)), 50.0, 1e-9);
+}
+
+TEST(Attribution, RejectsInvalidInputs) {
+  EXPECT_THROW((void)attribute_energy(joules(-1.0), hours(1.0), {},
+                                      even_config()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)attribute_energy(joules(1.0), seconds(0.0), {}, even_config()),
+      std::invalid_argument);
+  const std::vector<JobUsage> bad = {{"a", -1.0, hours(1.0)}};
+  EXPECT_THROW(
+      (void)attribute_energy(joules(1.0), hours(1.0), bad, even_config()),
+      std::invalid_argument);
+  const std::vector<JobUsage> over = {{"a", 1.0, hours(2.0)}};
+  EXPECT_THROW(
+      (void)attribute_energy(joules(1.0), hours(1.0), over, even_config()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::telemetry

@@ -1,0 +1,110 @@
+#include "datacenter/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::datacenter {
+namespace {
+
+CapacityPlanConfig paper_growth() {
+  CapacityPlanConfig cfg;
+  // Figure 2d: 2.9x training capacity demand over 18 months, extended.
+  cfg.demand_per_period = {1.0, 1.43, 2.03, 2.9, 4.1, 5.9};
+  cfg.grid = grids::us_average();
+  return cfg;
+}
+
+TEST(CapacityPlanner, JustInTimeMeetsDemandEveryPeriod) {
+  const auto plan = plan_just_in_time(paper_growth());
+  ASSERT_EQ(plan.periods.size(), 6u);
+  for (const PeriodPlan& p : plan.periods) {
+    EXPECT_GE(p.capacity, p.demand - 1e-9) << p.period;
+  }
+}
+
+TEST(CapacityPlanner, BuyAheadMeetsDemandFromPeriodZero) {
+  const auto plan = plan_buy_ahead(paper_growth());
+  for (const PeriodPlan& p : plan.periods) {
+    EXPECT_GE(p.capacity, p.demand - 1e-9) << p.period;
+  }
+  // Everything bought in period 0.
+  EXPECT_GT(plan.periods[0].servers_bought, 0);
+  for (std::size_t i = 1; i < plan.periods.size(); ++i) {
+    EXPECT_EQ(plan.periods[i].servers_bought, 0);
+  }
+}
+
+TEST(CapacityPlanner, JustInTimeBeatsBuyAheadOnBothCarbonTerms) {
+  const CapacityPlanConfig cfg = paper_growth();
+  const auto jit = plan_just_in_time(cfg);
+  const auto ahead = plan_buy_ahead(cfg);
+  // Later purchases are more efficient per server -> fewer servers and
+  // less idle fleet in early periods.
+  EXPECT_LT(to_tonnes_co2e(jit.total_embodied),
+            to_tonnes_co2e(ahead.total_embodied));
+  EXPECT_LT(to_tonnes_co2e(jit.total_operational),
+            to_tonnes_co2e(ahead.total_operational));
+  EXPECT_LT(to_tonnes_co2e(jit.total()), to_tonnes_co2e(ahead.total()));
+}
+
+TEST(CapacityPlanner, EfficiencyRoadmapReducesPurchases) {
+  CapacityPlanConfig flat = paper_growth();
+  flat.efficiency_growth_per_period = 1.0;
+  CapacityPlanConfig improving = paper_growth();
+  improving.efficiency_growth_per_period = 1.25;
+  int flat_servers = 0;
+  int improving_servers = 0;
+  for (const PeriodPlan& p : plan_just_in_time(flat).periods) {
+    flat_servers += p.servers_bought;
+  }
+  for (const PeriodPlan& p : plan_just_in_time(improving).periods) {
+    improving_servers += p.servers_bought;
+  }
+  EXPECT_LT(improving_servers, flat_servers);
+}
+
+TEST(CapacityPlanner, RetirementForcesReplacement) {
+  CapacityPlanConfig cfg = paper_growth();
+  cfg.server_life_periods = 2;  // servers retire quickly
+  cfg.demand_per_period = {1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto plan = plan_just_in_time(cfg);
+  // Period 2 must re-buy what period 0 installed.
+  EXPECT_GT(plan.periods[2].servers_bought, 0);
+}
+
+TEST(CapacityPlanner, OperationalScalesWithFleetSize) {
+  const auto plan = plan_just_in_time(paper_growth());
+  for (std::size_t i = 1; i < plan.periods.size(); ++i) {
+    if (plan.periods[i].fleet_size > plan.periods[i - 1].fleet_size) {
+      EXPECT_GT(to_grams_co2e(plan.periods[i].operational),
+                to_grams_co2e(plan.periods[i - 1].operational));
+    }
+  }
+}
+
+TEST(CapacityPlanner, TotalsSumPeriods) {
+  const auto plan = plan_just_in_time(paper_growth());
+  CarbonMass embodied = grams_co2e(0.0);
+  CarbonMass operational = grams_co2e(0.0);
+  for (const PeriodPlan& p : plan.periods) {
+    embodied += p.embodied_purchased;
+    operational += p.operational;
+  }
+  EXPECT_NEAR(to_grams_co2e(plan.total_embodied), to_grams_co2e(embodied), 1.0);
+  EXPECT_NEAR(to_grams_co2e(plan.total_operational), to_grams_co2e(operational),
+              1.0);
+}
+
+TEST(CapacityPlanner, RejectsInvalidConfig) {
+  CapacityPlanConfig cfg = paper_growth();
+  cfg.demand_per_period.clear();
+  EXPECT_THROW((void)plan_just_in_time(cfg), std::invalid_argument);
+  cfg = paper_growth();
+  cfg.efficiency_growth_per_period = 0.9;
+  EXPECT_THROW((void)plan_just_in_time(cfg), std::invalid_argument);
+  cfg = paper_growth();
+  cfg.server_life_periods = 0;
+  EXPECT_THROW((void)plan_just_in_time(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::datacenter

@@ -1,0 +1,164 @@
+#include "core/carbon_intensity.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sustainai {
+namespace {
+
+TEST(GridProfiles, AveragesMatchDocumentedValues) {
+  EXPECT_NEAR(to_grams_per_kwh(grids::us_average().average), 429.0, 1e-9);
+  EXPECT_NEAR(to_grams_per_kwh(grids::nordic_hydro().average), 30.0, 1e-9);
+  EXPECT_NEAR(to_grams_per_kwh(grids::hydro_quebec().average), 2.0, 1e-9);
+}
+
+TEST(GridProfiles, FossilMarginalConsistentWithCarbonFreeShare) {
+  for (const GridProfile& p :
+       {grids::us_average(), grids::us_midwest_coal(), grids::us_west_solar(),
+        grids::asia_pacific(), grids::nordic_hydro()}) {
+    // average == marginal * (1 - carbon_free) by construction.
+    EXPECT_NEAR(to_grams_per_kwh(p.fossil_marginal) * (1.0 - p.carbon_free_fraction),
+                to_grams_per_kwh(p.average), 0.5)
+        << p.name;
+    EXPECT_GT(to_grams_per_kwh(p.fossil_marginal), 0.0) << p.name;
+  }
+}
+
+TEST(MarketBased, NetsOutCoverage) {
+  const CarbonMass gross = tonnes_co2e(100.0);
+  EXPECT_NEAR(to_tonnes_co2e(market_based(gross, 0.0)), 100.0, 1e-12);
+  EXPECT_NEAR(to_tonnes_co2e(market_based(gross, 0.5)), 50.0, 1e-12);
+  EXPECT_NEAR(to_tonnes_co2e(market_based(gross, 1.0)), 0.0, 1e-12);
+}
+
+TEST(MarketBased, RejectsBadCoverage) {
+  EXPECT_THROW((void)market_based(tonnes_co2e(1.0), -0.1), std::invalid_argument);
+  EXPECT_THROW((void)market_based(tonnes_co2e(1.0), 1.1), std::invalid_argument);
+}
+
+IntermittentGrid::Config solar_heavy() {
+  IntermittentGrid::Config c;
+  c.profile = grids::us_west_solar();
+  c.solar_share = 0.5;
+  c.wind_share = 0.2;
+  c.firm_share = 0.1;
+  c.seed = 7;
+  return c;
+}
+
+TEST(IntermittentGrid, AvailabilityStaysInUnitInterval) {
+  const IntermittentGrid grid(solar_heavy());
+  for (double h = 0.0; h < 72.0; h += 0.25) {
+    const double a = grid.carbon_free_availability(hours(h));
+    EXPECT_GE(a, 0.0) << h;
+    EXPECT_LE(a, 1.0) << h;
+  }
+}
+
+TEST(IntermittentGrid, IntensityNonNegativeAndBounded) {
+  const IntermittentGrid grid(solar_heavy());
+  const double marginal = to_grams_per_kwh(grid.profile().fossil_marginal);
+  for (double h = 0.0; h < 48.0; h += 0.5) {
+    const double ci = to_grams_per_kwh(grid.intensity_at(hours(h)));
+    EXPECT_GE(ci, 0.0);
+    EXPECT_LE(ci, marginal + 1e-9);
+  }
+}
+
+TEST(IntermittentGrid, SolarMakesNoonCleanerThanMidnight) {
+  const IntermittentGrid grid(solar_heavy());
+  // Average over several days to wash out the wind process.
+  double noon = 0.0;
+  double midnight = 0.0;
+  for (int day = 0; day < 10; ++day) {
+    noon += to_grams_per_kwh(grid.intensity_at(hours(24.0 * day + 12.0)));
+    midnight += to_grams_per_kwh(grid.intensity_at(hours(24.0 * day)));
+  }
+  EXPECT_LT(noon, midnight);
+}
+
+TEST(IntermittentGrid, NoSolarOutsideDaylight) {
+  IntermittentGrid::Config c = solar_heavy();
+  c.wind_share = 0.0;
+  c.firm_share = 0.0;
+  const IntermittentGrid grid(c);
+  EXPECT_DOUBLE_EQ(grid.carbon_free_availability(hours(2.0)), 0.0);
+  EXPECT_DOUBLE_EQ(grid.carbon_free_availability(hours(23.0)), 0.0);
+  EXPECT_GT(grid.carbon_free_availability(hours(12.0)), 0.4);
+}
+
+TEST(IntermittentGrid, DeterministicForSameSeed) {
+  const IntermittentGrid a(solar_heavy());
+  const IntermittentGrid b(solar_heavy());
+  for (double h = 0.0; h < 24.0; h += 1.0) {
+    EXPECT_DOUBLE_EQ(a.intensity_at(hours(h)).base(),
+                     b.intensity_at(hours(h)).base());
+  }
+}
+
+TEST(IntermittentGrid, DifferentSeedsChangeWind) {
+  IntermittentGrid::Config c1 = solar_heavy();
+  IntermittentGrid::Config c2 = solar_heavy();
+  c2.seed = 99;
+  const IntermittentGrid a(c1);
+  const IntermittentGrid b(c2);
+  bool any_difference = false;
+  for (double h = 0.0; h < 48.0; h += 1.0) {
+    if (a.intensity_at(hours(h)).base() != b.intensity_at(hours(h)).base()) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(IntermittentGrid, MeanIntensityBetweenExtremes) {
+  const IntermittentGrid grid(solar_heavy());
+  const CarbonIntensity mean = grid.mean_intensity(hours(0.0), hours(24.0), 96);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (double h = 0.0; h <= 24.0; h += 0.25) {
+    const double v = grid.intensity_at(hours(h)).base();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(mean.base(), lo);
+  EXPECT_LE(mean.base(), hi);
+}
+
+TEST(IntermittentGrid, RejectsInvalidConfig) {
+  IntermittentGrid::Config c = solar_heavy();
+  c.sunrise_hour = 20.0;
+  c.sunset_hour = 6.0;
+  EXPECT_THROW((void)IntermittentGrid{c}, std::invalid_argument);
+}
+
+TEST(IntermittentGrid, MeanIntensityRejectsBadArgs) {
+  const IntermittentGrid grid(solar_heavy());
+  EXPECT_THROW((void)grid.mean_intensity(hours(0.0), hours(1.0), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)grid.mean_intensity(hours(0.0), hours(0.0)),
+               std::invalid_argument);
+}
+
+// Parameterized: for any firm share, availability is at least that share.
+class FirmShareTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FirmShareTest, FirmShareIsAvailabilityFloor) {
+  IntermittentGrid::Config c;
+  c.profile = grids::us_average();
+  c.firm_share = GetParam();
+  c.solar_share = 0.3;
+  c.wind_share = 0.1;
+  const IntermittentGrid grid(c);
+  for (double h = 0.0; h < 24.0; h += 0.5) {
+    EXPECT_GE(grid.carbon_free_availability(hours(h)), GetParam() - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FirmShareTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.9));
+
+}  // namespace
+}  // namespace sustainai

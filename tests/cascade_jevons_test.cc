@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "optim/cascade.h"
+#include "optim/jevons.h"
+
+namespace sustainai::optim {
+namespace {
+
+TEST(Cascade, LmServingCascadeExceeds800x) {
+  // Figure 7 / key takeaways: 6.7 x 10.1 x 2.4 x 5 = 812x ("over 800x").
+  const OptimizationCascade cascade = lm_serving_cascade();
+  ASSERT_EQ(cascade.steps().size(), 4u);
+  EXPECT_GT(cascade.cumulative_gain(), 800.0);
+  EXPECT_NEAR(cascade.cumulative_gain(), 812.0, 1.0);
+}
+
+TEST(Cascade, CumulativeGainsAreRunningProducts) {
+  const OptimizationCascade cascade = lm_serving_cascade();
+  const auto gains = cascade.cumulative_gains();
+  ASSERT_EQ(gains.size(), 4u);
+  EXPECT_NEAR(gains[0], 6.7, 1e-9);
+  EXPECT_NEAR(gains[1], 6.7 * 10.1, 1e-9);
+  EXPECT_NEAR(gains[2], 6.7 * 10.1 * 2.4, 1e-9);
+  EXPECT_NEAR(gains[3], 6.7 * 10.1 * 2.4 * 5.0, 1e-9);
+}
+
+TEST(Cascade, EnergyAfterEachStepDecreases) {
+  const OptimizationCascade cascade = lm_serving_cascade();
+  const auto energies = cascade.energy_after_each_step(megawatt_hours(100.0));
+  ASSERT_EQ(energies.size(), 4u);
+  for (std::size_t i = 1; i < energies.size(); ++i) {
+    EXPECT_LT(to_joules(energies[i]), to_joules(energies[i - 1]));
+  }
+  EXPECT_NEAR(to_megawatt_hours(energies.back()), 100.0 / 812.08, 1e-3);
+}
+
+TEST(Cascade, RejectsNonPositiveGain) {
+  OptimizationCascade cascade;
+  EXPECT_THROW((void)cascade.add_step({"bad", 0.0, ""}), std::invalid_argument);
+}
+
+TEST(CacheModel, GainFormula) {
+  CacheModel cache;
+  cache.hit_rate = 0.9;
+  cache.hit_cost_fraction = 0.05;
+  EXPECT_NEAR(cache.energy_gain(), 1.0 / (0.9 * 0.05 + 0.1), 1e-9);
+}
+
+TEST(CacheModel, HitRateForPaperGain) {
+  // The paper's 6.7x caching gain needs ~89.5% hit rate at 5% hit cost —
+  // realistic for frequently-reused translation embeddings.
+  const double h = CacheModel::hit_rate_for_gain(6.7, 0.05);
+  EXPECT_GT(h, 0.85);
+  EXPECT_LT(h, 0.95);
+  CacheModel cache;
+  cache.hit_rate = h;
+  cache.hit_cost_fraction = 0.05;
+  EXPECT_NEAR(cache.energy_gain(), 6.7, 1e-9);
+}
+
+TEST(CacheModel, UnreachableGainThrows) {
+  EXPECT_THROW((void)CacheModel::hit_rate_for_gain(25.0, 0.05),
+               std::invalid_argument);
+  // 1/0.05 = 20 is the asymptotic limit.
+  EXPECT_NO_THROW((void)CacheModel::hit_rate_for_gain(19.9, 0.05));
+}
+
+TEST(Jevons, DefaultWaveCompoundsToTwentyPercent) {
+  // Figure 6: "an average of 20% operational energy footprint reduction
+  // every 6 months across the stack".
+  const OptimizationWave wave = default_wave();
+  ASSERT_EQ(wave.areas.size(), 4u);
+  EXPECT_NEAR(wave.combined_reduction(), 0.20, 0.005);
+}
+
+TEST(Jevons, ImpliedDemandGrowthReproducesPaper) {
+  // Figure 8: 20%/6mo efficiency, net -28.5% over 4 half-years.
+  const double growth = implied_demand_growth(0.199, 1.0 - 0.285, 4);
+  // Demand must grow ~15% per half-year (Jevons' paradox).
+  EXPECT_GT(growth, 1.10);
+  EXPECT_LT(growth, 1.20);
+  const JevonsResult r = simulate_jevons(default_wave(), growth, 4);
+  EXPECT_NEAR(r.net_fleet_change(), -0.285, 0.01);
+}
+
+TEST(Jevons, EfficiencyOnlyTrajectoryIsMuchSteeper) {
+  const double growth = implied_demand_growth(0.199, 0.715, 4);
+  const JevonsResult r = simulate_jevons(default_wave(), growth, 4);
+  // Without demand growth the fleet would have shrunk ~59%.
+  EXPECT_NEAR(r.efficiency_only_change(), -0.59, 0.02);
+  // Demand growth ate most of the efficiency gain.
+  EXPECT_GT(r.net_fleet_change(), r.efficiency_only_change());
+}
+
+TEST(Jevons, TrajectoriesHaveExpectedLengthAndShape) {
+  const JevonsResult r = simulate_jevons(default_wave(), 1.15, 4);
+  ASSERT_EQ(r.fleet_power.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.fleet_power[0], 1.0);
+  for (std::size_t i = 0; i < r.fleet_power.size(); ++i) {
+    EXPECT_NEAR(r.fleet_power[i], r.per_work_power[i] * r.demand[i], 1e-12);
+  }
+  // Demand is monotonically increasing, per-work power decreasing.
+  for (std::size_t i = 1; i < r.demand.size(); ++i) {
+    EXPECT_GT(r.demand[i], r.demand[i - 1]);
+    EXPECT_LT(r.per_work_power[i], r.per_work_power[i - 1]);
+  }
+}
+
+TEST(Jevons, GrowingDemandCanOutpaceEfficiency) {
+  // With aggressive demand growth the fleet grows despite optimization —
+  // the "overall electricity demand for AI continues to increase" regime.
+  const JevonsResult r = simulate_jevons(default_wave(), 1.4, 4);
+  EXPECT_GT(r.net_fleet_change(), 0.0);
+}
+
+TEST(Jevons, RejectsInvalidArguments) {
+  EXPECT_THROW((void)implied_demand_growth(1.0, 0.7, 4), std::invalid_argument);
+  EXPECT_THROW((void)implied_demand_growth(0.2, -1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)simulate_jevons(default_wave(), 0.0, 4), std::invalid_argument);
+  OptimizationWave bad;
+  bad.areas = {{"x", 1.0}};
+  EXPECT_THROW((void)bad.combined_reduction(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::optim

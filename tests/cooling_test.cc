@@ -1,0 +1,105 @@
+#include "datacenter/cooling.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::datacenter {
+namespace {
+
+TEST(Climate, SeasonalAndDiurnalCycles) {
+  const ClimateModel c = climates::temperate();
+  // Hottest day ~200, hottest hour 15:00.
+  const Duration summer_peak = days(200.0) + hours(15.0);
+  const Duration winter_night = days(17.0) + hours(3.0);
+  EXPECT_GT(c.temperature_at(summer_peak), c.temperature_at(winter_night) + 15.0);
+  // Annual periodicity of the seasonal component (diurnal zeroed because
+  // the 365.25-day year shifts the hour-of-day phase by 6 h).
+  ClimateModel seasonal_only = c;
+  seasonal_only.diurnal_amplitude = 0.0;
+  EXPECT_NEAR(seasonal_only.temperature_at(hours(10.0)),
+              seasonal_only.temperature_at(years(1.0) + hours(10.0)), 1e-9);
+}
+
+TEST(Climate, OrderingAcrossSites) {
+  const Duration t = days(100.0) + hours(12.0);
+  EXPECT_LT(climates::nordic().temperature_at(t),
+            climates::temperate().temperature_at(t));
+  EXPECT_LT(climates::temperate().temperature_at(t),
+            climates::hot_desert().temperature_at(t));
+}
+
+TEST(Cooling, FreeCoolingHoldsBasePue) {
+  const CoolingModel m{};
+  EXPECT_DOUBLE_EQ(m.pue_at_temperature(-5.0), 1.08);
+  EXPECT_DOUBLE_EQ(m.pue_at_temperature(18.0), 1.08);
+}
+
+TEST(Cooling, ChillerOverheadGrowsLinearlyThenClamps) {
+  const CoolingModel m{};
+  EXPECT_NEAR(m.pue_at_temperature(28.0), 1.08 + 0.02 * 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.pue_at_temperature(80.0), 1.60);
+}
+
+TEST(Cooling, MonotoneInTemperature) {
+  const CoolingModel m{};
+  double prev = 0.0;
+  for (double t = -10.0; t <= 60.0; t += 2.0) {
+    const double pue = m.pue_at_temperature(t);
+    EXPECT_GE(pue, prev);
+    prev = pue;
+  }
+}
+
+TEST(Cooling, AnnualMeanPueOrdersSites) {
+  const CoolingModel m{};
+  const double nordic = m.mean_pue(climates::nordic(), seconds(0.0), years(1.0));
+  const double temperate =
+      m.mean_pue(climates::temperate(), seconds(0.0), years(1.0));
+  const double desert =
+      m.mean_pue(climates::hot_desert(), seconds(0.0), years(1.0));
+  EXPECT_LT(nordic, temperate);
+  EXPECT_LT(temperate, desert);
+  // The paper's hyperscale 1.10 is achievable in cool/temperate climates.
+  EXPECT_LT(nordic, 1.10);
+  EXPECT_LT(temperate, 1.20);
+  EXPECT_GT(desert, 1.15);
+}
+
+TEST(Cooling, FacilityEnergyBracketsByPueBounds) {
+  const CoolingModel m{};
+  const ClimateModel climate = climates::temperate();
+  const Power load = megawatts(10.0);
+  const Energy facility =
+      facility_energy_over(m, climate, load, seconds(0.0), days(365.0));
+  const Energy it = load * days(365.0);
+  EXPECT_GE(facility / it, 1.08);
+  EXPECT_LE(facility / it, 1.60);
+  // Consistent with mean PUE at matching resolution.
+  const double mean = m.mean_pue(climate, seconds(0.0), days(365.0), 365 * 24);
+  EXPECT_NEAR(facility / it, mean, 0.002);
+}
+
+TEST(Cooling, SummerCostsMoreThanWinter) {
+  const CoolingModel m{};
+  const ClimateModel climate = climates::temperate();
+  const Power load = megawatts(10.0);
+  const Energy july =
+      facility_energy_over(m, climate, load, days(185.0), days(30.0));
+  const Energy january =
+      facility_energy_over(m, climate, load, days(5.0), days(30.0));
+  EXPECT_GT(to_joules(july), to_joules(january));
+}
+
+TEST(Cooling, RejectsInvalidArguments) {
+  CoolingModel bad;
+  bad.base_pue = 0.9;
+  EXPECT_THROW((void)bad.pue_at_temperature(10.0), std::invalid_argument);
+  const CoolingModel m{};
+  EXPECT_THROW((void)m.mean_pue(climates::nordic(), seconds(0.0), seconds(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)facility_energy_over(m, climates::nordic(), watts(-1.0),
+                                          seconds(0.0), days(1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::datacenter

@@ -1,0 +1,157 @@
+#include "datagen/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sustainai::datagen {
+namespace {
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.99), 2.326348, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.841344746), 1.0, 1e-5);
+}
+
+TEST(InverseNormalCdf, InvertsNormalCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.037) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-7) << p;
+  }
+}
+
+TEST(InverseNormalCdf, RejectsOutOfRange) {
+  EXPECT_THROW((void)inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW((void)inverse_normal_cdf(1.0), std::invalid_argument);
+  EXPECT_THROW((void)inverse_normal_cdf(-0.5), std::invalid_argument);
+}
+
+TEST(LognormalCalibration, ReproducesPaperExperimentationQuantiles) {
+  // Section II-A: p50 = 1.5 GPU-days, p99 = 24 GPU-days.
+  const LognormalSpec spec = lognormal_from_quantiles(0.50, 1.5, 0.99, 24.0);
+  EXPECT_NEAR(spec.quantile(0.50), 1.5, 1e-9);
+  EXPECT_NEAR(spec.quantile(0.99), 24.0, 1e-6);
+  EXPECT_NEAR(spec.median(), 1.5, 1e-9);
+}
+
+TEST(LognormalCalibration, ReproducesProductionTrainingQuantiles) {
+  // Section II-A: p50 = 2.96 GPU-days, p99 = 125 GPU-days.
+  const LognormalSpec spec = lognormal_from_quantiles(0.50, 2.96, 0.99, 125.0);
+  EXPECT_NEAR(spec.quantile(0.50), 2.96, 1e-9);
+  EXPECT_NEAR(spec.quantile(0.99), 125.0, 1e-5);
+}
+
+TEST(LognormalCalibration, CdfIsInverseOfQuantile) {
+  const LognormalSpec spec = lognormal_from_quantiles(0.50, 1.5, 0.99, 24.0);
+  for (double q = 0.05; q < 1.0; q += 0.1) {
+    EXPECT_NEAR(spec.cdf(spec.quantile(q)), q, 1e-7);
+  }
+}
+
+TEST(LognormalCalibration, MeanExceedsMedian) {
+  const LognormalSpec spec = lognormal_from_quantiles(0.50, 1.5, 0.99, 24.0);
+  EXPECT_GT(spec.mean(), spec.median());
+}
+
+TEST(LognormalCalibration, SampledQuantilesMatch) {
+  const LognormalSpec spec = lognormal_from_quantiles(0.50, 1.5, 0.99, 24.0);
+  Rng rng(33);
+  std::vector<double> samples;
+  const int n = 200000;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(spec.sample(rng));
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[n / 2], 1.5, 0.05);
+  EXPECT_NEAR(samples[static_cast<std::size_t>(n * 0.99)], 24.0, 1.5);
+}
+
+TEST(LognormalCalibration, RejectsInvalidConstraints) {
+  EXPECT_THROW((void)lognormal_from_quantiles(0.9, 1.0, 0.5, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)lognormal_from_quantiles(0.5, 2.0, 0.99, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)lognormal_from_quantiles(0.5, -1.0, 0.99, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Gamma, MeanAndVarianceMatch) {
+  Rng rng(37);
+  const double shape = 3.0;
+  const double scale = 2.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_gamma(rng, shape, scale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.05);
+  EXPECT_NEAR(var, shape * scale * scale, 0.3);
+}
+
+TEST(Gamma, SmallShapeBoostingWorks) {
+  Rng rng(41);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += sample_gamma(rng, 0.5, 1.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Beta, MomentCalibrationRoundTrips) {
+  const BetaSpec spec = beta_from_moments(0.42, 0.13);
+  EXPECT_NEAR(spec.mean(), 0.42, 1e-12);
+  Rng rng(43);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = spec.sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.42, 0.005);
+  EXPECT_NEAR(sd, 0.13, 0.005);
+}
+
+TEST(Beta, RejectsInfeasibleMoments) {
+  EXPECT_THROW((void)beta_from_moments(0.5, 0.6), std::invalid_argument);
+  EXPECT_THROW((void)beta_from_moments(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)beta_from_moments(1.0, 0.1), std::invalid_argument);
+}
+
+// Property: calibration is exact for any valid quantile pair.
+class LognormalQuantileSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double, double>> {};
+
+TEST_P(LognormalQuantileSweep, CalibrationIsExact) {
+  const auto [p1, v1, p2, v2] = GetParam();
+  const LognormalSpec spec = lognormal_from_quantiles(p1, v1, p2, v2);
+  EXPECT_NEAR(spec.quantile(p1), v1, 1e-6 * v1);
+  EXPECT_NEAR(spec.quantile(p2), v2, 1e-6 * v2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LognormalQuantileSweep,
+    ::testing::Values(std::make_tuple(0.5, 1.5, 0.99, 24.0),
+                      std::make_tuple(0.5, 2.96, 0.99, 125.0),
+                      std::make_tuple(0.25, 0.5, 0.75, 8.0),
+                      std::make_tuple(0.1, 0.01, 0.9, 100.0)));
+
+}  // namespace
+}  // namespace sustainai::datagen

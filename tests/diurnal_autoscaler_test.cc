@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "datacenter/autoscaler.h"
+#include "datacenter/cluster.h"
+#include "datacenter/diurnal.h"
+
+namespace sustainai::datacenter {
+namespace {
+
+TEST(Diurnal, PeakAtPeakHourTroughOpposite) {
+  DiurnalProfile p;
+  p.trough = 0.4;
+  p.peak = 0.9;
+  p.peak_hour = 20.0;
+  EXPECT_NEAR(p.utilization_at(hours(20.0)), 0.9, 1e-9);
+  EXPECT_NEAR(p.utilization_at(hours(8.0)), 0.4, 1e-9);
+}
+
+TEST(Diurnal, BoundedByTroughAndPeak) {
+  DiurnalProfile p;
+  p.trough = 0.3;
+  p.peak = 0.8;
+  p.peak_hour = 14.0;
+  for (double h = 0.0; h < 48.0; h += 0.25) {
+    const double u = p.utilization_at(hours(h));
+    EXPECT_GE(u, 0.3 - 1e-12);
+    EXPECT_LE(u, 0.8 + 1e-12);
+  }
+}
+
+TEST(Diurnal, PeriodicAcrossDays) {
+  DiurnalProfile p;
+  EXPECT_NEAR(p.utilization_at(hours(5.0)), p.utilization_at(hours(29.0)), 1e-12);
+}
+
+TEST(Diurnal, MeanUtilization) {
+  DiurnalProfile p;
+  p.trough = 0.2;
+  p.peak = 0.8;
+  EXPECT_NEAR(p.mean_utilization(), 0.5, 1e-12);
+}
+
+TEST(Diurnal, FlatProfileIsConstant) {
+  const DiurnalProfile p = flat_profile(0.6);
+  for (double h = 0.0; h < 24.0; h += 1.0) {
+    EXPECT_NEAR(p.utilization_at(hours(h)), 0.6, 1e-12);
+  }
+  EXPECT_THROW((void)flat_profile(1.5), std::invalid_argument);
+}
+
+AutoScaler::Config paper_config() {
+  AutoScaler::Config c;
+  c.target_utilization = 0.75;
+  c.max_freed_fraction = 0.25;
+  c.min_active_fraction = 0.50;
+  return c;
+}
+
+TEST(AutoScaler, NeverFreesMoreThanCap) {
+  const AutoScaler scaler(paper_config());
+  for (double demand = 0.0; demand <= 1.0; demand += 0.05) {
+    const auto d = scaler.step(1000, demand);
+    EXPECT_LE(d.freed_servers, 250) << demand;
+    EXPECT_EQ(d.active_servers + d.freed_servers, 1000);
+  }
+}
+
+TEST(AutoScaler, OffPeakFreesUpToTwentyFivePercent) {
+  // Section III-C: "frees ... up to 25% of the web tier's machines".
+  const AutoScaler scaler(paper_config());
+  const auto d = scaler.step(1000, 0.30);  // deep off-peak
+  EXPECT_EQ(d.freed_servers, 250);
+}
+
+TEST(AutoScaler, PeakKeepsEveryoneActive) {
+  const AutoScaler scaler(paper_config());
+  const auto d = scaler.step(1000, 0.95);
+  EXPECT_EQ(d.freed_servers, 0);
+  EXPECT_EQ(d.active_servers, 1000);
+}
+
+TEST(AutoScaler, ConcentratesLoadTowardTarget) {
+  const AutoScaler scaler(paper_config());
+  const auto d = scaler.step(1000, 0.50);
+  // 500/0.75 = 667 servers needed; but freeing caps at 250 -> 750 active.
+  EXPECT_EQ(d.active_servers, 750);
+  EXPECT_NEAR(d.active_utilization, 0.50 * 1000 / 750.0, 1e-9);
+  EXPECT_GT(d.active_utilization, 0.50);  // better than unconsolidated
+}
+
+TEST(AutoScaler, ActiveUtilizationNeverExceedsOne) {
+  const AutoScaler scaler(paper_config());
+  for (double demand = 0.0; demand <= 1.0; demand += 0.01) {
+    EXPECT_LE(scaler.step(977, demand).active_utilization, 1.0 + 1e-12);
+  }
+}
+
+TEST(AutoScaler, ZeroServersIsNoop) {
+  const AutoScaler scaler(paper_config());
+  const auto d = scaler.step(0, 0.5);
+  EXPECT_EQ(d.active_servers, 0);
+  EXPECT_EQ(d.freed_servers, 0);
+}
+
+TEST(AutoScaler, RejectsInvalidConfig) {
+  AutoScaler::Config c = paper_config();
+  c.target_utilization = 0.0;
+  EXPECT_THROW((void)AutoScaler{c}, std::invalid_argument);
+  c = paper_config();
+  c.max_freed_fraction = 1.0;
+  EXPECT_THROW((void)AutoScaler{c}, std::invalid_argument);
+}
+
+TEST(Cluster, AggregatesPowerAndEmbodied) {
+  Cluster cluster;
+  ServerGroup web;
+  web.name = "web";
+  web.sku = hw::skus::web_tier();
+  web.count = 100;
+  web.tier = Tier::kWeb;
+  cluster.add_group(web);
+
+  ServerGroup train;
+  train.name = "train";
+  train.sku = hw::skus::gpu_training_8x();
+  train.count = 10;
+  train.tier = Tier::kAiTraining;
+  cluster.add_group(train);
+
+  EXPECT_EQ(cluster.total_servers(), 110);
+  EXPECT_NEAR(to_watts(cluster.peak_it_power(Tier::kWeb)), 100.0 * 400.0, 1e-6);
+  EXPECT_NEAR(to_watts(cluster.peak_it_power(Tier::kAiTraining)),
+              10.0 * (400.0 + 8.0 * 300.0), 1e-6);
+  EXPECT_NEAR(to_watts(cluster.peak_it_power()),
+              to_watts(cluster.peak_it_power(Tier::kWeb)) +
+                  to_watts(cluster.peak_it_power(Tier::kAiTraining)),
+              1e-6);
+  EXPECT_NEAR(to_kg_co2e(cluster.embodied_total()),
+              100.0 * 1000.0 + 10.0 * 5600.0, 1e-3);
+}
+
+TEST(Cluster, TierNames) {
+  EXPECT_STREQ(to_string(Tier::kWeb), "web");
+  EXPECT_STREQ(to_string(Tier::kAiInference), "ai-inference");
+  EXPECT_STREQ(to_string(Tier::kStorage), "storage");
+}
+
+}  // namespace
+}  // namespace sustainai::datacenter

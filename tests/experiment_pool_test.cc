@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/stats.h"
+#include "mlcycle/experiment_pool.h"
+#include "mlcycle/training_workflow.h"
+
+namespace sustainai::mlcycle {
+namespace {
+
+std::vector<double> gpu_days_of(const std::vector<GpuJob>& jobs) {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const GpuJob& j : jobs) {
+    out.push_back(j.gpu_days);
+  }
+  return out;
+}
+
+std::vector<double> utilizations_of(const std::vector<GpuJob>& jobs) {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const GpuJob& j : jobs) {
+    out.push_back(j.utilization);
+  }
+  return out;
+}
+
+TEST(GpuJob, WallClockAndDeviceTime) {
+  GpuJob job;
+  job.gpu_days = 16.0;
+  job.num_devices = 8;
+  EXPECT_NEAR(to_days(job.wall_clock()), 2.0, 1e-12);
+  EXPECT_NEAR(to_days(job.device_time()), 16.0, 1e-12);
+}
+
+TEST(GpuJob, EnergyUsesDevicePowerModel) {
+  GpuJob job;
+  job.gpu_days = 1.0;
+  job.utilization = 0.5;
+  const Energy e = job.energy(hw::catalog::nvidia_v100());
+  EXPECT_NEAR(to_kilowatt_hours(e), 0.195 * 24.0, 1e-9);
+}
+
+TEST(ExperimentPool, ReproducesPublishedQuantiles) {
+  // Section II-A: p50 = 1.5 GPU-days, p99 = 24 GPU-days.
+  const ExperimentPool pool(ExperimentPool::Config{});
+  const auto jobs = pool.sample_pool(40000);
+  const auto sizes = gpu_days_of(jobs);
+  EXPECT_NEAR(datagen::percentile(sizes, 0.50), 1.5, 0.1);
+  EXPECT_NEAR(datagen::percentile(sizes, 0.99), 24.0, 3.5);
+}
+
+TEST(ExperimentPool, HasTrillionParameterTail) {
+  // "a number of large-scale, trillion parameter models which require over
+  // 500 GPU days".
+  const ExperimentPool pool(ExperimentPool::Config{});
+  const auto jobs = pool.sample_pool(40000);
+  int large = 0;
+  for (const GpuJob& j : jobs) {
+    if (j.gpu_days > 500.0) {
+      ++large;
+    }
+  }
+  EXPECT_GT(large, 10);
+  EXPECT_LT(large, 200);  // rare, not dominant
+}
+
+TEST(ExperimentPool, UtilizationBulkAt30To50Percent) {
+  // Figure 10: "a vast majority of model experimentation utilizes GPUs at
+  // only 30-50%".
+  const ExperimentPool pool(ExperimentPool::Config{});
+  const auto jobs = pool.sample_pool(40000);
+  datagen::Histogram h(0.0, 1.0, 10);
+  h.add_all(utilizations_of(jobs));
+  const double bulk = h.mass_between(0.3, 0.5);
+  EXPECT_GT(bulk, 0.40);  // the modal band
+  // And more mass than any other same-width band above it.
+  EXPECT_GT(bulk, h.mass_between(0.5, 0.7));
+  EXPECT_GT(bulk, h.mass_between(0.7, 0.9));
+}
+
+TEST(ExperimentPool, DeterministicForSameSeed) {
+  const ExperimentPool a(ExperimentPool::Config{});
+  const ExperimentPool b(ExperimentPool::Config{});
+  const auto ja = a.sample_pool(100);
+  const auto jb = b.sample_pool(100);
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ja[i].gpu_days, jb[i].gpu_days);
+    EXPECT_DOUBLE_EQ(ja[i].utilization, jb[i].utilization);
+  }
+}
+
+TEST(ExperimentPool, TotalEnergySumsJobs) {
+  const ExperimentPool pool(ExperimentPool::Config{});
+  const auto jobs = pool.sample_pool(100);
+  Energy manual = joules(0.0);
+  for (const GpuJob& j : jobs) {
+    manual += j.energy(hw::catalog::nvidia_v100());
+  }
+  EXPECT_NEAR(to_joules(ExperimentPool::total_energy(jobs, hw::catalog::nvidia_v100())),
+              to_joules(manual), 1.0);
+}
+
+TEST(ProductionTraining, ReproducesPublishedQuantiles) {
+  // Section II-A: p50 = 2.96, p99 = 125 GPU-days.
+  const ProductionTraining prod(ProductionTraining::Config{});
+  const auto jobs = prod.sample_workflows(40000);
+  const auto sizes = gpu_days_of(jobs);
+  EXPECT_NEAR(datagen::percentile(sizes, 0.50), 2.96, 0.2);
+  EXPECT_NEAR(datagen::percentile(sizes, 0.99), 125.0, 20.0);
+}
+
+TEST(RetrainCadence, IntervalsAndCounts) {
+  EXPECT_NEAR(to_hours(retrain_interval(RetrainCadence::kHourly)), 1.0, 1e-12);
+  EXPECT_NEAR(to_days(retrain_interval(RetrainCadence::kWeekly)), 7.0, 1e-12);
+  // Over 7 days: hourly cadence retrains 1 + 168 times.
+  EXPECT_EQ(retrain_count(RetrainCadence::kHourly, days(7.0)), 169);
+  EXPECT_EQ(retrain_count(RetrainCadence::kWeekly, days(7.0)), 2);
+  EXPECT_EQ(retrain_count(RetrainCadence::kWeekly, days(6.9)), 1);
+}
+
+TEST(RetrainCadence, GpuDaysOverWindowScalesWithFrequency) {
+  // "Search service ... trained at an hourly cadence whereas Language
+  // Translation ... weekly": hourly burns ~168x more runs per week.
+  const double hourly = ProductionTraining::gpu_days_over_window(
+      0.1, RetrainCadence::kHourly, days(7.0));
+  const double weekly = ProductionTraining::gpu_days_over_window(
+      0.1, RetrainCadence::kWeekly, days(7.0));
+  EXPECT_NEAR(hourly / weekly, 169.0 / 2.0, 1e-9);
+}
+
+TEST(RetrainCadence, Names) {
+  EXPECT_STREQ(to_string(RetrainCadence::kHourly), "hourly");
+  EXPECT_STREQ(to_string(RetrainCadence::kMonthly), "monthly");
+}
+
+}  // namespace
+}  // namespace sustainai::mlcycle

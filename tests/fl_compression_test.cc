@@ -1,0 +1,100 @@
+#include "fl/compression.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::fl {
+namespace {
+
+FlApplicationConfig comm_heavy_app() {
+  FlApplicationConfig app;
+  app.name = "comm-heavy";
+  app.model_size = megabytes(60.0);  // large exchanged payload
+  app.reference_compute_time = minutes(1.0);
+  app.clients_per_round = 40;
+  app.rounds_per_day = 4.0;
+  app.campaign = days(10.0);
+  return app;
+}
+
+Population::Config small_population() {
+  Population::Config pop;
+  pop.num_clients = 2000;
+  return pop;
+}
+
+TEST(Compression, CanonicalSchemesWellFormed) {
+  const auto schemes = canonical_schemes();
+  ASSERT_GE(schemes.size(), 4u);
+  EXPECT_EQ(schemes.front().name, "none");
+  for (const auto& s : schemes) {
+    EXPECT_GE(s.upload_ratio, 1.0) << s.name;
+    EXPECT_GE(s.rounds_factor, 1.0) << s.name;
+  }
+}
+
+TEST(Compression, NoneMatchesPlainEstimate) {
+  const auto app = comm_heavy_app();
+  const auto pop = small_population();
+  const auto none =
+      evaluate_compression(app, pop, CompressionScheme{}, default_fl_assumptions());
+  const RoundSimulator sim(app, pop);
+  const FlFootprint plain =
+      estimate_footprint("plain", sim.run(), default_fl_assumptions());
+  EXPECT_NEAR(to_joules(none.total_energy()), to_joules(plain.total_energy()),
+              to_joules(plain.total_energy()) * 1e-9);
+}
+
+TEST(Compression, ShrinksCommunicationEnergy) {
+  const auto app = comm_heavy_app();
+  const auto pop = small_population();
+  const auto none = evaluate_compression(app, pop, {"none", 1.0, 1.0, 1.0});
+  const auto int8 = evaluate_compression(app, pop, {"qsgd-int8", 4.0, 1.0, 1.08});
+  // Uplink shrinks 4x, but rounds grow 8%; comm energy still drops hard.
+  EXPECT_LT(to_joules(int8.communication_energy),
+            0.8 * to_joules(none.communication_energy));
+  // Compute energy grows with the extra rounds.
+  EXPECT_GT(to_joules(int8.compute_energy), to_joules(none.compute_energy));
+}
+
+TEST(Compression, ModerateCompressionWinsOnCommHeavyApp) {
+  const auto app = comm_heavy_app();
+  const auto pop = small_population();
+  const auto best = best_scheme(app, pop, canonical_schemes());
+  EXPECT_NE(best.scheme.name, "none");
+  const auto none = evaluate_compression(app, pop, {"none", 1.0, 1.0, 1.0});
+  EXPECT_LT(to_joules(best.total_energy()), to_joules(none.total_energy()));
+}
+
+TEST(Compression, AggressiveSparsificationLosesOnComputeHeavyApp) {
+  FlApplicationConfig app = comm_heavy_app();
+  app.model_size = megabytes(2.0);             // tiny payload
+  app.reference_compute_time = minutes(10.0);  // heavy local training
+  const auto pop = small_population();
+  const auto none = evaluate_compression(app, pop, {"none", 1.0, 1.0, 1.0});
+  const auto topk = evaluate_compression(app, pop, {"topk-1%", 50.0, 1.0, 1.60});
+  // The 60% extra rounds of compute dwarf the negligible comm saving.
+  EXPECT_GT(to_joules(topk.total_energy()), to_joules(none.total_energy()));
+  const auto best = best_scheme(app, pop, canonical_schemes());
+  EXPECT_NE(best.scheme.name, "topk-1%");
+}
+
+TEST(Compression, RoundsGrowWithConvergencePenalty) {
+  const auto app = comm_heavy_app();
+  const auto pop = small_population();
+  const auto none = evaluate_compression(app, pop, {"none", 1.0, 1.0, 1.0});
+  const auto slow = evaluate_compression(app, pop, {"slow", 2.0, 1.0, 1.5});
+  EXPECT_NEAR(static_cast<double>(slow.rounds) / none.rounds, 1.5, 0.03);
+}
+
+TEST(Compression, RejectsInvalidSchemes) {
+  const auto app = comm_heavy_app();
+  const auto pop = small_population();
+  EXPECT_THROW((void)evaluate_compression(app, pop, {"bad", 0.5, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)evaluate_compression(app, pop, {"bad", 1.0, 1.0, 0.9}),
+               std::invalid_argument);
+  EXPECT_THROW((void)best_scheme(app, pop, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::fl

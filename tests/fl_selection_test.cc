@@ -1,0 +1,92 @@
+#include "fl/selection.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::fl {
+namespace {
+
+SelectionCampaignConfig small_campaign() {
+  SelectionCampaignConfig cfg;
+  cfg.app.name = "selection-test";
+  cfg.app.clients_per_round = 40;
+  cfg.app.rounds_per_day = 4.0;
+  cfg.app.campaign = days(10.0);
+  cfg.population.num_clients = 2000;
+  cfg.candidate_oversampling = 3.0;
+  return cfg;
+}
+
+TEST(Selection, PolicyNames) {
+  EXPECT_STREQ(to_string(SelectionPolicy::kRandom), "random");
+  EXPECT_STREQ(to_string(SelectionPolicy::kFastCompute), "fast-compute");
+  EXPECT_STREQ(to_string(SelectionPolicy::kEnergyAware), "energy-aware");
+}
+
+TEST(Selection, CampaignProducesExpectedVolume) {
+  const auto outcome = run_campaign(small_campaign(), SelectionPolicy::kRandom);
+  EXPECT_EQ(outcome.footprint.log_entries, 40u * 40u);
+  EXPECT_GT(to_joules(outcome.footprint.total_energy()), 0.0);
+  EXPECT_GT(to_seconds(outcome.mean_round_time), 0.0);
+}
+
+TEST(Selection, FastComputeShortensRounds) {
+  const auto cfg = small_campaign();
+  const auto random = run_campaign(cfg, SelectionPolicy::kRandom);
+  const auto fast = run_campaign(cfg, SelectionPolicy::kFastCompute);
+  EXPECT_LT(to_seconds(fast.mean_round_time),
+            0.7 * to_seconds(random.mean_round_time));
+}
+
+TEST(Selection, EnergyAwareCutsEnergy) {
+  const auto cfg = small_campaign();
+  const auto random = run_campaign(cfg, SelectionPolicy::kRandom);
+  const auto green = run_campaign(cfg, SelectionPolicy::kEnergyAware);
+  EXPECT_LT(to_joules(green.footprint.total_energy()),
+            0.8 * to_joules(random.footprint.total_energy()));
+  EXPECT_LT(to_grams_co2e(green.footprint.carbon),
+            to_grams_co2e(random.footprint.carbon));
+}
+
+TEST(Selection, EnergyAwareBeatsFastComputeOnEnergy) {
+  const auto cfg = small_campaign();
+  const auto fast = run_campaign(cfg, SelectionPolicy::kFastCompute);
+  const auto green = run_campaign(cfg, SelectionPolicy::kEnergyAware);
+  EXPECT_LE(to_joules(green.footprint.total_energy()),
+            to_joules(fast.footprint.total_energy()) * 1.02);
+}
+
+TEST(Selection, BiasedPoliciesTouchFewerUniqueClients) {
+  // The fairness cost of biased selection: fewer distinct clients train.
+  const auto cfg = small_campaign();
+  const auto random = run_campaign(cfg, SelectionPolicy::kRandom);
+  const auto green = run_campaign(cfg, SelectionPolicy::kEnergyAware);
+  EXPECT_LT(green.unique_client_fraction, random.unique_client_fraction);
+}
+
+TEST(Selection, ComparePoliciesReturnsAllThree) {
+  const auto outcomes = compare_policies(small_campaign());
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].policy, SelectionPolicy::kRandom);
+  EXPECT_EQ(outcomes[1].policy, SelectionPolicy::kFastCompute);
+  EXPECT_EQ(outcomes[2].policy, SelectionPolicy::kEnergyAware);
+}
+
+TEST(Selection, DeterministicAcrossRuns) {
+  const auto cfg = small_campaign();
+  const auto a = run_campaign(cfg, SelectionPolicy::kEnergyAware);
+  const auto b = run_campaign(cfg, SelectionPolicy::kEnergyAware);
+  EXPECT_DOUBLE_EQ(to_joules(a.footprint.total_energy()),
+                   to_joules(b.footprint.total_energy()));
+  EXPECT_DOUBLE_EQ(to_seconds(a.mean_round_time),
+                   to_seconds(b.mean_round_time));
+}
+
+TEST(Selection, RejectsInvalidConfig) {
+  SelectionCampaignConfig cfg = small_campaign();
+  cfg.candidate_oversampling = 0.5;
+  EXPECT_THROW((void)run_campaign(cfg, SelectionPolicy::kRandom),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::fl

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "datagen/stats.h"
+#include "fl/population.h"
+#include "fl/round_sim.h"
+
+namespace sustainai::fl {
+namespace {
+
+TEST(Population, DeterministicAndHeterogeneous) {
+  const Population a(Population::Config{});
+  const Population b(Population::Config{});
+  ASSERT_EQ(a.clients().size(), 10000u);
+  EXPECT_DOUBLE_EQ(a.clients()[5].compute_speed, b.clients()[5].compute_speed);
+  // Heterogeneity: wide spread of speeds.
+  std::vector<double> speeds;
+  for (const ClientDevice& c : a.clients()) {
+    speeds.push_back(c.compute_speed);
+  }
+  EXPECT_GT(datagen::percentile(speeds, 0.95) / datagen::percentile(speeds, 0.05),
+            3.0);
+}
+
+TEST(Population, SamplesDistinctParticipants) {
+  const Population pop(Population::Config{});
+  datagen::Rng rng(1);
+  const auto participants = pop.sample_participants(500, rng);
+  ASSERT_EQ(participants.size(), 500u);
+  std::set<int> ids;
+  for (const ClientDevice* c : participants) {
+    ids.insert(c->id);
+  }
+  EXPECT_EQ(ids.size(), 500u);
+  EXPECT_THROW((void)pop.sample_participants(0, rng), std::invalid_argument);
+  EXPECT_THROW((void)pop.sample_participants(10001, rng), std::invalid_argument);
+}
+
+FlApplicationConfig small_app() {
+  FlApplicationConfig app;
+  app.name = "FL-test";
+  app.clients_per_round = 50;
+  app.rounds_per_day = 4.0;
+  app.campaign = days(10.0);
+  return app;
+}
+
+TEST(RoundSim, LogHasExpectedShape) {
+  const RoundSimulator sim(small_app(), Population::Config{});
+  EXPECT_EQ(sim.total_rounds(), 40);
+  const auto log = sim.run();
+  EXPECT_EQ(log.size(), 40u * 50u);
+  for (const ClientLogEntry& e : log) {
+    EXPECT_GE(to_seconds(e.compute_time), 0.0);
+    EXPECT_GT(to_seconds(e.download_time), 0.0);
+    EXPECT_GE(to_seconds(e.upload_time), 0.0);
+  }
+}
+
+TEST(RoundSim, DropoutsNeverUpload) {
+  const RoundSimulator sim(small_app(), Population::Config{});
+  const auto log = sim.run();
+  int dropouts = 0;
+  for (const ClientLogEntry& e : log) {
+    if (!e.completed) {
+      ++dropouts;
+      EXPECT_DOUBLE_EQ(to_seconds(e.upload_time), 0.0);
+    }
+  }
+  // ~5% dropout probability.
+  EXPECT_NEAR(static_cast<double>(dropouts) / log.size(), 0.05, 0.02);
+}
+
+TEST(RoundSim, DeterministicForSameSeed) {
+  const RoundSimulator a(small_app(), Population::Config{});
+  const RoundSimulator b(small_app(), Population::Config{});
+  const auto la = a.run();
+  const auto lb = b.run();
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); i += 97) {
+    EXPECT_EQ(la[i].client_id, lb[i].client_id);
+    EXPECT_DOUBLE_EQ(to_seconds(la[i].compute_time),
+                     to_seconds(lb[i].compute_time));
+  }
+}
+
+TEST(Estimator, AppliesPaperPowerAssumptions) {
+  // One entry: 100 s compute at 3 W + (40 + 20) s comm at 7.5 W.
+  std::vector<ClientLogEntry> log(1);
+  log[0].compute_time = seconds(100.0);
+  log[0].download_time = seconds(40.0);
+  log[0].upload_time = seconds(20.0);
+  const FlFootprint fp =
+      estimate_footprint("unit", log, default_fl_assumptions());
+  EXPECT_NEAR(to_joules(fp.compute_energy), 300.0, 1e-9);
+  EXPECT_NEAR(to_joules(fp.communication_energy), 450.0, 1e-9);
+  EXPECT_NEAR(fp.communication_share(), 450.0 / 750.0, 1e-12);
+  // Carbon: energy x grid average, no PUE.
+  EXPECT_NEAR(to_grams_co2e(fp.carbon),
+              to_kilowatt_hours(fp.total_energy()) * 429.0, 1e-9);
+}
+
+TEST(Estimator, DefaultAssumptionsMatchAppendixB) {
+  const FlEstimatorAssumptions a = default_fl_assumptions();
+  EXPECT_NEAR(to_watts(a.device_power), 3.0, 1e-12);
+  EXPECT_NEAR(to_watts(a.router_power), 7.5, 1e-12);
+}
+
+TEST(Estimator, CommunicationShareIsSignificant) {
+  // "the wireless communication energy cost takes up a significant portion
+  // of the overall energy footprint of federated learning".
+  const RoundSimulator sim(small_app(), Population::Config{});
+  const FlFootprint fp =
+      estimate_footprint("FL-test", sim.run(), default_fl_assumptions());
+  EXPECT_GT(fp.communication_share(), 0.15);
+  EXPECT_LT(fp.communication_share(), 0.85);
+}
+
+TEST(Estimator, WastedFractionTracksDropouts) {
+  const RoundSimulator sim(small_app(), Population::Config{});
+  const FlFootprint fp =
+      estimate_footprint("FL-test", sim.run(), default_fl_assumptions());
+  EXPECT_GT(fp.wasted_fraction, 0.0);
+  EXPECT_LT(fp.wasted_fraction, 0.15);
+}
+
+TEST(Baselines, Figure11BaselinesOrdered) {
+  const auto baselines = figure11_baselines();
+  ASSERT_EQ(baselines.size(), 4u);
+  EXPECT_EQ(baselines[0].name, "P100-Base");
+  // Strubell et al.: 201 kWh for Transformer-Big on P100.
+  EXPECT_NEAR(to_kilowatt_hours(baselines[0].training_energy), 201.0, 1e-9);
+  // TPU is more efficient; green variants are far cleaner.
+  EXPECT_LT(to_grams_co2e(baselines[1].carbon), to_grams_co2e(baselines[0].carbon));
+  EXPECT_LT(to_grams_co2e(baselines[2].carbon), to_grams_co2e(baselines[0].carbon) / 5.0);
+  EXPECT_LT(to_grams_co2e(baselines[3].carbon), to_grams_co2e(baselines[2].carbon));
+}
+
+TEST(Figure11, ProductionScaleFlMatchesTransformerBigBand) {
+  // "the operational carbon footprint for training a small ML task using
+  // federated learning is comparable to that of training an orders-of-
+  // magnitude larger Transformer-based model in a centralized setting."
+  FlApplicationConfig fl1;
+  fl1.name = "FL-1";
+  fl1.clients_per_round = 100;
+  fl1.rounds_per_day = 24.0;
+  fl1.campaign = days(90.0);
+  const RoundSimulator sim(fl1, Population::Config{});
+  const FlFootprint fp =
+      estimate_footprint("FL-1", sim.run(), default_fl_assumptions());
+  const double p100_kg =
+      to_kg_co2e(figure11_baselines()[0].carbon);
+  const double fl_kg = to_kg_co2e(fp.carbon);
+  // Same order of magnitude (within ~3x either way).
+  EXPECT_GT(fl_kg, p100_kg / 3.0);
+  EXPECT_LT(fl_kg, p100_kg * 3.0);
+}
+
+}  // namespace
+}  // namespace sustainai::fl

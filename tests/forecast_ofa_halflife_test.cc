@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "datacenter/forecast.h"
+#include "datagen/rng.h"
+#include "mlcycle/model_zoo.h"
+#include "optim/once_for_all.h"
+#include "scaling/halflife_fit.h"
+#include "scaling/perishability.h"
+
+namespace sustainai {
+namespace {
+
+IntermittentGrid solar_grid() {
+  IntermittentGrid::Config c;
+  c.profile = grids::us_west_solar();
+  c.solar_share = 0.6;
+  c.wind_share = 0.15;
+  c.firm_share = 0.1;
+  c.seed = 7;
+  return IntermittentGrid(c);
+}
+
+TEST(PersistenceForecast, PredictsYesterdayForTomorrow) {
+  const auto grid = solar_grid();
+  const datacenter::PersistenceForecaster forecaster(grid);
+  const Duration t = days(3.0) + hours(14.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict(t).base(),
+                   grid.intensity_at(t - days(1.0)).base());
+  // Within the first day the forecaster reads current observations.
+  EXPECT_DOUBLE_EQ(forecaster.predict(hours(6.0)).base(),
+                   grid.intensity_at(seconds(0.0)).base());
+}
+
+TEST(PersistenceForecast, SolarDiurnalStructureMakesErrorSmall) {
+  // The solar cycle repeats daily, so persistence captures most structure:
+  // MAPE stays well below the no-skill ~100% regime.
+  const auto grid = solar_grid();
+  const datacenter::PersistenceForecaster forecaster(grid);
+  const double mape = forecaster.mape(days(1.0), days(7.0));
+  EXPECT_GT(mape, 0.0);  // wind makes it imperfect
+  EXPECT_LT(mape, 0.5);
+}
+
+TEST(PersistenceForecast, PolicyRanksBetweenFifoAndPerfect) {
+  const auto grid = solar_grid();
+  std::vector<datacenter::BatchJob> jobs;
+  for (int i = 0; i < 10; ++i) {
+    datacenter::BatchJob j;
+    j.id = "j" + std::to_string(i);
+    j.power = kilowatts(5.0);
+    j.duration = hours(3.0);
+    j.arrival = days(1.0) + hours(21.0 + 0.3 * i);
+    j.slack = hours(24.0);
+    jobs.push_back(j);
+  }
+  const auto fifo =
+      datacenter::run_schedule(jobs, grid, datacenter::FifoPolicy());
+  const auto perfect =
+      datacenter::run_schedule(jobs, grid, datacenter::ForecastPolicy());
+  const auto persistence = datacenter::run_schedule(
+      jobs, grid, datacenter::PersistenceForecastPolicy());
+  // Perfect foresight is the lower bound; persistence captures most of the
+  // gap; both beat FIFO for night arrivals on a solar grid.
+  EXPECT_LE(to_grams_co2e(perfect.total_carbon),
+            to_grams_co2e(persistence.total_carbon) + 1e-9);
+  EXPECT_LT(to_grams_co2e(persistence.total_carbon),
+            to_grams_co2e(fifo.total_carbon));
+  const double captured =
+      (to_grams_co2e(fifo.total_carbon) - to_grams_co2e(persistence.total_carbon)) /
+      (to_grams_co2e(fifo.total_carbon) - to_grams_co2e(perfect.total_carbon));
+  EXPECT_GT(captured, 0.6);
+}
+
+TEST(HalfLifeFit, RecoversExactDecay) {
+  scaling::DataHalfLife truth;
+  truth.half_life = years(7.0);
+  std::vector<Duration> ages;
+  std::vector<double> values;
+  for (double a = 0.0; a <= 12.0; a += 1.0) {
+    ages.push_back(years(a));
+    values.push_back(truth.value_at(years(a)));
+  }
+  const scaling::HalfLifeFit fit = scaling::fit_half_life(ages, values);
+  EXPECT_NEAR(to_years(fit.half_life), 7.0, 1e-9);
+  EXPECT_NEAR(fit.initial_value, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.value_at(years(7.0)), 0.5, 1e-9);
+}
+
+TEST(HalfLifeFit, RobustToMeasurementNoise) {
+  scaling::DataHalfLife truth;
+  truth.half_life = years(5.0);
+  datagen::Rng rng(21);
+  std::vector<Duration> ages;
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    ages.push_back(years(a));
+    values.push_back(truth.value_at(years(a)) *
+                     std::exp(rng.normal(0.0, 0.05)));
+  }
+  const scaling::HalfLifeFit fit = scaling::fit_half_life(ages, values);
+  EXPECT_NEAR(to_years(fit.half_life), 5.0, 0.3);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(HalfLifeFit, RejectsNonDecayingData) {
+  EXPECT_THROW(
+      (void)scaling::fit_half_life({years(0.0), years(1.0)}, {1.0, 2.0}),
+      std::invalid_argument);
+  EXPECT_THROW((void)scaling::fit_half_life({years(1.0)}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)scaling::fit_half_life({years(0.0), years(1.0)}, {1.0, -1.0}),
+      std::invalid_argument);
+}
+
+TEST(OnceForAll, BreakevenAndScaling) {
+  const optim::OfaCostModel model{};
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  const CarbonMass per_day = ctx.operational_carbon_of_gpu_days(1.0);
+  // One target: the supernet cost dwarfs a single conventional NAS.
+  EXPECT_FALSE(optim::compare_ofa(model, 1, per_day).ofa_wins());
+  // Many targets: selection-only per-target cost wins.
+  EXPECT_TRUE(optim::compare_ofa(model, 50, per_day).ofa_wins());
+  const int breakeven = optim::ofa_breakeven_targets(model, per_day);
+  EXPECT_GT(breakeven, 1);
+  EXPECT_LT(breakeven, 50);
+  // Boundary consistency.
+  EXPECT_TRUE(optim::compare_ofa(model, breakeven, per_day).ofa_wins());
+  EXPECT_FALSE(optim::compare_ofa(model, breakeven - 1, per_day).ofa_wins());
+}
+
+TEST(OnceForAll, EmbodiedPenaltyDelaysBreakeven) {
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  const CarbonMass per_day = ctx.operational_carbon_of_gpu_days(1.0);
+  optim::OfaCostModel light{};
+  light.supernet_extra_embodied = grams_co2e(1.0);
+  optim::OfaCostModel heavy{};
+  heavy.supernet_extra_embodied = tonnes_co2e(50.0);
+  EXPECT_LT(optim::ofa_breakeven_targets(light, per_day),
+            optim::ofa_breakeven_targets(heavy, per_day));
+}
+
+TEST(OnceForAll, NeverBreaksEvenWhenSelectionCostsTooMuch) {
+  optim::OfaCostModel bad{};
+  bad.per_target_selection_gpu_days = 500.0;  // worse than conventional
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  EXPECT_EQ(optim::ofa_breakeven_targets(
+                bad, ctx.operational_carbon_of_gpu_days(1.0), 200),
+            -1);
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -1,0 +1,203 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// (seeded, reproducible) inputs across modules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "datacenter/queue_sim.h"
+#include "datagen/rng.h"
+#include "optim/multitenancy.h"
+#include "optim/pareto.h"
+#include "optim/quantization.h"
+#include "telemetry/attribution.h"
+#include "telemetry/counters.h"
+#include "telemetry/rapl_sim.h"
+
+namespace sustainai {
+namespace {
+
+TEST(Fuzz, ParetoFrontierMatchesBruteForce) {
+  datagen::Rng rng(1001);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<optim::ObjectivePoint> pts;
+    const int n = static_cast<int>(rng.uniform_int(2, 40));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 1.0), ""});
+    }
+    const auto frontier = optim::pareto_frontier(pts);
+    // Brute force: a point is on the frontier iff nothing dominates it.
+    std::vector<bool> expected(pts.size(), true);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (i != j && optim::dominates(pts[j], pts[i])) {
+          expected[i] = false;
+          break;
+        }
+      }
+    }
+    std::vector<bool> actual(pts.size(), false);
+    for (std::size_t idx : frontier) {
+      actual[idx] = true;
+    }
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(Fuzz, HalfConversionPreservesOrdering) {
+  // Monotone inputs must stay monotone after fp16 round-trip (weak order:
+  // equal halves allowed for nearby floats).
+  datagen::Rng rng(1002);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> values;
+    for (int i = 0; i < 200; ++i) {
+      values.push_back(static_cast<float>(rng.normal(0.0, 100.0)));
+    }
+    std::sort(values.begin(), values.end());
+    float prev = optim::half_to_float(optim::float_to_half(values.front()));
+    for (float v : values) {
+      const float h = optim::half_to_float(optim::float_to_half(v));
+      EXPECT_GE(h, prev);
+      prev = h;
+    }
+  }
+}
+
+TEST(Fuzz, ConsolidationNeverViolatesConstraints) {
+  datagen::Rng rng(1003);
+  const hw::DeviceSpec device = hw::catalog::nvidia_a100();
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<optim::TenantWorkload> tenants;
+    const int n = static_cast<int>(rng.uniform_int(1, 50));
+    for (int i = 0; i < n; ++i) {
+      tenants.push_back({"t" + std::to_string(i), rng.uniform(0.05, 0.84),
+                         gigabytes(rng.uniform(0.5, 30.0))});
+    }
+    optim::MultiTenancyConfig cfg;
+    cfg.compute_headroom = 0.85;
+    const auto packed = optim::consolidated_placement(tenants, device, cfg);
+    // Re-derive per-device sums from the tenant counts is not possible
+    // without the assignment; instead verify the aggregate invariants.
+    EXPECT_GE(packed.devices_used, 1);
+    EXPECT_LE(packed.devices_used, n);
+    int tenant_sum = 0;
+    for (int c : packed.tenants_per_device) {
+      EXPECT_GE(c, 1);
+      tenant_sum += c;
+    }
+    EXPECT_EQ(tenant_sum, n);
+    EXPECT_LE(packed.throughput_efficiency, 1.0 + 1e-12);
+    EXPECT_GT(packed.throughput_efficiency, 0.0);
+  }
+}
+
+TEST(Fuzz, AttributionAlwaysConservesEnergy) {
+  datagen::Rng rng(1004);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double window_h = rng.uniform(0.1, 24.0);
+    std::vector<telemetry::JobUsage> jobs;
+    const int n = static_cast<int>(rng.uniform_int(0, 8));
+    for (int i = 0; i < n; ++i) {
+      const double residency_h = rng.uniform(0.0, window_h);
+      jobs.push_back({"j" + std::to_string(i),
+                      rng.uniform(0.0, residency_h * 3600.0),
+                      hours(residency_h)});
+    }
+    telemetry::AttributionConfig cfg;
+    cfg.idle_power = watts(rng.uniform(0.0, 300.0));
+    cfg.idle_policy = rng.bernoulli(0.5) ? telemetry::IdlePolicy::kEvenSplit
+                                         : telemetry::IdlePolicy::kProportional;
+    const Energy measured = kilowatt_hours(rng.uniform(0.0, 10.0));
+    const auto split =
+        telemetry::attribute_energy(measured, hours(window_h), jobs, cfg);
+    Energy sum = joules(0.0);
+    for (const auto& e : split) {
+      sum += e.total();
+      EXPECT_GE(to_joules(e.dynamic), -1e-6);
+    }
+    EXPECT_NEAR(to_joules(sum), to_joules(measured),
+                std::max(1e-6, to_joules(measured) * 1e-9));
+  }
+}
+
+TEST(Fuzz, RaplSamplingReconstructsUnderRandomLoad) {
+  datagen::Rng rng(1005);
+  for (int trial = 0; trial < 10; ++trial) {
+    telemetry::RaplDomainSim domain(16);
+    telemetry::CounterSampler sampler(domain);
+    double true_j = 0.0;
+    for (int step = 0; step < 500; ++step) {
+      // Keep per-step energy below the 65536 J wrap so at most one wrap
+      // occurs between samples.
+      const double power_w = rng.uniform(0.0, 5000.0);
+      const double dt_s = rng.uniform(0.01, 10.0);
+      domain.advance(watts(power_w), seconds(dt_s));
+      true_j += power_w * dt_s;
+      sampler.sample();
+    }
+    EXPECT_NEAR(to_joules(sampler.total()), true_j,
+                std::max(1.0, true_j * 1e-9));
+  }
+}
+
+TEST(Fuzz, QueueSimConservesJobsUnderRandomTraces) {
+  datagen::Rng rng(1006);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<datacenter::BatchJob> jobs;
+    const int n = static_cast<int>(rng.uniform_int(1, 60));
+    for (int i = 0; i < n; ++i) {
+      datacenter::BatchJob j;
+      j.id = std::to_string(i);
+      j.power = kilowatts(rng.uniform(0.5, 30.0));
+      j.duration = hours(rng.uniform(0.25, 6.0));
+      j.arrival = hours(rng.uniform(0.0, 48.0));
+      j.slack = hours(rng.uniform(0.0, 24.0));
+      jobs.push_back(j);
+    }
+    datacenter::QueueSimConfig cfg;
+    cfg.machines = static_cast<int>(rng.uniform_int(4, 32));
+    cfg.grid.profile = grids::us_west_solar();
+    cfg.grid.solar_share = 0.5;
+    cfg.grid.firm_share = 0.1;
+    cfg.grid.seed = 1000 + static_cast<std::uint64_t>(trial);
+    for (auto policy : {datacenter::QueuePolicy::kFifo,
+                        datacenter::QueuePolicy::kGreedyGreen}) {
+      const auto r = datacenter::run_queue_sim(jobs, cfg, policy);
+      EXPECT_EQ(r.jobs.size(), jobs.size());
+      EXPECT_LE(r.peak_running, cfg.machines);
+      EXPECT_GE(r.utilization, 0.0);
+      EXPECT_LE(r.utilization, 1.0 + 1e-9);
+      for (const auto& c : r.jobs) {
+        EXPECT_GE(to_seconds(c.start) + 1e-6, to_seconds(c.job.arrival));
+        EXPECT_GT(to_grams_co2e(c.carbon), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, Int8QuantizationErrorBoundedByRowScale) {
+  datagen::Rng rng(1007);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int rows = static_cast<int>(rng.uniform_int(1, 50));
+    const int dim = static_cast<int>(rng.uniform_int(1, 64));
+    const optim::EmbeddingTable table =
+        optim::EmbeddingTable::random(rows, dim, rng);
+    const optim::QuantizedTable q =
+        optim::quantize(table, optim::NumericFormat::kInt8RowWise);
+    for (int r = 0; r < rows; ++r) {
+      float max_abs = 0.0f;
+      for (float v : table.row(r)) {
+        max_abs = std::max(max_abs, std::fabs(v));
+      }
+      const double bound = max_abs > 0.0f ? max_abs / 127.0 : 1e-12;
+      for (int d = 0; d < dim; ++d) {
+        EXPECT_LE(std::fabs(static_cast<double>(table.at(r, d)) -
+                            q.dequantize(r, d)),
+                  bound * 0.5 + 1e-7);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -1,0 +1,57 @@
+#include "core/ghg.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai {
+namespace {
+
+TEST(Ghg, Scope2LocationAndMarket) {
+  GhgInventory inv;
+  inv.purchased_electricity = megawatt_hours(1000.0);
+  inv.grid = grids::us_average();
+  inv.cfe_coverage = 0.75;
+  EXPECT_NEAR(to_tonnes_co2e(inv.scope2_location()), 1000.0 * 0.429, 1e-6);
+  EXPECT_NEAR(to_tonnes_co2e(inv.scope2_market()), 1000.0 * 0.429 * 0.25, 1e-6);
+}
+
+TEST(Ghg, TotalsSumScopes) {
+  GhgInventory inv;
+  inv.scope1 = tonnes_co2e(10.0);
+  inv.purchased_electricity = megawatt_hours(100.0);
+  inv.grid = grids::us_average();
+  inv.cfe_coverage = 1.0;
+  inv.scope3_value_chain = tonnes_co2e(50.0);
+  EXPECT_NEAR(to_tonnes_co2e(inv.total_market()), 60.0, 1e-9);
+  EXPECT_NEAR(to_tonnes_co2e(inv.total_location()), 60.0 + 42.9, 1e-6);
+}
+
+TEST(Ghg, HyperscalerScope3DominatesMarketBased) {
+  // Section II-B: "more than 50% of Facebook's emissions owe to its value
+  // chain — Scope 3" (under 100% renewable matching).
+  const GhgInventory inv = hyperscaler_2020_inventory();
+  EXPECT_GT(inv.scope3_share_market(), 0.5);
+  // On a location basis the electricity still shows up, diluting Scope 3.
+  EXPECT_LT(inv.scope3_share_location(), inv.scope3_share_market());
+  // Electricity matches the published 7.17 M MWh.
+  EXPECT_NEAR(to_megawatt_hours(inv.purchased_electricity), 7.17e6, 1.0);
+}
+
+TEST(Ghg, ZeroInventoryHasZeroShares) {
+  const GhgInventory inv{};
+  EXPECT_DOUBLE_EQ(inv.scope3_share_market(), 0.0);
+}
+
+TEST(Ghg, RenewableMatchingMovesScope2NotScope3) {
+  GhgInventory inv = hyperscaler_2020_inventory();
+  inv.cfe_coverage = 0.0;
+  const double share_unmatched = inv.scope3_share_market();
+  inv.cfe_coverage = 1.0;
+  const double share_matched = inv.scope3_share_market();
+  EXPECT_GT(share_matched, share_unmatched);
+  // Without matching, gross electricity is comparable to the value chain.
+  EXPECT_LT(share_unmatched, 0.6);
+  EXPECT_GT(share_matched, 0.95);
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/server.h"
+#include "hw/spec.h"
+
+namespace sustainai::hw {
+namespace {
+
+TEST(DeviceSpec, PowerInterpolatesBetweenIdleAndTdp) {
+  const DeviceSpec v100 = catalog::nvidia_v100();
+  EXPECT_NEAR(to_watts(v100.power_at(0.0)), 300.0 * 0.30, 1e-9);
+  EXPECT_NEAR(to_watts(v100.power_at(1.0)), 300.0, 1e-9);
+  EXPECT_NEAR(to_watts(v100.power_at(0.5)), 0.5 * (90.0 + 300.0), 1e-9);
+}
+
+TEST(DeviceSpec, PowerIsMonotoneInUtilization) {
+  const DeviceSpec a100 = catalog::nvidia_a100();
+  double prev = -1.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double p = to_watts(a100.power_at(u));
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(DeviceSpec, EnergyScalesWithTime) {
+  const DeviceSpec v100 = catalog::nvidia_v100();
+  const Energy one_hour = v100.energy(0.5, hours(1.0));
+  const Energy two_hours = v100.energy(0.5, hours(2.0));
+  EXPECT_NEAR(two_hours / one_hour, 2.0, 1e-12);
+}
+
+TEST(DeviceSpec, RejectsInvalidUtilization) {
+  const DeviceSpec v100 = catalog::nvidia_v100();
+  EXPECT_THROW((void)v100.power_at(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)v100.power_at(1.1), std::invalid_argument);
+}
+
+TEST(Catalog, SpecSheetValues) {
+  EXPECT_NEAR(to_watts(catalog::nvidia_p100().tdp), 250.0, 1e-9);
+  EXPECT_NEAR(to_watts(catalog::nvidia_v100().tdp), 300.0, 1e-9);
+  EXPECT_NEAR(to_watts(catalog::nvidia_a100().tdp), 400.0, 1e-9);
+  EXPECT_NEAR(to_gigabytes(catalog::nvidia_v100().memory), 32.0, 1e-9);
+  EXPECT_NEAR(to_gigabytes(catalog::nvidia_a100().memory), 80.0, 1e-9);
+  EXPECT_NEAR(to_watts(catalog::edge_device().tdp), 3.0, 1e-9);
+  EXPECT_NEAR(to_watts(catalog::wifi_router().tdp), 7.5, 1e-9);
+}
+
+TEST(Catalog, GpuMemoryGrowthIsUnderTwoXPerGeneration) {
+  // Section I: V100 32 GB (2018) -> A100 80 GB (2021): < 2x every 2 years.
+  const double growth = to_gigabytes(catalog::nvidia_a100().memory) /
+                        to_gigabytes(catalog::nvidia_v100().memory);
+  const double per_two_years = std::pow(growth, 2.0 / 3.0);
+  EXPECT_LT(per_two_years, 2.0);
+}
+
+TEST(Catalog, DeviceClassNames) {
+  EXPECT_STREQ(to_string(DeviceClass::kGpu), "gpu");
+  EXPECT_STREQ(to_string(DeviceClass::kRouter), "router");
+}
+
+TEST(ServerSku, CpuOnlyServerHasNoAccelerators) {
+  const ServerSku sku = skus::web_tier();
+  EXPECT_FALSE(sku.is_accelerated());
+  EXPECT_EQ(sku.accelerator_count(), 0);
+  EXPECT_NEAR(to_watts(sku.peak_power()), 400.0, 1e-9);
+}
+
+TEST(ServerSku, AcceleratedServerSumsPower) {
+  const ServerSku sku = skus::gpu_training_8x();
+  EXPECT_TRUE(sku.is_accelerated());
+  EXPECT_EQ(sku.accelerator_count(), 8);
+  // 400 W host + 8 x 300 W GPUs at peak.
+  EXPECT_NEAR(to_watts(sku.peak_power()), 400.0 + 8.0 * 300.0, 1e-9);
+  EXPECT_LT(to_watts(sku.idle_power()), to_watts(sku.peak_power()));
+}
+
+TEST(ServerSku, EmbodiedTotalsFollowAnchor) {
+  // 8-GPU trainer: 800 kg host share + 8 x 600 kg accelerator slices.
+  const ServerSku sku = skus::gpu_training_8x();
+  EXPECT_NEAR(to_kg_co2e(sku.embodied_total()), 800.0 + 8.0 * 600.0, 1e-6);
+  // CPU-only web tier: the paper's "half the embodied emissions" = 1000 kg.
+  EXPECT_NEAR(to_kg_co2e(skus::web_tier().embodied_total()), 1000.0, 1e-6);
+}
+
+TEST(ServerSku, EmbodiedModelAmortizes) {
+  const ServerSku sku = skus::gpu_training_8x();
+  const auto model = sku.embodied_model(0.5);
+  EXPECT_NEAR(to_kg_co2e(model.manufacturing_total()),
+              to_kg_co2e(sku.embodied_total()), 1e-9);
+  EXPECT_GT(to_kg_co2e(model.attribute(days(30.0))), 0.0);
+}
+
+TEST(ServerSku, EnergySeparatesHostAndAcceleratorUtilization) {
+  const ServerSku sku = skus::gpu_inference_2x();
+  const Energy host_only = sku.energy(1.0, 0.0, hours(1.0));
+  const Energy accel_only = sku.energy(0.0, 1.0, hours(1.0));
+  const Energy both = sku.energy(1.0, 1.0, hours(1.0));
+  EXPECT_GT(to_joules(both), to_joules(host_only));
+  EXPECT_GT(to_joules(both), to_joules(accel_only));
+}
+
+TEST(ServerSku, RejectsNegativeAcceleratorCount) {
+  EXPECT_THROW((void)ServerSku("bad", catalog::cpu_server(), catalog::nvidia_v100(), -1),
+               std::invalid_argument);
+}
+
+// The paper's 2000 kg GPU-system anchor: host (40%) + 2 accelerators.
+TEST(ServerSku, MacProClassSystemMatchesPaperAnchor) {
+  DeviceSpec host = catalog::cpu_server();
+  host.embodied = kg_co2e(sustainai::kGpuSystemEmbodiedKg * 0.4);
+  const ServerSku mac_pro("mac-pro-class", host, catalog::nvidia_v100(), 2);
+  EXPECT_NEAR(to_kg_co2e(mac_pro.embodied_total()),
+              sustainai::kGpuSystemEmbodiedKg, 1e-6);
+}
+
+}  // namespace
+}  // namespace sustainai::hw

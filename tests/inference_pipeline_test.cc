@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "mlcycle/data_pipeline.h"
+#include "mlcycle/disaggregation.h"
+#include "mlcycle/inference_serving.h"
+
+namespace sustainai::mlcycle {
+namespace {
+
+TEST(InferenceService, ServerSizingCoversPeak) {
+  InferenceService::Config c;
+  c.predictions_per_day = 1e12;  // "trillions of daily predictions"
+  c.server_peak_qps = 20000.0;
+  c.peak_to_average = 1.5;
+  c.max_server_utilization = 0.6;
+  const InferenceService svc(c);
+  const double avg_qps = 1e12 / kSecondsPerDay;
+  const int servers = svc.servers_required();
+  // Provisioned capacity at the headroom limit covers peak traffic.
+  EXPECT_GE(servers * c.server_peak_qps * c.max_server_utilization,
+            avg_qps * c.peak_to_average);
+  // ... but not by more than one server.
+  EXPECT_LT((servers - 1) * c.server_peak_qps * c.max_server_utilization,
+            avg_qps * c.peak_to_average);
+}
+
+TEST(InferenceService, AverageUtilizationBelowHeadroom) {
+  const InferenceService svc(InferenceService::Config{});
+  EXPECT_LE(svc.average_utilization(),
+            svc.config().max_server_utilization / svc.config().peak_to_average +
+                1e-9);
+  EXPECT_GT(svc.average_utilization(), 0.0);
+}
+
+TEST(InferenceService, EnergyHasIdleFloor) {
+  InferenceService::Config c;
+  c.predictions_per_day = 0.0;  // no traffic at all
+  const InferenceService svc(c);
+  EXPECT_EQ(svc.servers_required(), 0);
+  EXPECT_DOUBLE_EQ(to_joules(svc.energy_over(days(1.0))), 0.0);
+
+  InferenceService::Config c2;
+  const InferenceService busy(c2);
+  const Energy day = busy.energy_over(days(1.0));
+  const Energy dynamic =
+      c2.energy_per_prediction * c2.predictions_per_day;
+  EXPECT_GT(to_joules(day), to_joules(dynamic));  // idle floor on top
+}
+
+TEST(InferenceService, EffectiveEnergyPerPredictionExceedsDynamic) {
+  InferenceService::Config c;
+  const InferenceService svc(c);
+  EXPECT_GT(to_joules(svc.effective_energy_per_prediction()),
+            to_joules(c.energy_per_prediction));
+}
+
+TEST(InferenceService, EnergyScalesLinearlyWithWindow) {
+  const InferenceService svc(InferenceService::Config{});
+  EXPECT_NEAR(svc.energy_over(days(2.0)) / svc.energy_over(days(1.0)), 2.0,
+              1e-9);
+}
+
+TEST(DataPipeline, StoragePowerScalesWithSize) {
+  DataPipeline::Config c;
+  c.stored = petabytes(100.0);
+  c.storage_power_per_pb = kilowatts(1.2);
+  const DataPipeline p(c);
+  EXPECT_NEAR(to_kilowatts(p.storage_power()), 120.0, 1e-9);
+}
+
+TEST(DataPipeline, IngestionEnergyMatchesBytesMoved) {
+  DataPipeline::Config c;
+  c.ingestion = gigabytes_per_second(10.0);
+  c.ingestion_energy_per_gb = joules(25e3);
+  const DataPipeline p(c);
+  // 10 GB/s for an hour = 36000 GB at 25 kJ/GB.
+  EXPECT_NEAR(to_joules(p.ingestion_energy_over(hours(1.0))), 36000.0 * 25e3,
+              1.0);
+}
+
+TEST(DataPipeline, PaperGrowthRatio24xGives32xBandwidth) {
+  // Figure 2b: data 2.4x -> ingestion bandwidth demand 3.2x.
+  const DataPipeline base(DataPipeline::Config{});
+  const DataPipeline grown = base.scaled(2.4);
+  const double bw_ratio = to_bytes_per_second(grown.config().ingestion) /
+                          to_bytes_per_second(base.config().ingestion);
+  EXPECT_NEAR(bw_ratio, 3.2, 0.05);
+  const double size_ratio =
+      to_bytes(grown.config().stored) / to_bytes(base.config().stored);
+  EXPECT_NEAR(size_ratio, 2.4, 1e-9);
+}
+
+TEST(DataPipeline, TotalEnergyIsStoragePlusIngestion) {
+  const DataPipeline p(DataPipeline::Config{});
+  const Duration w = days(1.0);
+  EXPECT_NEAR(to_joules(p.energy_over(w)),
+              to_joules(p.storage_power() * w) +
+                  to_joules(p.ingestion_energy_over(w)),
+              1.0);
+}
+
+TEST(Disaggregation, CoupledIsIngestLimited) {
+  TrainingPipelineConfig c;
+  const PipelineThroughput coupled = coupled_pipeline(c);
+  EXPECT_NEAR(coupled.samples_per_s,
+              c.coupled_ingest_samples_per_s * c.num_trainers, 1e-9);
+  EXPECT_EQ(coupled.reader_hosts, 0);
+}
+
+TEST(Disaggregation, DisaggregatedReaches56PercentGain) {
+  // Appendix B: "+56% training throughput".
+  TrainingPipelineConfig c;
+  c.trainer_peak_samples_per_s = 10000.0;
+  c.coupled_ingest_samples_per_s = 10000.0 / 1.56;
+  const PipelineThroughput coupled = coupled_pipeline(c);
+  const PipelineThroughput disagg = disaggregated_pipeline(c);
+  EXPECT_NEAR(disagg.samples_per_s / coupled.samples_per_s, 1.56, 1e-6);
+  EXPECT_GT(disagg.reader_hosts, 0);
+}
+
+TEST(Disaggregation, EnergyPerSampleImproves) {
+  TrainingPipelineConfig c;
+  const double samples = 1e9;
+  const Energy coupled = coupled_pipeline(c).energy_for_samples(samples);
+  const Energy disagg = disaggregated_pipeline(c).energy_for_samples(samples);
+  // Readers add power but unstall the expensive trainers: net win.
+  EXPECT_LT(to_joules(disagg), to_joules(coupled));
+}
+
+TEST(Disaggregation, EmbodiedPerThroughputImproves) {
+  TrainingPipelineConfig c;
+  const PipelineThroughput coupled = coupled_pipeline(c);
+  const PipelineThroughput disagg = disaggregated_pipeline(c);
+  const double coupled_kg_per_kqps =
+      to_kg_co2e(coupled.total_embodied) / coupled.samples_per_s;
+  const double disagg_kg_per_kqps =
+      to_kg_co2e(disagg.total_embodied) / disagg.samples_per_s;
+  EXPECT_LT(disagg_kg_per_kqps, coupled_kg_per_kqps);
+}
+
+TEST(Checkpointing, WasteDecreasesWithReasonableInterval) {
+  CheckpointConfig c;
+  c.failure_rate_per_hour = 1e-3;
+  c.num_hosts = 64;
+  c.checkpoint_cost = minutes(2.0);
+  c.checkpoint_interval = hours(24.0);  // too sparse
+  const double sparse = expected_wasted_fraction(c);
+  c.checkpoint_interval = young_daly_interval(c);
+  const double tuned = expected_wasted_fraction(c);
+  EXPECT_LT(tuned, sparse);
+  c.checkpoint_interval = minutes(1.0);  // too dense: overhead dominates
+  const double dense = expected_wasted_fraction(c);
+  EXPECT_LT(tuned, dense);
+}
+
+TEST(Checkpointing, YoungDalyFormula) {
+  CheckpointConfig c;
+  c.failure_rate_per_hour = 0.01;
+  c.num_hosts = 1;
+  c.checkpoint_cost = minutes(2.0);
+  // sqrt(2 * (1/30)h * 100h) = sqrt(20/3).
+  EXPECT_NEAR(to_hours(young_daly_interval(c)), std::sqrt(2.0 * (2.0 / 60.0) * 100.0),
+              1e-9);
+}
+
+TEST(Checkpointing, WasteFractionInUnitInterval) {
+  for (double interval_h : {0.1, 1.0, 10.0, 100.0}) {
+    CheckpointConfig c;
+    c.checkpoint_interval = hours(interval_h);
+    const double w = expected_wasted_fraction(c);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sustainai::mlcycle

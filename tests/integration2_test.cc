@@ -1,0 +1,181 @@
+// Second integration suite: chains across the extension modules.
+#include <gtest/gtest.h>
+
+#include "datacenter/cooling.h"
+#include "datacenter/queue_sim.h"
+#include "datacenter/storage.h"
+#include "datagen/trace.h"
+#include "fl/compression.h"
+#include "fl/selection.h"
+#include "hw/technology.h"
+#include "mlcycle/carbon_budget.h"
+#include "mlcycle/model_zoo.h"
+#include "mlcycle/experiment_pool.h"
+#include "optim/multitenancy.h"
+#include "optim/nas_hpo.h"
+#include "recsys/tt_embedding.h"
+
+namespace sustainai {
+namespace {
+
+// Experiment-pool utilizations feed the multi-tenancy packer: the measured
+// 30-50% bulk is exactly the regime where consolidation pays.
+TEST(Integration2, ExperimentPoolFeedsMultiTenancyPacker) {
+  const mlcycle::ExperimentPool pool(mlcycle::ExperimentPool::Config{});
+  const auto jobs = pool.sample_pool(64);
+  std::vector<optim::TenantWorkload> tenants;
+  for (const auto& j : jobs) {
+    tenants.push_back({j.id, j.utilization, gigabytes(4.0)});
+  }
+  const hw::DeviceSpec device = hw::catalog::nvidia_v100();
+  const optim::MultiTenancyConfig cfg;
+  const auto dedicated = optim::dedicated_placement(tenants, device);
+  const auto packed = optim::consolidated_placement(tenants, device, cfg);
+  // The ~42% mean-utilization pool packs roughly 2:1.
+  EXPECT_LT(packed.devices_used, dedicated.devices_used * 0.65);
+  const OperationalCarbonModel op(1.1, grids::us_average());
+  const auto cd =
+      optim::placement_carbon(dedicated, device, days(7.0), cfg, op);
+  const auto cp = optim::placement_carbon(packed, device, days(7.0), cfg, op);
+  EXPECT_LT(to_grams_co2e(cp.total()), to_grams_co2e(cd.total()));
+}
+
+// Weather-dependent PUE composes with the operational model: a summer
+// month in the desert must emit more than a nordic winter month for the
+// same IT load and grid.
+TEST(Integration2, CoolingChangesOperationalCarbon) {
+  const datacenter::CoolingModel cooling{};
+  const Power it_load = megawatts(5.0);
+  const Energy desert_july = datacenter::facility_energy_over(
+      cooling, datacenter::climates::hot_desert(), it_load, days(185.0),
+      days(30.0));
+  const Energy nordic_january = datacenter::facility_energy_over(
+      cooling, datacenter::climates::nordic(), it_load, days(5.0), days(30.0));
+  const GridProfile grid = grids::us_average();
+  EXPECT_GT(to_kg_co2e(desert_july * grid.average),
+            to_kg_co2e(nordic_january * grid.average) * 1.05);
+}
+
+// A Poisson trace through the queue simulator and the battery simulator
+// tell a consistent story: both see the same grid and the green policy's
+// savings line up with the storage-free CFE coverage gap.
+TEST(Integration2, TraceQueueAndStorageShareTheGridModel) {
+  IntermittentGrid::Config grid_cfg;
+  grid_cfg.profile = grids::us_west_solar();
+  grid_cfg.solar_share = 0.6;
+  grid_cfg.firm_share = 0.1;
+  grid_cfg.seed = 7;
+
+  datagen::Rng rng(55);
+  std::vector<datacenter::BatchJob> jobs;
+  int id = 0;
+  for (const Duration& arrival :
+       datagen::poisson_arrivals(2.0, days(3.0), rng)) {
+    datacenter::BatchJob j;
+    j.id = std::to_string(id++);
+    j.power = kilowatts(10.0);
+    j.duration = hours(2.0);
+    j.arrival = arrival;
+    j.slack = hours(16.0);
+    jobs.push_back(j);
+  }
+  datacenter::QueueSimConfig qcfg;
+  qcfg.machines = 32;
+  qcfg.grid = grid_cfg;
+  const auto fifo =
+      datacenter::run_queue_sim(jobs, qcfg, datacenter::QueuePolicy::kFifo);
+  const auto green = datacenter::run_queue_sim(
+      jobs, qcfg, datacenter::QueuePolicy::kGreedyGreen);
+  EXPECT_LT(to_grams_co2e(green.total_carbon), to_grams_co2e(fifo.total_carbon));
+
+  datacenter::StorageSimConfig scfg;
+  scfg.grid = grid_cfg;
+  scfg.datacenter_load = megawatts(1.0);
+  scfg.procurement_ratio = 1.5;
+  scfg.horizon = days(3.0);
+  const auto storage = datacenter::simulate_without_storage(scfg);
+  // Same grid: meaningful carbon-free availability for both mechanisms.
+  EXPECT_GT(storage.cfe_coverage, 0.2);
+  EXPECT_LT(storage.cfe_coverage, 0.9);
+}
+
+// NAS outcomes feed the carbon-budget allocator: cheaper search strategies
+// let more experiments fit the same budget.
+TEST(Integration2, CheaperSearchFitsMoreExperimentsInBudget) {
+  const optim::SearchSimulator sim(optim::SearchSimulator::Config{});
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  const auto grid_search = sim.run_grid();
+  const auto halving = sim.run_successive_halving();
+
+  const CarbonMass grid_cost =
+      ctx.operational_carbon_of_gpu_days(grid_search.total_gpu_days);
+  const CarbonMass halving_cost =
+      ctx.operational_carbon_of_gpu_days(halving.total_gpu_days);
+
+  // A slate of five identical search campaigns against a fixed budget.
+  auto slate_of = [](CarbonMass unit_cost) {
+    std::vector<mlcycle::ExperimentProposal> slate;
+    for (int i = 0; i < 5; ++i) {
+      slate.push_back({"campaign-" + std::to_string(i), 1.0, unit_cost});
+    }
+    return slate;
+  };
+  const CarbonMass budget = grid_cost * 2.0;
+  const auto with_grid = mlcycle::allocate_greedy(slate_of(grid_cost), budget);
+  const auto with_halving =
+      mlcycle::allocate_greedy(slate_of(halving_cost), budget);
+  EXPECT_EQ(with_grid.selected.size(), 2u);
+  EXPECT_EQ(with_halving.selected.size(), 5u);
+}
+
+// TT-Rec compression and the technology catalog compose: compressed
+// embeddings shrink the DRAM bill of a training node's BOM.
+TEST(Integration2, TtRecShrinksBomDram) {
+  datagen::Rng rng(66);
+  recsys::TtShape shape;
+  shape.row_factors = {100, 100, 100};
+  shape.dim_factors = {4, 4, 4};
+  shape.ranks = {16, 16};
+  const recsys::TtEmbeddingTable tt(shape, rng);
+
+  hw::ServerBom dense_node;
+  dense_node.add_memory("embedding DRAM", hw::MemoryTech::kDdr4,
+                        tt.dense_equivalent_bytes());
+  hw::ServerBom tt_node;
+  tt_node.add_memory("embedding DRAM", hw::MemoryTech::kDdr4, tt.size_bytes());
+  EXPECT_GT(to_grams_co2e(dense_node.total()),
+            100.0 * to_grams_co2e(tt_node.total()));
+}
+
+// FL selection and compression stack: energy-aware selection plus int8
+// updates beat either alone on a communication-heavy app.
+TEST(Integration2, FlSelectionAndCompressionCompose) {
+  fl::FlApplicationConfig app;
+  app.name = "stacked";
+  app.model_size = megabytes(40.0);
+  app.reference_compute_time = minutes(2.0);
+  app.clients_per_round = 50;
+  app.rounds_per_day = 6.0;
+  app.campaign = days(10.0);
+  fl::Population::Config pop;
+  pop.num_clients = 3000;
+
+  const auto baseline =
+      fl::evaluate_compression(app, pop, {"none", 1.0, 1.0, 1.0});
+  const auto compressed_only =
+      fl::evaluate_compression(app, pop, {"qsgd-int8", 4.0, 1.0, 1.08});
+
+  fl::SelectionCampaignConfig sel_cfg;
+  sel_cfg.app = app;
+  sel_cfg.population = pop;
+  const auto selected_only =
+      fl::run_campaign(sel_cfg, fl::SelectionPolicy::kEnergyAware);
+
+  EXPECT_LT(to_joules(compressed_only.total_energy()),
+            to_joules(baseline.total_energy()));
+  EXPECT_LT(to_joules(selected_only.footprint.total_energy()),
+            to_joules(baseline.total_energy()));
+}
+
+}  // namespace
+}  // namespace sustainai

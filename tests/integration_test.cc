@@ -1,0 +1,176 @@
+// Cross-module integration tests: each one exercises the same pipeline a
+// figure harness uses and asserts the paper's headline shape.
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "datacenter/cluster.h"
+#include "datacenter/fleet_sim.h"
+#include "mlcycle/model_zoo.h"
+#include "optim/cascade.h"
+#include "telemetry/nvml_sim.h"
+#include "telemetry/tracker.h"
+
+namespace sustainai {
+namespace {
+
+// Figure 5 pipeline: production model -> lifecycle footprint -> the
+// embodied share dominates once carbon-free energy nets out operations.
+TEST(Integration, CarbonFreeEnergyMakesEmbodiedDominant) {
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  const auto models = mlcycle::production_models(ctx);
+  for (const auto& m : models) {
+    const LifecycleFootprint fp = m.footprint(ctx);
+    const PhaseFootprint total = fp.total();
+    // Location-based: operational dominates (~70/30).
+    EXPECT_GT(to_grams_co2e(total.operational), to_grams_co2e(total.embodied));
+    // With 90% carbon-free coverage, embodied dominates.
+    const CarbonMass netted = market_based(total.operational, 0.9);
+    EXPECT_GT(to_grams_co2e(total.embodied), to_grams_co2e(netted)) << m.name;
+  }
+}
+
+// Figure 9 pipeline: utilization sweep of a fixed training workload where
+// both operational occupancy and embodied amortization scale with 1/u.
+TEST(Integration, UtilizationSweepCutsFootprintRoughly3x) {
+  // Figure 9 accounts the *whole training system* per accelerator: the
+  // paper's Mac-Pro LCA anchor (2000 kg incl. host/memory/chassis share).
+  const hw::DeviceSpec v100 = hw::catalog::nvidia_v100();
+  const OperationalCarbonModel op(1.1, grids::us_average());
+  const double busy_gpu_days = 1000.0;  // useful compute, fixed
+
+  auto total_at = [&](double utilization, double cfe) {
+    // Occupied device time grows as the inverse of utilization; allocated
+    // accelerators draw near-peak power whether or not they do useful work.
+    const Duration occupied = days(busy_gpu_days / utilization);
+    const Energy energy = v100.tdp * occupied;
+    const CarbonMass operational = market_based(op.location_based(energy), cfe);
+    const EmbodiedCarbonModel embodied(kg_co2e(kGpuSystemEmbodiedKg),
+                                       v100.lifetime, 1.0);
+    return to_tonnes_co2e(operational + embodied.attribute(occupied));
+  };
+
+  const double at30 = total_at(0.30, 0.0);
+  const double at80 = total_at(0.80, 0.0);
+  // "Increasing GPU utilization up to 80%, the overall carbon footprint
+  // decreases by 3x" (we measure 2.67x for a 30% start; ~3x from ~25%).
+  EXPECT_NEAR(at30 / at80, 8.0 / 3.0, 0.05);
+  EXPECT_GT(total_at(0.25, 0.0) / at80, 3.0);
+
+  // "Powering AI services with renewable energy ... further reduce the
+  // overall carbon footprint by a factor of 2."
+  const double at80_green = total_at(0.80, 0.90);
+  EXPECT_GT(at80 / at80_green, 1.8);
+  EXPECT_LT(at80 / at80_green, 3.2);
+
+  // Under carbon-free energy, embodied becomes the dominating source.
+  const Duration occupied = days(busy_gpu_days / 0.80);
+  const CarbonMass op_green =
+      market_based(op.location_based(v100.tdp * occupied), 0.90);
+  const EmbodiedCarbonModel embodied(kg_co2e(kGpuSystemEmbodiedKg),
+                                     v100.lifetime, 1.0);
+  EXPECT_GT(to_grams_co2e(embodied.attribute(occupied)),
+            to_grams_co2e(op_green));
+}
+
+// Figure 3a pipeline: a fleet whose AI power capacity splits 10:20:70.
+TEST(Integration, AiCapacitySplitTenTwentySeventy) {
+  datacenter::Cluster cluster;
+  auto add = [&](const char* name, datacenter::Tier tier, int count) {
+    datacenter::ServerGroup g;
+    g.name = name;
+    g.sku = hw::skus::gpu_training_8x();
+    g.count = count;
+    g.tier = tier;
+    cluster.add_group(std::move(g));
+  };
+  add("exp", datacenter::Tier::kAiExperimentation, 100);
+  add("train", datacenter::Tier::kAiTraining, 200);
+  add("inf", datacenter::Tier::kAiInference, 700);
+  const double total = to_watts(cluster.peak_it_power());
+  EXPECT_NEAR(
+      to_watts(cluster.peak_it_power(datacenter::Tier::kAiExperimentation)) / total,
+      0.10, 1e-9);
+  EXPECT_NEAR(to_watts(cluster.peak_it_power(datacenter::Tier::kAiTraining)) / total,
+              0.20, 1e-9);
+  EXPECT_NEAR(to_watts(cluster.peak_it_power(datacenter::Tier::kAiInference)) / total,
+              0.70, 1e-9);
+}
+
+// Telemetry -> tracker -> equivalence: a metered simulated training run
+// produces the same carbon as the model-zoo accounting for the same
+// workload, and the impact statement scales to sensible equivalences.
+TEST(Integration, MeteredTrainingMatchesZooAccounting) {
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  const double gpu_days = 32.0;
+
+  // Metered path: simulate 8 GPUs for 4 days at 50%, sampled every minute.
+  telemetry::NvmlDeviceSim gpu(ctx.device);
+  gpu.set_utilization(ctx.device_utilization);
+  for (int minute = 0; minute < 4 * 24 * 60; ++minute) {
+    gpu.advance(minutes(1.0));
+  }
+  telemetry::CarbonTracker tracker(
+      {ctx.operational, ctx.embodied_utilization});
+  tracker.record_energy(Phase::kTraining, gpu.true_energy() * 8.0);
+  tracker.record_embodied(Phase::kTraining, ctx.device, days(4.0), 8);
+
+  // Zoo path.
+  const CarbonMass zoo_op = ctx.operational_carbon_of_gpu_days(gpu_days);
+  const CarbonMass zoo_emb = ctx.embodied_carbon_of_gpu_days(gpu_days);
+
+  const PhaseFootprint measured = tracker.footprint().phase(Phase::kTraining);
+  EXPECT_NEAR(to_grams_co2e(measured.operational), to_grams_co2e(zoo_op),
+              to_grams_co2e(zoo_op) * 1e-6);
+  EXPECT_NEAR(to_grams_co2e(measured.embodied), to_grams_co2e(zoo_emb),
+              to_grams_co2e(zoo_emb) * 1e-6);
+}
+
+// The LM cascade applied to a serving fleet: after all four optimization
+// steps, the same traffic needs ~812x less energy, which the fleet
+// simulator sees as a proportional carbon cut.
+TEST(Integration, CascadeShrinksServingCarbonProportionally) {
+  const OperationalCarbonModel op(1.1, grids::us_average());
+  const Energy baseline_serving = megawatt_hours(1000.0);
+  const optim::OptimizationCascade cascade = optim::lm_serving_cascade();
+  const Energy optimized = baseline_serving / cascade.cumulative_gain();
+  const double ratio = to_grams_co2e(op.location_based(baseline_serving)) /
+                       to_grams_co2e(op.location_based(optimized));
+  EXPECT_NEAR(ratio, cascade.cumulative_gain(), 1e-6);
+  EXPECT_GT(ratio, 800.0);
+}
+
+// Fleet simulation feeding the tracker: total fleet carbon matches the
+// tracker's total when the fleet's facility energy is recorded directly.
+TEST(Integration, FleetEnergyThroughTrackerIsConsistent) {
+  datacenter::FleetSimulator::Config c;
+  datacenter::ServerGroup g;
+  g.name = "train";
+  g.sku = hw::skus::gpu_training_8x();
+  g.count = 4;
+  g.tier = datacenter::Tier::kAiTraining;
+  g.load = datacenter::flat_profile(0.6);
+  c.cluster.add_group(g);
+  c.grid.profile = grids::us_average();
+  c.grid.firm_share = grids::us_average().carbon_free_fraction;
+  c.horizon = days(1.0);
+  const auto result = datacenter::FleetSimulator(c).run();
+
+  // With constant availability, intensity is constant = marginal * (1-cf),
+  // i.e. exactly the profile average; the tracker must agree.
+  telemetry::CarbonTracker tracker(
+      {OperationalCarbonModel(c.pue, grids::us_average()), 0.45});
+  tracker.record_energy(Phase::kTraining, result.it_energy);
+  EXPECT_NEAR(to_grams_co2e(tracker.total_carbon()),
+              to_grams_co2e(result.location_carbon),
+              to_grams_co2e(result.location_carbon) * 1e-6);
+}
+
+// Meena-scale equivalence passes end-to-end through the zoo numbers.
+TEST(Integration, OssModelEquivalenceMatchesPaper) {
+  const auto& meena = mlcycle::find_oss_model("Meena");
+  EXPECT_NEAR(to_passenger_vehicle_miles(meena.training_carbon), 242231.0,
+              242231.0 * 0.01);
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "core/lifecycle.h"
+
+namespace sustainai {
+namespace {
+
+PhaseFootprint make_phase(double kwh, double op_kg, double emb_kg) {
+  PhaseFootprint f;
+  f.energy = kilowatt_hours(kwh);
+  f.operational = kg_co2e(op_kg);
+  f.embodied = kg_co2e(emb_kg);
+  return f;
+}
+
+TEST(Lifecycle, PhaseNamesAreStable) {
+  EXPECT_STREQ(to_string(Phase::kDataProcessing), "data");
+  EXPECT_STREQ(to_string(Phase::kExperimentation), "experimentation");
+  EXPECT_STREQ(to_string(Phase::kTraining), "training");
+  EXPECT_STREQ(to_string(Phase::kInference), "inference");
+}
+
+TEST(Lifecycle, AddAccumulatesPerPhase) {
+  LifecycleFootprint fp;
+  fp.add(Phase::kTraining, make_phase(10.0, 5.0, 1.0));
+  fp.add(Phase::kTraining, make_phase(20.0, 10.0, 2.0));
+  EXPECT_NEAR(to_kilowatt_hours(fp.phase(Phase::kTraining).energy), 30.0, 1e-9);
+  EXPECT_NEAR(to_kg_co2e(fp.phase(Phase::kTraining).operational), 15.0, 1e-9);
+  EXPECT_NEAR(to_kg_co2e(fp.phase(Phase::kTraining).embodied), 3.0, 1e-9);
+}
+
+TEST(Lifecycle, TotalSumsAllPhases) {
+  LifecycleFootprint fp;
+  fp.add(Phase::kDataProcessing, make_phase(31.0, 31.0, 1.0));
+  fp.add(Phase::kExperimentation, make_phase(9.0, 9.0, 1.0));
+  fp.add(Phase::kTraining, make_phase(20.0, 20.0, 1.0));
+  fp.add(Phase::kInference, make_phase(40.0, 40.0, 1.0));
+  EXPECT_NEAR(to_kilowatt_hours(fp.total().energy), 100.0, 1e-9);
+  EXPECT_NEAR(to_kg_co2e(fp.total().operational), 100.0, 1e-9);
+  EXPECT_NEAR(to_kg_co2e(fp.total().embodied), 4.0, 1e-9);
+}
+
+TEST(Lifecycle, SharesSumToOne) {
+  LifecycleFootprint fp;
+  fp.add(Phase::kDataProcessing, make_phase(31.0, 31.0, 0.0));
+  fp.add(Phase::kExperimentation, make_phase(9.0, 9.0, 0.0));
+  fp.add(Phase::kTraining, make_phase(20.0, 20.0, 0.0));
+  fp.add(Phase::kInference, make_phase(40.0, 40.0, 0.0));
+  double energy_sum = 0.0;
+  double op_sum = 0.0;
+  for (Phase p : kAllPhases) {
+    energy_sum += fp.energy_share(p);
+    op_sum += fp.operational_share(p);
+  }
+  EXPECT_NEAR(energy_sum, 1.0, 1e-12);
+  EXPECT_NEAR(op_sum, 1.0, 1e-12);
+  EXPECT_NEAR(fp.energy_share(Phase::kDataProcessing), 0.31, 1e-12);
+  EXPECT_NEAR(fp.energy_share(Phase::kInference), 0.40, 1e-12);
+}
+
+TEST(Lifecycle, EmptyFootprintHasZeroShares) {
+  const LifecycleFootprint fp;
+  EXPECT_DOUBLE_EQ(fp.energy_share(Phase::kTraining), 0.0);
+  EXPECT_DOUBLE_EQ(fp.operational_share(Phase::kTraining), 0.0);
+  EXPECT_DOUBLE_EQ(fp.embodied_fraction(), 0.0);
+}
+
+TEST(Lifecycle, EmbodiedFraction) {
+  LifecycleFootprint fp;
+  fp.add(Phase::kTraining, make_phase(1.0, 70.0, 30.0));
+  EXPECT_NEAR(fp.embodied_fraction(), 0.30, 1e-12);
+}
+
+TEST(Lifecycle, PhaseFootprintTotalAndPlus) {
+  const PhaseFootprint a = make_phase(1.0, 2.0, 3.0);
+  const PhaseFootprint b = make_phase(4.0, 5.0, 6.0);
+  const PhaseFootprint c = a + b;
+  EXPECT_NEAR(to_kilowatt_hours(c.energy), 5.0, 1e-12);
+  EXPECT_NEAR(to_kg_co2e(c.total()), 16.0, 1e-12);
+}
+
+TEST(Equivalence, MeenaMatchesPaperMilesClaim) {
+  // "training one large ML model, such as Meena, is equivalent to 242,231
+  // miles driven by an average passenger vehicle" (Meena: 96.4 tCO2e).
+  const double miles = to_passenger_vehicle_miles(tonnes_co2e(96.4));
+  EXPECT_NEAR(miles, 242231.0, 242231.0 * 0.01);  // within 1%
+}
+
+TEST(Equivalence, GallonsAndHomes) {
+  EXPECT_NEAR(to_gallons_gasoline(kg_co2e(8.887)), 1.0, 1e-9);
+  EXPECT_NEAR(to_us_home_years(tonnes_co2e(15.0)), 2.0, 1e-9);
+  EXPECT_NEAR(to_smartphone_charges(grams_co2e(122.0)), 10.0, 1e-9);
+}
+
+TEST(Equivalence, MonotoneInMass) {
+  EXPECT_LT(to_passenger_vehicle_miles(tonnes_co2e(1.0)),
+            to_passenger_vehicle_miles(tonnes_co2e(2.0)));
+}
+
+}  // namespace
+}  // namespace sustainai

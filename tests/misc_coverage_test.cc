@@ -1,0 +1,109 @@
+// Edge-path coverage: small behaviours not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "datacenter/fleet_sim.h"
+#include "datacenter/scheduler.h"
+#include "mlcycle/inference_serving.h"
+#include "report/json.h"
+#include "telemetry/energy_meter.h"
+#include "telemetry/rapl_sim.h"
+
+namespace sustainai {
+namespace {
+
+TEST(MiscCoverage, FleetResultUnusedTierIsZero) {
+  datacenter::FleetSimulator::Config cfg;
+  datacenter::ServerGroup g;
+  g.name = "web";
+  g.sku = hw::skus::web_tier();
+  g.count = 10;
+  g.tier = datacenter::Tier::kWeb;
+  g.load = datacenter::flat_profile(0.5);
+  cfg.cluster.add_group(g);
+  cfg.grid.profile = grids::us_average();
+  cfg.horizon = days(1.0);
+  const auto result = datacenter::FleetSimulator(cfg).run();
+  EXPECT_DOUBLE_EQ(to_joules(result.it_energy_for(datacenter::Tier::kStorage)),
+                   0.0);
+  EXPECT_GT(to_joules(result.it_energy_for(datacenter::Tier::kWeb)), 0.0);
+}
+
+TEST(MiscCoverage, EmptyServerGroupContributesNothing) {
+  datacenter::FleetSimulator::Config cfg;
+  datacenter::ServerGroup g;
+  g.name = "empty";
+  g.sku = hw::skus::web_tier();
+  g.count = 0;
+  g.tier = datacenter::Tier::kWeb;
+  g.load = datacenter::flat_profile(0.5);
+  cfg.cluster.add_group(g);
+  cfg.grid.profile = grids::us_average();
+  cfg.horizon = days(1.0);
+  const auto result = datacenter::FleetSimulator(cfg).run();
+  EXPECT_DOUBLE_EQ(to_joules(result.it_energy), 0.0);
+  EXPECT_DOUBLE_EQ(to_grams_co2e(result.location_carbon), 0.0);
+}
+
+TEST(MiscCoverage, DefaultServerSkuIsInertButUsable) {
+  const hw::ServerSku sku;
+  EXPECT_FALSE(sku.is_accelerated());
+  EXPECT_DOUBLE_EQ(to_watts(sku.peak_power()), 0.0);
+  EXPECT_DOUBLE_EQ(to_kg_co2e(sku.embodied_total()), 0.0);
+}
+
+TEST(MiscCoverage, ZeroTrafficInferenceService) {
+  mlcycle::InferenceService::Config cfg;
+  cfg.predictions_per_day = 0.0;
+  const mlcycle::InferenceService svc(cfg);
+  EXPECT_DOUBLE_EQ(svc.average_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(to_joules(svc.effective_energy_per_prediction()), 0.0);
+}
+
+TEST(MiscCoverage, EnergyMeterWithNoSourcesIsZero) {
+  telemetry::EnergyMeter meter;
+  EXPECT_DOUBLE_EQ(to_joules(meter.sample_all()), 0.0);
+  EXPECT_DOUBLE_EQ(to_joules(meter.total()), 0.0);
+  EXPECT_TRUE(meter.labels().empty());
+}
+
+TEST(MiscCoverage, ScheduleWithNoJobsIsEmpty) {
+  IntermittentGrid::Config gc;
+  gc.profile = grids::us_average();
+  const IntermittentGrid grid(gc);
+  const auto result =
+      datacenter::run_schedule({}, grid, datacenter::FifoPolicy());
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_DOUBLE_EQ(to_grams_co2e(result.total_carbon), 0.0);
+  EXPECT_DOUBLE_EQ(to_seconds(result.mean_delay), 0.0);
+  EXPECT_DOUBLE_EQ(to_watts(result.peak_concurrent_power), 0.0);
+}
+
+TEST(MiscCoverage, JsonRootArrayElements) {
+  report::JsonWriter json;
+  json.begin_object();
+  json.begin_array("xs");
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"xs\":[]}");
+}
+
+TEST(MiscCoverage, RaplEsuBoundsChecked) {
+  EXPECT_THROW((void)telemetry::RaplDomainSim(-1), std::invalid_argument);
+  EXPECT_THROW((void)telemetry::RaplDomainSim(32), std::invalid_argument);
+  telemetry::RaplDomainSim coarse(0);  // 1 J per LSB
+  coarse.advance(watts(2.0), seconds(1.0));
+  EXPECT_EQ(coarse.read_raw(), 2u);
+}
+
+TEST(MiscCoverage, GridProfilesAllHavePositiveMarginal) {
+  for (const GridProfile& g :
+       {grids::us_average(), grids::us_midwest_coal(), grids::us_west_solar(),
+        grids::nordic_hydro(), grids::asia_pacific(), grids::hydro_quebec()}) {
+    EXPECT_GT(to_grams_per_kwh(g.fossil_marginal), 0.0) << g.name;
+    EXPECT_GE(g.carbon_free_fraction, 0.0) << g.name;
+    EXPECT_LE(g.carbon_free_fraction, 1.0) << g.name;
+  }
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "mlcycle/carbon_budget.h"
+#include "mlcycle/leaderboard.h"
+#include "telemetry/model_card.h"
+
+namespace sustainai {
+namespace {
+
+telemetry::ModelCardInput card_input() {
+  telemetry::ModelCardInput in{
+      "demo-lm",
+      "a Transformer-based translation model",
+      hw::catalog::nvidia_v100(),
+      /*num_devices=*/64,
+      /*total_runtime=*/days(7.0),
+      /*average_utilization=*/0.55,
+      OperationalCarbonModel(1.1, grids::us_average(), 1.0),
+      /*fleet_utilization=*/0.45,
+      /*predictions_per_day=*/1e9,
+      /*energy_per_prediction=*/joules(2e-3)};
+  return in;
+}
+
+TEST(ModelCard, ContainsDisclosureFields) {
+  const std::string card = telemetry::render_model_card(card_input());
+  // The paper's minimum disclosure: platform, machine count, runtime.
+  EXPECT_NE(card.find("64x nvidia-v100"), std::string::npos);
+  EXPECT_NE(card.find("total runtime: 7 d"), std::string::npos);
+  EXPECT_NE(card.find("device-hours"), std::string::npos);
+  EXPECT_NE(card.find("operational carbon (location-based)"), std::string::npos);
+  EXPECT_NE(card.find("market-based, 100% CFE"), std::string::npos);
+  EXPECT_NE(card.find("embodied carbon"), std::string::npos);
+  EXPECT_NE(card.find("passenger-vehicle miles"), std::string::npos);
+  EXPECT_NE(card.find("### Inference (deployed)"), std::string::npos);
+}
+
+TEST(ModelCard, OmitsInferenceWhenNotDeployed) {
+  telemetry::ModelCardInput in = card_input();
+  in.predictions_per_day = 0.0;
+  const std::string card = telemetry::render_model_card(in);
+  EXPECT_EQ(card.find("### Inference"), std::string::npos);
+}
+
+TEST(ModelCard, RejectsInvalidInput) {
+  telemetry::ModelCardInput in = card_input();
+  in.model_name.clear();
+  EXPECT_THROW((void)telemetry::render_model_card(in), std::invalid_argument);
+  in = card_input();
+  in.num_devices = 0;
+  EXPECT_THROW((void)telemetry::render_model_card(in), std::invalid_argument);
+}
+
+mlcycle::Leaderboard sample_board() {
+  mlcycle::Leaderboard board;
+  // A huge model squeaks out the top score at enormous energy; a mid model
+  // is nearly as good far cheaper; a small model is the efficiency champ.
+  board.submit({"mega", 0.920, megawatt_hours(1200.0), days(20.0)});
+  board.submit({"mid", 0.915, megawatt_hours(90.0), days(4.0)});
+  board.submit({"small", 0.880, megawatt_hours(8.0), days(1.0)});
+  board.submit({"wasteful", 0.870, megawatt_hours(300.0), days(9.0)});
+  return board;
+}
+
+TEST(Leaderboard, QualityRankingKeepsTodaysOrder) {
+  const auto board = sample_board();
+  const auto order = board.rank(mlcycle::Ranking::kQualityOnly);
+  EXPECT_EQ(board.submissions()[order[0]].name, "mega");
+  EXPECT_EQ(board.submissions()[order[1]].name, "mid");
+}
+
+TEST(Leaderboard, EfficiencyRankingReshufflesThePodium) {
+  const auto board = sample_board();
+  const auto order = board.rank(mlcycle::Ranking::kQualityPerMwh);
+  EXPECT_EQ(board.submissions()[order[0]].name, "small");
+  // The accuracy champion drops to the bottom.
+  EXPECT_EQ(board.submissions()[order.back()].name, "mega");
+}
+
+TEST(Leaderboard, DisagreementIsZeroForSelfAndPositiveAcross) {
+  const auto board = sample_board();
+  EXPECT_DOUBLE_EQ(board.ranking_disagreement(mlcycle::Ranking::kQualityOnly,
+                                              mlcycle::Ranking::kQualityOnly),
+                   0.0);
+  const double d = board.ranking_disagreement(
+      mlcycle::Ranking::kQualityOnly, mlcycle::Ranking::kQualityPerMwh);
+  EXPECT_GT(d, 0.3);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(Leaderboard, ParetoEntriesExcludeDominated) {
+  const auto board = sample_board();
+  const auto frontier = board.pareto_entries();
+  // "wasteful" is dominated by "mid" (better quality, less energy).
+  for (std::size_t idx : frontier) {
+    EXPECT_NE(board.submissions()[idx].name, "wasteful");
+  }
+  EXPECT_EQ(frontier.size(), 3u);
+}
+
+TEST(Leaderboard, RejectsInvalidSubmissions) {
+  mlcycle::Leaderboard board;
+  EXPECT_THROW((void)board.submit({"", 0.9, megawatt_hours(1.0), days(1.0)}),
+               std::invalid_argument);
+  EXPECT_THROW((void)board.submit({"x", 0.9, joules(0.0), days(1.0)}),
+               std::invalid_argument);
+  EXPECT_THROW((void)board.ranking_disagreement(
+                   mlcycle::Ranking::kQualityOnly, mlcycle::Ranking::kEnergyOnly),
+               std::invalid_argument);
+}
+
+std::vector<mlcycle::ExperimentProposal> slate() {
+  return {
+      {"ablation-sweep", 6.0, tonnes_co2e(2.0)},
+      {"big-pretrain", 10.0, tonnes_co2e(9.0)},
+      {"arch-search", 8.0, tonnes_co2e(5.0)},
+      {"data-study", 3.0, tonnes_co2e(1.0)},
+      {"replication", 2.0, tonnes_co2e(1.5)},
+  };
+}
+
+TEST(CarbonBudget, GreedyRespectsBudget) {
+  const auto alloc = mlcycle::allocate_greedy(slate(), tonnes_co2e(8.0));
+  EXPECT_LE(to_tonnes_co2e(alloc.total_footprint), 8.0 + 1e-9);
+  EXPECT_GT(alloc.total_value, 0.0);
+  // Density order: data-study (3.0), ablation (3.0), arch (1.6)... picks
+  // data-study + ablation-sweep + arch-search = 8 t, value 17.
+  EXPECT_NEAR(alloc.total_value, 17.0, 1e-12);
+}
+
+TEST(CarbonBudget, OptimalAtLeastGreedy) {
+  for (double budget_t : {3.0, 6.0, 8.0, 12.0, 20.0}) {
+    const auto greedy = mlcycle::allocate_greedy(slate(), tonnes_co2e(budget_t));
+    const auto optimal = mlcycle::allocate_optimal(slate(), tonnes_co2e(budget_t));
+    EXPECT_GE(optimal.total_value, greedy.total_value - 1e-9) << budget_t;
+    EXPECT_LE(to_tonnes_co2e(optimal.total_footprint), budget_t + 1e-6)
+        << budget_t;
+  }
+}
+
+TEST(CarbonBudget, OptimalBeatsGreedyOnAdversarialSlate) {
+  // Classic knapsack trap: greedy takes the densest item and blocks the
+  // better pair.
+  const std::vector<mlcycle::ExperimentProposal> trap = {
+      {"dense", 10.0, tonnes_co2e(6.0)},
+      {"a", 7.0, tonnes_co2e(5.0)},
+      {"b", 7.0, tonnes_co2e(5.0)},
+  };
+  const auto greedy = mlcycle::allocate_greedy(trap, tonnes_co2e(10.0));
+  const auto optimal = mlcycle::allocate_optimal(trap, tonnes_co2e(10.0));
+  EXPECT_NEAR(greedy.total_value, 10.0, 1e-12);
+  EXPECT_NEAR(optimal.total_value, 14.0, 1e-12);
+}
+
+TEST(CarbonBudget, ZeroBudgetSelectsNothing) {
+  const auto alloc = mlcycle::allocate_greedy(slate(), grams_co2e(0.0));
+  EXPECT_TRUE(alloc.selected.empty());
+  const auto opt = mlcycle::allocate_optimal(slate(), grams_co2e(0.0));
+  EXPECT_TRUE(opt.selected.empty());
+}
+
+TEST(CarbonBudget, RejectsInvalidProposals) {
+  const std::vector<mlcycle::ExperimentProposal> bad = {
+      {"free-lunch", 1.0, grams_co2e(0.0)}};
+  EXPECT_THROW((void)mlcycle::allocate_greedy(bad, tonnes_co2e(1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -1,0 +1,194 @@
+#include "mlcycle/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sustainai::mlcycle {
+namespace {
+
+TEST(AccountingContext, EnergyAndCarbonRoundTrip) {
+  const AccountingContext ctx = default_accounting();
+  const double gpu_days = 1234.5;
+  const CarbonMass carbon = ctx.operational_carbon_of_gpu_days(gpu_days);
+  EXPECT_NEAR(ctx.gpu_days_for_operational_carbon(carbon), gpu_days,
+              gpu_days * 1e-9);
+}
+
+TEST(AccountingContext, PerGpuDayMatchesHandComputation) {
+  const AccountingContext ctx = default_accounting();
+  // V100 at 50%: 195 W x 24 h = 4.68 kWh; x PUE 1.1 x 429 g/kWh.
+  const CarbonMass per_day = ctx.operational_carbon_of_gpu_days(1.0);
+  EXPECT_NEAR(to_kg_co2e(per_day), 4.68 * 1.1 * 0.429, 1e-6);
+}
+
+TEST(AccountingContext, EmbodiedPerGpuDay) {
+  const AccountingContext ctx = default_accounting();
+  // 600 kg over 4 years at 45% utilization.
+  EXPECT_NEAR(to_kg_co2e(ctx.embodied_carbon_of_gpu_days(1.0)),
+              600.0 / (4.0 * 365.25) / 0.45, 1e-6);
+}
+
+TEST(ProductionModels, HasSixModelsWithExpectedNames) {
+  const auto models = production_models(default_accounting());
+  ASSERT_EQ(models.size(), 6u);
+  EXPECT_EQ(models[0].name, "LM");
+  EXPECT_EQ(models[5].name, "RM5");
+  EXPECT_NO_THROW((void)find_model(models, "RM3"));
+  EXPECT_THROW((void)find_model(models, "RM9"), std::invalid_argument);
+}
+
+TEST(ProductionModels, AverageTrainingFootprintIs1p8xMeena) {
+  // Figure 4 caption: "The average carbon footprint for ML training tasks
+  // at Facebook is 1.8 times larger than that of Meena".
+  const AccountingContext ctx = default_accounting();
+  const auto models = production_models(ctx);
+  CarbonMass sum = grams_co2e(0.0);
+  for (const auto& m : models) {
+    sum += m.training_carbon(ctx);
+  }
+  const double avg_t = to_tonnes_co2e(sum) / 6.0;
+  const double meena_t = to_tonnes_co2e(find_oss_model("Meena").training_carbon);
+  EXPECT_NEAR(avg_t / meena_t, 1.8, 0.02);
+}
+
+TEST(ProductionModels, AverageTrainingFootprintIsOneThirdGpt3) {
+  // "and 0.3 times of GPT-3's carbon footprint".
+  const AccountingContext ctx = default_accounting();
+  const auto models = production_models(ctx);
+  CarbonMass sum = grams_co2e(0.0);
+  for (const auto& m : models) {
+    sum += m.training_carbon(ctx);
+  }
+  const double avg_t = to_tonnes_co2e(sum) / 6.0;
+  const double gpt3_t = to_tonnes_co2e(find_oss_model("GPT-3").training_carbon);
+  EXPECT_NEAR(avg_t / gpt3_t, 0.31, 0.03);
+}
+
+TEST(ProductionModels, LmSplitsThirtyFiveSixtyFive) {
+  // "the carbon footprint of LM is dominated by the inference phase, using
+  // much higher inference resources (65%) as compared to training (35%)".
+  const AccountingContext ctx = default_accounting();
+  const auto& lm = find_model(production_models(ctx), "LM");
+  const double train = to_grams_co2e(lm.training_carbon(ctx));
+  const double inference = to_grams_co2e(lm.inference_carbon(ctx));
+  EXPECT_NEAR(train / (train + inference), 0.35, 0.01);
+}
+
+TEST(ProductionModels, RmTrainingRoughlyEqualsInference) {
+  // "For recommendation use cases, we find the carbon footprint is split
+  // evenly between training and inference."
+  const AccountingContext ctx = default_accounting();
+  for (const auto& m : production_models(ctx)) {
+    if (m.name == "LM") {
+      continue;
+    }
+    const double ratio = to_grams_co2e(m.training_carbon(ctx)) /
+                         to_grams_co2e(m.inference_carbon(ctx));
+    EXPECT_GT(ratio, 0.85) << m.name;
+    EXPECT_LT(ratio, 1.15) << m.name;
+  }
+}
+
+TEST(ProductionModels, RmEmbeddingsDominateModelSize) {
+  // Section III-B: embeddings "can easily contribute to over 95% of the
+  // total model size" for RMs.
+  for (const auto& m : production_models(default_accounting())) {
+    if (m.name == "LM") {
+      EXPECT_EQ(m.embedding_fraction, 0.0);
+    } else {
+      EXPECT_GE(m.embedding_fraction, 0.95) << m.name;
+    }
+  }
+}
+
+TEST(ProductionModels, OnlyRecommendersTrainOnline) {
+  const AccountingContext ctx = default_accounting();
+  for (const auto& m : production_models(ctx)) {
+    const double online = m.category_gpu_days(OpCategory::kOnlineTraining);
+    if (m.name == "LM") {
+      EXPECT_DOUBLE_EQ(online, 0.0);
+    } else {
+      EXPECT_GT(online, 0.0) << m.name;
+    }
+  }
+}
+
+TEST(ProductionModels, ExperimentationIsOneThirdOfOffline) {
+  // Figure 3a's 10:20 experimentation:training capacity split.
+  for (const auto& m : production_models(default_accounting())) {
+    EXPECT_NEAR(m.experimentation_gpu_days /
+                    (m.experimentation_gpu_days + m.offline_training_gpu_days),
+                1.0 / 3.0, 1e-9)
+        << m.name;
+  }
+}
+
+TEST(ProductionModels, FootprintPhasesMatchCategories) {
+  const AccountingContext ctx = default_accounting();
+  const auto& rm1 = find_model(production_models(ctx), "RM1");
+  const LifecycleFootprint fp = rm1.footprint(ctx);
+  EXPECT_NEAR(to_grams_co2e(fp.phase(Phase::kInference).operational),
+              to_grams_co2e(rm1.inference_carbon(ctx)), 1.0);
+  EXPECT_GT(to_grams_co2e(fp.phase(Phase::kDataProcessing).operational), 0.0);
+  EXPECT_GT(fp.embodied_fraction(), 0.0);
+}
+
+TEST(ProductionModels, EmbodiedFractionNearPaperSplit) {
+  // Figure 5: embodied/operational split "roughly 30% / 70%".
+  const AccountingContext ctx = default_accounting();
+  for (const auto& m : production_models(ctx)) {
+    const double f = m.footprint(ctx).embodied_fraction();
+    EXPECT_GT(f, 0.22) << m.name;
+    EXPECT_LT(f, 0.38) << m.name;
+  }
+}
+
+TEST(OssModels, PublishedNumbersPresent) {
+  const auto models = oss_models();
+  ASSERT_EQ(models.size(), 6u);
+  const OssModel& gpt3 = find_oss_model("GPT-3");
+  EXPECT_NEAR(to_megawatt_hours(gpt3.training_energy), 1287.0, 1e-6);
+  EXPECT_NEAR(to_tonnes_co2e(gpt3.training_carbon), 552.1, 1e-6);
+  EXPECT_NEAR(to_tonnes_co2e(find_oss_model("Meena").training_carbon), 96.4,
+              1e-6);
+  EXPECT_THROW((void)find_oss_model("PaLM"), std::invalid_argument);
+}
+
+TEST(OssModels, ParameterCountDoesNotPredictCarbon) {
+  // "Models with more parameters do not necessarily result in ... higher
+  // carbon emissions": Switch Transformer (1.5T) emits far less than GPT-3
+  // (175B); GShard-600B less than T5 (11B).
+  const OssModel& switch_t = find_oss_model("Switch Transformer");
+  const OssModel& gpt3 = find_oss_model("GPT-3");
+  EXPECT_GT(switch_t.params_billions, gpt3.params_billions);
+  EXPECT_LT(to_tonnes_co2e(switch_t.training_carbon),
+            to_tonnes_co2e(gpt3.training_carbon));
+  const OssModel& gshard = find_oss_model("GShard-600B");
+  const OssModel& t5 = find_oss_model("T5");
+  EXPECT_GT(gshard.params_billions, t5.params_billions);
+  EXPECT_LT(to_tonnes_co2e(gshard.training_carbon),
+            to_tonnes_co2e(t5.training_carbon));
+}
+
+TEST(OssModels, CategoryNames) {
+  EXPECT_STREQ(to_string(OpCategory::kOfflineTraining), "offline-training");
+  EXPECT_STREQ(to_string(OpCategory::kInference), "inference");
+}
+
+TEST(ProductionModels, CalibrationHoldsUnderDifferentGrid) {
+  // The calibration inverts the accounting, so the published aggregate
+  // constraints must hold for any grid/PUE context.
+  AccountingContext ctx = default_accounting();
+  ctx.operational = OperationalCarbonModel(1.5, grids::asia_pacific(), 0.0);
+  const auto models = production_models(ctx);
+  CarbonMass sum = grams_co2e(0.0);
+  for (const auto& m : models) {
+    sum += m.training_carbon(ctx);
+  }
+  const double avg_t = to_tonnes_co2e(sum) / 6.0;
+  EXPECT_NEAR(avg_t / 96.4, 1.8, 0.02);
+}
+
+}  // namespace
+}  // namespace sustainai::mlcycle

@@ -1,0 +1,140 @@
+#include "optim/multitenancy.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/rng.h"
+
+namespace sustainai::optim {
+namespace {
+
+std::vector<TenantWorkload> low_util_tenants(int n, double demand) {
+  std::vector<TenantWorkload> tenants;
+  for (int i = 0; i < n; ++i) {
+    tenants.push_back(
+        {"exp-" + std::to_string(i), demand, gigabytes(6.0)});
+  }
+  return tenants;
+}
+
+TEST(MultiTenancy, DedicatedUsesOneDevicePerTenant) {
+  const auto tenants = low_util_tenants(10, 0.4);
+  const auto r = dedicated_placement(tenants, hw::catalog::nvidia_v100());
+  EXPECT_EQ(r.devices_used, 10);
+  EXPECT_NEAR(r.mean_device_utilization, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(r.throughput_efficiency, 1.0);
+}
+
+TEST(MultiTenancy, ConsolidationPacksUnderHeadroom) {
+  // Ten 0.4-demand tenants at 0.85 headroom: two per device -> 5 devices.
+  const auto tenants = low_util_tenants(10, 0.4);
+  const auto r = consolidated_placement(tenants, hw::catalog::nvidia_v100(),
+                                        MultiTenancyConfig{});
+  EXPECT_EQ(r.devices_used, 5);
+  EXPECT_NEAR(r.mean_device_utilization, 0.8, 1e-12);
+  for (int t : r.tenants_per_device) {
+    EXPECT_EQ(t, 2);
+  }
+}
+
+TEST(MultiTenancy, MemoryConstraintLimitsPacking) {
+  // Compute would allow 2/device, but memory only fits one 20 GB tenant in
+  // a 32 GB V100.
+  std::vector<TenantWorkload> tenants;
+  for (int i = 0; i < 6; ++i) {
+    tenants.push_back({"big-" + std::to_string(i), 0.3, gigabytes(20.0)});
+  }
+  const auto r = consolidated_placement(tenants, hw::catalog::nvidia_v100(),
+                                        MultiTenancyConfig{});
+  EXPECT_EQ(r.devices_used, 6);
+}
+
+TEST(MultiTenancy, InterferenceReducesThroughputEfficiency) {
+  const auto tenants = low_util_tenants(10, 0.4);
+  MultiTenancyConfig cfg;
+  cfg.interference_penalty = 0.06;
+  const auto r = consolidated_placement(tenants, hw::catalog::nvidia_v100(), cfg);
+  // Two tenants per device: efficiency = 1 / 1.06.
+  EXPECT_NEAR(r.throughput_efficiency, 1.0 / 1.06, 1e-12);
+  cfg.interference_penalty = 0.0;
+  const auto free = consolidated_placement(tenants, hw::catalog::nvidia_v100(), cfg);
+  EXPECT_DOUBLE_EQ(free.throughput_efficiency, 1.0);
+}
+
+TEST(MultiTenancy, ConsolidationNeverUsesMoreDevices) {
+  datagen::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TenantWorkload> tenants;
+    const int n = static_cast<int>(rng.uniform_int(2, 30));
+    for (int i = 0; i < n; ++i) {
+      tenants.push_back({"t" + std::to_string(i), rng.uniform(0.05, 0.8),
+                         gigabytes(rng.uniform(1.0, 16.0))});
+    }
+    const auto dedicated =
+        dedicated_placement(tenants, hw::catalog::nvidia_v100());
+    const auto packed = consolidated_placement(
+        tenants, hw::catalog::nvidia_v100(), MultiTenancyConfig{});
+    EXPECT_LE(packed.devices_used, dedicated.devices_used);
+    EXPECT_GE(packed.devices_used, 1);
+    // Packing never violates headroom: mean util <= headroom by construction
+    // whenever packing helped at all.
+    EXPECT_LE(packed.mean_device_utilization, 0.85 + 1e-9);
+  }
+}
+
+TEST(MultiTenancy, CarbonTradeOffFavorsConsolidationForLowUtilFleets) {
+  // The paper's amortization argument: 30-50%-utilized experimentation
+  // fleets waste embodied carbon; consolidation wins overall even with
+  // interference.
+  const auto tenants = low_util_tenants(12, 0.35);
+  const hw::DeviceSpec device = hw::catalog::nvidia_v100();
+  const MultiTenancyConfig cfg;
+  const OperationalCarbonModel op(1.1, grids::us_average());
+  const Duration month = days(30.0);
+
+  const auto dedicated_cost =
+      placement_carbon(dedicated_placement(tenants, device), device, month, cfg, op);
+  const auto packed_cost = placement_carbon(
+      consolidated_placement(tenants, device, cfg), device, month, cfg, op);
+
+  // Embodied drops roughly with the device count.
+  EXPECT_LT(to_kg_co2e(packed_cost.embodied),
+            0.6 * to_kg_co2e(dedicated_cost.embodied));
+  // Total carbon improves despite the interference stretch.
+  EXPECT_LT(to_kg_co2e(packed_cost.total()),
+            to_kg_co2e(dedicated_cost.total()));
+}
+
+TEST(MultiTenancy, OperationalCanIncreaseUnderHeavyInterference) {
+  // "...at the expense of potential operational carbon footprint increase".
+  const auto tenants = low_util_tenants(12, 0.28);
+  const hw::DeviceSpec device = hw::catalog::nvidia_v100();
+  MultiTenancyConfig cfg;
+  cfg.interference_penalty = 0.50;  // pathological co-location
+  const OperationalCarbonModel op(1.1, grids::us_average());
+  const Duration month = days(30.0);
+  const auto dedicated_cost =
+      placement_carbon(dedicated_placement(tenants, device), device, month,
+                       MultiTenancyConfig{}, op);
+  const auto packed_cost = placement_carbon(
+      consolidated_placement(tenants, device, cfg), device, month, cfg, op);
+  EXPECT_GT(to_kg_co2e(packed_cost.operational),
+            to_kg_co2e(dedicated_cost.operational));
+}
+
+TEST(MultiTenancy, RejectsInvalidInputs) {
+  const hw::DeviceSpec device = hw::catalog::nvidia_v100();
+  EXPECT_THROW((void)dedicated_placement({}, device), std::invalid_argument);
+  EXPECT_THROW((void)dedicated_placement({{"x", 1.5, gigabytes(1.0)}}, device),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)dedicated_placement({{"x", 0.5, gigabytes(64.0)}}, device),
+      std::invalid_argument);  // exceeds V100 memory
+  MultiTenancyConfig bad;
+  bad.compute_headroom = 0.0;
+  EXPECT_THROW(
+      (void)consolidated_placement({{"x", 0.5, gigabytes(1.0)}}, device, bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::optim

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "optim/nas_hpo.h"
+#include "optim/pareto.h"
+
+namespace sustainai::optim {
+namespace {
+
+TEST(Pareto, DominanceDefinition) {
+  const ObjectivePoint a{1.0, 0.9, "a"};
+  const ObjectivePoint b{2.0, 0.8, "b"};
+  const ObjectivePoint c{1.0, 0.9, "c"};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, c));  // equal points do not dominate
+}
+
+TEST(Pareto, FrontierExcludesDominatedPoints) {
+  const std::vector<ObjectivePoint> pts = {
+      {1.0, 0.5, "cheap-ok"},
+      {2.0, 0.7, "mid"},
+      {3.0, 0.9, "pricey-best"},
+      {2.5, 0.6, "dominated-by-mid"},
+      {4.0, 0.8, "dominated-by-pricey"},
+  };
+  const auto frontier = pareto_frontier(pts);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(pts[frontier[0]].label, "cheap-ok");
+  EXPECT_EQ(pts[frontier[1]].label, "mid");
+  EXPECT_EQ(pts[frontier[2]].label, "pricey-best");
+}
+
+TEST(Pareto, FrontierIsSortedByCostAndMonotoneInQuality) {
+  const std::vector<ObjectivePoint> pts = {
+      {5.0, 0.95, ""}, {1.0, 0.40, ""}, {3.0, 0.80, ""},
+      {2.0, 0.60, ""}, {4.0, 0.90, ""}, {2.5, 0.55, ""},
+  };
+  const auto frontier = pareto_frontier(pts);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LT(pts[frontier[i - 1]].cost, pts[frontier[i]].cost);
+    EXPECT_LT(pts[frontier[i - 1]].quality, pts[frontier[i]].quality);
+  }
+}
+
+TEST(Pareto, SelectionHelpers) {
+  const std::vector<ObjectivePoint> pts = {
+      {1.0, 0.5, ""}, {2.0, 0.7, ""}, {3.0, 0.9, ""}};
+  EXPECT_EQ(cheapest_at_least(pts, 0.65), 1u);
+  EXPECT_EQ(cheapest_at_least(pts, 0.95), pts.size());
+  EXPECT_EQ(best_under_budget(pts, 2.5), 1u);
+  EXPECT_EQ(best_under_budget(pts, 0.5), pts.size());
+}
+
+TEST(Candidate, LearningCurveSaturatesAtFinalQuality) {
+  Candidate c;
+  c.final_quality = 0.8;
+  c.curve_rate = 4.0;
+  EXPECT_DOUBLE_EQ(c.quality_at(0.0), 0.0);
+  EXPECT_NEAR(c.quality_at(1.0), 0.8, 1e-12);
+  EXPECT_LT(c.quality_at(0.3), c.quality_at(0.6));
+  // Diminishing returns: first half gains more than the second half.
+  EXPECT_GT(c.quality_at(0.5), 0.8 - c.quality_at(0.5));
+  EXPECT_THROW((void)c.quality_at(1.5), std::invalid_argument);
+}
+
+TEST(SearchSimulator, GridSearchFindsTrueBestAtFullCost) {
+  const SearchSimulator sim(SearchSimulator::Config{});
+  const SearchOutcome grid = sim.run_grid();
+  double best = 0.0;
+  for (const Candidate& c : sim.candidates()) {
+    best = std::max(best, c.final_quality);
+  }
+  EXPECT_DOUBLE_EQ(grid.best_quality, best);
+  EXPECT_NEAR(grid.total_gpu_days, 200.0 * 10.0, 1e-9);
+  EXPECT_EQ(grid.configs_fully_trained, 200);
+  // "grid-search NAS can incur over 3000x environmental footprint overhead"
+  // at Strubell-scale trial counts.
+  EXPECT_NEAR(grid.overhead_factor(10.0), 200.0, 1e-9);
+  EXPECT_GT(nas_overhead_factor(4789, 0.64), 3000.0);
+}
+
+TEST(SearchSimulator, SuccessiveHalvingIsMuchCheaperThanGrid) {
+  const SearchSimulator sim(SearchSimulator::Config{});
+  const SearchOutcome grid = sim.run_grid();
+  const SearchOutcome sh = sim.run_successive_halving();
+  EXPECT_LT(sh.total_gpu_days, 0.35 * grid.total_gpu_days);
+  // And still finds a near-best configuration (within observation noise of
+  // the rung-based selection).
+  EXPECT_GT(sh.best_quality, grid.best_quality - 0.04);
+}
+
+TEST(SearchSimulator, RandomSubsetScalesWithBudget) {
+  const SearchSimulator sim(SearchSimulator::Config{});
+  const SearchOutcome r10 = sim.run_random(10);
+  const SearchOutcome r50 = sim.run_random(50);
+  EXPECT_NEAR(r10.total_gpu_days, 100.0, 1e-9);
+  EXPECT_NEAR(r50.total_gpu_days, 500.0, 1e-9);
+  EXPECT_GE(r50.best_quality, r10.best_quality - 1e-12);
+  EXPECT_THROW((void)sim.run_random(0), std::invalid_argument);
+}
+
+TEST(SearchSimulator, EarlyStoppingSavesMostCyclesWithAggressiveCuts) {
+  const SearchSimulator sim(SearchSimulator::Config{});
+  const SearchOutcome mild = sim.run_successive_halving(0.05, 0.6);
+  const SearchOutcome aggressive = sim.run_successive_halving(0.05, 0.25);
+  EXPECT_LT(aggressive.total_gpu_days, mild.total_gpu_days);
+}
+
+TEST(SearchSimulator, DeterministicAcrossInstances) {
+  const SearchSimulator a(SearchSimulator::Config{});
+  const SearchSimulator b(SearchSimulator::Config{});
+  const SearchOutcome oa = a.run_successive_halving();
+  const SearchOutcome ob = b.run_successive_halving();
+  EXPECT_DOUBLE_EQ(oa.best_quality, ob.best_quality);
+  EXPECT_DOUBLE_EQ(oa.total_gpu_days, ob.total_gpu_days);
+}
+
+TEST(SearchSimulator, GreenSelectionTradesQualityForInferenceCost) {
+  // Multi-objective pick: the cheapest near-best config costs less to
+  // serve than the absolute best at a bounded quality sacrifice.
+  const SearchSimulator sim(SearchSimulator::Config{});
+  std::vector<ObjectivePoint> pts;
+  for (const Candidate& c : sim.candidates()) {
+    pts.push_back({c.inference_cost, c.final_quality, ""});
+  }
+  const auto frontier = pareto_frontier(pts);
+  ASSERT_GE(frontier.size(), 2u);
+  double best_q = 0.0;
+  for (const auto& p : pts) {
+    best_q = std::max(best_q, p.quality);
+  }
+  const std::size_t green = cheapest_at_least(pts, best_q - 0.02);
+  ASSERT_LT(green, pts.size());
+  const std::size_t apex = cheapest_at_least(pts, best_q);
+  EXPECT_LE(pts[green].cost, pts[apex].cost);
+}
+
+TEST(SearchSimulator, RejectsInvalidConfig) {
+  SearchSimulator::Config c;
+  c.num_candidates = 0;
+  EXPECT_THROW((void)SearchSimulator{c}, std::invalid_argument);
+  const SearchSimulator sim(SearchSimulator::Config{});
+  EXPECT_THROW((void)sim.run_successive_halving(0.0, 0.4), std::invalid_argument);
+  EXPECT_THROW((void)sim.run_successive_halving(0.1, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::optim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/embodied.h"
+#include "core/operational.h"
+
+namespace sustainai {
+namespace {
+
+TEST(Operational, FacilityEnergyAppliesPue) {
+  const OperationalCarbonModel model(1.1, grids::us_average());
+  EXPECT_NEAR(to_kilowatt_hours(model.facility_energy(kilowatt_hours(100.0))),
+              110.0, 1e-9);
+}
+
+TEST(Operational, LocationBasedUsesGridAverage) {
+  const OperationalCarbonModel model(1.1, grids::us_average());
+  const CarbonMass m = model.location_based(kilowatt_hours(1000.0));
+  EXPECT_NEAR(to_kg_co2e(m), 1000.0 * 1.1 * 0.429, 1e-6);
+}
+
+TEST(Operational, MarketBasedNetsCoverage) {
+  const OperationalCarbonModel model(1.1, grids::us_average(), 1.0);
+  EXPECT_NEAR(to_kg_co2e(model.market_based_emissions(kilowatt_hours(1000.0))),
+              0.0, 1e-12);
+  const OperationalCarbonModel half(1.1, grids::us_average(), 0.5);
+  EXPECT_NEAR(to_kg_co2e(half.market_based_emissions(kilowatt_hours(1000.0))),
+              0.5 * 1000.0 * 1.1 * 0.429, 1e-6);
+}
+
+TEST(Operational, RejectsInvalidPue) {
+  EXPECT_THROW((void)OperationalCarbonModel(0.9, grids::us_average()),
+               std::invalid_argument);
+}
+
+TEST(Operational, RejectsNegativeEnergy) {
+  const OperationalCarbonModel model(1.1, grids::us_average());
+  EXPECT_THROW((void)model.location_based(joules(-1.0)), std::invalid_argument);
+}
+
+TEST(Operational, HyperscaleVsTypicalPueGap) {
+  // "Facebook's data centers are about 40% more efficient than small-scale,
+  // typical data centers" — the typical facility burns ~40% more energy.
+  EXPECT_NEAR(kTypicalPue / kHyperscalePue, 1.41, 0.02);
+}
+
+TEST(Embodied, AttributesLifetimeShare) {
+  // 2000 kg over 4 years at 50% utilization: a full year of busy time
+  // carries 2000/4/0.5 = 1000 kg... i.e. 2000 * (1/4) / 0.5.
+  const EmbodiedCarbonModel model(kg_co2e(2000.0), years(4.0), 0.5);
+  EXPECT_NEAR(to_kg_co2e(model.attribute(years(1.0))), 1000.0, 1e-9);
+}
+
+TEST(Embodied, ZeroBusyTimeIsZeroCarbon) {
+  const EmbodiedCarbonModel model(kg_co2e(2000.0), years(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(to_kg_co2e(model.attribute(seconds(0.0))), 0.0);
+}
+
+TEST(Embodied, HigherUtilizationLowersAttribution) {
+  const EmbodiedCarbonModel base(kg_co2e(2000.0), years(4.0), 0.3);
+  const EmbodiedCarbonModel better = base.with_utilization(0.8);
+  EXPECT_GT(to_kg_co2e(base.attribute(days(10.0))),
+            to_kg_co2e(better.attribute(days(10.0))));
+  // Exactly inversely proportional.
+  EXPECT_NEAR(base.attribute(days(10.0)) / better.attribute(days(10.0)),
+              0.8 / 0.3, 1e-9);
+}
+
+TEST(Embodied, FromComponentsSums) {
+  const std::vector<ComponentFootprint> bom = {
+      {"host", kg_co2e(800.0)},
+      {"gpu0", kg_co2e(600.0)},
+      {"gpu1", kg_co2e(600.0)},
+  };
+  const EmbodiedCarbonModel model =
+      EmbodiedCarbonModel::from_components(bom, years(4.0), 0.5);
+  EXPECT_NEAR(to_kg_co2e(model.manufacturing_total()), 2000.0, 1e-9);
+}
+
+TEST(Embodied, PerBusyHourConsistentWithAttribute) {
+  const EmbodiedCarbonModel model(kg_co2e(2000.0), years(4.0), 0.45);
+  EXPECT_NEAR(to_kg_co2e(model.per_busy_hour()) * 24.0,
+              to_kg_co2e(model.attribute(days(1.0))), 1e-9);
+}
+
+TEST(Embodied, RejectsInvalidArguments) {
+  EXPECT_THROW((void)EmbodiedCarbonModel(kg_co2e(-1.0), years(4.0), 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)EmbodiedCarbonModel(kg_co2e(1.0), seconds(0.0), 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)EmbodiedCarbonModel(kg_co2e(1.0), years(4.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)EmbodiedCarbonModel(kg_co2e(1.0), years(4.0), 1.5),
+               std::invalid_argument);
+  const EmbodiedCarbonModel model(kg_co2e(1.0), years(4.0), 0.5);
+  EXPECT_THROW((void)model.attribute(seconds(-1.0)), std::invalid_argument);
+}
+
+// Paper anchor sweep: with the 2000 kg GPU-system anchor, 3-5 year
+// lifetimes and 30-60% utilization, a year of busy time attributes a
+// plausible 667-2222 kg band.
+class AmortizationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AmortizationSweep, YearOfUseWithinPaperBand) {
+  const double lifetime_years = std::get<0>(GetParam());
+  const double utilization = std::get<1>(GetParam());
+  const EmbodiedCarbonModel model(kg_co2e(kGpuSystemEmbodiedKg),
+                                  years(lifetime_years), utilization);
+  const double kg = to_kg_co2e(model.attribute(years(1.0)));
+  EXPECT_GE(kg, 2000.0 / 5.0 / 0.6 - 1e-9);
+  EXPECT_LE(kg, 2000.0 / 3.0 / 0.3 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperBand, AmortizationSweep,
+    ::testing::Combine(::testing::Values(3.0, 4.0, 5.0),
+                       ::testing::Values(0.3, 0.45, 0.6)));
+
+}  // namespace
+}  // namespace sustainai

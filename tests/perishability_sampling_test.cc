@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "scaling/perishability.h"
+#include "scaling/sampling.h"
+
+namespace sustainai::scaling {
+namespace {
+
+TEST(HalfLife, ValueHalvesAtHalfLife) {
+  // Section IV-A: NLP data loses half its predictive value in < 7 years.
+  DataHalfLife decay;
+  decay.half_life = years(7.0);
+  EXPECT_NEAR(decay.value_at(years(0.0)), 1.0, 1e-12);
+  EXPECT_NEAR(decay.value_at(years(7.0)), 0.5, 1e-12);
+  EXPECT_NEAR(decay.value_at(years(14.0)), 0.25, 1e-12);
+}
+
+TEST(HalfLife, StorageFractionIsLinear) {
+  EXPECT_NEAR(storage_fraction(years(10.0), years(2.5)), 0.25, 1e-12);
+  EXPECT_THROW((void)storage_fraction(years(10.0), years(11.0)),
+               std::invalid_argument);
+}
+
+TEST(HalfLife, RetainedValueExceedsStorageShare) {
+  // Keeping the newest window keeps the most valuable data: value share
+  // must strictly exceed storage share for any partial window.
+  DataHalfLife decay;
+  decay.half_life = years(7.0);
+  for (double w = 1.0; w < 10.0; w += 1.0) {
+    const double value = retained_value_fraction(years(10.0), years(w), decay);
+    const double storage = storage_fraction(years(10.0), years(w));
+    EXPECT_GT(value, storage) << w;
+    EXPECT_LE(value, 1.0 + 1e-12);
+  }
+}
+
+TEST(HalfLife, FullWindowRetainsEverything) {
+  DataHalfLife decay;
+  EXPECT_NEAR(retained_value_fraction(years(10.0), years(10.0), decay), 1.0,
+              1e-12);
+  EXPECT_NEAR(retained_value_fraction(years(10.0), years(0.0), decay), 0.0,
+              1e-12);
+}
+
+TEST(HalfLife, WindowForValueInvertsRetention) {
+  DataHalfLife decay;
+  decay.half_life = years(3.0);
+  const Duration w = window_for_value(0.8, years(10.0), decay);
+  const double achieved = retained_value_fraction(years(10.0), w, decay);
+  EXPECT_GE(achieved, 0.8 - 1e-6);
+  // The found window must be close to minimal: slightly smaller fails.
+  const double slightly_less =
+      retained_value_fraction(years(10.0), w - days(30.0), decay);
+  EXPECT_LT(slightly_less, 0.8);
+}
+
+TEST(HalfLife, ShorterHalfLifeAllowsSmallerWindow) {
+  // Fast-decaying data needs less history for the same value share: the
+  // sampling-by-half-life strategy of Section IV-A.
+  DataHalfLife fast;
+  fast.half_life = years(1.0);
+  DataHalfLife slow;
+  slow.half_life = years(20.0);
+  const Duration wf = window_for_value(0.9, years(10.0), fast);
+  const Duration ws = window_for_value(0.9, years(10.0), slow);
+  EXPECT_LT(to_years(wf), to_years(ws));
+}
+
+TEST(KendallTau, PerfectAndInverted) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<double> c = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(kendall_tau(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(kendall_tau(a, c), -1.0, 1e-12);
+}
+
+TEST(KendallTau, PartialAgreement) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 3.0, 2.0};
+  EXPECT_NEAR(kendall_tau(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)kendall_tau(a, {1.0}), std::invalid_argument);
+}
+
+TEST(SamplingStudy, TenPercentSampleGives5p8xSpeedup) {
+  // Appendix A / Section IV-A: 10% sample -> 5.8x execution speedup.
+  const SamplingStudy study(SamplingStudy::Config{});
+  const auto outcome = study.evaluate(0.10);
+  EXPECT_NEAR(outcome.speedup, 5.8, 0.1);
+}
+
+TEST(SamplingStudy, TenPercentSamplePreservesRanking) {
+  // "... can effectively preserve the relative ranking performance".
+  const SamplingStudy study(SamplingStudy::Config{});
+  const auto outcome = study.evaluate(0.10);
+  EXPECT_GT(outcome.mean_kendall_tau, 0.85);
+  EXPECT_GT(outcome.top1_agreement, 0.80);
+}
+
+TEST(SamplingStudy, RankingDegradesGracefullyWithSmallerSamples) {
+  const SamplingStudy study(SamplingStudy::Config{});
+  const auto sweep = study.sweep({1.0, 0.5, 0.1, 0.01, 0.001});
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i - 1].mean_kendall_tau, sweep[i].mean_kendall_tau - 0.02);
+    EXPECT_LT(sweep[i - 1].speedup, sweep[i].speedup);
+  }
+  // Full data is essentially perfect.
+  EXPECT_GT(sweep[0].mean_kendall_tau, 0.97);
+  // Extremely small samples lose the ranking.
+  EXPECT_LT(sweep.back().mean_kendall_tau, 0.8);
+}
+
+TEST(SamplingStudy, RejectsInvalidFraction) {
+  const SamplingStudy study(SamplingStudy::Config{});
+  EXPECT_THROW((void)study.evaluate(0.0), std::invalid_argument);
+  EXPECT_THROW((void)study.evaluate(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::scaling

@@ -1,0 +1,233 @@
+#include "optim/quantization.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace sustainai::optim {
+namespace {
+
+TEST(HalfConversion, ExactValues) {
+  EXPECT_EQ(float_to_half(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_half(1.0f), 0x3c00);
+  EXPECT_EQ(float_to_half(-1.0f), 0xbc00);
+  EXPECT_EQ(float_to_half(2.0f), 0x4000);
+  EXPECT_EQ(float_to_half(0.5f), 0x3800);
+  EXPECT_EQ(float_to_half(65504.0f), 0x7bff);  // max finite half
+}
+
+TEST(HalfConversion, OverflowGoesToInfinity) {
+  EXPECT_EQ(float_to_half(70000.0f), 0x7c00);
+  EXPECT_EQ(float_to_half(-70000.0f), 0xfc00);
+  EXPECT_EQ(float_to_half(std::numeric_limits<float>::infinity()), 0x7c00);
+}
+
+TEST(HalfConversion, NanIsPreserved) {
+  const std::uint16_t h = float_to_half(std::nanf(""));
+  EXPECT_EQ(h & 0x7c00, 0x7c00);
+  EXPECT_NE(h & 0x03ff, 0);
+  EXPECT_TRUE(std::isnan(half_to_float(h)));
+}
+
+TEST(HalfConversion, SubnormalsRepresented) {
+  // Smallest positive half subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(float_to_half(tiny), 0x0001);
+  EXPECT_FLOAT_EQ(half_to_float(0x0001), tiny);
+  // Underflow to zero below half the smallest subnormal.
+  EXPECT_EQ(float_to_half(std::ldexp(1.0f, -26)), 0x0000);
+}
+
+TEST(HalfConversion, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // ties round to even mantissa (1.0 -> 0x3c00).
+  EXPECT_EQ(float_to_half(1.0f + std::ldexp(1.0f, -11)), 0x3c00);
+  // (1 + 2^-10) + 2^-11 ties to the even neighbor above: 1 + 2^-9.
+  EXPECT_EQ(float_to_half(1.0f + std::ldexp(1.0f, -10) + std::ldexp(1.0f, -11)),
+            0x3c02);
+  // Anything above the tie rounds up.
+  EXPECT_EQ(float_to_half(1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -16)),
+            0x3c01);
+}
+
+TEST(HalfConversion, RoundTripAllFiniteHalves) {
+  // Every finite half value must round-trip exactly through float.
+  for (std::uint32_t h = 0; h < 0x10000; ++h) {
+    const auto half = static_cast<std::uint16_t>(h);
+    if ((half & 0x7c00) == 0x7c00) {
+      continue;  // inf/NaN handled elsewhere
+    }
+    const float f = half_to_float(half);
+    EXPECT_EQ(float_to_half(f), half) << "half bits 0x" << std::hex << h;
+  }
+}
+
+TEST(HalfConversion, RelativeErrorBounded) {
+  // For normal-range values, fp16 relative error <= 2^-11.
+  for (float v : {0.001f, 0.1f, 0.7f, 3.14159f, 123.456f, 6000.0f}) {
+    const float back = half_to_float(float_to_half(v));
+    EXPECT_LE(std::fabs(back - v) / v, std::ldexp(1.0f, -11) + 1e-7) << v;
+  }
+}
+
+TEST(Bfloat16, ExactAndRounded) {
+  EXPECT_EQ(float_to_bfloat16(1.0f), 0x3f80);
+  EXPECT_FLOAT_EQ(bfloat16_to_float(0x3f80), 1.0f);
+  // bf16 keeps float's exponent range: no overflow at 70000.
+  const float big = 70000.0f;
+  const float back = bfloat16_to_float(float_to_bfloat16(big));
+  EXPECT_NEAR(back, big, big * (1.0f / 128.0f));
+  // NaN preserved.
+  EXPECT_TRUE(std::isnan(bfloat16_to_float(float_to_bfloat16(std::nanf("")))));
+}
+
+TEST(Bfloat16, RelativeErrorBounded) {
+  for (float v : {0.001f, 0.7f, 3.14159f, 1e20f, 1e-20f}) {
+    const float back = bfloat16_to_float(float_to_bfloat16(v));
+    EXPECT_LE(std::fabs(back - v) / v, 1.0f / 256.0f + 1e-7) << v;
+  }
+}
+
+TEST(EmbeddingTable, ShapeAndAccess) {
+  EmbeddingTable t(4, 8);
+  t.at(2, 3) = 1.5f;
+  EXPECT_FLOAT_EQ(t.at(2, 3), 1.5f);
+  EXPECT_EQ(t.row(2).size(), 8u);
+  EXPECT_FLOAT_EQ(t.row(2)[3], 1.5f);
+  EXPECT_NEAR(to_bytes(t.size_bytes()), 4.0 * 8.0 * 4.0, 1e-12);
+}
+
+TEST(EmbeddingTable, RandomInitializationScale) {
+  datagen::Rng rng(5);
+  const EmbeddingTable t = EmbeddingTable::random(1000, 64, rng);
+  double sum_sq = 0.0;
+  for (int r = 0; r < t.rows(); ++r) {
+    for (int d = 0; d < t.dim(); ++d) {
+      sum_sq += t.at(r, d) * t.at(r, d);
+    }
+  }
+  const double rms = std::sqrt(sum_sq / (1000.0 * 64.0));
+  EXPECT_NEAR(rms, 1.0 / 8.0, 0.005);  // 1/sqrt(64)
+}
+
+class TableQuantizationTest : public ::testing::TestWithParam<NumericFormat> {};
+
+TEST_P(TableQuantizationTest, SizeMatchesFormat) {
+  datagen::Rng rng(9);
+  const EmbeddingTable t = EmbeddingTable::random(100, 32, rng);
+  const QuantizedTable q = quantize(t, GetParam());
+  double expected = 100.0 * 32.0 * static_cast<double>(bytes_per_element(GetParam()));
+  if (GetParam() == NumericFormat::kInt8RowWise) {
+    expected += 100.0 * 4.0;  // per-row scales
+  }
+  EXPECT_NEAR(to_bytes(q.size_bytes()), expected, 1e-9);
+}
+
+TEST_P(TableQuantizationTest, ErrorWithinFormatBound) {
+  datagen::Rng rng(9);
+  const EmbeddingTable t = EmbeddingTable::random(200, 64, rng);
+  const QuantizedTable q = quantize(t, GetParam());
+  const QuantizationError err = measure_error(t, q);
+  // Values ~ N(0, 1/8); bounds scaled to the worst representable case.
+  double bound = 0.0;
+  switch (GetParam()) {
+    case NumericFormat::kFp32:
+      bound = 0.0;
+      break;
+    case NumericFormat::kFp16:
+      bound = 1.0 * std::ldexp(1.0, -11);
+      break;
+    case NumericFormat::kBf16:
+      bound = 1.0 / 128.0;
+      break;
+    case NumericFormat::kInt8RowWise:
+      bound = 1.0 / 127.0;  // half an LSB of the row max-abs scale
+      break;
+  }
+  EXPECT_LE(err.max_abs, bound + 1e-12);
+  EXPECT_LE(err.mean_abs, err.max_abs);
+  EXPECT_LE(err.rms, err.max_abs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, TableQuantizationTest,
+                         ::testing::Values(NumericFormat::kFp32,
+                                           NumericFormat::kFp16,
+                                           NumericFormat::kBf16,
+                                           NumericFormat::kInt8RowWise));
+
+TEST(TableQuantization, Fp16HalvesPayload) {
+  datagen::Rng rng(9);
+  const EmbeddingTable t = EmbeddingTable::random(64, 16, rng);
+  const QuantizedTable q = quantize(t, NumericFormat::kFp16);
+  EXPECT_NEAR(to_bytes(q.size_bytes()) / to_bytes(t.size_bytes()), 0.5, 1e-12);
+}
+
+TEST(TableQuantization, Int8ErrorSmallerThanNaiveScaling) {
+  // Row-wise scales adapt to each row's range: rows with small values get
+  // proportionally small error.
+  datagen::Rng rng(21);
+  EmbeddingTable t(2, 64);
+  for (int d = 0; d < 64; ++d) {
+    t.at(0, d) = static_cast<float>(rng.normal(0.0, 1.0));
+    t.at(1, d) = static_cast<float>(rng.normal(0.0, 0.001));
+  }
+  const QuantizedTable q = quantize(t, NumericFormat::kInt8RowWise);
+  double row1_max_err = 0.0;
+  for (int d = 0; d < 64; ++d) {
+    row1_max_err = std::max(
+        row1_max_err, std::fabs(static_cast<double>(t.at(1, d)) - q.dequantize(1, d)));
+  }
+  EXPECT_LT(row1_max_err, 0.001 / 50.0);
+}
+
+TEST(RmPlan, PaperSizeAndBandwidthNumbers) {
+  // Section III-B: fp32 -> 16-bit cuts RM2 size by 15% and memory
+  // bandwidth by 20.7%.
+  RmQuantizationPlan plan;
+  plan.quantized_size_fraction = 0.30;
+  plan.quantized_access_fraction = 0.414;
+  EXPECT_NEAR(plan.size_reduction(), 0.15, 1e-9);
+  EXPECT_NEAR(plan.bandwidth_reduction(), 0.207, 1e-9);
+}
+
+TEST(RmPlan, Int8DoublesTheSavings) {
+  RmQuantizationPlan plan;
+  plan.format = NumericFormat::kInt8RowWise;
+  plan.quantized_size_fraction = 0.30;
+  EXPECT_NEAR(plan.size_reduction(), 0.30 * 0.75, 1e-9);
+}
+
+TEST(LatencyModel, QuantizationUnlocksOnChipServing) {
+  // RM1: quantization enables deployment on small-on-chip-memory systems
+  // with a 2.5x end-to-end latency improvement.
+  InferenceLatencyModel model;
+  model.compute_time = seconds(0.4e-3);
+  model.bytes_per_inference = megabytes(8.0);
+  model.offchip_bandwidth = gigabytes_per_second(12.8);
+  model.onchip_bandwidth = gigabytes_per_second(200.0);
+  model.onchip_capacity = megabytes(64.0);
+
+  const DataSize fp32_model = megabytes(100.0);  // does not fit on-chip
+  const DataSize quantized_model = megabytes(55.0);  // fits after fp16
+  const Duration before = model.latency(fp32_model, 1.0);
+  const Duration after = model.latency(quantized_model, 0.5);
+  EXPECT_NEAR(before / after, 2.5, 0.3);
+}
+
+TEST(LatencyModel, SmallerTrafficNeverSlower) {
+  InferenceLatencyModel model;
+  const Duration full = model.latency(megabytes(100.0), 1.0);
+  const Duration half = model.latency(megabytes(100.0), 0.5);
+  EXPECT_LE(to_seconds(half), to_seconds(full));
+}
+
+TEST(FormatNames, Stable) {
+  EXPECT_STREQ(to_string(NumericFormat::kFp16), "fp16");
+  EXPECT_STREQ(to_string(NumericFormat::kInt8RowWise), "int8-rowwise");
+  EXPECT_EQ(bytes_per_element(NumericFormat::kBf16), 2u);
+}
+
+}  // namespace
+}  // namespace sustainai::optim

@@ -1,0 +1,177 @@
+#include "recsys/dlrm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sustainai::recsys {
+namespace {
+
+TEST(Mlp, DenseLayerComputesAffineRelu) {
+  DenseLayer layer(2, 2, /*relu=*/true);
+  layer.weight(0, 0) = 1.0f;
+  layer.weight(0, 1) = 2.0f;
+  layer.weight(1, 0) = -1.0f;
+  layer.weight(1, 1) = 0.0f;
+  layer.bias(0) = 0.5f;
+  layer.bias(1) = 0.0f;
+  const std::vector<float> in = {1.0f, 2.0f};
+  std::vector<float> out(2);
+  layer.forward(in, out);
+  EXPECT_FLOAT_EQ(out[0], 1.0f + 4.0f + 0.5f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);  // -1 clamped by ReLU
+}
+
+TEST(Mlp, ShapesAndParameterCount) {
+  datagen::Rng rng(1);
+  const Mlp mlp({13, 64, 32, 1}, rng);
+  EXPECT_EQ(mlp.in_features(), 13);
+  EXPECT_EQ(mlp.out_features(), 1);
+  EXPECT_EQ(mlp.parameter_count(),
+            (13u * 64 + 64) + (64u * 32 + 32) + (32u * 1 + 1));
+  const std::vector<float> in(13, 0.5f);
+  const auto out = mlp.forward(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(std::isfinite(out[0]));
+}
+
+TEST(Mlp, ForwardIsDeterministic) {
+  datagen::Rng rng1(7);
+  datagen::Rng rng2(7);
+  const Mlp a({8, 16, 4}, rng1);
+  const Mlp b({8, 16, 4}, rng2);
+  const std::vector<float> in = {1, -1, 2, -2, 0.5f, 0, 3, -0.5f};
+  EXPECT_EQ(a.forward(in), b.forward(in));
+}
+
+TEST(Mlp, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(sigmoid(0.0f), 0.5f, 1e-7);
+  EXPECT_NEAR(sigmoid(100.0f), 1.0f, 1e-7);
+  EXPECT_NEAR(sigmoid(-100.0f), 0.0f, 1e-7);
+  EXPECT_NEAR(sigmoid(2.0f) + sigmoid(-2.0f), 1.0f, 1e-6);
+}
+
+DlrmConfig small_config() {
+  DlrmConfig cfg;
+  cfg.dense_features = 8;
+  cfg.table_rows = {5000, 2000, 1000};
+  cfg.embedding_dim = 16;
+  cfg.bottom_hidden = {32};
+  cfg.top_hidden = {32};
+  cfg.indices_per_table = 3;
+  return cfg;
+}
+
+TEST(Dlrm, ForwardProducesProbability) {
+  const DlrmModel model(small_config());
+  datagen::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const DlrmSample sample = model.random_sample(rng);
+    const float p = model.forward(sample);
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+}
+
+TEST(Dlrm, ForwardIsDeterministic) {
+  const DlrmModel a(small_config());
+  const DlrmModel b(small_config());
+  datagen::Rng rng(3);
+  const DlrmSample sample = a.random_sample(rng);
+  EXPECT_FLOAT_EQ(a.forward(sample), b.forward(sample));
+}
+
+TEST(Dlrm, SparseFeaturesActuallyMatter) {
+  const DlrmModel model(small_config());
+  datagen::Rng rng(4);
+  DlrmSample sample = model.random_sample(rng);
+  const float p1 = model.forward(sample);
+  sample.sparse[0][0] = (sample.sparse[0][0] + 1) % 5000;
+  const float p2 = model.forward(sample);
+  EXPECT_NE(p1, p2);
+}
+
+TEST(Dlrm, QuantizedForwardTracksFp32) {
+  const DlrmModel model(small_config());
+  datagen::Rng rng(5);
+  double max_diff_fp16 = 0.0;
+  double max_diff_int8 = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const DlrmSample sample = model.random_sample(rng);
+    const float ref = model.forward(sample);
+    max_diff_fp16 = std::max(
+        max_diff_fp16,
+        std::fabs(static_cast<double>(ref) -
+                  model.forward_quantized(sample, optim::NumericFormat::kFp16)));
+    max_diff_int8 = std::max(
+        max_diff_int8,
+        std::fabs(static_cast<double>(ref) -
+                  model.forward_quantized(sample,
+                                          optim::NumericFormat::kInt8RowWise)));
+  }
+  // fp16 embeddings barely move the output; int8 moves it a little more.
+  EXPECT_LT(max_diff_fp16, 5e-3);
+  EXPECT_LT(max_diff_int8, 5e-2);
+  EXPECT_GT(max_diff_int8, max_diff_fp16);
+}
+
+TEST(Dlrm, Fp32PathThroughQuantizedApiIsExact) {
+  const DlrmModel model(small_config());
+  datagen::Rng rng(6);
+  const DlrmSample sample = model.random_sample(rng);
+  EXPECT_FLOAT_EQ(model.forward(sample),
+                  model.forward_quantized(sample, optim::NumericFormat::kFp32));
+}
+
+TEST(Dlrm, EmbeddingsDominateModelSize) {
+  // Section III-B: embeddings "can easily contribute to over 95% of the
+  // total model size" — holds for a production-shaped config.
+  DlrmConfig cfg;
+  cfg.dense_features = 13;
+  cfg.table_rows = {200000, 100000, 50000, 50000, 25000};
+  cfg.embedding_dim = 64;
+  const DlrmModel model(cfg);
+  EXPECT_GT(model.embedding_fraction(), 0.95);
+}
+
+TEST(Dlrm, SizeAccountingIsConsistent) {
+  const DlrmModel model(small_config());
+  EXPECT_NEAR(to_bytes(model.model_bytes()),
+              to_bytes(model.embedding_bytes()) + to_bytes(model.mlp_bytes()),
+              1e-9);
+  // 3 tables x (5000+2000+1000) rows x 16 dims x 4 B.
+  EXPECT_NEAR(to_bytes(model.embedding_bytes()), 8000.0 * 16.0 * 4.0, 1e-9);
+}
+
+TEST(Dlrm, BytesPerInferenceShrinkWithPrecision) {
+  const DlrmModel model(small_config());
+  const double fp32 =
+      to_bytes(model.embedding_bytes_per_inference(optim::NumericFormat::kFp32));
+  const double fp16 =
+      to_bytes(model.embedding_bytes_per_inference(optim::NumericFormat::kFp16));
+  const double int8 = to_bytes(
+      model.embedding_bytes_per_inference(optim::NumericFormat::kInt8RowWise));
+  // 3 tables x 3 lookups x 16 dims x element bytes (+ scale for int8).
+  EXPECT_NEAR(fp32, 9.0 * 16.0 * 4.0, 1e-9);
+  EXPECT_NEAR(fp16, fp32 / 2.0, 1e-9);
+  EXPECT_NEAR(int8, 9.0 * (16.0 + 4.0), 1e-9);
+  EXPECT_LT(int8, fp16);
+}
+
+TEST(Dlrm, RejectsMalformedInput) {
+  const DlrmModel model(small_config());
+  DlrmSample bad;
+  bad.dense.assign(8, 0.0f);
+  bad.sparse.resize(2);  // one table list missing
+  EXPECT_THROW((void)model.forward(bad), std::invalid_argument);
+  datagen::Rng rng(9);
+  DlrmSample oob = model.random_sample(rng);
+  oob.sparse[0][0] = 999999;
+  EXPECT_THROW((void)model.forward(oob), std::invalid_argument);
+  DlrmConfig empty;
+  empty.table_rows.clear();
+  EXPECT_THROW((void)DlrmModel{empty}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::recsys

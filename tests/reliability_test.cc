@@ -1,0 +1,102 @@
+#include "mlcycle/reliability.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::mlcycle {
+namespace {
+
+TEST(Aging, HazardGrowsExponentially) {
+  AgingModel aging;
+  aging.base_sdc_rate_per_year = 0.02;
+  aging.wearout_growth_per_year = 0.8;
+  EXPECT_NEAR(aging.sdc_rate_at(years(0.0)), 0.02, 1e-12);
+  EXPECT_NEAR(aging.sdc_rate_at(years(1.0)), 0.02 * std::exp(0.8), 1e-12);
+  EXPECT_GT(aging.sdc_rate_at(years(8.0)), aging.sdc_rate_at(years(4.0)) * 10.0);
+}
+
+TEST(Aging, ExpectedEventsIntegralMatchesClosedForm) {
+  AgingModel aging;
+  aging.base_sdc_rate_per_year = 0.05;
+  aging.wearout_growth_per_year = 0.5;
+  // Numerical integration cross-check.
+  double numeric = 0.0;
+  const double dt = 1.0 / 365.0;
+  for (double t = 0.0; t < 6.0; t += dt) {
+    numeric += aging.sdc_rate_at(years(t + dt / 2.0)) * dt;
+  }
+  EXPECT_NEAR(aging.expected_sdc_events(years(6.0)), numeric, 0.01);
+}
+
+TEST(Aging, ZeroWearoutIsConstantRate) {
+  AgingModel aging;
+  aging.base_sdc_rate_per_year = 0.1;
+  aging.wearout_growth_per_year = 0.0;
+  EXPECT_NEAR(aging.expected_sdc_events(years(5.0)), 0.5, 1e-12);
+}
+
+ReplacementPolicyConfig default_policy() {
+  ReplacementPolicyConfig cfg;
+  cfg.aging.base_sdc_rate_per_year = 0.02;
+  cfg.aging.wearout_growth_per_year = 0.8;
+  cfg.embodied = kg_co2e(5600.0);
+  cfg.carbon_per_sdc_event = kg_co2e(300.0);
+  return cfg;
+}
+
+TEST(Replacement, AnnualizedCarbonHasInteriorMinimum) {
+  const ReplacementPolicyConfig cfg = default_policy();
+  const Duration best = optimal_replacement_age(cfg);
+  const double best_g = to_grams_co2e(annualized_carbon(cfg, best));
+  // Strictly better than replacing yearly (embodied-dominated) and than
+  // never replacing within 12 years (SDC-dominated).
+  EXPECT_LT(best_g, to_grams_co2e(annualized_carbon(cfg, years(1.0))));
+  EXPECT_LT(best_g, to_grams_co2e(annualized_carbon(cfg, years(12.0))));
+  EXPECT_GT(to_years(best), 1.5);
+  EXPECT_LT(to_years(best), 10.0);
+}
+
+TEST(Replacement, HigherEmbodiedJustifiesLongerLife) {
+  ReplacementPolicyConfig light = default_policy();
+  light.embodied = kg_co2e(1000.0);
+  ReplacementPolicyConfig heavy = default_policy();
+  heavy.embodied = kg_co2e(20000.0);
+  EXPECT_GT(to_years(optimal_replacement_age(heavy)),
+            to_years(optimal_replacement_age(light)));
+}
+
+TEST(Replacement, FasterWearoutShortensLife) {
+  ReplacementPolicyConfig slow = default_policy();
+  slow.aging.wearout_growth_per_year = 0.4;
+  ReplacementPolicyConfig fast = default_policy();
+  fast.aging.wearout_growth_per_year = 1.4;
+  EXPECT_LT(to_years(optimal_replacement_age(fast)),
+            to_years(optimal_replacement_age(slow)));
+}
+
+TEST(Replacement, DetectionExtendsOptimalLifetime) {
+  // Appendix B: algorithmic fault tolerance lets hardware live longer,
+  // amortizing embodied carbon over more years.
+  const ReplacementPolicyConfig cfg = default_policy();
+  const Duration base = optimal_replacement_age(cfg);
+  const Duration with_detection = optimal_age_with_detection(cfg, 0.9);
+  EXPECT_GT(to_years(with_detection), to_years(base));
+  // And the annualized carbon at the new optimum is lower.
+  ReplacementPolicyConfig covered = cfg;
+  covered.carbon_per_sdc_event = cfg.carbon_per_sdc_event * 0.1;
+  EXPECT_LT(to_grams_co2e(annualized_carbon(covered, with_detection)),
+            to_grams_co2e(annualized_carbon(cfg, base)));
+}
+
+TEST(Replacement, RejectsInvalidArguments) {
+  const ReplacementPolicyConfig cfg = default_policy();
+  EXPECT_THROW((void)annualized_carbon(cfg, seconds(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)optimal_replacement_age(cfg, years(5.0), years(1.0)),
+      std::invalid_argument);
+  EXPECT_THROW((void)optimal_age_with_detection(cfg, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::mlcycle

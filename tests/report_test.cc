@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "report/ascii_chart.h"
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace sustainai::report {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"model", "tCO2e"});
+  t.add_row({"GPT-3", "552.1"});
+  t.add_row({"Meena", "96.4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| model |"), std::string::npos);
+  EXPECT_NE(s.find("GPT-3"), std::string::npos);
+  EXPECT_NE(s.find("|-------|"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, AddRowValuesFormats) {
+  Table t({"label", "a", "b"});
+  t.add_row_values("x", {1.23456, 1000000.0});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("1e+06"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW((void)t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW((void)Table({}), std::invalid_argument);
+}
+
+TEST(Formatters, PercentAndFactor) {
+  EXPECT_EQ(fmt_percent(0.285), "28.5%");
+  EXPECT_EQ(fmt_factor(812.08), "812x");
+  EXPECT_EQ(fmt(3.14159), "3.142");
+}
+
+TEST(BarChart, ScalesToMax) {
+  const std::string chart =
+      bar_chart({"a", "bb"}, {1.0, 2.0}, 10);
+  // The max bar is exactly `width` hashes.
+  EXPECT_NE(chart.find("##########"), std::string::npos);
+  EXPECT_NE(chart.find("#####"), std::string::npos);
+  EXPECT_NE(chart.find("bb"), std::string::npos);
+}
+
+TEST(BarChart, HandlesAllZeros) {
+  const std::string chart = bar_chart({"a"}, {0.0});
+  EXPECT_NE(chart.find("a"), std::string::npos);
+}
+
+TEST(BarChart, RejectsBadInput) {
+  EXPECT_THROW((void)bar_chart({"a"}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)bar_chart({"a"}, {-1.0}), std::invalid_argument);
+}
+
+TEST(Sparkline, MapsRangeToLevels) {
+  const std::string line = sparkline({0.0, 1.0, 0.5});
+  EXPECT_EQ(line.size(), 3u);
+  EXPECT_EQ(line[0], ' ');
+  EXPECT_EQ(line[1], '#');
+  EXPECT_TRUE(sparkline({}).empty());
+  // Constant series stays at the lowest level.
+  EXPECT_EQ(sparkline({2.0, 2.0}), "  ");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"name", "note"});
+  csv.add_row({"a,b", "say \"hi\"\nline2"});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\""), std::string::npos);
+}
+
+TEST(Csv, WritesValuesAndFile) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row_values({1.5, 2.5});
+  const std::string path = "/tmp/sustainai_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "x,y");
+  EXPECT_EQ(row, "1.5,2.5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  CsvWriter csv({"a"});
+  EXPECT_THROW((void)csv.add_row({"1", "2"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::report

@@ -1,0 +1,127 @@
+#include "scaling/scaling_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scaling/power_law.h"
+
+namespace sustainai::scaling {
+namespace {
+
+TEST(PowerLaw, FitRecoversParameters) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 1.0; v <= 100.0; v *= 1.7) {
+    x.push_back(v);
+    y.push_back(2.5 * std::pow(v, -0.3));
+  }
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.a, 2.5, 1e-9);
+  EXPECT_NEAR(fit.b, -0.3, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.at(10.0), 2.5 * std::pow(10.0, -0.3), 1e-9);
+}
+
+TEST(PowerLaw, RejectsNonPositive) {
+  EXPECT_THROW((void)fit_power_law({1.0, 2.0}, {1.0, -2.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_power_law({1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(LogLinearQuality, Gpt3BleuTrend) {
+  // Figure 2a: BLEU 5 -> 40 over a 1000x model-size increase.
+  LogLinearQuality bleu;
+  bleu.base_quality = 5.0;
+  bleu.gain_per_decade = 35.0 / 3.0;
+  EXPECT_NEAR(bleu.at_scale(1.0), 5.0, 1e-12);
+  EXPECT_NEAR(bleu.at_scale(1000.0), 40.0, 1e-9);
+  EXPECT_NEAR(bleu.scale_for(40.0), 1000.0, 1e-6);
+}
+
+TEST(RecsysLaw, EntropyDecreasesWithScale) {
+  const RecsysScalingLaw law{};
+  EXPECT_GT(law.normalized_entropy(1.0, 1.0), law.normalized_entropy(2.0, 1.0));
+  EXPECT_GT(law.normalized_entropy(1.0, 1.0), law.normalized_entropy(1.0, 2.0));
+  EXPECT_GT(law.normalized_entropy(2.0, 2.0), law.normalized_entropy(8.0, 16.0));
+}
+
+TEST(RecsysLaw, EnergyPerStepSubLinearInModel) {
+  const RecsysScalingLaw law{};
+  EXPECT_NEAR(law.energy_per_step(1.0), 1.0, 1e-12);
+  EXPECT_LT(law.energy_per_step(16.0), 16.0);
+  EXPECT_NEAR(law.energy_per_step(8.0), 4.0, 1e-9);  // 8^(2/3)
+}
+
+TEST(RecsysLaw, YellowVsGreenStarEnergyGapIsFourX) {
+  // Appendix A: yellow (2x, 2x) vs green (8x, 16x): "roughly 4x lower
+  // energy" per training step.
+  const RecsysScalingLaw law{};
+  const double ratio = law.energy_per_step(16.0) / law.energy_per_step(2.0);
+  EXPECT_NEAR(ratio, 4.0, 1e-9);
+}
+
+TEST(RecsysLaw, YellowVsGreenStarQualityGapNear0004) {
+  // "with only 0.004 model quality degradation in Normalized Entropy".
+  const RecsysScalingLaw law{};
+  const double gap =
+      law.normalized_entropy(2.0, 2.0) - law.normalized_entropy(8.0, 16.0);
+  EXPECT_GT(gap, 0.003);
+  EXPECT_LT(gap, 0.006);
+}
+
+TEST(ScalingGrid, ContainsFullCartesianProduct) {
+  const ScalingGrid grid = figure12_grid();
+  EXPECT_EQ(grid.points().size(), 25u);
+  EXPECT_NO_THROW((void)grid.at(8.0, 16.0));
+  EXPECT_THROW((void)grid.at(3.0, 3.0), std::invalid_argument);
+}
+
+TEST(ScalingGrid, ParetoFrontierIsMonotone) {
+  const ScalingGrid grid = figure12_grid();
+  const auto frontier = grid.pareto_frontier();
+  ASSERT_GE(frontier.size(), 3u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].total_energy, frontier[i - 1].total_energy);
+    EXPECT_LT(frontier[i].normalized_entropy, frontier[i - 1].normalized_entropy);
+  }
+}
+
+TEST(ScalingGrid, TandemScalingDominatesSingleAxisScaling) {
+  // Scaling both axes reaches a lower NE than spending the same energy on
+  // one axis alone (the dashed-black energy-optimal trend of Figure 12).
+  const RecsysScalingLaw law{};
+  const double tandem_ne = law.normalized_entropy(4.0, 4.0);
+  const double tandem_e = law.total_energy(4.0, 4.0);
+  // Same-or-more energy spent purely on data (model fixed at 1).
+  const double data_only_ne = law.normalized_entropy(tandem_e, 1.0);
+  EXPECT_LT(tandem_ne, data_only_ne);
+}
+
+TEST(ScalingGrid, FrontierPowerExponentIsTinyAndNegative) {
+  // "the power of the power law is extremely small (0.002-0.004)".
+  const ScalingGrid grid = figure12_grid();
+  const double b = grid.frontier_power_exponent();
+  EXPECT_LT(b, 0.0);
+  EXPECT_GT(b, -0.02);
+  EXPECT_LT(std::fabs(b), 0.01);
+}
+
+TEST(ScalingGrid, PointFieldsAreConsistentWithLaw) {
+  const ScalingGrid grid = figure12_grid();
+  for (const GridPoint& p : grid.points()) {
+    EXPECT_NEAR(p.total_energy,
+                p.data_factor * grid.law().energy_per_step(p.model_factor),
+                1e-12);
+    EXPECT_NEAR(p.normalized_entropy,
+                grid.law().normalized_entropy(p.data_factor, p.model_factor),
+                1e-12);
+  }
+}
+
+TEST(ScalingGrid, RejectsEmptyFactorLists) {
+  EXPECT_THROW((void)ScalingGrid(RecsysScalingLaw{}, {}, {1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::scaling

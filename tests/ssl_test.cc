@@ -1,0 +1,75 @@
+#include "scaling/ssl.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::scaling {
+namespace {
+
+TEST(Ssl, AppendixCNumbers) {
+  const auto regimes = appendix_c_regimes();
+  ASSERT_EQ(regimes.size(), 3u);
+  EXPECT_EQ(regimes[0].name, "supervised");
+  EXPECT_NEAR(regimes[0].top1_accuracy, 76.1, 1e-12);
+  EXPECT_NEAR(regimes[0].single_task_epochs(), 90.0, 1e-12);
+  EXPECT_EQ(regimes[1].name, "simclr-ssl");
+  EXPECT_NEAR(regimes[1].single_task_epochs(), 1060.0, 1e-12);
+  EXPECT_NEAR(regimes[1].top1_accuracy, 69.3, 1e-12);
+  EXPECT_EQ(regimes[2].name, "paws-semi");
+  EXPECT_NEAR(regimes[2].single_task_epochs(), 200.0, 1e-12);
+  EXPECT_NEAR(regimes[2].label_fraction, 0.1, 1e-12);
+}
+
+TEST(Ssl, SupervisedIsRoughlyTenXCheaperThanSsl) {
+  // "using labels and supervised training is worth a roughly 10x reduction
+  // in training effort".
+  const auto regimes = appendix_c_regimes();
+  const double ratio =
+      regimes[1].pretrain_epochs / regimes[0].single_task_epochs();
+  EXPECT_NEAR(ratio, 1000.0 / 90.0, 1e-9);
+  EXPECT_GT(ratio, 10.0);
+}
+
+TEST(Ssl, PawsBridgesTheGap) {
+  // PAWS: 10% labels, 200 epochs, within 0.6 points of supervised.
+  const auto regimes = appendix_c_regimes();
+  EXPECT_LT(regimes[0].top1_accuracy - regimes[2].top1_accuracy, 1.0);
+  EXPECT_LT(regimes[2].single_task_epochs(),
+            regimes[1].single_task_epochs() / 4.0);
+}
+
+TEST(Ssl, EpochsPerPointOrdersRegimes) {
+  const auto regimes = appendix_c_regimes();
+  EXPECT_LT(regimes[0].epochs_per_point(), regimes[2].epochs_per_point());
+  EXPECT_LT(regimes[2].epochs_per_point(), regimes[1].epochs_per_point());
+}
+
+TEST(Ssl, AmortizationShrinksPerTaskCost) {
+  const PretrainRegime foundation{"foundation", 1000.0, 10.0, 75.0, 0.0};
+  EXPECT_NEAR(amortized_epochs_per_task(foundation, 1), 1010.0, 1e-12);
+  EXPECT_NEAR(amortized_epochs_per_task(foundation, 100), 20.0, 1e-12);
+  EXPECT_GT(amortized_epochs_per_task(foundation, 10),
+            amortized_epochs_per_task(foundation, 100));
+}
+
+TEST(Ssl, BreakevenTaskCount) {
+  const PretrainRegime foundation{"foundation", 1000.0, 10.0, 75.0, 0.0};
+  // vs 90 supervised epochs per task: 1000 / 80 = 12.5 -> 13 tasks.
+  EXPECT_EQ(breakeven_tasks(foundation, 90.0), 13);
+  // Check the breakeven is tight.
+  EXPECT_LE(amortized_epochs_per_task(foundation, 13), 90.0);
+  EXPECT_GT(amortized_epochs_per_task(foundation, 12), 90.0);
+}
+
+TEST(Ssl, NeverBreaksEvenWhenFinetuneTooExpensive) {
+  const PretrainRegime heavy{"heavy", 1000.0, 95.0, 75.0, 0.0};
+  EXPECT_EQ(breakeven_tasks(heavy, 90.0), -1);
+}
+
+TEST(Ssl, RejectsInvalidArguments) {
+  const PretrainRegime r{"x", 10.0, 1.0, 50.0, 1.0};
+  EXPECT_THROW((void)amortized_epochs_per_task(r, 0), std::invalid_argument);
+  EXPECT_THROW((void)breakeven_tasks(r, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::scaling

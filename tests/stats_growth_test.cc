@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "datagen/growth.h"
+#include "datagen/stats.h"
+
+namespace sustainai::datagen {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)percentile(empty, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_THROW((void)percentile(v, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 7.0);
+}
+
+TEST(Histogram, BinsAndFractions) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);
+  h.add(0.15);
+  h.add(0.15);
+  h.add(0.95);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(2.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, MassBetweenSumsCoveredBins) {
+  Histogram h(0.0, 1.0, 10);
+  for (double v : {0.31, 0.35, 0.42, 0.49, 0.71}) {
+    h.add(v);
+  }
+  EXPECT_NEAR(h.mass_between(0.3, 0.5), 0.8, 1e-12);
+}
+
+TEST(Histogram, BinEdgesAndLabels) {
+  Histogram h(0.0, 100.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 25.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 50.0);
+  EXPECT_EQ(h.bin_label(0), "[0, 25)");
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((void)Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Growth, ExponentialSeriesShape) {
+  const auto s = exponential_series(100.0, 2.0, 3);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[0], 100.0);
+  EXPECT_DOUBLE_EQ(s[3], 800.0);
+  EXPECT_DOUBLE_EQ(growth_multiple(s), 8.0);
+}
+
+TEST(Growth, PaperGrowthFactors) {
+  // Fig 2d: 2.9x training capacity over 18 months (3 half-years).
+  const double per_half_year = compound_growth_factor(1.0, 2.9, 3);
+  EXPECT_NEAR(std::pow(per_half_year, 3), 2.9, 1e-9);
+  // Fig 2b: 2.4x data over 2 years -> per-quarter factor.
+  const double per_quarter = compound_growth_factor(1.0, 2.4, 8);
+  EXPECT_NEAR(std::pow(per_quarter, 8), 2.4, 1e-9);
+}
+
+TEST(Growth, CumulativeSums) {
+  const auto c = cumulative({1.0, 2.0, 3.0});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[2], 6.0);
+}
+
+TEST(Growth, LogisticSaturates) {
+  const auto s = logistic_series(100.0, 1.0, 5.0, 20);
+  EXPECT_LT(s.front(), 1.0);
+  EXPECT_GT(s.back(), 99.0);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s[i], s[i - 1]);
+  }
+}
+
+TEST(Growth, FitExponentialRecoversParameters) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * std::exp(0.25 * i));
+  }
+  const ExponentialFit fit = fit_exponential(x, y);
+  EXPECT_NEAR(fit.a, 3.0, 1e-6);
+  EXPECT_NEAR(fit.b, 0.25, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.doubling_time(), std::log(2.0) / 0.25, 1e-9);
+  EXPECT_NEAR(fit.at(4.0), 3.0 * std::exp(1.0), 1e-5);
+}
+
+TEST(Growth, FitExponentialFlatHasInfiniteDoubling) {
+  const ExponentialFit fit =
+      fit_exponential({0.0, 1.0, 2.0}, {5.0, 5.0, 5.0});
+  EXPECT_TRUE(std::isinf(fit.doubling_time()));
+}
+
+TEST(Growth, FitRejectsBadInput) {
+  EXPECT_THROW((void)fit_exponential({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_exponential({1.0, 2.0}, {1.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_exponential({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::datagen

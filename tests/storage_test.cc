@@ -1,0 +1,133 @@
+#include "datacenter/storage.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::datacenter {
+namespace {
+
+StorageSimConfig solar_config() {
+  StorageSimConfig c;
+  c.grid.profile = grids::us_west_solar();
+  c.grid.solar_share = 0.9;  // procured generation is solar-dominated
+  c.grid.wind_share = 0.1;
+  c.grid.firm_share = 0.0;
+  c.grid.seed = 5;
+  c.datacenter_load = megawatts(10.0);
+  c.procurement_ratio = 2.0;
+  c.battery.capacity = megawatt_hours(40.0);
+  c.battery.max_charge = megawatts(20.0);
+  c.battery.max_discharge = megawatts(20.0);
+  c.horizon = days(14.0);
+  return c;
+}
+
+TEST(Storage, EnergyConservation) {
+  const StorageSimResult r = simulate_storage(solar_config());
+  // Load is served by direct renewable + battery + fossil exactly.
+  EXPECT_NEAR(to_megawatt_hours(r.load_energy),
+              to_megawatt_hours(r.renewable_used_direct) +
+                  to_megawatt_hours(r.battery_discharged) +
+                  to_megawatt_hours(r.fossil_energy),
+              to_megawatt_hours(r.load_energy) * 1e-9);
+  // Constant 10 MW for 14 days.
+  EXPECT_NEAR(to_megawatt_hours(r.load_energy), 10.0 * 24.0 * 14.0, 1e-6);
+}
+
+TEST(Storage, CoverageConsistentWithFossilShare) {
+  const StorageSimResult r = simulate_storage(solar_config());
+  EXPECT_NEAR(r.cfe_coverage, 1.0 - r.fossil_energy / r.load_energy, 1e-12);
+  EXPECT_GT(r.cfe_coverage, 0.0);
+  EXPECT_LE(r.cfe_coverage, 1.0);
+}
+
+TEST(Storage, BatteryRaisesCfeCoverage) {
+  const StorageSimConfig cfg = solar_config();
+  const StorageSimResult with = simulate_storage(cfg);
+  const StorageSimResult without = simulate_without_storage(cfg);
+  // Solar-dominated supply with night-time load: the battery must shift a
+  // substantial amount of energy into the night.
+  EXPECT_GT(with.cfe_coverage, without.cfe_coverage + 0.10);
+  EXPECT_GT(to_megawatt_hours(with.battery_discharged), 0.0);
+  EXPECT_DOUBLE_EQ(to_megawatt_hours(without.battery_discharged), 0.0);
+}
+
+TEST(Storage, BatteryReducesGridCarbon) {
+  const StorageSimConfig cfg = solar_config();
+  const StorageSimResult with = simulate_storage(cfg);
+  const StorageSimResult without = simulate_without_storage(cfg);
+  EXPECT_LT(to_tonnes_co2e(with.grid_carbon), to_tonnes_co2e(without.grid_carbon));
+}
+
+TEST(Storage, RoundTripLossesShowUpAsCurtailmentOrFossil) {
+  StorageSimConfig lossy = solar_config();
+  lossy.battery.round_trip_efficiency = 0.5;
+  StorageSimConfig ideal = solar_config();
+  ideal.battery.round_trip_efficiency = 1.0;
+  const StorageSimResult r_lossy = simulate_storage(lossy);
+  const StorageSimResult r_ideal = simulate_storage(ideal);
+  EXPECT_LE(r_lossy.cfe_coverage, r_ideal.cfe_coverage + 1e-12);
+  EXPECT_GE(to_megawatt_hours(r_lossy.fossil_energy),
+            to_megawatt_hours(r_ideal.fossil_energy) - 1e-9);
+}
+
+TEST(Storage, MoreProcurementMeansMoreCurtailmentWithoutBattery) {
+  StorageSimConfig small = solar_config();
+  small.battery.capacity = joules(0.0);
+  small.procurement_ratio = 1.0;
+  StorageSimConfig big = small;
+  big.procurement_ratio = 3.0;
+  const StorageSimResult r_small = simulate_storage(small);
+  const StorageSimResult r_big = simulate_storage(big);
+  EXPECT_GT(to_megawatt_hours(r_big.curtailed),
+            to_megawatt_hours(r_small.curtailed));
+  EXPECT_GE(r_big.cfe_coverage, r_small.cfe_coverage);
+}
+
+TEST(Storage, CoverageMonotoneInBatteryCapacity) {
+  double prev = -1.0;
+  for (double mwh : {0.0, 10.0, 40.0, 160.0}) {
+    StorageSimConfig cfg = solar_config();
+    cfg.battery.capacity = megawatt_hours(mwh);
+    const StorageSimResult r = simulate_storage(cfg);
+    EXPECT_GE(r.cfe_coverage, prev - 1e-9) << mwh;
+    prev = r.cfe_coverage;
+  }
+}
+
+TEST(Storage, EmbodiedAmortizationScalesWithCapacityAndHorizon) {
+  StorageSimConfig cfg = solar_config();
+  const StorageSimResult r = simulate_storage(cfg);
+  // 40 MWh x 75 kg/kWh over 14 of 3652.5 days.
+  const double expected_kg =
+      40000.0 * 75.0 * (14.0 / (10.0 * 365.25));
+  EXPECT_NEAR(to_kg_co2e(r.battery_embodied_amortized), expected_kg,
+              expected_kg * 1e-6);
+  EXPECT_GT(to_grams_co2e(r.total_carbon()), to_grams_co2e(r.grid_carbon));
+}
+
+TEST(Storage, PowerLimitsBindLargeBatteries) {
+  StorageSimConfig slow = solar_config();
+  slow.battery.capacity = megawatt_hours(1000.0);
+  slow.battery.max_charge = megawatts(1.0);  // can barely charge
+  slow.battery.max_discharge = megawatts(1.0);
+  StorageSimConfig fast = slow;
+  fast.battery.max_charge = megawatts(30.0);
+  fast.battery.max_discharge = megawatts(30.0);
+  EXPECT_LT(simulate_storage(slow).cfe_coverage,
+            simulate_storage(fast).cfe_coverage);
+}
+
+TEST(Storage, RejectsInvalidConfig) {
+  StorageSimConfig cfg = solar_config();
+  cfg.datacenter_load = watts(0.0);
+  EXPECT_THROW((void)simulate_storage(cfg), std::invalid_argument);
+  cfg = solar_config();
+  cfg.battery.round_trip_efficiency = 0.0;
+  EXPECT_THROW((void)simulate_storage(cfg), std::invalid_argument);
+  cfg = solar_config();
+  cfg.step = seconds(0.0);
+  EXPECT_THROW((void)simulate_storage(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::datacenter

@@ -1,0 +1,100 @@
+#include "hw/technology.h"
+
+#include <gtest/gtest.h>
+
+namespace sustainai::hw {
+namespace {
+
+TEST(Technology, MemoryIntensityImprovesAcrossGenerations) {
+  EXPECT_GT(to_kg_co2e(memory_embodied_per_gb(MemoryTech::kDdr3)),
+            to_kg_co2e(memory_embodied_per_gb(MemoryTech::kDdr4)));
+  EXPECT_GT(to_kg_co2e(memory_embodied_per_gb(MemoryTech::kDdr4)),
+            to_kg_co2e(memory_embodied_per_gb(MemoryTech::kDdr5)));
+  // HBM pays a stacking premium over contemporary DDR.
+  EXPECT_GT(to_kg_co2e(memory_embodied_per_gb(MemoryTech::kHbm2)),
+            to_kg_co2e(memory_embodied_per_gb(MemoryTech::kDdr5)));
+}
+
+TEST(Technology, StorageSpansOrdersOfMagnitude) {
+  // The paper's "orders-of-magnitude different" claim: DRAM vs HDD per GB.
+  const double dram = to_kg_co2e(memory_embodied_per_gb(MemoryTech::kDdr4));
+  const double hdd = to_kg_co2e(storage_embodied_per_gb(StorageTech::kHdd));
+  EXPECT_GT(dram / hdd, 100.0);
+  // Flash sits between.
+  const double nand = to_kg_co2e(storage_embodied_per_gb(StorageTech::kTlcNand));
+  EXPECT_GT(nand, hdd);
+  EXPECT_LT(nand, dram);
+  // Denser QLC is cheaper per GB than TLC.
+  EXPECT_LT(to_kg_co2e(storage_embodied_per_gb(StorageTech::kQlcNand)), nand);
+}
+
+TEST(Technology, LogicNodesGetDirtierPerArea) {
+  double prev = 0.0;
+  for (LogicNode node :
+       {LogicNode::k28nm, LogicNode::k14nm, LogicNode::k7nm, LogicNode::k5nm}) {
+    const double v = to_kg_co2e(logic_embodied_per_cm2(node));
+    EXPECT_GT(v, prev) << to_string(node);
+    prev = v;
+  }
+}
+
+TEST(Technology, EmbodiedScalesLinearlyWithCapacity) {
+  EXPECT_NEAR(to_kg_co2e(memory_embodied(MemoryTech::kDdr4, gigabytes(256.0))),
+              256.0 * 0.45, 1e-9);
+  EXPECT_NEAR(to_kg_co2e(storage_embodied(StorageTech::kHdd, terabytes(8.0))),
+              8000.0 * 0.004, 1e-9);
+  EXPECT_NEAR(to_kg_co2e(logic_embodied(LogicNode::k7nm, 8.0)), 12.0, 1e-9);
+}
+
+TEST(Technology, Names) {
+  EXPECT_STREQ(to_string(MemoryTech::kHbm2), "hbm2");
+  EXPECT_STREQ(to_string(StorageTech::kQlcNand), "qlc-nand");
+  EXPECT_STREQ(to_string(LogicNode::k5nm), "5nm");
+}
+
+TEST(ServerBom, TotalSumsItems) {
+  ServerBom bom;
+  bom.add_logic("cpu", LogicNode::k14nm, 5.0, 2)
+      .add_memory("ram", MemoryTech::kDdr4, gigabytes(128.0))
+      .add_storage("ssd", StorageTech::kTlcNand, terabytes(2.0))
+      .add_fixed("chassis", kg_co2e(500.0));
+  ASSERT_EQ(bom.items().size(), 4u);
+  const double expected =
+      2 * 5.0 * 1.0 + 128.0 * 0.45 + 2000.0 * 0.10 + 500.0;
+  EXPECT_NEAR(to_kg_co2e(bom.total()), expected, 1e-9);
+}
+
+TEST(ServerBom, ReferenceBomsAreInThePaperRange) {
+  // The paper anchors CPU servers at ~1000 kg and GPU training systems in
+  // the Mac-Pro-to-multi-GPU-host range; both reference BOMs must land in
+  // plausible territory.
+  const double legacy = to_kg_co2e(legacy_cpu_server_bom().total());
+  EXPECT_GT(legacy, 500.0);
+  EXPECT_LT(legacy, 2000.0);
+  const double modern = to_kg_co2e(modern_training_node_bom().total());
+  EXPECT_GT(modern, 2000.0);
+  EXPECT_LT(modern, 8000.0);
+  EXPECT_GT(modern, legacy);
+}
+
+TEST(ServerBom, TechnologySwapsMoveTheTotal) {
+  // Design-time what-if: the same capacities on different technologies.
+  ServerBom hdd_server;
+  hdd_server.add_storage("cold", StorageTech::kHdd, terabytes(100.0));
+  ServerBom flash_server;
+  flash_server.add_storage("cold", StorageTech::kTlcNand, terabytes(100.0));
+  EXPECT_GT(to_kg_co2e(flash_server.total()) / to_kg_co2e(hdd_server.total()),
+            10.0);
+}
+
+TEST(ServerBom, RejectsInvalidInputs) {
+  ServerBom bom;
+  EXPECT_THROW((void)bom.add_logic("x", LogicNode::k7nm, 1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)bom.add_fixed("x", kg_co2e(-1.0)), std::invalid_argument);
+  EXPECT_THROW((void)logic_embodied(LogicNode::k7nm, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::hw

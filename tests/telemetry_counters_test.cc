@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telemetry/counters.h"
+#include "telemetry/nvml_sim.h"
+#include "telemetry/rapl_sim.h"
+
+namespace sustainai::telemetry {
+namespace {
+
+TEST(RaplDomain, AccumulatesEnergyInLsbUnits) {
+  RaplDomainSim domain(16);  // 1 LSB = 2^-16 J
+  domain.advance(watts(100.0), seconds(1.0));
+  EXPECT_NEAR(to_joules(domain.true_energy()), 100.0, 1e-12);
+  // Register holds ~100 J in 2^-16 J units.
+  EXPECT_NEAR(static_cast<double>(domain.read_raw()) * domain.joules_per_unit(),
+              100.0, domain.joules_per_unit() * 2);
+}
+
+TEST(RaplDomain, SubLsbEnergyIsCarriedNotLost) {
+  RaplDomainSim domain(16);
+  const double lsb = domain.joules_per_unit();
+  // Feed 1000 increments of a quarter LSB each; total must be ~250 LSBs.
+  for (int i = 0; i < 1000; ++i) {
+    domain.advance(watts(lsb / 4.0), seconds(1.0));
+  }
+  EXPECT_NEAR(static_cast<double>(domain.read_raw()), 250.0, 1.0);
+}
+
+TEST(RaplDomain, RegisterWrapsAt32Bits) {
+  RaplDomainSim domain(16);
+  // 2^32 LSBs at 2^-16 J each = 65536 J to wrap. Feed 70000 J.
+  domain.advance(watts(70000.0), seconds(1.0));
+  EXPECT_LT(domain.read_raw(), (1ULL << 32));
+  // Wrapped register: 70000 - 65536 = 4464 J worth of LSBs.
+  EXPECT_NEAR(static_cast<double>(domain.read_raw()) * domain.joules_per_unit(),
+              70000.0 - 65536.0, 1e-3);
+}
+
+TEST(CounterSampler, ReconstructsAcrossWraps) {
+  RaplDomainSim domain(16);
+  CounterSampler sampler(domain);
+  double true_total = 0.0;
+  // Each step adds 30 kJ; the 65536 J register wraps roughly every other
+  // step. The sampler must still reconstruct the true total.
+  for (int i = 0; i < 10; ++i) {
+    domain.advance(watts(30000.0), seconds(1.0));
+    true_total += 30000.0;
+    sampler.sample();
+  }
+  EXPECT_NEAR(to_joules(sampler.total()), true_total, 1.0);
+  EXPECT_GE(sampler.wrap_count(), 4);
+}
+
+TEST(CounterSampler, NoWrapNoCorrection) {
+  RaplDomainSim domain(16);
+  CounterSampler sampler(domain);
+  domain.advance(watts(10.0), seconds(1.0));
+  sampler.sample();
+  EXPECT_EQ(sampler.wrap_count(), 0);
+  EXPECT_NEAR(to_joules(sampler.total()), 10.0, 1e-3);
+}
+
+TEST(CounterSampler, StartsFromAttachPoint) {
+  RaplDomainSim domain(16);
+  domain.advance(watts(500.0), seconds(10.0));  // pre-existing energy
+  CounterSampler sampler(domain);               // attach after the fact
+  domain.advance(watts(100.0), seconds(1.0));
+  sampler.sample();
+  EXPECT_NEAR(to_joules(sampler.total()), 100.0, 1e-2);
+}
+
+TEST(RaplPackage, PackageAndDramTrackUtilization) {
+  RaplPackageSim::Config config;
+  RaplPackageSim pkg(config);
+  pkg.advance(1.0, seconds(10.0));
+  EXPECT_NEAR(to_joules(pkg.package().true_energy()), 205.0 * 10.0, 1e-9);
+  EXPECT_NEAR(to_joules(pkg.dram().true_energy()), 40.0 * 10.0, 1e-9);
+  RaplPackageSim idle(config);
+  idle.advance(0.0, seconds(10.0));
+  EXPECT_NEAR(to_joules(idle.package().true_energy()), 205.0 * 0.35 * 10.0, 1e-9);
+}
+
+TEST(RaplPackage, RejectsBadUtilization) {
+  RaplPackageSim pkg(RaplPackageSim::Config{});
+  EXPECT_THROW((void)pkg.advance(1.5, seconds(1.0)), std::invalid_argument);
+}
+
+TEST(NvmlSim, PowerAndUtilizationQueries) {
+  NvmlDeviceSim gpu(hw::catalog::nvidia_v100());
+  gpu.set_utilization(0.5);
+  EXPECT_EQ(gpu.utilization_percent(), 50u);
+  // 0.3 idle fraction: (90 + 210 * 0.5) W = 195 W = 195000 mW.
+  EXPECT_EQ(gpu.power_usage_mw(), 195000u);
+}
+
+TEST(NvmlSim, TotalEnergyCounterCountsMillijoules) {
+  NvmlDeviceSim gpu(hw::catalog::nvidia_v100());
+  gpu.set_utilization(1.0);
+  gpu.advance(seconds(2.0));
+  EXPECT_NEAR(static_cast<double>(gpu.total_energy_mj()), 600000.0, 2.0);
+  EXPECT_NEAR(to_joules(gpu.true_energy()), 600.0, 1e-9);
+}
+
+TEST(NvmlSim, AverageUtilizationIsTimeWeighted) {
+  NvmlDeviceSim gpu(hw::catalog::nvidia_v100());
+  gpu.set_utilization(1.0);
+  gpu.advance(hours(1.0));
+  gpu.set_utilization(0.0);
+  gpu.advance(hours(3.0));
+  EXPECT_NEAR(gpu.average_utilization(), 0.25, 1e-12);
+}
+
+TEST(NvmlSim, SamplerOverNvmlMatchesTruth) {
+  NvmlDeviceSim gpu(hw::catalog::nvidia_a100());
+  CounterSampler sampler(gpu);
+  gpu.set_utilization(0.7);
+  for (int i = 0; i < 100; ++i) {
+    gpu.advance(seconds(10.0));
+    sampler.sample();
+  }
+  EXPECT_NEAR(to_joules(sampler.total()), to_joules(gpu.true_energy()),
+              to_joules(gpu.true_energy()) * 1e-6 + 0.1);
+}
+
+// Property sweep: sampling at any cadence reconstructs true RAPL energy as
+// long as the register wraps at most once per sample.
+class SamplingCadenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplingCadenceTest, ReconstructionIsCadenceInvariant) {
+  const double dt = GetParam();
+  RaplDomainSim domain(16);
+  CounterSampler sampler(domain);
+  const double power_w = 200.0;
+  double simulated = 0.0;
+  while (simulated < 600.0) {
+    domain.advance(watts(power_w), seconds(dt));
+    sampler.sample();
+    simulated += dt;
+  }
+  EXPECT_NEAR(to_joules(sampler.total()), power_w * simulated, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SamplingCadenceTest,
+                         ::testing::Values(0.1, 1.0, 10.0, 60.0));
+
+}  // namespace
+}  // namespace sustainai::telemetry

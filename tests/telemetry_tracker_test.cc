@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/operational.h"
+#include "telemetry/energy_meter.h"
+#include "telemetry/nvml_sim.h"
+#include "telemetry/rapl_sim.h"
+#include "telemetry/tracker.h"
+
+namespace sustainai::telemetry {
+namespace {
+
+CarbonTracker::Options default_options() {
+  return CarbonTracker::Options{
+      OperationalCarbonModel(1.1, grids::us_average(), 1.0), 0.45};
+}
+
+TEST(EnergyMeter, AggregatesMultipleSources) {
+  RaplPackageSim pkg(RaplPackageSim::Config{});
+  NvmlDeviceSim gpu(hw::catalog::nvidia_v100());
+  gpu.set_utilization(1.0);
+
+  EnergyMeter meter;
+  meter.attach("cpu-package", pkg.package());
+  meter.attach("cpu-dram", pkg.dram());
+  meter.attach("gpu0", gpu);
+
+  for (int i = 0; i < 60; ++i) {
+    pkg.advance(0.8, seconds(1.0));
+    gpu.advance(seconds(1.0));
+    meter.sample_all();
+  }
+  EXPECT_EQ(meter.sample_count(), 60);
+  const double expected_gpu = 300.0 * 60.0;
+  EXPECT_NEAR(to_joules(meter.total("gpu0")), expected_gpu, 1.0);
+  EXPECT_NEAR(to_joules(meter.total()),
+              to_joules(meter.total("cpu-package")) +
+                  to_joules(meter.total("cpu-dram")) +
+                  to_joules(meter.total("gpu0")),
+              1e-9);
+  EXPECT_EQ(meter.labels().size(), 3u);
+}
+
+TEST(EnergyMeter, UnknownLabelThrows) {
+  EnergyMeter meter;
+  EXPECT_THROW((void)meter.total("nope"), std::invalid_argument);
+}
+
+TEST(CarbonTracker, RecordEnergyComputesOperational) {
+  CarbonTracker tracker(default_options());
+  tracker.record_energy(Phase::kTraining, kilowatt_hours(1000.0));
+  const PhaseFootprint& f = tracker.footprint().phase(Phase::kTraining);
+  EXPECT_NEAR(to_kilowatt_hours(f.energy), 1000.0, 1e-9);
+  EXPECT_NEAR(to_kg_co2e(f.operational), 1000.0 * 1.1 * 0.429, 1e-6);
+  EXPECT_DOUBLE_EQ(to_kg_co2e(f.embodied), 0.0);
+}
+
+TEST(CarbonTracker, RecordDeviceUseAddsEnergyAndEmbodied) {
+  CarbonTracker tracker(default_options());
+  const hw::DeviceSpec v100 = hw::catalog::nvidia_v100();
+  tracker.record_device_use(Phase::kTraining, v100, 0.5, days(10.0), 8);
+  const PhaseFootprint& f = tracker.footprint().phase(Phase::kTraining);
+  // Energy: 195 W x 10 days x 8 devices.
+  EXPECT_NEAR(to_kilowatt_hours(f.energy), 0.195 * 240.0 * 8.0, 1e-6);
+  // Embodied: 600 kg x (10d / 4yr) / 0.45 x 8.
+  const double expected_embodied =
+      600.0 * (10.0 / (4.0 * 365.25)) / 0.45 * 8.0;
+  EXPECT_NEAR(to_kg_co2e(f.embodied), expected_embodied, 1e-6);
+}
+
+TEST(CarbonTracker, PhasesAreKeptSeparate) {
+  CarbonTracker tracker(default_options());
+  tracker.record_energy(Phase::kExperimentation, kilowatt_hours(10.0));
+  tracker.record_energy(Phase::kInference, kilowatt_hours(30.0));
+  EXPECT_NEAR(tracker.footprint().energy_share(Phase::kInference), 0.75, 1e-12);
+  EXPECT_NEAR(tracker.footprint().energy_share(Phase::kExperimentation), 0.25,
+              1e-12);
+}
+
+TEST(CarbonTracker, TotalCarbonIncludesEmbodied) {
+  CarbonTracker tracker(default_options());
+  const hw::DeviceSpec v100 = hw::catalog::nvidia_v100();
+  tracker.record_device_use(Phase::kTraining, v100, 0.5, days(30.0));
+  const PhaseFootprint total = tracker.footprint().total();
+  EXPECT_NEAR(to_grams_co2e(tracker.total_carbon()),
+              to_grams_co2e(total.operational) + to_grams_co2e(total.embodied),
+              1e-9);
+}
+
+TEST(CarbonTracker, ImpactStatementMentionsKeyFields) {
+  CarbonTracker tracker(default_options());
+  tracker.record_device_use(Phase::kTraining, hw::catalog::nvidia_v100(), 0.5,
+                            days(10.0), 8);
+  const std::string statement = tracker.impact_statement("demo-task");
+  EXPECT_NE(statement.find("demo-task"), std::string::npos);
+  EXPECT_NE(statement.find("us-average"), std::string::npos);
+  EXPECT_NE(statement.find("training"), std::string::npos);
+  EXPECT_NE(statement.find("embodied"), std::string::npos);
+  EXPECT_NE(statement.find("market-based"), std::string::npos);
+  EXPECT_NE(statement.find("passenger-vehicle miles"), std::string::npos);
+}
+
+TEST(CarbonTracker, RejectsInvalidInputs) {
+  CarbonTracker tracker(default_options());
+  EXPECT_THROW((void)tracker.record_energy(Phase::kTraining, joules(-1.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)tracker.record_device_use(Phase::kTraining,
+                                         hw::catalog::nvidia_v100(), 0.5,
+                                         days(1.0), 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)CarbonTracker(CarbonTracker::Options{
+          OperationalCarbonModel(1.1, grids::us_average()), 0.0}),
+      std::invalid_argument);
+}
+
+TEST(CarbonTracker, MeteredPipelineEndToEnd) {
+  // Drive a simulated GPU through a meter and feed the measured energy into
+  // the tracker: measured carbon must match direct device accounting.
+  NvmlDeviceSim gpu(hw::catalog::nvidia_v100());
+  EnergyMeter meter;
+  meter.attach("gpu0", gpu);
+  gpu.set_utilization(0.5);
+  for (int i = 0; i < 3600; ++i) {
+    gpu.advance(seconds(1.0));
+    meter.sample_all();
+  }
+  CarbonTracker metered(default_options());
+  metered.record_energy(Phase::kTraining, meter.total());
+
+  CarbonTracker direct(default_options());
+  direct.record_energy(Phase::kTraining,
+                       hw::catalog::nvidia_v100().energy(0.5, hours(1.0)));
+
+  EXPECT_NEAR(to_grams_co2e(metered.total_carbon()),
+              to_grams_co2e(direct.total_carbon()),
+              to_grams_co2e(direct.total_carbon()) * 1e-4);
+}
+
+}  // namespace
+}  // namespace sustainai::telemetry

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datacenter/queue_sim.h"
+#include "datagen/trace.h"
+
+namespace sustainai {
+namespace {
+
+TEST(Trace, PoissonCountMatchesRate) {
+  datagen::Rng rng(1);
+  const auto arrivals = datagen::poisson_arrivals(10.0, hours(1000.0), rng);
+  // Expect ~10000 arrivals; 5-sigma band ~ +-500.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 10000.0, 500.0);
+  // Sorted and within horizon.
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(to_seconds(arrivals[i]), to_seconds(arrivals[i - 1]));
+  }
+  EXPECT_LT(to_hours(arrivals.back()), 1000.0);
+}
+
+TEST(Trace, PoissonInterarrivalsAreExponential) {
+  datagen::Rng rng(2);
+  const auto arrivals = datagen::poisson_arrivals(6.0, hours(5000.0), rng);
+  double sum_h = to_hours(arrivals.front());
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    sum_h += to_hours(arrivals[i]) - to_hours(arrivals[i - 1]);
+  }
+  const double mean_gap = sum_h / static_cast<double>(arrivals.size());
+  EXPECT_NEAR(mean_gap, 1.0 / 6.0, 0.01);
+}
+
+TEST(Trace, ModulatedThinningFollowsProfile) {
+  datagen::Rng rng(3);
+  // Rate 20/h during [9h, 17h) of each day, 2/h otherwise.
+  auto rate_at = [](Duration t) {
+    const double hour = std::fmod(to_hours(t), 24.0);
+    return hour >= 9.0 && hour < 17.0 ? 20.0 : 2.0;
+  };
+  const auto arrivals =
+      datagen::poisson_arrivals_modulated(rate_at, 20.0, days(200.0), rng);
+  long day_count = 0;
+  long night_count = 0;
+  for (const Duration& t : arrivals) {
+    const double hour = std::fmod(to_hours(t), 24.0);
+    (hour >= 9.0 && hour < 17.0 ? day_count : night_count) += 1;
+  }
+  // Expected: day 200*8*20 = 32000; night 200*16*2 = 6400.
+  EXPECT_NEAR(static_cast<double>(day_count), 32000.0, 1500.0);
+  EXPECT_NEAR(static_cast<double>(night_count), 6400.0, 800.0);
+}
+
+TEST(Trace, ModulatedRejectsRateAboveMax) {
+  datagen::Rng rng(4);
+  auto bad = [](Duration) { return 50.0; };
+  EXPECT_THROW(
+      (void)datagen::poisson_arrivals_modulated(bad, 20.0, hours(10.0), rng),
+      std::invalid_argument);
+}
+
+datacenter::QueueSimConfig solar_queue(int machines) {
+  datacenter::QueueSimConfig cfg;
+  cfg.machines = machines;
+  cfg.grid.profile = grids::us_west_solar();
+  cfg.grid.solar_share = 0.6;
+  cfg.grid.firm_share = 0.1;
+  cfg.grid.seed = 7;
+  cfg.green_threshold = grams_per_kwh(250.0);
+  return cfg;
+}
+
+std::vector<datacenter::BatchJob> nightly_jobs(int n) {
+  std::vector<datacenter::BatchJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    datacenter::BatchJob j;
+    j.id = "j" + std::to_string(i);
+    j.power = kilowatts(3.0);
+    j.duration = hours(2.0);
+    j.arrival = hours(20.0 + (i % 8) * 0.5);  // evening submissions
+    j.slack = hours(18.0);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+TEST(QueueSim, AllJobsCompleteAndCapacityHolds) {
+  const auto result = datacenter::run_queue_sim(
+      nightly_jobs(20), solar_queue(4), datacenter::QueuePolicy::kFifo);
+  EXPECT_EQ(result.jobs.size(), 20u);
+  EXPECT_LE(result.peak_running, 4);
+  for (const auto& c : result.jobs) {
+    EXPECT_GE(to_seconds(c.start), to_seconds(c.job.arrival) - 1e-6);
+    EXPECT_NEAR(to_seconds(c.finish) - to_seconds(c.start),
+                to_seconds(c.job.duration), 1.0);
+  }
+}
+
+TEST(QueueSim, FifoQueuesWhenOverCapacity) {
+  // 20 two-hour jobs arriving within 4 hours on 2 machines must wait.
+  const auto result = datacenter::run_queue_sim(
+      nightly_jobs(20), solar_queue(2), datacenter::QueuePolicy::kFifo);
+  EXPECT_GT(to_hours(result.mean_wait), 1.0);
+  // 40 machine-hours of work on 2 machines starting at hour ~20: half of
+  // the [0, makespan] window is the pre-arrival idle stretch.
+  EXPECT_GT(result.utilization, 0.45);
+}
+
+TEST(QueueSim, GreenPolicyCutsCarbonOnSolarGrid) {
+  const auto fifo = datacenter::run_queue_sim(
+      nightly_jobs(20), solar_queue(8), datacenter::QueuePolicy::kFifo);
+  const auto green = datacenter::run_queue_sim(
+      nightly_jobs(20), solar_queue(8), datacenter::QueuePolicy::kGreedyGreen);
+  EXPECT_LT(to_grams_co2e(green.total_carbon),
+            0.85 * to_grams_co2e(fifo.total_carbon));
+  // The saving is bought with waiting time.
+  EXPECT_GT(to_seconds(green.mean_wait), to_seconds(fifo.mean_wait));
+}
+
+TEST(QueueSim, GreenPolicyRespectsSlack) {
+  // Zero slack: green must behave exactly like FIFO.
+  auto jobs = nightly_jobs(12);
+  for (auto& j : jobs) {
+    j.slack = seconds(0.0);
+  }
+  const auto fifo = datacenter::run_queue_sim(
+      jobs, solar_queue(4), datacenter::QueuePolicy::kFifo);
+  const auto green = datacenter::run_queue_sim(
+      jobs, solar_queue(4), datacenter::QueuePolicy::kGreedyGreen);
+  EXPECT_NEAR(to_grams_co2e(green.total_carbon), to_grams_co2e(fifo.total_carbon),
+              to_grams_co2e(fifo.total_carbon) * 1e-9);
+  EXPECT_NEAR(to_seconds(green.mean_wait), to_seconds(fifo.mean_wait), 1.0);
+}
+
+TEST(QueueSim, DeferredJobsStartWithinSlackPlusQueueing) {
+  const auto green = datacenter::run_queue_sim(
+      nightly_jobs(8), solar_queue(8), datacenter::QueuePolicy::kGreedyGreen);
+  for (const auto& c : green.jobs) {
+    // With free machines, a deferred job starts at most one step after its
+    // slack expires.
+    EXPECT_LE(to_seconds(c.wait()),
+              to_seconds(c.job.slack) + to_seconds(minutes(15.0)) + 1e-6);
+  }
+}
+
+TEST(QueueSim, ThrowsOnOverload) {
+  datacenter::QueueSimConfig cfg = solar_queue(1);
+  cfg.max_horizon = hours(10.0);
+  std::vector<datacenter::BatchJob> jobs = nightly_jobs(50);
+  EXPECT_THROW(
+      (void)datacenter::run_queue_sim(jobs, cfg, datacenter::QueuePolicy::kFifo),
+      std::invalid_argument);
+}
+
+TEST(QueueSim, RejectsInvalidJobs) {
+  auto jobs = nightly_jobs(2);
+  jobs[0].duration = seconds(0.0);
+  EXPECT_THROW((void)datacenter::run_queue_sim(jobs, solar_queue(2),
+                                               datacenter::QueuePolicy::kFifo),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -1,0 +1,121 @@
+#include "recsys/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sustainai::recsys {
+namespace {
+
+TrainableDlrmConfig tiny_config() {
+  TrainableDlrmConfig cfg;
+  cfg.dense_features = 6;
+  cfg.table_rows = {500, 300};
+  cfg.embedding_dim = 8;
+  cfg.bottom_hidden = 12;
+  cfg.top_hidden = 12;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(Trainer, PredictIsProbabilityAndDeterministic) {
+  const TrainableDlrm a(tiny_config());
+  const TrainableDlrm b(tiny_config());
+  const auto data = synthesize_ctr_dataset(tiny_config(), 20, 7);
+  for (const LabeledSample& s : data) {
+    const float p = a.predict(s);
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+    EXPECT_FLOAT_EQ(p, b.predict(s));
+    EXPECT_TRUE(s.label == 0.0f || s.label == 1.0f);
+  }
+}
+
+TEST(Trainer, SingleStepReducesLossOnThatExample) {
+  TrainableDlrm model(tiny_config());
+  const auto data = synthesize_ctr_dataset(tiny_config(), 5, 11);
+  for (const LabeledSample& s : data) {
+    const float before = model.predict(s);
+    model.train_step(s, 0.05f);
+    const float after = model.predict(s);
+    // Prediction must move toward the label.
+    if (s.label > 0.5f) {
+      EXPECT_GT(after, before);
+    } else {
+      EXPECT_LT(after, before);
+    }
+  }
+}
+
+TEST(Trainer, GradientMatchesFiniteDifferenceOnEmbeddingPath) {
+  // Indirect gradient check: nudging the learning rate by eps must change
+  // the post-step prediction smoothly and in the same direction.
+  TrainableDlrm m1(tiny_config());
+  TrainableDlrm m2(tiny_config());
+  const auto data = synthesize_ctr_dataset(tiny_config(), 1, 13);
+  const LabeledSample& s = data[0];
+  m1.train_step(s, 0.01f);
+  m2.train_step(s, 0.02f);
+  const float p0 = TrainableDlrm(tiny_config()).predict(s);
+  const float d1 = m1.predict(s) - p0;
+  const float d2 = m2.predict(s) - p0;
+  // Larger step moves further in the same direction (locally linear).
+  EXPECT_GT(d1 * d2, 0.0f);
+  EXPECT_GT(std::fabs(d2), std::fabs(d1));
+}
+
+TEST(Trainer, TrainingReducesHeldOutLoss) {
+  const TrainableDlrmConfig cfg = tiny_config();
+  const auto all = synthesize_ctr_dataset(cfg, 3000, 17);
+  const std::vector<LabeledSample> train(all.begin(), all.begin() + 2500);
+  const std::vector<LabeledSample> holdout(all.begin() + 2500, all.end());
+  TrainableDlrm model(cfg);
+  const double initial = model.evaluate(holdout);
+  const TrainingRunResult run = train_dlrm(model, train, holdout, 5, 0.03f);
+  EXPECT_LT(run.final_loss, initial * 0.98);
+  // One loss value recorded per epoch; the best epoch clearly beats the
+  // untrained model (per-epoch wobble from single-sample SGD is expected).
+  ASSERT_EQ(run.epoch_losses.size(), 5u);
+  double best = run.epoch_losses.front();
+  for (double l : run.epoch_losses) {
+    best = std::min(best, l);
+  }
+  EXPECT_LT(best, initial * 0.95);
+}
+
+TEST(Trainer, FlopsAccountingScalesWithModel) {
+  TrainableDlrmConfig small = tiny_config();
+  TrainableDlrmConfig big = tiny_config();
+  big.bottom_hidden = 48;
+  big.top_hidden = 48;
+  const TrainableDlrm m_small(small);
+  const TrainableDlrm m_big(big);
+  EXPECT_GT(m_big.flops_per_example(), 2 * m_small.flops_per_example());
+}
+
+TEST(Trainer, EnergyAccountingFromFlops) {
+  TrainableDlrm model(tiny_config());
+  const auto all = synthesize_ctr_dataset(tiny_config(), 200, 19);
+  const std::vector<LabeledSample> train(all.begin(), all.begin() + 150);
+  const std::vector<LabeledSample> holdout(all.begin() + 150, all.end());
+  const TrainingRunResult run = train_dlrm(model, train, holdout, 2, 0.05f);
+  EXPECT_GT(run.total_gflops, 0.0);
+  // 1 GFLOP/J device: energy in joules equals total_gflops.
+  EXPECT_NEAR(to_joules(run.energy(1.0)), run.total_gflops, 1e-9);
+  EXPECT_THROW((void)run.energy(0.0), std::invalid_argument);
+}
+
+TEST(Trainer, RejectsMalformedInput) {
+  TrainableDlrm model(tiny_config());
+  LabeledSample bad;
+  bad.dense.assign(6, 0.0f);
+  bad.indices = {0};  // one table index missing
+  EXPECT_THROW((void)model.predict(bad), std::invalid_argument);
+  bad.indices = {0, 9999};
+  EXPECT_THROW((void)model.predict(bad), std::invalid_argument);
+  EXPECT_THROW((void)synthesize_ctr_dataset(tiny_config(), 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::recsys

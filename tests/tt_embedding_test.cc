@@ -1,0 +1,148 @@
+#include "recsys/tt_embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sustainai::recsys {
+namespace {
+
+TtShape small_shape() {
+  TtShape shape;
+  shape.row_factors = {4, 3, 5};
+  shape.dim_factors = {2, 2, 2};
+  shape.ranks = {3, 3};
+  return shape;
+}
+
+TEST(TtEmbedding, ShapeArithmetic) {
+  const TtShape s = small_shape();
+  EXPECT_EQ(s.rows(), 60);
+  EXPECT_EQ(s.dim(), 8);
+}
+
+TEST(TtEmbedding, IndexDecodeIsMixedRadix) {
+  datagen::Rng rng(1);
+  const TtEmbeddingTable t(small_shape(), rng);
+  // row = i1 * (n2*n3) + i2 * n3 + i3 with (n1,n2,n3) = (4,3,5).
+  const auto idx = t.decode_index(2 * 15 + 1 * 5 + 3);
+  EXPECT_EQ(idx[0], 2);
+  EXPECT_EQ(idx[1], 1);
+  EXPECT_EQ(idx[2], 3);
+  EXPECT_THROW((void)t.decode_index(60), std::invalid_argument);
+  EXPECT_THROW((void)t.decode_index(-1), std::invalid_argument);
+}
+
+TEST(TtEmbedding, LookupShapeAndDeterminism) {
+  datagen::Rng rng1(2);
+  datagen::Rng rng2(2);
+  const TtEmbeddingTable a(small_shape(), rng1);
+  const TtEmbeddingTable b(small_shape(), rng2);
+  for (long row : {0L, 17L, 59L}) {
+    const auto va = a.lookup(row);
+    const auto vb = b.lookup(row);
+    ASSERT_EQ(va.size(), 8u);
+    EXPECT_EQ(va, vb);
+  }
+}
+
+TEST(TtEmbedding, RankOneReconstructionIsOuterProduct) {
+  // With ranks (1,1) and hand-set cores, the reconstructed row must be the
+  // Kronecker product of the three per-core vectors.
+  TtShape shape;
+  shape.row_factors = {2, 2, 2};
+  shape.dim_factors = {2, 2, 2};
+  shape.ranks = {1, 1};
+  datagen::Rng rng(3);
+  TtEmbeddingTable t(shape, rng);
+  // Row (1, 0, 1); core vectors u = (2, 3), v = (5, 7), w = (11, 13).
+  t.g1(1, 0, 0) = 2.0f;
+  t.g1(1, 1, 0) = 3.0f;
+  t.g2(0, 0, 0, 0) = 5.0f;
+  t.g2(0, 0, 1, 0) = 7.0f;
+  t.g3(0, 1, 0) = 11.0f;
+  t.g3(0, 1, 1) = 13.0f;
+  const long row = 1 * 4 + 0 * 2 + 1;
+  const auto v = t.lookup(row);
+  // out[(j1*2 + j2)*2 + j3] = u[j1] * v[j2] * w[j3].
+  const float u[2] = {2.0f, 3.0f};
+  const float vv[2] = {5.0f, 7.0f};
+  const float w[2] = {11.0f, 13.0f};
+  for (int j1 = 0; j1 < 2; ++j1) {
+    for (int j2 = 0; j2 < 2; ++j2) {
+      for (int j3 = 0; j3 < 2; ++j3) {
+        EXPECT_FLOAT_EQ(v[static_cast<std::size_t>((j1 * 2 + j2) * 2 + j3)],
+                        u[j1] * vv[j2] * w[j3]);
+      }
+    }
+  }
+}
+
+TEST(TtEmbedding, ProductionShapeCompressesOver100x) {
+  // Section IV-B: "more than 100x memory capacity reduction". 1M rows x 64
+  // dims at ranks 16 compresses ~555x.
+  TtShape shape;
+  shape.row_factors = {100, 100, 100};
+  shape.dim_factors = {4, 4, 4};
+  shape.ranks = {16, 16};
+  datagen::Rng rng(4);
+  const TtEmbeddingTable t(shape, rng);
+  EXPECT_EQ(t.rows(), 1000000);
+  EXPECT_EQ(t.dim(), 64);
+  EXPECT_GT(t.compression_ratio(), 100.0);
+  EXPECT_NEAR(to_bytes(t.dense_equivalent_bytes()), 1e6 * 64 * 4, 1e-6);
+}
+
+TEST(TtEmbedding, ParameterCountMatchesCoreShapes) {
+  const TtShape s = small_shape();
+  datagen::Rng rng(5);
+  const TtEmbeddingTable t(s, rng);
+  const std::size_t expected = 4u * 2 * 3 +       // G1: n1*d1*r1
+                               3u * 3 * 2 * 3 +   // G2: r1*n2*d2*r2
+                               3u * 5 * 2;        // G3: r2*n3*d3
+  EXPECT_EQ(t.parameter_count(), expected);
+  EXPECT_NEAR(to_bytes(t.size_bytes()), expected * 4.0, 1e-9);
+}
+
+TEST(TtEmbedding, LookupVarianceMatchesDenseInitialization) {
+  TtShape shape;
+  shape.row_factors = {20, 20, 20};
+  shape.dim_factors = {4, 4, 4};
+  shape.ranks = {8, 8};
+  datagen::Rng rng(6);
+  const TtEmbeddingTable t(shape, rng);
+  double sum_sq = 0.0;
+  long count = 0;
+  for (long row = 0; row < t.rows(); row += 97) {
+    for (float v : t.lookup(row)) {
+      sum_sq += static_cast<double>(v) * v;
+      ++count;
+    }
+  }
+  const double rms = std::sqrt(sum_sq / count);
+  // Target row variance ~ 1/D -> rms ~ 1/8; triple-product tails make the
+  // estimate loose but the order of magnitude must hold.
+  EXPECT_GT(rms, 0.05);
+  EXPECT_LT(rms, 0.30);
+}
+
+TEST(TtEmbedding, FlopsPerLookupFormula) {
+  const TtShape s = small_shape();
+  datagen::Rng rng(7);
+  const TtEmbeddingTable t(s, rng);
+  // d1*d2*r1*r2 + d1*d2*d3*r2 = 2*2*3*3 + 2*2*2*3 = 36 + 24.
+  EXPECT_EQ(t.flops_per_lookup(), 60u);
+}
+
+TEST(TtEmbedding, RejectsInvalidShapes) {
+  TtShape bad = small_shape();
+  bad.ranks = {0, 3};
+  datagen::Rng rng(8);
+  EXPECT_THROW((void)(TtEmbeddingTable{bad, rng}), std::invalid_argument);
+  bad = small_shape();
+  bad.row_factors = {0, 3, 5};
+  EXPECT_THROW((void)(TtEmbeddingTable{bad, rng}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::recsys

@@ -1,0 +1,155 @@
+#include "core/units.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace sustainai {
+namespace {
+
+TEST(Units, EnergyConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_joules(joules(123.0)), 123.0);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(kilowatt_hours(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_megawatt_hours(megawatt_hours(7.0)), 7.0);
+  EXPECT_DOUBLE_EQ(to_joules(kilowatt_hours(1.0)), 3.6e6);
+  EXPECT_DOUBLE_EQ(to_joules(watt_hours(1.0)), 3600.0);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(megawatt_hours(1.0)), 1000.0);
+}
+
+TEST(Units, PowerAndDurationConversions) {
+  EXPECT_DOUBLE_EQ(to_watts(kilowatts(1.5)), 1500.0);
+  EXPECT_DOUBLE_EQ(to_megawatts(megawatts(3.0)), 3.0);
+  EXPECT_DOUBLE_EQ(to_seconds(hours(2.0)), 7200.0);
+  EXPECT_DOUBLE_EQ(to_hours(days(1.0)), 24.0);
+  EXPECT_DOUBLE_EQ(to_days(years(1.0)), 365.25);
+}
+
+TEST(Units, CarbonConversions) {
+  EXPECT_DOUBLE_EQ(to_grams_co2e(kg_co2e(2.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(to_tonnes_co2e(kg_co2e(1500.0)), 1.5);
+  EXPECT_DOUBLE_EQ(to_grams_per_kwh(grams_per_kwh(429.0)), 429.0);
+}
+
+TEST(Units, DataSizeAndBandwidth) {
+  EXPECT_DOUBLE_EQ(to_gigabytes(terabytes(2.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(to_exabytes(petabytes(1000.0)), 1.0);
+  EXPECT_DOUBLE_EQ(to_bytes_per_second(gigabytes_per_second(1.0)), 1e9);
+}
+
+TEST(Units, AdditionSubtractionScaling) {
+  const Energy e = kilowatt_hours(2.0) + kilowatt_hours(3.0);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(e), 5.0);
+  const Energy d = kilowatt_hours(5.0) - kilowatt_hours(1.5);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(d), 3.5);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(kilowatt_hours(2.0) * 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(3.0 * kilowatt_hours(2.0)), 6.0);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(kilowatt_hours(6.0) / 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(-kilowatt_hours(2.0)), -2.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Energy e = joules(10.0);
+  e += joules(5.0);
+  EXPECT_DOUBLE_EQ(to_joules(e), 15.0);
+  e -= joules(3.0);
+  EXPECT_DOUBLE_EQ(to_joules(e), 12.0);
+  e *= 2.0;
+  EXPECT_DOUBLE_EQ(to_joules(e), 24.0);
+  e /= 4.0;
+  EXPECT_DOUBLE_EQ(to_joules(e), 6.0);
+}
+
+TEST(Units, LikeRatioIsDimensionless) {
+  const double ratio = kilowatt_hours(10.0) / kilowatt_hours(4.0);
+  EXPECT_DOUBLE_EQ(ratio, 2.5);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(joules(1.0), joules(2.0));
+  EXPECT_GT(watts(5.0), watts(4.0));
+  EXPECT_EQ(hours(1.0), minutes(60.0));
+  EXPECT_LE(grams_co2e(1.0), grams_co2e(1.0));
+}
+
+TEST(Units, PowerTimesDurationIsEnergy) {
+  const Energy e = watts(1000.0) * hours(1.0);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(e), 1.0);
+  const Energy e2 = hours(1.0) * watts(1000.0);
+  EXPECT_DOUBLE_EQ(to_kilowatt_hours(e2), 1.0);
+}
+
+TEST(Units, EnergyDividedByDurationIsPower) {
+  const Power p = kilowatt_hours(2.0) / hours(2.0);
+  EXPECT_DOUBLE_EQ(to_watts(p), 1000.0);
+}
+
+TEST(Units, EnergyDividedByPowerIsDuration) {
+  const Duration t = kilowatt_hours(1.0) / watts(500.0);
+  EXPECT_DOUBLE_EQ(to_hours(t), 2.0);
+}
+
+TEST(Units, EnergyTimesIntensityIsCarbon) {
+  const CarbonMass m = kilowatt_hours(10.0) * grams_per_kwh(429.0);
+  EXPECT_NEAR(to_grams_co2e(m), 4290.0, 1e-9);
+  const CarbonMass m2 = grams_per_kwh(429.0) * kilowatt_hours(10.0);
+  EXPECT_NEAR(to_grams_co2e(m2), 4290.0, 1e-9);
+}
+
+TEST(Units, CarbonDividedByEnergyIsIntensity) {
+  const CarbonIntensity ci = grams_co2e(4290.0) / kilowatt_hours(10.0);
+  EXPECT_NEAR(to_grams_per_kwh(ci), 429.0, 1e-9);
+}
+
+TEST(Units, BandwidthTimesDurationIsDataSize) {
+  const DataSize s = gigabytes_per_second(2.0) * seconds(3.0);
+  EXPECT_DOUBLE_EQ(to_gigabytes(s), 6.0);
+  const Duration t = gigabytes(6.0) / gigabytes_per_second(2.0);
+  EXPECT_DOUBLE_EQ(to_seconds(t), 3.0);
+  const Bandwidth b = gigabytes(6.0) / seconds(3.0);
+  EXPECT_DOUBLE_EQ(to_bytes_per_second(b), 2e9);
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Energy{}.base(), 0.0);
+  EXPECT_DOUBLE_EQ(Power{}.base(), 0.0);
+}
+
+TEST(Units, IsFinite) {
+  EXPECT_TRUE(joules(1.0).is_finite());
+  EXPECT_FALSE((joules(1.0) / 0.0).is_finite());
+}
+
+TEST(UnitsFormat, EnergyPicksScale) {
+  EXPECT_EQ(to_string(kilowatt_hours(1.5)), "1.5 kWh");
+  EXPECT_EQ(to_string(megawatt_hours(2.0)), "2 MWh");
+  EXPECT_EQ(to_string(joules(10.0)), "10 J");
+}
+
+TEST(UnitsFormat, PowerCarbonDataScales) {
+  EXPECT_EQ(to_string(megawatts(7.17)), "7.17 MW");
+  EXPECT_EQ(to_string(tonnes_co2e(96.4)), "96.4 tCO2e");
+  EXPECT_EQ(to_string(exabytes(1.2)), "1.2 EB");
+  EXPECT_EQ(to_string(grams_per_kwh(429.0)), "429 gCO2e/kWh");
+}
+
+// Property sweep: for any power and duration, energy accounting identities
+// hold to floating-point accuracy.
+class EnergyIdentityTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(EnergyIdentityTest, RoundTripsThroughPowerAndDuration) {
+  const double w = std::get<0>(GetParam());
+  const double h = std::get<1>(GetParam());
+  const Energy e = watts(w) * hours(h);
+  EXPECT_NEAR(to_watts(e / hours(h)), w, 1e-9 * w + 1e-12);
+  EXPECT_NEAR(to_hours(e / watts(w)), h, 1e-9 * h + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnergyIdentityTest,
+    ::testing::Combine(::testing::Values(0.5, 3.0, 300.0, 1e6),
+                       ::testing::Values(0.01, 1.0, 24.0, 8760.0)));
+
+}  // namespace
+}  // namespace sustainai

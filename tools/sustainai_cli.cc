@@ -1,0 +1,259 @@
+// sustainai — command-line carbon estimator built on the library.
+//
+//   sustainai estimate --gpu-days 512 --device v100 --count 8 ...
+//       (--utilization 0.55 --grid us-average --pue 1.1 --cfe 1.0)
+//   sustainai models            # the Figure 4/5 production + OSS catalog
+//   sustainai grids             # available grid profiles
+//   sustainai schedule --jobs 24 --duration-h 4 --slack-h 20 --grid us-west-solar
+//   sustainai fl --clients 100 --rounds-per-day 24 --days 90
+//
+// Each subcommand prints the same accounting the paper's figures use.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/equivalence.h"
+#include "datacenter/scheduler.h"
+#include "fl/round_sim.h"
+#include "mlcycle/model_zoo.h"
+#include "report/table.h"
+#include "telemetry/model_card.h"
+#include "telemetry/tracker.h"
+
+namespace {
+
+using namespace sustainai;
+
+using Flags = std::map<std::string, std::string>;
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got '" + key + "'");
+    }
+    flags[key.substr(2)] = argv[i + 1];
+  }
+  return flags;
+}
+
+double flag_double(const Flags& flags, const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+std::string flag_string(const Flags& flags, const std::string& key,
+                        const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+GridProfile grid_by_name(const std::string& name) {
+  for (const GridProfile& g :
+       {grids::us_average(), grids::us_midwest_coal(), grids::us_west_solar(),
+        grids::nordic_hydro(), grids::asia_pacific(), grids::hydro_quebec()}) {
+    if (g.name == name) {
+      return g;
+    }
+  }
+  throw std::invalid_argument("unknown grid '" + name + "' (see: sustainai grids)");
+}
+
+hw::DeviceSpec device_by_name(const std::string& name) {
+  for (const hw::DeviceSpec& d :
+       {hw::catalog::nvidia_p100(), hw::catalog::nvidia_v100(),
+        hw::catalog::nvidia_a100(), hw::catalog::tpu_like(),
+        hw::catalog::cpu_server()}) {
+    if (d.name == name || d.name == "nvidia-" + name) {
+      return d;
+    }
+  }
+  throw std::invalid_argument("unknown device '" + name +
+                              "' (p100, v100, a100, tpu-like, cpu-server-28c)");
+}
+
+int cmd_estimate(const Flags& flags) {
+  const double gpu_days = flag_double(flags, "gpu-days", 100.0);
+  const double count = flag_double(flags, "count", 1.0);
+  const double utilization = flag_double(flags, "utilization", 0.5);
+  const hw::DeviceSpec device =
+      device_by_name(flag_string(flags, "device", "v100"));
+  const GridProfile grid = grid_by_name(flag_string(flags, "grid", "us-average"));
+  const double pue = flag_double(flags, "pue", kHyperscalePue);
+  const double cfe = flag_double(flags, "cfe", 0.0);
+
+  telemetry::CarbonTracker tracker(
+      {OperationalCarbonModel(pue, grid, cfe),
+       flag_double(flags, "fleet-utilization", 0.45)});
+  tracker.record_device_use(Phase::kTraining, device, utilization,
+                            days(gpu_days / count), static_cast<int>(count));
+  std::printf("%s", tracker
+                        .impact_statement(flag_string(flags, "name",
+                                                      "cli-estimate"))
+                        .c_str());
+  return 0;
+}
+
+int cmd_models() {
+  const mlcycle::AccountingContext ctx = mlcycle::default_accounting();
+  report::Table t({"model", "params (B)", "training tCO2e", "inference tCO2e",
+                   "embodied tCO2e"});
+  for (const auto& m : mlcycle::production_models(ctx)) {
+    const PhaseFootprint total = m.footprint(ctx).total();
+    t.add_row_values(m.name, {m.params_billions,
+                              to_tonnes_co2e(m.training_carbon(ctx)),
+                              to_tonnes_co2e(m.inference_carbon(ctx)),
+                              to_tonnes_co2e(total.embodied)});
+  }
+  for (const auto& m : mlcycle::oss_models()) {
+    t.add_row({m.name, report::fmt(m.params_billions),
+               report::fmt(to_tonnes_co2e(m.training_carbon)), "-", "-"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_grids() {
+  report::Table t({"grid", "average intensity", "carbon-free share"});
+  for (const GridProfile& g :
+       {grids::us_average(), grids::us_midwest_coal(), grids::us_west_solar(),
+        grids::nordic_hydro(), grids::asia_pacific(), grids::hydro_quebec()}) {
+    t.add_row({g.name, to_string(g.average),
+               report::fmt_percent(g.carbon_free_fraction)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_schedule(const Flags& flags) {
+  using namespace sustainai::datacenter;
+  IntermittentGrid::Config grid_cfg;
+  grid_cfg.profile = grid_by_name(flag_string(flags, "grid", "us-west-solar"));
+  grid_cfg.solar_share = flag_double(flags, "solar-share", 0.5);
+  grid_cfg.wind_share = flag_double(flags, "wind-share", 0.15);
+  grid_cfg.firm_share = flag_double(flags, "firm-share", 0.10);
+  const IntermittentGrid grid(grid_cfg);
+
+  const int num_jobs = static_cast<int>(flag_double(flags, "jobs", 24.0));
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < num_jobs; ++i) {
+    BatchJob j;
+    j.id = "job-" + std::to_string(i);
+    j.power = kilowatts(flag_double(flags, "power-kw", 22.4));
+    j.duration = hours(flag_double(flags, "duration-h", 4.0));
+    j.arrival = hours(static_cast<double>(i % 24));
+    j.slack = hours(flag_double(flags, "slack-h", 20.0));
+    jobs.push_back(j);
+  }
+
+  const FifoPolicy fifo;
+  const ThresholdPolicy threshold(
+      grams_per_kwh(flag_double(flags, "threshold-g-per-kwh", 200.0)));
+  const ForecastPolicy forecast;
+  report::Table t({"policy", "carbon", "mean delay (h)", "peak power"});
+  for (const SchedulerPolicy* p :
+       std::initializer_list<const SchedulerPolicy*>{&fifo, &threshold,
+                                                     &forecast}) {
+    const ScheduleResult r = run_schedule(jobs, grid, *p);
+    t.add_row({r.policy_name, to_string(r.total_carbon),
+               report::fmt(to_hours(r.mean_delay)),
+               to_string(r.peak_concurrent_power)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_model_card(const Flags& flags) {
+  telemetry::ModelCardInput in{
+      flag_string(flags, "name", "my-model"),
+      flag_string(flags, "description", ""),
+      device_by_name(flag_string(flags, "device", "v100")),
+      static_cast<int>(flag_double(flags, "count", 8.0)),
+      days(flag_double(flags, "runtime-days", 7.0)),
+      flag_double(flags, "utilization", 0.5),
+      OperationalCarbonModel(flag_double(flags, "pue", kHyperscalePue),
+                             grid_by_name(flag_string(flags, "grid", "us-average")),
+                             flag_double(flags, "cfe", 0.0)),
+      flag_double(flags, "fleet-utilization", 0.45),
+      flag_double(flags, "predictions-per-day", 0.0),
+      joules(flag_double(flags, "joules-per-prediction", 1e-3))};
+  std::printf("%s", telemetry::render_model_card(in).c_str());
+  return 0;
+}
+
+int cmd_fl(const Flags& flags) {
+  using namespace sustainai::fl;
+  FlApplicationConfig app;
+  app.name = flag_string(flags, "name", "fl-app");
+  app.clients_per_round = static_cast<int>(flag_double(flags, "clients", 100.0));
+  app.rounds_per_day = flag_double(flags, "rounds-per-day", 24.0);
+  app.campaign = days(flag_double(flags, "days", 90.0));
+  app.model_size = megabytes(flag_double(flags, "model-mb", 20.0));
+  app.reference_compute_time =
+      minutes(flag_double(flags, "compute-min", 4.0));
+  const RoundSimulator sim(app, Population::Config{});
+  const FlFootprint fp =
+      estimate_footprint(app.name, sim.run(), default_fl_assumptions());
+  std::printf("federated campaign: %d rounds\n", sim.total_rounds());
+  std::printf("  energy: %s (comm share %.0f%%)\n",
+              to_string(fp.total_energy()).c_str(),
+              fp.communication_share() * 100.0);
+  std::printf("  carbon: %s (~%.0f passenger-vehicle miles)\n",
+              to_string(fp.carbon).c_str(),
+              to_passenger_vehicle_miles(fp.carbon));
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: sustainai <command> [--flag value ...]\n"
+      "commands:\n"
+      "  estimate   carbon impact statement for a training run\n"
+      "             (--gpu-days --device --count --utilization --grid --pue --cfe)\n"
+      "  models     the production + open-source model catalog\n"
+      "  grids      available grid carbon-intensity profiles\n"
+      "  schedule   compare carbon-aware scheduling policies\n"
+      "             (--jobs --duration-h --slack-h --power-kw --grid)\n"
+      "  fl         footprint of a federated-learning campaign\n"
+      "             (--clients --rounds-per-day --days --model-mb --compute-min)\n"
+      "  model-card render the carbon section of a model card (markdown)\n"
+      "             (--name --device --count --runtime-days --utilization --grid)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  try {
+    const Flags flags = parse_flags(argc, argv, 2);
+    if (command == "estimate") {
+      return cmd_estimate(flags);
+    }
+    if (command == "models") {
+      return cmd_models();
+    }
+    if (command == "grids") {
+      return cmd_grids();
+    }
+    if (command == "schedule") {
+      return cmd_schedule(flags);
+    }
+    if (command == "fl") {
+      return cmd_fl(flags);
+    }
+    if (command == "model-card") {
+      return cmd_model_card(flags);
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
