@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_capacity_planning.dir/ablate_capacity_planning.cc.o"
+  "CMakeFiles/ablate_capacity_planning.dir/ablate_capacity_planning.cc.o.d"
+  "ablate_capacity_planning"
+  "ablate_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

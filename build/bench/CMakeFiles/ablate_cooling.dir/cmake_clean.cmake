@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cooling.dir/ablate_cooling.cc.o"
+  "CMakeFiles/ablate_cooling.dir/ablate_cooling.cc.o.d"
+  "ablate_cooling"
+  "ablate_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

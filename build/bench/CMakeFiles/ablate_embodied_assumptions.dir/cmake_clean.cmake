@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_embodied_assumptions.dir/ablate_embodied_assumptions.cc.o"
+  "CMakeFiles/ablate_embodied_assumptions.dir/ablate_embodied_assumptions.cc.o.d"
+  "ablate_embodied_assumptions"
+  "ablate_embodied_assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_embodied_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

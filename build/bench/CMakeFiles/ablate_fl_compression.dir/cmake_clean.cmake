@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fl_compression.dir/ablate_fl_compression.cc.o"
+  "CMakeFiles/ablate_fl_compression.dir/ablate_fl_compression.cc.o.d"
+  "ablate_fl_compression"
+  "ablate_fl_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fl_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fl_selection.dir/ablate_fl_selection.cc.o"
+  "CMakeFiles/ablate_fl_selection.dir/ablate_fl_selection.cc.o.d"
+  "ablate_fl_selection"
+  "ablate_fl_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fl_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

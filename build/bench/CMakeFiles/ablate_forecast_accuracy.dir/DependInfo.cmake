@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_forecast_accuracy.cc" "bench/CMakeFiles/ablate_forecast_accuracy.dir/ablate_forecast_accuracy.cc.o" "gcc" "bench/CMakeFiles/ablate_forecast_accuracy.dir/ablate_forecast_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sustainai_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sustainai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/sustainai_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/sustainai_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sustainai_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/sustainai_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/sustainai_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/sustainai_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sustainai_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_forecast_accuracy.dir/ablate_forecast_accuracy.cc.o"
+  "CMakeFiles/ablate_forecast_accuracy.dir/ablate_forecast_accuracy.cc.o.d"
+  "ablate_forecast_accuracy"
+  "ablate_forecast_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_forecast_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_lifetime.dir/ablate_lifetime.cc.o"
+  "CMakeFiles/ablate_lifetime.dir/ablate_lifetime.cc.o.d"
+  "ablate_lifetime"
+  "ablate_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

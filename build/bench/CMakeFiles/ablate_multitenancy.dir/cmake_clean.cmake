@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_multitenancy.dir/ablate_multitenancy.cc.o"
+  "CMakeFiles/ablate_multitenancy.dir/ablate_multitenancy.cc.o.d"
+  "ablate_multitenancy"
+  "ablate_multitenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_queue_capacity.dir/ablate_queue_capacity.cc.o"
+  "CMakeFiles/ablate_queue_capacity.dir/ablate_queue_capacity.cc.o.d"
+  "ablate_queue_capacity"
+  "ablate_queue_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_queue_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

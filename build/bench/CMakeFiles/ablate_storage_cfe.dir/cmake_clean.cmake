@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_storage_cfe.dir/ablate_storage_cfe.cc.o"
+  "CMakeFiles/ablate_storage_cfe.dir/ablate_storage_cfe.cc.o.d"
+  "ablate_storage_cfe"
+  "ablate_storage_cfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_storage_cfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_technology.dir/ablate_technology.cc.o"
+  "CMakeFiles/ablate_technology.dir/ablate_technology.cc.o.d"
+  "ablate_technology"
+  "ablate_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_data_sampling.dir/appx_data_sampling.cc.o"
+  "CMakeFiles/appx_data_sampling.dir/appx_data_sampling.cc.o.d"
+  "appx_data_sampling"
+  "appx_data_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_data_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_disaggregation.dir/appx_disaggregation.cc.o"
+  "CMakeFiles/appx_disaggregation.dir/appx_disaggregation.cc.o.d"
+  "appx_disaggregation"
+  "appx_disaggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_disaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appx_disaggregation.
+# This may be replaced when dependencies are built.

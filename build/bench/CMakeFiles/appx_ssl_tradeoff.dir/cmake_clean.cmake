@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_ssl_tradeoff.dir/appx_ssl_tradeoff.cc.o"
+  "CMakeFiles/appx_ssl_tradeoff.dir/appx_ssl_tradeoff.cc.o.d"
+  "appx_ssl_tradeoff"
+  "appx_ssl_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_ssl_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appx_ssl_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_tt_rec.dir/appx_tt_rec.cc.o"
+  "CMakeFiles/appx_tt_rec.dir/appx_tt_rec.cc.o.d"
+  "appx_tt_rec"
+  "appx_tt_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_tt_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

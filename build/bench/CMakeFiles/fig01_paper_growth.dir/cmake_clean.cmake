@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_paper_growth.dir/fig01_paper_growth.cc.o"
+  "CMakeFiles/fig01_paper_growth.dir/fig01_paper_growth.cc.o.d"
+  "fig01_paper_growth"
+  "fig01_paper_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_paper_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

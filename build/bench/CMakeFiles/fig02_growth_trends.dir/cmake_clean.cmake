@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_growth_trends.dir/fig02_growth_trends.cc.o"
+  "CMakeFiles/fig02_growth_trends.dir/fig02_growth_trends.cc.o.d"
+  "fig02_growth_trends"
+  "fig02_growth_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_growth_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

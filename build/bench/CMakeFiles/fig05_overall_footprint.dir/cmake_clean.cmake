@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_overall_footprint.dir/fig05_overall_footprint.cc.o"
+  "CMakeFiles/fig05_overall_footprint.dir/fig05_overall_footprint.cc.o.d"
+  "fig05_overall_footprint"
+  "fig05_overall_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_overall_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

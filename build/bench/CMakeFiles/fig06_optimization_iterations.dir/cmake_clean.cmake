@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_optimization_iterations.dir/fig06_optimization_iterations.cc.o"
+  "CMakeFiles/fig06_optimization_iterations.dir/fig06_optimization_iterations.cc.o.d"
+  "fig06_optimization_iterations"
+  "fig06_optimization_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_optimization_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lm_cascade.dir/fig07_lm_cascade.cc.o"
+  "CMakeFiles/fig07_lm_cascade.dir/fig07_lm_cascade.cc.o.d"
+  "fig07_lm_cascade"
+  "fig07_lm_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lm_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_jevons_paradox.dir/fig08_jevons_paradox.cc.o"
+  "CMakeFiles/fig08_jevons_paradox.dir/fig08_jevons_paradox.cc.o.d"
+  "fig08_jevons_paradox"
+  "fig08_jevons_paradox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_jevons_paradox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_federated_learning.dir/fig11_federated_learning.cc.o"
+  "CMakeFiles/fig11_federated_learning.dir/fig11_federated_learning.cc.o.d"
+  "fig11_federated_learning"
+  "fig11_federated_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_federated_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

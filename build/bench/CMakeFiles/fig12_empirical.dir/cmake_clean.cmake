@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_empirical.dir/fig12_empirical.cc.o"
+  "CMakeFiles/fig12_empirical.dir/fig12_empirical.cc.o.d"
+  "fig12_empirical"
+  "fig12_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_scaling_pareto.dir/fig12_scaling_pareto.cc.o"
+  "CMakeFiles/fig12_scaling_pareto.dir/fig12_scaling_pareto.cc.o.d"
+  "fig12_scaling_pareto"
+  "fig12_scaling_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_scaling_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaderboard_efficiency.dir/leaderboard_efficiency.cc.o"
+  "CMakeFiles/leaderboard_efficiency.dir/leaderboard_efficiency.cc.o.d"
+  "leaderboard_efficiency"
+  "leaderboard_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaderboard_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

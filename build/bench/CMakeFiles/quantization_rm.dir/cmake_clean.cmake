@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantization_rm.dir/quantization_rm.cc.o"
+  "CMakeFiles/quantization_rm.dir/quantization_rm.cc.o.d"
+  "quantization_rm"
+  "quantization_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

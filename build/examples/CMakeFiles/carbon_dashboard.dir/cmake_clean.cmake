@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carbon_dashboard.dir/carbon_dashboard.cpp.o"
+  "CMakeFiles/carbon_dashboard.dir/carbon_dashboard.cpp.o.d"
+  "carbon_dashboard"
+  "carbon_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carbon_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/federated_edge.cpp" "examples/CMakeFiles/federated_edge.dir/federated_edge.cpp.o" "gcc" "examples/CMakeFiles/federated_edge.dir/federated_edge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sustainai_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sustainai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/sustainai_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/sustainai_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sustainai_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/sustainai_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/sustainai_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sustainai_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_carbon_scheduling.dir/fleet_carbon_scheduling.cpp.o"
+  "CMakeFiles/fleet_carbon_scheduling.dir/fleet_carbon_scheduling.cpp.o.d"
+  "fleet_carbon_scheduling"
+  "fleet_carbon_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_carbon_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

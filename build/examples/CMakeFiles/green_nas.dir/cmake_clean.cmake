@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_nas.dir/green_nas.cpp.o"
+  "CMakeFiles/green_nas.dir/green_nas.cpp.o.d"
+  "green_nas"
+  "green_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_lifecycle.dir/lm_lifecycle.cpp.o"
+  "CMakeFiles/lm_lifecycle.dir/lm_lifecycle.cpp.o.d"
+  "lm_lifecycle"
+  "lm_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("datagen")
+subdirs("hw")
+subdirs("telemetry")
+subdirs("datacenter")
+subdirs("mlcycle")
+subdirs("optim")
+subdirs("scaling")
+subdirs("fl")
+subdirs("recsys")
+subdirs("report")

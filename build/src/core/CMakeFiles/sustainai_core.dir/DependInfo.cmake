@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/carbon_intensity.cc" "src/core/CMakeFiles/sustainai_core.dir/carbon_intensity.cc.o" "gcc" "src/core/CMakeFiles/sustainai_core.dir/carbon_intensity.cc.o.d"
+  "/root/repo/src/core/embodied.cc" "src/core/CMakeFiles/sustainai_core.dir/embodied.cc.o" "gcc" "src/core/CMakeFiles/sustainai_core.dir/embodied.cc.o.d"
+  "/root/repo/src/core/equivalence.cc" "src/core/CMakeFiles/sustainai_core.dir/equivalence.cc.o" "gcc" "src/core/CMakeFiles/sustainai_core.dir/equivalence.cc.o.d"
+  "/root/repo/src/core/ghg.cc" "src/core/CMakeFiles/sustainai_core.dir/ghg.cc.o" "gcc" "src/core/CMakeFiles/sustainai_core.dir/ghg.cc.o.d"
+  "/root/repo/src/core/lifecycle.cc" "src/core/CMakeFiles/sustainai_core.dir/lifecycle.cc.o" "gcc" "src/core/CMakeFiles/sustainai_core.dir/lifecycle.cc.o.d"
+  "/root/repo/src/core/operational.cc" "src/core/CMakeFiles/sustainai_core.dir/operational.cc.o" "gcc" "src/core/CMakeFiles/sustainai_core.dir/operational.cc.o.d"
+  "/root/repo/src/core/units.cc" "src/core/CMakeFiles/sustainai_core.dir/units.cc.o" "gcc" "src/core/CMakeFiles/sustainai_core.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

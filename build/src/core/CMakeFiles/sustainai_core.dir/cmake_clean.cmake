@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_core.dir/carbon_intensity.cc.o"
+  "CMakeFiles/sustainai_core.dir/carbon_intensity.cc.o.d"
+  "CMakeFiles/sustainai_core.dir/embodied.cc.o"
+  "CMakeFiles/sustainai_core.dir/embodied.cc.o.d"
+  "CMakeFiles/sustainai_core.dir/equivalence.cc.o"
+  "CMakeFiles/sustainai_core.dir/equivalence.cc.o.d"
+  "CMakeFiles/sustainai_core.dir/ghg.cc.o"
+  "CMakeFiles/sustainai_core.dir/ghg.cc.o.d"
+  "CMakeFiles/sustainai_core.dir/lifecycle.cc.o"
+  "CMakeFiles/sustainai_core.dir/lifecycle.cc.o.d"
+  "CMakeFiles/sustainai_core.dir/operational.cc.o"
+  "CMakeFiles/sustainai_core.dir/operational.cc.o.d"
+  "CMakeFiles/sustainai_core.dir/units.cc.o"
+  "CMakeFiles/sustainai_core.dir/units.cc.o.d"
+  "libsustainai_core.a"
+  "libsustainai_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacenter/autoscaler.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/autoscaler.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/autoscaler.cc.o.d"
+  "/root/repo/src/datacenter/capacity_planner.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/capacity_planner.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/capacity_planner.cc.o.d"
+  "/root/repo/src/datacenter/cluster.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/cluster.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/cluster.cc.o.d"
+  "/root/repo/src/datacenter/cooling.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/cooling.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/cooling.cc.o.d"
+  "/root/repo/src/datacenter/diurnal.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/diurnal.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/diurnal.cc.o.d"
+  "/root/repo/src/datacenter/fleet_sim.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/fleet_sim.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/fleet_sim.cc.o.d"
+  "/root/repo/src/datacenter/forecast.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/forecast.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/forecast.cc.o.d"
+  "/root/repo/src/datacenter/queue_sim.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/queue_sim.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/queue_sim.cc.o.d"
+  "/root/repo/src/datacenter/scheduler.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/scheduler.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/scheduler.cc.o.d"
+  "/root/repo/src/datacenter/storage.cc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/storage.cc.o" "gcc" "src/datacenter/CMakeFiles/sustainai_datacenter.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sustainai_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

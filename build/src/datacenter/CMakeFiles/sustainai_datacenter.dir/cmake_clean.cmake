@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_datacenter.dir/autoscaler.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/autoscaler.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/capacity_planner.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/capacity_planner.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/cluster.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/cluster.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/cooling.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/cooling.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/diurnal.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/diurnal.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/fleet_sim.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/fleet_sim.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/forecast.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/forecast.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/queue_sim.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/queue_sim.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/scheduler.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/scheduler.cc.o.d"
+  "CMakeFiles/sustainai_datacenter.dir/storage.cc.o"
+  "CMakeFiles/sustainai_datacenter.dir/storage.cc.o.d"
+  "libsustainai_datacenter.a"
+  "libsustainai_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/distributions.cc" "src/datagen/CMakeFiles/sustainai_datagen.dir/distributions.cc.o" "gcc" "src/datagen/CMakeFiles/sustainai_datagen.dir/distributions.cc.o.d"
+  "/root/repo/src/datagen/growth.cc" "src/datagen/CMakeFiles/sustainai_datagen.dir/growth.cc.o" "gcc" "src/datagen/CMakeFiles/sustainai_datagen.dir/growth.cc.o.d"
+  "/root/repo/src/datagen/rng.cc" "src/datagen/CMakeFiles/sustainai_datagen.dir/rng.cc.o" "gcc" "src/datagen/CMakeFiles/sustainai_datagen.dir/rng.cc.o.d"
+  "/root/repo/src/datagen/stats.cc" "src/datagen/CMakeFiles/sustainai_datagen.dir/stats.cc.o" "gcc" "src/datagen/CMakeFiles/sustainai_datagen.dir/stats.cc.o.d"
+  "/root/repo/src/datagen/trace.cc" "src/datagen/CMakeFiles/sustainai_datagen.dir/trace.cc.o" "gcc" "src/datagen/CMakeFiles/sustainai_datagen.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

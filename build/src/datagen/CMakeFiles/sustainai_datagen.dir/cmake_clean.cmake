@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_datagen.dir/distributions.cc.o"
+  "CMakeFiles/sustainai_datagen.dir/distributions.cc.o.d"
+  "CMakeFiles/sustainai_datagen.dir/growth.cc.o"
+  "CMakeFiles/sustainai_datagen.dir/growth.cc.o.d"
+  "CMakeFiles/sustainai_datagen.dir/rng.cc.o"
+  "CMakeFiles/sustainai_datagen.dir/rng.cc.o.d"
+  "CMakeFiles/sustainai_datagen.dir/stats.cc.o"
+  "CMakeFiles/sustainai_datagen.dir/stats.cc.o.d"
+  "CMakeFiles/sustainai_datagen.dir/trace.cc.o"
+  "CMakeFiles/sustainai_datagen.dir/trace.cc.o.d"
+  "libsustainai_datagen.a"
+  "libsustainai_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/compression.cc" "src/fl/CMakeFiles/sustainai_fl.dir/compression.cc.o" "gcc" "src/fl/CMakeFiles/sustainai_fl.dir/compression.cc.o.d"
+  "/root/repo/src/fl/population.cc" "src/fl/CMakeFiles/sustainai_fl.dir/population.cc.o" "gcc" "src/fl/CMakeFiles/sustainai_fl.dir/population.cc.o.d"
+  "/root/repo/src/fl/round_sim.cc" "src/fl/CMakeFiles/sustainai_fl.dir/round_sim.cc.o" "gcc" "src/fl/CMakeFiles/sustainai_fl.dir/round_sim.cc.o.d"
+  "/root/repo/src/fl/selection.cc" "src/fl/CMakeFiles/sustainai_fl.dir/selection.cc.o" "gcc" "src/fl/CMakeFiles/sustainai_fl.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sustainai_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sustainai_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_fl.dir/compression.cc.o"
+  "CMakeFiles/sustainai_fl.dir/compression.cc.o.d"
+  "CMakeFiles/sustainai_fl.dir/population.cc.o"
+  "CMakeFiles/sustainai_fl.dir/population.cc.o.d"
+  "CMakeFiles/sustainai_fl.dir/round_sim.cc.o"
+  "CMakeFiles/sustainai_fl.dir/round_sim.cc.o.d"
+  "CMakeFiles/sustainai_fl.dir/selection.cc.o"
+  "CMakeFiles/sustainai_fl.dir/selection.cc.o.d"
+  "libsustainai_fl.a"
+  "libsustainai_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/server.cc" "src/hw/CMakeFiles/sustainai_hw.dir/server.cc.o" "gcc" "src/hw/CMakeFiles/sustainai_hw.dir/server.cc.o.d"
+  "/root/repo/src/hw/spec.cc" "src/hw/CMakeFiles/sustainai_hw.dir/spec.cc.o" "gcc" "src/hw/CMakeFiles/sustainai_hw.dir/spec.cc.o.d"
+  "/root/repo/src/hw/technology.cc" "src/hw/CMakeFiles/sustainai_hw.dir/technology.cc.o" "gcc" "src/hw/CMakeFiles/sustainai_hw.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_hw.dir/server.cc.o"
+  "CMakeFiles/sustainai_hw.dir/server.cc.o.d"
+  "CMakeFiles/sustainai_hw.dir/spec.cc.o"
+  "CMakeFiles/sustainai_hw.dir/spec.cc.o.d"
+  "CMakeFiles/sustainai_hw.dir/technology.cc.o"
+  "CMakeFiles/sustainai_hw.dir/technology.cc.o.d"
+  "libsustainai_hw.a"
+  "libsustainai_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsustainai_hw.a"
+)

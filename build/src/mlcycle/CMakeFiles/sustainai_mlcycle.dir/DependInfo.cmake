@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlcycle/carbon_budget.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/carbon_budget.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/carbon_budget.cc.o.d"
+  "/root/repo/src/mlcycle/data_pipeline.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/data_pipeline.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/data_pipeline.cc.o.d"
+  "/root/repo/src/mlcycle/disaggregation.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/disaggregation.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/disaggregation.cc.o.d"
+  "/root/repo/src/mlcycle/experiment_pool.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/experiment_pool.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/experiment_pool.cc.o.d"
+  "/root/repo/src/mlcycle/inference_serving.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/inference_serving.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/inference_serving.cc.o.d"
+  "/root/repo/src/mlcycle/job.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/job.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/job.cc.o.d"
+  "/root/repo/src/mlcycle/leaderboard.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/leaderboard.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/leaderboard.cc.o.d"
+  "/root/repo/src/mlcycle/model_zoo.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/model_zoo.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/model_zoo.cc.o.d"
+  "/root/repo/src/mlcycle/reliability.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/reliability.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/reliability.cc.o.d"
+  "/root/repo/src/mlcycle/training_workflow.cc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/training_workflow.cc.o" "gcc" "src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/training_workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sustainai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sustainai_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sustainai_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

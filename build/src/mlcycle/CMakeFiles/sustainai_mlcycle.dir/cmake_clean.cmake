@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_mlcycle.dir/carbon_budget.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/carbon_budget.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/data_pipeline.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/data_pipeline.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/disaggregation.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/disaggregation.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/experiment_pool.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/experiment_pool.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/inference_serving.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/inference_serving.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/job.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/job.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/leaderboard.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/leaderboard.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/model_zoo.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/model_zoo.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/reliability.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/reliability.cc.o.d"
+  "CMakeFiles/sustainai_mlcycle.dir/training_workflow.cc.o"
+  "CMakeFiles/sustainai_mlcycle.dir/training_workflow.cc.o.d"
+  "libsustainai_mlcycle.a"
+  "libsustainai_mlcycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_mlcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

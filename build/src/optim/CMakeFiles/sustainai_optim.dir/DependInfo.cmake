@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/cascade.cc" "src/optim/CMakeFiles/sustainai_optim.dir/cascade.cc.o" "gcc" "src/optim/CMakeFiles/sustainai_optim.dir/cascade.cc.o.d"
+  "/root/repo/src/optim/jevons.cc" "src/optim/CMakeFiles/sustainai_optim.dir/jevons.cc.o" "gcc" "src/optim/CMakeFiles/sustainai_optim.dir/jevons.cc.o.d"
+  "/root/repo/src/optim/multitenancy.cc" "src/optim/CMakeFiles/sustainai_optim.dir/multitenancy.cc.o" "gcc" "src/optim/CMakeFiles/sustainai_optim.dir/multitenancy.cc.o.d"
+  "/root/repo/src/optim/nas_hpo.cc" "src/optim/CMakeFiles/sustainai_optim.dir/nas_hpo.cc.o" "gcc" "src/optim/CMakeFiles/sustainai_optim.dir/nas_hpo.cc.o.d"
+  "/root/repo/src/optim/once_for_all.cc" "src/optim/CMakeFiles/sustainai_optim.dir/once_for_all.cc.o" "gcc" "src/optim/CMakeFiles/sustainai_optim.dir/once_for_all.cc.o.d"
+  "/root/repo/src/optim/pareto.cc" "src/optim/CMakeFiles/sustainai_optim.dir/pareto.cc.o" "gcc" "src/optim/CMakeFiles/sustainai_optim.dir/pareto.cc.o.d"
+  "/root/repo/src/optim/quantization.cc" "src/optim/CMakeFiles/sustainai_optim.dir/quantization.cc.o" "gcc" "src/optim/CMakeFiles/sustainai_optim.dir/quantization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sustainai_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_optim.dir/cascade.cc.o"
+  "CMakeFiles/sustainai_optim.dir/cascade.cc.o.d"
+  "CMakeFiles/sustainai_optim.dir/jevons.cc.o"
+  "CMakeFiles/sustainai_optim.dir/jevons.cc.o.d"
+  "CMakeFiles/sustainai_optim.dir/multitenancy.cc.o"
+  "CMakeFiles/sustainai_optim.dir/multitenancy.cc.o.d"
+  "CMakeFiles/sustainai_optim.dir/nas_hpo.cc.o"
+  "CMakeFiles/sustainai_optim.dir/nas_hpo.cc.o.d"
+  "CMakeFiles/sustainai_optim.dir/once_for_all.cc.o"
+  "CMakeFiles/sustainai_optim.dir/once_for_all.cc.o.d"
+  "CMakeFiles/sustainai_optim.dir/pareto.cc.o"
+  "CMakeFiles/sustainai_optim.dir/pareto.cc.o.d"
+  "CMakeFiles/sustainai_optim.dir/quantization.cc.o"
+  "CMakeFiles/sustainai_optim.dir/quantization.cc.o.d"
+  "libsustainai_optim.a"
+  "libsustainai_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recsys/dlrm.cc" "src/recsys/CMakeFiles/sustainai_recsys.dir/dlrm.cc.o" "gcc" "src/recsys/CMakeFiles/sustainai_recsys.dir/dlrm.cc.o.d"
+  "/root/repo/src/recsys/mlp.cc" "src/recsys/CMakeFiles/sustainai_recsys.dir/mlp.cc.o" "gcc" "src/recsys/CMakeFiles/sustainai_recsys.dir/mlp.cc.o.d"
+  "/root/repo/src/recsys/trainer.cc" "src/recsys/CMakeFiles/sustainai_recsys.dir/trainer.cc.o" "gcc" "src/recsys/CMakeFiles/sustainai_recsys.dir/trainer.cc.o.d"
+  "/root/repo/src/recsys/tt_embedding.cc" "src/recsys/CMakeFiles/sustainai_recsys.dir/tt_embedding.cc.o" "gcc" "src/recsys/CMakeFiles/sustainai_recsys.dir/tt_embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sustainai_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sustainai_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

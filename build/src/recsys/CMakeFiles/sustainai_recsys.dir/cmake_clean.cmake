@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_recsys.dir/dlrm.cc.o"
+  "CMakeFiles/sustainai_recsys.dir/dlrm.cc.o.d"
+  "CMakeFiles/sustainai_recsys.dir/mlp.cc.o"
+  "CMakeFiles/sustainai_recsys.dir/mlp.cc.o.d"
+  "CMakeFiles/sustainai_recsys.dir/trainer.cc.o"
+  "CMakeFiles/sustainai_recsys.dir/trainer.cc.o.d"
+  "CMakeFiles/sustainai_recsys.dir/tt_embedding.cc.o"
+  "CMakeFiles/sustainai_recsys.dir/tt_embedding.cc.o.d"
+  "libsustainai_recsys.a"
+  "libsustainai_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

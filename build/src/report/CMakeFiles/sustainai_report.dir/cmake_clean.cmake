@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_report.dir/ascii_chart.cc.o"
+  "CMakeFiles/sustainai_report.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/sustainai_report.dir/csv.cc.o"
+  "CMakeFiles/sustainai_report.dir/csv.cc.o.d"
+  "CMakeFiles/sustainai_report.dir/json.cc.o"
+  "CMakeFiles/sustainai_report.dir/json.cc.o.d"
+  "CMakeFiles/sustainai_report.dir/table.cc.o"
+  "CMakeFiles/sustainai_report.dir/table.cc.o.d"
+  "libsustainai_report.a"
+  "libsustainai_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/halflife_fit.cc" "src/scaling/CMakeFiles/sustainai_scaling.dir/halflife_fit.cc.o" "gcc" "src/scaling/CMakeFiles/sustainai_scaling.dir/halflife_fit.cc.o.d"
+  "/root/repo/src/scaling/perishability.cc" "src/scaling/CMakeFiles/sustainai_scaling.dir/perishability.cc.o" "gcc" "src/scaling/CMakeFiles/sustainai_scaling.dir/perishability.cc.o.d"
+  "/root/repo/src/scaling/power_law.cc" "src/scaling/CMakeFiles/sustainai_scaling.dir/power_law.cc.o" "gcc" "src/scaling/CMakeFiles/sustainai_scaling.dir/power_law.cc.o.d"
+  "/root/repo/src/scaling/sampling.cc" "src/scaling/CMakeFiles/sustainai_scaling.dir/sampling.cc.o" "gcc" "src/scaling/CMakeFiles/sustainai_scaling.dir/sampling.cc.o.d"
+  "/root/repo/src/scaling/scaling_grid.cc" "src/scaling/CMakeFiles/sustainai_scaling.dir/scaling_grid.cc.o" "gcc" "src/scaling/CMakeFiles/sustainai_scaling.dir/scaling_grid.cc.o.d"
+  "/root/repo/src/scaling/ssl.cc" "src/scaling/CMakeFiles/sustainai_scaling.dir/ssl.cc.o" "gcc" "src/scaling/CMakeFiles/sustainai_scaling.dir/ssl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sustainai_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sustainai_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

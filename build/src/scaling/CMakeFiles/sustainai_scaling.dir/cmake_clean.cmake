@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_scaling.dir/halflife_fit.cc.o"
+  "CMakeFiles/sustainai_scaling.dir/halflife_fit.cc.o.d"
+  "CMakeFiles/sustainai_scaling.dir/perishability.cc.o"
+  "CMakeFiles/sustainai_scaling.dir/perishability.cc.o.d"
+  "CMakeFiles/sustainai_scaling.dir/power_law.cc.o"
+  "CMakeFiles/sustainai_scaling.dir/power_law.cc.o.d"
+  "CMakeFiles/sustainai_scaling.dir/sampling.cc.o"
+  "CMakeFiles/sustainai_scaling.dir/sampling.cc.o.d"
+  "CMakeFiles/sustainai_scaling.dir/scaling_grid.cc.o"
+  "CMakeFiles/sustainai_scaling.dir/scaling_grid.cc.o.d"
+  "CMakeFiles/sustainai_scaling.dir/ssl.cc.o"
+  "CMakeFiles/sustainai_scaling.dir/ssl.cc.o.d"
+  "libsustainai_scaling.a"
+  "libsustainai_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/attribution.cc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/attribution.cc.o" "gcc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/attribution.cc.o.d"
+  "/root/repo/src/telemetry/counters.cc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/counters.cc.o" "gcc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/counters.cc.o.d"
+  "/root/repo/src/telemetry/energy_meter.cc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/energy_meter.cc.o" "gcc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/energy_meter.cc.o.d"
+  "/root/repo/src/telemetry/model_card.cc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/model_card.cc.o" "gcc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/model_card.cc.o.d"
+  "/root/repo/src/telemetry/nvml_sim.cc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/nvml_sim.cc.o" "gcc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/nvml_sim.cc.o.d"
+  "/root/repo/src/telemetry/rapl_sim.cc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/rapl_sim.cc.o" "gcc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/rapl_sim.cc.o.d"
+  "/root/repo/src/telemetry/tracker.cc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/tracker.cc.o" "gcc" "src/telemetry/CMakeFiles/sustainai_telemetry.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sustainai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sustainai_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai_telemetry.dir/attribution.cc.o"
+  "CMakeFiles/sustainai_telemetry.dir/attribution.cc.o.d"
+  "CMakeFiles/sustainai_telemetry.dir/counters.cc.o"
+  "CMakeFiles/sustainai_telemetry.dir/counters.cc.o.d"
+  "CMakeFiles/sustainai_telemetry.dir/energy_meter.cc.o"
+  "CMakeFiles/sustainai_telemetry.dir/energy_meter.cc.o.d"
+  "CMakeFiles/sustainai_telemetry.dir/model_card.cc.o"
+  "CMakeFiles/sustainai_telemetry.dir/model_card.cc.o.d"
+  "CMakeFiles/sustainai_telemetry.dir/nvml_sim.cc.o"
+  "CMakeFiles/sustainai_telemetry.dir/nvml_sim.cc.o.d"
+  "CMakeFiles/sustainai_telemetry.dir/rapl_sim.cc.o"
+  "CMakeFiles/sustainai_telemetry.dir/rapl_sim.cc.o.d"
+  "CMakeFiles/sustainai_telemetry.dir/tracker.cc.o"
+  "CMakeFiles/sustainai_telemetry.dir/tracker.cc.o.d"
+  "libsustainai_telemetry.a"
+  "libsustainai_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

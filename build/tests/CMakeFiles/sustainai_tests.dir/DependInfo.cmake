@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accounting_sweep_test.cc" "tests/CMakeFiles/sustainai_tests.dir/accounting_sweep_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/accounting_sweep_test.cc.o.d"
+  "/root/repo/tests/attribution_test.cc" "tests/CMakeFiles/sustainai_tests.dir/attribution_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/attribution_test.cc.o.d"
+  "/root/repo/tests/capacity_planner_test.cc" "tests/CMakeFiles/sustainai_tests.dir/capacity_planner_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/capacity_planner_test.cc.o.d"
+  "/root/repo/tests/carbon_intensity_test.cc" "tests/CMakeFiles/sustainai_tests.dir/carbon_intensity_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/carbon_intensity_test.cc.o.d"
+  "/root/repo/tests/cascade_jevons_test.cc" "tests/CMakeFiles/sustainai_tests.dir/cascade_jevons_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/cascade_jevons_test.cc.o.d"
+  "/root/repo/tests/cooling_test.cc" "tests/CMakeFiles/sustainai_tests.dir/cooling_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/cooling_test.cc.o.d"
+  "/root/repo/tests/distributions_test.cc" "tests/CMakeFiles/sustainai_tests.dir/distributions_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/distributions_test.cc.o.d"
+  "/root/repo/tests/diurnal_autoscaler_test.cc" "tests/CMakeFiles/sustainai_tests.dir/diurnal_autoscaler_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/diurnal_autoscaler_test.cc.o.d"
+  "/root/repo/tests/experiment_pool_test.cc" "tests/CMakeFiles/sustainai_tests.dir/experiment_pool_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/experiment_pool_test.cc.o.d"
+  "/root/repo/tests/fl_compression_test.cc" "tests/CMakeFiles/sustainai_tests.dir/fl_compression_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/fl_compression_test.cc.o.d"
+  "/root/repo/tests/fl_selection_test.cc" "tests/CMakeFiles/sustainai_tests.dir/fl_selection_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/fl_selection_test.cc.o.d"
+  "/root/repo/tests/fl_test.cc" "tests/CMakeFiles/sustainai_tests.dir/fl_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/fl_test.cc.o.d"
+  "/root/repo/tests/fleet_sim_test.cc" "tests/CMakeFiles/sustainai_tests.dir/fleet_sim_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/fleet_sim_test.cc.o.d"
+  "/root/repo/tests/forecast_ofa_halflife_test.cc" "tests/CMakeFiles/sustainai_tests.dir/forecast_ofa_halflife_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/forecast_ofa_halflife_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/sustainai_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/ghg_test.cc" "tests/CMakeFiles/sustainai_tests.dir/ghg_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/ghg_test.cc.o.d"
+  "/root/repo/tests/hw_test.cc" "tests/CMakeFiles/sustainai_tests.dir/hw_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/hw_test.cc.o.d"
+  "/root/repo/tests/inference_pipeline_test.cc" "tests/CMakeFiles/sustainai_tests.dir/inference_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/inference_pipeline_test.cc.o.d"
+  "/root/repo/tests/integration2_test.cc" "tests/CMakeFiles/sustainai_tests.dir/integration2_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/integration2_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sustainai_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/json_test.cc" "tests/CMakeFiles/sustainai_tests.dir/json_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/json_test.cc.o.d"
+  "/root/repo/tests/lifecycle_equivalence_test.cc" "tests/CMakeFiles/sustainai_tests.dir/lifecycle_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/lifecycle_equivalence_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/sustainai_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/model_card_leaderboard_test.cc" "tests/CMakeFiles/sustainai_tests.dir/model_card_leaderboard_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/model_card_leaderboard_test.cc.o.d"
+  "/root/repo/tests/model_zoo_test.cc" "tests/CMakeFiles/sustainai_tests.dir/model_zoo_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/model_zoo_test.cc.o.d"
+  "/root/repo/tests/multitenancy_test.cc" "tests/CMakeFiles/sustainai_tests.dir/multitenancy_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/multitenancy_test.cc.o.d"
+  "/root/repo/tests/nas_pareto_test.cc" "tests/CMakeFiles/sustainai_tests.dir/nas_pareto_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/nas_pareto_test.cc.o.d"
+  "/root/repo/tests/operational_embodied_test.cc" "tests/CMakeFiles/sustainai_tests.dir/operational_embodied_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/operational_embodied_test.cc.o.d"
+  "/root/repo/tests/perishability_sampling_test.cc" "tests/CMakeFiles/sustainai_tests.dir/perishability_sampling_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/perishability_sampling_test.cc.o.d"
+  "/root/repo/tests/quantization_test.cc" "tests/CMakeFiles/sustainai_tests.dir/quantization_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/quantization_test.cc.o.d"
+  "/root/repo/tests/recsys_test.cc" "tests/CMakeFiles/sustainai_tests.dir/recsys_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/recsys_test.cc.o.d"
+  "/root/repo/tests/reliability_test.cc" "tests/CMakeFiles/sustainai_tests.dir/reliability_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/reliability_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/sustainai_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/sustainai_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/scaling_grid_test.cc" "tests/CMakeFiles/sustainai_tests.dir/scaling_grid_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/scaling_grid_test.cc.o.d"
+  "/root/repo/tests/scheduler_test.cc" "tests/CMakeFiles/sustainai_tests.dir/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/scheduler_test.cc.o.d"
+  "/root/repo/tests/ssl_test.cc" "tests/CMakeFiles/sustainai_tests.dir/ssl_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/ssl_test.cc.o.d"
+  "/root/repo/tests/stats_growth_test.cc" "tests/CMakeFiles/sustainai_tests.dir/stats_growth_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/stats_growth_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/sustainai_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/technology_test.cc" "tests/CMakeFiles/sustainai_tests.dir/technology_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/technology_test.cc.o.d"
+  "/root/repo/tests/telemetry_counters_test.cc" "tests/CMakeFiles/sustainai_tests.dir/telemetry_counters_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/telemetry_counters_test.cc.o.d"
+  "/root/repo/tests/telemetry_tracker_test.cc" "tests/CMakeFiles/sustainai_tests.dir/telemetry_tracker_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/telemetry_tracker_test.cc.o.d"
+  "/root/repo/tests/trace_queue_test.cc" "tests/CMakeFiles/sustainai_tests.dir/trace_queue_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/trace_queue_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/sustainai_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/trainer_test.cc.o.d"
+  "/root/repo/tests/tt_embedding_test.cc" "tests/CMakeFiles/sustainai_tests.dir/tt_embedding_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/tt_embedding_test.cc.o.d"
+  "/root/repo/tests/units_test.cc" "tests/CMakeFiles/sustainai_tests.dir/units_test.cc.o" "gcc" "tests/CMakeFiles/sustainai_tests.dir/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sustainai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sustainai_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sustainai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/sustainai_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/sustainai_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlcycle/CMakeFiles/sustainai_mlcycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sustainai_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/sustainai_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/sustainai_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/sustainai_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sustainai_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

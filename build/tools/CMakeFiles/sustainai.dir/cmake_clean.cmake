@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainai.dir/sustainai_cli.cc.o"
+  "CMakeFiles/sustainai.dir/sustainai_cli.cc.o.d"
+  "sustainai"
+  "sustainai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
