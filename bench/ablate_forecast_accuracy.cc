@@ -6,6 +6,7 @@
 
 #include "datacenter/forecast.h"
 #include "datagen/trace.h"
+#include "exec/parallel.h"
 #include "report/table.h"
 
 int main() {
@@ -52,16 +53,34 @@ int main() {
   std::printf(
       "Forecast-accuracy ablation: %zu deferrable jobs, three policies\n\n",
       jobs.size());
+  // One independent schedule evaluation per grid case; the Monte-Carlo-style
+  // sweep over cases runs in parallel with results kept in case order.
+  struct CaseResult {
+    double mape = 0.0;
+    ScheduleResult fifo;
+    ScheduleResult persistence;
+    ScheduleResult perfect;
+  };
+  const std::vector<CaseResult> evaluated =
+      exec::parallel_map(cases.size(), [&](std::size_t i) {
+        const IntermittentGrid grid(cases[i].config);
+        const PersistenceForecaster forecaster(grid);
+        CaseResult r;
+        r.mape = forecaster.mape(days(1.0), days(6.0));
+        r.fifo = run_schedule(jobs, grid, FifoPolicy());
+        r.persistence = run_schedule(jobs, grid, PersistenceForecastPolicy());
+        r.perfect = run_schedule(jobs, grid, ForecastPolicy());
+        return r;
+      });
+
   report::Table t({"grid", "forecast MAPE", "policy", "carbon",
                    "vs FIFO", "mean delay (h)"});
-  for (const GridCase& gc : cases) {
-    const IntermittentGrid grid(gc.config);
-    const PersistenceForecaster forecaster(grid);
-    const double mape = forecaster.mape(days(1.0), days(6.0));
-    const auto fifo = run_schedule(jobs, grid, FifoPolicy());
-    const auto persistence =
-        run_schedule(jobs, grid, PersistenceForecastPolicy());
-    const auto perfect = run_schedule(jobs, grid, ForecastPolicy());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const GridCase& gc = cases[i];
+    const double mape = evaluated[i].mape;
+    const auto& fifo = evaluated[i].fifo;
+    const auto& persistence = evaluated[i].persistence;
+    const auto& perfect = evaluated[i].perfect;
     const double fifo_g = to_grams_co2e(fifo.total_carbon);
     for (const auto& [label, r] :
          {std::pair{"fifo", fifo}, std::pair{"persistence", persistence},

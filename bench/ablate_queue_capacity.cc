@@ -7,6 +7,7 @@
 
 #include "datacenter/queue_sim.h"
 #include "datagen/trace.h"
+#include "exec/parallel.h"
 #include "report/table.h"
 
 int main() {
@@ -38,25 +39,41 @@ int main() {
 
   std::printf("Queueing ablation: %zu deferrable jobs over one week\n\n",
               jobs.size());
+  struct Case {
+    int machines;
+    QueuePolicy policy;
+  };
+  std::vector<Case> cases;
+  for (int machines : {16, 24, 48, 96}) {
+    for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kGreedyGreen}) {
+      cases.push_back({machines, policy});
+    }
+  }
+  // Every (pool size, policy) point is an independent simulation; the sweep
+  // runs them in parallel and parallel_map keeps case order.
+  const std::vector<QueueSimResult> results =
+      exec::parallel_map(cases.size(), [&](std::size_t i) {
+        QueueSimConfig cfg = base;
+        cfg.machines = cases[i].machines;
+        return run_queue_sim(jobs, cfg, cases[i].policy);
+      });
+
   report::Table t({"machines", "policy", "carbon", "mean wait (h)",
                    "utilization", "peak running"});
   double fifo_carbon_at_min = 0.0;
   double green_carbon_at_big = 0.0;
-  for (int machines : {16, 24, 48, 96}) {
-    QueueSimConfig cfg = base;
-    cfg.machines = machines;
-    for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kGreedyGreen}) {
-      const QueueSimResult r = run_queue_sim(jobs, cfg, policy);
-      t.add_row({std::to_string(machines), r.policy_name,
-                 to_string(r.total_carbon), report::fmt(to_hours(r.mean_wait)),
-                 report::fmt_percent(r.utilization),
-                 std::to_string(r.peak_running)});
-      if (machines == 16 && policy == QueuePolicy::kFifo) {
-        fifo_carbon_at_min = to_grams_co2e(r.total_carbon);
-      }
-      if (machines == 96 && policy == QueuePolicy::kGreedyGreen) {
-        green_carbon_at_big = to_grams_co2e(r.total_carbon);
-      }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const QueueSimResult& r = results[i];
+    t.add_row({std::to_string(cases[i].machines), r.policy_name,
+               to_string(r.total_carbon), report::fmt(to_hours(r.mean_wait)),
+               report::fmt_percent(r.utilization),
+               std::to_string(r.peak_running)});
+    if (cases[i].machines == 16 && cases[i].policy == QueuePolicy::kFifo) {
+      fifo_carbon_at_min = to_grams_co2e(r.total_carbon);
+    }
+    if (cases[i].machines == 96 &&
+        cases[i].policy == QueuePolicy::kGreedyGreen) {
+      green_carbon_at_big = to_grams_co2e(r.total_carbon);
     }
   }
   std::printf("%s\n", t.to_string().c_str());

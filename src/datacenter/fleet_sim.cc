@@ -1,6 +1,7 @@
 #include "datacenter/fleet_sim.h"
 
 #include "core/check.h"
+#include "exec/parallel.h"
 
 namespace sustainai::datacenter {
 
@@ -22,80 +23,125 @@ FleetSimulator::FleetSimulator(Config config) : config_(std::move(config)) {
   check_arg(config_.opportunistic_utilization >= 0.0 &&
                 config_.opportunistic_utilization <= 1.0,
             "FleetSimulator: opportunistic utilization must be in [0, 1]");
+  check_arg(config_.steps_per_chunk >= 1,
+            "FleetSimulator: steps_per_chunk must be >= 1");
 }
+
+namespace {
+
+// Per-time-chunk accumulator. Each chunk owns one; the chunks are merged in
+// chunk order so floating-point accumulation order never depends on the
+// thread count.
+struct Partial {
+  std::vector<Energy> group_energy;
+  std::vector<double> util_weight;
+  std::vector<double> freed_server_hours;
+  Energy it_energy = joules(0.0);
+  Energy opportunistic_energy = joules(0.0);
+  double opportunistic_server_hours = 0.0;
+  double location_g = 0.0;
+
+  explicit Partial(std::size_t num_groups = 0)
+      : group_energy(num_groups, joules(0.0)),
+        util_weight(num_groups, 0.0),
+        freed_server_hours(num_groups, 0.0) {}
+};
+
+}  // namespace
 
 FleetSimulator::Result FleetSimulator::run() const {
   const IntermittentGrid grid(config_.grid);
   const AutoScaler scaler(config_.autoscaler);
   const auto& groups = config_.cluster.groups();
 
-  Result result;
-  result.it_energy = joules(0.0);
-  result.opportunistic_energy = joules(0.0);
-  result.groups.resize(groups.size());
-  std::vector<double> util_weight(groups.size(), 0.0);
-  for (std::size_t i = 0; i < groups.size(); ++i) {
-    result.groups[i].name = groups[i].name;
-    result.groups[i].tier = groups[i].tier;
-    result.groups[i].it_energy = joules(0.0);
-  }
-
-  double location_g = 0.0;
   const double step_s = to_seconds(config_.step);
   const auto steps =
       static_cast<long>(to_seconds(config_.horizon) / step_s);
-  double step_count = 0.0;
 
-  for (long s = 0; s < steps; ++s) {
-    const Duration now = seconds(step_s * static_cast<double>(s));
-    const CarbonIntensity intensity = grid.intensity_at(now);
-    for (std::size_t i = 0; i < groups.size(); ++i) {
-      const ServerGroup& g = groups[i];
-      if (g.count == 0) {
-        continue;
-      }
-      const double demand = g.load.utilization_at(now);
-      Energy group_energy = joules(0.0);
-      double recorded_util = demand;
-
-      if (g.autoscalable && config_.enable_autoscaler) {
-        const AutoScaler::Decision d = scaler.step(g.count, demand);
-        group_energy =
-            g.sku.energy(d.active_utilization, d.active_utilization,
-                         config_.step) *
-            static_cast<double>(d.active_servers);
-        recorded_util = d.active_utilization;
-        result.groups[i].freed_server_hours +=
-            d.freed_servers * step_s / kSecondsPerHour;
-        if (config_.opportunistic_training && d.freed_servers > 0) {
-          const Energy opp =
-              g.sku.energy(config_.opportunistic_utilization,
-                           config_.opportunistic_utilization, config_.step) *
-              static_cast<double>(d.freed_servers);
-          result.opportunistic_energy += opp;
-          result.opportunistic_server_hours +=
-              d.freed_servers * step_s / kSecondsPerHour;
-          group_energy += opp;
+  auto simulate_chunk = [&](std::size_t begin, std::size_t end,
+                            std::size_t) -> Partial {
+    Partial p(groups.size());
+    for (std::size_t s = begin; s < end; ++s) {
+      const Duration now = seconds(step_s * static_cast<double>(s));
+      const CarbonIntensity intensity = grid.intensity_at(now);
+      for (std::size_t i = 0; i < groups.size(); ++i) {
+        const ServerGroup& g = groups[i];
+        if (g.count == 0) {
+          continue;
         }
-      } else {
-        group_energy = g.sku.energy(demand, demand, config_.step) *
-                       static_cast<double>(g.count);
+        const double demand = g.load.utilization_at(now);
+        Energy group_energy = joules(0.0);
+        double recorded_util = demand;
+
+        if (g.autoscalable && config_.enable_autoscaler) {
+          const AutoScaler::Decision d = scaler.step(g.count, demand);
+          group_energy =
+              g.sku.energy(d.active_utilization, d.active_utilization,
+                           config_.step) *
+              static_cast<double>(d.active_servers);
+          recorded_util = d.active_utilization;
+          p.freed_server_hours[i] += d.freed_servers * step_s / kSecondsPerHour;
+          if (config_.opportunistic_training && d.freed_servers > 0) {
+            const Energy opp =
+                g.sku.energy(config_.opportunistic_utilization,
+                             config_.opportunistic_utilization, config_.step) *
+                static_cast<double>(d.freed_servers);
+            p.opportunistic_energy += opp;
+            p.opportunistic_server_hours +=
+                d.freed_servers * step_s / kSecondsPerHour;
+            group_energy += opp;
+          }
+        } else {
+          group_energy = g.sku.energy(demand, demand, config_.step) *
+                         static_cast<double>(g.count);
+        }
+
+        p.group_energy[i] += group_energy;
+        p.util_weight[i] += recorded_util;
+        p.it_energy += group_energy;
+        p.location_g += to_joules(group_energy * config_.pue) * intensity.base();
       }
-
-      result.groups[i].it_energy += group_energy;
-      util_weight[i] += recorded_util;
-      result.it_energy += group_energy;
-      location_g += to_joules(group_energy * config_.pue) * intensity.base();
     }
-    step_count += 1.0;
-  }
+    return p;
+  };
 
+  auto merge = [&groups](Partial acc, Partial p) -> Partial {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      acc.group_energy[i] += p.group_energy[i];
+      acc.util_weight[i] += p.util_weight[i];
+      acc.freed_server_hours[i] += p.freed_server_hours[i];
+    }
+    acc.it_energy += p.it_energy;
+    acc.opportunistic_energy += p.opportunistic_energy;
+    acc.opportunistic_server_hours += p.opportunistic_server_hours;
+    acc.location_g += p.location_g;
+    return acc;
+  };
+
+  exec::ParallelOptions options;
+  options.pool = config_.pool;
+  options.chunk_size = static_cast<std::size_t>(config_.steps_per_chunk);
+  const Partial total =
+      exec::parallel_reduce(static_cast<std::size_t>(steps),
+                            Partial(groups.size()), simulate_chunk, merge,
+                            options);
+
+  Result result;
+  result.groups.resize(groups.size());
+  const double step_count = static_cast<double>(steps);
   for (std::size_t i = 0; i < groups.size(); ++i) {
+    result.groups[i].name = groups[i].name;
+    result.groups[i].tier = groups[i].tier;
+    result.groups[i].it_energy = total.group_energy[i];
+    result.groups[i].freed_server_hours = total.freed_server_hours[i];
     result.groups[i].mean_utilization =
-        step_count > 0.0 ? util_weight[i] / step_count : 0.0;
+        step_count > 0.0 ? total.util_weight[i] / step_count : 0.0;
   }
+  result.it_energy = total.it_energy;
+  result.opportunistic_energy = total.opportunistic_energy;
+  result.opportunistic_server_hours = total.opportunistic_server_hours;
   result.facility_energy = result.it_energy * config_.pue;
-  result.location_carbon = grams_co2e(location_g);
+  result.location_carbon = grams_co2e(total.location_g);
   result.market_carbon = market_based(result.location_carbon, config_.cfe_coverage);
   return result;
 }

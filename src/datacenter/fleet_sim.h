@@ -4,6 +4,10 @@
 // autoscalable tiers are consolidated by the AutoScaler and their freed
 // servers optionally run opportunistic offline training; IT energy is
 // inflated by PUE and converted to carbon against a time-varying grid.
+//
+// The horizon is simulated in fixed time chunks executed in parallel on an
+// exec::ThreadPool; per-chunk partial sums are merged in chunk order, so the
+// result is bit-identical at any thread count (see exec/parallel.h).
 #pragma once
 
 #include <string>
@@ -13,6 +17,7 @@
 #include "core/units.h"
 #include "datacenter/autoscaler.h"
 #include "datacenter/cluster.h"
+#include "exec/thread_pool.h"
 
 namespace sustainai::datacenter {
 
@@ -30,6 +35,11 @@ class FleetSimulator {
     // Freed web-tier servers run offline training at this utilization.
     bool opportunistic_training = true;
     double opportunistic_utilization = 0.90;
+    // Parallel execution: nullptr uses exec::ThreadPool::global(). Chunk
+    // boundaries depend only on `steps_per_chunk` and the horizon, never on
+    // the pool size, which is what keeps the parallel run deterministic.
+    exec::ThreadPool* pool = nullptr;
+    long steps_per_chunk = 256;
   };
 
   struct GroupResult {

@@ -58,8 +58,10 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
       queue.push_back(next_arrival);
       ++next_arrival;
     }
-    // Start jobs while machines are free.
+    // One grid lookup per step, shared by the admission decision and the
+    // energy accounting below — they must never drift apart.
     const double intensity_now = grid.intensity_at(seconds(now_s)).base();
+    // Start jobs while machines are free.
     std::vector<std::size_t> still_waiting;
     for (std::size_t qi = 0; qi < queue.size(); ++qi) {
       const std::size_t ji = queue[qi];
@@ -86,12 +88,11 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
     peak_running = std::max(peak_running, static_cast<int>(running.size()));
 
     // Advance one step.
-    const double intensity = grid.intensity_at(seconds(now_s)).base();
     for (Running& r : running) {
       const double dt = std::min(step_s, r.remaining_s);
       const double energy_j =
           to_watts(jobs[r.job_index].power) * dt * config.pue;
-      r.carbon_g += energy_j * intensity;
+      r.carbon_g += energy_j * intensity_now;
       r.remaining_s -= dt;
       busy_machine_s += dt;
     }

@@ -39,16 +39,40 @@ double max_value(std::span<const double> values) {
   return *std::max_element(values.begin(), values.end());
 }
 
-double percentile(std::span<const double> values, double q) {
-  check_arg(!values.empty(), "percentile: empty input");
+namespace {
+
+// Type-7 interpolation on an already-sorted sample.
+double percentile_of_sorted(const std::vector<double>& sorted, double q) {
   check_arg(q >= 0.0 && q <= 1.0, "percentile: q must be in [0, 1]");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lower = static_cast<std::size_t>(std::floor(pos));
   const auto upper = static_cast<std::size_t>(std::ceil(pos));
   const double frac = pos - static_cast<double>(lower);
   return sorted[lower] * (1.0 - frac) + sorted[upper] * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> values, double q) {
+  return percentiles(values, {q}).front();
+}
+
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> qs) {
+  check_arg(!values.empty(), "percentile: empty input");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    out.push_back(percentile_of_sorted(sorted, q));
+  }
+  return out;
+}
+
+std::vector<double> percentiles(std::span<const double> values,
+                                std::initializer_list<double> qs) {
+  return percentiles(values, std::span<const double>(qs.begin(), qs.size()));
 }
 
 Histogram::Histogram(double lo, double hi, int num_bins) : lo_(lo), hi_(hi) {
@@ -59,9 +83,17 @@ Histogram::Histogram(double lo, double hi, int num_bins) : lo_(lo), hi_(hi) {
 }
 
 void Histogram::add(double value) {
-  int bin = static_cast<int>(std::floor((value - lo_) / width_));
-  bin = std::clamp(bin, 0, num_bins() - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  if (!std::isfinite(value)) {
+    // NaN has no bin and ±inf lies in no [lo, hi) interval.
+    ++non_finite_;
+    return;
+  }
+  // Clamp before the int cast: converting a double outside int's range
+  // (or NaN) to int is undefined behavior.
+  const double pos =
+      std::clamp(std::floor((value - lo_) / width_), 0.0,
+                 static_cast<double>(num_bins() - 1));
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,8 +19,18 @@ namespace sustainai::datagen {
 // (the common "type 7" estimator). q in [0, 1]. values need not be sorted.
 [[nodiscard]] double percentile(std::span<const double> values, double q);
 
-// Fixed-width histogram over [lo, hi); values outside are clamped into the
-// first/last bin so that mass is never silently dropped.
+// Several percentiles of the same sample with a single sort; prefer this
+// over repeated percentile() calls (p50/p95/p99 re-sorts the input each
+// time). Returns one value per q, in the order the qs were given.
+[[nodiscard]] std::vector<double> percentiles(std::span<const double> values,
+                                              std::span<const double> qs);
+[[nodiscard]] std::vector<double> percentiles(std::span<const double> values,
+                                              std::initializer_list<double> qs);
+
+// Fixed-width histogram over [lo, hi); finite values outside are clamped
+// into the first/last bin so that mass is never silently dropped. Non-finite
+// values (NaN, ±inf) belong to no bin: they are tallied in non_finite() and
+// excluded from total() and every fraction.
 class Histogram {
  public:
   Histogram(double lo, double hi, int num_bins);
@@ -30,6 +41,7 @@ class Histogram {
   [[nodiscard]] int num_bins() const { return static_cast<int>(counts_.size()); }
   [[nodiscard]] std::size_t count(int bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t non_finite() const { return non_finite_; }
   // Fraction of samples in `bin`, 0 if empty.
   [[nodiscard]] double fraction(int bin) const;
   // Fraction of mass whose value lies in [lo, hi) (sums covered bins).
@@ -44,6 +56,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t non_finite_ = 0;
 };
 
 }  // namespace sustainai::datagen

@@ -1,0 +1,136 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+namespace sustainai::exec {
+
+namespace {
+std::atomic<std::uint64_t> g_parallel_regions{0};
+std::atomic<std::uint64_t> g_chunks_executed{0};
+std::atomic<std::uint64_t> g_items_processed{0};
+}  // namespace
+
+ChunkPlan::Range ChunkPlan::chunk(std::size_t c) const {
+  const std::size_t begin = c * chunk_size;
+  return {begin, std::min(total, begin + chunk_size)};
+}
+
+ChunkPlan plan_chunks(std::size_t total, std::size_t chunk_size) {
+  ChunkPlan plan;
+  plan.total = total;
+  plan.chunk_size = chunk_size > 0 ? chunk_size
+                                   : std::max<std::size_t>(1, total / 256);
+  return plan;
+}
+
+CounterSnapshot counters() {
+  CounterSnapshot s;
+  s.parallel_regions = g_parallel_regions.load(std::memory_order_relaxed);
+  s.chunks_executed = g_chunks_executed.load(std::memory_order_relaxed);
+  s.items_processed = g_items_processed.load(std::memory_order_relaxed);
+  s.pool_threads = static_cast<std::uint64_t>(ThreadPool::global().size());
+  return s;
+}
+
+void reset_counters() {
+  g_parallel_regions.store(0, std::memory_order_relaxed);
+  g_chunks_executed.store(0, std::memory_order_relaxed);
+  g_items_processed.store(0, std::memory_order_relaxed);
+}
+
+void run_chunks(ThreadPool* pool, const ChunkPlan& plan,
+                const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t num_chunks = plan.num_chunks();
+  if (num_chunks == 0) {
+    return;
+  }
+  g_parallel_regions.fetch_add(1, std::memory_order_relaxed);
+
+  ThreadPool& executor = pool != nullptr ? *pool : ThreadPool::global();
+
+  // Chunks run inline in ascending order when parallelism cannot help; this
+  // is the canonical sequential path the parallel one must match bit-exactly.
+  if (executor.size() <= 1 || num_chunks == 1) {
+    std::exception_ptr error;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const ChunkPlan::Range r = plan.chunk(c);
+      try {
+        body(c, r.begin, r.end);
+      } catch (...) {
+        if (error == nullptr) {
+          error = std::current_exception();
+        }
+      }
+      g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
+      g_items_processed.fetch_add(r.end - r.begin, std::memory_order_relaxed);
+    }
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+
+  // Shared by the caller and the helper tasks; shared_ptr because a helper
+  // may wake after every chunk has been claimed (and run_chunks returned).
+  struct Region {
+    explicit Region(const ChunkPlan& p,
+                    std::function<void(std::size_t, std::size_t, std::size_t)> b)
+        : plan(p), body(std::move(b)) {}
+    ChunkPlan plan;
+    std::function<void(std::size_t, std::size_t, std::size_t)> body;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first failure only; guarded by mu
+  };
+  auto region = std::make_shared<Region>(plan, body);
+
+  auto drain = [region] {
+    const std::size_t total_chunks = region->plan.num_chunks();
+    for (;;) {
+      const std::size_t c = region->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total_chunks) {
+        return;
+      }
+      const ChunkPlan::Range r = region->plan.chunk(c);
+      try {
+        region->body(c, r.begin, r.end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(region->mu);
+        if (region->error == nullptr) {
+          region->error = std::current_exception();
+        }
+      }
+      g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
+      g_items_processed.fetch_add(r.end - r.begin, std::memory_order_relaxed);
+      if (region->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          total_chunks) {
+        std::lock_guard<std::mutex> lock(region->mu);
+        region->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min(static_cast<std::size_t>(executor.size()), num_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    executor.submit(drain);
+  }
+  drain();  // the caller participates, so nested regions cannot deadlock
+
+  std::unique_lock<std::mutex> lock(region->mu);
+  region->cv.wait(lock, [&region, num_chunks] {
+    return region->done.load(std::memory_order_acquire) == num_chunks;
+  });
+  if (region->error != nullptr) {
+    std::rethrow_exception(region->error);
+  }
+}
+
+}  // namespace sustainai::exec

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "exec/parallel.h"
 #include "scaling/power_law.h"
 
 namespace sustainai::scaling {
@@ -31,18 +32,19 @@ ScalingGrid::ScalingGrid(RecsysScalingLaw law, std::vector<double> data_factors,
     : law_(law) {
   check_arg(!data_factors.empty() && !model_factors.empty(),
             "ScalingGrid: factor lists must be non-empty");
-  points_.reserve(data_factors.size() * model_factors.size());
-  for (double d : data_factors) {
-    for (double m : model_factors) {
-      GridPoint p;
-      p.data_factor = d;
-      p.model_factor = m;
-      p.energy_per_step = law_.energy_per_step(m);
-      p.total_energy = law_.total_energy(d, m);
-      p.normalized_entropy = law_.normalized_entropy(d, m);
-      points_.push_back(p);
-    }
-  }
+  // Each point is evaluated independently and written to its own slot, so
+  // the grid fills in parallel with deterministic (row-major) layout.
+  points_.resize(data_factors.size() * model_factors.size());
+  exec::parallel_for(points_.size(), [&](std::size_t idx) {
+    const double d = data_factors[idx / model_factors.size()];
+    const double m = model_factors[idx % model_factors.size()];
+    GridPoint& p = points_[idx];
+    p.data_factor = d;
+    p.model_factor = m;
+    p.energy_per_step = law_.energy_per_step(m);
+    p.total_energy = law_.total_energy(d, m);
+    p.normalized_entropy = law_.normalized_entropy(d, m);
+  });
 }
 
 const GridPoint& ScalingGrid::at(double data_factor, double model_factor) const {

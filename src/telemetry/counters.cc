@@ -1,6 +1,18 @@
 #include "telemetry/counters.h"
 
+#include "exec/parallel.h"
+
 namespace sustainai::telemetry {
+
+ExecWorkCounters exec_work_counters() {
+  const exec::CounterSnapshot s = exec::counters();
+  ExecWorkCounters out;
+  out.parallel_regions = s.parallel_regions;
+  out.chunks_executed = s.chunks_executed;
+  out.items_processed = s.items_processed;
+  out.pool_threads = s.pool_threads;
+  return out;
+}
 
 CounterSampler::CounterSampler(const EnergyCounter& counter)
     : counter_(counter), last_raw_(counter.read_raw()), total_(joules(0.0)) {}

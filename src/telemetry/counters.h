@@ -13,6 +13,17 @@
 
 namespace sustainai::telemetry {
 
+// Process-wide work counters of the exec layer (exec/parallel.h), re-exported
+// here so telemetry consumers can report compute work (parallel regions,
+// chunks, items) alongside the energy counters below.
+struct ExecWorkCounters {
+  std::uint64_t parallel_regions = 0;
+  std::uint64_t chunks_executed = 0;
+  std::uint64_t items_processed = 0;
+  std::uint64_t pool_threads = 0;
+};
+[[nodiscard]] ExecWorkCounters exec_work_counters();
+
 // A raw cumulative hardware energy counter.
 class EnergyCounter {
  public:

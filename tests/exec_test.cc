@@ -1,0 +1,327 @@
+// The exec/parallel.h determinism contract: identical bits at any thread
+// count, because chunking is fixed, randomness is forked per chunk, and
+// reductions merge in chunk order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "datacenter/fleet_sim.h"
+#include "datacenter/queue_sim.h"
+#include "datagen/rng.h"
+#include "datagen/trace.h"
+#include "exec/parallel.h"
+#include "report/csv.h"
+#include "telemetry/counters.h"
+
+namespace sustainai::exec {
+namespace {
+
+TEST(ChunkPlan, CoversRangeExactlyOnce) {
+  const ChunkPlan plan = plan_chunks(1003, 64);
+  std::vector<int> visits(1003, 0);
+  for (std::size_t c = 0; c < plan.num_chunks(); ++c) {
+    const ChunkPlan::Range r = plan.chunk(c);
+    EXPECT_LT(r.begin, r.end);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      ++visits[i];
+    }
+  }
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 1003);
+  EXPECT_EQ(*std::min_element(visits.begin(), visits.end()), 1);
+  EXPECT_EQ(*std::max_element(visits.begin(), visits.end()), 1);
+}
+
+TEST(ChunkPlan, DefaultSizeDependsOnTotalOnly) {
+  // The default plan must be a pure function of the problem size — it is
+  // what makes results independent of SUSTAINAI_THREADS.
+  const ChunkPlan a = plan_chunks(100000);
+  const ChunkPlan b = plan_chunks(100000);
+  EXPECT_EQ(a.chunk_size, b.chunk_size);
+  EXPECT_EQ(plan_chunks(0).num_chunks(), 0u);
+  EXPECT_EQ(plan_chunks(5).chunk_size, 1u);
+}
+
+TEST(Parallel, ForVisitsEveryIndexOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> visits(4097);
+    for (auto& v : visits) {
+      v = 0;
+    }
+    ParallelOptions options;
+    options.pool = &pool;
+    options.chunk_size = 32;
+    parallel_for(visits.size(), [&](std::size_t i) { ++visits[i]; }, options);
+    for (const auto& v : visits) {
+      ASSERT_EQ(v.load(), 1);
+    }
+  }
+}
+
+TEST(Parallel, MapKeepsIndexOrder) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    options.chunk_size = 7;
+    const std::vector<std::size_t> out =
+        parallel_map(1000, [](std::size_t i) { return i * 3 + 1; }, options);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i * 3 + 1);
+    }
+  }
+}
+
+TEST(Parallel, ForkedRngStreamsAreBitIdenticalAcrossThreadCounts) {
+  const datagen::Rng base(1234);
+  auto draw = [&base](std::size_t i) {
+    datagen::Rng rng = base.fork(i);
+    return rng.normal() + rng.uniform01();
+  };
+  ThreadPool one(1);
+  ParallelOptions sequential;
+  sequential.pool = &one;
+  const std::vector<double> reference = parallel_map(500, draw, sequential);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    const std::vector<double> got = parallel_map(500, draw, options);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], reference[i]) << i;  // exact, not NEAR
+    }
+  }
+}
+
+TEST(Parallel, ReduceMergesInChunkOrder) {
+  // Floating-point sums are order-sensitive; the ordered merge must make
+  // the total independent of thread count, bit for bit.
+  const datagen::Rng base(99);
+  auto chunk_sum = [&base](std::size_t begin, std::size_t end,
+                           std::size_t chunk_id) {
+    datagen::Rng rng = base.fork(chunk_id);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      sum += rng.lognormal(0.0, 2.0);
+    }
+    return sum;
+  };
+  auto add = [](double a, double b) { return a + b; };
+  double reference = 0.0;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    options.chunk_size = 37;
+    const double total =
+        parallel_reduce(10000, 0.0, chunk_sum, add, options);
+    if (threads == 1) {
+      reference = total;
+      EXPECT_GT(total, 0.0);
+    } else {
+      ASSERT_EQ(total, reference);
+    }
+  }
+}
+
+TEST(Parallel, EmptyRangeIsANoOp) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(parallel_map(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(Parallel, FirstExceptionPropagates) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    options.chunk_size = 8;
+    EXPECT_THROW(
+        parallel_for(
+            1000,
+            [](std::size_t i) {
+              if (i == 437) {
+                throw std::runtime_error("chunk failure");
+              }
+            },
+            options),
+        std::runtime_error);
+  }
+}
+
+TEST(Parallel, NestedRegionsDoNotDeadlock) {
+  ThreadPool pool(2);
+  ParallelOptions options;
+  options.pool = &pool;
+  std::atomic<int> total{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        parallel_for(16, [&](std::size_t) { ++total; }, ParallelOptions{});
+      },
+      options);
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(Counters, AdvanceAndSurfaceThroughTelemetry) {
+  reset_counters();
+  parallel_for(100, [](std::size_t) {}, ParallelOptions{nullptr, 10});
+  const CounterSnapshot snap = counters();
+  EXPECT_EQ(snap.parallel_regions, 1u);
+  EXPECT_EQ(snap.chunks_executed, 10u);
+  EXPECT_EQ(snap.items_processed, 100u);
+  EXPECT_GE(snap.pool_threads, 1u);
+  const telemetry::ExecWorkCounters surfaced = telemetry::exec_work_counters();
+  EXPECT_GE(surfaced.parallel_regions, snap.parallel_regions);
+  EXPECT_GE(surfaced.items_processed, snap.items_processed);
+  EXPECT_EQ(surfaced.pool_threads, snap.pool_threads);
+}
+
+// --- End-to-end determinism of the simulators built on exec ---------------
+
+datacenter::FleetSimulator::Config fleet_config(exec::ThreadPool* pool) {
+  using namespace datacenter;
+  Cluster cluster;
+  ServerGroup web;
+  web.name = "web";
+  web.sku = hw::skus::web_tier();
+  web.count = 300;
+  web.tier = Tier::kWeb;
+  web.load = DiurnalProfile{0.3, 0.9, 20.0};
+  web.autoscalable = true;
+  cluster.add_group(web);
+  ServerGroup train;
+  train.name = "train";
+  train.sku = hw::skus::gpu_training_8x();
+  train.count = 12;
+  train.tier = Tier::kAiTraining;
+  train.load = flat_profile(0.5);
+  cluster.add_group(train);
+
+  FleetSimulator::Config c;
+  c.cluster = cluster;
+  c.grid.profile = grids::us_average();
+  c.grid.solar_share = 0.3;
+  c.grid.wind_share = 0.2;
+  c.grid.firm_share = 0.1;
+  c.horizon = days(10.0);
+  c.step = minutes(15.0);
+  c.steps_per_chunk = 64;
+  c.pool = pool;
+  return c;
+}
+
+TEST(ExecDeterminism, FleetSimulatorResultIsByteIdenticalAcrossThreadCounts) {
+  using datacenter::FleetSimulator;
+  ThreadPool one(1);
+  const FleetSimulator::Result reference =
+      FleetSimulator(fleet_config(&one)).run();
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    const FleetSimulator::Result got =
+        FleetSimulator(fleet_config(&pool)).run();
+    // Exact equality on every field — no tolerances anywhere.
+    ASSERT_EQ(got.groups.size(), reference.groups.size());
+    for (std::size_t i = 0; i < got.groups.size(); ++i) {
+      EXPECT_EQ(got.groups[i].name, reference.groups[i].name);
+      EXPECT_EQ(got.groups[i].tier, reference.groups[i].tier);
+      EXPECT_EQ(to_joules(got.groups[i].it_energy),
+                to_joules(reference.groups[i].it_energy));
+      EXPECT_EQ(got.groups[i].mean_utilization,
+                reference.groups[i].mean_utilization);
+      EXPECT_EQ(got.groups[i].freed_server_hours,
+                reference.groups[i].freed_server_hours);
+    }
+    EXPECT_EQ(to_joules(got.it_energy), to_joules(reference.it_energy));
+    EXPECT_EQ(to_joules(got.facility_energy),
+              to_joules(reference.facility_energy));
+    EXPECT_EQ(to_grams_co2e(got.location_carbon),
+              to_grams_co2e(reference.location_carbon));
+    EXPECT_EQ(to_grams_co2e(got.market_carbon),
+              to_grams_co2e(reference.market_carbon));
+    EXPECT_EQ(got.opportunistic_server_hours,
+              reference.opportunistic_server_hours);
+    EXPECT_EQ(to_joules(got.opportunistic_energy),
+              to_joules(reference.opportunistic_energy));
+  }
+}
+
+// A queue-sim capacity sweep rendered to CSV, with the sweep parallelized
+// via parallel_map: the emitted artifact must not depend on thread count.
+std::string sweep_csv(ThreadPool* pool) {
+  using namespace datacenter;
+  datagen::Rng rng(7);
+  std::vector<BatchJob> jobs;
+  int id = 0;
+  for (const Duration& arrival : datagen::poisson_arrivals(2.0, days(2.0), rng)) {
+    BatchJob j;
+    j.id = "job-" + std::to_string(id++);
+    j.power = kilowatts(20.0);
+    j.duration = hours(2.0);
+    j.arrival = arrival;
+    j.slack = hours(12.0);
+    jobs.push_back(j);
+  }
+  QueueSimConfig base;
+  base.grid.profile = grids::us_west_solar();
+  base.grid.solar_share = 0.5;
+  base.grid.firm_share = 0.2;
+  base.max_horizon = days(30.0);
+
+  struct Case {
+    int machines;
+    QueuePolicy policy;
+  };
+  std::vector<Case> cases;
+  for (int machines : {4, 8, 16}) {
+    for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kGreedyGreen}) {
+      cases.push_back({machines, policy});
+    }
+  }
+  ParallelOptions options;
+  options.pool = pool;
+  options.chunk_size = 1;
+  const std::vector<QueueSimResult> results = parallel_map(
+      cases.size(),
+      [&](std::size_t i) {
+        QueueSimConfig cfg = base;
+        cfg.machines = cases[i].machines;
+        return run_queue_sim(jobs, cfg, cases[i].policy);
+      },
+      options);
+
+  report::CsvWriter csv({"machines", "policy", "carbon_g", "mean_wait_s",
+                         "utilization"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    char carbon[32], wait[32], util[32];
+    std::snprintf(carbon, sizeof(carbon), "%.17g",
+                  to_grams_co2e(results[i].total_carbon));
+    std::snprintf(wait, sizeof(wait), "%.17g",
+                  to_seconds(results[i].mean_wait));
+    std::snprintf(util, sizeof(util), "%.17g", results[i].utilization);
+    csv.add_row({std::to_string(cases[i].machines), results[i].policy_name,
+                 carbon, wait, util});
+  }
+  return csv.to_string();
+}
+
+TEST(ExecDeterminism, QueueSweepCsvIsIdenticalAcrossThreadCounts) {
+  ThreadPool one(1);
+  const std::string reference = sweep_csv(&one);
+  EXPECT_NE(reference.find("queue-green"), std::string::npos);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(sweep_csv(&pool), reference);
+  }
+}
+
+}  // namespace
+}  // namespace sustainai::exec

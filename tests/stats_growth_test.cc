@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -38,6 +39,31 @@ TEST(Stats, PercentileSingleElement) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 7.0);
 }
 
+TEST(Stats, PercentilesSingleSortMatchesRepeatedCalls) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(std::sin(i * 12.9898) * 43758.5453);
+  }
+  const std::vector<double> qs = {0.0, 0.05, 0.5, 0.95, 0.99, 1.0};
+  const std::vector<double> batch = percentiles(v, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(v, qs[i])) << qs[i];
+  }
+  // Initializer-list convenience overload.
+  const std::vector<double> p = percentiles(v, {0.5, 0.99});
+  EXPECT_DOUBLE_EQ(p[0], percentile(v, 0.5));
+  EXPECT_DOUBLE_EQ(p[1], percentile(v, 0.99));
+}
+
+TEST(Stats, PercentilesValidatesInput) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW((void)percentiles({}, {0.5}), std::invalid_argument);
+  EXPECT_THROW((void)percentiles(v, {-0.1}), std::invalid_argument);
+  EXPECT_THROW((void)percentiles(v, {1.1}), std::invalid_argument);
+  EXPECT_TRUE(percentiles(v, std::initializer_list<double>{}).empty());
+}
+
 TEST(Histogram, BinsAndFractions) {
   Histogram h(0.0, 1.0, 10);
   h.add(0.05);
@@ -58,6 +84,33 @@ TEST(Histogram, ClampsOutOfRange) {
   EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.count(3), 1u);
   EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, ClampsValuesBeyondIntRange) {
+  // These magnitudes used to be cast to int before clamping — undefined
+  // behavior once (value - lo) / width overflows int.
+  Histogram h(0.0, 1.0, 4);
+  h.add(1e300);
+  h.add(-1e300);
+  h.add(6.5e9);   // > INT_MAX after the divide
+  h.add(-6.5e9);  // < INT_MIN after the divide
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.non_finite(), 0u);
+}
+
+TEST(Histogram, NonFiniteValuesNeverLandInABin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::nan(""));
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(0.5);
+  EXPECT_EQ(h.non_finite(), 3u);
+  EXPECT_EQ(h.total(), 1u);  // only the finite sample is binned
+  EXPECT_EQ(h.count(0) + h.count(1) + h.count(2) + h.count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 1.0);
+  EXPECT_NEAR(h.mass_between(0.0, 1.0), 1.0, 1e-12);
 }
 
 TEST(Histogram, MassBetweenSumsCoveredBins) {
