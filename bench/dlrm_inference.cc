@@ -36,6 +36,11 @@ int main() {
     samples.push_back(model.random_sample(rng));
   }
 
+  // Reference fp32 probabilities come from one batched pass: the bottom and
+  // top MLPs run as blocked GEMMs (bit-identical to per-sample forward), so
+  // the timed loops below measure only the serving-precision side.
+  const std::vector<float> refs = model.forward_batch(samples);
+
   report::Table t({"serving format", "bytes/inference", "max |dp|",
                    "mean |dp|", "throughput (inf/s)"});
   for (NumericFormat f : {NumericFormat::kFp32, NumericFormat::kFp16,
@@ -43,16 +48,15 @@ int main() {
     std::vector<double> diffs;
     diffs.reserve(n);
     const auto start = std::chrono::steady_clock::now();
-    for (const auto& s : samples) {
-      const float p = model.forward_quantized(s, f);
-      const float ref = model.forward(s);
-      diffs.push_back(std::fabs(static_cast<double>(p) - ref));
+    for (int i = 0; i < n; ++i) {
+      const float p = model.forward_quantized(samples[static_cast<std::size_t>(i)], f);
+      diffs.push_back(
+          std::fabs(static_cast<double>(p) - refs[static_cast<std::size_t>(i)]));
     }
     const auto elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
-    // Half the loop time is the reference pass; report the serving side.
-    const double throughput = n / (elapsed / 2.0);
+    const double throughput = n / elapsed;
     t.add_row({optim::to_string(f),
                report::fmt(to_bytes(model.embedding_bytes_per_inference(f))),
                report::fmt(datagen::max_value(diffs)),

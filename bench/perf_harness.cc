@@ -1,0 +1,310 @@
+#include "perf_harness.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/carbon_intensity.h"
+#include "core/intensity_table.h"
+#include "core/units.h"
+#include "datacenter/fleet_sim.h"
+#include "datagen/rng.h"
+#include "hw/server.h"
+#include "recsys/mlp.h"
+#include "recsys/trainer.h"
+#include "report/json.h"
+
+namespace sustainai::bench {
+namespace {
+
+// --- Shared fixtures -------------------------------------------------------
+
+// 15-minute grid over ~42 days; 86400 / 900 is exact, so the table's
+// day-periodic solar cache is active (the common production configuration).
+constexpr int kLookups = 4096;
+constexpr double kStepSeconds = 900.0;
+
+IntermittentGrid::Config bench_grid_config() {
+  IntermittentGrid::Config cfg;
+  cfg.profile = grids::us_average();
+  cfg.solar_share = 0.3;
+  cfg.wind_share = 0.2;
+  cfg.firm_share = 0.1;
+  return cfg;
+}
+
+datacenter::FleetSimulator::Config fleet_bench_config(bool use_table) {
+  using namespace datacenter;
+  Cluster cluster;
+  ServerGroup web;
+  web.name = "web";
+  web.sku = hw::skus::web_tier();
+  web.count = 300;
+  web.tier = Tier::kWeb;
+  web.load = DiurnalProfile{0.3, 0.9, 20.0};
+  web.autoscalable = true;
+  cluster.add_group(web);
+  ServerGroup train;
+  train.name = "train";
+  train.sku = hw::skus::gpu_training_8x();
+  train.count = 12;
+  train.tier = Tier::kAiTraining;
+  train.load = flat_profile(0.5);
+  cluster.add_group(train);
+
+  FleetSimulator::Config c;
+  c.cluster = cluster;
+  c.grid = bench_grid_config();
+  c.horizon = days(10.0);
+  c.step = minutes(15.0);
+  c.steps_per_chunk = 64;
+  c.use_intensity_table = use_table;
+  return c;
+}
+
+constexpr long kFleetSteps = 960;  // days(10) / minutes(15)
+
+// --- Benchmark bodies ------------------------------------------------------
+
+void bm_intensity_direct(benchmark::State& state) {
+  const IntermittentGrid grid(bench_grid_config());
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int k = 0; k < kLookups; ++k) {
+      acc += grid.intensity_at(seconds(kStepSeconds * k)).base();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kLookups);
+}
+
+void bm_intensity_table_lookup(benchmark::State& state) {
+  const IntermittentGrid grid(bench_grid_config());
+  IntensityTable table(grid, seconds(0.0), seconds(kStepSeconds));
+  table.prebuild(kLookups);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int k = 0; k < kLookups; ++k) {
+      acc += table.at_index(k).base();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kLookups);
+}
+
+void bm_intensity_table_build(benchmark::State& state) {
+  const IntermittentGrid grid(bench_grid_config());
+  for (auto _ : state) {
+    IntensityTable table(grid, seconds(0.0), seconds(kStepSeconds));
+    table.prebuild(kLookups);
+    benchmark::DoNotOptimize(table.at_index(kLookups - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * kLookups);
+}
+
+void bm_fleet_step(benchmark::State& state, bool use_table) {
+  const datacenter::FleetSimulator sim(fleet_bench_config(use_table));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * kFleetSteps);
+}
+
+constexpr int kGemmBatch = 64;
+constexpr int kGemmIn = 64;
+constexpr int kGemmOut = 64;
+
+std::vector<float> gemm_input(datagen::Rng& rng) {
+  std::vector<float> in(static_cast<std::size_t>(kGemmBatch) * kGemmIn);
+  for (float& v : in) {
+    v = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return in;
+}
+
+void bm_dense_gemv(benchmark::State& state) {
+  datagen::Rng rng(11);
+  const recsys::DenseLayer layer =
+      recsys::DenseLayer::random(kGemmIn, kGemmOut, true, rng);
+  const std::vector<float> in = gemm_input(rng);
+  std::vector<float> out(static_cast<std::size_t>(kGemmBatch) * kGemmOut);
+  for (auto _ : state) {
+    for (int b = 0; b < kGemmBatch; ++b) {
+      layer.forward({in.data() + static_cast<std::size_t>(b) * kGemmIn,
+                     static_cast<std::size_t>(kGemmIn)},
+                    {out.data() + static_cast<std::size_t>(b) * kGemmOut,
+                     static_cast<std::size_t>(kGemmOut)});
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kGemmBatch);
+}
+
+void bm_dense_forward_batch(benchmark::State& state) {
+  datagen::Rng rng(11);
+  const recsys::DenseLayer layer =
+      recsys::DenseLayer::random(kGemmIn, kGemmOut, true, rng);
+  const std::vector<float> in = gemm_input(rng);
+  std::vector<float> out(static_cast<std::size_t>(kGemmBatch) * kGemmOut);
+  for (auto _ : state) {
+    layer.forward_batch(in, out, kGemmBatch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kGemmBatch);
+}
+
+constexpr int kPredictBatch = 64;
+
+void bm_dlrm_predict(benchmark::State& state, bool batched) {
+  recsys::TrainableDlrmConfig cfg;
+  cfg.table_rows = {2000, 1000};
+  const recsys::TrainableDlrm model(cfg);
+  const auto data = recsys::synthesize_ctr_dataset(cfg, kPredictBatch, 7);
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(model.predict_batch(data));
+    } else {
+      float acc = 0.0f;
+      for (const auto& sample : data) {
+        acc += model.predict(sample);
+      }
+      benchmark::DoNotOptimize(acc);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kPredictBatch);
+}
+
+}  // namespace
+
+void JsonTrailReporter::ReportRuns(const std::vector<Run>& reports) {
+  ConsoleReporter::ReportRuns(reports);
+  for (const Run& run : reports) {
+    if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+      continue;
+    }
+    BenchRecord rec;
+    // The bare function name, not benchmark_name(): smoke mode appends
+    // "/iterations:1", which would break name matching across JSON files.
+    rec.name = run.run_name.function_name;
+    const double iters =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    rec.ns_per_op = run.real_accumulated_time / iters * 1e9;
+    const auto it = run.counters.find("items_per_second");
+    if (it != run.counters.end()) {
+      rec.items_per_second = static_cast<double>(it->second);
+    }
+    records_.push_back(std::move(rec));
+  }
+}
+
+void register_kernel_benchmarks(bool smoke) {
+  const auto add = [smoke](const char* name, auto&& fn) {
+    auto* b = benchmark::RegisterBenchmark(
+        name, std::forward<decltype(fn)>(fn));
+    if (smoke) {
+      b->Iterations(1);
+    }
+  };
+  add("intensity_direct", bm_intensity_direct);
+  add("intensity_table_lookup", bm_intensity_table_lookup);
+  add("intensity_table_build", bm_intensity_table_build);
+  add("fleet_step_direct",
+      [](benchmark::State& s) { bm_fleet_step(s, false); });
+  add("fleet_step_table",
+      [](benchmark::State& s) { bm_fleet_step(s, true); });
+  add("dense_gemv", bm_dense_gemv);
+  add("dense_forward_batch", bm_dense_forward_batch);
+  add("dlrm_predict_loop",
+      [](benchmark::State& s) { bm_dlrm_predict(s, false); });
+  add("dlrm_predict_batch",
+      [](benchmark::State& s) { bm_dlrm_predict(s, true); });
+}
+
+std::string render_bench_json(const std::vector<BenchRecord>& records) {
+  report::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "sustainai-bench-v1");
+  w.begin_array("benchmarks");
+  for (const BenchRecord& r : records) {
+    w.begin_object();
+    w.field("name", r.name);
+    w.field("ns_per_op", r.ns_per_op);
+    w.field("items_per_second", r.items_per_second);
+    w.end_object();
+  }
+  w.end_array();
+
+  const auto find = [&records](const char* name) -> const BenchRecord* {
+    for (const BenchRecord& r : records) {
+      if (r.name == name) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  struct SpeedupPair {
+    const char* slow;
+    const char* fast;
+    const char* key;
+  };
+  // Each pair performs identical work per iteration, so the ns/op ratio is
+  // the fast path's speedup.
+  constexpr SpeedupPair kPairs[] = {
+      {"intensity_direct", "intensity_table_lookup",
+       "intensity_lookup_speedup"},
+      {"fleet_step_direct", "fleet_step_table", "fleet_step_speedup"},
+      {"dense_gemv", "dense_forward_batch", "dense_gemm_speedup"},
+      {"dlrm_predict_loop", "dlrm_predict_batch", "dlrm_predict_speedup"},
+  };
+  w.begin_object("derived");
+  for (const SpeedupPair& p : kPairs) {
+    const BenchRecord* slow = find(p.slow);
+    const BenchRecord* fast = find(p.fast);
+    if (slow != nullptr && fast != nullptr && fast->ns_per_op > 0.0) {
+      w.field(p.key, slow->ns_per_op / fast->ns_per_op);
+    }
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace sustainai::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_kernels.json";
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+
+  sustainai::bench::register_kernel_benchmarks(smoke);
+  sustainai::bench::JsonTrailReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  const std::string json =
+      sustainai::bench::render_bench_json(reporter.records());
+  std::ofstream file(out_path);
+  file << json << '\n';
+  if (!file) {
+    std::fprintf(stderr, "perf_harness: failed to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("perf_harness: wrote %zu benchmark records to %s\n",
+              reporter.records().size(), out_path.c_str());
+  return 0;
+}

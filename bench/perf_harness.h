@@ -1,0 +1,58 @@
+// Perf-regression harness for the repo's hot-path kernels.
+//
+// Registers google-benchmark microbenchmarks covering each fast path added
+// by the kernel overhaul next to the direct path it replaces:
+//   - carbon-intensity lookup: IntermittentGrid::intensity_at vs a prebuilt
+//     IntensityTable (plus the one-off table build cost),
+//   - the fleet-sim step loop with the table on and off,
+//   - the recsys dense kernels: per-sample GEMV vs the blocked
+//     DenseLayer::forward_batch GEMM, and the per-sample DLRM predict loop
+//     vs TrainableDlrm::predict_batch.
+//
+// Results are captured through a reporter and rendered as machine-readable
+// JSON (BENCH_kernels.json): per-benchmark ns/op and items/s plus derived
+// fast-path speedups. `tools/bench_diff.py` compares two such files and
+// flags regressions; the `bench_smoke` ctest target runs every benchmark
+// for one iteration so the harness itself cannot rot.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace sustainai::bench {
+
+// One measured benchmark, normalized for the JSON trail.
+struct BenchRecord {
+  std::string name;
+  double ns_per_op = 0.0;        // wall time per benchmark iteration
+  double items_per_second = 0.0; // from SetItemsProcessed, 0 if unset
+};
+
+// Console reporter that also keeps a machine-readable copy of every
+// completed (non-aggregate, non-errored) run.
+class JsonTrailReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override;
+
+  [[nodiscard]] const std::vector<BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+// Registers every kernel benchmark with google-benchmark. With `smoke` each
+// benchmark is pinned to a single iteration — fast enough for ctest, and it
+// still exercises every setup and kernel path.
+void register_kernel_benchmarks(bool smoke);
+
+// Renders the records plus derived `<fast path>_speedup` ratios (direct
+// ns/op divided by fast-path ns/op, for pairs measured over identical work)
+// as a JSON document. Schema: see DESIGN.md "Perf-regression harness".
+[[nodiscard]] std::string render_bench_json(
+    const std::vector<BenchRecord>& records);
+
+}  // namespace sustainai::bench

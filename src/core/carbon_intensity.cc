@@ -42,6 +42,8 @@ IntermittentGrid::IntermittentGrid(Config config) : config_(std::move(config)) {
             "IntermittentGrid: shares must be non-negative");
   check_arg(config_.sunrise_hour < config_.sunset_hour,
             "IntermittentGrid: sunrise must precede sunset");
+  daylight_hours_ = config_.sunset_hour - config_.sunrise_hour;
+  wind_mean_weight_ = config_.wind_share * 2.0;
   // Derive a deterministic set of wind harmonics from the seed (splitmix64).
   std::uint64_t s = config_.seed;
   auto next = [&s]() {
@@ -63,38 +65,97 @@ IntermittentGrid::IntermittentGrid(Config config) : config_(std::move(config)) {
   }
 }
 
-double IntermittentGrid::solar_availability(Duration t) const {
-  const double hour_of_day =
-      std::fmod(to_seconds(t), kSecondsPerDay) / kSecondsPerHour;
+double IntermittentGrid::solar_term(double seconds_of_day) const {
+  const double hour_of_day = seconds_of_day / kSecondsPerHour;
   if (hour_of_day < config_.sunrise_hour || hour_of_day > config_.sunset_hour) {
     return 0.0;
   }
-  const double daylight = config_.sunset_hour - config_.sunrise_hour;
-  const double x = (hour_of_day - config_.sunrise_hour) / daylight;
+  const double x = (hour_of_day - config_.sunrise_hour) / daylight_hours_;
   return std::sin(M_PI * x);
 }
 
-double IntermittentGrid::wind_availability(Duration t) const {
+double IntermittentGrid::wind_term(double seconds) const {
   // Mean 0.5, smoothly varying; rescaled into [0, 1].
   double v = 0.0;
   for (size_t i = 0; i < wind_phase_.size(); ++i) {
-    v += std::sin(wind_freq_[i] * to_seconds(t) + wind_phase_[i]);
+    v += std::sin(wind_freq_[i] * seconds + wind_phase_[i]);
   }
   v /= static_cast<double>(wind_phase_.size());  // roughly in [-1, 1]
   return std::clamp(0.5 + 0.5 * v, 0.0, 1.0);
 }
 
-double IntermittentGrid::carbon_free_availability(Duration t) const {
-  const double a = config_.firm_share +
-                   config_.solar_share * solar_availability(t) +
-                   config_.wind_share * 2.0 * wind_availability(t) *
+double IntermittentGrid::solar_availability(Duration t) const {
+  return solar_term(std::fmod(to_seconds(t), kSecondsPerDay));
+}
+
+double IntermittentGrid::wind_availability(Duration t) const {
+  return wind_term(to_seconds(t));
+}
+
+double IntermittentGrid::availability_from_terms(double solar,
+                                                 double wind) const {
+  const double a = config_.firm_share + config_.solar_share * solar +
+                   wind_mean_weight_ * wind *
                        0.5;  // wind_share is the *mean* contribution
   return std::clamp(a, 0.0, 1.0);
 }
 
-CarbonIntensity IntermittentGrid::intensity_at(Duration t) const {
-  const double fossil_fraction = 1.0 - carbon_free_availability(t);
+double IntermittentGrid::carbon_free_availability(Duration t) const {
+  return availability_from_terms(solar_availability(t), wind_availability(t));
+}
+
+CarbonIntensity IntermittentGrid::intensity_from_terms(double solar,
+                                                       double wind) const {
+  const double fossil_fraction = 1.0 - availability_from_terms(solar, wind);
   return config_.profile.fossil_marginal * fossil_fraction;
+}
+
+CarbonIntensity IntermittentGrid::intensity_at(Duration t) const {
+  const double t_s = to_seconds(t);
+  return intensity_from_terms(solar_term(std::fmod(t_s, kSecondsPerDay)),
+                              wind_term(t_s));
+}
+
+std::vector<CarbonIntensity> IntermittentGrid::intensity_series(
+    Duration start, Duration step, long n) const {
+  check_arg(n >= 0, "intensity_series: n must be >= 0");
+  check_arg(to_seconds(step) > 0.0, "intensity_series: step must be positive");
+  const double start_s = to_seconds(start);
+  const double step_s = to_seconds(step);
+  // Solar repeats whenever the second-of-day repeats. On a step grid that
+  // divides the day evenly this happens every `period` entries; the cache is
+  // only reused on an exact double match, so an off-grid start or rounding
+  // in start + step * k can never perturb results — it just recomputes.
+  long period = std::lround(kSecondsPerDay / step_s);
+  constexpr long kMaxSolarSlots = 1L << 20;
+  if (period < 1 || period > kMaxSolarSlots ||
+      static_cast<double>(period) * step_s != kSecondsPerDay) {
+    period = 0;
+  }
+  std::vector<double> slot_sec(static_cast<std::size_t>(period),
+                               -1.0);  // seconds-of-day are >= 0
+  std::vector<double> slot_val(static_cast<std::size_t>(period), 0.0);
+  std::vector<CarbonIntensity> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (long k = 0; k < n; ++k) {
+    const double t_s = start_s + step_s * static_cast<double>(k);
+    const double sec_of_day = std::fmod(t_s, kSecondsPerDay);
+    double solar;
+    if (period > 0) {
+      const auto slot = static_cast<std::size_t>(k % period);
+      if (slot_sec[slot] == sec_of_day) {
+        solar = slot_val[slot];
+      } else {
+        solar = solar_term(sec_of_day);
+        slot_sec[slot] = sec_of_day;
+        slot_val[slot] = solar;
+      }
+    } else {
+      solar = solar_term(sec_of_day);
+    }
+    out.push_back(intensity_from_terms(solar, wind_term(t_s)));
+  }
+  return out;
 }
 
 CarbonIntensity IntermittentGrid::mean_intensity(Duration start, Duration window,

@@ -79,13 +79,37 @@ class IntermittentGrid {
   [[nodiscard]] CarbonIntensity mean_intensity(Duration start, Duration window,
                                                int steps = 64) const;
 
+  // Batch evaluation at t_k = start + step * k for k in [0, n): bit-identical
+  // to calling intensity_at(t_k) per k, but the harmonics are evaluated in a
+  // single pass and the day-periodic solar term is cached and reused whenever
+  // a timestamp's second-of-day repeats exactly.
+  [[nodiscard]] std::vector<CarbonIntensity> intensity_series(Duration start,
+                                                              Duration step,
+                                                              long n) const;
+
+  // Decomposed evaluation, for batch fast paths (see core/intensity_table.h):
+  // intensity_at(t) == intensity_from_terms(
+  //     solar_term(fmod(to_seconds(t), kSecondsPerDay)),
+  //     wind_term(to_seconds(t))).
+  // The solar term depends on t only through the second-of-day, so it can be
+  // cached per day-slot; the wind term is the expensive harmonic sum.
+  [[nodiscard]] double solar_term(double seconds_of_day) const;
+  [[nodiscard]] double wind_term(double seconds) const;
+  [[nodiscard]] CarbonIntensity intensity_from_terms(double solar,
+                                                     double wind) const;
+
   [[nodiscard]] const GridProfile& profile() const { return config_.profile; }
 
  private:
   [[nodiscard]] double solar_availability(Duration t) const;
   [[nodiscard]] double wind_availability(Duration t) const;
+  [[nodiscard]] double availability_from_terms(double solar, double wind) const;
 
   Config config_;
+  // Subexpressions of the availability model hoisted out of the per-call
+  // helpers: daylight span and the wind mean weight.
+  double daylight_hours_ = 12.0;
+  double wind_mean_weight_ = 0.0;  // wind_share * 2.0
   // Seed-derived phases/frequencies for the wind process.
   std::vector<double> wind_phase_;
   std::vector<double> wind_freq_;

@@ -24,6 +24,9 @@ enum class Tier {
   kStorage,          // data storage + ingestion pipeline
 };
 
+// Number of Tier values; sized for per-tier accumulator arrays.
+inline constexpr std::size_t kNumTiers = 5;
+
 [[nodiscard]] const char* to_string(Tier tier);
 
 struct ServerGroup {

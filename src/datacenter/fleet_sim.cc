@@ -1,18 +1,15 @@
 #include "datacenter/fleet_sim.h"
 
 #include "core/check.h"
+#include "core/intensity_table.h"
 #include "exec/parallel.h"
 
 namespace sustainai::datacenter {
 
 Energy FleetSimulator::Result::it_energy_for(Tier tier) const {
-  Energy sum = joules(0.0);
-  for (const GroupResult& g : groups) {
-    if (g.tier == tier) {
-      sum += g.it_energy;
-    }
-  }
-  return sum;
+  const auto index = static_cast<std::size_t>(tier);
+  check_arg(index < tier_it_energy_.size(), "it_energy_for: unknown tier");
+  return tier_it_energy_[index];
 }
 
 FleetSimulator::FleetSimulator(Config config) : config_(std::move(config)) {
@@ -58,12 +55,24 @@ FleetSimulator::Result FleetSimulator::run() const {
   const auto steps =
       static_cast<long>(to_seconds(config_.horizon) / step_s);
 
+  // One harmonic pass over the horizon up front; the per-step loops below
+  // then read intensities in O(1). Prebuilding before the parallel region
+  // keeps the table read-only (and therefore race-free) inside the chunks.
+  IntensityTable table(grid, seconds(0.0), config_.step);
+  if (config_.use_intensity_table) {
+    table.prebuild(steps);
+  }
+  const IntensityTable& shared_table = table;
+
   auto simulate_chunk = [&](std::size_t begin, std::size_t end,
                             std::size_t) -> Partial {
     Partial p(groups.size());
     for (std::size_t s = begin; s < end; ++s) {
       const Duration now = seconds(step_s * static_cast<double>(s));
-      const CarbonIntensity intensity = grid.intensity_at(now);
+      const CarbonIntensity intensity =
+          config_.use_intensity_table
+              ? shared_table.at_index(static_cast<long>(s))
+              : grid.intensity_at(now);
       for (std::size_t i = 0; i < groups.size(); ++i) {
         const ServerGroup& g = groups[i];
         if (g.count == 0) {
@@ -136,6 +145,10 @@ FleetSimulator::Result FleetSimulator::run() const {
     result.groups[i].freed_server_hours = total.freed_server_hours[i];
     result.groups[i].mean_utilization =
         step_count > 0.0 ? total.util_weight[i] / step_count : 0.0;
+    // Per-tier sums accumulate in group order — the same order the old
+    // per-call linear scan used, so it_energy_for is bit-compatible.
+    result.tier_it_energy_[static_cast<std::size_t>(groups[i].tier)] +=
+        total.group_energy[i];
   }
   result.it_energy = total.it_energy;
   result.opportunistic_energy = total.opportunistic_energy;

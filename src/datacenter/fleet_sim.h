@@ -10,6 +10,7 @@
 // result is bit-identical at any thread count (see exec/parallel.h).
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,11 @@ class FleetSimulator {
     // the pool size, which is what keeps the parallel run deterministic.
     exec::ThreadPool* pool = nullptr;
     long steps_per_chunk = 256;
+    // Serve per-step grid intensities from a prebuilt IntensityTable (one
+    // harmonic pass over the horizon) instead of evaluating intensity_at
+    // per step. Results are bit-identical either way; the toggle exists so
+    // tests can prove it.
+    bool use_intensity_table = true;
   };
 
   struct GroupResult {
@@ -59,10 +65,13 @@ class FleetSimulator {
     // Server-hours harvested for opportunistic training.
     double opportunistic_server_hours = 0.0;
     Energy opportunistic_energy;
+    // O(1): served from per-tier sums precomputed when the chunk results
+    // are merged, not by scanning `groups` per call.
     [[nodiscard]] Energy it_energy_for(Tier tier) const;
 
    private:
     friend class FleetSimulator;
+    std::array<Energy, kNumTiers> tier_it_energy_{};
   };
 
   explicit FleetSimulator(Config config);

@@ -10,10 +10,17 @@ namespace sustainai::datacenter {
 PersistenceForecaster::PersistenceForecaster(const IntermittentGrid& grid)
     : grid_(grid) {}
 
+PersistenceForecaster::PersistenceForecaster(IntensityTable& table)
+    : grid_(table.grid()), table_(&table) {}
+
+CarbonIntensity PersistenceForecaster::actual_at(Duration t) const {
+  return table_ != nullptr ? table_->intensity_at(t) : grid_.intensity_at(t);
+}
+
 CarbonIntensity PersistenceForecaster::predict(Duration t) const {
   check_arg(to_seconds(t) >= 0.0, "PersistenceForecaster: t must be >= 0");
   const double lag_s = std::max(0.0, to_seconds(t) - kSecondsPerDay);
-  return grid_.intensity_at(seconds(lag_s));
+  return actual_at(seconds(lag_s));
 }
 
 CarbonIntensity PersistenceForecaster::predict_mean(Duration start,
@@ -39,7 +46,7 @@ double PersistenceForecaster::mape(Duration start, Duration horizon,
   long count = 0;
   for (double s = 0.0; s < to_seconds(horizon); s += to_seconds(step)) {
     const Duration t = start + seconds(s);
-    const double actual = grid_.intensity_at(t).base();
+    const double actual = actual_at(t).base();
     if (actual <= 0.0) {
       continue;  // avoid division blow-ups during fully-clean intervals
     }
@@ -57,7 +64,13 @@ PersistenceForecastPolicy::PersistenceForecastPolicy(Duration probe_step)
 
 Duration PersistenceForecastPolicy::choose_start(
     const BatchJob& job, const IntermittentGrid& grid) const {
-  const PersistenceForecaster forecaster(grid);
+  IntensityTable table(grid, seconds(0.0), probe_step_);
+  return choose_start(job, table);
+}
+
+Duration PersistenceForecastPolicy::choose_start(const BatchJob& job,
+                                                 IntensityTable& table) const {
+  const PersistenceForecaster forecaster(table);
   const double slack_s = to_seconds(job.slack);
   Duration best = job.arrival;
   double best_mean = std::numeric_limits<double>::infinity();

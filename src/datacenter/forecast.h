@@ -19,6 +19,10 @@ namespace sustainai::datacenter {
 class PersistenceForecaster {
  public:
   explicit PersistenceForecaster(const IntermittentGrid& grid);
+  // Cached variant: lagged lookups are served through `table` so repeated
+  // probes over the same horizon evaluate each timestamp's harmonics once.
+  // Bit-identical to the direct-grid forecaster.
+  explicit PersistenceForecaster(IntensityTable& table);
 
   [[nodiscard]] CarbonIntensity predict(Duration t) const;
   // Mean predicted intensity over [start, start+window].
@@ -30,7 +34,10 @@ class PersistenceForecaster {
                             Duration step = minutes(30.0)) const;
 
  private:
+  [[nodiscard]] CarbonIntensity actual_at(Duration t) const;
+
   const IntermittentGrid& grid_;
+  IntensityTable* table_ = nullptr;
 };
 
 // Forecast-driven slack scheduling using the persistence forecaster
@@ -41,6 +48,9 @@ class PersistenceForecastPolicy final : public SchedulerPolicy {
   [[nodiscard]] std::string name() const override { return "persistence-forecast"; }
   [[nodiscard]] Duration choose_start(const BatchJob& job,
                                       const IntermittentGrid& grid) const override;
+  [[nodiscard]] Duration choose_start(const BatchJob& job,
+                                      IntensityTable& table) const override;
+  [[nodiscard]] Duration probe_step() const override { return probe_step_; }
 
  private:
   Duration probe_step_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "core/intensity_table.h"
 
 namespace sustainai::datacenter {
 
@@ -31,6 +32,7 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
   });
 
   const IntermittentGrid grid(config.grid);
+  IntensityTable table(grid, seconds(0.0), config.step);
   struct Running {
     std::size_t job_index;
     double remaining_s;
@@ -60,7 +62,10 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
     }
     // One grid lookup per step, shared by the admission decision and the
     // energy accounting below — they must never drift apart.
-    const double intensity_now = grid.intensity_at(seconds(now_s)).base();
+    const double intensity_now =
+        (config.use_intensity_table ? table.intensity_at(seconds(now_s))
+                                    : grid.intensity_at(seconds(now_s)))
+            .base();
     // Start jobs while machines are free.
     std::vector<std::size_t> still_waiting;
     for (std::size_t qi = 0; qi < queue.size(); ++qi) {

@@ -34,6 +34,10 @@ struct QueueSimConfig {
   // Safety horizon: simulation aborts (throws) if jobs cannot finish
   // within `max_horizon` — indicates an overloaded configuration.
   Duration max_horizon = days(60.0);
+  // Serve per-step intensities from a lazily-extended IntensityTable
+  // instead of re-evaluating the grid harmonics each step. Bit-identical
+  // results either way (see core/intensity_table.h).
+  bool use_intensity_table = true;
 };
 
 struct CompletedJob {

@@ -9,11 +9,21 @@
 namespace sustainai::datacenter {
 namespace {
 
-// Carbon of running `job` starting at `start` against `grid` with `pue`.
+// Carbon of running `job` starting at `start`, with the grid served through
+// the shared per-grid cache (bit-identical to grid.mean_intensity).
 CarbonMass job_carbon(const BatchJob& job, Duration start,
-                      const IntermittentGrid& grid, double pue) {
-  const CarbonIntensity mean = grid.mean_intensity(start, job.duration);
+                      IntensityTable& table, double pue) {
+  const CarbonIntensity mean = table.mean_intensity(start, job.duration);
   return (job.power * job.duration * pue) * mean;
+}
+
+// The shared table is keyed on the policy's probe grid; policies that do
+// not probe (FIFO) still need a positive step for the table's index map.
+IntensityTable make_policy_table(const IntermittentGrid& grid,
+                                 const SchedulerPolicy& policy) {
+  const Duration step = policy.probe_step();
+  return IntensityTable(grid, seconds(0.0),
+                        to_seconds(step) > 0.0 ? step : minutes(15.0));
 }
 
 // Max concurrent power over the schedule, evaluated at job start/end edges.
@@ -66,12 +76,18 @@ ThresholdPolicy::ThresholdPolicy(CarbonIntensity threshold, Duration probe_step)
 
 Duration ThresholdPolicy::choose_start(const BatchJob& job,
                                        const IntermittentGrid& grid) const {
+  IntensityTable table(grid, seconds(0.0), probe_step_);
+  return choose_start(job, table);
+}
+
+Duration ThresholdPolicy::choose_start(const BatchJob& job,
+                                       IntensityTable& table) const {
   const double slack_s = to_seconds(job.slack);
   Duration best = job.arrival;
   double best_intensity = std::numeric_limits<double>::infinity();
   for (double off = 0.0; off <= slack_s; off += to_seconds(probe_step_)) {
     const Duration t = job.arrival + seconds(off);
-    const double intensity = grid.intensity_at(t).base();
+    const double intensity = table.intensity_at(t).base();
     if (intensity <= threshold_.base()) {
       return t;
     }
@@ -90,12 +106,18 @@ ForecastPolicy::ForecastPolicy(Duration probe_step) : probe_step_(probe_step) {
 
 Duration ForecastPolicy::choose_start(const BatchJob& job,
                                       const IntermittentGrid& grid) const {
+  IntensityTable table(grid, seconds(0.0), probe_step_);
+  return choose_start(job, table);
+}
+
+Duration ForecastPolicy::choose_start(const BatchJob& job,
+                                      IntensityTable& table) const {
   const double slack_s = to_seconds(job.slack);
   Duration best = job.arrival;
   double best_mean = std::numeric_limits<double>::infinity();
   for (double off = 0.0; off <= slack_s; off += to_seconds(probe_step_)) {
     const Duration t = job.arrival + seconds(off);
-    const double mean = grid.mean_intensity(t, job.duration).base();
+    const double mean = table.mean_intensity(t, job.duration).base();
     if (mean < best_mean) {
       best_mean = mean;
       best = t;
@@ -108,6 +130,7 @@ ScheduleResult run_schedule(const std::vector<BatchJob>& jobs,
                             const IntermittentGrid& grid,
                             const SchedulerPolicy& policy, double pue) {
   check_arg(pue >= 1.0, "run_schedule: PUE must be >= 1.0");
+  IntensityTable table = make_policy_table(grid, policy);
   std::vector<ScheduledJob> scheduled;
   scheduled.reserve(jobs.size());
   for (const BatchJob& job : jobs) {
@@ -115,12 +138,12 @@ ScheduleResult run_schedule(const std::vector<BatchJob>& jobs,
               "run_schedule: job duration must be positive");
     check_arg(to_seconds(job.slack) >= 0.0,
               "run_schedule: job slack must be non-negative");
-    const Duration start = policy.choose_start(job, grid);
+    const Duration start = policy.choose_start(job, table);
     check_arg(to_seconds(start) >= to_seconds(job.arrival) &&
                   to_seconds(start) <= to_seconds(job.arrival + job.slack),
               "run_schedule: policy chose a start outside the slack window");
     scheduled.push_back(
-        ScheduledJob{job, start, job_carbon(job, start, grid, pue)});
+        ScheduledJob{job, start, job_carbon(job, start, table, pue)});
   }
   return summarize(policy.name(), std::move(scheduled));
 }
@@ -130,14 +153,20 @@ ScheduleResult run_cross_region_schedule(const std::vector<BatchJob>& jobs,
                                          const SchedulerPolicy& policy,
                                          double pue) {
   check_arg(!grids.empty(), "run_cross_region_schedule: need at least one grid");
+  std::vector<IntensityTable> tables;
+  tables.reserve(grids.size());
+  for (const IntermittentGrid& grid : grids) {
+    tables.push_back(make_policy_table(grid, policy));
+  }
   std::vector<ScheduledJob> scheduled;
   scheduled.reserve(jobs.size());
   for (const BatchJob& job : jobs) {
     ScheduledJob best{};
     double best_g = std::numeric_limits<double>::infinity();
-    for (const IntermittentGrid& grid : grids) {
-      const Duration start = policy.choose_start(job, grid);
-      const CarbonMass carbon = job_carbon(job, start, grid, pue);
+    for (std::size_t gi = 0; gi < grids.size(); ++gi) {
+      const IntermittentGrid& grid = grids[gi];
+      const Duration start = policy.choose_start(job, tables[gi]);
+      const CarbonMass carbon = job_carbon(job, start, tables[gi], pue);
       if (to_grams_co2e(carbon) < best_g) {
         best_g = to_grams_co2e(carbon);
         best = ScheduledJob{job, start, carbon};

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/carbon_intensity.h"
+#include "core/intensity_table.h"
 #include "core/units.h"
 
 namespace sustainai::datacenter {
@@ -50,6 +51,17 @@ class SchedulerPolicy {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual Duration choose_start(const BatchJob& job,
                                               const IntermittentGrid& grid) const = 0;
+  // Cached variant: run_schedule passes one IntensityTable per grid, shared
+  // across every job, so probes that revisit a timestamp (jobs arriving on
+  // the same probe grid) reuse the harmonic evaluation. Bit-identical to the
+  // direct overload; the default simply ignores the cache.
+  [[nodiscard]] virtual Duration choose_start(const BatchJob& job,
+                                              IntensityTable& table) const {
+    return choose_start(job, table.grid());
+  }
+  // Step of the policy's probe grid; run_schedule keys the shared table on
+  // it. Zero means the policy does not probe (e.g. FIFO).
+  [[nodiscard]] virtual Duration probe_step() const { return seconds(0.0); }
 };
 
 // Baseline: run immediately on arrival (carbon-oblivious FIFO).
@@ -68,6 +80,9 @@ class ThresholdPolicy final : public SchedulerPolicy {
   [[nodiscard]] std::string name() const override { return "threshold"; }
   [[nodiscard]] Duration choose_start(const BatchJob& job,
                                       const IntermittentGrid& grid) const override;
+  [[nodiscard]] Duration choose_start(const BatchJob& job,
+                                      IntensityTable& table) const override;
+  [[nodiscard]] Duration probe_step() const override { return probe_step_; }
 
  private:
   CarbonIntensity threshold_;
@@ -81,6 +96,9 @@ class ForecastPolicy final : public SchedulerPolicy {
   [[nodiscard]] std::string name() const override { return "forecast"; }
   [[nodiscard]] Duration choose_start(const BatchJob& job,
                                       const IntermittentGrid& grid) const override;
+  [[nodiscard]] Duration choose_start(const BatchJob& job,
+                                      IntensityTable& table) const override;
+  [[nodiscard]] Duration probe_step() const override { return probe_step_; }
 
  private:
   Duration probe_step_;

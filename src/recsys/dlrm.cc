@@ -1,5 +1,6 @@
 #include "recsys/dlrm.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/check.h"
@@ -120,6 +121,72 @@ float DlrmModel::forward(const DlrmSample& sample) const {
         pooled[t]);
   }
   return interact_and_score(bottom_out, pooled);
+}
+
+std::vector<float> DlrmModel::forward_batch(
+    std::span<const DlrmSample> samples) const {
+  const auto n = static_cast<int>(samples.size());
+  const int d = config_.embedding_dim;
+
+  std::vector<float> dense(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(config_.dense_features));
+  for (int s = 0; s < n; ++s) {
+    const DlrmSample& sample = samples[static_cast<std::size_t>(s)];
+    check_arg(sample.sparse.size() == tables_.size(),
+              "DlrmModel::forward_batch: wrong number of sparse feature lists");
+    check_arg(static_cast<int>(sample.dense.size()) == config_.dense_features,
+              "DlrmModel::forward_batch: wrong dense feature count");
+    std::copy(sample.dense.begin(), sample.dense.end(),
+              dense.begin() + static_cast<std::size_t>(s) *
+                                  static_cast<std::size_t>(
+                                      config_.dense_features));
+  }
+  const std::vector<float> bottom_out = bottom_.forward_batch(dense, n);
+
+  const std::size_t num_vectors = tables_.size() + 1;
+  const std::size_t num_interactions = num_vectors * (num_vectors - 1) / 2;
+  const std::size_t top_width = num_interactions + static_cast<std::size_t>(d);
+  std::vector<float> top_input(static_cast<std::size_t>(n) * top_width);
+  std::vector<std::vector<float>> pooled(
+      tables_.size(), std::vector<float>(static_cast<std::size_t>(d)));
+  std::vector<const float*> vecs(num_vectors);
+  for (int s = 0; s < n; ++s) {
+    const DlrmSample& sample = samples[static_cast<std::size_t>(s)];
+    const float* b = bottom_out.data() +
+                     static_cast<std::size_t>(s) * static_cast<std::size_t>(d);
+    vecs[0] = b;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      pool_table(
+          t, sample.sparse[t],
+          [&](std::size_t table, int row, int dim) {
+            return tables_[table].at(row, dim);
+          },
+          pooled[t]);
+      vecs[t + 1] = pooled[t].data();
+    }
+    float* dst = top_input.data() + static_cast<std::size_t>(s) * top_width;
+    std::size_t k = 0;
+    for (std::size_t a = 0; a < num_vectors; ++a) {
+      for (std::size_t c = a + 1; c < num_vectors; ++c, ++k) {
+        float dot = 0.0f;
+        for (int dim = 0; dim < d; ++dim) {
+          dot += vecs[a][dim] * vecs[c][dim];
+        }
+        dst[k] = dot;
+      }
+    }
+    for (int dim = 0; dim < d; ++dim) {
+      dst[num_interactions + static_cast<std::size_t>(dim)] = b[dim];
+    }
+  }
+
+  const std::vector<float> logits = top_.forward_batch(top_input, n);
+  std::vector<float> probabilities(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    probabilities[static_cast<std::size_t>(s)] =
+        sigmoid(logits[static_cast<std::size_t>(s)]);
+  }
+  return probabilities;
 }
 
 float DlrmModel::forward_quantized(const DlrmSample& sample,

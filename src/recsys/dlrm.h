@@ -44,6 +44,12 @@ class DlrmModel {
   // Click probability in (0, 1).
   [[nodiscard]] float forward(const DlrmSample& sample) const;
 
+  // Batched fp32 forward: the bottom and top MLPs run as blocked GEMMs over
+  // all samples (embedding pooling and interactions stay per-sample).
+  // Bit-identical to calling forward() per sample.
+  [[nodiscard]] std::vector<float> forward_batch(
+      std::span<const DlrmSample> samples) const;
+
   // Forward pass with embedding tables served from quantized storage;
   // `format` selects the serving precision of every table.
   [[nodiscard]] float forward_quantized(const DlrmSample& sample,

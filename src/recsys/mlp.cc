@@ -1,5 +1,6 @@
 #include "recsys/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/check.h"
@@ -31,14 +32,88 @@ void DenseLayer::forward(std::span<const float> in, std::span<float> out) const 
             "DenseLayer::forward: input size mismatch");
   check_arg(static_cast<int>(out.size()) == out_features_,
             "DenseLayer::forward: output size mismatch");
+  forward_one(in.data(), out.data());
+}
+
+void DenseLayer::forward_one(const float* in, float* out) const {
   for (int o = 0; o < out_features_; ++o) {
     const float* row =
         weights_.data() + static_cast<std::size_t>(o) * in_features_;
     float acc = bias_[static_cast<std::size_t>(o)];
     for (int i = 0; i < in_features_; ++i) {
-      acc += row[i] * in[static_cast<std::size_t>(i)];
+      acc += row[i] * in[i];
     }
-    out[static_cast<std::size_t>(o)] = relu_ && acc < 0.0f ? 0.0f : acc;
+    out[o] = relu_ && acc < 0.0f ? 0.0f : acc;
+  }
+}
+
+void DenseLayer::forward_batch(std::span<const float> in, std::span<float> out,
+                               int batch) const {
+  check_arg(batch >= 0, "DenseLayer::forward_batch: batch must be >= 0");
+  check_arg(in.size() == static_cast<std::size_t>(batch) *
+                             static_cast<std::size_t>(in_features_),
+            "DenseLayer::forward_batch: input size mismatch");
+  check_arg(out.size() == static_cast<std::size_t>(batch) *
+                              static_cast<std::size_t>(out_features_),
+            "DenseLayer::forward_batch: output size mismatch");
+  // Register tile: kRows batch rows x kCols outputs per block, the shared
+  // reduction dimension walked innermost in ascending order. Every (row,
+  // output) pair owns one scalar accumulator seeded with the bias, so the
+  // accumulation order — and therefore every output bit — matches the
+  // per-sample GEMV regardless of how the tile edges fall.
+  constexpr int kRows = 4;
+  constexpr int kCols = 4;
+  const float* w = weights_.data();
+  for (int b0 = 0; b0 < batch; b0 += kRows) {
+    const int bn = std::min(kRows, batch - b0);
+    for (int o0 = 0; o0 < out_features_; o0 += kCols) {
+      const int on = std::min(kCols, out_features_ - o0);
+      if (bn == kRows && on == kCols) {
+        float acc[kRows][kCols];
+        for (int r = 0; r < kRows; ++r) {
+          for (int c = 0; c < kCols; ++c) {
+            acc[r][c] = bias_[static_cast<std::size_t>(o0 + c)];
+          }
+        }
+        for (int i = 0; i < in_features_; ++i) {
+          float wk[kCols];
+          for (int c = 0; c < kCols; ++c) {
+            wk[c] = w[static_cast<std::size_t>(o0 + c) * in_features_ + i];
+          }
+          for (int r = 0; r < kRows; ++r) {
+            const float x =
+                in[static_cast<std::size_t>(b0 + r) * in_features_ + i];
+            for (int c = 0; c < kCols; ++c) {
+              acc[r][c] += wk[c] * x;
+            }
+          }
+        }
+        for (int r = 0; r < kRows; ++r) {
+          float* dst = out.data() +
+                       static_cast<std::size_t>(b0 + r) * out_features_ + o0;
+          for (int c = 0; c < kCols; ++c) {
+            dst[c] = relu_ && acc[r][c] < 0.0f ? 0.0f : acc[r][c];
+          }
+        }
+      } else {
+        // Edge tile: same accumulator-per-pair scheme at scalar pace.
+        for (int r = 0; r < bn; ++r) {
+          const float* x =
+              in.data() + static_cast<std::size_t>(b0 + r) * in_features_;
+          float* dst = out.data() +
+                       static_cast<std::size_t>(b0 + r) * out_features_;
+          for (int c = 0; c < on; ++c) {
+            const float* row =
+                w + static_cast<std::size_t>(o0 + c) * in_features_;
+            float acc = bias_[static_cast<std::size_t>(o0 + c)];
+            for (int i = 0; i < in_features_; ++i) {
+              acc += row[i] * x[i];
+            }
+            dst[o0 + c] = relu_ && acc < 0.0f ? 0.0f : acc;
+          }
+        }
+      }
+    }
   }
 }
 
@@ -69,6 +144,24 @@ std::vector<float> Mlp::forward(std::span<const float> in) const {
   for (const DenseLayer& layer : layers_) {
     next.assign(static_cast<std::size_t>(layer.out_features()), 0.0f);
     layer.forward(current, next);
+    current.swap(next);
+  }
+  return current;
+}
+
+std::vector<float> Mlp::forward_batch(std::span<const float> in,
+                                      int batch) const {
+  check_arg(batch >= 0, "Mlp::forward_batch: batch must be >= 0");
+  check_arg(in.size() == static_cast<std::size_t>(batch) *
+                             static_cast<std::size_t>(in_features()),
+            "Mlp::forward_batch: input size mismatch");
+  std::vector<float> current(in.begin(), in.end());
+  std::vector<float> next;
+  for (const DenseLayer& layer : layers_) {
+    next.assign(static_cast<std::size_t>(batch) *
+                    static_cast<std::size_t>(layer.out_features()),
+                0.0f);
+    layer.forward_batch(current, next, batch);
     current.swap(next);
   }
   return current;

@@ -22,6 +22,14 @@ class DenseLayer {
   // `out` must have size out_features(); `in` size in_features().
   void forward(std::span<const float> in, std::span<float> out) const;
 
+  // Batched forward: `in` is `batch` x in_features() row-major, `out` is
+  // `batch` x out_features(). Implemented as a register-tiled blocked GEMM
+  // whose per-(row, output) accumulation order is fixed independently of
+  // the block size, so the result is bit-identical to calling forward()
+  // once per row. Size checks run once per call, not once per row.
+  void forward_batch(std::span<const float> in, std::span<float> out,
+                     int batch) const;
+
   [[nodiscard]] int in_features() const { return in_features_; }
   [[nodiscard]] int out_features() const { return out_features_; }
   [[nodiscard]] bool has_relu() const { return relu_; }
@@ -34,6 +42,9 @@ class DenseLayer {
   }
 
  private:
+  // Unchecked single-sample GEMV; callers have validated sizes.
+  void forward_one(const float* in, float* out) const;
+
   int in_features_;
   int out_features_;
   bool relu_;
@@ -48,6 +59,13 @@ class Mlp {
   Mlp(const std::vector<int>& widths, datagen::Rng& rng);
 
   [[nodiscard]] std::vector<float> forward(std::span<const float> in) const;
+
+  // Batched forward over `batch` rows ([batch x in_features()] row-major in,
+  // [batch x out_features()] out). Bit-identical to forward() per row; each
+  // layer runs as one blocked GEMM (see DenseLayer::forward_batch).
+  [[nodiscard]] std::vector<float> forward_batch(std::span<const float> in,
+                                                 int batch) const;
+
   [[nodiscard]] int in_features() const;
   [[nodiscard]] int out_features() const;
   [[nodiscard]] std::size_t parameter_count() const;

@@ -1,5 +1,6 @@
 #include "recsys/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -170,6 +171,72 @@ float TrainableDlrm::predict(const LabeledSample& sample) const {
   return cache.probability;
 }
 
+std::vector<float> TrainableDlrm::predict_batch(
+    std::span<const LabeledSample> samples) const {
+  const auto n = static_cast<int>(samples.size());
+  const int d = config_.embedding_dim;
+
+  // Gather dense features (validating every sample once, outside the
+  // kernels) and run the bottom MLP as one blocked GEMM.
+  std::vector<float> dense(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(config_.dense_features));
+  for (int s = 0; s < n; ++s) {
+    const LabeledSample& sample = samples[static_cast<std::size_t>(s)];
+    check_arg(sample.indices.size() == tables_.size(),
+              "TrainableDlrm: wrong number of sparse indices");
+    check_arg(static_cast<int>(sample.dense.size()) == config_.dense_features,
+              "TrainableDlrm: wrong dense feature count");
+    std::copy(sample.dense.begin(), sample.dense.end(),
+              dense.begin() + static_cast<std::size_t>(s) *
+                                  static_cast<std::size_t>(
+                                      config_.dense_features));
+  }
+  const std::vector<float> bottom_out = bottom_.forward_batch(dense, n);
+
+  // Per-sample embedding lookups and pairwise interactions feeding one
+  // [n x top_in] matrix for the top MLP.
+  const std::size_t num_vectors = tables_.size() + 1;
+  const std::size_t num_interactions = num_vectors * (num_vectors - 1) / 2;
+  const std::size_t top_in_width =
+      num_interactions + static_cast<std::size_t>(d);
+  std::vector<float> top_input(static_cast<std::size_t>(n) * top_in_width);
+  std::vector<const float*> vecs(num_vectors);
+  for (int s = 0; s < n; ++s) {
+    const LabeledSample& sample = samples[static_cast<std::size_t>(s)];
+    const float* b =
+        bottom_out.data() + static_cast<std::size_t>(s) * static_cast<std::size_t>(d);
+    vecs[0] = b;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const int idx = sample.indices[t];
+      check_arg(idx >= 0 && idx < config_.table_rows[t],
+                "TrainableDlrm: sparse index out of range");
+      vecs[t + 1] = tables_[t].data() + static_cast<std::size_t>(idx) * d;
+    }
+    float* dst = top_input.data() + static_cast<std::size_t>(s) * top_in_width;
+    std::size_t k = 0;
+    for (std::size_t a = 0; a < num_vectors; ++a) {
+      for (std::size_t c = a + 1; c < num_vectors; ++c, ++k) {
+        float dot = 0.0f;
+        for (int j = 0; j < d; ++j) {
+          dot += vecs[a][j] * vecs[c][j];
+        }
+        dst[k] = dot;
+      }
+    }
+    for (int j = 0; j < d; ++j) {
+      dst[num_interactions + static_cast<std::size_t>(j)] = b[j];
+    }
+  }
+
+  const std::vector<float> logits = top_.forward_batch(top_input, n);
+  std::vector<float> probabilities(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    probabilities[static_cast<std::size_t>(s)] =
+        sigmoid(logits[static_cast<std::size_t>(s)]);
+  }
+  return probabilities;
+}
+
 float TrainableDlrm::train_step(const LabeledSample& sample,
                                 float learning_rate) {
   check_arg(learning_rate > 0.0f, "train_step: learning rate must be positive");
@@ -232,9 +299,17 @@ float TrainableDlrm::train_step(const LabeledSample& sample,
 
 double TrainableDlrm::evaluate(const std::vector<LabeledSample>& data) const {
   check_arg(!data.empty(), "evaluate: empty dataset");
+  // Minibatched inference; losses still accumulate in dataset order, so the
+  // mean is bit-identical to the per-sample loop this replaced.
+  constexpr std::size_t kEvalBatch = 256;
   double sum = 0.0;
-  for (const LabeledSample& s : data) {
-    sum += logloss(predict(s), s.label);
+  for (std::size_t begin = 0; begin < data.size(); begin += kEvalBatch) {
+    const std::size_t count = std::min(kEvalBatch, data.size() - begin);
+    const std::vector<float> p =
+        predict_batch({data.data() + begin, count});
+    for (std::size_t i = 0; i < count; ++i) {
+      sum += logloss(p[i], data[begin + i].label);
+    }
   }
   return sum / static_cast<double>(data.size());
 }

@@ -10,6 +10,7 @@
 // of Figure 12 be re-run on an actual model instead of a closed-form law.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/units.h"
@@ -40,6 +41,13 @@ class TrainableDlrm {
 
   // Click probability.
   [[nodiscard]] float predict(const LabeledSample& sample) const;
+
+  // Batched inference: the bottom and top MLPs run as blocked GEMMs over
+  // the whole minibatch (embedding pooling and interactions stay
+  // per-sample). Bit-identical to calling predict() per sample — the
+  // batched kernels preserve per-sample accumulation order.
+  [[nodiscard]] std::vector<float> predict_batch(
+      std::span<const LabeledSample> samples) const;
 
   // One SGD step on the logistic loss; returns the loss before the update.
   float train_step(const LabeledSample& sample, float learning_rate);

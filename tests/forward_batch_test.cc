@@ -1,0 +1,152 @@
+// Bit-exactness of the batched recsys kernels: DenseLayer::forward_batch,
+// Mlp::forward_batch, TrainableDlrm::predict_batch, and
+// DlrmModel::forward_batch must all equal their per-sample counterparts
+// exactly (EXPECT_EQ on floats, no tolerances) — the blocked GEMM keeps one
+// accumulator per (row, output) pair in a fixed order, so block boundaries
+// must never change a single bit.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "datagen/rng.h"
+#include "recsys/dlrm.h"
+#include "recsys/mlp.h"
+#include "recsys/trainer.h"
+
+namespace sustainai::recsys {
+namespace {
+
+std::vector<float> random_matrix(datagen::Rng& rng, int rows, int cols) {
+  std::vector<float> m(static_cast<std::size_t>(rows) *
+                       static_cast<std::size_t>(cols));
+  for (float& v : m) {
+    v = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return m;
+}
+
+TEST(DenseLayerForwardBatch, MatchesForwardAcrossBatchAndBlockShapes) {
+  datagen::Rng rng(101);
+  struct Shape {
+    int in;
+    int out;
+  };
+  // Block size is 4x4: cover exact multiples, sub-block sizes, and odd
+  // remainders on both the batch (rows) and output (cols) axes.
+  const Shape shapes[] = {{4, 4}, {8, 8}, {5, 3}, {3, 5}, {9, 7}, {16, 4},
+                          {4, 16}, {1, 1}, {13, 11}};
+  const int batches[] = {1, 2, 3, 4, 5, 7, 8, 13};
+  for (const Shape& shape : shapes) {
+    for (const bool relu : {true, false}) {
+      const DenseLayer layer =
+          DenseLayer::random(shape.in, shape.out, relu, rng);
+      for (const int batch : batches) {
+        const std::vector<float> in = random_matrix(rng, batch, shape.in);
+        std::vector<float> batched(static_cast<std::size_t>(batch) *
+                                   static_cast<std::size_t>(shape.out));
+        layer.forward_batch(in, batched, batch);
+        std::vector<float> row(static_cast<std::size_t>(shape.out));
+        for (int b = 0; b < batch; ++b) {
+          layer.forward({in.data() + static_cast<std::size_t>(b) * shape.in,
+                         static_cast<std::size_t>(shape.in)},
+                        row);
+          for (int o = 0; o < shape.out; ++o) {
+            EXPECT_EQ(batched[static_cast<std::size_t>(b) * shape.out + o],
+                      row[static_cast<std::size_t>(o)])
+                << "in=" << shape.in << " out=" << shape.out
+                << " relu=" << relu << " batch=" << batch << " b=" << b
+                << " o=" << o;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DenseLayerForwardBatch, ValidatesSizesOncePerCall) {
+  datagen::Rng rng(5);
+  const DenseLayer layer = DenseLayer::random(3, 2, true, rng);
+  std::vector<float> in(9), out(6);
+  EXPECT_NO_THROW(layer.forward_batch(in, out, 3));
+  EXPECT_THROW(layer.forward_batch(in, out, 2), std::invalid_argument);
+  EXPECT_THROW(layer.forward_batch(in, out, -1), std::invalid_argument);
+  std::vector<float> short_out(5);
+  EXPECT_THROW(layer.forward_batch(in, short_out, 3), std::invalid_argument);
+}
+
+TEST(MlpForwardBatch, MatchesForwardPerRow) {
+  datagen::Rng rng(7);
+  const Mlp mlp({7, 11, 5, 2}, rng);
+  for (const int batch : {1, 3, 4, 5, 8, 13}) {
+    const std::vector<float> in = random_matrix(rng, batch, 7);
+    const std::vector<float> batched = mlp.forward_batch(in, batch);
+    ASSERT_EQ(batched.size(), static_cast<std::size_t>(batch) * 2);
+    for (int b = 0; b < batch; ++b) {
+      const std::vector<float> row =
+          mlp.forward({in.data() + static_cast<std::size_t>(b) * 7, 7});
+      for (int o = 0; o < 2; ++o) {
+        EXPECT_EQ(batched[static_cast<std::size_t>(b) * 2 + o],
+                  row[static_cast<std::size_t>(o)])
+            << "batch=" << batch << " b=" << b << " o=" << o;
+      }
+    }
+  }
+}
+
+TEST(TrainerPredictBatch, MatchesPredictPerSample) {
+  TrainableDlrmConfig cfg;
+  cfg.table_rows = {500, 300};
+  TrainableDlrm model(cfg);
+  // Train a few steps so the weights are not at their init values.
+  const auto warmup = synthesize_ctr_dataset(cfg, 32, 11);
+  for (const auto& s : warmup) {
+    model.train_step(s, 0.05f);
+  }
+  for (const int n : {1, 2, 3, 5, 64, 257}) {
+    const auto data = synthesize_ctr_dataset(cfg, n, 13);
+    const std::vector<float> batched = model.predict_batch(data);
+    ASSERT_EQ(batched.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(batched[static_cast<std::size_t>(i)],
+                model.predict(data[static_cast<std::size_t>(i)]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(TrainerPredictBatch, EvaluateIsDeterministic) {
+  TrainableDlrmConfig cfg;
+  const TrainableDlrm model(cfg);
+  const auto data = synthesize_ctr_dataset(cfg, 300, 17);
+  const double a = model.evaluate(data);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_EQ(model.evaluate(data), a);
+}
+
+TEST(DlrmForwardBatch, MatchesForwardPerSample) {
+  DlrmConfig cfg;
+  cfg.table_rows = {1000, 500, 200};
+  cfg.embedding_dim = 16;
+  cfg.bottom_hidden = {24, 16};
+  cfg.top_hidden = {24, 12};
+  const DlrmModel model(cfg);
+  datagen::Rng rng(19);
+  for (const int n : {1, 3, 4, 7, 64}) {
+    std::vector<DlrmSample> samples;
+    samples.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      samples.push_back(model.random_sample(rng));
+    }
+    const std::vector<float> batched = model.forward_batch(samples);
+    ASSERT_EQ(batched.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(batched[static_cast<std::size_t>(i)],
+                model.forward(samples[static_cast<std::size_t>(i)]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sustainai::recsys

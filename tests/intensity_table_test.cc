@@ -1,0 +1,307 @@
+// Bit-exactness contract of the carbon-intensity fast paths: the prebuilt
+// IntensityTable and IntermittentGrid::intensity_series must reproduce
+// intensity_at exactly (byte-identical doubles, no tolerances), and the
+// simulators that consume the table must emit byte-identical results with
+// the fast path on or off.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/carbon_intensity.h"
+#include "core/intensity_table.h"
+#include "core/units.h"
+#include "datacenter/fleet_sim.h"
+#include "datacenter/queue_sim.h"
+#include "datagen/rng.h"
+#include "datagen/trace.h"
+#include "hw/server.h"
+#include "report/csv.h"
+
+namespace sustainai {
+namespace {
+
+IntermittentGrid::Config mixed_grid_config() {
+  IntermittentGrid::Config cfg;
+  cfg.profile = grids::us_average();
+  cfg.solar_share = 0.3;
+  cfg.wind_share = 0.2;
+  cfg.firm_share = 0.1;
+  return cfg;
+}
+
+// --- Table vs direct evaluation -------------------------------------------
+
+TEST(IntensityTable, DayPeriodicStepMatchesDirectBitForBit) {
+  const IntermittentGrid grid(mixed_grid_config());
+  // 15-minute step: 86400 / 900 is exact, so the day-periodic solar cache
+  // is active. Cover several days so every slot is reused many times.
+  IntensityTable table(grid, seconds(0.0), minutes(15.0));
+  const long n = 96 * 7;  // 7 days
+  table.prebuild(n);
+  for (long k = 0; k < n; ++k) {
+    const Duration t = seconds(900.0 * static_cast<double>(k));
+    EXPECT_EQ(table.at_index(k).base(), grid.intensity_at(t).base())
+        << "k=" << k;
+  }
+  EXPECT_GE(table.built(), n);
+}
+
+TEST(IntensityTable, NonPeriodicAndOffsetStepsMatchDirect) {
+  const IntermittentGrid grid(mixed_grid_config());
+  struct Case {
+    double start_s;
+    double step_s;
+  };
+  // 701 s does not divide the day (solar cache disabled); the offset cases
+  // exercise non-zero grid origins.
+  const Case cases[] = {{0.0, 701.0}, {12345.0, 900.0}, {86400.0, 3600.0},
+                        {7.5, 1234.5}};
+  for (const Case& c : cases) {
+    IntensityTable table(grid, seconds(c.start_s), seconds(c.step_s));
+    table.prebuild(500);
+    for (long k = 0; k < 500; ++k) {
+      const Duration t =
+          seconds(c.start_s + c.step_s * static_cast<double>(k));
+      EXPECT_EQ(table.at_index(k).base(), grid.intensity_at(t).base())
+          << "start=" << c.start_s << " step=" << c.step_s << " k=" << k;
+    }
+  }
+}
+
+TEST(IntensityTable, SeriesSpanMatchesDirect) {
+  const IntermittentGrid grid(mixed_grid_config());
+  IntensityTable table(grid, hours(6.0), minutes(5.0));
+  const auto series = table.series(1000);
+  ASSERT_EQ(static_cast<long>(series.size()), 1000);
+  for (long k = 0; k < 1000; ++k) {
+    const Duration t = hours(6.0) + minutes(5.0 * static_cast<double>(k));
+    EXPECT_EQ(series[static_cast<std::size_t>(k)].base(),
+              grid.intensity_at(t).base());
+  }
+}
+
+TEST(IntensityTable, GridIntensitySeriesMatchesPointEvaluation) {
+  const IntermittentGrid grid(mixed_grid_config());
+  for (const double step_s : {900.0, 701.0}) {
+    const std::vector<CarbonIntensity> series =
+        grid.intensity_series(seconds(0.0), seconds(step_s), 600);
+    ASSERT_EQ(series.size(), 600u);
+    for (long k = 0; k < 600; ++k) {
+      const Duration t = seconds(step_s * static_cast<double>(k));
+      EXPECT_EQ(series[static_cast<std::size_t>(k)].base(),
+                grid.intensity_at(t).base())
+          << "step=" << step_s << " k=" << k;
+    }
+  }
+}
+
+TEST(IntensityTable, OffGridLookupsFallBackExactly) {
+  const IntermittentGrid grid(mixed_grid_config());
+  IntensityTable table(grid, seconds(0.0), minutes(15.0));
+  datagen::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    // Arbitrary timestamps, mostly off the 900 s grid.
+    const Duration t = seconds(rng.uniform(0.0, 10.0 * 86400.0));
+    EXPECT_EQ(table.intensity_at(t).base(), grid.intensity_at(t).base());
+    // Second query hits the memo — still exact.
+    EXPECT_EQ(table.intensity_at(t).base(), grid.intensity_at(t).base());
+  }
+  // On-grid queries route to the prebuilt array.
+  for (long k : {0L, 1L, 95L, 96L, 500L}) {
+    const Duration t = seconds(900.0 * static_cast<double>(k));
+    EXPECT_EQ(table.intensity_at(t).base(), grid.intensity_at(t).base());
+  }
+}
+
+TEST(IntensityTable, MeanIntensityMatchesGridBitForBit) {
+  const IntermittentGrid grid(mixed_grid_config());
+  IntensityTable table(grid, seconds(0.0), minutes(15.0));
+  for (const double start_h : {0.0, 3.5, 20.0, 47.0}) {
+    for (const double window_h : {0.5, 2.0, 6.0, 24.0}) {
+      EXPECT_EQ(
+          table.mean_intensity(hours(start_h), hours(window_h)).base(),
+          grid.mean_intensity(hours(start_h), hours(window_h)).base())
+          << "start=" << start_h << "h window=" << window_h << "h";
+    }
+  }
+}
+
+// --- Golden byte-equality of simulator results with the table on/off ------
+
+datacenter::FleetSimulator::Config fleet_config(bool use_table) {
+  using namespace datacenter;
+  Cluster cluster;
+  ServerGroup web;
+  web.name = "web";
+  web.sku = hw::skus::web_tier();
+  web.count = 300;
+  web.tier = Tier::kWeb;
+  web.load = DiurnalProfile{0.3, 0.9, 20.0};
+  web.autoscalable = true;
+  cluster.add_group(web);
+  ServerGroup train;
+  train.name = "train";
+  train.sku = hw::skus::gpu_training_8x();
+  train.count = 12;
+  train.tier = Tier::kAiTraining;
+  train.load = flat_profile(0.5);
+  cluster.add_group(train);
+
+  FleetSimulator::Config c;
+  c.cluster = cluster;
+  c.grid = mixed_grid_config();
+  c.horizon = days(10.0);
+  c.step = minutes(15.0);
+  c.steps_per_chunk = 64;
+  c.use_intensity_table = use_table;
+  return c;
+}
+
+TEST(IntensityTableGolden, FleetSimulatorResultByteIdenticalTableOnOff) {
+  using datacenter::FleetSimulator;
+  const FleetSimulator::Result direct =
+      FleetSimulator(fleet_config(false)).run();
+  const FleetSimulator::Result fast = FleetSimulator(fleet_config(true)).run();
+  ASSERT_EQ(fast.groups.size(), direct.groups.size());
+  for (std::size_t i = 0; i < fast.groups.size(); ++i) {
+    EXPECT_EQ(fast.groups[i].name, direct.groups[i].name);
+    EXPECT_EQ(fast.groups[i].tier, direct.groups[i].tier);
+    EXPECT_EQ(to_joules(fast.groups[i].it_energy),
+              to_joules(direct.groups[i].it_energy));
+    EXPECT_EQ(fast.groups[i].mean_utilization, direct.groups[i].mean_utilization);
+    EXPECT_EQ(fast.groups[i].freed_server_hours,
+              direct.groups[i].freed_server_hours);
+  }
+  EXPECT_EQ(to_joules(fast.it_energy), to_joules(direct.it_energy));
+  EXPECT_EQ(to_joules(fast.facility_energy), to_joules(direct.facility_energy));
+  EXPECT_EQ(to_grams_co2e(fast.location_carbon),
+            to_grams_co2e(direct.location_carbon));
+  EXPECT_EQ(to_grams_co2e(fast.market_carbon),
+            to_grams_co2e(direct.market_carbon));
+  EXPECT_EQ(fast.opportunistic_server_hours, direct.opportunistic_server_hours);
+  EXPECT_EQ(to_joules(fast.opportunistic_energy),
+            to_joules(direct.opportunistic_energy));
+  for (datacenter::Tier tier :
+       {datacenter::Tier::kWeb, datacenter::Tier::kAiTraining}) {
+    EXPECT_EQ(to_joules(fast.it_energy_for(tier)),
+              to_joules(direct.it_energy_for(tier)));
+  }
+}
+
+TEST(IntensityTableGolden, PerTierEnergySumsMatchGroupScan) {
+  using datacenter::FleetSimulator;
+  using datacenter::Tier;
+  const FleetSimulator::Result result =
+      FleetSimulator(fleet_config(true)).run();
+  for (Tier tier : {Tier::kWeb, Tier::kAiTraining, Tier::kAiInference}) {
+    double expected = 0.0;
+    for (const auto& g : result.groups) {
+      if (g.tier == tier) {
+        expected += to_joules(g.it_energy);
+      }
+    }
+    EXPECT_EQ(to_joules(result.it_energy_for(tier)), expected);
+  }
+}
+
+std::vector<datacenter::BatchJob> queue_jobs() {
+  using namespace datacenter;
+  datagen::Rng rng(7);
+  std::vector<BatchJob> jobs;
+  int id = 0;
+  for (const Duration& arrival :
+       datagen::poisson_arrivals(2.0, days(2.0), rng)) {
+    BatchJob j;
+    j.id = "job-" + std::to_string(id++);
+    j.power = kilowatts(20.0);
+    j.duration = hours(2.0);
+    j.arrival = arrival;
+    j.slack = hours(12.0);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+datacenter::QueueSimConfig queue_config(bool use_table) {
+  datacenter::QueueSimConfig cfg;
+  cfg.grid.profile = grids::us_west_solar();
+  cfg.grid.solar_share = 0.5;
+  cfg.grid.firm_share = 0.2;
+  cfg.max_horizon = days(30.0);
+  cfg.use_intensity_table = use_table;
+  return cfg;
+}
+
+TEST(IntensityTableGolden, QueueSimResultByteIdenticalTableOnOff) {
+  using namespace datacenter;
+  const std::vector<BatchJob> jobs = queue_jobs();
+  for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kGreedyGreen}) {
+    const QueueSimResult direct =
+        run_queue_sim(jobs, queue_config(false), policy);
+    const QueueSimResult fast = run_queue_sim(jobs, queue_config(true), policy);
+    EXPECT_EQ(fast.policy_name, direct.policy_name);
+    EXPECT_EQ(to_grams_co2e(fast.total_carbon),
+              to_grams_co2e(direct.total_carbon));
+    EXPECT_EQ(to_seconds(fast.mean_wait), to_seconds(direct.mean_wait));
+    EXPECT_EQ(to_seconds(fast.makespan), to_seconds(direct.makespan));
+    EXPECT_EQ(fast.utilization, direct.utilization);
+    EXPECT_EQ(fast.peak_running, direct.peak_running);
+    ASSERT_EQ(fast.jobs.size(), direct.jobs.size());
+    for (std::size_t i = 0; i < fast.jobs.size(); ++i) {
+      EXPECT_EQ(to_seconds(fast.jobs[i].start), to_seconds(direct.jobs[i].start));
+      EXPECT_EQ(to_seconds(fast.jobs[i].finish),
+                to_seconds(direct.jobs[i].finish));
+      EXPECT_EQ(to_grams_co2e(fast.jobs[i].carbon),
+                to_grams_co2e(direct.jobs[i].carbon));
+    }
+  }
+}
+
+// The same sweep CSV artifact the exec determinism test renders, but swept
+// over the intensity-table toggle instead of thread count: the emitted
+// bytes must not depend on which intensity path served the simulation.
+std::string sweep_csv(bool use_table) {
+  using namespace datacenter;
+  const std::vector<BatchJob> jobs = queue_jobs();
+  const QueueSimConfig base = queue_config(use_table);
+
+  report::CsvWriter csv(
+      {"machines", "policy", "carbon_g", "mean_wait_s", "utilization"});
+  for (int machines : {4, 8, 16}) {
+    for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kGreedyGreen}) {
+      QueueSimConfig cfg = base;
+      cfg.machines = machines;
+      const QueueSimResult result = run_queue_sim(jobs, cfg, policy);
+      char carbon[32], wait[32], util[32];
+      std::snprintf(carbon, sizeof(carbon), "%.17g",
+                    to_grams_co2e(result.total_carbon));
+      std::snprintf(wait, sizeof(wait), "%.17g", to_seconds(result.mean_wait));
+      std::snprintf(util, sizeof(util), "%.17g", result.utilization);
+      csv.add_row({std::to_string(machines), result.policy_name, carbon, wait,
+                   util});
+    }
+  }
+  return csv.to_string();
+}
+
+TEST(IntensityTableGolden, QueueSweepCsvByteIdenticalTableOnOff) {
+  const std::string direct = sweep_csv(false);
+  EXPECT_NE(direct.find("queue-green"), std::string::npos);
+  EXPECT_EQ(sweep_csv(true), direct);
+}
+
+// --- Guard rails -----------------------------------------------------------
+
+TEST(IntensityTable, RejectsNonPositiveStep) {
+  const IntermittentGrid grid(mixed_grid_config());
+  EXPECT_THROW(IntensityTable(grid, seconds(0.0), seconds(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(IntensityTable(grid, seconds(0.0), seconds(-1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai

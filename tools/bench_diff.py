@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files emitted by bench/perf_harness.
+
+Compares ns/op per benchmark name and flags regressions beyond a threshold
+(default 20% slower). Exits 1 if any benchmark regressed, so it can gate CI:
+
+    tools/bench_diff.py BENCH_kernels.json build/BENCH_new.json
+    tools/bench_diff.py --threshold 0.10 old.json new.json
+
+Benchmarks present in only one file are reported but never fail the diff
+(the harness grows over time). Derived speedups are shown for context.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "sustainai-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {b["name"]: b for b in doc.get("benchmarks", [])}, doc.get(
+        "derived", {}
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag perf regressions between two perf_harness JSON files."
+    )
+    parser.add_argument("baseline", help="older BENCH_*.json (reference)")
+    parser.add_argument("candidate", help="newer BENCH_*.json (under test)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional ns/op increase that counts as a regression "
+        "(default 0.20 = 20%%)",
+    )
+    args = parser.parse_args()
+
+    base, base_derived = load_records(args.baseline)
+    cand, cand_derived = load_records(args.candidate)
+
+    regressions = []
+    print(f"{'benchmark':<28} {'base ns/op':>14} {'cand ns/op':>14} {'delta':>8}")
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"{name:<28} {'-':>14} {cand[name]['ns_per_op']:>14.1f}   (new)")
+            continue
+        if name not in cand:
+            print(f"{name:<28} {base[name]['ns_per_op']:>14.1f} {'-':>14}   (gone)")
+            continue
+        b = base[name]["ns_per_op"]
+        c = cand[name]["ns_per_op"]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<28} {b:>14.1f} {c:>14.1f} {delta:>+7.1%}{flag}")
+
+    if base_derived or cand_derived:
+        print("\nderived speedups (baseline -> candidate):")
+        for key in sorted(set(base_derived) | set(cand_derived)):
+            b = base_derived.get(key)
+            c = cand_derived.get(key)
+            fmt = lambda v: f"{v:.2f}x" if v is not None else "-"
+            print(f"  {key:<28} {fmt(b):>8} -> {fmt(c):>8}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}:"
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
