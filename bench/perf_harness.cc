@@ -12,6 +12,8 @@
 #include "datacenter/fleet_sim.h"
 #include "datagen/rng.h"
 #include "hw/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recsys/mlp.h"
 #include "recsys/trainer.h"
 #include "report/json.h"
@@ -109,6 +111,29 @@ void bm_fleet_step(benchmark::State& state, bool use_table) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.run());
   }
+  state.SetItemsProcessed(state.iterations() * kFleetSteps);
+}
+
+// The obs overhead contract (obs/trace.h): the tracer-off path must cost
+// the same as the untraced baseline (fleet_step_table) to within noise —
+// bench_diff.py --check-obs guards the derived tracer_off_overhead ratio.
+void bm_fleet_step_obs(benchmark::State& state, bool tracer_on) {
+  const datacenter::FleetSimulator sim(fleet_bench_config(true));
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(tracer_on);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run());
+    if (tracer_on) {
+      state.PauseTiming();
+      tracer.clear();  // keep buffers bounded; not part of the traced cost
+      obs::MetricsRegistry::global().clear();
+      state.ResumeTiming();
+    }
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+  obs::MetricsRegistry::global().clear();
   state.SetItemsProcessed(state.iterations() * kFleetSteps);
 }
 
@@ -214,6 +239,10 @@ void register_kernel_benchmarks(bool smoke) {
       [](benchmark::State& s) { bm_fleet_step(s, false); });
   add("fleet_step_table",
       [](benchmark::State& s) { bm_fleet_step(s, true); });
+  add("fleet_step_tracer_off",
+      [](benchmark::State& s) { bm_fleet_step_obs(s, false); });
+  add("fleet_step_tracer_on",
+      [](benchmark::State& s) { bm_fleet_step_obs(s, true); });
   add("dense_gemv", bm_dense_gemv);
   add("dense_forward_batch", bm_dense_forward_batch);
   add("dlrm_predict_loop",
@@ -258,12 +287,30 @@ std::string render_bench_json(const std::vector<BenchRecord>& records) {
       {"dense_gemv", "dense_forward_batch", "dense_gemm_speedup"},
       {"dlrm_predict_loop", "dlrm_predict_batch", "dlrm_predict_speedup"},
   };
+  // Overhead ratios are the inverse orientation: path ns/op over baseline
+  // ns/op, so 1.0 means free and the guard asserts an upper bound.
+  struct OverheadPair {
+    const char* baseline;
+    const char* path;
+    const char* key;
+  };
+  constexpr OverheadPair kOverheads[] = {
+      {"fleet_step_table", "fleet_step_tracer_off", "tracer_off_overhead"},
+      {"fleet_step_tracer_off", "fleet_step_tracer_on", "tracer_on_overhead"},
+  };
   w.begin_object("derived");
   for (const SpeedupPair& p : kPairs) {
     const BenchRecord* slow = find(p.slow);
     const BenchRecord* fast = find(p.fast);
     if (slow != nullptr && fast != nullptr && fast->ns_per_op > 0.0) {
       w.field(p.key, slow->ns_per_op / fast->ns_per_op);
+    }
+  }
+  for (const OverheadPair& p : kOverheads) {
+    const BenchRecord* baseline = find(p.baseline);
+    const BenchRecord* path = find(p.path);
+    if (baseline != nullptr && path != nullptr && baseline->ns_per_op > 0.0) {
+      w.field(p.key, path->ns_per_op / baseline->ns_per_op);
     }
   }
   w.end_object();

@@ -1,16 +1,43 @@
 // Scenario: generate the machine-readable artifacts a sustainability
 // dashboard would ingest (Section V-A telemetry, made adoptable): run a
-// fleet week, track it, and emit JSON + CSV reports to /tmp.
+// fleet week with the tracer on, and emit a Chrome trace, Prometheus-style
+// metrics, JSON and CSV reports to /tmp. Also demonstrates the polling
+// EnergyMeter over simulated RAPL counters, including per-window reset.
 #include <cstdio>
+#include <string>
 
 #include "datacenter/fleet_sim.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "report/csv.h"
 #include "report/table.h"
+#include "telemetry/energy_meter.h"
+#include "telemetry/rapl_sim.h"
 #include "telemetry/tracker.h"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace sustainai;
   using namespace sustainai::datacenter;
+
+  // Observe the whole run: spans from the fleet simulator and exec layer,
+  // counters from the carbon tracker. Cleared first so repeated runs of
+  // this example produce the same artifacts.
+  obs::Tracer::global().clear();
+  obs::Tracer::global().set_enabled(true);
+  obs::MetricsRegistry::global().clear();
 
   // A small region: web tier + training tier on a solar-heavy grid.
   FleetSimulator::Config cfg;
@@ -46,13 +73,7 @@ int main() {
 
   const std::string json = tracker.impact_json("weekly-fleet-report");
   const std::string json_path = "/tmp/sustainai_weekly.json";
-  {
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (f != nullptr) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-    }
-  }
+  const bool json_ok = write_file(json_path, json);
 
   report::CsvWriter csv({"group", "tier", "it_energy_kwh",
                          "mean_utilization", "freed_server_hours"});
@@ -65,6 +86,39 @@ int main() {
   const std::string csv_path = "/tmp/sustainai_weekly.csv";
   const bool csv_ok = csv.write_file(csv_path);
 
+  // Dashboard ingestion artifacts: the deterministic sim-time trace (open
+  // in Perfetto / chrome://tracing) and the Prometheus text exposition.
+  obs::Tracer::global().set_enabled(false);
+  const std::string trace = obs::chrome_trace_json(obs::Tracer::global().collect());
+  const std::string metrics =
+      obs::prometheus_text(obs::MetricsRegistry::global().snapshot());
+  const std::string trace_path = "/tmp/sustainai_trace.json";
+  const std::string metrics_path = "/tmp/sustainai_metrics.prom";
+  const bool trace_ok = write_file(trace_path, trace);
+  const bool metrics_ok = write_file(metrics_path, metrics);
+
+  // EnergyMeter demo: the same polling pipeline a host agent runs against
+  // RAPL MSRs. Two measurement windows over one package; reset() between
+  // them so each window's totals stand alone.
+  telemetry::RaplPackageSim rapl({});
+  telemetry::EnergyMeter meter;
+  meter.attach("pkg0", rapl.package());
+  meter.attach("dram0", rapl.dram());
+  auto run_window = [&](double utilization, int seconds) {
+    for (int s = 0; s < seconds; ++s) {
+      rapl.advance(utilization, sustainai::seconds(1.0));
+      meter.sample_all();
+    }
+  };
+  run_window(0.9, 60);  // busy minute
+  const double busy_pkg = to_joules(meter.total("pkg0"));
+  const double busy_all = to_joules(meter.total());
+  meter.reset();
+  run_window(0.1, 60);  // idle minute, measured from zero again
+  const double idle_pkg = to_joules(meter.total("pkg0"));
+  const double idle_all = to_joules(meter.total());
+  const bool unknown_label_absent = !meter.find_total("gpu0").has_value();
+
   std::printf("Weekly fleet report\n");
   std::printf("  IT energy:        %s\n", to_string(result.it_energy).c_str());
   std::printf("  facility energy:  %s (PUE %.2f)\n",
@@ -73,10 +127,23 @@ int main() {
               to_string(result.location_carbon).c_str());
   std::printf("  harvested:        %.0f opportunistic server-hours\n",
               result.opportunistic_server_hours);
-  std::printf("  JSON written to:  %s (%zu bytes)\n", json_path.c_str(),
-              json.size());
+  std::printf("  JSON written to:  %s (%zu bytes, %s)\n", json_path.c_str(),
+              json.size(), json_ok ? "ok" : "FAILED");
   std::printf("  CSV written to:   %s (%s)\n", csv_path.c_str(),
               csv_ok ? "ok" : "FAILED");
+  std::printf("  trace written to: %s (%zu bytes, %s)\n", trace_path.c_str(),
+              trace.size(), trace_ok ? "ok" : "FAILED");
+  std::printf("  metrics written:  %s (%zu bytes, %s)\n", metrics_path.c_str(),
+              metrics.size(), metrics_ok ? "ok" : "FAILED");
+
+  std::printf("\nRAPL meter (two windows, reset between)\n");
+  std::printf("  busy minute @90%%: pkg %.1f J, all sources %.1f J\n",
+              busy_pkg, busy_all);
+  std::printf("  idle minute @10%%: pkg %.1f J, all sources %.1f J\n",
+              idle_pkg, idle_all);
+  std::printf("  unknown label 'gpu0' -> %s\n",
+              unknown_label_absent ? "nullopt (as expected)" : "UNEXPECTED hit");
+
   std::printf("\nJSON preview:\n%.300s...\n", json.c_str());
   return 0;
 }

@@ -3,6 +3,8 @@
 #include "core/check.h"
 #include "core/intensity_table.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sustainai::datacenter {
 
@@ -55,6 +57,8 @@ FleetSimulator::Result FleetSimulator::run() const {
   const auto steps =
       static_cast<long>(to_seconds(config_.horizon) / step_s);
 
+  obs::Span run_span("fleet.run", 0.0, step_s * static_cast<double>(steps));
+
   // One harmonic pass over the horizon up front; the per-step loops below
   // then read intensities in O(1). Prebuilding before the parallel region
   // keeps the table read-only (and therefore race-free) inside the chunks.
@@ -66,6 +70,8 @@ FleetSimulator::Result FleetSimulator::run() const {
 
   auto simulate_chunk = [&](std::size_t begin, std::size_t end,
                             std::size_t) -> Partial {
+    obs::Span chunk_span("fleet.chunk", step_s * static_cast<double>(begin),
+                         step_s * static_cast<double>(end));
     Partial p(groups.size());
     for (std::size_t s = begin; s < end; ++s) {
       const Duration now = seconds(step_s * static_cast<double>(s));
@@ -156,6 +162,26 @@ FleetSimulator::Result FleetSimulator::run() const {
   result.facility_energy = result.it_energy * config_.pue;
   result.location_carbon = grams_co2e(total.location_g);
   result.market_carbon = market_based(result.location_carbon, config_.cfe_coverage);
+
+  // Recorded post-merge on the calling thread, so the snapshot (and the
+  // Prometheus text rendered from it) is deterministic at any thread count.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  for (std::size_t t = 0; t < result.tier_it_energy_.size(); ++t) {
+    const Energy tier_energy = result.tier_it_energy_[t];
+    if (to_joules(tier_energy) == 0.0) {
+      continue;
+    }
+    metrics
+        .counter("fleet_it_energy_joules",
+                 {{"tier", to_string(static_cast<Tier>(t))}})
+        .add(to_joules(tier_energy));
+  }
+  metrics.counter("fleet_facility_energy_joules")
+      .add(to_joules(result.facility_energy));
+  metrics.counter("fleet_location_carbon_grams")
+      .add(to_grams_co2e(result.location_carbon));
+  metrics.counter("fleet_opportunistic_server_hours")
+      .add(result.opportunistic_server_hours);
   return result;
 }
 

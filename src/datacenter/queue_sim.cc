@@ -4,6 +4,8 @@
 
 #include "core/check.h"
 #include "core/intensity_table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sustainai::datacenter {
 
@@ -30,6 +32,14 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
   std::sort(jobs.begin(), jobs.end(), [](const BatchJob& a, const BatchJob& b) {
     return to_seconds(a.arrival) < to_seconds(b.arrival);
   });
+
+  obs::Span sim_span("queue.sim");
+  sim_span.label("policy", to_string(policy));
+  const obs::Labels policy_labels{{"policy", to_string(policy)}};
+  // Hoisted: the gauge reference is stable, so the per-step update below is
+  // lock-light (no registry lookup inside the loop).
+  obs::Gauge& depth_gauge =
+      obs::MetricsRegistry::global().gauge("queue_depth", policy_labels);
 
   const IntermittentGrid grid(config.grid);
   IntensityTable table(grid, seconds(0.0), config.step);
@@ -91,6 +101,7 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
     }
     queue.swap(still_waiting);
     peak_running = std::max(peak_running, static_cast<int>(running.size()));
+    depth_gauge.set(static_cast<double>(running.size() + queue.size()));
 
     // Advance one step.
     for (Running& r : running) {
@@ -111,6 +122,19 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
         c.start = seconds(r.started_s);
         c.finish = seconds(r.started_s + to_seconds(c.job.duration));
         c.carbon = grams_co2e(r.carbon_g);
+        // One deterministic lane per job (kUserTrackBase + index), so the
+        // exported span order is a pure function of the job set.
+        const double arrival_s = to_seconds(c.job.arrival);
+        if (r.started_s > arrival_s) {
+          obs::Span wait_span("queue.wait", arrival_s, r.started_s);
+          wait_span.set_track(obs::kUserTrackBase + r.job_index);
+          wait_span.label("id", c.job.id);
+        }
+        {
+          obs::Span job_span("queue.job", r.started_s, to_seconds(c.finish));
+          job_span.set_track(obs::kUserTrackBase + r.job_index);
+          job_span.label("id", c.job.id);
+        }
         done[r.job_index] = c;
         completed[r.job_index] = true;
         ++finished;
@@ -139,6 +163,13 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
       makespan_s > 0.0 ? busy_machine_s / (makespan_s * config.machines) : 0.0;
   result.peak_running = peak_running;
   result.jobs = std::move(done);
+
+  sim_span.sim_interval(0.0, now_s);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.counter("queue_sim_carbon_grams", policy_labels)
+      .add(to_grams_co2e(result.total_carbon));
+  metrics.counter("queue_sim_jobs", policy_labels)
+      .add(static_cast<double>(result.jobs.size()));
   return result;
 }
 

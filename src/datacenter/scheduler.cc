@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "core/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sustainai::datacenter {
 namespace {
@@ -131,9 +133,11 @@ ScheduleResult run_schedule(const std::vector<BatchJob>& jobs,
                             const SchedulerPolicy& policy, double pue) {
   check_arg(pue >= 1.0, "run_schedule: PUE must be >= 1.0");
   IntensityTable table = make_policy_table(grid, policy);
+  const std::string policy_name = policy.name();
   std::vector<ScheduledJob> scheduled;
   scheduled.reserve(jobs.size());
-  for (const BatchJob& job : jobs) {
+  for (std::size_t ji = 0; ji < jobs.size(); ++ji) {
+    const BatchJob& job = jobs[ji];
     check_arg(to_seconds(job.duration) > 0.0,
               "run_schedule: job duration must be positive");
     check_arg(to_seconds(job.slack) >= 0.0,
@@ -142,10 +146,25 @@ ScheduleResult run_schedule(const std::vector<BatchJob>& jobs,
     check_arg(to_seconds(start) >= to_seconds(job.arrival) &&
                   to_seconds(start) <= to_seconds(job.arrival + job.slack),
               "run_schedule: policy chose a start outside the slack window");
+    {
+      // One deterministic lane per job, spanning its scheduled run window.
+      obs::Span job_span("sched.job", to_seconds(start),
+                         to_seconds(start + job.duration));
+      job_span.set_track(obs::kUserTrackBase + ji);
+      job_span.label("id", job.id);
+      job_span.label("policy", policy_name);
+    }
     scheduled.push_back(
         ScheduledJob{job, start, job_carbon(job, start, table, pue)});
   }
-  return summarize(policy.name(), std::move(scheduled));
+  ScheduleResult result = summarize(policy_name, std::move(scheduled));
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  const obs::Labels policy_labels{{"policy", policy_name}};
+  metrics.counter("sched_carbon_grams", policy_labels)
+      .add(to_grams_co2e(result.total_carbon));
+  metrics.counter("sched_jobs", policy_labels)
+      .add(static_cast<double>(result.jobs.size()));
+  return result;
 }
 
 ScheduleResult run_cross_region_schedule(const std::vector<BatchJob>& jobs,

@@ -7,12 +7,32 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/trace.h"
+
 namespace sustainai::exec {
 
 namespace {
-std::atomic<std::uint64_t> g_parallel_regions{0};
-std::atomic<std::uint64_t> g_chunks_executed{0};
-std::atomic<std::uint64_t> g_items_processed{0};
+
+// All work counters live behind one mutex so a CounterSnapshot is internally
+// consistent: counters() copies the whole struct under the same lock every
+// writer holds. Writers batch their updates (once per inline region, once
+// per worker drain) so the lock is never taken per chunk body.
+struct WorkTotals {
+  std::uint64_t parallel_regions = 0;
+  std::uint64_t chunks_executed = 0;
+  std::uint64_t items_processed = 0;
+};
+std::mutex g_totals_mu;
+WorkTotals g_totals;
+
+void add_totals(std::uint64_t regions, std::uint64_t chunks,
+                std::uint64_t items) {
+  std::lock_guard<std::mutex> lock(g_totals_mu);
+  g_totals.parallel_regions += regions;
+  g_totals.chunks_executed += chunks;
+  g_totals.items_processed += items;
+}
+
 }  // namespace
 
 ChunkPlan::Range ChunkPlan::chunk(std::size_t c) const {
@@ -30,17 +50,21 @@ ChunkPlan plan_chunks(std::size_t total, std::size_t chunk_size) {
 
 CounterSnapshot counters() {
   CounterSnapshot s;
-  s.parallel_regions = g_parallel_regions.load(std::memory_order_relaxed);
-  s.chunks_executed = g_chunks_executed.load(std::memory_order_relaxed);
-  s.items_processed = g_items_processed.load(std::memory_order_relaxed);
-  s.pool_threads = static_cast<std::uint64_t>(ThreadPool::global().size());
+  {
+    std::lock_guard<std::mutex> lock(g_totals_mu);
+    s.parallel_regions = g_totals.parallel_regions;
+    s.chunks_executed = g_totals.chunks_executed;
+    s.items_processed = g_totals.items_processed;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  s.pool_threads = static_cast<std::uint64_t>(pool.size());
+  s.pool_busy_ns = pool.total_busy_ns();
   return s;
 }
 
 void reset_counters() {
-  g_parallel_regions.store(0, std::memory_order_relaxed);
-  g_chunks_executed.store(0, std::memory_order_relaxed);
-  g_items_processed.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_totals_mu);
+  g_totals = WorkTotals{};
 }
 
 void run_chunks(ThreadPool* pool, const ChunkPlan& plan,
@@ -49,9 +73,15 @@ void run_chunks(ThreadPool* pool, const ChunkPlan& plan,
   if (num_chunks == 0) {
     return;
   }
-  g_parallel_regions.fetch_add(1, std::memory_order_relaxed);
 
   ThreadPool& executor = pool != nullptr ? *pool : ThreadPool::global();
+
+  // When tracing, each chunk runs under a TaskScope whose track is a pure
+  // function of (region ordinal, chunk id) — that is what keeps span order
+  // independent of which worker thread runs which chunk (see obs/trace.h).
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool traced = tracer.enabled();
+  const std::uint64_t trace_region = traced ? tracer.next_region_id() : 0;
 
   // Chunks run inline in ascending order when parallelism cannot help; this
   // is the canonical sequential path the parallel one must match bit-exactly.
@@ -60,15 +90,20 @@ void run_chunks(ThreadPool* pool, const ChunkPlan& plan,
     for (std::size_t c = 0; c < num_chunks; ++c) {
       const ChunkPlan::Range r = plan.chunk(c);
       try {
-        body(c, r.begin, r.end);
+        if (traced) {
+          obs::TaskScope scope(obs::chunk_track(trace_region, c));
+          obs::Span span("exec.chunk");
+          body(c, r.begin, r.end);
+        } else {
+          body(c, r.begin, r.end);
+        }
       } catch (...) {
         if (error == nullptr) {
           error = std::current_exception();
         }
       }
-      g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
-      g_items_processed.fetch_add(r.end - r.begin, std::memory_order_relaxed);
     }
+    add_totals(1, num_chunks, plan.total);
     if (error != nullptr) {
       std::rethrow_exception(error);
     }
@@ -79,17 +114,23 @@ void run_chunks(ThreadPool* pool, const ChunkPlan& plan,
   // may wake after every chunk has been claimed (and run_chunks returned).
   struct Region {
     explicit Region(const ChunkPlan& p,
-                    std::function<void(std::size_t, std::size_t, std::size_t)> b)
-        : plan(p), body(std::move(b)) {}
+                    std::function<void(std::size_t, std::size_t, std::size_t)> b,
+                    bool traced_in, std::uint64_t trace_region_in)
+        : plan(p),
+          body(std::move(b)),
+          traced(traced_in),
+          trace_region(trace_region_in) {}
     ChunkPlan plan;
     std::function<void(std::size_t, std::size_t, std::size_t)> body;
+    bool traced;
+    std::uint64_t trace_region;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex mu;
     std::condition_variable cv;
     std::exception_ptr error;  // first failure only; guarded by mu
   };
-  auto region = std::make_shared<Region>(plan, body);
+  auto region = std::make_shared<Region>(plan, body, traced, trace_region);
 
   auto drain = [region] {
     const std::size_t total_chunks = region->plan.num_chunks();
@@ -100,15 +141,20 @@ void run_chunks(ThreadPool* pool, const ChunkPlan& plan,
       }
       const ChunkPlan::Range r = region->plan.chunk(c);
       try {
-        region->body(c, r.begin, r.end);
+        if (region->traced) {
+          obs::TaskScope scope(
+              obs::chunk_track(region->trace_region, c));
+          obs::Span span("exec.chunk");
+          region->body(c, r.begin, r.end);
+        } else {
+          region->body(c, r.begin, r.end);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(region->mu);
         if (region->error == nullptr) {
           region->error = std::current_exception();
         }
       }
-      g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
-      g_items_processed.fetch_add(r.end - r.begin, std::memory_order_relaxed);
       if (region->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           total_chunks) {
         std::lock_guard<std::mutex> lock(region->mu);
@@ -128,6 +174,10 @@ void run_chunks(ThreadPool* pool, const ChunkPlan& plan,
   region->cv.wait(lock, [&region, num_chunks] {
     return region->done.load(std::memory_order_acquire) == num_chunks;
   });
+  lock.unlock();
+  // One batched update per region, taken only after every chunk has run: a
+  // counter snapshot therefore always reflects whole completed regions.
+  add_totals(1, num_chunks, plan.total);
   if (region->error != nullptr) {
     std::rethrow_exception(region->error);
   }

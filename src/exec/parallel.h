@@ -51,12 +51,17 @@ struct ChunkPlan {
 [[nodiscard]] ChunkPlan plan_chunks(std::size_t total, std::size_t chunk_size = 0);
 
 // Process-wide monotonic counters over all parallel work; surfaced to
-// telemetry consumers via telemetry::exec_work_counters().
+// telemetry consumers via telemetry::exec_work_counters(). counters() reads
+// all work fields under one lock and every writer updates them in a single
+// batched increment after its region completes, so a snapshot is internally
+// consistent: it always reflects whole regions (never a region's chunk count
+// without its item count).
 struct CounterSnapshot {
-  std::uint64_t parallel_regions = 0;  // run_chunks invocations
+  std::uint64_t parallel_regions = 0;  // completed run_chunks invocations
   std::uint64_t chunks_executed = 0;
   std::uint64_t items_processed = 0;   // sum of executed chunk sizes
   std::uint64_t pool_threads = 0;      // current global-pool worker count
+  std::uint64_t pool_busy_ns = 0;      // cumulative global-pool task time
 };
 [[nodiscard]] CounterSnapshot counters();
 void reset_counters();  // test hook

@@ -1,5 +1,6 @@
 #include "exec/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "core/check.h"
@@ -20,9 +21,27 @@ int default_thread_count() {
 ThreadPool::ThreadPool(int num_threads) {
   check_arg(num_threads >= 1, "ThreadPool: need at least one thread");
   workers_.reserve(static_cast<std::size_t>(num_threads));
+  busy_ns_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    busy_ns_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
   }
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+std::uint64_t ThreadPool::busy_ns(int i) const {
+  check_arg(i >= 0 && i < size(), "ThreadPool::busy_ns: bad worker index");
+  return busy_ns_[static_cast<std::size_t>(i)]->load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::total_busy_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& ns : busy_ns_) {
+    total += ns->load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 ThreadPool::~ThreadPool() {
@@ -44,7 +63,8 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::atomic<std::uint64_t>& busy = *busy_ns_[worker_index];
   for (;;) {
     std::function<void()> task;
     {
@@ -56,7 +76,14 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const auto end = std::chrono::steady_clock::now();
+    busy.fetch_add(static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           end - start)
+                           .count()),
+                   std::memory_order_relaxed);
   }
 }
 

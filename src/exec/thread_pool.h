@@ -7,9 +7,12 @@
 // std::thread::hardware_concurrency().
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -35,14 +38,23 @@ class ThreadPool {
   // parallel loops capture exceptions inside the task body themselves.
   void submit(std::function<void()> task);
 
+  // Cumulative wall time worker `i` has spent inside tasks, in nanoseconds.
+  // Busy time is telemetry, not part of any determinism contract.
+  [[nodiscard]] std::uint64_t busy_ns(int i) const;
+
+  // Sum of busy_ns over all workers.
+  [[nodiscard]] std::uint64_t total_busy_ns() const;
+
   // The process-wide pool, created on first use with default_thread_count()
   // workers and destroyed at exit.
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  // unique_ptr keeps addresses stable; each worker updates only its own slot.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> busy_ns_;
   std::deque<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,196 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "report/csv.h"
+#include "report/json.h"
+
+namespace sustainai::obs {
+namespace {
+
+// Matches report::JsonWriter's double formatting so every exporter renders
+// the same value the same way.
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char ch : value) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+// {k="v",k2="v2"} — empty string when there are no labels.
+std::string prometheus_label_set(const Labels& labels,
+                                 const std::string& extra_key = "",
+                                 const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += key + "=\"" + escape_label_value(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) {
+      out += ',';
+    }
+    out += extra_key + "=\"" + escape_label_value(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string flat_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              const TraceExportOptions& options) {
+  const bool sim = options.timebase == TraceTimebase::kSimTime;
+  // Re-sort defensively into the deterministic merge order, so the export is
+  // a pure function of the span *set* even if the caller reordered it.
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const SpanRecord& s : spans) {
+    if (!sim || s.has_sim) {
+      ordered.push_back(&s);
+    }
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->track != b->track) {
+                       return a->track < b->track;
+                     }
+                     return a->seq < b->seq;
+                   });
+
+  // Compact tids: tracks in sorted order map to 0, 1, 2, ...
+  std::vector<std::uint64_t> tracks;
+  for (const SpanRecord* s : ordered) {
+    if (tracks.empty() || tracks.back() != s->track) {
+      tracks.push_back(s->track);
+    }
+  }
+  const auto tid_of = [&tracks](std::uint64_t track) -> long {
+    const auto it = std::lower_bound(tracks.begin(), tracks.end(), track);
+    return static_cast<long>(it - tracks.begin());
+  };
+
+  report::JsonWriter json;
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.field("timebase", sim ? "sim" : "wall");
+  json.begin_array("traceEvents");
+  for (const SpanRecord* s : ordered) {
+    json.begin_object();
+    json.field("name", s->name);
+    json.field("ph", "X");
+    if (sim) {
+      json.field("ts", s->sim_begin_s * 1e6);
+      json.field("dur", (s->sim_end_s - s->sim_begin_s) * 1e6);
+    } else {
+      json.field("ts", static_cast<double>(s->wall_begin_ns) / 1e3);
+      json.field("dur",
+                 static_cast<double>(s->wall_end_ns - s->wall_begin_ns) / 1e3);
+    }
+    json.field("pid", 0L);
+    json.field("tid", sim ? tid_of(s->track)
+                          : static_cast<long>(s->thread_index));
+    if (!s->labels.empty()) {
+      json.begin_object("args");
+      for (const auto& [key, value] : s->labels) {
+        json.field(key, value);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const std::string* last_typed = nullptr;
+  for (const MetricSample& s : snapshot.samples) {
+    if (last_typed == nullptr || *last_typed != s.name) {
+      out += "# TYPE " + s.name + " " + to_string(s.kind) + "\n";
+      last_typed = &s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += s.name + prometheus_label_set(s.labels) + " " +
+               fmt_double(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        const int bins = static_cast<int>(s.bucket_counts.size());
+        const double width = bins > 0 ? (s.hi - s.lo) / bins : 0.0;
+        for (int b = 0; b < bins; ++b) {
+          cumulative += s.bucket_counts[static_cast<std::size_t>(b)];
+          const double le = b + 1 == bins ? s.hi : s.lo + width * (b + 1);
+          out += s.name + "_bucket" +
+                 prometheus_label_set(s.labels, "le", fmt_double(le)) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += s.name + "_bucket" +
+               prometheus_label_set(s.labels, "le", "+Inf") + " " +
+               std::to_string(s.total_count) + "\n";
+        out += s.name + "_sum" + prometheus_label_set(s.labels) + " " +
+               fmt_double(s.value) + "\n";
+        out += s.name + "_count" + prometheus_label_set(s.labels) + " " +
+               std::to_string(s.total_count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string metrics_csv(const MetricsSnapshot& snapshot) {
+  report::CsvWriter csv(
+      {"name", "labels", "kind", "value", "gauge_max", "count", "non_finite"});
+  for (const MetricSample& s : snapshot.samples) {
+    csv.add_row({s.name, flat_labels(s.labels), to_string(s.kind),
+                 fmt_double(s.value), fmt_double(s.gauge_max),
+                 std::to_string(s.total_count), std::to_string(s.non_finite)});
+  }
+  return csv.to_string();
+}
+
+}  // namespace sustainai::obs

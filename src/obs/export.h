@@ -1,0 +1,46 @@
+// Exporters for the obs layer: Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing), Prometheus text exposition, and CSV.
+//
+// The default trace export uses the *simulated-time* axis and the
+// deterministic (track, seq) order, and excludes wall times and real thread
+// ids — it is a pure function of the merged span list, hence byte-identical
+// at any SUSTAINAI_THREADS for a fixed-seed run. The wall-time variant
+// includes every span (also those without sim intervals) on real threads
+// and is for human profiling only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sustainai::obs {
+
+enum class TraceTimebase {
+  kSimTime,   // deterministic; skips spans without a sim interval
+  kWallTime,  // all spans, wall-clock ts, real thread ids; not deterministic
+};
+
+struct TraceExportOptions {
+  TraceTimebase timebase = TraceTimebase::kSimTime;
+};
+
+// Chrome trace-event JSON ("traceEvents" array of ph:"X" complete events;
+// ts/dur in microseconds). Tracks are mapped to compact tids in order of
+// first appearance after the deterministic sort; labels become "args".
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<SpanRecord>& spans, const TraceExportOptions& options = {});
+
+// Prometheus text exposition format. Counters/gauges emit one sample line;
+// histograms emit cumulative `_bucket{le=...}` lines plus `_sum`/`_count`.
+// Bucket edge caveat: finite out-of-range observations are clamped into the
+// first/last bucket (datagen::Histogram semantics), so the `+Inf` bucket
+// equals the finite-observation count.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+// Flat CSV dump of a snapshot (one row per metric; histogram rows carry the
+// finite-count and non-finite tallies).
+[[nodiscard]] std::string metrics_csv(const MetricsSnapshot& snapshot);
+
+}  // namespace sustainai::obs

@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sustainai::obs {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void Gauge::set(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = value;
+  max_ = ever_set_ ? std::max(max_, value) : value;
+  ever_set_ = true;
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+
+double Gauge::max_value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+HistogramMetric::HistogramMetric(double lo, double hi, int num_bins)
+    : hist_(lo, hi, num_bins) {}
+
+void HistogramMetric::observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t finite_before = hist_.total();
+  hist_.add(value);
+  if (hist_.total() > finite_before) {
+    sum_ += value;
+  }
+}
+
+datagen::Histogram HistogramMetric::histogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hist_;
+}
+
+double HistogramMetric::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name,
+                                          const Labels& labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == labels) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+MetricsSnapshot diff(const MetricsSnapshot& before,
+                     const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  out.samples.reserve(after.samples.size());
+  for (const MetricSample& a : after.samples) {
+    MetricSample d = a;
+    const MetricSample* b = before.find(a.name, a.labels);
+    if (b != nullptr && b->kind == a.kind && a.kind != MetricKind::kGauge) {
+      d.value = a.value - b->value;
+      if (a.kind == MetricKind::kHistogram &&
+          b->bucket_counts.size() == a.bucket_counts.size()) {
+        for (std::size_t i = 0; i < d.bucket_counts.size(); ++i) {
+          d.bucket_counts[i] -= b->bucket_counts[i];
+        }
+        d.total_count -= b->total_count;
+        d.non_finite -= b->non_finite;
+      }
+    }
+    out.samples.push_back(std::move(d));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) {
+      check_arg(entry->kind == kind,
+                "MetricsRegistry: '" + name + "' already registered as " +
+                    to_string(entry->kind));
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->kind = kind;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  Entry& entry = find_or_create(name, labels, MetricKind::kCounter);
+  if (entry.counter == nullptr) {
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  Entry& entry = find_or_create(name, labels, MetricKind::kGauge);
+  if (entry.gauge == nullptr) {
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, int num_bins,
+                                            const Labels& labels) {
+  Entry& entry = find_or_create(name, labels, MetricKind::kHistogram);
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<HistogramMetric>(lo, hi, num_bins);
+  } else {
+    const datagen::Histogram existing = entry.histogram->histogram();
+    check_arg(existing.num_bins() == num_bins && existing.bin_lo(0) == lo &&
+                  existing.bin_hi(num_bins - 1) == hi,
+              "MetricsRegistry: histogram '" + name +
+                  "' re-registered with different buckets");
+  }
+  return *entry.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.samples.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      MetricSample s;
+      s.name = entry->name;
+      s.labels = entry->labels;
+      s.kind = entry->kind;
+      switch (entry->kind) {
+        case MetricKind::kCounter:
+          s.value = entry->counter != nullptr ? entry->counter->value() : 0.0;
+          break;
+        case MetricKind::kGauge:
+          if (entry->gauge != nullptr) {
+            s.value = entry->gauge->value();
+            s.gauge_max = entry->gauge->max_value();
+          }
+          break;
+        case MetricKind::kHistogram:
+          if (entry->histogram != nullptr) {
+            const datagen::Histogram h = entry->histogram->histogram();
+            s.value = entry->histogram->sum();
+            s.lo = h.bin_lo(0);
+            s.hi = h.bin_hi(h.num_bins() - 1);
+            s.bucket_counts.reserve(static_cast<std::size_t>(h.num_bins()));
+            for (int b = 0; b < h.num_bins(); ++b) {
+              s.bucket_counts.push_back(h.count(b));
+            }
+            s.total_count = h.total();
+            s.non_finite = h.non_finite();
+          }
+          break;
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  // Deterministic order regardless of registration (or thread) order.
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) {
+                return a.name < b.name;
+              }
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace sustainai::obs

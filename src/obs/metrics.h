@@ -1,0 +1,140 @@
+// Labeled metrics registry: counters, gauges, and fixed-bucket histograms
+// (reusing datagen::Histogram bucket semantics), with snapshot/diff support
+// and Prometheus-text / CSV export via obs/export.h.
+//
+// Determinism: metric *updates* are thread-safe, but simulators record them
+// only at deterministic points (post-merge on the calling thread, or inside
+// serial step loops), so a snapshot taken after a fixed-seed run — and the
+// text rendered from it — is identical at any SUSTAINAI_THREADS. Snapshots
+// are sorted by (name, labels), never by registration race order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "datagen/stats.h"
+#include "obs/trace.h"  // Labels
+
+namespace sustainai::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricKind kind);
+
+// Monotonically increasing sum (use for energy, carbon, work totals).
+class Counter {
+ public:
+  void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void increment() { add(1.0); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Last-written value; also tracks the maximum ever set (peak queue depth,
+// peak concurrent power, ...).
+class Gauge {
+ public:
+  void set(double value);
+  [[nodiscard]] double value() const;
+  [[nodiscard]] double max_value() const;  // 0 before the first set()
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+  double max_ = 0.0;
+  bool ever_set_ = false;
+};
+
+// Fixed-bucket histogram with datagen::Histogram edge semantics: finite
+// out-of-range values clamp into the first/last bucket, non-finite values
+// are tallied separately and excluded from the sum.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, int num_bins);
+
+  void observe(double value);
+
+  [[nodiscard]] datagen::Histogram histogram() const;  // copy under lock
+  [[nodiscard]] double sum() const;                    // finite observations
+
+ private:
+  mutable std::mutex mu_;
+  datagen::Histogram hist_;
+  double sum_ = 0.0;
+};
+
+// One metric's state at snapshot time. For histograms, `value` is the sum
+// of finite observations and the bucket vectors are populated.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+  double gauge_max = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t total_count = 0;  // finite observations (histogram only)
+  std::uint64_t non_finite = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by (name, labels)
+
+  // nullptr when absent.
+  [[nodiscard]] const MetricSample* find(const std::string& name,
+                                         const Labels& labels = {}) const;
+};
+
+// after - before: counters and histogram counts/sums subtract (samples only
+// in `after` pass through unchanged); gauges take `after` verbatim. Use to
+// attribute global-registry deltas to one simulated run.
+[[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& before,
+                                   const MetricsSnapshot& after);
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+  MetricsRegistry() = default;
+
+  // Find-or-create; the returned reference is stable for the registry's
+  // lifetime (hot paths should hoist it out of loops — each call takes the
+  // registry lock for the lookup). Re-registering an existing (name,
+  // labels) with a different kind throws.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             int num_bins, const Labels& labels = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  // Drops every metric (references from counter()/gauge()/histogram() are
+  // invalidated). Test/benchmark hook.
+  void clear();
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const Labels& labels,
+                        MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace sustainai::obs

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sustainai::recsys {
 namespace {
@@ -305,6 +307,10 @@ double TrainableDlrm::evaluate(const std::vector<LabeledSample>& data) const {
   double sum = 0.0;
   for (std::size_t begin = 0; begin < data.size(); begin += kEvalBatch) {
     const std::size_t count = std::min(kEvalBatch, data.size() - begin);
+    // Sim timebase here is the sample index, so batch spans tile [0, n).
+    obs::Span batch_span("dlrm.predict_batch",
+                         static_cast<double>(begin),
+                         static_cast<double>(begin + count));
     const std::vector<float> p =
         predict_batch({data.data() + begin, count});
     for (std::size_t i = 0; i < count; ++i) {
@@ -372,7 +378,12 @@ TrainingRunResult train_dlrm(TrainableDlrm& model,
   std::iota(order.begin(), order.end(), 0);
 
   TrainingRunResult result;
+  obs::Counter& examples_trained =
+      obs::MetricsRegistry::global().counter("dlrm_examples_trained");
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    // Sim timebase for training spans is the epoch index.
+    obs::Span epoch_span("dlrm.epoch", static_cast<double>(epoch),
+                         static_cast<double>(epoch + 1));
     // Fisher-Yates shuffle.
     for (std::size_t i = order.size(); i-- > 1;) {
       const auto j = static_cast<std::size_t>(
@@ -383,6 +394,7 @@ TrainingRunResult train_dlrm(TrainableDlrm& model,
       model.train_step(train[idx], learning_rate);
     }
     result.epoch_losses.push_back(model.evaluate(holdout));
+    examples_trained.add(static_cast<double>(train.size()));
   }
   result.final_loss = result.epoch_losses.back();
   // Forward ~ flops_per_example; backward ~ 2x forward.

@@ -11,6 +11,7 @@ ExecWorkCounters exec_work_counters() {
   out.chunks_executed = s.chunks_executed;
   out.items_processed = s.items_processed;
   out.pool_threads = s.pool_threads;
+  out.pool_busy_ns = s.pool_busy_ns;
   return out;
 }
 
@@ -31,6 +32,12 @@ Energy CounterSampler::sample() {
   const Energy increment = joules(static_cast<double>(delta) * counter_.joules_per_unit());
   total_ += increment;
   return increment;
+}
+
+void CounterSampler::reset() {
+  last_raw_ = counter_.read_raw();
+  total_ = joules(0.0);
+  wrap_count_ = 0;
 }
 
 }  // namespace sustainai::telemetry

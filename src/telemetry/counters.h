@@ -15,12 +15,15 @@ namespace sustainai::telemetry {
 
 // Process-wide work counters of the exec layer (exec/parallel.h), re-exported
 // here so telemetry consumers can report compute work (parallel regions,
-// chunks, items) alongside the energy counters below.
+// chunks, items, pool busy time) alongside the energy counters below. The
+// work fields are one consistent snapshot: the exec layer publishes them as
+// a whole struct per completed region, never field by field.
 struct ExecWorkCounters {
   std::uint64_t parallel_regions = 0;
   std::uint64_t chunks_executed = 0;
   std::uint64_t items_processed = 0;
   std::uint64_t pool_threads = 0;
+  std::uint64_t pool_busy_ns = 0;  // cumulative task time in the global pool
 };
 [[nodiscard]] ExecWorkCounters exec_work_counters();
 
@@ -54,6 +57,10 @@ class CounterSampler {
 
   // Number of wraparounds observed.
   [[nodiscard]] int wrap_count() const { return wrap_count_; }
+
+  // Zeroes the accumulated total and wrap count and re-reads the raw
+  // counter, so the next sample() delta starts from "now".
+  void reset();
 
  private:
   const EnergyCounter& counter_;

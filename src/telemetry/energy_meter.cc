@@ -25,14 +25,27 @@ Energy EnergyMeter::total() const {
   return sum;
 }
 
-Energy EnergyMeter::total(const std::string& label) const {
+std::optional<Energy> EnergyMeter::find_total(const std::string& label) const {
   for (const Source& s : sources_) {
     if (s.label == label) {
       return s.sampler.total();
     }
   }
-  check_arg(false, "EnergyMeter::total: unknown label '" + label + "'");
-  return joules(0.0);  // unreachable
+  return std::nullopt;
+}
+
+Energy EnergyMeter::total(const std::string& label) const {
+  const std::optional<Energy> found = find_total(label);
+  check_arg(found.has_value(),
+            "EnergyMeter::total: unknown label '" + label + "'");
+  return *found;
+}
+
+void EnergyMeter::reset() {
+  for (Source& s : sources_) {
+    s.sampler.reset();
+  }
+  sample_count_ = 0;
 }
 
 std::vector<std::string> EnergyMeter::labels() const {

@@ -5,6 +5,7 @@
 // per-GPU) and accumulates wrap-corrected deltas per labeled source.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,8 +28,16 @@ class EnergyMeter {
   // Cumulative energy across all sources since attach.
   [[nodiscard]] Energy total() const;
 
-  // Cumulative energy of one source; throws if the label is unknown.
+  // Cumulative energy of one source, or nullopt if the label is unknown.
+  [[nodiscard]] std::optional<Energy> find_total(const std::string& label) const;
+
+  // Cumulative energy of one source; throws std::invalid_argument if the
+  // label is unknown. Prefer find_total when the label may be absent.
   [[nodiscard]] Energy total(const std::string& label) const;
+
+  // Zeroes every source's accumulated total (re-reading each raw counter)
+  // and the sample count; attached sources stay attached.
+  void reset();
 
   [[nodiscard]] std::vector<std::string> labels() const;
   [[nodiscard]] int sample_count() const { return sample_count_; }

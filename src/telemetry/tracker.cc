@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "core/equivalence.h"
+#include "obs/metrics.h"
 #include "report/json.h"
 
 namespace sustainai::telemetry {
@@ -21,6 +22,12 @@ void CarbonTracker::record_energy(Phase phase, Energy it_energy) {
   f.energy = it_energy;
   f.operational = options_.operational.location_based(it_energy);
   footprint_.add(phase, f);
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  const obs::Labels labels{{"phase", to_string(phase)}};
+  metrics.counter("tracker_energy_joules", labels).add(to_joules(f.energy));
+  metrics.counter("tracker_operational_grams", labels)
+      .add(to_grams_co2e(f.operational));
 }
 
 void CarbonTracker::record_device_use(Phase phase, const hw::DeviceSpec& device,
@@ -40,6 +47,10 @@ void CarbonTracker::record_embodied(Phase phase, const hw::DeviceSpec& device,
   PhaseFootprint f{};
   f.embodied = model.attribute(busy_time) * static_cast<double>(count);
   footprint_.add(phase, f);
+
+  obs::MetricsRegistry::global()
+      .counter("tracker_embodied_grams", {{"phase", to_string(phase)}})
+      .add(to_grams_co2e(f.embodied));
 }
 
 CarbonMass CarbonTracker::total_carbon() const {

@@ -9,6 +9,15 @@ Compares ns/op per benchmark name and flags regressions beyond a threshold
 
 Benchmarks present in only one file are reported but never fail the diff
 (the harness grows over time). Derived speedups are shown for context.
+
+Single-file mode checks the observability overhead contract instead:
+
+    tools/bench_diff.py --check-obs build/BENCH_obs.json
+    tools/bench_diff.py --check-obs BENCH_obs.json --obs-max-overhead 1.30
+
+This asserts the derived tracer_off_overhead ratio (fleet step with the
+tracer compiled in but disabled, over the untraced baseline) stays at or
+below --obs-max-overhead, and reports tracer_on_overhead for context.
 """
 
 import argparse
@@ -26,12 +35,38 @@ def load_records(path):
     )
 
 
+def check_obs(path, max_overhead):
+    _, derived = load_records(path)
+    off = derived.get("tracer_off_overhead")
+    on = derived.get("tracer_on_overhead")
+    if off is None:
+        sys.exit(
+            f"{path}: no derived tracer_off_overhead (run perf_harness with "
+            "the fleet_step benchmarks enabled)"
+        )
+    print(f"tracer-off overhead: {off:.3f}x (max allowed {max_overhead:.2f}x)")
+    if on is not None:
+        print(f"tracer-on  overhead: {on:.3f}x (informational)")
+    if off > max_overhead:
+        print(
+            f"FAIL: disabled-tracer fleet step is {off:.3f}x the untraced "
+            f"baseline, above the {max_overhead:.2f}x bound"
+        )
+        return 1
+    print("obs overhead contract holds")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Flag perf regressions between two perf_harness JSON files."
     )
-    parser.add_argument("baseline", help="older BENCH_*.json (reference)")
-    parser.add_argument("candidate", help="newer BENCH_*.json (under test)")
+    parser.add_argument(
+        "baseline", nargs="?", help="older BENCH_*.json (reference)"
+    )
+    parser.add_argument(
+        "candidate", nargs="?", help="newer BENCH_*.json (under test)"
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -39,7 +74,25 @@ def main():
         help="fractional ns/op increase that counts as a regression "
         "(default 0.20 = 20%%)",
     )
+    parser.add_argument(
+        "--check-obs",
+        metavar="FILE",
+        help="single-file mode: assert FILE's derived tracer_off_overhead "
+        "is at most --obs-max-overhead",
+    )
+    parser.add_argument(
+        "--obs-max-overhead",
+        type=float,
+        default=1.05,
+        help="upper bound on tracer_off_overhead for --check-obs "
+        "(default 1.05 = 5%%)",
+    )
     args = parser.parse_args()
+
+    if args.check_obs:
+        return check_obs(args.check_obs, args.obs_max_overhead)
+    if args.baseline is None or args.candidate is None:
+        parser.error("baseline and candidate are required unless --check-obs")
 
     base, base_derived = load_records(args.baseline)
     cand, cand_derived = load_records(args.candidate)

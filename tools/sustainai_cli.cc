@@ -6,17 +6,24 @@
 //   sustainai grids             # available grid profiles
 //   sustainai schedule --jobs 24 --duration-h 4 --slack-h 20 --grid us-west-solar
 //   sustainai fl --clients 100 --rounds-per-day 24 --days 90
+//   sustainai fleet --days 7 --trace /tmp/fleet.json --metrics /tmp/fleet.prom
 //
 // Each subcommand prints the same accounting the paper's figures use.
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/equivalence.h"
+#include "datacenter/fleet_sim.h"
 #include "datacenter/scheduler.h"
 #include "fl/round_sim.h"
+#include "hw/server.h"
 #include "mlcycle/model_zoo.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "report/table.h"
 #include "telemetry/model_card.h"
 #include "telemetry/tracker.h"
@@ -206,6 +213,85 @@ int cmd_fl(const Flags& flags) {
   return 0;
 }
 
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::invalid_argument("cannot open '" + path + "' for writing");
+  }
+  out << content;
+}
+
+int cmd_fleet(const Flags& flags) {
+  using namespace sustainai::datacenter;
+  const std::string trace_path = flag_string(flags, "trace", "");
+  const std::string metrics_path = flag_string(flags, "metrics", "");
+  const bool observing = !trace_path.empty() || !metrics_path.empty();
+  if (observing) {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().set_enabled(true);
+    obs::MetricsRegistry::global().clear();
+  }
+
+  Cluster cluster;
+  ServerGroup web;
+  web.name = "web";
+  web.sku = hw::skus::web_tier();
+  web.count = static_cast<int>(flag_double(flags, "web-servers", 300.0));
+  web.tier = Tier::kWeb;
+  web.load = DiurnalProfile{0.3, 0.9, 20.0};
+  web.autoscalable = true;
+  cluster.add_group(web);
+  ServerGroup train;
+  train.name = "train";
+  train.sku = hw::skus::gpu_training_8x();
+  train.count = static_cast<int>(flag_double(flags, "train-servers", 12.0));
+  train.tier = Tier::kAiTraining;
+  train.load = flat_profile(0.5);
+  cluster.add_group(train);
+
+  FleetSimulator::Config config;
+  config.cluster = cluster;
+  config.grid.profile = grid_by_name(flag_string(flags, "grid", "us-west-solar"));
+  config.grid.solar_share = flag_double(flags, "solar-share", 0.5);
+  config.grid.wind_share = flag_double(flags, "wind-share", 0.15);
+  config.grid.firm_share = flag_double(flags, "firm-share", 0.10);
+  config.horizon = days(flag_double(flags, "days", 7.0));
+  config.step = minutes(flag_double(flags, "step-min", 15.0));
+  config.steps_per_chunk =
+      static_cast<long>(flag_double(flags, "chunk-steps", 16.0));
+  config.pue = flag_double(flags, "pue", kHyperscalePue);
+  config.cfe_coverage = flag_double(flags, "cfe", 0.0);
+  const FleetSimulator::Result result = FleetSimulator(config).run();
+
+  std::printf("fleet over %.1f days on %s:\n",
+              flag_double(flags, "days", 7.0), config.grid.profile.name.c_str());
+  std::printf("  IT energy:        %s\n", to_string(result.it_energy).c_str());
+  std::printf("  facility energy:  %s (PUE %.2f)\n",
+              to_string(result.facility_energy).c_str(), config.pue);
+  std::printf("  location carbon:  %s\n",
+              to_string(result.location_carbon).c_str());
+  std::printf("  market carbon:    %s\n",
+              to_string(result.market_carbon).c_str());
+
+  if (!trace_path.empty()) {
+    write_text_file(trace_path,
+                    obs::chrome_trace_json(obs::Tracer::global().collect()));
+    std::printf("  trace:            %s (load in Perfetto / chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    write_text_file(
+        metrics_path,
+        obs::prometheus_text(obs::MetricsRegistry::global().snapshot()));
+    std::printf("  metrics:          %s (Prometheus text)\n",
+                metrics_path.c_str());
+  }
+  if (observing) {
+    obs::Tracer::global().set_enabled(false);
+  }
+  return 0;
+}
+
 int usage() {
   std::printf(
       "usage: sustainai <command> [--flag value ...]\n"
@@ -218,6 +304,10 @@ int usage() {
       "             (--jobs --duration-h --slack-h --power-kw --grid)\n"
       "  fl         footprint of a federated-learning campaign\n"
       "             (--clients --rounds-per-day --days --model-mb --compute-min)\n"
+      "  fleet      run the datacenter fleet simulator, optionally dumping a\n"
+      "             Chrome trace and Prometheus metrics\n"
+      "             (--days --web-servers --train-servers --grid --chunk-steps\n"
+      "              --trace PATH --metrics PATH)\n"
       "  model-card render the carbon section of a model card (markdown)\n"
       "             (--name --device --count --runtime-days --utilization --grid)\n");
   return 2;
@@ -246,6 +336,9 @@ int main(int argc, char** argv) {
     }
     if (command == "fl") {
       return cmd_fl(flags);
+    }
+    if (command == "fleet") {
+      return cmd_fleet(flags);
     }
     if (command == "model-card") {
       return cmd_model_card(flags);

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON file produced by obs::chrome_trace_json.
+
+Validates the event schema (Perfetto/chrome://tracing complete-event form),
+computes per-span self time (duration minus time covered by spans nested
+inside it on the same (pid, tid) lane), and prints the top-N span names by
+total self time.
+
+Exits non-zero when the file is unreadable, an event violates the schema, or
+--require-events asks for more events than the trace contains. Used by ctest
+to schema-check the trace the `sustainai fleet` demo emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+from collections import defaultdict
+
+
+def fail(message: str) -> None:
+    print(f"trace_summary: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_events(path: str) -> list:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+    # Both container forms are valid Chrome traces: an object holding
+    # "traceEvents" or a bare event list.
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if events is None:
+            fail(f"{path}: object form must contain 'traceEvents'")
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        fail(f"{path}: top level must be an object or a list")
+    if not isinstance(events, list):
+        fail(f"{path}: 'traceEvents' must be a list")
+    return events
+
+
+def validate_event(event, index: int) -> None:
+    def bad(why: str) -> None:
+        fail(f"event #{index} invalid: {why}: {json.dumps(event)[:200]}")
+
+    if not isinstance(event, dict):
+        bad("not an object")
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        bad("'name' must be a non-empty string")
+    if event.get("ph") != "X":
+        bad("'ph' must be 'X' (complete event)")
+    for key in ("ts", "dur"):
+        value = event.get(key)
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            bad(f"'{key}' must be a number")
+    if event["dur"] < 0:
+        bad("'dur' must be >= 0")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            bad(f"'{key}' must be an integer")
+    args = event.get("args")
+    if args is not None and not isinstance(args, dict):
+        bad("'args' must be an object when present")
+
+
+def self_times(events: list) -> dict:
+    """Total self time (µs) per span name.
+
+    Within one (pid, tid) lane, spans are treated as a properly nested stack
+    (which obs spans are by construction): a span's self time is its duration
+    minus the durations of spans strictly inside it.
+    """
+    lanes = defaultdict(list)
+    for event in events:
+        lanes[(event["pid"], event["tid"])].append(event)
+
+    totals = defaultdict(lambda: {"self_us": 0.0, "total_us": 0.0, "count": 0})
+    for lane_events in lanes.values():
+        lane_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        open_spans = []  # mutable [name, dur, child_time, end_ts]
+        for event in lane_events:
+            ts, dur = event["ts"], event["dur"]
+            while open_spans and ts >= open_spans[-1][3] - 1e-9:
+                name, span_dur, child_time, _end = open_spans.pop()
+                totals[name]["self_us"] += max(span_dur - child_time, 0.0)
+            if open_spans:
+                open_spans[-1][2] += dur
+            totals[event["name"]]["total_us"] += dur
+            totals[event["name"]]["count"] += 1
+            open_spans.append([event["name"], dur, 0.0, ts + dur])
+        while open_spans:
+            name, span_dur, child_time, _end = open_spans.pop()
+            totals[name]["self_us"] += max(span_dur - child_time, 0.0)
+    return totals
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Validate and summarize a Chrome trace-event JSON file")
+    parser.add_argument("trace", help="path to the trace JSON")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many span names to print (default 10)")
+    parser.add_argument("--require-events", type=int, default=1,
+                        help="fail unless the trace has at least this many "
+                             "events (default 1)")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    for i, event in enumerate(events):
+        validate_event(event, i)
+    if len(events) < args.require_events:
+        fail(f"{args.trace}: expected >= {args.require_events} events, "
+             f"found {len(events)}")
+
+    totals = self_times(events)
+    ranked = sorted(totals.items(),
+                    key=lambda kv: (-kv[1]["self_us"], kv[0]))
+    print(f"{len(events)} events, {len(totals)} span names "
+          f"({args.trace})")
+    print(f"{'span':<28} {'count':>8} {'self-time':>14} {'total-time':>14}")
+    for name, t in ranked[:args.top]:
+        print(f"{name:<28} {t['count']:>8} {t['self_us']:>12.1f}us "
+              f"{t['total_us']:>12.1f}us")
+
+
+if __name__ == "__main__":
+    main()
