@@ -17,6 +17,7 @@
 #include "recsys/mlp.h"
 #include "recsys/trainer.h"
 #include "report/json.h"
+#include "scenario/runner.h"
 
 namespace sustainai::bench {
 namespace {
@@ -137,6 +138,49 @@ void bm_fleet_step_obs(benchmark::State& state, bool tracer_on) {
   state.SetItemsProcessed(state.iterations() * kFleetSteps);
 }
 
+// The scenario-runner contract (scenario/runner.h): driving a simulator
+// through a declarative JSON spec — parse, schema-checked config adaption,
+// report rebuild, canonical serialization — adds a fixed per-run cost (tens
+// of microseconds), so on a production-scale run it must stay within ~2% of
+// constructing and running the simulator directly. bench_diff.py
+// --check-scenario guards the derived scenario_run_overhead ratio. The spec
+// mirrors fleet_bench_config(true) parameter for parameter at a 120-day
+// horizon, so both sides execute the identical 11520-step simulation.
+constexpr double kScenarioDays = 120.0;
+constexpr long kScenarioFleetSteps = 11520;  // days(120) / minutes(15)
+
+constexpr const char* kScenarioFleetSpec = R"({
+  "scenario": "fleet",
+  "params": {
+    "days": 120,
+    "step_min": 15,
+    "chunk_steps": 64,
+    "web_servers": 300,
+    "train_servers": 12,
+    "train_utilization": 0.5,
+    "web_load": {"trough": 0.3, "peak": 0.9, "peak_hour": 20},
+    "grid": {"name": "us-average", "solar_share": 0.3,
+             "wind_share": 0.2, "firm_share": 0.1}
+  }
+})";
+
+void bm_scenario_fleet_direct(benchmark::State& state) {
+  datacenter::FleetSimulator::Config cfg = fleet_bench_config(true);
+  cfg.horizon = days(kScenarioDays);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datacenter::FleetSimulator(cfg).run());
+  }
+  state.SetItemsProcessed(state.iterations() * kScenarioFleetSteps);
+}
+
+void bm_scenario_fleet_runner(benchmark::State& state) {
+  const scenario::Runner runner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_text(kScenarioFleetSpec));
+  }
+  state.SetItemsProcessed(state.iterations() * kScenarioFleetSteps);
+}
+
 constexpr int kGemmBatch = 64;
 constexpr int kGemmIn = 64;
 constexpr int kGemmOut = 64;
@@ -243,6 +287,8 @@ void register_kernel_benchmarks(bool smoke) {
       [](benchmark::State& s) { bm_fleet_step_obs(s, false); });
   add("fleet_step_tracer_on",
       [](benchmark::State& s) { bm_fleet_step_obs(s, true); });
+  add("scenario_fleet_direct", bm_scenario_fleet_direct);
+  add("scenario_fleet_runner", bm_scenario_fleet_runner);
   add("dense_gemv", bm_dense_gemv);
   add("dense_forward_batch", bm_dense_forward_batch);
   add("dlrm_predict_loop",
@@ -297,6 +343,8 @@ std::string render_bench_json(const std::vector<BenchRecord>& records) {
   constexpr OverheadPair kOverheads[] = {
       {"fleet_step_table", "fleet_step_tracer_off", "tracer_off_overhead"},
       {"fleet_step_tracer_off", "fleet_step_tracer_on", "tracer_on_overhead"},
+      {"scenario_fleet_direct", "scenario_fleet_runner",
+       "scenario_run_overhead"},
   };
   w.begin_object("derived");
   for (const SpeedupPair& p : kPairs) {

@@ -3,47 +3,72 @@
 // decision problem end-to-end: simulate a 90-day FL campaign over a
 // heterogeneous client population, estimate its footprint with the paper's
 // methodology, and compare against centralized baselines.
+//
+// Driven through the scenario engine: the campaign is a declarative JSON
+// spec executed by scenario::Runner, and every number printed below is read
+// back from the run's base-unit JSON report — the same artifact
+// `sustainai run` writes to disk.
 #include <cstdio>
 
-#include "fl/round_sim.h"
+#include "core/units.h"
+#include "report/json.h"
 #include "report/table.h"
+#include "scenario/runner.h"
+
+namespace {
+
+using namespace sustainai;
+
+constexpr const char* kCampaignSpec = R"({
+  "scenario": "fl_rounds",
+  "params": {
+    "name": "keyboard-personalization",
+    "model_mb": 20,
+    "compute_min": 4,
+    "clients_per_round": 100,
+    "rounds_per_day": 24,
+    "days": 90
+  }
+})";
+
+double field(const scenario::RunResult& r, const char* key) {
+  return r.report.find(key)->as_number();
+}
+
+}  // namespace
 
 int main() {
-  using namespace sustainai;
+  const scenario::Bundle bundle = scenario::Runner().run_text(kCampaignSpec);
+  const scenario::RunResult& r = bundle.result;
 
-  fl::FlApplicationConfig app;
-  app.name = "keyboard-personalization";
-  app.model_size = megabytes(20.0);
-  app.reference_compute_time = minutes(4.0);
-  app.clients_per_round = 100;
-  app.rounds_per_day = 24.0;
-  app.campaign = days(90.0);
-
-  fl::Population::Config population;
-  population.num_clients = 10000;
-
-  const fl::RoundSimulator sim(app, population);
-  const auto log = sim.run();
-  const fl::FlFootprint fp =
-      fl::estimate_footprint(app.name, log, fl::default_fl_assumptions());
+  const CarbonMass fl_carbon = CarbonMass::from_base(field(r, "carbon_g"));
+  const double comm_share = field(r, "communication_share");
 
   std::printf("Federated campaign: %d rounds, %zu client participations\n\n",
-              sim.total_rounds(), log.size());
+              static_cast<int>(field(r, "rounds")),
+              static_cast<std::size_t>(field(r, "log_entries")));
   report::Table t({"metric", "value"});
-  t.add_row({"device compute energy", to_string(fp.compute_energy)});
-  t.add_row({"wireless communication energy", to_string(fp.communication_energy)});
-  t.add_row({"communication share", report::fmt_percent(fp.communication_share())});
-  t.add_row({"energy wasted by dropouts", report::fmt_percent(fp.wasted_fraction)});
-  t.add_row({"carbon", to_string(fp.carbon)});
+  t.add_row({"device compute energy",
+             to_string(Energy::from_base(field(r, "compute_energy_j")))});
+  t.add_row({"wireless communication energy",
+             to_string(Energy::from_base(field(r, "communication_energy_j")))});
+  t.add_row({"communication share", report::fmt_percent(comm_share)});
+  t.add_row({"energy wasted by dropouts",
+             report::fmt_percent(field(r, "wasted_fraction"))});
+  t.add_row({"carbon", to_string(fl_carbon)});
   std::printf("%s\n", t.to_string().c_str());
 
   std::printf("Centralized alternatives (Transformer-Big class training):\n\n");
   report::Table b({"baseline", "energy", "carbon", "vs FL"});
-  for (const auto& base : fl::figure11_baselines()) {
-    b.add_row({base.name, to_string(base.training_energy),
-               to_string(base.carbon),
-               report::fmt_factor(to_grams_co2e(fp.carbon) /
-                                  to_grams_co2e(base.carbon))});
+  for (const report::JsonValue& base : r.report.find("baselines")->items()) {
+    const CarbonMass base_carbon =
+        CarbonMass::from_base(base.find("carbon_g")->as_number());
+    b.add_row({base.find("name")->as_string(),
+               to_string(Energy::from_base(
+                   base.find("training_energy_j")->as_number())),
+               to_string(base_carbon),
+               report::fmt_factor(to_grams_co2e(fl_carbon) /
+                                  to_grams_co2e(base_carbon))});
   }
   std::printf("%s\n", b.to_string().c_str());
 
@@ -55,6 +80,6 @@ int main() {
       "    communication, not just client compute;\n"
       "  * renewable procurement rescues the datacenter baselines but not\n"
       "    the edge, where the residential grid mix applies.\n",
-      fp.communication_share() * 100.0);
+      comm_share * 100.0);
   return 0;
 }

@@ -2,97 +2,107 @@
 // Auto-Scaling harvesting off-peak capacity for opportunistic training, and
 // carbon-aware scheduling of deferrable training jobs against an
 // intermittent solar-heavy grid (Sections III-C and IV-C).
+//
+// Driven through the scenario engine: each configuration is a declarative
+// JSON spec executed by scenario::Runner, and every number printed below is
+// read back from the run's base-unit JSON report — the same artifact
+// `sustainai run` writes to disk.
 #include <cstdio>
+#include <string>
 
-#include "datacenter/fleet_sim.h"
-#include "datacenter/scheduler.h"
+#include "core/units.h"
 #include "report/table.h"
+#include "scenario/runner.h"
+
+namespace {
+
+using namespace sustainai;
+
+double field(const scenario::RunResult& r, const char* key) {
+  return r.report.find(key)->as_number();
+}
+
+// The fleet: a 2000-server web tier with the paper's diurnal swing plus a
+// 100-host 8-GPU training tier, simulated for one week.
+std::string fleet_spec(bool autoscale) {
+  const char* flag = autoscale ? "true" : "false";
+  return std::string(R"({
+    "scenario": "fleet",
+    "params": {
+      "days": 7,
+      "web_servers": 2000,
+      "train_servers": 100,
+      "train_utilization": 0.55,
+      "web_load": {"trough": 0.35, "peak": 0.9, "peak_hour": 20},
+      "grid": {"name": "us-west-solar"},
+      "autoscaler": )") +
+         flag + ", \"opportunistic\": " + flag + "}}";
+}
+
+// 24 deferrable retraining jobs sliding within a 20 h slack window on the
+// same solar-heavy grid, under one slot policy.
+std::string schedule_spec(const std::string& policy) {
+  return std::string(R"({
+    "scenario": "cross_region_schedule",
+    "params": {
+      "jobs": 24,
+      "power_kw": 22.4,
+      "duration_h": 4,
+      "slack_h": 20,
+      "policy": ")") +
+         policy + R"(",
+      "threshold_g_per_kwh": 200,
+      "regions": [{"name": "us-west-solar"}]
+    }
+  })";
+}
+
+}  // namespace
 
 int main() {
-  using namespace sustainai;
-  using namespace sustainai::datacenter;
+  const scenario::Runner runner;
 
   // --- Fleet: web tier + AI training tier --------------------------------
-  Cluster cluster;
-  ServerGroup web;
-  web.name = "web-tier";
-  web.sku = hw::skus::web_tier();
-  web.count = 2000;
-  web.tier = Tier::kWeb;
-  web.load = DiurnalProfile{0.35, 0.90, 20.0};
-  web.autoscalable = true;
-  cluster.add_group(web);
-
-  ServerGroup training;
-  training.name = "ai-training";
-  training.sku = hw::skus::gpu_training_8x();
-  training.count = 100;
-  training.tier = Tier::kAiTraining;
-  training.load = flat_profile(0.55);
-  cluster.add_group(training);
-
-  FleetSimulator::Config cfg;
-  cfg.cluster = cluster;
-  cfg.grid.profile = grids::us_west_solar();
-  cfg.grid.solar_share = 0.5;
-  cfg.grid.wind_share = 0.15;
-  cfg.grid.firm_share = 0.10;
-  cfg.horizon = days(7.0);
-
-  std::printf("One week of fleet simulation (%d servers)\n\n",
-              cluster.total_servers());
+  std::printf("One week of fleet simulation (%d servers)\n\n", 2000 + 100);
   report::Table t({"configuration", "IT energy", "facility energy",
                    "location carbon", "harvested server-hours"});
   for (bool autoscale : {false, true}) {
-    FleetSimulator::Config c = cfg;
-    c.enable_autoscaler = autoscale;
-    c.opportunistic_training = autoscale;
-    const auto r = FleetSimulator(c).run();
+    const scenario::Bundle b = runner.run_text(fleet_spec(autoscale));
     t.add_row({autoscale ? "auto-scaling + opportunistic" : "static",
-               to_string(r.it_energy), to_string(r.facility_energy),
-               to_string(r.location_carbon),
-               report::fmt(r.opportunistic_server_hours)});
+               to_string(Energy::from_base(field(b.result, "it_energy_j"))),
+               to_string(Energy::from_base(field(b.result, "facility_energy_j"))),
+               to_string(CarbonMass::from_base(field(b.result, "location_carbon_g"))),
+               report::fmt(field(b.result, "opportunistic_server_hours"))});
   }
   std::printf("%s\n", t.to_string().c_str());
 
   // --- Carbon-aware scheduling of deferrable training ---------------------
   std::printf("Carbon-aware scheduling of 24 deferrable training jobs\n\n");
-  const IntermittentGrid grid(cfg.grid);
-  std::vector<BatchJob> jobs;
-  for (int i = 0; i < 24; ++i) {
-    BatchJob j;
-    j.id = "retrain-" + std::to_string(i);
-    j.power = kilowatts(22.4);  // one 8-GPU training host at ~80%
-    j.duration = hours(4.0);
-    j.arrival = hours(static_cast<double>(i % 24));
-    j.slack = hours(20.0);
-    jobs.push_back(j);
-  }
-
-  const FifoPolicy fifo;
-  const ThresholdPolicy threshold(grams_per_kwh(200.0));
-  const ForecastPolicy forecast;
   report::Table s({"policy", "carbon", "mean delay (h)", "peak power"});
   double fifo_g = 0.0;
-  for (const SchedulerPolicy* p :
-       std::initializer_list<const SchedulerPolicy*>{&fifo, &threshold,
-                                                     &forecast}) {
-    const ScheduleResult r = run_schedule(jobs, grid, *p);
-    if (p == &fifo) {
-      fifo_g = to_grams_co2e(r.total_carbon);
+  double best_g = 0.0;
+  double best_delay_h = 0.0;
+  for (const std::string policy : {"fifo", "threshold", "forecast"}) {
+    const scenario::Bundle b = runner.run_text(schedule_spec(policy));
+    const double carbon_g = field(b.result, "total_carbon_g");
+    const double delay_h = to_hours(Duration::from_base(field(b.result, "mean_delay_s")));
+    if (policy == "fifo") {
+      fifo_g = carbon_g;
     }
-    s.add_row({r.policy_name, to_string(r.total_carbon),
-               report::fmt(to_hours(r.mean_delay)),
-               to_string(r.peak_concurrent_power)});
+    if (policy == "forecast") {
+      best_g = carbon_g;
+      best_delay_h = delay_h;
+    }
+    s.add_row({policy, to_string(CarbonMass::from_base(carbon_g)),
+               report::fmt(delay_h),
+               to_string(Power::from_base(field(b.result, "peak_power_w")))});
   }
   std::printf("%s\n", s.to_string().c_str());
 
-  const ScheduleResult best = run_schedule(jobs, grid, forecast);
   std::printf(
       "Forecast-based shifting into the solar window cuts job carbon by "
       "%.0f%%, at the cost of %.1f h mean delay and higher peak concurrent "
       "power (the over-provisioning trade-off of Section IV-C).\n",
-      (1.0 - to_grams_co2e(best.total_carbon) / fifo_g) * 100.0,
-      to_hours(best.mean_delay));
+      (1.0 - best_g / fifo_g) * 100.0, best_delay_h);
   return 0;
 }

@@ -28,6 +28,33 @@ GridProfile nordic_hydro() { return make("nordic-hydro", 30.0, 0.95); }
 GridProfile asia_pacific() { return make("asia-pacific", 550.0, 0.25); }
 GridProfile hydro_quebec() { return make("hydro-quebec", 2.0, 0.995); }
 
+const std::vector<GridProfile>& all() {
+  static const std::vector<GridProfile> catalog = {
+      us_average(),   us_midwest_coal(), us_west_solar(),
+      nordic_hydro(), asia_pacific(),    hydro_quebec()};
+  return catalog;
+}
+
+std::optional<GridProfile> by_name(const std::string& name) {
+  for (const GridProfile& g : all()) {
+    if (g.name == name) {
+      return g;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string known_names() {
+  std::string names;
+  for (const GridProfile& g : all()) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += g.name;
+  }
+  return names;
+}
+
 }  // namespace grids
 
 CarbonMass market_based(CarbonMass location_based, double coverage) {

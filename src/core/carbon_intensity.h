@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,13 @@ GridProfile us_west_solar();    // ~ 250 g/kWh, 55% carbon-free, solar-heavy
 GridProfile nordic_hydro();     // ~  30 g/kWh, 95% carbon-free
 GridProfile asia_pacific();     // ~ 550 g/kWh, 25% carbon-free
 GridProfile hydro_quebec();     // ~   2 g/kWh, ~100% carbon-free
+
+// Every canonical profile, in catalog order.
+[[nodiscard]] const std::vector<GridProfile>& all();
+// Lookup by GridProfile::name; nullopt when unknown.
+[[nodiscard]] std::optional<GridProfile> by_name(const std::string& name);
+// Comma-separated catalog names for error messages and listings.
+[[nodiscard]] std::string known_names();
 }  // namespace grids
 
 // Market-based netting: `coverage` in [0,1] is the fraction of consumption

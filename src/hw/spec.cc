@@ -92,5 +92,31 @@ DeviceSpec wifi_router() {
               5.0);
 }
 
+const std::vector<DeviceSpec>& all() {
+  static const std::vector<DeviceSpec> devices = {
+      nvidia_p100(), nvidia_v100(), nvidia_a100(), tpu_like(), cpu_server()};
+  return devices;
+}
+
+std::optional<DeviceSpec> by_name(const std::string& name) {
+  for (const DeviceSpec& d : all()) {
+    if (d.name == name || d.name == "nvidia-" + name) {
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string known_names() {
+  std::string names;
+  for (const DeviceSpec& d : all()) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += d.name;
+  }
+  return names;
+}
+
 }  // namespace catalog
 }  // namespace sustainai::hw

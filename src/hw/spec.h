@@ -7,7 +7,9 @@
 // router) follow the federated-learning methodology in Appendix B.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/units.h"
 
@@ -51,6 +53,15 @@ DeviceSpec tpu_like();      // 283 W, 32 GB domain-specific accelerator
 DeviceSpec cpu_server();    // dual-socket 28-core class host, 400 W
 DeviceSpec edge_device();   // 3 W smartphone-class client (Appendix B)
 DeviceSpec wifi_router();   // 7.5 W home router (Appendix B)
+
+// Server/accelerator catalog entries addressable by name (excludes the
+// Appendix-B edge constants, which are methodology inputs, not SKUs).
+[[nodiscard]] const std::vector<DeviceSpec>& all();
+// Lookup by DeviceSpec::name; the "nvidia-" prefix may be dropped
+// ("v100" finds "nvidia-v100"). nullopt when unknown.
+[[nodiscard]] std::optional<DeviceSpec> by_name(const std::string& name);
+// Comma-separated catalog names for error messages and listings.
+[[nodiscard]] std::string known_names();
 }  // namespace catalog
 
 }  // namespace sustainai::hw

@@ -1,11 +1,575 @@
 #include "report/json.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "core/check.h"
 
 namespace sustainai::report {
+
+// --- JsonValue -----------------------------------------------------------
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const char* JsonValue::kind_name() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+bool JsonValue::as_bool() const {
+  check_arg(is_bool(), std::string("JsonValue: ") + kind_name() + " is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  check_arg(is_number(),
+            std::string("JsonValue: ") + kind_name() + " is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  check_arg(is_string(),
+            std::string("JsonValue: ") + kind_name() + " is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  check_arg(is_array(),
+            std::string("JsonValue: ") + kind_name() + " is not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  check_arg(is_object(),
+            std::string("JsonValue: ") + kind_name() + " is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const Member& m : members()) {
+    if (m.first == key) {
+      return &m.second;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue* JsonValue::find(const std::string& key) {
+  return const_cast<JsonValue*>(std::as_const(*this).find(key));
+}
+
+JsonValue& JsonValue::append(JsonValue element) {
+  check_arg(is_array(),
+            std::string("JsonValue: cannot append to ") + kind_name());
+  items_.push_back(std::move(element));
+  return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  check_arg(is_object(),
+            std::string("JsonValue: cannot set key on ") + kind_name());
+  for (Member& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+// --- Parser --------------------------------------------------------------
+
+JsonParseError::JsonParseError(int line, int column, const std::string& what)
+    : std::runtime_error("JSON parse error at line " + std::to_string(line) +
+                         ", column " + std::to_string(column) + ": " + what),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+// Strict recursive-descent parser over the RFC 8259 grammar. Tracks the
+// 1-based line/column of every consumed byte for error reporting.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue v = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("unexpected content after the document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(line_, column_, what);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    return eof() ? '\0' : text_[pos_];
+  }
+
+  char advance() {
+    if (eof()) {
+      fail("unexpected end of input");
+    }
+    const char ch = text_[pos_++];
+    if (ch == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return ch;
+  }
+
+  void expect(char wanted, const char* context) {
+    if (peek() != wanted) {
+      fail(std::string("expected '") + wanted + "' " + context +
+           (eof() ? " but reached end of input"
+                  : std::string(" but found '") + peek() + "'"));
+    }
+    advance();
+  }
+
+  void skip_whitespace() {
+    while (!eof()) {
+      const char ch = peek();
+      if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') {
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void expect_keyword(const char* keyword) {
+    for (const char* p = keyword; *p != '\0'; ++p) {
+      if (eof() || peek() != *p) {
+        fail(std::string("invalid literal (expected '") + keyword + "')");
+      }
+      advance();
+    }
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > max_depth_) {
+      fail("nesting deeper than " + std::to_string(max_depth_) + " levels");
+    }
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue::string(parse_string());
+      case 't':
+        expect_keyword("true");
+        return JsonValue::boolean(true);
+      case 'f':
+        expect_keyword("false");
+        return JsonValue::boolean(false);
+      case 'n':
+        expect_keyword("null");
+        return JsonValue::null();
+      default:
+        if (peek() == '-' || (peek() >= '0' && peek() <= '9')) {
+          return JsonValue::number(parse_number());
+        }
+        if (eof()) {
+          fail("unexpected end of input (expected a value)");
+        }
+        fail(std::string("unexpected character '") + peek() + "'");
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{', "to open an object");
+    JsonValue obj = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      advance();
+      return obj;
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') {
+        fail(eof() ? "unterminated object"
+                   : "expected a quoted object key");
+      }
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':', "after object key");
+      skip_whitespace();
+      if (obj.find(key) != nullptr) {
+        fail("duplicate object key \"" + key + "\"");
+      }
+      obj.set(key, parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        advance();
+        skip_whitespace();
+        if (peek() == '}') {
+          fail("trailing comma before '}'");
+        }
+        continue;
+      }
+      expect('}', "to close the object");
+      return obj;
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[', "to open an array");
+    JsonValue arr = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      advance();
+      return arr;
+    }
+    while (true) {
+      skip_whitespace();
+      arr.append(parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        advance();
+        skip_whitespace();
+        if (peek() == ']') {
+          fail("trailing comma before ']'");
+        }
+        continue;
+      }
+      expect(']', "to close the array");
+      return arr;
+    }
+  }
+
+  // Consumes the 4 hex digits of a \u escape.
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) {
+        fail("unterminated \\u escape");
+      }
+      const char ch = advance();
+      code <<= 4;
+      if (ch >= '0' && ch <= '9') {
+        code |= static_cast<unsigned>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        code |= static_cast<unsigned>(ch - 'a' + 10);
+      } else if (ch >= 'A' && ch <= 'F') {
+        code |= static_cast<unsigned>(ch - 'A' + 10);
+      } else {
+        fail(std::string("invalid hex digit '") + ch + "' in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "to open a string");
+    std::string out;
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+      }
+      const char ch = advance();
+      if (ch == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("raw control character in string (use \\u escapes)");
+      }
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (eof()) {
+        fail("unterminated escape sequence");
+      }
+      const char esc = advance();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (peek() != '\\') {
+              fail("unpaired high surrogate in \\u escape");
+            }
+            advance();
+            if (peek() != 'u') {
+              fail("unpaired high surrogate in \\u escape");
+            }
+            advance();
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate in \\u escape pair");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          fail(std::string("invalid escape sequence '\\") + esc + "'");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      advance();
+    }
+    // Integer part: a single 0, or [1-9][0-9]*.
+    if (peek() == '0') {
+      advance();
+      if (peek() >= '0' && peek() <= '9') {
+        fail("numbers may not have leading zeros");
+      }
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (peek() >= '0' && peek() <= '9') {
+        advance();
+      }
+    } else {
+      fail("invalid number (expected a digit)");
+    }
+    if (peek() == '.') {
+      advance();
+      if (!(peek() >= '0' && peek() <= '9')) {
+        fail("invalid number (expected a digit after '.')");
+      }
+      while (peek() >= '0' && peek() <= '9') {
+        advance();
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      advance();
+      if (peek() == '+' || peek() == '-') {
+        advance();
+      }
+      if (!(peek() >= '0' && peek() <= '9')) {
+        fail("invalid number (expected an exponent digit)");
+      }
+      while (peek() >= '0' && peek() <= '9') {
+        advance();
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) {
+      fail("number '" + token + "' overflows a double");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  int max_depth_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+void canonical_render(const JsonValue& value, int indent, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      out += shortest_double(value.as_number());
+      return;
+    case JsonValue::Kind::kString:
+      out += quote_json_string(value.as_string());
+      return;
+    case JsonValue::Kind::kArray: {
+      if (value.items().empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) {
+          out += ",\n";
+        }
+        first = false;
+        out += pad_in;
+        canonical_render(item, indent + 1, out);
+      }
+      out += '\n';
+      out += pad;
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      if (value.members().empty()) {
+        out += "{}";
+        return;
+      }
+      std::vector<const JsonValue::Member*> sorted;
+      sorted.reserve(value.members().size());
+      for (const JsonValue::Member& m : value.members()) {
+        sorted.push_back(&m);
+      }
+      std::sort(sorted.begin(), sorted.end(),
+                [](const JsonValue::Member* a, const JsonValue::Member* b) {
+                  return a->first < b->first;
+                });
+      out += "{\n";
+      bool first = true;
+      for (const JsonValue::Member* m : sorted) {
+        if (!first) {
+          out += ",\n";
+        }
+        first = false;
+        out += pad_in;
+        out += quote_json_string(m->first);
+        out += ": ";
+        canonical_render(m->second, indent + 1, out);
+      }
+      out += '\n';
+      out += pad;
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, int max_depth) {
+  return JsonParser(text, max_depth).parse_document();
+}
+
+std::string shortest_double(double value) {
+  check_arg(std::isfinite(value), "shortest_double: value must be finite");
+  // Integral doubles inside the exactly-representable range print as plain
+  // integers (canonical specs should read naturally).
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  // Shortest precision that round-trips the exact bits.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
+}
+
+std::string canonical_json(const JsonValue& value) {
+  std::string out;
+  canonical_render(value, 0, out);
+  out += '\n';
+  return out;
+}
 
 JsonWriter::JsonWriter() = default;
 
@@ -19,35 +583,42 @@ void JsonWriter::comma() {
 }
 
 void JsonWriter::write_string(const std::string& s) {
-  out_ += '"';
+  out_ += quote_json_string(s);
+}
+
+std::string quote_json_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
   for (char ch : s) {
     switch (ch) {
       case '"':
-        out_ += "\\\"";
+        out += "\\\"";
         break;
       case '\\':
-        out_ += "\\\\";
+        out += "\\\\";
         break;
       case '\n':
-        out_ += "\\n";
+        out += "\\n";
         break;
       case '\t':
-        out_ += "\\t";
+        out += "\\t";
         break;
       case '\r':
-        out_ += "\\r";
+        out += "\\r";
         break;
       default:
         if (static_cast<unsigned char>(ch) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out_ += buf;
+          out += buf;
         } else {
-          out_ += ch;
+          out += ch;
         }
     }
   }
-  out_ += '"';
+  out += '"';
+  return out;
 }
 
 JsonWriter& JsonWriter::begin_object() {

@@ -1,15 +1,111 @@
-// Minimal JSON emission for machine-readable carbon reports (Section V-A's
+// JSON support for machine-readable carbon reports (Section V-A's
 // "easy-to-adopt telemetry" needs outputs dashboards can ingest).
 //
-// Write-only builder: values are appended in document order; nesting via
-// begin_object/begin_array. No parsing, no DOM — just correct escaping and
-// well-formed output, verified by tests.
+// Two halves:
+//   * JsonWriter — streaming write-only builder: values are appended in
+//     document order; nesting via begin_object/begin_array.
+//   * JsonValue + parse_json — a DOM with a strict recursive-descent parser
+//     (RFC 8259 grammar: no trailing commas, no comments, no loose numbers)
+//     reporting precise line/column positions on error, plus a canonical
+//     serializer (sorted object keys, shortest round-trip numbers) so a
+//     parsed document re-emits byte-identically — the contract the scenario
+//     engine's spec.json artifacts rely on (src/scenario/).
 #pragma once
 
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace sustainai::report {
+
+// --- DOM -----------------------------------------------------------------
+
+// One JSON value. Object members keep insertion order for inspection;
+// canonical serialization sorts them by key. Numbers are IEEE doubles (the
+// only number type JSON interoperably supports).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double value);
+  static JsonValue string(std::string value);
+  static JsonValue array();
+  static JsonValue object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const char* kind_name() const;
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; throw std::invalid_argument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;   // arrays
+  [[nodiscard]] const std::vector<Member>& members() const;    // objects
+
+  // Object lookup; nullptr when the key is absent (objects only). The
+  // mutable overload lets owners move large subtrees in and back out
+  // (scenario::Runner envelopes a report without deep-copying it).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] JsonValue* find(const std::string& key);
+
+  // Builders (arrays/objects only; throw on kind mismatch). `set` replaces
+  // an existing member with the same key in place.
+  JsonValue& append(JsonValue element);
+  JsonValue& set(const std::string& key, JsonValue value);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+// Parse failure with the exact 1-based document position of the offense.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(int line, int column, const std::string& what);
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+// Parses exactly one JSON document (any value type at the root); trailing
+// non-whitespace is an error. Containers deeper than `max_depth` are
+// rejected so hostile inputs cannot overflow the stack.
+[[nodiscard]] JsonValue parse_json(std::string_view text, int max_depth = 64);
+
+// Canonical serialization: object keys sorted (byte order), 2-space
+// indentation, "\n" separators, numbers in shortest form that round-trips
+// the exact double. parse_json(canonical_json(v)) reproduces v, and
+// canonical_json is a pure function of the value — the basis of the
+// scenario engine's byte-identical artifact contract.
+[[nodiscard]] std::string canonical_json(const JsonValue& value);
+
+// Shortest decimal form of `value` that parses back to the same double
+// (integral doubles render without exponent or decimal point). Shared by
+// canonical_json and anything needing value-faithful number text.
+[[nodiscard]] std::string shortest_double(double value);
+
+// `s` as a quoted, escaped JSON string literal (the writer's escaping).
+[[nodiscard]] std::string quote_json_string(const std::string& s);
 
 class JsonWriter {
  public:

@@ -1,0 +1,66 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sustainai::scenario {
+
+Registry& Registry::global() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    register_builtin_simulations(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::add(std::unique_ptr<Simulation> simulation) {
+  check_arg(simulation != nullptr, "Registry: null simulation");
+  const std::string name = simulation->name();
+  check_arg(find(name) == nullptr,
+            "Registry: duplicate simulation '" + name + "'");
+  simulations_.push_back(std::move(simulation));
+}
+
+const Simulation* Registry::find(const std::string& name) const {
+  for (const std::unique_ptr<Simulation>& sim : simulations_) {
+    if (sim->name() == name) {
+      return sim.get();
+    }
+  }
+  return nullptr;
+}
+
+const Simulation& Registry::require(const std::string& name) const {
+  const Simulation* sim = find(name);
+  check_arg(sim != nullptr, "unknown scenario '" + name +
+                                "'; available: " + known_names());
+  return *sim;
+}
+
+std::vector<const Simulation*> Registry::simulations() const {
+  std::vector<const Simulation*> out;
+  out.reserve(simulations_.size());
+  for (const std::unique_ptr<Simulation>& sim : simulations_) {
+    out.push_back(sim.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Simulation* a, const Simulation* b) {
+              return a->name() < b->name();
+            });
+  return out;
+}
+
+std::string Registry::known_names() const {
+  std::string names;
+  for (const Simulation* sim : simulations()) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += sim->name();
+  }
+  return names;
+}
+
+}  // namespace sustainai::scenario

@@ -1,0 +1,48 @@
+// Name → Simulation registry: the scenario engine's single front door.
+//
+// Registry::global() carries the six built-in simulations (fleet,
+// queue_schedule, cross_region_schedule, fl_rounds, lifecycle_estimate,
+// scaling_sweep); tests and downstream tools may register more. Lookups
+// that miss throw with the full list of registered names, mirroring the
+// "unknown grid 'x'; available: …" convention of the library registries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/simulation.h"
+
+namespace sustainai::scenario {
+
+class Registry {
+ public:
+  Registry() = default;
+
+  // The process-wide registry, with the built-ins registered on first use.
+  [[nodiscard]] static Registry& global();
+
+  // Takes ownership; throws std::invalid_argument on a duplicate name.
+  void add(std::unique_ptr<Simulation> simulation);
+
+  // nullptr when `name` is not registered.
+  [[nodiscard]] const Simulation* find(const std::string& name) const;
+
+  // Like find, but throws std::invalid_argument listing every registered
+  // simulation when `name` is unknown.
+  [[nodiscard]] const Simulation& require(const std::string& name) const;
+
+  // All registered simulations, sorted by name.
+  [[nodiscard]] std::vector<const Simulation*> simulations() const;
+
+  // Comma-separated sorted names for error messages and listings.
+  [[nodiscard]] std::string known_names() const;
+
+ private:
+  std::vector<std::unique_ptr<Simulation>> simulations_;
+};
+
+// Registers the six built-in simulations into `registry` (sims.cc).
+void register_builtin_simulations(Registry& registry);
+
+}  // namespace sustainai::scenario

@@ -1,0 +1,132 @@
+#include "scenario/runner.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/json.h"
+
+namespace sustainai::scenario {
+
+using report::JsonValue;
+
+const Artifact* Bundle::find(const std::string& filename) const {
+  for (const Artifact& f : files) {
+    if (f.filename == filename) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+Runner::Runner(const Registry& registry) : registry_(&registry) {}
+
+Bundle Runner::run(const Spec& spec, exec::ThreadPool* pool) const {
+  spec.allow_only({"scenario", "seed", "params", "artifacts"});
+  const std::string scenario_name = spec.require_string("scenario");
+  const Simulation& simulation = registry_->require(scenario_name);
+
+  RunContext ctx;
+  ctx.pool = pool;
+  ctx.seed = static_cast<std::uint64_t>(
+      spec.optional_int_in("seed", 42, 0, 1L << 62));
+
+  const Spec artifacts = spec.optional_child("artifacts");
+  artifacts.allow_only({"trace", "metrics"});
+  const bool want_trace = artifacts.optional_bool("trace", false);
+  const bool want_metrics = artifacts.optional_bool("metrics", false);
+
+  // Trace/metrics state is global; scope it to this run so the exports are
+  // a pure function of the spec. The tracer is cleared *before* enabling so
+  // the deterministic region allocator restarts from zero.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool was_tracing = tracer.enabled();
+  if (want_trace) {
+    tracer.clear();
+    tracer.set_enabled(true);
+  }
+  obs::MetricsSnapshot metrics_before;
+  if (want_metrics) {
+    metrics_before = obs::MetricsRegistry::global().snapshot();
+  }
+
+  Bundle bundle;
+  try {
+    bundle.result = simulation.run(spec.optional_child("params"), ctx);
+  } catch (...) {
+    if (want_trace) {
+      tracer.set_enabled(was_tracing);
+    }
+    throw;
+  }
+
+  std::string trace_text;
+  if (want_trace) {
+    tracer.set_enabled(was_tracing);
+    trace_text = obs::chrome_trace_json(tracer.collect());
+    tracer.clear();
+  }
+  std::string metrics_text;
+  if (want_metrics) {
+    metrics_text = obs::prometheus_text(obs::diff(
+        metrics_before, obs::MetricsRegistry::global().snapshot()));
+  }
+
+  // The report tree can be large; move it into the envelope for
+  // serialization and back out instead of deep-copying it.
+  JsonValue result_json = JsonValue::object();
+  result_json.set("schema", JsonValue::string("sustainai-scenario-v1"));
+  result_json.set("scenario", JsonValue::string(scenario_name));
+  result_json.set("seed",
+                  JsonValue::number(static_cast<double>(ctx.seed)));
+  result_json.set("report", std::move(bundle.result.report));
+
+  bundle.files.push_back(
+      {"result.json", report::canonical_json(result_json)});
+  bundle.result.report = std::move(*result_json.find("report"));
+  bundle.files.push_back({"spec.json", spec.canonical()});
+  for (const auto& [stem, csv] : bundle.result.csv_series) {
+    bundle.files.push_back({stem + ".csv", csv});
+  }
+  if (want_trace) {
+    bundle.files.push_back({"trace.json", std::move(trace_text)});
+  }
+  if (want_metrics) {
+    bundle.files.push_back({"metrics.prom", std::move(metrics_text)});
+  }
+  return bundle;
+}
+
+Bundle Runner::run_text(std::string_view spec_text,
+                        exec::ThreadPool* pool) const {
+  return run(Spec::parse(spec_text), pool);
+}
+
+bool Runner::write(const Bundle& bundle, const std::string& dir,
+                   std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create directory '" + dir + "': " + ec.message();
+    }
+    return false;
+  }
+  for (const Artifact& f : bundle.files) {
+    const std::filesystem::path path = std::filesystem::path(dir) / f.filename;
+    std::ofstream out(path, std::ios::binary);
+    out << f.content;
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot write '" + path.string() + "'";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sustainai::scenario

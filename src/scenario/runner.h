@@ -1,0 +1,71 @@
+// The scenario Runner: spec in, self-describing artifact bundle out.
+//
+// A top-level scenario spec is a JSON object:
+//
+//   {
+//     "scenario": "fleet",            // required; a Registry name
+//     "seed": 42,                     // optional base seed
+//     "params": { ... },              // simulation parameters (see `params()`)
+//     "artifacts": {                  // optional extra artifacts
+//       "trace": false,               //   trace.json (sim-time Chrome trace)
+//       "metrics": false              //   metrics.prom (Prometheus text)
+//     }
+//   }
+//
+// Runner::run executes the named simulation and assembles the bundle
+// in-memory: `result.json` (canonical JSON, base-unit report), `spec.json`
+// (the spec re-emitted canonically — parsing it back yields an equivalent
+// run), any CSV series, and the optional trace/metrics exports. Everything
+// in the bundle is a pure function of (spec, seed): for a fixed spec the
+// bundle is byte-identical at any SUSTAINAI_THREADS (tests/scenario_test.cc
+// asserts this for the fleet preset at 1/2/8 threads).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "scenario/registry.h"
+
+namespace sustainai::scenario {
+
+// One bundle file, held in memory so tests can compare bundles without
+// touching the filesystem.
+struct Artifact {
+  std::string filename;
+  std::string content;
+};
+
+struct Bundle {
+  RunResult result;
+  std::vector<Artifact> files;
+
+  // nullptr when the bundle has no file named `filename`.
+  [[nodiscard]] const Artifact* find(const std::string& filename) const;
+};
+
+class Runner {
+ public:
+  explicit Runner(const Registry& registry = Registry::global());
+
+  // Validates the top-level spec, runs the named simulation, and returns
+  // the full bundle. `pool` overrides the exec pool (nullptr means
+  // exec::ThreadPool::global()). Throws SpecError on schema problems and
+  // std::invalid_argument on unknown scenario names.
+  [[nodiscard]] Bundle run(const Spec& spec,
+                           exec::ThreadPool* pool = nullptr) const;
+
+  // Convenience: parse + run.
+  [[nodiscard]] Bundle run_text(std::string_view spec_text,
+                                exec::ThreadPool* pool = nullptr) const;
+
+  // Writes every artifact into `dir` (created if missing). Returns false
+  // and sets `*error` on I/O failure.
+  static bool write(const Bundle& bundle, const std::string& dir,
+                    std::string* error);
+
+ private:
+  const Registry* registry_;
+};
+
+}  // namespace sustainai::scenario

@@ -1,0 +1,81 @@
+// The uniform simulation interface behind the scenario engine.
+//
+// Every registered simulation adapts one module's Config from a declarative
+// scenario::Spec and returns a RunResult: printable summary rows, a
+// structured JSON report in *base units* (joules, grams, seconds — so
+// downstream consumers can reconstruct exact typed quantities), and
+// optional CSV series. Simulations are stateless and deterministic: a fixed
+// spec and RunContext produce the same RunResult at any SUSTAINAI_THREADS
+// (the sims inherit the exec-layer determinism contract, exec/parallel.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "report/json.h"
+#include "report/table.h"
+#include "scenario/spec.h"
+
+namespace sustainai::scenario {
+
+// Documentation of one accepted parameter, surfaced by `sustainai
+// scenarios` and by error paths. `name` is the dotted path inside the
+// spec's "params" object ("grid.solar_share"); `default_value` is empty for
+// required parameters.
+struct ParamDoc {
+  std::string name;
+  std::string type;  // "number", "int", "string", "bool", "number list", ...
+  std::string default_value;
+  std::string description;
+};
+
+// What one simulation run produced.
+struct RunResult {
+  std::string scenario;  // registry name of the simulation
+  std::vector<std::string> summary_header;
+  std::vector<std::vector<std::string>> summary_rows;
+  // Machine-readable report; physical quantities in base units with
+  // unit-suffixed keys (energy "…_j", carbon "…_g", time "…_s", power "…_w").
+  report::JsonValue report = report::JsonValue::object();
+  // Optional per-series CSV artifacts: (file stem, csv text). The Runner
+  // writes each as "<stem>.csv" in the bundle.
+  std::vector<std::pair<std::string, std::string>> csv_series;
+  // Headline one-liners printed after the summary table ("IT energy: 1.2 GWh").
+  std::vector<std::string> notes;
+
+  // The summary rendered as a fixed-width report::Table.
+  [[nodiscard]] report::Table summary_table() const {
+    report::Table t(summary_header);
+    for (const std::vector<std::string>& row : summary_rows) {
+      t.add_row(row);
+    }
+    return t;
+  }
+};
+
+struct RunContext {
+  // Thread pool for parallel sims; nullptr means exec::ThreadPool::global().
+  exec::ThreadPool* pool = nullptr;
+  // Base seed, taken from the spec's top-level "seed" (default 42). Sims
+  // whose module defaults differ (fl_rounds) document their own seed params.
+  std::uint64_t seed = 42;
+};
+
+class Simulation {
+ public:
+  virtual ~Simulation() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+  [[nodiscard]] virtual std::vector<ParamDoc> params() const = 0;
+
+  // Runs the simulation. `params` is the spec's "params" object; unknown or
+  // ill-typed keys throw SpecError with the full JSON path.
+  [[nodiscard]] virtual RunResult run(const Spec& params,
+                                      const RunContext& ctx) const = 0;
+};
+
+}  // namespace sustainai::scenario

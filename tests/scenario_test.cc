@@ -1,0 +1,395 @@
+// Scenario engine: strict JSON parser corpus, path-qualified Spec errors,
+// registry round-trips for every built-in simulation, and the Runner's
+// byte-identical-bundle determinism contract across thread counts.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "gtest/gtest.h"
+#include "report/json.h"
+#include "scenario/runner.h"
+
+namespace sustainai {
+namespace {
+
+using report::JsonParseError;
+using report::JsonValue;
+using report::canonical_json;
+using report::parse_json;
+using report::shortest_double;
+using scenario::Bundle;
+using scenario::Registry;
+using scenario::RunContext;
+using scenario::Runner;
+using scenario::Spec;
+using scenario::SpecError;
+
+// --- JSON parser: accept corpus ------------------------------------------
+
+TEST(JsonParse, AcceptsScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_json("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_json("2.5E-2").as_number(), 0.025);
+  EXPECT_DOUBLE_EQ(parse_json("1.7976931348623157e308").as_number(),
+                   1.7976931348623157e308);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, AcceptsEscapesAndUnicode) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");       // é
+  EXPECT_EQ(parse_json(R"("€")").as_string(), "\xe2\x82\xac");   // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, AcceptsContainers) {
+  const JsonValue v = parse_json(R"({"a": [1, 2, {"b": null}], "c": ""})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->items().size(), 3u);
+  EXPECT_TRUE(v.find("a")->items()[2].find("b")->is_null());
+  EXPECT_EQ(v.find("c")->as_string(), "");
+  EXPECT_EQ(parse_json("[]").items().size(), 0u);
+  EXPECT_EQ(parse_json("{}").members().size(), 0u);
+  EXPECT_TRUE(parse_json("  [ ]  ").is_array());
+}
+
+TEST(JsonParse, AcceptsNestingUpToDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 64; ++i) deep += ']';
+  EXPECT_NO_THROW((void)parse_json(deep));
+}
+
+// --- JSON parser: reject corpus ------------------------------------------
+
+void expect_reject(const std::string& text) {
+  EXPECT_THROW((void)parse_json(text), JsonParseError) << "input: " << text;
+}
+
+TEST(JsonParse, RejectsTrailingCommas) {
+  expect_reject("[1, 2,]");
+  expect_reject(R"({"a": 1,})");
+  expect_reject("[,]");
+  expect_reject("{,}");
+}
+
+TEST(JsonParse, RejectsBadEscapes) {
+  expect_reject(R"("\x41")");
+  expect_reject(R"("\u12")");       // truncated
+  expect_reject(R"("\u123g")");     // non-hex digit
+  expect_reject(R"("\ud83d")");     // unpaired high surrogate
+  expect_reject(R"("\ude00")");     // lone low surrogate
+  expect_reject(R"("\ud83dA")");  // high surrogate + non-low
+  expect_reject("\"unterminated");
+  expect_reject("\"raw\ncontrol\"");  // unescaped control char
+}
+
+TEST(JsonParse, RejectsLooseNumbers) {
+  expect_reject("01");      // leading zero
+  expect_reject("-01");
+  expect_reject("+1");
+  expect_reject(".5");
+  expect_reject("1.");
+  expect_reject("1e");
+  expect_reject("1e+");
+  expect_reject("NaN");
+  expect_reject("Infinity");
+  expect_reject("1e999");   // overflow
+  expect_reject("0x10");
+}
+
+TEST(JsonParse, RejectsStructuralErrors) {
+  expect_reject("");
+  expect_reject("   ");
+  expect_reject("[1 2]");
+  expect_reject("{\"a\" 1}");
+  expect_reject("{\"a\": 1 \"b\": 2}");
+  expect_reject("{a: 1}");          // unquoted key
+  expect_reject("[1, 2");           // unterminated
+  expect_reject("1 2");             // trailing content
+  expect_reject("{} []");
+  expect_reject("'single'");
+  expect_reject(R"({"a": 1, "a": 2})");  // duplicate key
+  expect_reject("// comment\n1");
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 65; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 65; ++i) deep += ']';
+  expect_reject(deep);
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    (void)parse_json("{\n  \"a\": 1,\n  \"b\": tru\n}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_GE(e.column(), 8);
+  }
+}
+
+// --- Canonical serialization ---------------------------------------------
+
+TEST(CanonicalJson, SortsKeysAndRoundTrips) {
+  const JsonValue v = parse_json(R"({"b": 1, "a": {"z": [1, 2], "y": true}})");
+  const std::string canon = canonical_json(v);
+  EXPECT_LT(canon.find("\"a\""), canon.find("\"b\""));
+  EXPECT_EQ(canon.back(), '\n');
+  // Canonicalization is a fixed point: parse(canon) re-emits canon.
+  EXPECT_EQ(canonical_json(parse_json(canon)), canon);
+}
+
+TEST(CanonicalJson, ShortestDoubleRoundTrips) {
+  for (double v : {0.0, -0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 6.35,
+                   1.7976931348623157e308, 5e-324, 9007199254740992.0,
+                   22400.0 * 4 * 3600}) {
+    const std::string s = shortest_double(v);
+    // strtod, not std::stod: stod throws out_of_range on subnormals.
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(shortest_double(42.0), "42");
+  EXPECT_EQ(shortest_double(0.5), "0.5");
+}
+
+// --- Spec: typed extraction with path-qualified errors --------------------
+
+void expect_spec_error(const std::string& text,
+                       const std::string& needle) {
+  try {
+    (void)Runner().run(Spec::parse(text));
+    FAIL() << "expected SpecError for: " << text;
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message: " << e.what() << "\nexpected to contain: " << needle;
+  }
+}
+
+TEST(Spec, RootMustBeObject) {
+  EXPECT_THROW(Spec::parse("[1]"), SpecError);
+  EXPECT_THROW(Spec::parse("42"), SpecError);
+}
+
+TEST(Spec, ExtractorsTypeCheckWithPaths) {
+  const Spec spec = Spec::parse(
+      R"({"a": 1.5, "b": "s", "c": {"d": [1, "x"]}, "e": 3, "f": true})");
+  EXPECT_DOUBLE_EQ(spec.require_double("a"), 1.5);
+  EXPECT_EQ(spec.require_int("e"), 3);
+  EXPECT_EQ(spec.require_string("b"), "s");
+  EXPECT_TRUE(spec.optional_bool("f", false));
+  EXPECT_DOUBLE_EQ(spec.optional_double("missing", 7.0), 7.0);
+
+  try {
+    (void)spec.require_double("b");
+    FAIL();
+  } catch (const SpecError& e) {
+    EXPECT_STREQ(e.what(), "$.b: expected a number, got string");
+  }
+  try {
+    (void)spec.require_int("a");  // 1.5 is not an integer
+    FAIL();
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("$.a: expected an integer"),
+              std::string::npos);
+  }
+  try {
+    (void)spec.child("c").optional_number_list("d", {});
+    FAIL();
+  } catch (const SpecError& e) {
+    EXPECT_STREQ(e.what(), "$.c.d[1]: expected a number, got string");
+  }
+  try {
+    (void)spec.require_double_in("a", 2.0, 3.0);
+    FAIL();
+  } catch (const SpecError& e) {
+    EXPECT_STREQ(e.what(), "$.a: 1.5 is outside [2, 3]");
+  }
+}
+
+TEST(Spec, AllowOnlyNamesUnknownKeyAndValidSet) {
+  const Spec spec = Spec::parse(R"({"sloar_share": 0.5})");
+  try {
+    spec.allow_only({"solar_share", "wind_share"});
+    FAIL();
+  } catch (const SpecError& e) {
+    EXPECT_STREQ(e.what(),
+                 "$.sloar_share: unknown key; valid keys: solar_share, "
+                 "wind_share");
+  }
+}
+
+TEST(Spec, RunnerErrorsCarryFullJsonPath) {
+  expect_spec_error(R"({"scenario": "fleet",
+                        "params": {"grid": {"solar_share": "lots"}}})",
+                    "$.params.grid.solar_share: expected a number, got string");
+  expect_spec_error(R"({"scenario": "fleet", "params": {"pue": 0.5}})",
+                    "$.params.pue: 0.5 is outside [1, 3]");
+  expect_spec_error(R"({"scenario": "fleet", "params": {"dayz": 7}})",
+                    "$.params.dayz: unknown key");
+  expect_spec_error(R"({"scenario": "fleet",
+                        "params": {"grid": {"name": "mars-fusion"}}})",
+                    "unknown grid 'mars-fusion'; available: ");
+  expect_spec_error(R"({"scenario": "cross_region_schedule", "params": {}})",
+                    "$.params.regions: need at least one region grid");
+  expect_spec_error(R"({"scenario": "fleet", "unknown_top": 1})",
+                    "$.unknown_top: unknown key");
+}
+
+TEST(Spec, UnknownScenarioListsAvailable) {
+  try {
+    (void)Runner().run(Spec::parse(R"({"scenario": "warp_drive"})"));
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown scenario 'warp_drive'"), std::string::npos);
+    EXPECT_NE(msg.find("fleet"), std::string::npos);
+    EXPECT_NE(msg.find("scaling_sweep"), std::string::npos);
+  }
+}
+
+// --- Registry round-trip for every built-in simulation --------------------
+
+const char* minimal_spec(const std::string& name) {
+  if (name == "cross_region_schedule") {
+    return R"({"scenario": "cross_region_schedule",
+               "params": {"regions": [{"name": "us-west-solar"},
+                                      {"name": "nordic-hydro"}]}})";
+  }
+  if (name == "fleet") {
+    return R"({"scenario": "fleet", "params": {"days": 2}})";
+  }
+  if (name == "queue_schedule") {
+    return R"({"scenario": "queue_schedule", "params": {"jobs": 12}})";
+  }
+  if (name == "fl_rounds") {
+    return R"({"scenario": "fl_rounds",
+               "params": {"days": 3, "population": {"num_clients": 500}}})";
+  }
+  if (name == "lifecycle_estimate") {
+    return R"({"scenario": "lifecycle_estimate", "params": {"model": "LM"}})";
+  }
+  if (name == "scaling_sweep") {
+    return R"({"scenario": "scaling_sweep",
+               "params": {"data_factors": [1, 2, 4],
+                          "model_factors": [1, 2, 4]}})";
+  }
+  ADD_FAILURE() << "no minimal spec for " << name;
+  return "{}";
+}
+
+TEST(Registry, HasExactlyTheSixBuiltins) {
+  const std::vector<std::string> expected = {
+      "cross_region_schedule", "fl_rounds",      "fleet",
+      "lifecycle_estimate",    "queue_schedule", "scaling_sweep"};
+  std::vector<std::string> actual;
+  for (const scenario::Simulation* sim : Registry::global().simulations()) {
+    actual.push_back(sim->name());
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Registry, EverySimulationRunsFromJsonAndRoundTrips) {
+  const Runner runner;
+  for (const scenario::Simulation* sim : Registry::global().simulations()) {
+    SCOPED_TRACE(sim->name());
+    EXPECT_FALSE(sim->description().empty());
+    EXPECT_FALSE(sim->params().empty());
+
+    const std::string text = minimal_spec(sim->name());
+    const Bundle bundle = runner.run_text(text);
+    EXPECT_EQ(bundle.result.scenario, sim->name());
+    EXPECT_FALSE(bundle.result.summary_rows.empty());
+
+    // result.json parses back and is canonical.
+    const scenario::Artifact* result = bundle.find("result.json");
+    ASSERT_NE(result, nullptr);
+    const JsonValue parsed = parse_json(result->content);
+    EXPECT_EQ(parsed.find("scenario")->as_string(), sim->name());
+    EXPECT_EQ(canonical_json(parsed), result->content);
+
+    // spec.json is the canonical re-emission: parsing it and re-running
+    // reproduces the identical bundle (spec -> run -> spec fixed point).
+    const scenario::Artifact* spec_out = bundle.find("spec.json");
+    ASSERT_NE(spec_out, nullptr);
+    EXPECT_EQ(canonical_json(parse_json(spec_out->content)),
+              spec_out->content);
+    const Bundle again = runner.run_text(spec_out->content);
+    ASSERT_EQ(again.files.size(), bundle.files.size());
+    for (std::size_t i = 0; i < bundle.files.size(); ++i) {
+      EXPECT_EQ(again.files[i].filename, bundle.files[i].filename);
+      EXPECT_EQ(again.files[i].content, bundle.files[i].content);
+    }
+  }
+}
+
+// --- Determinism: byte-identical bundle at any thread count ---------------
+
+TEST(Runner, FleetBundleByteIdenticalAcrossThreadCounts) {
+  const char* spec_text = R"({
+    "scenario": "fleet",
+    "seed": 42,
+    "params": {"days": 3, "chunk_steps": 16},
+    "artifacts": {"trace": true, "metrics": true}
+  })";
+  const Runner runner;
+
+  exec::ThreadPool one(1);
+  const Bundle base = runner.run_text(spec_text, &one);
+  ASSERT_NE(base.find("result.json"), nullptr);
+  ASSERT_NE(base.find("trace.json"), nullptr);
+  ASSERT_NE(base.find("metrics.prom"), nullptr);
+
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    exec::ThreadPool pool(threads);
+    const Bundle other = runner.run_text(spec_text, &pool);
+    ASSERT_EQ(other.files.size(), base.files.size());
+    for (std::size_t i = 0; i < base.files.size(); ++i) {
+      EXPECT_EQ(other.files[i].filename, base.files[i].filename);
+      EXPECT_EQ(other.files[i].content, base.files[i].content)
+          << base.files[i].filename;
+    }
+  }
+}
+
+TEST(Runner, SeedChangesTheResult) {
+  const Runner runner;
+  const Bundle a = runner.run_text(
+      R"({"scenario": "fleet", "seed": 1, "params": {"days": 2}})");
+  const Bundle b = runner.run_text(
+      R"({"scenario": "fleet", "seed": 2, "params": {"days": 2}})");
+  EXPECT_NE(a.find("result.json")->content, b.find("result.json")->content);
+}
+
+TEST(Runner, WriteCreatesEveryArtifact) {
+  const Bundle bundle = Runner().run_text(
+      R"({"scenario": "scaling_sweep", "params": {}})");
+  const std::string dir =
+      ::testing::TempDir() + "/sustainai_scenario_write_test";
+  std::string error;
+  ASSERT_TRUE(Runner::write(bundle, dir, &error)) << error;
+  for (const scenario::Artifact& f : bundle.files) {
+    std::ifstream in(dir + "/" + f.filename, std::ios::binary);
+    std::ostringstream read_back;
+    read_back << in.rdbuf();
+    EXPECT_EQ(read_back.str(), f.content) << f.filename;
+  }
+}
+
+}  // namespace
+}  // namespace sustainai

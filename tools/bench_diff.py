@@ -18,6 +18,15 @@ Single-file mode checks the observability overhead contract instead:
 This asserts the derived tracer_off_overhead ratio (fleet step with the
 tracer compiled in but disabled, over the untraced baseline) stays at or
 below --obs-max-overhead, and reports tracer_on_overhead for context.
+
+The scenario-runner contract has an analogous single-file mode:
+
+    tools/bench_diff.py --check-scenario build/BENCH_scenario.json
+    tools/bench_diff.py --check-scenario f.json --scenario-max-overhead 1.10
+
+This asserts the derived scenario_run_overhead ratio (fleet run driven
+through a declarative JSON spec by scenario::Runner, over calling
+FleetSimulator directly) stays at or below --scenario-max-overhead.
 """
 
 import argparse
@@ -57,6 +66,28 @@ def check_obs(path, max_overhead):
     return 0
 
 
+def check_scenario(path, max_overhead):
+    _, derived = load_records(path)
+    ratio = derived.get("scenario_run_overhead")
+    if ratio is None:
+        sys.exit(
+            f"{path}: no derived scenario_run_overhead (run perf_harness "
+            "with the scenario_fleet benchmarks enabled)"
+        )
+    print(
+        f"scenario runner overhead: {ratio:.3f}x "
+        f"(max allowed {max_overhead:.2f}x)"
+    )
+    if ratio > max_overhead:
+        print(
+            f"FAIL: spec-driven fleet run is {ratio:.3f}x the direct "
+            f"FleetSimulator call, above the {max_overhead:.2f}x bound"
+        )
+        return 1
+    print("scenario runner overhead contract holds")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Flag perf regressions between two perf_harness JSON files."
@@ -87,12 +118,30 @@ def main():
         help="upper bound on tracer_off_overhead for --check-obs "
         "(default 1.05 = 5%%)",
     )
+    parser.add_argument(
+        "--check-scenario",
+        metavar="FILE",
+        help="single-file mode: assert FILE's derived scenario_run_overhead "
+        "is at most --scenario-max-overhead",
+    )
+    parser.add_argument(
+        "--scenario-max-overhead",
+        type=float,
+        default=1.02,
+        help="upper bound on scenario_run_overhead for --check-scenario "
+        "(default 1.02 = 2%%)",
+    )
     args = parser.parse_args()
 
     if args.check_obs:
         return check_obs(args.check_obs, args.obs_max_overhead)
+    if args.check_scenario:
+        return check_scenario(args.check_scenario, args.scenario_max_overhead)
     if args.baseline is None or args.candidate is None:
-        parser.error("baseline and candidate are required unless --check-obs")
+        parser.error(
+            "baseline and candidate are required unless --check-obs or "
+            "--check-scenario"
+        )
 
     base, base_derived = load_records(args.baseline)
     cand, cand_derived = load_records(args.candidate)

@@ -7,11 +7,15 @@
 //   sustainai schedule --jobs 24 --duration-h 4 --slack-h 20 --grid us-west-solar
 //   sustainai fl --clients 100 --rounds-per-day 24 --days 90
 //   sustainai fleet --days 7 --trace /tmp/fleet.json --metrics /tmp/fleet.prom
+//   sustainai run scenarios/fleet_week.json --out /tmp/fleet_week
+//   sustainai scenarios            # list registered scenario simulations
 //
 // Each subcommand prints the same accounting the paper's figures use.
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +29,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "report/table.h"
+#include "scenario/runner.h"
 #include "telemetry/model_card.h"
 #include "telemetry/tracker.h"
 
@@ -36,10 +41,13 @@ using Flags = std::map<std::string, std::string>;
 
 Flags parse_flags(int argc, char** argv, int first) {
   Flags flags;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc; i += 2) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
       throw std::invalid_argument("expected --flag, got '" + key + "'");
+    }
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("flag '" + key + "' is missing a value");
     }
     flags[key.substr(2)] = argv[i + 1];
   }
@@ -48,7 +56,20 @@ Flags parse_flags(int argc, char** argv, int first) {
 
 double flag_double(const Flags& flags, const std::string& key, double fallback) {
   auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::stod(it->second);
+  if (it == flags.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag '--" + key + "' expects a number, got '" +
+                                it->second + "'");
+  }
 }
 
 std::string flag_string(const Flags& flags, const std::string& key,
@@ -58,27 +79,21 @@ std::string flag_string(const Flags& flags, const std::string& key,
 }
 
 GridProfile grid_by_name(const std::string& name) {
-  for (const GridProfile& g :
-       {grids::us_average(), grids::us_midwest_coal(), grids::us_west_solar(),
-        grids::nordic_hydro(), grids::asia_pacific(), grids::hydro_quebec()}) {
-    if (g.name == name) {
-      return g;
-    }
+  std::optional<GridProfile> grid = grids::by_name(name);
+  if (!grid.has_value()) {
+    throw std::invalid_argument("unknown grid '" + name +
+                                "'; available: " + grids::known_names());
   }
-  throw std::invalid_argument("unknown grid '" + name + "' (see: sustainai grids)");
+  return *grid;
 }
 
 hw::DeviceSpec device_by_name(const std::string& name) {
-  for (const hw::DeviceSpec& d :
-       {hw::catalog::nvidia_p100(), hw::catalog::nvidia_v100(),
-        hw::catalog::nvidia_a100(), hw::catalog::tpu_like(),
-        hw::catalog::cpu_server()}) {
-    if (d.name == name || d.name == "nvidia-" + name) {
-      return d;
-    }
+  std::optional<hw::DeviceSpec> device = hw::catalog::by_name(name);
+  if (!device.has_value()) {
+    throw std::invalid_argument("unknown device '" + name + "'; available: " +
+                                hw::catalog::known_names());
   }
-  throw std::invalid_argument("unknown device '" + name +
-                              "' (p100, v100, a100, tpu-like, cpu-server-28c)");
+  return *device;
 }
 
 int cmd_estimate(const Flags& flags) {
@@ -124,9 +139,7 @@ int cmd_models() {
 
 int cmd_grids() {
   report::Table t({"grid", "average intensity", "carbon-free share"});
-  for (const GridProfile& g :
-       {grids::us_average(), grids::us_midwest_coal(), grids::us_west_solar(),
-        grids::nordic_hydro(), grids::asia_pacific(), grids::hydro_quebec()}) {
+  for (const GridProfile& g : grids::all()) {
     t.add_row({g.name, to_string(g.average),
                report::fmt_percent(g.carbon_free_fraction)});
   }
@@ -292,6 +305,73 @@ int cmd_fleet(const Flags& flags) {
   return 0;
 }
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+    std::fprintf(stderr, "usage: sustainai run <scenario.json> [--out DIR]\n");
+    return 2;
+  }
+  const std::string spec_path = argv[2];
+  const Flags flags = parse_flags(argc, argv, 3);
+  const std::string out_dir = flag_string(flags, "out", "");
+
+  const scenario::Spec spec = scenario::Spec::parse(read_text_file(spec_path));
+  const scenario::Runner runner;
+  const scenario::Bundle bundle = runner.run(spec);
+
+  std::printf("scenario: %s\n", bundle.result.scenario.c_str());
+  std::printf("%s", bundle.result.summary_table().to_string().c_str());
+  for (const std::string& note : bundle.result.notes) {
+    std::printf("  %s\n", note.c_str());
+  }
+  if (!out_dir.empty()) {
+    std::string error;
+    if (!scenario::Runner::write(bundle, out_dir, &error)) {
+      throw std::invalid_argument(error);
+    }
+    std::string names;
+    for (const scenario::Artifact& f : bundle.files) {
+      if (!names.empty()) {
+        names += ", ";
+      }
+      names += f.filename;
+    }
+    std::printf("wrote %s to %s\n", names.c_str(), out_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_scenarios(int argc, char** argv) {
+  const scenario::Registry& registry = scenario::Registry::global();
+  if (argc >= 3 && std::string(argv[2]).rfind("--", 0) != 0) {
+    const scenario::Simulation& sim = registry.require(argv[2]);
+    std::printf("%s: %s\n\n", sim.name().c_str(), sim.description().c_str());
+    report::Table t({"param", "type", "default", "description"});
+    for (const scenario::ParamDoc& doc : sim.params()) {
+      t.add_row({doc.name, doc.type, doc.default_value, doc.description});
+    }
+    std::printf("%s", t.to_string().c_str());
+    return 0;
+  }
+  report::Table t({"scenario", "description"});
+  for (const scenario::Simulation* sim : registry.simulations()) {
+    t.add_row({sim->name(), sim->description()});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("run one with: sustainai run <spec.json>; "
+              "see its parameters with: sustainai scenarios <name>\n");
+  return 0;
+}
+
 int usage() {
   std::printf(
       "usage: sustainai <command> [--flag value ...]\n"
@@ -309,7 +389,12 @@ int usage() {
       "             (--days --web-servers --train-servers --grid --chunk-steps\n"
       "              --trace PATH --metrics PATH)\n"
       "  model-card render the carbon section of a model card (markdown)\n"
-      "             (--name --device --count --runtime-days --utilization --grid)\n");
+      "             (--name --device --count --runtime-days --utilization --grid)\n"
+      "  run        run a declarative JSON scenario through the registry,\n"
+      "             optionally writing the artifact bundle\n"
+      "             (sustainai run <scenario.json> [--out DIR])\n"
+      "  scenarios  list registered scenarios, or show one scenario's\n"
+      "             parameters (sustainai scenarios [name])\n");
   return 2;
 }
 
@@ -321,6 +406,14 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
+    // `run` and `scenarios` take a positional argument; parse their flags
+    // inside the command.
+    if (command == "run") {
+      return cmd_run(argc, argv);
+    }
+    if (command == "scenarios") {
+      return cmd_scenarios(argc, argv);
+    }
     const Flags flags = parse_flags(argc, argv, 2);
     if (command == "estimate") {
       return cmd_estimate(flags);
