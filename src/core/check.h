@@ -11,6 +11,17 @@ namespace sustainai {
 
 // Throws std::invalid_argument with `message` when `condition` is false.
 // Use for caller-supplied values at public API boundaries only.
+//
+// The const char* overload is the hot-path fast path: string literals bind
+// to it directly (exact match beats the user-defined conversion), so a
+// passing check costs a branch — no std::string temporary, no allocation.
+// Callers that build dynamic messages still hit the std::string overload.
+inline void check_arg(bool condition, const char* message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
 inline void check_arg(bool condition, const std::string& message) {
   if (!condition) {
     throw std::invalid_argument(message);

@@ -1,8 +1,12 @@
 #include "datacenter/fleet_sim.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/check.h"
 #include "core/intensity_table.h"
 #include "exec/parallel.h"
+#include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,12 +43,28 @@ struct Partial {
   Energy opportunistic_energy = joules(0.0);
   double opportunistic_server_hours = 0.0;
   double location_g = 0.0;
+  Energy fault_wasted_energy = joules(0.0);
+  double fault_lost_server_hours = 0.0;
 
   explicit Partial(std::size_t num_groups = 0)
       : group_energy(num_groups, joules(0.0)),
         util_weight(num_groups, 0.0),
         freed_server_hours(num_groups, 0.0) {}
 };
+
+const char* fault_span_name(fault::FaultKind kind) {
+  switch (kind) {
+    case fault::FaultKind::kHostCrash:
+      return "fault.host_crash";
+    case fault::FaultKind::kJobPreemption:
+      return "fault.job_preemption";
+    case fault::FaultKind::kSilentCorruption:
+      return "fault.silent_corruption";
+    case fault::FaultKind::kGridDataGap:
+      return "fault.grid_data_gap";
+  }
+  return "fault.unknown";
+}
 
 }  // namespace
 
@@ -68,6 +88,52 @@ FleetSimulator::Result FleetSimulator::run() const {
   }
   const IntensityTable& shared_table = table;
 
+  // Fault plan and its per-step projections are built serially up front —
+  // like the intensity table — so the parallel chunks only ever read them.
+  const bool faults_enabled = config_.faults.enabled();
+  const fault::FaultPlan plan = faults_enabled
+                                    ? config_.faults.plan(config_.horizon)
+                                    : fault::FaultPlan();
+  // down[g][s]: hosts of group g offline (crashed, re-warming) at step s.
+  std::vector<std::vector<int>> down;
+  // intensity_remap[s]: step index whose intensity step s reads. Identity
+  // except during grid data gaps, which hold the last pre-gap reading.
+  std::vector<long> intensity_remap;
+  if (!plan.empty()) {
+    for (const fault::FaultEvent& e : plan.events()) {
+      const auto first =
+          static_cast<long>(std::floor(to_seconds(e.time) / step_s));
+      const auto last = static_cast<long>(
+          std::ceil((to_seconds(e.time) + to_seconds(e.duration)) / step_s));
+      if (e.kind == fault::FaultKind::kHostCrash && !groups.empty()) {
+        if (down.empty()) {
+          down.assign(groups.size(), std::vector<int>(
+                                         static_cast<std::size_t>(steps), 0));
+        }
+        const std::size_t gi = static_cast<std::size_t>(
+            e.target % static_cast<std::uint64_t>(groups.size()));
+        for (long s = std::max(0L, first); s < std::min(steps, last); ++s) {
+          auto& d = down[gi][static_cast<std::size_t>(s)];
+          d = std::min(groups[gi].count, d + 1);
+        }
+      } else if (e.kind == fault::FaultKind::kGridDataGap) {
+        if (intensity_remap.empty()) {
+          intensity_remap.resize(static_cast<std::size_t>(steps));
+          for (long s = 0; s < steps; ++s) {
+            intensity_remap[static_cast<std::size_t>(s)] = s;
+          }
+        }
+        const long hold = std::clamp(first, 0L, steps - 1);
+        for (long s = std::max(0L, first); s < std::min(steps, last); ++s) {
+          intensity_remap[static_cast<std::size_t>(s)] =
+              intensity_remap[static_cast<std::size_t>(hold)];
+        }
+      }
+    }
+  }
+  const bool any_down = !down.empty();
+  const bool any_gap = !intensity_remap.empty();
+
   auto simulate_chunk = [&](std::size_t begin, std::size_t end,
                             std::size_t) -> Partial {
     obs::Span chunk_span("fleet.chunk", step_s * static_cast<double>(begin),
@@ -75,21 +141,39 @@ FleetSimulator::Result FleetSimulator::run() const {
     Partial p(groups.size());
     for (std::size_t s = begin; s < end; ++s) {
       const Duration now = seconds(step_s * static_cast<double>(s));
+      const long intensity_index =
+          any_gap ? intensity_remap[s] : static_cast<long>(s);
       const CarbonIntensity intensity =
           config_.use_intensity_table
-              ? shared_table.at_index(static_cast<long>(s))
-              : grid.intensity_at(now);
+              ? shared_table.at_index(intensity_index)
+              : grid.intensity_at(
+                    seconds(step_s * static_cast<double>(intensity_index)));
       for (std::size_t i = 0; i < groups.size(); ++i) {
         const ServerGroup& g = groups[i];
         if (g.count == 0) {
           continue;
         }
         const double demand = g.load.utilization_at(now);
+        // Crashed hosts drop out of capacity; the surviving hosts absorb
+        // the displaced load, capped at full utilization.
+        const int down_now = any_down ? down[i][s] : 0;
+        int active_count = g.count;
+        double active_demand = demand;
+        if (down_now > 0) {
+          active_count = g.count - down_now;
+          active_demand =
+              active_count > 0
+                  ? std::min(1.0, demand * static_cast<double>(g.count) /
+                                      static_cast<double>(active_count))
+                  : 0.0;
+          p.fault_lost_server_hours += down_now * step_s / kSecondsPerHour;
+        }
         Energy group_energy = joules(0.0);
-        double recorded_util = demand;
+        double recorded_util = active_demand;
 
-        if (g.autoscalable && config_.enable_autoscaler) {
-          const AutoScaler::Decision d = scaler.step(g.count, demand);
+        if (active_count > 0 && g.autoscalable && config_.enable_autoscaler) {
+          const AutoScaler::Decision d =
+              scaler.step(active_count, active_demand);
           group_energy =
               g.sku.energy(d.active_utilization, d.active_utilization,
                            config_.step) *
@@ -106,9 +190,17 @@ FleetSimulator::Result FleetSimulator::run() const {
                 d.freed_servers * step_s / kSecondsPerHour;
             group_energy += opp;
           }
-        } else {
-          group_energy = g.sku.energy(demand, demand, config_.step) *
-                         static_cast<double>(g.count);
+        } else if (active_count > 0) {
+          group_energy = g.sku.energy(active_demand, active_demand,
+                                      config_.step) *
+                         static_cast<double>(active_count);
+        }
+        if (down_now > 0) {
+          // Re-warming hosts idle-draw without doing work: pure waste.
+          const Energy rewarm = g.sku.energy(0.0, 0.0, config_.step) *
+                                static_cast<double>(down_now);
+          group_energy += rewarm;
+          p.fault_wasted_energy += rewarm;
         }
 
         p.group_energy[i] += group_energy;
@@ -130,6 +222,8 @@ FleetSimulator::Result FleetSimulator::run() const {
     acc.opportunistic_energy += p.opportunistic_energy;
     acc.opportunistic_server_hours += p.opportunistic_server_hours;
     acc.location_g += p.location_g;
+    acc.fault_wasted_energy += p.fault_wasted_energy;
+    acc.fault_lost_server_hours += p.fault_lost_server_hours;
     return acc;
   };
 
@@ -163,6 +257,57 @@ FleetSimulator::Result FleetSimulator::run() const {
   result.location_carbon = grams_co2e(total.location_g);
   result.market_carbon = market_based(result.location_carbon, config_.cfe_coverage);
 
+  if (faults_enabled) {
+    FaultStats& fs = result.faults;
+    fs.host_crashes = plan.count(fault::FaultKind::kHostCrash);
+    fs.grid_gaps = plan.count(fault::FaultKind::kGridDataGap);
+    fs.lost_server_hours = total.fault_lost_server_hours;
+    fs.wasted_energy = total.fault_wasted_energy;
+    // SDC rollbacks hit the training tier: deterministic replay from the
+    // last checkpoint reproduces the same weights, so the cost is pure
+    // accounting — the redone server-hours and the energy they burned —
+    // rather than a dynamics change.
+    double train_servers = 0.0;
+    for (const ServerGroup& g : groups) {
+      if (g.tier == Tier::kAiTraining) {
+        train_servers += static_cast<double>(g.count);
+      }
+    }
+    const double horizon_s = to_seconds(config_.horizon);
+    const double avg_train_w =
+        horizon_s > 0.0
+            ? to_joules(result.it_energy_for(Tier::kAiTraining)) / horizon_s
+            : 0.0;
+    for (const fault::FaultEvent& e :
+         plan.events_of(fault::FaultKind::kSilentCorruption)) {
+      ++fs.sdc_events;
+      const double lost_s =
+          to_seconds(config_.faults.checkpoint.lost_work(e.time));
+      fs.redone_work_hours += lost_s / kSecondsPerHour * train_servers;
+      fs.wasted_energy += joules(avg_train_w * lost_s);
+    }
+    fs.checkpoints = config_.faults.checkpoint.checkpoints_over(config_.horizon);
+    fs.checkpoint_energy =
+        joules(avg_train_w * to_seconds(config_.faults.checkpoint.cost) *
+               static_cast<double>(fs.checkpoints));
+    const double horizon_years = to_seconds(config_.horizon) / kSecondsPerYear;
+    fs.measured_sdc_per_server_year =
+        train_servers > 0.0 && horizon_years > 0.0
+            ? static_cast<double>(fs.sdc_events) /
+                  (train_servers * horizon_years)
+            : 0.0;
+    // One span per fault event, on a deterministic per-event lane; emitted
+    // serially post-merge so the trace stays byte-identical at any thread
+    // count.
+    std::uint64_t lane = 0;
+    for (const fault::FaultEvent& e : plan.events()) {
+      obs::Span span(fault_span_name(e.kind), to_seconds(e.time),
+                     to_seconds(e.time) +
+                         std::max(to_seconds(e.duration), step_s));
+      span.set_track(obs::kUserTrackBase + lane++);
+    }
+  }
+
   // Recorded post-merge on the calling thread, so the snapshot (and the
   // Prometheus text rendered from it) is deterministic at any thread count.
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
@@ -182,6 +327,21 @@ FleetSimulator::Result FleetSimulator::run() const {
       .add(to_grams_co2e(result.location_carbon));
   metrics.counter("fleet_opportunistic_server_hours")
       .add(result.opportunistic_server_hours);
+  if (faults_enabled) {
+    const FaultStats& fs = result.faults;
+    metrics.counter("fleet_fault_events_total", {{"kind", "host_crash"}})
+        .add(static_cast<double>(fs.host_crashes));
+    metrics.counter("fleet_fault_events_total", {{"kind", "silent_corruption"}})
+        .add(static_cast<double>(fs.sdc_events));
+    metrics.counter("fleet_fault_events_total", {{"kind", "grid_data_gap"}})
+        .add(static_cast<double>(fs.grid_gaps));
+    metrics.counter("fleet_fault_wasted_energy_joules")
+        .add(to_joules(fs.wasted_energy));
+    metrics.counter("fleet_fault_lost_server_hours").add(fs.lost_server_hours);
+    metrics.counter("fleet_fault_redone_work_hours").add(fs.redone_work_hours);
+    metrics.counter("fleet_fault_checkpoint_energy_joules")
+        .add(to_joules(fs.checkpoint_energy));
+  }
   return result;
 }
 

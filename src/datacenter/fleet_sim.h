@@ -19,6 +19,7 @@
 #include "datacenter/autoscaler.h"
 #include "datacenter/cluster.h"
 #include "exec/thread_pool.h"
+#include "fault/recovery.h"
 
 namespace sustainai::datacenter {
 
@@ -46,6 +47,12 @@ class FleetSimulator {
     // per step. Results are bit-identical either way; the toggle exists so
     // tests can prove it.
     bool use_intensity_table = true;
+    // Fault injection (src/fault/): host crashes drop capacity while the
+    // host re-warms, grid data gaps hold the last intensity reading, and
+    // SDC events charge training-tier rollback waste. All-zero rates take
+    // the fault-free code path untouched, so disabled runs are bit-exact
+    // with builds that predate fault injection.
+    fault::FaultSpec faults;
   };
 
   struct GroupResult {
@@ -54,6 +61,21 @@ class FleetSimulator {
     Energy it_energy;
     double mean_utilization = 0.0;   // time-weighted, active servers only
     double freed_server_hours = 0.0;
+  };
+
+  // Fault-injection outcomes; all-zero when faults are disabled.
+  struct FaultStats {
+    long host_crashes = 0;
+    long sdc_events = 0;
+    long grid_gaps = 0;
+    long checkpoints = 0;
+    double lost_server_hours = 0.0;    // capacity offline during outages
+    double redone_work_hours = 0.0;    // training server-hours re-executed
+    Energy wasted_energy;              // outage draw + redone training energy
+    Energy checkpoint_energy;          // checkpoint overhead on training tier
+    // SDC events per training-server-year observed over this horizon; feeds
+    // mlcycle::optimal_age_with_detection's measured-rate overload.
+    double measured_sdc_per_server_year = 0.0;
   };
 
   struct Result {
@@ -65,6 +87,7 @@ class FleetSimulator {
     // Server-hours harvested for opportunistic training.
     double opportunistic_server_hours = 0.0;
     Energy opportunistic_energy;
+    FaultStats faults;
     // O(1): served from per-tier sums precomputed when the chunk results
     // are merged, not by scanning `groups` per call.
     [[nodiscard]] Energy it_energy_for(Tier tier) const;

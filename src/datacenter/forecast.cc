@@ -44,7 +44,15 @@ double PersistenceForecaster::mape(Duration start, Duration horizon,
             "mape: horizon must cover at least one step");
   double sum = 0.0;
   long count = 0;
-  for (double s = 0.0; s < to_seconds(horizon); s += to_seconds(step)) {
+  // Indexed stepping: a loop-carried `s += step` accumulates FP error over
+  // multi-month horizons and can add or drop a probe near the boundary.
+  const double step_sec = to_seconds(step);
+  const double horizon_s = to_seconds(horizon);
+  for (long i = 0;; ++i) {
+    const double s = step_sec * static_cast<double>(i);
+    if (s >= horizon_s) {
+      break;
+    }
     const Duration t = start + seconds(s);
     const double actual = actual_at(t).base();
     if (actual <= 0.0) {
@@ -74,7 +82,13 @@ Duration PersistenceForecastPolicy::choose_start(const BatchJob& job,
   const double slack_s = to_seconds(job.slack);
   Duration best = job.arrival;
   double best_mean = std::numeric_limits<double>::infinity();
-  for (double off = 0.0; off <= slack_s; off += to_seconds(probe_step_)) {
+  // Indexed stepping, for the same accumulation-drift reason as mape().
+  const double probe_s = to_seconds(probe_step_);
+  for (long i = 0;; ++i) {
+    const double off = probe_s * static_cast<double>(i);
+    if (off > slack_s) {
+      break;
+    }
     const Duration t = job.arrival + seconds(off);
     const double mean = forecaster.predict_mean(t, job.duration).base();
     if (mean < best_mean) {

@@ -48,11 +48,37 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
     double remaining_s;
     double started_s;
     double carbon_g = 0.0;
+    // Work this attempt must do (job duration minus checkpointed progress;
+    // equal to the job duration when faults are disabled).
+    double attempt_total_s = 0.0;
   };
   std::vector<Running> running;
   std::vector<std::size_t> queue;  // FIFO order of waiting job indices
   std::vector<CompletedJob> done(jobs.size());
   std::vector<bool> completed(jobs.size(), false);
+
+  // Fault injection: the plan spans max_horizon so the schedule never
+  // depends on the (fault-dependent) makespan.
+  const bool faults_enabled = config.faults.enabled();
+  const fault::FaultPlan plan = faults_enabled
+                                    ? config.faults.plan(config.max_horizon)
+                                    : fault::FaultPlan();
+  const std::vector<fault::FaultEvent> preempt_events =
+      plan.events_of(fault::FaultKind::kJobPreemption);
+  std::size_t next_preempt = 0;
+  fault::Accounting acc;
+  std::vector<double> preserved_s;         // checkpointed progress per job
+  std::vector<double> prior_carbon_g;      // carbon from preempted attempts
+  std::vector<double> earliest_restart_s;  // backoff gate per job
+  std::vector<double> first_start_s;       // first machine grant per job
+  std::vector<int> preempt_count;
+  if (faults_enabled) {
+    preserved_s.assign(jobs.size(), 0.0);
+    prior_carbon_g.assign(jobs.size(), 0.0);
+    earliest_restart_s.assign(jobs.size(), 0.0);
+    first_start_s.assign(jobs.size(), -1.0);
+    preempt_count.assign(jobs.size(), 0);
+  }
 
   const double step_s = to_seconds(config.step);
   std::size_t next_arrival = 0;
@@ -70,6 +96,51 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
       queue.push_back(next_arrival);
       ++next_arrival;
     }
+    // Fire due preemption events: the victim loses progress back to its
+    // last checkpoint, re-enters the queue, and re-consults the policy
+    // after an exponential backoff.
+    while (next_preempt < preempt_events.size() &&
+           to_seconds(preempt_events[next_preempt].time) <= now_s + 1e-9) {
+      const fault::FaultEvent e = preempt_events[next_preempt];
+      ++next_preempt;
+      if (running.empty()) {
+        continue;  // nothing to evict at this instant
+      }
+      const std::size_t vi = static_cast<std::size_t>(
+          e.target % static_cast<std::uint64_t>(running.size()));
+      const Running r = running[vi];
+      const std::size_t ji = r.job_index;
+      ++acc.faults_injected;
+      ++preempt_count[ji];
+      const double done_this_attempt = r.attempt_total_s - r.remaining_s;
+      const double lost_s = to_seconds(
+          config.faults.checkpoint.lost_work(seconds(done_this_attempt)));
+      acc.redone_work_hours += lost_s / kSecondsPerHour;
+      acc.wasted_energy +=
+          joules(to_watts(jobs[ji].power) * lost_s * config.pue);
+      if (preempt_count[ji] > config.faults.retry.max_retries) {
+        throw fault::RetriesExhaustedError(
+            "job '" + jobs[ji].id + "' preempted " +
+                std::to_string(preempt_count[ji]) +
+                " times, exceeding max_retries=" +
+                std::to_string(config.faults.retry.max_retries),
+            acc);
+      }
+      ++acc.recoveries;
+      preserved_s[ji] += done_this_attempt - lost_s;
+      prior_carbon_g[ji] += r.carbon_g;
+      earliest_restart_s[ji] =
+          now_s +
+          to_seconds(config.faults.retry.backoff_after(preempt_count[ji] - 1));
+      {
+        obs::Span span("queue.preempt", r.started_s, now_s);
+        span.set_track(obs::kUserTrackBase + ji);
+        span.label("id", jobs[ji].id);
+      }
+      queue.push_back(ji);
+      running[vi] = running.back();
+      running.pop_back();
+    }
     // One grid lookup per step, shared by the admission decision and the
     // energy accounting below — they must never drift apart.
     const double intensity_now =
@@ -86,6 +157,10 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
         break;
       }
       const BatchJob& job = jobs[ji];
+      if (faults_enabled && now_s + 1e-9 < earliest_restart_s[ji]) {
+        still_waiting.push_back(ji);  // still backing off after preemption
+        continue;
+      }
       const double waited_s = now_s - to_seconds(job.arrival);
       bool start = true;
       if (policy == QueuePolicy::kGreedyGreen &&
@@ -94,7 +169,14 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
         start = false;  // defer: grid is dirty and we still have slack
       }
       if (start) {
-        running.push_back(Running{ji, to_seconds(job.duration), now_s});
+        double attempt_total = to_seconds(job.duration);
+        if (faults_enabled) {
+          attempt_total -= preserved_s[ji];
+          if (first_start_s[ji] < 0.0) {
+            first_start_s[ji] = now_s;
+          }
+        }
+        running.push_back(Running{ji, attempt_total, now_s, 0.0, attempt_total});
       } else {
         still_waiting.push_back(ji);
       }
@@ -119,14 +201,31 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
         const Running& r = running[i];
         CompletedJob c;
         c.job = jobs[r.job_index];
-        c.start = seconds(r.started_s);
-        c.finish = seconds(r.started_s + to_seconds(c.job.duration));
-        c.carbon = grams_co2e(r.carbon_g);
+        const double start_s =
+            faults_enabled && first_start_s[r.job_index] >= 0.0
+                ? first_start_s[r.job_index]
+                : r.started_s;
+        c.start = seconds(start_s);
+        c.finish = seconds(r.started_s + r.attempt_total_s);
+        c.carbon = grams_co2e(
+            faults_enabled ? prior_carbon_g[r.job_index] + r.carbon_g
+                           : r.carbon_g);
+        if (faults_enabled) {
+          // Checkpoint overhead is charged per unit of useful work done;
+          // it is accounting-only so the step timeline stays untouched.
+          const long cps = config.faults.checkpoint.checkpoints_over(
+              c.job.duration);
+          acc.checkpoints += cps;
+          acc.checkpoint_energy += joules(
+              to_watts(c.job.power) *
+              to_seconds(config.faults.checkpoint.cost) *
+              static_cast<double>(cps) * config.pue);
+        }
         // One deterministic lane per job (kUserTrackBase + index), so the
         // exported span order is a pure function of the job set.
         const double arrival_s = to_seconds(c.job.arrival);
-        if (r.started_s > arrival_s) {
-          obs::Span wait_span("queue.wait", arrival_s, r.started_s);
+        if (start_s > arrival_s) {
+          obs::Span wait_span("queue.wait", arrival_s, start_s);
           wait_span.set_track(obs::kUserTrackBase + r.job_index);
           wait_span.label("id", c.job.id);
         }
@@ -163,6 +262,8 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
       makespan_s > 0.0 ? busy_machine_s / (makespan_s * config.machines) : 0.0;
   result.peak_running = peak_running;
   result.jobs = std::move(done);
+  result.preemptions = acc.faults_injected;
+  result.faults = acc;
 
   sim_span.sim_interval(0.0, now_s);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
@@ -170,6 +271,14 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
       .add(to_grams_co2e(result.total_carbon));
   metrics.counter("queue_sim_jobs", policy_labels)
       .add(static_cast<double>(result.jobs.size()));
+  if (faults_enabled) {
+    metrics.counter("queue_preemptions_total", policy_labels)
+        .add(static_cast<double>(acc.faults_injected));
+    metrics.counter("queue_fault_redone_work_hours", policy_labels)
+        .add(acc.redone_work_hours);
+    metrics.counter("queue_fault_wasted_energy_joules", policy_labels)
+        .add(to_joules(acc.wasted_energy));
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "core/carbon_intensity.h"
 #include "core/units.h"
 #include "datacenter/scheduler.h"
+#include "fault/recovery.h"
 
 namespace sustainai::datacenter {
 
@@ -38,6 +39,13 @@ struct QueueSimConfig {
   // instead of re-evaluating the grid harmonics each step. Bit-identical
   // results either way (see core/intensity_table.h).
   bool use_intensity_table = true;
+  // Fault injection (src/fault/): preemption events evict a running job,
+  // which loses progress back to its last checkpoint, waits out an
+  // exponential backoff, then re-enters the queue and re-consults the
+  // scheduling policy. A job preempted more than `faults.retry.max_retries`
+  // times aborts the run with fault::RetriesExhaustedError. All-zero rates
+  // take the fault-free code path untouched.
+  fault::FaultSpec faults;
 };
 
 struct CompletedJob {
@@ -57,6 +65,9 @@ struct QueueSimResult {
   // Machine-time actually used / machine-time available until makespan.
   double utilization = 0.0;
   int peak_running = 0;
+  // Fault-injection outcomes; all-zero when faults are disabled.
+  long preemptions = 0;
+  fault::Accounting faults;
 };
 
 // Jobs must have positive duration; each job occupies one machine for its

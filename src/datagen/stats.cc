@@ -111,9 +111,13 @@ double Histogram::fraction(int bin) const {
 }
 
 double Histogram::mass_between(double lo, double hi) const {
+  // Symmetric edge tolerance: bin edges are computed as lo_ + width_ * b and
+  // carry FP round-off in either direction, so both bounds need the epsilon
+  // or bins whose lower edge rounds just below `lo` are silently dropped.
+  constexpr double kEdgeTolerance = 1e-12;
   double mass = 0.0;
   for (int b = 0; b < num_bins(); ++b) {
-    if (bin_lo(b) >= lo && bin_hi(b) <= hi + 1e-12) {
+    if (bin_lo(b) >= lo - kEdgeTolerance && bin_hi(b) <= hi + kEdgeTolerance) {
       mass += fraction(b);
     }
   }

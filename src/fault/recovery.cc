@@ -1,0 +1,86 @@
+#include "fault/recovery.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::fault {
+
+Duration RetryPolicy::backoff_after(int attempt) const {
+  check_arg(attempt >= 0, "backoff_after: attempt must be >= 0");
+  const double scale = std::pow(backoff_multiplier, attempt);
+  return seconds(to_seconds(base_backoff) * scale);
+}
+
+Duration CheckpointPolicy::lost_work(Duration progress) const {
+  const double progress_s = to_seconds(progress);
+  check_arg(progress_s >= 0.0, "lost_work: progress must be >= 0");
+  const double interval_s = to_seconds(interval);
+  if (interval_s <= 0.0) {
+    return progress;  // no checkpoints: the whole attempt is lost
+  }
+  return seconds(progress_s - std::floor(progress_s / interval_s) * interval_s);
+}
+
+long CheckpointPolicy::checkpoints_over(Duration span) const {
+  const double interval_s = to_seconds(interval);
+  if (interval_s <= 0.0) {
+    return 0;
+  }
+  return static_cast<long>(std::floor(to_seconds(span) / interval_s));
+}
+
+FaultPlan FaultSpec::plan(Duration horizon) const {
+  return FaultPlan(rates, horizon, seed);
+}
+
+Accounting& Accounting::operator+=(const Accounting& other) {
+  faults_injected += other.faults_injected;
+  recoveries += other.recoveries;
+  checkpoints += other.checkpoints;
+  redone_work_hours += other.redone_work_hours;
+  lost_capacity_hours += other.lost_capacity_hours;
+  wasted_energy = wasted_energy + other.wasted_energy;
+  checkpoint_energy = checkpoint_energy + other.checkpoint_energy;
+  return *this;
+}
+
+RetriesExhaustedError::RetriesExhaustedError(const std::string& what,
+                                             Accounting accounting)
+    : std::runtime_error(what), accounting_(accounting) {}
+
+RunGateResult evaluate_run_gate(const FaultPlan& plan, Duration horizon,
+                                const CheckpointPolicy& checkpoint,
+                                const RetryPolicy& retry) {
+  RunGateResult out;
+  const double horizon_s = to_seconds(horizon);
+  Accounting acc;
+  double lost_s = 0.0;
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind != FaultKind::kHostCrash || to_seconds(e.time) >= horizon_s) {
+      continue;
+    }
+    ++out.crashes;
+    // The run restarts from its last checkpoint; work since then is redone.
+    lost_s += to_seconds(checkpoint.lost_work(e.time));
+    if (out.crashes > retry.max_retries) {
+      acc.faults_injected = out.crashes;
+      acc.recoveries = retry.max_retries;
+      acc.redone_work_hours = lost_s / kSecondsPerHour;
+      throw RetriesExhaustedError(
+          "run crashed " + std::to_string(out.crashes) +
+              " times, exceeding max_retries=" +
+              std::to_string(retry.max_retries),
+          acc);
+    }
+  }
+  out.checkpoints = checkpoint.checkpoints_over(horizon);
+  if (horizon_s > 0.0) {
+    out.lost_fraction = lost_s / horizon_s;
+    out.overhead_fraction = static_cast<double>(out.checkpoints) *
+                            to_seconds(checkpoint.cost) / horizon_s;
+  }
+  return out;
+}
+
+}  // namespace sustainai::fault

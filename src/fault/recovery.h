@@ -1,0 +1,94 @@
+// Recovery policies and wasted-work accounting for fault injection.
+//
+// Checkpoint/restart bounds how much work a fault destroys; bounded retry
+// with exponential backoff bounds how often a job may be restarted before
+// the run is declared failed. Both are deterministic functions of their
+// configuration — no hidden randomness — so recovery decisions are
+// byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/units.h"
+#include "fault/plan.h"
+
+namespace sustainai::fault {
+
+// Bounded retry with exponential backoff.
+struct RetryPolicy {
+  int max_retries = 3;  // restarts allowed before the run is declared failed
+  Duration base_backoff = minutes(5.0);
+  double backoff_multiplier = 2.0;
+
+  // Backoff before retry `attempt` (0-based): base * multiplier^attempt.
+  [[nodiscard]] Duration backoff_after(int attempt) const;
+};
+
+// Periodic checkpointing: a fault rolls work back to the last checkpoint.
+struct CheckpointPolicy {
+  Duration interval = hours(1.0);  // <= 0: no checkpoints, faults lose all
+  Duration cost = seconds(30.0);   // overhead per checkpoint taken
+
+  // Work lost when a fault strikes `progress` into an attempt.
+  [[nodiscard]] Duration lost_work(Duration progress) const;
+  // Checkpoints taken over `span` of useful work.
+  [[nodiscard]] long checkpoints_over(Duration span) const;
+};
+
+// The full fault block a simulator accepts: schedule + recovery policies.
+struct FaultSpec {
+  FaultRates rates;
+  RetryPolicy retry;
+  CheckpointPolicy checkpoint;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool enabled() const { return rates.any(); }
+  [[nodiscard]] FaultPlan plan(Duration horizon) const;
+};
+
+// Wasted-work bookkeeping shared by the simulators' fault integrations.
+struct Accounting {
+  long faults_injected = 0;
+  long recoveries = 0;
+  long checkpoints = 0;
+  double redone_work_hours = 0.0;    // work re-executed after rollbacks
+  double lost_capacity_hours = 0.0;  // server-hours offline (fleet)
+  Energy wasted_energy;              // energy burned on lost/redone work
+  Energy checkpoint_energy;          // checkpoint overhead energy
+
+  Accounting& operator+=(const Accounting& other);
+};
+
+// Thrown when a retry policy runs out of budget. The scenario Runner
+// catches this and emits an error.json artifact instead of aborting the
+// bundle, so sibling artifacts survive.
+class RetriesExhaustedError : public std::runtime_error {
+ public:
+  RetriesExhaustedError(const std::string& what, Accounting accounting);
+  [[nodiscard]] const Accounting& accounting() const { return accounting_; }
+
+ private:
+  Accounting accounting_;
+};
+
+// Run-level crash/restart gate for closed-form simulations that have no
+// internal timeline to interrupt (lifecycle estimates, scaling sweeps,
+// FL campaigns, cross-region schedules). Each host crash in the plan rolls
+// the run back to its last checkpoint; the lost fraction of the horizon is
+// charged as redone work. Throws RetriesExhaustedError when the crash count
+// exceeds the retry budget.
+struct RunGateResult {
+  long crashes = 0;
+  long checkpoints = 0;
+  double lost_fraction = 0.0;      // fraction of the run's work redone
+  double overhead_fraction = 0.0;  // checkpoint cost relative to horizon
+};
+
+[[nodiscard]] RunGateResult evaluate_run_gate(const FaultPlan& plan,
+                                              Duration horizon,
+                                              const CheckpointPolicy& checkpoint,
+                                              const RetryPolicy& retry);
+
+}  // namespace sustainai::fault

@@ -68,4 +68,19 @@ Duration optimal_age_with_detection(const ReplacementPolicyConfig& config,
   return optimal_replacement_age(covered);
 }
 
+double MeasuredSdcRate::per_server_year() const {
+  check_arg(events >= 0, "MeasuredSdcRate: events must be >= 0");
+  const double observed_years = to_years(observed);
+  return observed_years > 0.0 ? static_cast<double>(events) / observed_years
+                              : 0.0;
+}
+
+Duration optimal_age_with_detection(const ReplacementPolicyConfig& config,
+                                    double detection_coverage,
+                                    const MeasuredSdcRate& measured) {
+  ReplacementPolicyConfig calibrated = config;
+  calibrated.aging.base_sdc_rate_per_year = measured.per_server_year();
+  return optimal_age_with_detection(calibrated, detection_coverage);
+}
+
 }  // namespace sustainai::mlcycle

@@ -61,4 +61,22 @@ struct ReplacementPolicyConfig {
 [[nodiscard]] Duration optimal_age_with_detection(
     const ReplacementPolicyConfig& config, double detection_coverage);
 
+// An SDC event rate measured by a simulator (fleet fault injection, trainer
+// rollbacks) rather than assumed: `events` observed over `observed` total
+// server-time.
+struct MeasuredSdcRate {
+  long events = 0;
+  Duration observed;  // total server-time the events were observed over
+
+  [[nodiscard]] double per_server_year() const;
+};
+
+// As above, but the aging model's base rate is re-derived from a measured
+// event rate (the wear-out growth shape is retained), so the replacement-age
+// policy follows what the fleet actually experienced instead of a
+// closed-form input.
+[[nodiscard]] Duration optimal_age_with_detection(
+    const ReplacementPolicyConfig& config, double detection_coverage,
+    const MeasuredSdcRate& measured);
+
 }  // namespace sustainai::mlcycle

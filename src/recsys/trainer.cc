@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -370,6 +371,15 @@ TrainingRunResult train_dlrm(TrainableDlrm& model,
                              const std::vector<LabeledSample>& train,
                              const std::vector<LabeledSample>& holdout,
                              int epochs, float learning_rate) {
+  return train_dlrm(model, train, holdout, epochs, learning_rate,
+                    TrainingFaultConfig{});
+}
+
+TrainingRunResult train_dlrm(TrainableDlrm& model,
+                             const std::vector<LabeledSample>& train,
+                             const std::vector<LabeledSample>& holdout,
+                             int epochs, float learning_rate,
+                             const TrainingFaultConfig& faults) {
   check_arg(epochs >= 1, "train_dlrm: need >= 1 epoch");
   check_arg(!train.empty() && !holdout.empty(),
             "train_dlrm: datasets must be non-empty");
@@ -398,8 +408,49 @@ TrainingRunResult train_dlrm(TrainableDlrm& model,
   }
   result.final_loss = result.epoch_losses.back();
   // Forward ~ flops_per_example; backward ~ 2x forward.
-  result.total_gflops = static_cast<double>(model.flops_per_example()) * 3.0 *
-                        static_cast<double>(train.size()) * epochs / 1e9;
+  const double gflops_per_example =
+      static_cast<double>(model.flops_per_example()) * 3.0 / 1e9;
+  result.total_gflops = gflops_per_example *
+                        static_cast<double>(train.size()) * epochs;
+
+  if (faults.enabled()) {
+    // The fault timebase is the global example counter (one example ~ one
+    // unit of work), so the SDC schedule is a pure function of the fault
+    // seed and the run length. A detected SDC rolls the run back to the
+    // last checkpoint; deterministic replay reproduces the exact weights,
+    // so only the accounting changes — epoch losses stay bit-identical to
+    // the fault-free run.
+    const double total_examples =
+        static_cast<double>(train.size()) * epochs;
+    fault::FaultRates rates;
+    rates.sdc_per_day =
+        faults.sdc_per_million_examples * (kSecondsPerDay / 1e6);
+    const fault::FaultPlan plan(rates, seconds(total_examples), faults.seed);
+    const double interval =
+        static_cast<double>(faults.checkpoint_every_examples);
+    for (const fault::FaultEvent& e :
+         plan.events_of(fault::FaultKind::kSilentCorruption)) {
+      const double at = to_seconds(e.time);  // example index
+      const double last_checkpoint =
+          interval > 0.0 ? std::floor(at / interval) * interval : 0.0;
+      ++result.sdc_events;
+      result.redone_examples += at - last_checkpoint;
+    }
+    result.checkpoints =
+        interval > 0.0
+            ? static_cast<long>(std::floor(total_examples / interval))
+            : 0;
+    result.wasted_gflops = result.redone_examples * gflops_per_example;
+    result.checkpoint_gflops = static_cast<double>(result.checkpoints) *
+                               faults.checkpoint_cost_examples *
+                               gflops_per_example;
+    result.total_gflops +=
+        result.wasted_gflops + result.checkpoint_gflops;
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+    metrics.counter("dlrm_sdc_events")
+        .add(static_cast<double>(result.sdc_events));
+    metrics.counter("dlrm_redone_examples").add(result.redone_examples);
+  }
   return result;
 }
 

@@ -78,10 +78,31 @@ class TrainableDlrm {
     const TrainableDlrmConfig& config, int num_samples, std::uint64_t seed,
     bool soft_labels = false);
 
+// Fault injection for a training run (paper Appendix B): silent data
+// corruption is detected mid-run and forces a rollback to the last
+// checkpoint. Replay from a checkpoint is deterministic here — the same
+// weights come out — so the rollback is charged as redone examples and
+// wasted FLOPs without re-executing it: losses are bit-identical to the
+// fault-free run while energy grows.
+struct TrainingFaultConfig {
+  double sdc_per_million_examples = 0.0;
+  long checkpoint_every_examples = 0;  // 0: only the initial state is saved
+  // Overhead of taking one checkpoint, in example-equivalents of work.
+  double checkpoint_cost_examples = 0.0;
+  std::uint64_t seed = 0;
+  [[nodiscard]] bool enabled() const { return sdc_per_million_examples > 0.0; }
+};
+
 struct TrainingRunResult {
   std::vector<double> epoch_losses;  // held-out logloss after each epoch
   double final_loss = 0.0;
   double total_gflops = 0.0;
+  // Fault-injection outcomes; all-zero when faults are disabled.
+  long sdc_events = 0;
+  long checkpoints = 0;
+  double redone_examples = 0.0;
+  double wasted_gflops = 0.0;      // redone work after SDC rollbacks
+  double checkpoint_gflops = 0.0;  // checkpointing overhead
   // Energy on a device achieving `achieved_gflops_per_joule`.
   [[nodiscard]] Energy energy(double achieved_gflops_per_joule) const;
 };
@@ -91,5 +112,14 @@ struct TrainingRunResult {
                                            const std::vector<LabeledSample>& train,
                                            const std::vector<LabeledSample>& holdout,
                                            int epochs, float learning_rate);
+
+// As above, with SDC fault injection. The schedule is drawn via fault::
+// FaultPlan over an example-count timebase, so it is deterministic in
+// `faults.seed` and independent of threading.
+[[nodiscard]] TrainingRunResult train_dlrm(TrainableDlrm& model,
+                                           const std::vector<LabeledSample>& train,
+                                           const std::vector<LabeledSample>& holdout,
+                                           int epochs, float learning_rate,
+                                           const TrainingFaultConfig& faults);
 
 }  // namespace sustainai::recsys

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <utility>
 
+#include "fault/recovery.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -54,8 +55,17 @@ Bundle Runner::run(const Spec& spec, exec::ThreadPool* pool) const {
   }
 
   Bundle bundle;
+  std::string failure_message;
+  fault::Accounting failure_accounting;
   try {
     bundle.result = simulation.run(spec.optional_child("params"), ctx);
+  } catch (const fault::RetriesExhaustedError& e) {
+    // Fault-injection retry budgets are an expected outcome, not a schema
+    // bug: record the failure as an artifact so sibling scenarios in a
+    // batch keep running.
+    bundle.failed = true;
+    failure_message = e.what();
+    failure_accounting = e.accounting();
   } catch (...) {
     if (want_trace) {
       tracer.set_enabled(was_tracing);
@@ -73,6 +83,49 @@ Bundle Runner::run(const Spec& spec, exec::ThreadPool* pool) const {
   if (want_metrics) {
     metrics_text = obs::prometheus_text(obs::diff(
         metrics_before, obs::MetricsRegistry::global().snapshot()));
+  }
+
+  if (bundle.failed) {
+    JsonValue error_json = JsonValue::object();
+    error_json.set("schema",
+                   JsonValue::string("sustainai-scenario-error-v1"));
+    error_json.set("scenario", JsonValue::string(scenario_name));
+    error_json.set("seed",
+                   JsonValue::number(static_cast<double>(ctx.seed)));
+    error_json.set("error", JsonValue::string("retries_exhausted"));
+    error_json.set("message", JsonValue::string(failure_message));
+    JsonValue jf = JsonValue::object();
+    jf.set("faults_injected",
+           JsonValue::number(
+               static_cast<double>(failure_accounting.faults_injected)));
+    jf.set("recoveries",
+           JsonValue::number(
+               static_cast<double>(failure_accounting.recoveries)));
+    jf.set("checkpoints",
+           JsonValue::number(
+               static_cast<double>(failure_accounting.checkpoints)));
+    jf.set("redone_work_hours",
+           JsonValue::number(failure_accounting.redone_work_hours));
+    jf.set("lost_capacity_hours",
+           JsonValue::number(failure_accounting.lost_capacity_hours));
+    jf.set("wasted_energy_j",
+           JsonValue::number(to_joules(failure_accounting.wasted_energy)));
+    jf.set("checkpoint_energy_j",
+           JsonValue::number(
+               to_joules(failure_accounting.checkpoint_energy)));
+    error_json.set("faults", std::move(jf));
+
+    bundle.result.scenario = scenario_name;
+    bundle.files.push_back(
+        {"error.json", report::canonical_json(error_json)});
+    bundle.files.push_back({"spec.json", spec.canonical()});
+    if (want_trace) {
+      bundle.files.push_back({"trace.json", std::move(trace_text)});
+    }
+    if (want_metrics) {
+      bundle.files.push_back({"metrics.prom", std::move(metrics_text)});
+    }
+    return bundle;
   }
 
   // The report tree can be large; move it into the envelope for

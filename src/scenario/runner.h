@@ -40,6 +40,12 @@ struct Bundle {
   RunResult result;
   std::vector<Artifact> files;
 
+  // True when the run exhausted its fault-injection retry budget. The
+  // bundle then carries `error.json` + `spec.json` instead of
+  // `result.json`, so a batch of scenarios degrades gracefully: the failed
+  // run is recorded on disk and sibling scenarios still execute.
+  bool failed = false;
+
   // nullptr when the bundle has no file named `filename`.
   [[nodiscard]] const Artifact* find(const std::string& filename) const;
 };

@@ -22,10 +22,12 @@
 #include "datacenter/fleet_sim.h"
 #include "datacenter/queue_sim.h"
 #include "datacenter/scheduler.h"
+#include "fault/recovery.h"
 #include "fl/round_sim.h"
 #include "hw/server.h"
 #include "hw/spec.h"
 #include "mlcycle/model_zoo.h"
+#include "mlcycle/reliability.h"
 #include "report/csv.h"
 #include "report/table.h"
 #include "scaling/scaling_grid.h"
@@ -136,6 +138,110 @@ std::vector<ParamDoc> job_param_docs() {
   };
 }
 
+// --- Shared fault schema --------------------------------------------------
+
+// The optional `faults` block accepted by every simulation. Absent block =>
+// fault injection disabled and the fault-free code paths run untouched.
+struct ParsedFaults {
+  bool present = false;
+  fault::FaultSpec spec;
+  double sdc_detection_coverage = 0.0;
+};
+
+ParsedFaults parse_faults(const Spec& params, std::uint64_t seed) {
+  ParsedFaults out;
+  if (!params.has("faults")) {
+    return out;
+  }
+  const Spec f = params.child("faults");
+  f.allow_only({"host_crash_per_day", "preemption_per_day", "sdc_per_day",
+                "grid_gap_per_day", "crash_rewarm_min", "gap_duration_min",
+                "max_retries", "backoff_min", "backoff_multiplier",
+                "checkpoint_interval_min", "checkpoint_cost_s",
+                "sdc_detection_coverage", "seed"});
+  fault::FaultRates& r = out.spec.rates;
+  r.host_crash_per_day =
+      f.optional_double_in("host_crash_per_day", 0.0, 0.0, 1e4);
+  r.preemption_per_day =
+      f.optional_double_in("preemption_per_day", 0.0, 0.0, 1e4);
+  r.sdc_per_day = f.optional_double_in("sdc_per_day", 0.0, 0.0, 1e4);
+  r.grid_gap_per_day = f.optional_double_in("grid_gap_per_day", 0.0, 0.0, 1e4);
+  r.crash_rewarm =
+      minutes(f.optional_double_in("crash_rewarm_min", 60.0, 0.0, 1e6));
+  r.gap_duration =
+      minutes(f.optional_double_in("gap_duration_min", 120.0, 0.0, 1e6));
+  out.spec.retry.max_retries =
+      static_cast<int>(f.optional_int_in("max_retries", 3, 0, 1000000));
+  out.spec.retry.base_backoff =
+      minutes(f.optional_double_in("backoff_min", 5.0, 0.0, 1e6));
+  out.spec.retry.backoff_multiplier =
+      f.optional_double_in("backoff_multiplier", 2.0, 1.0, 100.0);
+  out.spec.checkpoint.interval =
+      minutes(f.optional_double_in("checkpoint_interval_min", 60.0, 0.0, 1e9));
+  out.spec.checkpoint.cost =
+      seconds(f.optional_double_in("checkpoint_cost_s", 30.0, 0.0, 1e9));
+  // Forked off the run seed by default so a spec's fault schedule is stable
+  // but never correlated with the simulators' own streams.
+  out.spec.seed = static_cast<std::uint64_t>(f.optional_int_in(
+      "seed", static_cast<long>(seed ^ 0xfa017ULL), 0, 1L << 62));
+  out.sdc_detection_coverage =
+      f.optional_double_in("sdc_detection_coverage", 0.0, 0.0, 0.999);
+  // An all-zero-rate block is schema-checked but otherwise equivalent to no
+  // block at all: the fault-free paths run and the report stays byte-
+  // identical to a spec without `faults`.
+  out.present = out.spec.enabled();
+  return out;
+}
+
+std::vector<ParamDoc> fault_param_docs() {
+  return {
+      {"faults.host_crash_per_day", "number", "0",
+       "mean host-crash events per simulated day"},
+      {"faults.preemption_per_day", "number", "0",
+       "mean job-preemption events per day (queue_schedule)"},
+      {"faults.sdc_per_day", "number", "0",
+       "mean silent-data-corruption events per day"},
+      {"faults.grid_gap_per_day", "number", "0",
+       "mean carbon-intensity feed gaps per day"},
+      {"faults.crash_rewarm_min", "number", "60",
+       "host outage + re-warm length (minutes)"},
+      {"faults.gap_duration_min", "number", "120",
+       "intensity-feed gap length (minutes)"},
+      {"faults.max_retries", "int", "3",
+       "restarts allowed before the run fails with error.json"},
+      {"faults.backoff_min", "number", "5", "base retry backoff (minutes)"},
+      {"faults.backoff_multiplier", "number", "2",
+       "exponential backoff growth per retry"},
+      {"faults.checkpoint_interval_min", "number", "60",
+       "checkpoint cadence (0 = no checkpoints, faults lose all progress)"},
+      {"faults.checkpoint_cost_s", "number", "30",
+       "overhead per checkpoint (seconds of work)"},
+      {"faults.sdc_detection_coverage", "number", "0",
+       "fraction of SDCs caught before they poison a run"},
+      {"faults.seed", "int", "derived from run seed", "fault-schedule seed"},
+  };
+}
+
+// Run-level gate for the closed-form simulations (no internal timeline):
+// host crashes restart the whole estimate from its last checkpoint. Returns
+// the report object; throws fault::RetriesExhaustedError when the crash
+// count exceeds the retry budget.
+fault::RunGateResult gate_run(const ParsedFaults& parsed, Duration horizon) {
+  return fault::evaluate_run_gate(parsed.spec.plan(horizon), horizon,
+                                  parsed.spec.checkpoint, parsed.spec.retry);
+}
+
+JsonValue gate_report(const fault::RunGateResult& gate, double total_energy_j,
+                      const char* energy_key) {
+  JsonValue jf = JsonValue::object();
+  jf.set("host_crashes", num(static_cast<double>(gate.crashes)));
+  jf.set("checkpoints", num(static_cast<double>(gate.checkpoints)));
+  jf.set("redone_fraction", num(gate.lost_fraction));
+  jf.set("checkpoint_overhead_fraction", num(gate.overhead_fraction));
+  jf.set(energy_key, num(gate.lost_fraction * total_energy_j));
+  return jf;
+}
+
 std::unique_ptr<datacenter::SchedulerPolicy> make_policy(
     const Spec& params, const std::string& name) {
   const double probe_min =
@@ -194,6 +300,9 @@ class FleetSimulation final : public Simulation {
     for (ParamDoc& d : grid_param_docs("grid")) {
       docs.push_back(std::move(d));
     }
+    for (ParamDoc& d : fault_param_docs()) {
+      docs.push_back(std::move(d));
+    }
     return docs;
   }
 
@@ -202,7 +311,7 @@ class FleetSimulation final : public Simulation {
                        "web_servers", "train_servers", "train_utilization",
                        "web_load", "autoscaler", "opportunistic",
                        "opportunistic_utilization", "use_intensity_table",
-                       "grid"});
+                       "grid", "faults"});
     using namespace datacenter;
 
     const Spec web_load = params.optional_child("web_load");
@@ -250,6 +359,9 @@ class FleetSimulation final : public Simulation {
         params.optional_bool("use_intensity_table", true);
     config.pool = ctx.pool;
 
+    const ParsedFaults parsed_faults = parse_faults(params, ctx.seed);
+    config.faults = parsed_faults.spec;
+
     const FleetSimulator::Result result = FleetSimulator(config).run();
 
     RunResult out;
@@ -289,6 +401,36 @@ class FleetSimulation final : public Simulation {
     rep.set("opportunistic_energy_j",
             num(to_joules(result.opportunistic_energy)));
     rep.set("groups", std::move(groups));
+
+    if (parsed_faults.present) {
+      const FleetSimulator::FaultStats& fs = result.faults;
+      JsonValue jf = JsonValue::object();
+      jf.set("host_crashes", num(static_cast<double>(fs.host_crashes)));
+      jf.set("sdc_events", num(static_cast<double>(fs.sdc_events)));
+      jf.set("grid_gaps", num(static_cast<double>(fs.grid_gaps)));
+      jf.set("checkpoints", num(static_cast<double>(fs.checkpoints)));
+      jf.set("lost_server_hours", num(fs.lost_server_hours));
+      jf.set("redone_work_hours", num(fs.redone_work_hours));
+      jf.set("wasted_energy_j", num(to_joules(fs.wasted_energy)));
+      jf.set("checkpoint_energy_j", num(to_joules(fs.checkpoint_energy)));
+      jf.set("measured_sdc_per_server_year",
+             num(fs.measured_sdc_per_server_year));
+      // Replacement-age policy re-derived from the SDC rate the fleet
+      // actually experienced, instead of the closed-form model input.
+      mlcycle::MeasuredSdcRate measured;
+      measured.events = fs.sdc_events;
+      measured.observed = config.horizon * static_cast<double>(train.count);
+      jf.set("optimal_replacement_age_years",
+             num(to_years(mlcycle::optimal_age_with_detection(
+                 mlcycle::ReplacementPolicyConfig{},
+                 parsed_faults.sdc_detection_coverage, measured))));
+      rep.set("faults", std::move(jf));
+      out.notes.push_back(
+          "faults:           " + std::to_string(fs.host_crashes) +
+          " crashes, " + std::to_string(fs.sdc_events) + " SDCs, " +
+          std::to_string(fs.grid_gaps) + " grid gaps; wasted " +
+          to_string(fs.wasted_energy));
+    }
     return out;
   }
 };
@@ -319,6 +461,9 @@ class QueueScheduleSimulation final : public Simulation {
     for (ParamDoc& d : grid_param_docs("grid")) {
       docs.push_back(std::move(d));
     }
+    for (ParamDoc& d : fault_param_docs()) {
+      docs.push_back(std::move(d));
+    }
     return docs;
   }
 
@@ -326,7 +471,7 @@ class QueueScheduleSimulation final : public Simulation {
     params.allow_only({"jobs", "power_kw", "duration_h", "slack_h",
                        "arrival_spread_h", "machines", "step_min", "pue",
                        "green_threshold_g_per_kwh", "max_horizon_days",
-                       "policies", "grid"});
+                       "policies", "grid", "faults"});
     using namespace datacenter;
 
     QueueSimConfig config;
@@ -340,6 +485,9 @@ class QueueScheduleSimulation final : public Simulation {
         "green_threshold_g_per_kwh", 250.0, 0.0, 5000.0));
     config.max_horizon = days(
         params.optional_double_in("max_horizon_days", 60.0, 0.1, 36500.0));
+
+    const ParsedFaults parsed_faults = parse_faults(params, ctx.seed);
+    config.faults = parsed_faults.spec;
 
     const std::vector<datacenter::BatchJob> jobs = make_jobs(params, "job-");
     const std::vector<std::string> policy_names = params.optional_string_list(
@@ -377,6 +525,19 @@ class QueueScheduleSimulation final : public Simulation {
       jp.set("utilization", num(r.utilization));
       jp.set("peak_running", num(static_cast<double>(r.peak_running)));
       jp.set("jobs", num(static_cast<double>(r.jobs.size())));
+      if (parsed_faults.present) {
+        JsonValue jf = JsonValue::object();
+        jf.set("preemptions", num(static_cast<double>(r.preemptions)));
+        jf.set("recoveries",
+               num(static_cast<double>(r.faults.recoveries)));
+        jf.set("checkpoints",
+               num(static_cast<double>(r.faults.checkpoints)));
+        jf.set("redone_work_hours", num(r.faults.redone_work_hours));
+        jf.set("wasted_energy_j", num(to_joules(r.faults.wasted_energy)));
+        jf.set("checkpoint_energy_j",
+               num(to_joules(r.faults.checkpoint_energy)));
+        jp.set("faults", std::move(jf));
+      }
       policies.append(std::move(jp));
 
       report::CsvWriter csv({"id", "arrival_s", "start_s", "finish_s",
@@ -422,13 +583,16 @@ class CrossRegionScheduleSimulation final : public Simulation {
     for (ParamDoc& d : grid_param_docs("regions[i]")) {
       docs.push_back(std::move(d));
     }
+    for (ParamDoc& d : fault_param_docs()) {
+      docs.push_back(std::move(d));
+    }
     return docs;
   }
 
   RunResult run(const Spec& params, const RunContext& ctx) const override {
     params.allow_only({"jobs", "power_kw", "duration_h", "slack_h",
                        "arrival_spread_h", "policy", "threshold_g_per_kwh",
-                       "probe_step_min", "pue", "regions"});
+                       "probe_step_min", "pue", "regions", "faults"});
     using namespace datacenter;
 
     const std::vector<Spec> region_specs = params.object_list("regions");
@@ -452,6 +616,21 @@ class CrossRegionScheduleSimulation final : public Simulation {
     const double pue =
         params.optional_double_in("pue", kHyperscalePue, 1.0, 3.0);
     const std::vector<BatchJob> jobs = make_jobs(params, "job-");
+
+    // Run-level fault gate: crashes restart the whole schedule; the gate
+    // throws RetriesExhaustedError before the expensive simulation runs.
+    const ParsedFaults parsed_faults = parse_faults(params, ctx.seed);
+    fault::RunGateResult gate;
+    if (parsed_faults.present) {
+      Duration horizon;
+      for (const BatchJob& j : jobs) {
+        const Duration end = j.arrival + j.slack + j.duration;
+        if (to_seconds(end) > to_seconds(horizon)) {
+          horizon = end;
+        }
+      }
+      gate = gate_run(parsed_faults, horizon);
+    }
 
     const ScheduleResult result =
         run_cross_region_schedule(jobs, grids_list, *policy, pue);
@@ -510,6 +689,11 @@ class CrossRegionScheduleSimulation final : public Simulation {
     rep.set("mean_delay_s", num(to_seconds(result.mean_delay)));
     rep.set("peak_power_w", num(to_watts(result.peak_concurrent_power)));
     rep.set("regions", std::move(regions));
+    if (parsed_faults.present) {
+      // Redone schedule slices re-emit carbon in proportion to lost time.
+      rep.set("faults", gate_report(gate, to_grams_co2e(result.total_carbon),
+                                    "wasted_carbon_g"));
+    }
     return out;
   }
 };
@@ -527,7 +711,7 @@ class FlRoundsSimulation final : public Simulation {
   }
 
   std::vector<ParamDoc> params() const override {
-    return {
+    std::vector<ParamDoc> docs = {
         {"name", "string", "fl-app", "application label"},
         {"clients_per_round", "int", "100", "participants sampled per round"},
         {"rounds_per_day", "number", "24", "round cadence"},
@@ -554,13 +738,17 @@ class FlRoundsSimulation final : public Simulation {
          "per-round client dropout probability"},
         {"population.seed", "int", "17", "population seed (module default)"},
     };
+    for (ParamDoc& d : fault_param_docs()) {
+      docs.push_back(std::move(d));
+    }
+    return docs;
   }
 
-  RunResult run(const Spec& params, const RunContext& /*ctx*/) const override {
+  RunResult run(const Spec& params, const RunContext& ctx) const override {
     params.allow_only({"name", "clients_per_round", "rounds_per_day", "days",
                        "model_mb", "compute_min", "seed", "grid",
                        "device_power_w", "router_power_w", "include_baselines",
-                       "population"});
+                       "population", "faults"});
     using namespace fl;
 
     FlApplicationConfig app;
@@ -604,6 +792,14 @@ class FlRoundsSimulation final : public Simulation {
     assumptions.router_power =
         watts(params.optional_double_in("router_power_w", 7.5, 0.0, 1000.0));
 
+    // Run-level fault gate over the campaign window (server-side crashes
+    // force round re-runs from the last aggregation checkpoint).
+    const ParsedFaults parsed_faults = parse_faults(params, ctx.seed);
+    fault::RunGateResult gate;
+    if (parsed_faults.present) {
+      gate = gate_run(parsed_faults, app.campaign);
+    }
+
     const RoundSimulator sim(app, population);
     const std::vector<ClientLogEntry> log = sim.run();
     const FlFootprint fp = estimate_footprint(app.name, log, assumptions);
@@ -629,6 +825,13 @@ class FlRoundsSimulation final : public Simulation {
     rep.set("communication_share", num(fp.communication_share()));
     rep.set("wasted_fraction", num(fp.wasted_fraction));
     rep.set("carbon_g", num(to_grams_co2e(fp.carbon)));
+    if (parsed_faults.present) {
+      rep.set("faults",
+              gate_report(gate,
+                          to_joules(fp.compute_energy) +
+                              to_joules(fp.communication_energy),
+                          "wasted_energy_j"));
+    }
 
     if (params.optional_bool("include_baselines", true)) {
       JsonValue baselines = JsonValue::array();
@@ -660,7 +863,7 @@ class LifecycleEstimateSimulation final : public Simulation {
   }
 
   std::vector<ParamDoc> params() const override {
-    return {
+    std::vector<ParamDoc> docs = {
         {"model", "string", "LM",
          "production-model name, or \"custom\" with a custom block"},
         {"device", "string", "v100",
@@ -681,13 +884,20 @@ class LifecycleEstimateSimulation final : public Simulation {
          "online-training GPU-days"},
         {"custom.inference_gpu_days", "number", "0", "inference GPU-days"},
     };
+    for (ParamDoc& d : fault_param_docs()) {
+      docs.push_back(std::move(d));
+    }
+    return docs;
   }
 
-  RunResult run(const Spec& params, const RunContext& /*ctx*/) const override {
+  RunResult run(const Spec& params, const RunContext& ctx) const override {
     params.allow_only({"model", "device", "grid", "pue", "cfe", "utilization",
-                       "fleet_utilization", "window_days", "custom"});
+                       "fleet_utilization", "window_days", "custom",
+                       "faults"});
     using namespace mlcycle;
 
+    const Duration window =
+        days(params.optional_double_in("window_days", 90.0, 1.0, 36500.0));
     AccountingContext ctx_acct{
         OperationalCarbonModel(
             params.optional_double_in("pue", kHyperscalePue, 1.0, 3.0),
@@ -696,7 +906,13 @@ class LifecycleEstimateSimulation final : public Simulation {
         device_by_name(params, "device", "v100"),
         params.optional_double_in("utilization", 0.5, 0.0, 1.0),
         params.optional_double_in("fleet_utilization", 0.45, 0.01, 1.0),
-        days(params.optional_double_in("window_days", 90.0, 1.0, 36500.0))};
+        window};
+
+    const ParsedFaults parsed_faults = parse_faults(params, ctx.seed);
+    fault::RunGateResult gate;
+    if (parsed_faults.present) {
+      gate = gate_run(parsed_faults, window);
+    }
 
     const std::string model_name = params.optional_string("model", "LM");
     ProductionModel model;
@@ -773,6 +989,10 @@ class LifecycleEstimateSimulation final : public Simulation {
     rep.set("total_embodied_g", num(to_grams_co2e(total.embodied)));
     rep.set("embodied_fraction", num(footprint.embodied_fraction()));
     rep.set("phases", std::move(phases));
+    if (parsed_faults.present) {
+      rep.set("faults",
+              gate_report(gate, to_joules(total.energy), "wasted_energy_j"));
+    }
     return out;
   }
 };
@@ -790,7 +1010,7 @@ class ScalingSweepSimulation final : public Simulation {
   }
 
   std::vector<ParamDoc> params() const override {
-    return {
+    std::vector<ParamDoc> docs = {
         {"data_factors", "number list", "[1, 2, 4, 8, 16]",
          "data scale multipliers"},
         {"model_factors", "number list", "[1, 2, 4, 8, 16]",
@@ -803,10 +1023,14 @@ class ScalingSweepSimulation final : public Simulation {
         {"law.model_energy_exponent", "number", "0.6667",
          "per-step energy ~ model^e"},
     };
+    for (ParamDoc& d : fault_param_docs()) {
+      docs.push_back(std::move(d));
+    }
+    return docs;
   }
 
-  RunResult run(const Spec& params, const RunContext& /*ctx*/) const override {
-    params.allow_only({"data_factors", "model_factors", "law"});
+  RunResult run(const Spec& params, const RunContext& ctx) const override {
+    params.allow_only({"data_factors", "model_factors", "law", "faults"});
     using namespace scaling;
 
     const Spec law_spec = params.optional_child("law");
@@ -843,6 +1067,15 @@ class ScalingSweepSimulation final : public Simulation {
     }
 
     const ScalingGrid grid(law, data_factors, model_factors);
+
+    // Run-level fault gate: one training-day per grid point.
+    const ParsedFaults parsed_faults = parse_faults(params, ctx.seed);
+    fault::RunGateResult gate;
+    if (parsed_faults.present) {
+      gate = gate_run(parsed_faults,
+                      days(static_cast<double>(grid.points().size())));
+    }
+
     const std::vector<GridPoint> frontier = grid.pareto_frontier();
     const double exponent = grid.frontier_power_exponent();
 
@@ -886,6 +1119,14 @@ class ScalingSweepSimulation final : public Simulation {
 
     JsonValue& rep = out.report;
     rep.set("frontier_power_exponent", num(exponent));
+    if (parsed_faults.present) {
+      double total_energy_rel = 0.0;
+      for (const GridPoint& p : grid.points()) {
+        total_energy_rel += p.total_energy;
+      }
+      rep.set("faults",
+              gate_report(gate, total_energy_rel, "wasted_energy_rel"));
+    }
     rep.set("points", std::move(points));
     rep.set("frontier", std::move(frontier_json));
     return out;

@@ -1,0 +1,455 @@
+// Fault injection & recovery: deterministic schedules, recovery policies,
+// simulator integration, and the Runner's graceful error.json degradation.
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "datacenter/fleet_sim.h"
+#include "datacenter/queue_sim.h"
+#include "exec/thread_pool.h"
+#include "fault/recovery.h"
+#include "mlcycle/reliability.h"
+#include "recsys/trainer.h"
+#include "scenario/runner.h"
+
+namespace sustainai {
+namespace {
+
+// --- FaultPlan ------------------------------------------------------------
+
+fault::FaultRates busy_rates() {
+  fault::FaultRates r;
+  r.host_crash_per_day = 2.0;
+  r.preemption_per_day = 3.0;
+  r.sdc_per_day = 1.0;
+  r.grid_gap_per_day = 0.5;
+  return r;
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  const fault::FaultPlan a(busy_rates(), days(30.0), 99);
+  const fault::FaultPlan b(busy_rates(), days(30.0), 99);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_TRUE(a.events()[i] == b.events()[i]) << i;
+  }
+}
+
+TEST(FaultPlan, DifferentSeedDifferentSchedule) {
+  const fault::FaultPlan a(busy_rates(), days(30.0), 1);
+  const fault::FaultPlan b(busy_rates(), days(30.0), 2);
+  bool differs = a.events().size() != b.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = !(a.events()[i] == b.events()[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, EventsSortedAndInsideHorizon) {
+  const fault::FaultPlan plan(busy_rates(), days(14.0), 5);
+  for (std::size_t i = 0; i < plan.events().size(); ++i) {
+    const fault::FaultEvent& e = plan.events()[i];
+    EXPECT_GE(to_seconds(e.time), 0.0);
+    EXPECT_LT(to_seconds(e.time), to_seconds(days(14.0)));
+    if (i > 0) {
+      EXPECT_LE(to_seconds(plan.events()[i - 1].time), to_seconds(e.time));
+    }
+  }
+}
+
+TEST(FaultPlan, ZeroRatesYieldEmptyPlan) {
+  const fault::FaultPlan plan(fault::FaultRates{}, days(365.0), 7);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(fault::FaultRates{}.any());
+}
+
+TEST(FaultPlan, MeasuredRateApproachesConfiguredRate) {
+  // Poisson law of large numbers over a decade of sim time.
+  const fault::FaultPlan plan(busy_rates(), days(3650.0), 11);
+  EXPECT_NEAR(plan.measured_rate_per_day(fault::FaultKind::kHostCrash), 2.0,
+              0.2);
+  EXPECT_NEAR(plan.measured_rate_per_day(fault::FaultKind::kSilentCorruption),
+              1.0, 0.15);
+}
+
+// --- Recovery policies ----------------------------------------------------
+
+TEST(RecoveryPolicy, BackoffGrowsExponentially) {
+  fault::RetryPolicy retry;
+  retry.base_backoff = minutes(5.0);
+  retry.backoff_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(to_seconds(retry.backoff_after(0)), 300.0);
+  EXPECT_DOUBLE_EQ(to_seconds(retry.backoff_after(1)), 600.0);
+  EXPECT_DOUBLE_EQ(to_seconds(retry.backoff_after(3)), 2400.0);
+}
+
+TEST(RecoveryPolicy, CheckpointBoundsLostWork) {
+  fault::CheckpointPolicy cp;
+  cp.interval = hours(1.0);
+  // 90 minutes in: the 60-minute checkpoint holds, 30 minutes are lost.
+  EXPECT_DOUBLE_EQ(to_seconds(cp.lost_work(minutes(90.0))), 1800.0);
+  EXPECT_EQ(cp.checkpoints_over(hours(5.5)), 5);
+  // No checkpointing: the whole attempt is lost.
+  cp.interval = seconds(0.0);
+  EXPECT_DOUBLE_EQ(to_seconds(cp.lost_work(minutes(90.0))), 5400.0);
+  EXPECT_EQ(cp.checkpoints_over(hours(5.5)), 0);
+}
+
+TEST(RecoveryPolicy, RunGateChargesLostFractionAndThrowsOnExhaustion) {
+  fault::FaultRates rates;
+  rates.host_crash_per_day = 1.0;
+  fault::FaultSpec spec;
+  spec.rates = rates;
+  spec.seed = 13;
+  spec.retry.max_retries = 1000;  // plenty
+  const Duration horizon = days(30.0);
+  const fault::RunGateResult gate = fault::evaluate_run_gate(
+      spec.plan(horizon), horizon, spec.checkpoint, spec.retry);
+  EXPECT_GT(gate.crashes, 0);
+  EXPECT_GT(gate.lost_fraction, 0.0);
+  EXPECT_LE(gate.lost_fraction, 1.0);
+  EXPECT_GT(gate.checkpoints, 0);
+
+  fault::RetryPolicy strict;
+  strict.max_retries = 0;
+  EXPECT_THROW((void)fault::evaluate_run_gate(spec.plan(horizon), horizon,
+                                              spec.checkpoint, strict),
+               fault::RetriesExhaustedError);
+}
+
+// --- Fleet simulator ------------------------------------------------------
+
+datacenter::Cluster fault_cluster() {
+  datacenter::Cluster cluster;
+  datacenter::ServerGroup web;
+  web.name = "web";
+  web.sku = hw::skus::web_tier();
+  web.count = 80;
+  web.tier = datacenter::Tier::kWeb;
+  web.load = datacenter::DiurnalProfile{0.3, 0.9, 20.0};
+  web.autoscalable = true;
+  cluster.add_group(web);
+
+  datacenter::ServerGroup train;
+  train.name = "train";
+  train.sku = hw::skus::gpu_training_8x();
+  train.count = 6;
+  train.tier = datacenter::Tier::kAiTraining;
+  train.load = datacenter::flat_profile(0.5);
+  cluster.add_group(train);
+  return cluster;
+}
+
+datacenter::FleetSimulator::Config faulty_fleet_config() {
+  datacenter::FleetSimulator::Config c;
+  c.cluster = fault_cluster();
+  c.pue = 1.1;
+  c.grid.profile = grids::us_west_solar();
+  c.grid.solar_share = 0.4;
+  c.grid.firm_share = 0.2;
+  c.horizon = days(5.0);
+  c.step = minutes(15.0);
+  c.steps_per_chunk = 32;
+  c.faults.rates = busy_rates();
+  c.faults.seed = 21;
+  return c;
+}
+
+void expect_fleet_results_identical(
+    const datacenter::FleetSimulator::Result& a,
+    const datacenter::FleetSimulator::Result& b) {
+  EXPECT_EQ(to_joules(a.it_energy), to_joules(b.it_energy));
+  EXPECT_EQ(to_joules(a.facility_energy), to_joules(b.facility_energy));
+  EXPECT_EQ(to_grams_co2e(a.location_carbon), to_grams_co2e(b.location_carbon));
+  EXPECT_EQ(to_grams_co2e(a.market_carbon), to_grams_co2e(b.market_carbon));
+  EXPECT_EQ(a.opportunistic_server_hours, b.opportunistic_server_hours);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(to_joules(a.groups[i].it_energy), to_joules(b.groups[i].it_energy));
+    EXPECT_EQ(a.groups[i].mean_utilization, b.groups[i].mean_utilization);
+  }
+  EXPECT_EQ(a.faults.host_crashes, b.faults.host_crashes);
+  EXPECT_EQ(a.faults.sdc_events, b.faults.sdc_events);
+  EXPECT_EQ(a.faults.grid_gaps, b.faults.grid_gaps);
+  EXPECT_EQ(a.faults.lost_server_hours, b.faults.lost_server_hours);
+  EXPECT_EQ(a.faults.redone_work_hours, b.faults.redone_work_hours);
+  EXPECT_EQ(to_joules(a.faults.wasted_energy), to_joules(b.faults.wasted_energy));
+  EXPECT_EQ(to_joules(a.faults.checkpoint_energy),
+            to_joules(b.faults.checkpoint_energy));
+}
+
+TEST(FleetFaults, InjectionProducesNonzeroAccounting) {
+  const auto result =
+      datacenter::FleetSimulator(faulty_fleet_config()).run();
+  EXPECT_GT(result.faults.host_crashes, 0);
+  EXPECT_GT(result.faults.sdc_events, 0);
+  EXPECT_GT(result.faults.lost_server_hours, 0.0);
+  EXPECT_GT(result.faults.redone_work_hours, 0.0);
+  EXPECT_GT(to_joules(result.faults.wasted_energy), 0.0);
+  EXPECT_GT(result.faults.measured_sdc_per_server_year, 0.0);
+  EXPECT_GT(result.faults.checkpoints, 0);
+}
+
+TEST(FleetFaults, ResultBitwiseIdenticalAcrossThreadCounts) {
+  datacenter::FleetSimulator::Config config = faulty_fleet_config();
+  exec::ThreadPool one(1);
+  config.pool = &one;
+  const auto base = datacenter::FleetSimulator(config).run();
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    exec::ThreadPool pool(threads);
+    config.pool = &pool;
+    const auto other = datacenter::FleetSimulator(config).run();
+    expect_fleet_results_identical(base, other);
+  }
+}
+
+TEST(FleetFaults, ZeroRatePlanMatchesDisabledBitwise) {
+  datacenter::FleetSimulator::Config disabled = faulty_fleet_config();
+  disabled.faults = fault::FaultSpec{};
+  datacenter::FleetSimulator::Config zeroed = faulty_fleet_config();
+  zeroed.faults.rates = fault::FaultRates{};  // keep policies, zero the rates
+  const auto a = datacenter::FleetSimulator(disabled).run();
+  const auto b = datacenter::FleetSimulator(zeroed).run();
+  expect_fleet_results_identical(a, b);
+  EXPECT_EQ(b.faults.host_crashes, 0);
+  EXPECT_EQ(to_joules(b.faults.wasted_energy), 0.0);
+}
+
+// --- Queue simulator ------------------------------------------------------
+
+datacenter::QueueSimConfig faulty_queue_config() {
+  datacenter::QueueSimConfig cfg;
+  cfg.machines = 3;
+  cfg.grid.profile = grids::us_west_solar();
+  cfg.grid.solar_share = 0.6;
+  cfg.grid.firm_share = 0.1;
+  cfg.grid.seed = 7;
+  cfg.green_threshold = grams_per_kwh(250.0);
+  cfg.faults.rates.preemption_per_day = 12.0;
+  cfg.faults.seed = 9;
+  cfg.faults.retry.max_retries = 50;
+  cfg.faults.retry.base_backoff = minutes(5.0);
+  return cfg;
+}
+
+std::vector<datacenter::BatchJob> queue_jobs(int n) {
+  std::vector<datacenter::BatchJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    datacenter::BatchJob j;
+    j.id = "j" + std::to_string(i);
+    j.power = kilowatts(3.0);
+    j.duration = hours(2.0);
+    j.arrival = hours(1.0 + (i % 8) * 0.5);
+    j.slack = hours(18.0);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+TEST(QueueFaults, PreemptedJobsRequeueAndComplete) {
+  const auto result = datacenter::run_queue_sim(
+      queue_jobs(10), faulty_queue_config(), datacenter::QueuePolicy::kFifo);
+  EXPECT_EQ(result.jobs.size(), 10u);
+  EXPECT_GT(result.preemptions, 0);
+  EXPECT_EQ(result.faults.faults_injected, result.preemptions);
+  EXPECT_EQ(result.faults.recoveries, result.preemptions);
+  EXPECT_GT(result.faults.redone_work_hours, 0.0);
+  EXPECT_GT(to_joules(result.faults.wasted_energy), 0.0);
+  // A preempted job finishes no earlier than its fault-free run length.
+  for (const datacenter::CompletedJob& j : result.jobs) {
+    EXPECT_GE(to_seconds(j.finish - j.start),
+              to_seconds(j.job.duration) - 1e-6);
+  }
+}
+
+TEST(QueueFaults, PreemptionCostsCarbonVersusFaultFree) {
+  datacenter::QueueSimConfig clean = faulty_queue_config();
+  clean.faults = fault::FaultSpec{};
+  const auto faulty = datacenter::run_queue_sim(
+      queue_jobs(10), faulty_queue_config(), datacenter::QueuePolicy::kFifo);
+  const auto fault_free = datacenter::run_queue_sim(
+      queue_jobs(10), clean, datacenter::QueuePolicy::kFifo);
+  // Redone work plus checkpoint overhead can only add carbon.
+  EXPECT_GT(to_grams_co2e(faulty.total_carbon),
+            to_grams_co2e(fault_free.total_carbon));
+  EXPECT_EQ(fault_free.preemptions, 0);
+}
+
+TEST(QueueFaults, RetryExhaustionThrowsWithAccounting) {
+  datacenter::QueueSimConfig cfg = faulty_queue_config();
+  cfg.faults.rates.preemption_per_day = 100.0;
+  cfg.faults.retry.max_retries = 0;
+  try {
+    (void)datacenter::run_queue_sim(queue_jobs(6), cfg,
+                                    datacenter::QueuePolicy::kFifo);
+    FAIL() << "expected RetriesExhaustedError";
+  } catch (const fault::RetriesExhaustedError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_retries"), std::string::npos);
+    EXPECT_GT(e.accounting().faults_injected, 0);
+  }
+}
+
+// --- Trainer SDC rollback -------------------------------------------------
+
+TEST(TrainerFaults, SdcRollbackChargesEnergyNotAccuracy) {
+  recsys::TrainableDlrmConfig cfg;
+  cfg.dense_features = 6;
+  cfg.table_rows = {200, 100};
+  cfg.embedding_dim = 8;
+  cfg.bottom_hidden = 12;
+  cfg.top_hidden = 12;
+  cfg.seed = 31;
+  const auto all = recsys::synthesize_ctr_dataset(cfg, 1200, 17);
+  const std::vector<recsys::LabeledSample> train(all.begin(),
+                                                 all.begin() + 1000);
+  const std::vector<recsys::LabeledSample> holdout(all.begin() + 1000,
+                                                   all.end());
+
+  recsys::TrainableDlrm clean_model(cfg);
+  const auto clean =
+      recsys::train_dlrm(clean_model, train, holdout, 2, 0.05f);
+
+  recsys::TrainingFaultConfig faults;
+  faults.sdc_per_million_examples = 2000.0;
+  faults.checkpoint_every_examples = 200;
+  faults.checkpoint_cost_examples = 5.0;
+  faults.seed = 3;
+  recsys::TrainableDlrm faulty_model(cfg);
+  const auto faulty =
+      recsys::train_dlrm(faulty_model, train, holdout, 2, 0.05f, faults);
+
+  // Deterministic replay: learning dynamics are bit-identical...
+  ASSERT_EQ(clean.epoch_losses.size(), faulty.epoch_losses.size());
+  for (std::size_t i = 0; i < clean.epoch_losses.size(); ++i) {
+    EXPECT_EQ(clean.epoch_losses[i], faulty.epoch_losses[i]) << i;
+  }
+  EXPECT_EQ(clean.final_loss, faulty.final_loss);
+  // ...but the faulty run burned extra work.
+  EXPECT_GT(faulty.sdc_events, 0);
+  EXPECT_GT(faulty.redone_examples, 0.0);
+  EXPECT_GT(faulty.wasted_gflops, 0.0);
+  EXPECT_GT(faulty.checkpoint_gflops, 0.0);
+  EXPECT_GT(faulty.total_gflops, clean.total_gflops);
+  EXPECT_GT(to_joules(faulty.energy(10.0)), to_joules(clean.energy(10.0)));
+}
+
+// --- Measured SDC rate -> replacement age ---------------------------------
+
+TEST(MeasuredSdc, HigherMeasuredRateShortensReplacementAge) {
+  const mlcycle::ReplacementPolicyConfig config;
+  mlcycle::MeasuredSdcRate quiet;
+  quiet.events = 1;
+  quiet.observed = years(100.0);
+  mlcycle::MeasuredSdcRate noisy;
+  noisy.events = 500;
+  noisy.observed = years(100.0);
+  EXPECT_NEAR(noisy.per_server_year(), 5.0, 1e-12);
+  const Duration long_life =
+      mlcycle::optimal_age_with_detection(config, 0.0, quiet);
+  const Duration short_life =
+      mlcycle::optimal_age_with_detection(config, 0.0, noisy);
+  EXPECT_LE(to_years(short_life), to_years(long_life));
+  // Detection coverage lets the same hardware live at least as long.
+  const Duration with_detection =
+      mlcycle::optimal_age_with_detection(config, 0.9, noisy);
+  EXPECT_GE(to_years(with_detection), to_years(short_life));
+}
+
+// --- Scenario layer -------------------------------------------------------
+
+TEST(ScenarioFaults, FaultyFleetBundleByteIdenticalAcrossThreadCounts) {
+  const char* spec_text = R"({
+    "scenario": "fleet",
+    "seed": 42,
+    "params": {
+      "days": 3,
+      "chunk_steps": 16,
+      "faults": {"host_crash_per_day": 2, "sdc_per_day": 1,
+                 "grid_gap_per_day": 0.5, "seed": 7}
+    },
+    "artifacts": {"trace": true, "metrics": true}
+  })";
+  const scenario::Runner runner;
+  exec::ThreadPool one(1);
+  const scenario::Bundle base = runner.run_text(spec_text, &one);
+  EXPECT_FALSE(base.failed);
+  ASSERT_NE(base.find("result.json"), nullptr);
+  EXPECT_NE(base.find("result.json")->content.find("\"faults\""),
+            std::string::npos);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    exec::ThreadPool pool(threads);
+    const scenario::Bundle other = runner.run_text(spec_text, &pool);
+    ASSERT_EQ(other.files.size(), base.files.size());
+    for (std::size_t i = 0; i < base.files.size(); ++i) {
+      EXPECT_EQ(other.files[i].filename, base.files[i].filename);
+      EXPECT_EQ(other.files[i].content, base.files[i].content)
+          << base.files[i].filename;
+    }
+  }
+}
+
+TEST(ScenarioFaults, ZeroRateBlockReproducesBaselineBytes) {
+  const scenario::Runner runner;
+  const scenario::Bundle baseline = runner.run_text(R"({
+    "scenario": "fleet", "seed": 42, "params": {"days": 2}
+  })");
+  const scenario::Bundle zeroed = runner.run_text(R"({
+    "scenario": "fleet", "seed": 42,
+    "params": {"days": 2, "faults": {"host_crash_per_day": 0}}
+  })");
+  const scenario::Artifact* a = baseline.find("result.json");
+  const scenario::Artifact* b = zeroed.find("result.json");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->content, b->content);
+}
+
+TEST(ScenarioFaults, RetryExhaustionYieldsErrorBundleNotAbort) {
+  const scenario::Runner runner;
+  const scenario::Bundle failed = runner.run_text(R"({
+    "scenario": "queue_schedule", "seed": 42,
+    "params": {
+      "jobs": 6, "machines": 2,
+      "faults": {"preemption_per_day": 48, "max_retries": 1, "seed": 3}
+    }
+  })");
+  EXPECT_TRUE(failed.failed);
+  EXPECT_EQ(failed.find("result.json"), nullptr);
+  const scenario::Artifact* err = failed.find("error.json");
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->content.find("retries_exhausted"), std::string::npos);
+  EXPECT_NE(err->content.find("wasted_energy_j"), std::string::npos);
+  ASSERT_NE(failed.find("spec.json"), nullptr);
+
+  // A sibling scenario still runs cleanly afterwards: the failure is
+  // contained in its own bundle.
+  const scenario::Bundle sibling = runner.run_text(R"({
+    "scenario": "fleet", "seed": 42, "params": {"days": 1}
+  })");
+  EXPECT_FALSE(sibling.failed);
+  EXPECT_NE(sibling.find("result.json"), nullptr);
+}
+
+TEST(ScenarioFaults, RunGateSimulationsReportFaultBlock) {
+  const scenario::Runner runner;
+  const scenario::Bundle lifecycle = runner.run_text(R"({
+    "scenario": "lifecycle_estimate", "seed": 42,
+    "params": {"faults": {"host_crash_per_day": 1, "max_retries": 1000,
+                          "seed": 5}}
+  })");
+  EXPECT_FALSE(lifecycle.failed);
+  const scenario::Artifact* result = lifecycle.find("result.json");
+  ASSERT_NE(result, nullptr);
+  EXPECT_NE(result->content.find("\"faults\""), std::string::npos);
+  EXPECT_NE(result->content.find("redone_fraction"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sustainai

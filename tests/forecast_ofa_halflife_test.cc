@@ -71,6 +71,63 @@ TEST(PersistenceForecast, PolicyRanksBetweenFifoAndPerfect) {
   EXPECT_GT(captured, 0.6);
 }
 
+TEST(PersistenceForecast, MapeMatchesIndexedReferenceOverLongHorizon) {
+  // Regression: the probe loop used `s += step`, whose accumulated FP error
+  // over multi-month horizons can add or drop a probe at the boundary. The
+  // fix steps by `step * i`; this reference loop computes the same thing
+  // independently and must agree to the last bit.
+  const auto grid = solar_grid();
+  const datacenter::PersistenceForecaster forecaster(grid);
+  const Duration start = days(1.0);
+  const double step_s = to_seconds(minutes(30.0));
+  const double horizon_s = to_seconds(days(90.0));
+  double sum = 0.0;
+  long count = 0;
+  for (long i = 0;; ++i) {
+    const double s = step_s * static_cast<double>(i);
+    if (s >= horizon_s) {
+      break;
+    }
+    const Duration t = start + seconds(s);
+    const double actual = grid.intensity_at(t).base();
+    if (actual <= 0.0) {
+      continue;
+    }
+    sum += std::fabs(forecaster.predict(t).base() - actual) / actual;
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_EQ(forecaster.mape(start, days(90.0), minutes(30.0)),
+            sum / static_cast<double>(count));
+}
+
+TEST(PersistenceForecast, ChooseStartProbesExactStepMultiples) {
+  // Deterministic solar-only grid (no wind noise): intensity falls all
+  // morning, so the best start is the *last* probe in the slack window.
+  IntermittentGrid::Config c;
+  c.profile = grids::us_west_solar();
+  c.solar_share = 0.6;
+  c.wind_share = 0.0;
+  c.firm_share = 0.2;
+  c.seed = 7;
+  const IntermittentGrid grid(c);
+
+  datacenter::BatchJob j;
+  j.id = "pin";
+  j.power = kilowatts(5.0);
+  j.duration = minutes(10.0);
+  // Lagged prediction time (arrival - 1 day) sits on the morning solar ramp.
+  j.arrival = days(1.0) + hours(8.0);
+  j.slack = seconds(100.0);
+
+  const datacenter::PersistenceForecastPolicy policy(seconds(0.1));
+  const Duration best = policy.choose_start(j, grid);
+  // 0.1 * 1000 is exactly 100.0 in binary64, so the final probe lands
+  // exactly on the slack bound. The old `off += probe` accumulation drifted
+  // to 99.99999999999859 here — off the probe grid.
+  EXPECT_EQ(to_seconds(best - j.arrival), 100.0);
+}
+
 TEST(HalfLifeFit, RecoversExactDecay) {
   scaling::DataHalfLife truth;
   truth.half_life = years(7.0);

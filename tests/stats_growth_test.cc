@@ -121,6 +121,19 @@ TEST(Histogram, MassBetweenSumsCoveredBins) {
   EXPECT_NEAR(h.mass_between(0.3, 0.5), 0.8, 1e-12);
 }
 
+TEST(Histogram, MassBetweenToleratesLowEdgeRoundOff) {
+  // Regression: 0.6 / 3 rounds to 0.19999999999999998, so bin 1's lower
+  // edge lies one ULP *below* the query bound 0.2. The old asymmetric
+  // tolerance (epsilon on the upper bound only) silently dropped that bin.
+  Histogram h(0.0, 0.6, 3);
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.5);
+  ASSERT_LT(h.bin_lo(1), 0.2);  // the round-off this test pins
+  EXPECT_NEAR(h.mass_between(0.2, 0.6), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.mass_between(0.0, 0.6), 1.0, 1e-12);
+}
+
 TEST(Histogram, BinEdgesAndLabels) {
   Histogram h(0.0, 100.0, 4);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 25.0);

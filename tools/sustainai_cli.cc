@@ -329,9 +329,19 @@ int cmd_run(int argc, char** argv) {
   const scenario::Bundle bundle = runner.run(spec);
 
   std::printf("scenario: %s\n", bundle.result.scenario.c_str());
-  std::printf("%s", bundle.result.summary_table().to_string().c_str());
-  for (const std::string& note : bundle.result.notes) {
-    std::printf("  %s\n", note.c_str());
+  if (bundle.failed) {
+    // No summary to print: the run died mid-flight. error.json carries the
+    // wasted-work accounting.
+    const scenario::Artifact* err = bundle.find("error.json");
+    std::printf("run FAILED (fault-injection retries exhausted)\n");
+    if (err != nullptr) {
+      std::printf("%s\n", err->content.c_str());
+    }
+  } else {
+    std::printf("%s", bundle.result.summary_table().to_string().c_str());
+    for (const std::string& note : bundle.result.notes) {
+      std::printf("  %s\n", note.c_str());
+    }
   }
   if (!out_dir.empty()) {
     std::string error;
@@ -347,7 +357,9 @@ int cmd_run(int argc, char** argv) {
     }
     std::printf("wrote %s to %s\n", names.c_str(), out_dir.c_str());
   }
-  return 0;
+  // The failed bundle is still written (error.json + spec.json), but the
+  // exit status lets batch drivers count the failure.
+  return bundle.failed ? 1 : 0;
 }
 
 int cmd_scenarios(int argc, char** argv) {
