@@ -1,0 +1,493 @@
+#include "datacenter/fleet_kernels.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sustainai::datacenter {
+namespace {
+
+// ceil/floor restricted to the non-negative server-count domain, written as
+// truncating casts so the compiler can keep the autoscaler strip branch-free
+// on the SSE2 baseline (no roundpd). Bit-identical to std::ceil/std::floor
+// for 0 <= x < 2^63, which AutoScaler::step's int domain guarantees.
+inline double ceil_nonneg(double x) {
+  const double t = static_cast<double>(static_cast<long long>(x));
+  return t + (x > t ? 1.0 : 0.0);
+}
+
+inline double floor_nonneg(double x) {
+  return static_cast<double>(static_cast<long long>(x));
+}
+
+// One (group, chunk) set of lane accumulators: kSections quantities wide.
+struct GroupLanes {
+  double lane[FleetPartial::kSections][kStepLanes] = {};
+
+  void add(std::size_t q, int l, double v) { lane[q][l] += v; }
+
+  // Rule 2 of the contract: reduce lanes in ascending lane order.
+  [[nodiscard]] double reduce(std::size_t q) const {
+    double total = 0.0;
+    for (int l = 0; l < kStepLanes; ++l) {
+      total += lane[q][l];
+    }
+    return total;
+  }
+};
+
+enum Section : std::size_t {
+  kGroupEnergy = 0,
+  kUtilWeight = 1,
+  kFreedHours = 2,
+  kOppEnergy = 3,
+  kOppHours = 4,
+  kLocationG = 5,
+  kFaultWasted = 6,
+  kFaultLost = 7,
+};
+
+void flush_group(const GroupLanes& lanes, FleetPartial& out, std::size_t g) {
+  out.group_energy_j()[g] += lanes.reduce(kGroupEnergy);
+  out.util_weight()[g] += lanes.reduce(kUtilWeight);
+  out.freed_hours()[g] += lanes.reduce(kFreedHours);
+  out.opp_energy_j()[g] += lanes.reduce(kOppEnergy);
+  out.opp_hours()[g] += lanes.reduce(kOppHours);
+  out.location_g()[g] += lanes.reduce(kLocationG);
+  out.fault_wasted_j()[g] += lanes.reduce(kFaultWasted);
+  out.fault_lost_hours()[g] += lanes.reduce(kFaultLost);
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernel: the original object-based step math (DiurnalProfile,
+// AutoScaler, ServerSku), step-outer / group-inner, with the accumulators
+// replaced by the lane contract. This is the executable specification the
+// SoA kernel is tested against byte for byte.
+// ---------------------------------------------------------------------------
+FleetPartial reference_chunk(const FleetStepInputs& in, std::size_t begin,
+                             std::size_t end) {
+  const auto& groups = in.cluster->groups();
+  const std::size_t num_groups = groups.size();
+  FleetPartial out(num_groups);
+  std::vector<GroupLanes> lanes(num_groups);
+
+  const double step_s = in.step_s;
+  const Duration step = seconds(step_s);
+  const bool any_down = in.down != nullptr && !in.down->empty();
+
+  for (std::size_t s = begin; s < end; ++s) {
+    const int l = static_cast<int>((s - begin) % kStepLanes);
+    const Duration now = seconds(step_s * static_cast<double>(s));
+    const double intensity = in.intensity[s];
+    for (std::size_t i = 0; i < num_groups; ++i) {
+      const ServerGroup& g = groups[i];
+      if (g.count == 0) {
+        continue;
+      }
+      const double demand = g.load.utilization_at(now);
+      // Crashed hosts drop out of capacity; the surviving hosts absorb the
+      // displaced load, capped at full utilization.
+      const int down_now = any_down ? (*in.down)[i][s] : 0;
+      int active_count = g.count;
+      double active_demand = demand;
+      if (down_now > 0) {
+        active_count = g.count - down_now;
+        active_demand =
+            active_count > 0
+                ? std::min(1.0, demand * static_cast<double>(g.count) /
+                                    static_cast<double>(active_count))
+                : 0.0;
+        lanes[i].add(kFaultLost, l, down_now * step_s / kSecondsPerHour);
+      }
+      Energy group_energy = joules(0.0);
+      double recorded_util = active_demand;
+
+      if (active_count > 0 && g.autoscalable && in.enable_autoscaler) {
+        const AutoScaler::Decision d =
+            in.scaler->step(active_count, active_demand);
+        group_energy =
+            g.sku.energy(d.active_utilization, d.active_utilization, step) *
+            static_cast<double>(d.active_servers);
+        recorded_util = d.active_utilization;
+        lanes[i].add(kFreedHours, l, d.freed_servers * step_s / kSecondsPerHour);
+        if (in.opportunistic_training && d.freed_servers > 0) {
+          const Energy opp =
+              g.sku.energy(in.opportunistic_utilization,
+                           in.opportunistic_utilization, step) *
+              static_cast<double>(d.freed_servers);
+          lanes[i].add(kOppEnergy, l, to_joules(opp));
+          lanes[i].add(kOppHours, l, d.freed_servers * step_s / kSecondsPerHour);
+          group_energy += opp;
+        }
+      } else if (active_count > 0) {
+        group_energy = g.sku.energy(active_demand, active_demand, step) *
+                       static_cast<double>(active_count);
+      }
+      if (down_now > 0) {
+        // Re-warming hosts idle-draw without doing work: pure waste.
+        const Energy rewarm =
+            g.sku.energy(0.0, 0.0, step) * static_cast<double>(down_now);
+        group_energy += rewarm;
+        lanes[i].add(kFaultWasted, l, to_joules(rewarm));
+      }
+
+      lanes[i].add(kGroupEnergy, l, to_joules(group_energy));
+      lanes[i].add(kUtilWeight, l, recorded_util);
+      lanes[i].add(kLocationG, l,
+                   to_joules(group_energy * in.pue) * intensity);
+    }
+  }
+  for (std::size_t i = 0; i < num_groups; ++i) {
+    flush_group(lanes[i], out, i);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SoA kernel: group-outer / step-inner over the precomputed lanes, blocked
+// into kStepLanes-wide strips. Every floating-point expression below is the
+// reference kernel's tree with per-group constants hoisted; conditional
+// contributions are folded branch-free only where the identity is exact
+// (x + 0.0 == x and x * 1.0 == x for the non-negative quantities involved),
+// so the two kernels agree byte for byte.
+// ---------------------------------------------------------------------------
+
+// Per-group constants loaded once per strip loop.
+struct GroupConsts {
+  double cnt, h_idle, h_span, a_idle, a_span, a_n;
+  double idle_e, opp_e, opp_mask, min_active, max_freed;
+  double min_active_frac, max_freed_frac;
+  double step_s, pue, target;
+};
+
+// Whole-server step energy per server at utilization u: the exact
+// ServerSku::energy tree with the SKU constants hoisted.
+inline double step_energy(const GroupConsts& c, double u) {
+  const double pw = (c.h_idle + c.h_span * u) + (c.a_idle + c.a_span * u) * c.a_n;
+  return pw * c.step_s;
+}
+
+// AutoScaler::step with the integer arithmetic carried in exact integral
+// doubles; bounds are passed in so the crash-aware caller can derive them
+// from the surviving capacity.
+struct ScaleDecision {
+  double active, freed, util;
+};
+
+inline ScaleDecision scale_step(const GroupConsts& c, double total,
+                                double demand, double min_active,
+                                double max_freed) {
+  const double needed = demand * total / c.target;
+  double active = ceil_nonneg(needed);
+  active = std::max(active, min_active);
+  active = std::max(active, total - max_freed);
+  active = std::min(active, total);
+  ScaleDecision d;
+  d.active = active;
+  d.freed = total - active;
+  d.util = std::min(1.0, demand * total / std::max(active, 1.0));
+  return d;
+}
+
+// The four strip bodies: {static, autoscaled} x {fault-free, crash-aware}.
+// Each processes one step `s` into lane `l` of `acc`.
+
+inline void static_step(const GroupConsts& c, const double* dem,
+                        const double* intensity, std::size_t s, int l,
+                        GroupLanes& acc) {
+  const double d = dem[s];
+  const double ge = step_energy(c, d) * c.cnt;
+  acc.add(kGroupEnergy, l, ge);
+  acc.add(kUtilWeight, l, d);
+  acc.add(kLocationG, l, ge * c.pue * intensity[s]);
+}
+
+inline void scaled_step(const GroupConsts& c, const double* dem,
+                        const double* intensity, std::size_t s, int l,
+                        GroupLanes& acc) {
+  const double d = dem[s];
+  const ScaleDecision sd =
+      scale_step(c, c.cnt, d, c.min_active, c.max_freed);
+  const double e_active = step_energy(c, sd.util) * sd.active;
+  const double opp = c.opp_e * sd.freed;  // exact +0.0 when harvesting is off
+  const double ge = e_active + opp;
+  const double fh = sd.freed * c.step_s / kSecondsPerHour;
+  acc.add(kGroupEnergy, l, ge);
+  acc.add(kUtilWeight, l, sd.util);
+  acc.add(kFreedHours, l, fh);
+  acc.add(kOppEnergy, l, opp);
+  acc.add(kOppHours, l, fh * c.opp_mask);
+  acc.add(kLocationG, l, ge * c.pue * intensity[s]);
+}
+
+inline void static_step_down(const GroupConsts& c, const double* dem,
+                             const double* intensity, const int* down,
+                             std::size_t s, int l, GroupLanes& acc) {
+  const double d = dem[s];
+  const double dn = static_cast<double>(down[s]);
+  const double active = c.cnt - dn;  // exact: integral doubles
+  const double displaced =
+      active > 0.0 ? std::min(1.0, d * c.cnt / active) : 0.0;
+  // (d * cnt) / cnt need not round back to d, so the crash-free lane must
+  // keep the reference's untouched demand rather than divide through.
+  const double ad = dn > 0.0 ? displaced : d;
+  const double e_active = active > 0.0 ? step_energy(c, ad) * active : 0.0;
+  const double rewarm = c.idle_e * dn;
+  const double ge = e_active + rewarm;
+  acc.add(kGroupEnergy, l, ge);
+  acc.add(kUtilWeight, l, ad);
+  acc.add(kLocationG, l, ge * c.pue * intensity[s]);
+  acc.add(kFaultWasted, l, rewarm);
+  acc.add(kFaultLost, l, dn * c.step_s / kSecondsPerHour);
+}
+
+inline void scaled_step_down(const GroupConsts& c, const double* dem,
+                             const double* intensity, const int* down,
+                             std::size_t s, int l, GroupLanes& acc) {
+  const double d = dem[s];
+  const double dn = static_cast<double>(down[s]);
+  const double active_cap = c.cnt - dn;
+  const double displaced =
+      active_cap > 0.0 ? std::min(1.0, d * c.cnt / active_cap) : 0.0;
+  const double ad = dn > 0.0 ? displaced : d;
+  // Bounds derive from the surviving capacity, as AutoScaler::step sees it.
+  const double min_active = ceil_nonneg(c.min_active_frac * active_cap);
+  const double max_freed = floor_nonneg(c.max_freed_frac * active_cap);
+  const ScaleDecision sd =
+      scale_step(c, active_cap, ad, min_active, max_freed);
+  const bool alive = active_cap > 0.0;
+  const double e_active = alive ? step_energy(c, sd.util) * sd.active : 0.0;
+  const double opp = alive ? c.opp_e * sd.freed : 0.0;
+  const double ge0 = e_active + opp;
+  const double rewarm = c.idle_e * dn;
+  const double ge = ge0 + rewarm;
+  const double fh = alive ? sd.freed * c.step_s / kSecondsPerHour : 0.0;
+  const double util = alive ? sd.util : ad;
+  acc.add(kGroupEnergy, l, ge);
+  acc.add(kUtilWeight, l, util);
+  acc.add(kFreedHours, l, fh);
+  acc.add(kOppEnergy, l, opp);
+  acc.add(kOppHours, l, fh * c.opp_mask);
+  acc.add(kLocationG, l, ge * c.pue * intensity[s]);
+  acc.add(kFaultWasted, l, rewarm);
+  acc.add(kFaultLost, l, dn * c.step_s / kSecondsPerHour);
+}
+
+template <typename Body>
+inline void run_strips(std::size_t begin, std::size_t end, Body&& body) {
+  std::size_t s = begin;
+  for (; s + kStepLanes <= end; s += kStepLanes) {
+    for (int l = 0; l < kStepLanes; ++l) {
+      body(s + static_cast<std::size_t>(l), l);
+    }
+  }
+  for (; s < end; ++s) {
+    body(s, static_cast<int>((s - begin) % kStepLanes));
+  }
+}
+
+FleetPartial soa_chunk(const FleetStepInputs& in, std::size_t begin,
+                       std::size_t end) {
+  const FleetSoA& soa = *in.soa;
+  const std::size_t num_groups = soa.num_groups;
+  FleetPartial out(num_groups);
+  const bool any_down = in.down != nullptr && !in.down->empty();
+
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    if (soa.count[g] == 0.0) {
+      continue;
+    }
+    GroupConsts c;
+    c.cnt = soa.count[g];
+    c.h_idle = soa.host_idle_w[g];
+    c.h_span = soa.host_span_w[g];
+    c.a_idle = soa.acc_idle_w[g];
+    c.a_span = soa.acc_span_w[g];
+    c.a_n = soa.acc_count[g];
+    c.idle_e = soa.idle_energy_j[g];
+    c.opp_e = soa.opp_energy_j[g];
+    c.opp_mask = soa.opp_mask[g];
+    c.min_active = soa.min_active[g];
+    c.max_freed = soa.max_freed[g];
+    c.min_active_frac = soa.min_active_frac;
+    c.max_freed_frac = soa.max_freed_frac;
+    c.step_s = soa.step_s;
+    c.pue = in.pue;
+    c.target = soa.target_utilization;
+
+    const double* dem = soa.demand.data() + g * static_cast<std::size_t>(soa.steps);
+    const int* down_row = any_down ? (*in.down)[g].data() : nullptr;
+    GroupLanes lanes;
+    if (soa.autoscaled[g] != 0) {
+      if (down_row != nullptr) {
+        run_strips(begin, end, [&](std::size_t s, int l) {
+          scaled_step_down(c, dem, in.intensity, down_row, s, l, lanes);
+        });
+      } else {
+        run_strips(begin, end, [&](std::size_t s, int l) {
+          scaled_step(c, dem, in.intensity, s, l, lanes);
+        });
+      }
+    } else {
+      if (down_row != nullptr) {
+        run_strips(begin, end, [&](std::size_t s, int l) {
+          static_step_down(c, dem, in.intensity, down_row, s, l, lanes);
+        });
+      } else {
+        run_strips(begin, end, [&](std::size_t s, int l) {
+          static_step(c, dem, in.intensity, s, l, lanes);
+        });
+      }
+    }
+    flush_group(lanes, out, g);
+  }
+  return out;
+}
+
+}  // namespace
+
+FleetPartial::FleetPartial(std::size_t num_groups)
+    : num_groups_(num_groups), buf_(kSections * num_groups, 0.0) {}
+
+double FleetPartial::total(const double* section_ptr) const {
+  double t = 0.0;
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    t += section_ptr[g];
+  }
+  return t;
+}
+
+void FleetPartial::merge(const FleetPartial& other) {
+  check_arg(num_groups_ == other.num_groups_,
+            "FleetPartial::merge: group count mismatch");
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    buf_[i] += other.buf_[i];
+  }
+}
+
+FleetSoA build_fleet_soa(const Cluster& cluster,
+                         const AutoScaler::Config& autoscaler,
+                         bool enable_autoscaler, bool opportunistic_training,
+                         double opportunistic_utilization, long steps,
+                         double step_s) {
+  check_arg(steps >= 0, "build_fleet_soa: steps must be >= 0");
+  check_arg(step_s > 0.0, "build_fleet_soa: step must be positive");
+  const auto& groups = cluster.groups();
+  const Duration step = seconds(step_s);
+
+  FleetSoA soa;
+  soa.steps = steps;
+  soa.step_s = step_s;
+  soa.num_groups = groups.size();
+  soa.target_utilization = autoscaler.target_utilization;
+  soa.min_active_frac = autoscaler.min_active_fraction;
+  soa.max_freed_frac = autoscaler.max_freed_fraction;
+
+  const std::size_t n = groups.size();
+  soa.count.resize(n);
+  soa.host_idle_w.resize(n);
+  soa.host_span_w.resize(n);
+  soa.acc_idle_w.resize(n);
+  soa.acc_span_w.resize(n);
+  soa.acc_count.resize(n);
+  soa.idle_energy_j.resize(n);
+  soa.opp_energy_j.resize(n);
+  soa.min_active.resize(n);
+  soa.max_freed.resize(n);
+  soa.autoscaled.resize(n);
+  soa.opp_mask.resize(n);
+  soa.demand.assign(n * static_cast<std::size_t>(steps), 0.0);
+
+  // Day-periodic slot cache for the diurnal cosine, reused on exact
+  // second-of-day matches only (same scheme as IntensityTable's solar cache).
+  long period = std::lround(kSecondsPerDay / step_s);
+  constexpr long kMaxSlots = 1L << 20;
+  if (period < 1 || period > kMaxSlots ||
+      static_cast<double>(period) * step_s != kSecondsPerDay) {
+    period = 0;
+  }
+  std::vector<double> slot_sec;
+  std::vector<double> slot_val;
+
+  for (std::size_t g = 0; g < n; ++g) {
+    const ServerGroup& grp = groups[g];
+    soa.count[g] = static_cast<double>(grp.count);
+    const hw::DeviceSpec& host = grp.sku.host();
+    const hw::DeviceSpec& acc = grp.sku.accelerator();
+    const double h_idle = host.tdp.base() * host.idle_fraction;
+    const double a_idle = acc.tdp.base() * acc.idle_fraction;
+    soa.host_idle_w[g] = h_idle;
+    soa.host_span_w[g] = host.tdp.base() - h_idle;
+    soa.acc_idle_w[g] = a_idle;
+    soa.acc_span_w[g] = acc.tdp.base() - a_idle;
+    soa.acc_count[g] = static_cast<double>(grp.sku.accelerator_count());
+    soa.idle_energy_j[g] = to_joules(grp.sku.energy(0.0, 0.0, step));
+    const bool scaled = grp.autoscalable && enable_autoscaler;
+    soa.autoscaled[g] = scaled ? 1 : 0;
+    soa.opp_mask[g] = opportunistic_training ? 1.0 : 0.0;
+    soa.opp_energy_j[g] =
+        opportunistic_training
+            ? to_joules(grp.sku.energy(opportunistic_utilization,
+                                       opportunistic_utilization, step))
+            : 0.0;
+    soa.min_active[g] = std::ceil(autoscaler.min_active_fraction *
+                                  static_cast<double>(grp.count));
+    soa.max_freed[g] = std::floor(autoscaler.max_freed_fraction *
+                                  static_cast<double>(grp.count));
+
+    // Demand row: bit-identical to DiurnalProfile::utilization_at at every
+    // step (validated by the first call; the flat shortcut is exact because
+    // (peak - trough) == 0 collapses the cosine term to +0.0).
+    double* row = soa.demand.data() + g * static_cast<std::size_t>(steps);
+    if (steps == 0) {
+      continue;
+    }
+    const DiurnalProfile& load = grp.load;
+    const double first = load.utilization_at(seconds(0.0));
+    if (load.peak == load.trough) {
+      for (long s = 0; s < steps; ++s) {
+        row[s] = first;
+      }
+      continue;
+    }
+    if (period > 0) {
+      slot_sec.assign(static_cast<std::size_t>(period), -1.0);
+      slot_val.assign(static_cast<std::size_t>(period), 0.0);
+    }
+    for (long s = 0; s < steps; ++s) {
+      const double t_s = step_s * static_cast<double>(s);
+      const double sec_of_day = std::fmod(t_s, kSecondsPerDay);
+      double value;
+      const auto slot =
+          period > 0 ? static_cast<std::size_t>(s % period) : std::size_t{0};
+      if (period > 0 && slot_sec[slot] == sec_of_day) {
+        value = slot_val[slot];
+      } else {
+        const double hour = sec_of_day / kSecondsPerHour;
+        const double phase = 2.0 * M_PI * (hour - load.peak_hour) / 24.0;
+        value =
+            load.trough + (load.peak - load.trough) * 0.5 * (1.0 + std::cos(phase));
+        if (period > 0) {
+          slot_sec[slot] = sec_of_day;
+          slot_val[slot] = value;
+        }
+      }
+      row[s] = value;
+    }
+  }
+  return soa;
+}
+
+FleetPartial run_fleet_chunk(const FleetStepInputs& in, StepKernel kernel,
+                             std::size_t begin, std::size_t end) {
+  check_arg(in.cluster != nullptr, "run_fleet_chunk: cluster is required");
+  check_arg(in.intensity != nullptr, "run_fleet_chunk: intensity is required");
+  if (kernel == StepKernel::kSimd) {
+    check_arg(in.soa != nullptr, "run_fleet_chunk: SoA inputs are required");
+    return soa_chunk(in, begin, end);
+  }
+  check_arg(in.scaler != nullptr, "run_fleet_chunk: scaler is required");
+  return reference_chunk(in, begin, end);
+}
+
+}  // namespace sustainai::datacenter

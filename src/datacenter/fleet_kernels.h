@@ -1,0 +1,168 @@
+// Fixed-width step kernels for the fleet simulator.
+//
+// The per-step fleet math (diurnal demand -> autoscaling -> utilization ->
+// power -> PUE -> grid carbon) is the widest hot path in the repo: it runs
+// once per server group per step over horizons of years. This header
+// provides two interchangeable kernels for that loop:
+//
+//   * StepKernel::kReference — the original object-based math (DiurnalProfile,
+//     AutoScaler, ServerSku calls), step-outer / group-inner. The readable
+//     specification.
+//   * StepKernel::kSimd — structure-of-arrays state (per-group constants and
+//     demand series as contiguous lanes) with the inner loop blocked into
+//     kStepLanes-wide strips that the compiler vectorizes.
+//
+// Both produce byte-identical FleetPartials (tests/fleet_soa_test.cc) because
+// they follow the same accumulation-order contract (DESIGN.md):
+//
+//   1. Every accumulated quantity is PER GROUP. Within an exec chunk [b, e),
+//      step s contributes to logical lane (s - b) % kStepLanes of its group's
+//      accumulator; each lane therefore sees its strided step subsequence in
+//      ascending order regardless of loop interchange or physical SIMD width.
+//   2. At the end of the chunk the lanes are reduced in ascending lane order:
+//      ((l0 + l1) + l2) + l3.
+//   3. Chunk partials merge in ascending chunk order (exec/parallel.h), and
+//      fleet-level totals reduce from the per-group totals in ascending group
+//      order, once, after the merge.
+//
+// The contract fixes the floating-point expression tree per step to the one
+// the reference kernel evaluates (ServerSku::energy's tree with the SKU
+// constants hoisted), so the SoA path is a pure reordering of independent
+// accumulators — the same trick the recsys GEMM tiles use per (row, output).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "datacenter/autoscaler.h"
+#include "datacenter/cluster.h"
+
+namespace sustainai::datacenter {
+
+// Logical lane width of the step kernels. This is a contract constant, not a
+// machine property: results are defined in terms of kStepLanes accumulator
+// lanes, so wider (or narrower) physical SIMD units must still maintain
+// exactly these logical lanes to reproduce the same bytes.
+inline constexpr int kStepLanes = 4;
+
+enum class StepKernel {
+  kReference,  // original object-based math, lane-contract accumulators
+  kSimd,       // SoA + fixed-width vector strips (default)
+};
+
+// Per-group constants and precomputed series, AoS -> SoA. Built once per
+// FleetSimulator (the demand series is the expensive part: one cosine per
+// distinct second-of-day per group, served from a day-periodic slot cache).
+struct FleetSoA {
+  long steps = 0;
+  double step_s = 0.0;
+  std::size_t num_groups = 0;
+
+  // Per-group server counts and hoisted ServerSku power coefficients
+  // (host/accelerator idle watts and idle->TDP spans, accelerator count).
+  std::vector<double> count;
+  std::vector<double> host_idle_w;
+  std::vector<double> host_span_w;
+  std::vector<double> acc_idle_w;
+  std::vector<double> acc_span_w;
+  std::vector<double> acc_count;
+  // Per-server step energies at fixed utilizations: idle (re-warming hosts)
+  // and the opportunistic-training utilization (0 when harvesting is off).
+  std::vector<double> idle_energy_j;
+  std::vector<double> opp_energy_j;
+  // AutoScaler integer bounds as exact integral doubles (full capacity; the
+  // crash-aware path re-derives them from the surviving host count).
+  std::vector<double> min_active;
+  std::vector<double> max_freed;
+  std::vector<unsigned char> autoscaled;  // autoscalable && enabled
+  // 1.0 when opportunistic harvesting applies to this group, else 0.0; used
+  // as an exact multiplicative mask (x * 1.0 == x, x * 0.0 == +0.0).
+  std::vector<double> opp_mask;
+  // Demand rows, demand[g * steps + s]: the diurnal utilization series per
+  // group, bit-identical to DiurnalProfile::utilization_at at every step.
+  std::vector<double> demand;
+
+  double target_utilization = 0.75;
+  double min_active_frac = 0.0;
+  double max_freed_frac = 0.0;
+};
+
+// Precompute the SoA image of `cluster` for `steps` steps of `step_s`
+// seconds. `opportunistic_utilization` parameterizes opp_energy_j.
+[[nodiscard]] FleetSoA build_fleet_soa(const Cluster& cluster,
+                                       const AutoScaler::Config& autoscaler,
+                                       bool enable_autoscaler,
+                                       bool opportunistic_training,
+                                       double opportunistic_utilization,
+                                       long steps, double step_s);
+
+// Additive per-chunk partial sums, one slot per (quantity, group), flattened
+// into a single buffer so a chunk allocates once and merge() is a plain
+// elementwise add (which itself vectorizes).
+class FleetPartial {
+ public:
+  FleetPartial() = default;
+  explicit FleetPartial(std::size_t num_groups);
+
+  [[nodiscard]] std::size_t num_groups() const { return num_groups_; }
+
+  // Section accessors: contiguous per-group lanes.
+  [[nodiscard]] double* group_energy_j() { return section(0); }
+  [[nodiscard]] double* util_weight() { return section(1); }
+  [[nodiscard]] double* freed_hours() { return section(2); }
+  [[nodiscard]] double* opp_energy_j() { return section(3); }
+  [[nodiscard]] double* opp_hours() { return section(4); }
+  [[nodiscard]] double* location_g() { return section(5); }
+  [[nodiscard]] double* fault_wasted_j() { return section(6); }
+  [[nodiscard]] double* fault_lost_hours() { return section(7); }
+  [[nodiscard]] const double* group_energy_j() const { return section(0); }
+  [[nodiscard]] const double* util_weight() const { return section(1); }
+  [[nodiscard]] const double* freed_hours() const { return section(2); }
+  [[nodiscard]] const double* opp_energy_j() const { return section(3); }
+  [[nodiscard]] const double* opp_hours() const { return section(4); }
+  [[nodiscard]] const double* location_g() const { return section(5); }
+  [[nodiscard]] const double* fault_wasted_j() const { return section(6); }
+  [[nodiscard]] const double* fault_lost_hours() const { return section(7); }
+
+  // Ascending-group reduction of one section (rule 3 of the contract).
+  [[nodiscard]] double total(const double* section_ptr) const;
+
+  // Chunk-order fold: elementwise add of the whole buffer.
+  void merge(const FleetPartial& other);
+
+  static constexpr std::size_t kSections = 8;
+
+ private:
+  [[nodiscard]] double* section(std::size_t q) {
+    return buf_.data() + q * num_groups_;
+  }
+  [[nodiscard]] const double* section(std::size_t q) const {
+    return buf_.data() + q * num_groups_;
+  }
+
+  std::size_t num_groups_ = 0;
+  std::vector<double> buf_;
+};
+
+// Read-only inputs shared by every chunk of one run.
+struct FleetStepInputs {
+  const Cluster* cluster = nullptr;
+  const AutoScaler* scaler = nullptr;
+  const FleetSoA* soa = nullptr;  // required for StepKernel::kSimd
+  bool enable_autoscaler = true;
+  bool opportunistic_training = true;
+  double opportunistic_utilization = 0.90;
+  double pue = 1.0;
+  double step_s = 0.0;
+  // Per-step grid intensity (base units), gap-remap already applied.
+  const double* intensity = nullptr;
+  // down[g][s]: hosts of group g offline at step s; nullptr when no crashes.
+  const std::vector<std::vector<int>>* down = nullptr;
+};
+
+// Simulate steps [begin, end) of one chunk under the lane contract.
+[[nodiscard]] FleetPartial run_fleet_chunk(const FleetStepInputs& in,
+                                           StepKernel kernel,
+                                           std::size_t begin, std::size_t end);
+
+}  // namespace sustainai::datacenter

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "core/check.h"
-#include "core/intensity_table.h"
 #include "exec/parallel.h"
 #include "fault/plan.h"
 #include "obs/metrics.h"
@@ -18,7 +17,10 @@ Energy FleetSimulator::Result::it_energy_for(Tier tier) const {
   return tier_it_energy_[index];
 }
 
-FleetSimulator::FleetSimulator(Config config) : config_(std::move(config)) {
+FleetSimulator::FleetSimulator(Config config)
+    : config_(std::move(config)),
+      grid_(config_.grid),
+      scaler_(config_.autoscaler) {
   check_arg(config_.pue >= 1.0, "FleetSimulator: PUE must be >= 1.0");
   check_arg(to_seconds(config_.step) > 0.0, "FleetSimulator: step must be positive");
   check_arg(to_seconds(config_.horizon) >= to_seconds(config_.step),
@@ -28,29 +30,26 @@ FleetSimulator::FleetSimulator(Config config) : config_(std::move(config)) {
             "FleetSimulator: opportunistic utilization must be in [0, 1]");
   check_arg(config_.steps_per_chunk >= 1,
             "FleetSimulator: steps_per_chunk must be >= 1");
+
+  step_s_ = to_seconds(config_.step);
+  steps_ = static_cast<long>(to_seconds(config_.horizon) / step_s_);
+
+  // All per-run invariants are built here, once: run() must never pay a
+  // table or SoA rebuild (that rebuild is exactly what used to make the
+  // "optimized" table path lose to the direct one in the benchmarks).
+  if (config_.use_intensity_table) {
+    table_ = std::make_unique<IntensityTable>(grid_, seconds(0.0), config_.step);
+    table_->prebuild(steps_);
+  }
+  if (config_.kernel == StepKernel::kSimd) {
+    soa_ = build_fleet_soa(config_.cluster, config_.autoscaler,
+                           config_.enable_autoscaler,
+                           config_.opportunistic_training,
+                           config_.opportunistic_utilization, steps_, step_s_);
+  }
 }
 
 namespace {
-
-// Per-time-chunk accumulator. Each chunk owns one; the chunks are merged in
-// chunk order so floating-point accumulation order never depends on the
-// thread count.
-struct Partial {
-  std::vector<Energy> group_energy;
-  std::vector<double> util_weight;
-  std::vector<double> freed_server_hours;
-  Energy it_energy = joules(0.0);
-  Energy opportunistic_energy = joules(0.0);
-  double opportunistic_server_hours = 0.0;
-  double location_g = 0.0;
-  Energy fault_wasted_energy = joules(0.0);
-  double fault_lost_server_hours = 0.0;
-
-  explicit Partial(std::size_t num_groups = 0)
-      : group_energy(num_groups, joules(0.0)),
-        util_weight(num_groups, 0.0),
-        freed_server_hours(num_groups, 0.0) {}
-};
 
 const char* fault_span_name(fault::FaultKind kind) {
   switch (kind) {
@@ -69,24 +68,11 @@ const char* fault_span_name(fault::FaultKind kind) {
 }  // namespace
 
 FleetSimulator::Result FleetSimulator::run() const {
-  const IntermittentGrid grid(config_.grid);
-  const AutoScaler scaler(config_.autoscaler);
   const auto& groups = config_.cluster.groups();
-
-  const double step_s = to_seconds(config_.step);
-  const auto steps =
-      static_cast<long>(to_seconds(config_.horizon) / step_s);
+  const double step_s = step_s_;
+  const long steps = steps_;
 
   obs::Span run_span("fleet.run", 0.0, step_s * static_cast<double>(steps));
-
-  // One harmonic pass over the horizon up front; the per-step loops below
-  // then read intensities in O(1). Prebuilding before the parallel region
-  // keeps the table read-only (and therefore race-free) inside the chunks.
-  IntensityTable table(grid, seconds(0.0), config_.step);
-  if (config_.use_intensity_table) {
-    table.prebuild(steps);
-  }
-  const IntensityTable& shared_table = table;
 
   // Fault plan and its per-step projections are built serially up front —
   // like the intensity table — so the parallel chunks only ever read them.
@@ -131,138 +117,87 @@ FleetSimulator::Result FleetSimulator::run() const {
       }
     }
   }
-  const bool any_down = !down.empty();
   const bool any_gap = !intensity_remap.empty();
 
+  // Per-step intensity lane, hoisted out of the kernels entirely: the chunk
+  // loops index a contiguous double array instead of calling through the
+  // table (or the harmonic evaluation) per step per group.
+  std::vector<double> intensity(static_cast<std::size_t>(steps), 0.0);
+  for (long s = 0; s < steps; ++s) {
+    const long index = any_gap ? intensity_remap[static_cast<std::size_t>(s)] : s;
+    intensity[static_cast<std::size_t>(s)] =
+        table_ ? table_->at_index(index).base()
+               : grid_
+                     .intensity_at(
+                         seconds(step_s * static_cast<double>(index)))
+                     .base();
+  }
+
+  FleetStepInputs inputs;
+  inputs.cluster = &config_.cluster;
+  inputs.scaler = &scaler_;
+  inputs.soa = config_.kernel == StepKernel::kSimd ? &soa_ : nullptr;
+  inputs.enable_autoscaler = config_.enable_autoscaler;
+  inputs.opportunistic_training = config_.opportunistic_training;
+  inputs.opportunistic_utilization = config_.opportunistic_utilization;
+  inputs.pue = config_.pue;
+  inputs.step_s = step_s;
+  inputs.intensity = intensity.data();
+  inputs.down = down.empty() ? nullptr : &down;
+
   auto simulate_chunk = [&](std::size_t begin, std::size_t end,
-                            std::size_t) -> Partial {
+                            std::size_t) -> FleetPartial {
     obs::Span chunk_span("fleet.chunk", step_s * static_cast<double>(begin),
                          step_s * static_cast<double>(end));
-    Partial p(groups.size());
-    for (std::size_t s = begin; s < end; ++s) {
-      const Duration now = seconds(step_s * static_cast<double>(s));
-      const long intensity_index =
-          any_gap ? intensity_remap[s] : static_cast<long>(s);
-      const CarbonIntensity intensity =
-          config_.use_intensity_table
-              ? shared_table.at_index(intensity_index)
-              : grid.intensity_at(
-                    seconds(step_s * static_cast<double>(intensity_index)));
-      for (std::size_t i = 0; i < groups.size(); ++i) {
-        const ServerGroup& g = groups[i];
-        if (g.count == 0) {
-          continue;
-        }
-        const double demand = g.load.utilization_at(now);
-        // Crashed hosts drop out of capacity; the surviving hosts absorb
-        // the displaced load, capped at full utilization.
-        const int down_now = any_down ? down[i][s] : 0;
-        int active_count = g.count;
-        double active_demand = demand;
-        if (down_now > 0) {
-          active_count = g.count - down_now;
-          active_demand =
-              active_count > 0
-                  ? std::min(1.0, demand * static_cast<double>(g.count) /
-                                      static_cast<double>(active_count))
-                  : 0.0;
-          p.fault_lost_server_hours += down_now * step_s / kSecondsPerHour;
-        }
-        Energy group_energy = joules(0.0);
-        double recorded_util = active_demand;
-
-        if (active_count > 0 && g.autoscalable && config_.enable_autoscaler) {
-          const AutoScaler::Decision d =
-              scaler.step(active_count, active_demand);
-          group_energy =
-              g.sku.energy(d.active_utilization, d.active_utilization,
-                           config_.step) *
-              static_cast<double>(d.active_servers);
-          recorded_util = d.active_utilization;
-          p.freed_server_hours[i] += d.freed_servers * step_s / kSecondsPerHour;
-          if (config_.opportunistic_training && d.freed_servers > 0) {
-            const Energy opp =
-                g.sku.energy(config_.opportunistic_utilization,
-                             config_.opportunistic_utilization, config_.step) *
-                static_cast<double>(d.freed_servers);
-            p.opportunistic_energy += opp;
-            p.opportunistic_server_hours +=
-                d.freed_servers * step_s / kSecondsPerHour;
-            group_energy += opp;
-          }
-        } else if (active_count > 0) {
-          group_energy = g.sku.energy(active_demand, active_demand,
-                                      config_.step) *
-                         static_cast<double>(active_count);
-        }
-        if (down_now > 0) {
-          // Re-warming hosts idle-draw without doing work: pure waste.
-          const Energy rewarm = g.sku.energy(0.0, 0.0, config_.step) *
-                                static_cast<double>(down_now);
-          group_energy += rewarm;
-          p.fault_wasted_energy += rewarm;
-        }
-
-        p.group_energy[i] += group_energy;
-        p.util_weight[i] += recorded_util;
-        p.it_energy += group_energy;
-        p.location_g += to_joules(group_energy * config_.pue) * intensity.base();
-      }
-    }
-    return p;
+    return run_fleet_chunk(inputs, config_.kernel, begin, end);
   };
-
-  auto merge = [&groups](Partial acc, Partial p) -> Partial {
-    for (std::size_t i = 0; i < groups.size(); ++i) {
-      acc.group_energy[i] += p.group_energy[i];
-      acc.util_weight[i] += p.util_weight[i];
-      acc.freed_server_hours[i] += p.freed_server_hours[i];
-    }
-    acc.it_energy += p.it_energy;
-    acc.opportunistic_energy += p.opportunistic_energy;
-    acc.opportunistic_server_hours += p.opportunistic_server_hours;
-    acc.location_g += p.location_g;
-    acc.fault_wasted_energy += p.fault_wasted_energy;
-    acc.fault_lost_server_hours += p.fault_lost_server_hours;
+  auto merge = [](FleetPartial acc, FleetPartial p) -> FleetPartial {
+    acc.merge(p);
     return acc;
   };
 
   exec::ParallelOptions options;
   options.pool = config_.pool;
   options.chunk_size = static_cast<std::size_t>(config_.steps_per_chunk);
-  const Partial total =
+  // Interior chunk boundaries stay on lane-block multiples, so every chunk
+  // fills its lanes in the same pattern regardless of where it starts.
+  options.chunk_align = static_cast<std::size_t>(kStepLanes);
+  const FleetPartial total =
       exec::parallel_reduce(static_cast<std::size_t>(steps),
-                            Partial(groups.size()), simulate_chunk, merge,
+                            FleetPartial(groups.size()), simulate_chunk, merge,
                             options);
 
   Result result;
   result.groups.resize(groups.size());
   const double step_count = static_cast<double>(steps);
+  const double* group_energy = total.group_energy_j();
   for (std::size_t i = 0; i < groups.size(); ++i) {
     result.groups[i].name = groups[i].name;
     result.groups[i].tier = groups[i].tier;
-    result.groups[i].it_energy = total.group_energy[i];
-    result.groups[i].freed_server_hours = total.freed_server_hours[i];
+    result.groups[i].it_energy = joules(group_energy[i]);
+    result.groups[i].freed_server_hours = total.freed_hours()[i];
     result.groups[i].mean_utilization =
-        step_count > 0.0 ? total.util_weight[i] / step_count : 0.0;
+        step_count > 0.0 ? total.util_weight()[i] / step_count : 0.0;
     // Per-tier sums accumulate in group order — the same order the old
     // per-call linear scan used, so it_energy_for is bit-compatible.
     result.tier_it_energy_[static_cast<std::size_t>(groups[i].tier)] +=
-        total.group_energy[i];
+        joules(group_energy[i]);
   }
-  result.it_energy = total.it_energy;
-  result.opportunistic_energy = total.opportunistic_energy;
-  result.opportunistic_server_hours = total.opportunistic_server_hours;
+  // Fleet totals reduce from the per-group totals in ascending group order
+  // (rule 3 of the lane contract in datacenter/fleet_kernels.h).
+  result.it_energy = joules(total.total(group_energy));
+  result.opportunistic_energy = joules(total.total(total.opp_energy_j()));
+  result.opportunistic_server_hours = total.total(total.opp_hours());
   result.facility_energy = result.it_energy * config_.pue;
-  result.location_carbon = grams_co2e(total.location_g);
+  result.location_carbon = grams_co2e(total.total(total.location_g()));
   result.market_carbon = market_based(result.location_carbon, config_.cfe_coverage);
 
   if (faults_enabled) {
     FaultStats& fs = result.faults;
     fs.host_crashes = plan.count(fault::FaultKind::kHostCrash);
     fs.grid_gaps = plan.count(fault::FaultKind::kGridDataGap);
-    fs.lost_server_hours = total.fault_lost_server_hours;
-    fs.wasted_energy = total.fault_wasted_energy;
+    fs.lost_server_hours = total.total(total.fault_lost_hours());
+    fs.wasted_energy = joules(total.total(total.fault_wasted_j()));
     // SDC rollbacks hit the training tier: deterministic replay from the
     // last checkpoint reproduces the same weights, so the cost is pure
     // accounting — the redone server-hours and the energy they burned —

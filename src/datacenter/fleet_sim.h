@@ -6,18 +6,23 @@
 // inflated by PUE and converted to carbon against a time-varying grid.
 //
 // The horizon is simulated in fixed time chunks executed in parallel on an
-// exec::ThreadPool; per-chunk partial sums are merged in chunk order, so the
-// result is bit-identical at any thread count (see exec/parallel.h).
+// exec::ThreadPool; per-chunk partial sums follow the per-lane accumulation
+// contract of datacenter/fleet_kernels.h and are merged in chunk order, so
+// the result is bit-identical at any thread count and for either step
+// kernel (see exec/parallel.h and DESIGN.md).
 #pragma once
 
 #include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/carbon_intensity.h"
+#include "core/intensity_table.h"
 #include "core/units.h"
 #include "datacenter/autoscaler.h"
 #include "datacenter/cluster.h"
+#include "datacenter/fleet_kernels.h"
 #include "exec/thread_pool.h"
 #include "fault/recovery.h"
 
@@ -43,10 +48,15 @@ class FleetSimulator {
     exec::ThreadPool* pool = nullptr;
     long steps_per_chunk = 256;
     // Serve per-step grid intensities from a prebuilt IntensityTable (one
-    // harmonic pass over the horizon) instead of evaluating intensity_at
-    // per step. Results are bit-identical either way; the toggle exists so
-    // tests can prove it.
+    // harmonic pass over the horizon, built once at construction) instead
+    // of evaluating intensity_at per step. Results are bit-identical either
+    // way; the toggle exists so tests can prove it.
     bool use_intensity_table = true;
+    // Step kernel (datacenter/fleet_kernels.h): the SoA + fixed-width SIMD
+    // kernel by default, or the object-based reference kernel. Both follow
+    // the same per-lane accumulation contract and produce byte-identical
+    // results (tests/fleet_soa_test.cc); the toggle exists to prove it.
+    StepKernel kernel = StepKernel::kSimd;
     // Fault injection (src/fault/): host crashes drop capacity while the
     // host re-warms, grid data gaps hold the last intensity reading, and
     // SDC events charge training-tier rollback waste. All-zero rates take
@@ -97,12 +107,27 @@ class FleetSimulator {
     std::array<Energy, kNumTiers> tier_it_energy_{};
   };
 
+  // Validates the config and eagerly builds all steady-run state: the grid,
+  // the prebuilt intensity table, the autoscaler, and (for the SoA kernel)
+  // the structure-of-arrays image of the cluster. run() is then pure
+  // lookup + arithmetic and can be called repeatedly at steady cost.
   explicit FleetSimulator(Config config);
+
+  // Non-copyable/movable: the intensity table holds a reference to the
+  // simulator-owned grid.
+  FleetSimulator(const FleetSimulator&) = delete;
+  FleetSimulator& operator=(const FleetSimulator&) = delete;
 
   [[nodiscard]] Result run() const;
 
  private:
   Config config_;
+  IntermittentGrid grid_;
+  AutoScaler scaler_;
+  double step_s_ = 0.0;
+  long steps_ = 0;
+  std::unique_ptr<IntensityTable> table_;  // null when !use_intensity_table
+  FleetSoA soa_;                           // empty for the reference kernel
 };
 
 }  // namespace sustainai::datacenter

@@ -3,9 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "core/check.h"
 
 namespace sustainai::recsys {
+
+namespace {
+
+// True when `size` == batch * features without the product ever being
+// formed: a negative batch or a wrapped multiplication can therefore never
+// sneak past the guard (size_t(batch) * size_t(features) wraps for
+// batch < 0 and can collide with a small size()).
+bool batch_size_matches(std::size_t size, int batch, int features) {
+  if (batch < 0 || features <= 0) {
+    return false;
+  }
+  if (batch == 0) {
+    return size == 0;
+  }
+  const auto f = static_cast<std::size_t>(features);
+  return size % f == 0 && size / f == static_cast<std::size_t>(batch);
+}
+
+}  // namespace
 
 DenseLayer::DenseLayer(int in_features, int out_features, bool relu)
     : in_features_(in_features), out_features_(out_features), relu_(relu) {
@@ -49,40 +72,113 @@ void DenseLayer::forward_one(const float* in, float* out) const {
 
 void DenseLayer::forward_batch(std::span<const float> in, std::span<float> out,
                                int batch) const {
-  check_arg(batch >= 0, "DenseLayer::forward_batch: batch must be >= 0");
-  check_arg(in.size() == static_cast<std::size_t>(batch) *
-                             static_cast<std::size_t>(in_features_),
+  check_arg(batch_size_matches(in.size(), batch, in_features_),
             "DenseLayer::forward_batch: input size mismatch");
-  check_arg(out.size() == static_cast<std::size_t>(batch) *
-                              static_cast<std::size_t>(out_features_),
+  check_arg(batch_size_matches(out.size(), batch, out_features_),
             "DenseLayer::forward_batch: output size mismatch");
-  // Register tile: kRows batch rows x kCols outputs per block, the shared
+  // Fixed-width tile: kRows batch rows x kCols outputs per block, the shared
   // reduction dimension walked innermost in ascending order. Every (row,
   // output) pair owns one scalar accumulator seeded with the bias, so the
   // accumulation order — and therefore every output bit — matches the
-  // per-sample GEMV regardless of how the tile edges fall.
+  // per-sample GEMV regardless of how the tile edges fall. The weights are
+  // packed transposed once per call (wt[i * O + o]) so the kCols lane loads
+  // in the hot loop are contiguous and the c-loop vectorizes; packing only
+  // reorders reads, never the per-accumulator reduction, so the bits are
+  // unchanged.
   constexpr int kRows = 4;
-  constexpr int kCols = 4;
-  const float* w = weights_.data();
-  for (int b0 = 0; b0 < batch; b0 += kRows) {
-    const int bn = std::min(kRows, batch - b0);
-    for (int o0 = 0; o0 < out_features_; o0 += kCols) {
-      const int on = std::min(kCols, out_features_ - o0);
-      if (bn == kRows && on == kCols) {
+  constexpr int kCols = 8;
+  const int in_dim = in_features_;
+  const int out_dim = out_features_;
+  if (batch < kRows) {
+    // Too few rows to amortize the transpose; per-row GEMV is bit-identical.
+    for (int r = 0; r < batch; ++r) {
+      forward_one(in.data() + static_cast<std::size_t>(r) * in_dim,
+                  out.data() + static_cast<std::size_t>(r) * out_dim);
+    }
+    return;
+  }
+  std::vector<float> wt(weights_.size());
+  for (int o = 0; o < out_dim; ++o) {
+    const float* row = weights_.data() + static_cast<std::size_t>(o) * in_dim;
+    for (int i = 0; i < in_dim; ++i) {
+      wt[static_cast<std::size_t>(i) * out_dim + o] = row[i];
+    }
+  }
+  int b0 = 0;
+  for (; b0 + kRows <= batch; b0 += kRows) {
+    const float* x0 = in.data() + static_cast<std::size_t>(b0) * in_dim;
+    for (int o0 = 0; o0 < out_dim; o0 += kCols) {
+      const int on = std::min(kCols, out_dim - o0);
+      if (on == kCols) {
+#if defined(__SSE2__)
+        // Explicit 4x8 register tile: two 4-lane vectors per row, all eight
+        // accumulators live in registers for the whole i-loop. Each vector
+        // lane is still one (row, output) scalar chain — _mm_add_ps /
+        // _mm_mul_ps apply the identical operation per lane, so the bits
+        // match the scalar tile below exactly. _mm_max_ps(0, x) reproduces
+        // the scalar ReLU bit for bit: it returns the second operand when
+        // the lanes compare equal (so -0.0f survives) or unordered (so NaN
+        // survives), exactly like `x < 0 ? 0 : x`.
+        const float* bz = bias_.data() + o0;
+        __m128 a0l = _mm_loadu_ps(bz), a0h = _mm_loadu_ps(bz + 4);
+        __m128 a1l = a0l, a1h = a0h;
+        __m128 a2l = a0l, a2h = a0h;
+        __m128 a3l = a0l, a3h = a0h;
+        const float* x1 = x0 + in_dim;
+        const float* x2 = x1 + in_dim;
+        const float* x3 = x2 + in_dim;
+        for (int i = 0; i < in_dim; ++i) {
+          const float* wk =
+              wt.data() + static_cast<std::size_t>(i) * out_dim + o0;
+          const __m128 wl = _mm_loadu_ps(wk);
+          const __m128 wh = _mm_loadu_ps(wk + 4);
+          __m128 x = _mm_set1_ps(x0[i]);
+          a0l = _mm_add_ps(a0l, _mm_mul_ps(wl, x));
+          a0h = _mm_add_ps(a0h, _mm_mul_ps(wh, x));
+          x = _mm_set1_ps(x1[i]);
+          a1l = _mm_add_ps(a1l, _mm_mul_ps(wl, x));
+          a1h = _mm_add_ps(a1h, _mm_mul_ps(wh, x));
+          x = _mm_set1_ps(x2[i]);
+          a2l = _mm_add_ps(a2l, _mm_mul_ps(wl, x));
+          a2h = _mm_add_ps(a2h, _mm_mul_ps(wh, x));
+          x = _mm_set1_ps(x3[i]);
+          a3l = _mm_add_ps(a3l, _mm_mul_ps(wl, x));
+          a3h = _mm_add_ps(a3h, _mm_mul_ps(wh, x));
+        }
+        if (relu_) {
+          const __m128 zero = _mm_setzero_ps();
+          a0l = _mm_max_ps(zero, a0l);
+          a0h = _mm_max_ps(zero, a0h);
+          a1l = _mm_max_ps(zero, a1l);
+          a1h = _mm_max_ps(zero, a1h);
+          a2l = _mm_max_ps(zero, a2l);
+          a2h = _mm_max_ps(zero, a2h);
+          a3l = _mm_max_ps(zero, a3l);
+          a3h = _mm_max_ps(zero, a3h);
+        }
+        float* dst = out.data() + static_cast<std::size_t>(b0) * out_dim + o0;
+        _mm_storeu_ps(dst, a0l);
+        _mm_storeu_ps(dst + 4, a0h);
+        dst += out_dim;
+        _mm_storeu_ps(dst, a1l);
+        _mm_storeu_ps(dst + 4, a1h);
+        dst += out_dim;
+        _mm_storeu_ps(dst, a2l);
+        _mm_storeu_ps(dst + 4, a2h);
+        dst += out_dim;
+        _mm_storeu_ps(dst, a3l);
+        _mm_storeu_ps(dst + 4, a3h);
+#else
         float acc[kRows][kCols];
         for (int r = 0; r < kRows; ++r) {
           for (int c = 0; c < kCols; ++c) {
             acc[r][c] = bias_[static_cast<std::size_t>(o0 + c)];
           }
         }
-        for (int i = 0; i < in_features_; ++i) {
-          float wk[kCols];
-          for (int c = 0; c < kCols; ++c) {
-            wk[c] = w[static_cast<std::size_t>(o0 + c) * in_features_ + i];
-          }
+        for (int i = 0; i < in_dim; ++i) {
+          const float* wk = wt.data() + static_cast<std::size_t>(i) * out_dim + o0;
           for (int r = 0; r < kRows; ++r) {
-            const float x =
-                in[static_cast<std::size_t>(b0 + r) * in_features_ + i];
+            const float x = x0[static_cast<std::size_t>(r) * in_dim + i];
             for (int c = 0; c < kCols; ++c) {
               acc[r][c] += wk[c] * x;
             }
@@ -90,30 +186,33 @@ void DenseLayer::forward_batch(std::span<const float> in, std::span<float> out,
         }
         for (int r = 0; r < kRows; ++r) {
           float* dst = out.data() +
-                       static_cast<std::size_t>(b0 + r) * out_features_ + o0;
+                       static_cast<std::size_t>(b0 + r) * out_dim + o0;
           for (int c = 0; c < kCols; ++c) {
             dst[c] = relu_ && acc[r][c] < 0.0f ? 0.0f : acc[r][c];
           }
         }
+#endif
       } else {
-        // Edge tile: same accumulator-per-pair scheme at scalar pace.
-        for (int r = 0; r < bn; ++r) {
-          const float* x =
-              in.data() + static_cast<std::size_t>(b0 + r) * in_features_;
+        // Column edge tile: same accumulator-per-pair scheme at scalar pace.
+        for (int r = 0; r < kRows; ++r) {
+          const float* x = x0 + static_cast<std::size_t>(r) * in_dim;
           float* dst = out.data() +
-                       static_cast<std::size_t>(b0 + r) * out_features_;
+                       static_cast<std::size_t>(b0 + r) * out_dim;
           for (int c = 0; c < on; ++c) {
-            const float* row =
-                w + static_cast<std::size_t>(o0 + c) * in_features_;
             float acc = bias_[static_cast<std::size_t>(o0 + c)];
-            for (int i = 0; i < in_features_; ++i) {
-              acc += row[i] * x[i];
+            for (int i = 0; i < in_dim; ++i) {
+              acc += wt[static_cast<std::size_t>(i) * out_dim + o0 + c] * x[i];
             }
             dst[o0 + c] = relu_ && acc < 0.0f ? 0.0f : acc;
           }
         }
       }
     }
+  }
+  // Row tail: fewer than kRows rows left.
+  for (; b0 < batch; ++b0) {
+    forward_one(in.data() + static_cast<std::size_t>(b0) * in_dim,
+                out.data() + static_cast<std::size_t>(b0) * out_dim);
   }
 }
 
@@ -151,9 +250,7 @@ std::vector<float> Mlp::forward(std::span<const float> in) const {
 
 std::vector<float> Mlp::forward_batch(std::span<const float> in,
                                       int batch) const {
-  check_arg(batch >= 0, "Mlp::forward_batch: batch must be >= 0");
-  check_arg(in.size() == static_cast<std::size_t>(batch) *
-                             static_cast<std::size_t>(in_features()),
+  check_arg(batch_size_matches(in.size(), batch, in_features()),
             "Mlp::forward_batch: input size mismatch");
   std::vector<float> current(in.begin(), in.end());
   std::vector<float> next;

@@ -63,32 +63,50 @@ const char* JsonValue::kind_name() const {
   return "?";
 }
 
+namespace {
+
+// The dynamic message is built only on the throwing path. The accessors sit
+// on the Spec/canonical_json hot paths (hundreds of thousands of calls per
+// scenario run), where an eagerly concatenated std::string argument costs an
+// allocation per call even when the check passes.
+[[noreturn]] void wrong_kind(const char* kind, const char* what) {
+  throw std::invalid_argument(std::string("JsonValue: ") + kind + what);
+}
+
+}  // namespace
+
 bool JsonValue::as_bool() const {
-  check_arg(is_bool(), std::string("JsonValue: ") + kind_name() + " is not a bool");
+  if (!is_bool()) {
+    wrong_kind(kind_name(), " is not a bool");
+  }
   return bool_;
 }
 
 double JsonValue::as_number() const {
-  check_arg(is_number(),
-            std::string("JsonValue: ") + kind_name() + " is not a number");
+  if (!is_number()) {
+    wrong_kind(kind_name(), " is not a number");
+  }
   return number_;
 }
 
 const std::string& JsonValue::as_string() const {
-  check_arg(is_string(),
-            std::string("JsonValue: ") + kind_name() + " is not a string");
+  if (!is_string()) {
+    wrong_kind(kind_name(), " is not a string");
+  }
   return string_;
 }
 
 const std::vector<JsonValue>& JsonValue::items() const {
-  check_arg(is_array(),
-            std::string("JsonValue: ") + kind_name() + " is not an array");
+  if (!is_array()) {
+    wrong_kind(kind_name(), " is not an array");
+  }
   return items_;
 }
 
 const std::vector<JsonValue::Member>& JsonValue::members() const {
-  check_arg(is_object(),
-            std::string("JsonValue: ") + kind_name() + " is not an object");
+  if (!is_object()) {
+    wrong_kind(kind_name(), " is not an object");
+  }
   return members_;
 }
 
@@ -106,15 +124,19 @@ JsonValue* JsonValue::find(const std::string& key) {
 }
 
 JsonValue& JsonValue::append(JsonValue element) {
-  check_arg(is_array(),
-            std::string("JsonValue: cannot append to ") + kind_name());
+  if (!is_array()) {
+    throw std::invalid_argument(std::string("JsonValue: cannot append to ") +
+                                kind_name());
+  }
   items_.push_back(std::move(element));
   return *this;
 }
 
 JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
-  check_arg(is_object(),
-            std::string("JsonValue: cannot set key on ") + kind_name());
+  if (!is_object()) {
+    throw std::invalid_argument(std::string("JsonValue: cannot set key on ") +
+                                kind_name());
+  }
   for (Member& m : members_) {
     if (m.first == key) {
       m.second = std::move(value);
@@ -468,9 +490,13 @@ class JsonParser {
   int column_ = 1;
 };
 
+// Appends 2*indent spaces without materializing a pad string; leaf nodes
+// (the vast majority) never pay for indentation at all.
+void append_indent(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
 void canonical_render(const JsonValue& value, int indent, std::string& out) {
-  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
   switch (value.kind()) {
     case JsonValue::Kind::kNull:
       out += "null";
@@ -482,7 +508,7 @@ void canonical_render(const JsonValue& value, int indent, std::string& out) {
       out += shortest_double(value.as_number());
       return;
     case JsonValue::Kind::kString:
-      out += quote_json_string(value.as_string());
+      quote_json_string_to(out, value.as_string());
       return;
     case JsonValue::Kind::kArray: {
       if (value.items().empty()) {
@@ -496,11 +522,11 @@ void canonical_render(const JsonValue& value, int indent, std::string& out) {
           out += ",\n";
         }
         first = false;
-        out += pad_in;
+        append_indent(out, indent + 1);
         canonical_render(item, indent + 1, out);
       }
       out += '\n';
-      out += pad;
+      append_indent(out, indent);
       out += ']';
       return;
     }
@@ -525,13 +551,13 @@ void canonical_render(const JsonValue& value, int indent, std::string& out) {
           out += ",\n";
         }
         first = false;
-        out += pad_in;
-        out += quote_json_string(m->first);
+        append_indent(out, indent + 1);
+        quote_json_string_to(out, m->first);
         out += ": ";
         canonical_render(m->second, indent + 1, out);
       }
       out += '\n';
-      out += pad;
+      append_indent(out, indent);
       out += '}';
       return;
     }
@@ -583,12 +609,17 @@ void JsonWriter::comma() {
 }
 
 void JsonWriter::write_string(const std::string& s) {
-  out_ += quote_json_string(s);
+  quote_json_string_to(out_, s);
 }
 
 std::string quote_json_string(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
+  quote_json_string_to(out, s);
+  return out;
+}
+
+void quote_json_string_to(std::string& out, const std::string& s) {
   out += '"';
   for (char ch : s) {
     switch (ch) {
@@ -618,7 +649,6 @@ std::string quote_json_string(const std::string& s) {
     }
   }
   out += '"';
-  return out;
 }
 
 JsonWriter& JsonWriter::begin_object() {

@@ -107,6 +107,11 @@ class JsonParseError : public std::runtime_error {
 // `s` as a quoted, escaped JSON string literal (the writer's escaping).
 [[nodiscard]] std::string quote_json_string(const std::string& s);
 
+// Appends the quoted form of `s` to `out` without a temporary — the
+// serialization hot path (canonical_json, JsonWriter) quotes thousands of
+// strings per report.
+void quote_json_string_to(std::string& out, const std::string& s);
+
 class JsonWriter {
  public:
   JsonWriter();

@@ -34,8 +34,12 @@ const Simulation* Registry::find(const std::string& name) const {
 
 const Simulation& Registry::require(const std::string& name) const {
   const Simulation* sim = find(name);
-  check_arg(sim != nullptr, "unknown scenario '" + name +
+  if (sim == nullptr) {
+    // known_names() walks and sorts the registry; build the listing only on
+    // the throwing path — require() sits on the per-run hot path.
+    throw std::invalid_argument("unknown scenario '" + name +
                                 "'; available: " + known_names());
+  }
   return *sim;
 }
 

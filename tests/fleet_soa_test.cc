@@ -1,0 +1,215 @@
+// Byte-identity of the fleet step kernels (datacenter/fleet_kernels.h).
+//
+// The SoA + fixed-width SIMD kernel and the object-based reference kernel
+// follow the same per-lane accumulation contract, so every field of
+// FleetSimulator::Result must match byte for byte — across thread counts,
+// odd group counts that hit partial edge lanes, odd step counts whose tails
+// exercise the remainder loop, and fault-injected runs that take the
+// crash-aware strip bodies.
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+#include "datacenter/fleet_kernels.h"
+#include "datacenter/fleet_sim.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "fault/recovery.h"
+#include "hw/server.h"
+
+namespace sustainai {
+namespace {
+
+using datacenter::FleetSimulator;
+using datacenter::StepKernel;
+
+datacenter::ServerGroup make_group(const char* name, hw::ServerSku sku,
+                                   int count, datacenter::Tier tier,
+                                   datacenter::DiurnalProfile load,
+                                   bool autoscalable) {
+  datacenter::ServerGroup g;
+  g.name = name;
+  g.sku = std::move(sku);
+  g.count = count;
+  g.tier = tier;
+  g.load = load;
+  g.autoscalable = autoscalable;
+  return g;
+}
+
+datacenter::DiurnalProfile diurnal(double trough, double peak,
+                                   double peak_hour) {
+  datacenter::DiurnalProfile p;
+  p.trough = trough;
+  p.peak = peak;
+  p.peak_hour = peak_hour;
+  return p;
+}
+
+// `num_groups` in [1, 7]: a mix of autoscaled/static, accelerated/CPU-only,
+// flat/diurnal, plus a zero-count group the kernels must skip.
+datacenter::Cluster mixed_cluster(int num_groups) {
+  using datacenter::Tier;
+  datacenter::Cluster cluster;
+  const datacenter::ServerGroup all[] = {
+      make_group("web", hw::skus::web_tier(), 117, Tier::kWeb,
+                 diurnal(0.30, 0.95, 14.0), true),
+      make_group("train", hw::skus::gpu_training_8x(), 9, Tier::kAiTraining,
+                 datacenter::flat_profile(0.52), false),
+      make_group("infer", hw::skus::gpu_inference_2x(), 33, Tier::kAiInference,
+                 diurnal(0.25, 0.80, 20.0), false),
+      make_group("empty", hw::skus::web_tier(), 0, Tier::kStorage,
+                 diurnal(0.10, 0.90, 3.0), true),
+      make_group("exp", hw::skus::gpu_training_8x(), 7,
+                 Tier::kAiExperimentation, diurnal(0.15, 0.70, 11.0), true),
+      make_group("storage", hw::skus::web_tier(), 41, Tier::kStorage,
+                 datacenter::flat_profile(0.33), false),
+      make_group("web2", hw::skus::web_tier(), 58, Tier::kWeb,
+                 diurnal(0.20, 0.85, 9.5), true),
+  };
+  for (int i = 0; i < num_groups; ++i) {
+    cluster.add_group(all[i]);
+  }
+  return cluster;
+}
+
+FleetSimulator::Config base_config(int num_groups) {
+  FleetSimulator::Config c;
+  c.cluster = mixed_cluster(num_groups);
+  c.pue = 1.12;
+  c.grid.profile = grids::us_west_solar();
+  c.grid.solar_share = 0.45;
+  c.grid.firm_share = 0.15;
+  // 101 steps: a non-multiple of kStepLanes, so the last strip takes the
+  // remainder loop, and with steps_per_chunk = 7 (rounded up to 8) the last
+  // chunk is short as well.
+  c.step = minutes(15.0);
+  c.horizon = hours(25.25);
+  c.steps_per_chunk = 7;
+  return c;
+}
+
+void expect_identical(const FleetSimulator::Result& a,
+                      const FleetSimulator::Result& b) {
+  EXPECT_EQ(to_joules(a.it_energy), to_joules(b.it_energy));
+  EXPECT_EQ(to_joules(a.facility_energy), to_joules(b.facility_energy));
+  EXPECT_EQ(to_grams_co2e(a.location_carbon), to_grams_co2e(b.location_carbon));
+  EXPECT_EQ(to_grams_co2e(a.market_carbon), to_grams_co2e(b.market_carbon));
+  EXPECT_EQ(a.opportunistic_server_hours, b.opportunistic_server_hours);
+  EXPECT_EQ(to_joules(a.opportunistic_energy), to_joules(b.opportunistic_energy));
+  for (std::size_t t = 0; t < datacenter::kNumTiers; ++t) {
+    const auto tier = static_cast<datacenter::Tier>(t);
+    EXPECT_EQ(to_joules(a.it_energy_for(tier)), to_joules(b.it_energy_for(tier)));
+  }
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    SCOPED_TRACE(a.groups[i].name);
+    EXPECT_EQ(to_joules(a.groups[i].it_energy), to_joules(b.groups[i].it_energy));
+    EXPECT_EQ(a.groups[i].mean_utilization, b.groups[i].mean_utilization);
+    EXPECT_EQ(a.groups[i].freed_server_hours, b.groups[i].freed_server_hours);
+  }
+  EXPECT_EQ(a.faults.lost_server_hours, b.faults.lost_server_hours);
+  EXPECT_EQ(a.faults.redone_work_hours, b.faults.redone_work_hours);
+  EXPECT_EQ(to_joules(a.faults.wasted_energy), to_joules(b.faults.wasted_energy));
+  EXPECT_EQ(to_joules(a.faults.checkpoint_energy),
+            to_joules(b.faults.checkpoint_energy));
+}
+
+FleetSimulator::Result run_with(FleetSimulator::Config c, StepKernel kernel,
+                                exec::ThreadPool* pool = nullptr) {
+  c.kernel = kernel;
+  c.pool = pool;
+  return FleetSimulator(std::move(c)).run();
+}
+
+TEST(FleetSoa, SimdMatchesReferenceByteForByte) {
+  for (const bool autoscaler : {true, false}) {
+    for (const bool opportunistic : {true, false}) {
+      SCOPED_TRACE(testing::Message() << "autoscaler=" << autoscaler
+                                      << " opportunistic=" << opportunistic);
+      FleetSimulator::Config c = base_config(7);
+      c.enable_autoscaler = autoscaler;
+      c.opportunistic_training = opportunistic;
+      expect_identical(run_with(c, StepKernel::kReference),
+                       run_with(c, StepKernel::kSimd));
+    }
+  }
+}
+
+TEST(FleetSoa, OddGroupCountsHitEdgeLanes) {
+  for (const int num_groups : {1, 3, 5, 7}) {
+    SCOPED_TRACE(num_groups);
+    const FleetSimulator::Config c = base_config(num_groups);
+    expect_identical(run_with(c, StepKernel::kReference),
+                     run_with(c, StepKernel::kSimd));
+  }
+}
+
+TEST(FleetSoa, OddStepCountsAndChunkSizesAgree) {
+  // Chunk sizes below kStepLanes round up to one lane block; the horizon
+  // produces step counts with every tail-length residue mod kStepLanes.
+  for (const long chunk : {1L, 3L, 5L, 13L, 101L, 1000L}) {
+    for (const double hours_frac : {24.0, 24.25, 24.5, 24.75}) {
+      SCOPED_TRACE(testing::Message() << "chunk=" << chunk
+                                      << " horizon_h=" << hours_frac);
+      FleetSimulator::Config c = base_config(5);
+      c.horizon = hours(hours_frac);
+      c.steps_per_chunk = chunk;
+      expect_identical(run_with(c, StepKernel::kReference),
+                       run_with(c, StepKernel::kSimd));
+    }
+  }
+}
+
+TEST(FleetSoa, ByteIdenticalAcrossThreadCountsAndKernels) {
+  const FleetSimulator::Config c = base_config(7);
+  exec::ThreadPool one(1);
+  const FleetSimulator::Result reference =
+      run_with(c, StepKernel::kReference, &one);
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE(threads);
+    exec::ThreadPool pool(threads);
+    expect_identical(reference, run_with(c, StepKernel::kSimd, &pool));
+    expect_identical(reference, run_with(c, StepKernel::kReference, &pool));
+  }
+}
+
+TEST(FleetSoa, FaultInjectedRunsAgree) {
+  FleetSimulator::Config c = base_config(5);
+  c.horizon = days(5.0);
+  c.steps_per_chunk = 32;
+  c.faults.rates.host_crash_per_day = 2.0;
+  c.faults.rates.sdc_per_day = 1.0;
+  c.faults.rates.grid_gap_per_day = 0.5;
+  c.faults.seed = 21;
+  const FleetSimulator::Result ref = run_with(c, StepKernel::kReference);
+  const FleetSimulator::Result simd = run_with(c, StepKernel::kSimd);
+  // The crash-aware strip bodies must actually have been exercised.
+  ASSERT_GT(ref.faults.lost_server_hours, 0.0);
+  expect_identical(ref, simd);
+}
+
+TEST(FleetSoa, TableOffMatchesTableOnForBothKernels) {
+  for (const StepKernel kernel : {StepKernel::kReference, StepKernel::kSimd}) {
+    SCOPED_TRACE(kernel == StepKernel::kSimd ? "simd" : "reference");
+    FleetSimulator::Config on = base_config(3);
+    FleetSimulator::Config off = base_config(3);
+    on.use_intensity_table = true;
+    off.use_intensity_table = false;
+    expect_identical(run_with(on, kernel), run_with(off, kernel));
+  }
+}
+
+TEST(FleetSoa, ChunkPlanRespectsLaneAlignment) {
+  for (const std::size_t chunk : {1u, 3u, 7u, 9u, 256u}) {
+    const exec::ChunkPlan plan = exec::plan_chunks(
+        1003, chunk, static_cast<std::size_t>(datacenter::kStepLanes));
+    EXPECT_EQ(plan.chunk_size % datacenter::kStepLanes, 0u) << chunk;
+    // Every interior boundary lands on a lane multiple.
+    for (std::size_t c = 0; c + 1 < plan.num_chunks(); ++c) {
+      EXPECT_EQ(plan.chunk(c).end % datacenter::kStepLanes, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -6,6 +6,7 @@
 // must never change a single bit.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -32,10 +33,12 @@ TEST(DenseLayerForwardBatch, MatchesForwardAcrossBatchAndBlockShapes) {
     int in;
     int out;
   };
-  // Block size is 4x4: cover exact multiples, sub-block sizes, and odd
-  // remainders on both the batch (rows) and output (cols) axes.
-  const Shape shapes[] = {{4, 4}, {8, 8}, {5, 3}, {3, 5}, {9, 7}, {16, 4},
-                          {4, 16}, {1, 1}, {13, 11}};
+  // The tile is 4 rows x 8 output lanes: cover exact multiples, sub-tile
+  // sizes, and odd remainders on both the batch (rows) and output (cols)
+  // axes, including shapes that straddle the 8-wide lane boundary.
+  const Shape shapes[] = {{4, 4},  {8, 8},  {5, 3},  {3, 5},  {9, 7},
+                          {16, 4}, {4, 16}, {1, 1},  {13, 11}, {8, 7},
+                          {7, 8},  {8, 9},  {9, 8},  {3, 24}, {24, 17}};
   const int batches[] = {1, 2, 3, 4, 5, 7, 8, 13};
   for (const Shape& shape : shapes) {
     for (const bool relu : {true, false}) {
@@ -73,6 +76,27 @@ TEST(DenseLayerForwardBatch, ValidatesSizesOncePerCall) {
   EXPECT_THROW(layer.forward_batch(in, out, -1), std::invalid_argument);
   std::vector<float> short_out(5);
   EXPECT_THROW(layer.forward_batch(in, short_out, 3), std::invalid_argument);
+}
+
+TEST(DenseLayerForwardBatch, SizeGuardsCannotWrap) {
+  datagen::Rng rng(6);
+  const DenseLayer layer = DenseLayer::random(3, 2, true, rng);
+  std::vector<float> in(9), out(6);
+  // size_t(batch) * size_t(features) would wrap for a negative batch and
+  // could collide with the span size; the division-based guard must reject
+  // every such combination outright.
+  for (const int bad_batch : {-1, -2, -3, std::numeric_limits<int>::min()}) {
+    EXPECT_THROW(layer.forward_batch(in, out, bad_batch),
+                 std::invalid_argument)
+        << bad_batch;
+  }
+  // batch == 0 demands genuinely empty spans, not a wrapped size match.
+  EXPECT_THROW(layer.forward_batch(in, out, 0), std::invalid_argument);
+  std::vector<float> empty;
+  EXPECT_NO_THROW(layer.forward_batch(empty, empty, 0));
+  const Mlp mlp({3, 2}, rng);
+  EXPECT_THROW((void)mlp.forward_batch(in, -1), std::invalid_argument);
+  EXPECT_THROW((void)mlp.forward_batch(in, 0), std::invalid_argument);
 }
 
 TEST(MlpForwardBatch, MatchesForwardPerRow) {

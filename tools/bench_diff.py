@@ -27,6 +27,18 @@ The scenario-runner contract has an analogous single-file mode:
 This asserts the derived scenario_run_overhead ratio (fleet run driven
 through a declarative JSON spec by scenario::Runner, over calling
 FleetSimulator directly) stays at or below --scenario-max-overhead.
+
+A third single-file mode gates the vectorized step kernels:
+
+    tools/bench_diff.py --check-speedups BENCH_kernels.json
+    tools/bench_diff.py --check-speedups f.json --min dense_simd_speedup=5
+
+This asserts each derived speedup stays at or above its floor (defaults in
+SPEEDUP_FLOORS): the SoA+SIMD fleet kernel over the reference kernel, the
+SIMD-over-table fleet margin, and the forward_batch tile over per-row
+forward at both GEMM shapes. Floors sit well under measured values (the
+shared-host benches are noisy) but far above 1.0, so a kernel silently
+falling back to scalar code still fails the gate.
 """
 
 import argparse
@@ -88,6 +100,54 @@ def check_scenario(path, max_overhead):
     return 0
 
 
+# Minimum acceptable derived speedups (measured values run 1.5-3x higher;
+# the floors leave noise headroom while still catching a scalar fallback).
+SPEEDUP_FLOORS = {
+    "fleet_step_speedup": 4.0,  # SoA+SIMD kernel vs reference direct kernel
+    "fleet_step_simd_speedup": 3.0,  # SoA+SIMD kernel vs table-lookup kernel
+    "dense_gemm_speedup": 3.0,  # forward_batch vs per-row forward, 64^3
+    "dense_simd_speedup": 3.0,  # forward_batch vs per-row forward, 256x128x128
+}
+
+
+def check_speedups(path, floors):
+    _, derived = load_records(path)
+    failures = []
+    for key in sorted(floors):
+        floor = floors[key]
+        value = derived.get(key)
+        if value is None:
+            sys.exit(
+                f"{path}: no derived {key} (run perf_harness with the fleet "
+                "and dense benchmarks enabled)"
+            )
+        status = "ok" if value >= floor else "FAIL"
+        print(f"{key:<28} {value:>7.2f}x  (floor {floor:.1f}x)  {status}")
+        if value < floor:
+            failures.append(key)
+    if failures:
+        print(
+            f"FAIL: {len(failures)} speedup(s) below floor: "
+            + ", ".join(failures)
+        )
+        return 1
+    print("kernel speedup contract holds")
+    return 0
+
+
+def parse_min_overrides(pairs, floors):
+    floors = dict(floors)
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or key not in floors:
+            sys.exit(
+                f"--min: expected KEY=VALUE with KEY one of "
+                f"{', '.join(sorted(floors))}; got {pair!r}"
+            )
+        floors[key] = float(value)
+    return floors
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Flag perf regressions between two perf_harness JSON files."
@@ -131,16 +191,33 @@ def main():
         help="upper bound on scenario_run_overhead for --check-scenario "
         "(default 1.02 = 2%%)",
     )
+    parser.add_argument(
+        "--check-speedups",
+        metavar="FILE",
+        help="single-file mode: assert FILE's derived kernel speedups are "
+        "at or above their floors (see SPEEDUP_FLOORS; override with --min)",
+    )
+    parser.add_argument(
+        "--min",
+        metavar="KEY=VALUE",
+        action="append",
+        default=[],
+        help="override one speedup floor for --check-speedups "
+        "(e.g. --min dense_simd_speedup=5); repeatable",
+    )
     args = parser.parse_args()
 
     if args.check_obs:
         return check_obs(args.check_obs, args.obs_max_overhead)
     if args.check_scenario:
         return check_scenario(args.check_scenario, args.scenario_max_overhead)
+    if args.check_speedups:
+        floors = parse_min_overrides(args.min, SPEEDUP_FLOORS)
+        return check_speedups(args.check_speedups, floors)
     if args.baseline is None or args.candidate is None:
         parser.error(
-            "baseline and candidate are required unless --check-obs or "
-            "--check-scenario"
+            "baseline and candidate are required unless --check-obs, "
+            "--check-scenario, or --check-speedups"
         )
 
     base, base_derived = load_records(args.baseline)
