@@ -10,6 +10,7 @@
 #include "core/intensity_table.h"
 #include "core/units.h"
 #include "datacenter/fleet_sim.h"
+#include "datacenter/planet_sim.h"
 #include "datagen/rng.h"
 #include "hw/server.h"
 #include "obs/metrics.h"
@@ -160,6 +161,64 @@ void bm_fleet_step_obs(benchmark::State& state, bool tracer_on) {
   tracer.clear();
   obs::MetricsRegistry::global().clear();
   state.SetItemsProcessed(state.iterations() * kFleetSteps);
+}
+
+// Planetary-scale sharded run (datacenter/planet_sim.h): kPlanetRegions
+// region-fleets over one simulated year, cycling three distinct grids so
+// the IntensityCache memo is exercised (3 tables back 8 regions). One
+// run() is kPlanetRegions region-years — the derived
+// planet_region_years_per_min throughput key in BENCH_kernels.json is
+// regions * 6e10 / ns_per_op, floored at 100 by bench_diff.py.
+constexpr int kPlanetRegions = 8;
+
+datacenter::PlanetSimulator::Config planet_bench_config() {
+  using namespace datacenter;
+  const Cluster cluster =
+      fleet_bench_config(true, StepKernel::kSimd).cluster;
+  PlanetSimulator::Config c;
+  c.step = minutes(15.0);
+  c.horizon = years(1.0);
+  c.steps_per_chunk = 1024;
+  for (int r = 0; r < kPlanetRegions; ++r) {
+    PlanetSimulator::RegionConfig rc;
+    rc.name = "region-" + std::to_string(r);
+    rc.cluster = cluster;
+    rc.grid = bench_grid_config();
+    switch (r % 3) {
+      case 0:
+        break;  // the shared fleet bench grid
+      case 1:
+        rc.grid.profile = grids::us_west_solar();
+        rc.grid.solar_share = 0.5;
+        break;
+      default:
+        rc.grid.profile = grids::nordic_hydro();
+        rc.grid.firm_share = 0.9;
+        break;
+    }
+    rc.utc_offset_hours = static_cast<double>((r * 3) % 24);
+    c.regions.push_back(std::move(rc));
+  }
+  return c;
+}
+
+// Steady-state planetary stepping only: construction — shared intensity
+// tables, SoA images, shifted clusters — is excluded, mirroring the
+// fleet_step_soa / fleet_build_state split.
+void bm_planet_step(benchmark::State& state) {
+  const datacenter::PlanetSimulator sim(planet_bench_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * kPlanetRegions);
+}
+
+void bm_planet_build_state(benchmark::State& state) {
+  for (auto _ : state) {
+    datacenter::PlanetSimulator sim(planet_bench_config());
+    benchmark::DoNotOptimize(&sim);
+  }
+  state.SetItemsProcessed(state.iterations() * kPlanetRegions);
 }
 
 // The scenario-runner contract (scenario/runner.h): driving a simulator
@@ -360,6 +419,8 @@ void register_kernel_benchmarks(bool smoke) {
     bm_fleet_step(s, true, StepKernel::kSimd);
   });
   add("fleet_build_state", bm_fleet_build_state);
+  add("planet_step", bm_planet_step);
+  add("planet_build_state", bm_planet_build_state);
   add("fleet_step_tracer_off",
       [](benchmark::State& s) { bm_fleet_step_obs(s, false); });
   add("fleet_step_tracer_on",
@@ -448,6 +509,14 @@ std::string render_bench_json(const std::vector<BenchRecord>& records) {
     if (baseline != nullptr && path != nullptr && baseline->ns_per_op > 0.0) {
       w.field(p.key, path->ns_per_op / baseline->ns_per_op);
     }
+  }
+  // Absolute throughput, not a ratio: one planet_step op simulates
+  // kPlanetRegions region-years, so region-years per minute is
+  // regions * 6e10 ns-per-minute / ns_per_op.
+  const BenchRecord* planet = find("planet_step");
+  if (planet != nullptr && planet->ns_per_op > 0.0) {
+    w.field("planet_region_years_per_min",
+            static_cast<double>(kPlanetRegions) * 6.0e10 / planet->ns_per_op);
   }
   w.end_object();
   w.end_object();

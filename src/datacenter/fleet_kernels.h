@@ -36,6 +36,7 @@
 
 #include "datacenter/autoscaler.h"
 #include "datacenter/cluster.h"
+#include "fault/plan.h"
 
 namespace sustainai::datacenter {
 
@@ -130,6 +131,11 @@ class FleetPartial {
   // Chunk-order fold: elementwise add of the whole buffer.
   void merge(const FleetPartial& other);
 
+  // Raw accumulator state, for checkpoint snapshots (planet_sim.h): the
+  // kSections * num_groups flattened buffer, restorable bit-for-bit.
+  [[nodiscard]] const std::vector<double>& buffer() const { return buf_; }
+  void set_buffer(std::vector<double> buf);
+
   static constexpr std::size_t kSections = 8;
 
  private:
@@ -164,5 +170,25 @@ struct FleetStepInputs {
 [[nodiscard]] FleetPartial run_fleet_chunk(const FleetStepInputs& in,
                                            StepKernel kernel,
                                            std::size_t begin, std::size_t end);
+
+// Per-step projections of a fault plan onto a fleet timeline, built serially
+// before any parallel region so the chunk kernels only ever read them.
+// Shared by FleetSimulator (one fleet) and PlanetSimulator (one per region).
+struct FaultProjection {
+  // down[g][s]: hosts of group g offline (crashed, re-warming) at step s.
+  // Empty when the plan contains no host crashes.
+  std::vector<std::vector<int>> down;
+  // intensity_remap[s]: step index whose intensity step s reads. Identity
+  // except during grid data gaps, which hold the last pre-gap reading.
+  // Empty when the plan contains no gaps.
+  std::vector<long> intensity_remap;
+
+  [[nodiscard]] bool any_down() const { return !down.empty(); }
+  [[nodiscard]] bool any_gap() const { return !intensity_remap.empty(); }
+};
+
+[[nodiscard]] FaultProjection project_faults(const fault::FaultPlan& plan,
+                                             const Cluster& cluster,
+                                             long steps, double step_s);
 
 }  // namespace sustainai::datacenter

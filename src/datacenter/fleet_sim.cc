@@ -80,51 +80,17 @@ FleetSimulator::Result FleetSimulator::run() const {
   const fault::FaultPlan plan = faults_enabled
                                     ? config_.faults.plan(config_.horizon)
                                     : fault::FaultPlan();
-  // down[g][s]: hosts of group g offline (crashed, re-warming) at step s.
-  std::vector<std::vector<int>> down;
-  // intensity_remap[s]: step index whose intensity step s reads. Identity
-  // except during grid data gaps, which hold the last pre-gap reading.
-  std::vector<long> intensity_remap;
-  if (!plan.empty()) {
-    for (const fault::FaultEvent& e : plan.events()) {
-      const auto first =
-          static_cast<long>(std::floor(to_seconds(e.time) / step_s));
-      const auto last = static_cast<long>(
-          std::ceil((to_seconds(e.time) + to_seconds(e.duration)) / step_s));
-      if (e.kind == fault::FaultKind::kHostCrash && !groups.empty()) {
-        if (down.empty()) {
-          down.assign(groups.size(), std::vector<int>(
-                                         static_cast<std::size_t>(steps), 0));
-        }
-        const std::size_t gi = static_cast<std::size_t>(
-            e.target % static_cast<std::uint64_t>(groups.size()));
-        for (long s = std::max(0L, first); s < std::min(steps, last); ++s) {
-          auto& d = down[gi][static_cast<std::size_t>(s)];
-          d = std::min(groups[gi].count, d + 1);
-        }
-      } else if (e.kind == fault::FaultKind::kGridDataGap) {
-        if (intensity_remap.empty()) {
-          intensity_remap.resize(static_cast<std::size_t>(steps));
-          for (long s = 0; s < steps; ++s) {
-            intensity_remap[static_cast<std::size_t>(s)] = s;
-          }
-        }
-        const long hold = std::clamp(first, 0L, steps - 1);
-        for (long s = std::max(0L, first); s < std::min(steps, last); ++s) {
-          intensity_remap[static_cast<std::size_t>(s)] =
-              intensity_remap[static_cast<std::size_t>(hold)];
-        }
-      }
-    }
-  }
-  const bool any_gap = !intensity_remap.empty();
+  const FaultProjection proj =
+      project_faults(plan, config_.cluster, steps, step_s);
+  const bool any_gap = proj.any_gap();
 
   // Per-step intensity lane, hoisted out of the kernels entirely: the chunk
   // loops index a contiguous double array instead of calling through the
   // table (or the harmonic evaluation) per step per group.
   std::vector<double> intensity(static_cast<std::size_t>(steps), 0.0);
   for (long s = 0; s < steps; ++s) {
-    const long index = any_gap ? intensity_remap[static_cast<std::size_t>(s)] : s;
+    const long index =
+        any_gap ? proj.intensity_remap[static_cast<std::size_t>(s)] : s;
     intensity[static_cast<std::size_t>(s)] =
         table_ ? table_->at_index(index).base()
                : grid_
@@ -143,7 +109,7 @@ FleetSimulator::Result FleetSimulator::run() const {
   inputs.pue = config_.pue;
   inputs.step_s = step_s;
   inputs.intensity = intensity.data();
-  inputs.down = down.empty() ? nullptr : &down;
+  inputs.down = proj.any_down() ? &proj.down : nullptr;
 
   auto simulate_chunk = [&](std::size_t begin, std::size_t end,
                             std::size_t) -> FleetPartial {
@@ -198,39 +164,14 @@ FleetSimulator::Result FleetSimulator::run() const {
     fs.grid_gaps = plan.count(fault::FaultKind::kGridDataGap);
     fs.lost_server_hours = total.total(total.fault_lost_hours());
     fs.wasted_energy = joules(total.total(total.fault_wasted_j()));
-    // SDC rollbacks hit the training tier: deterministic replay from the
-    // last checkpoint reproduces the same weights, so the cost is pure
-    // accounting — the redone server-hours and the energy they burned —
-    // rather than a dynamics change.
     double train_servers = 0.0;
     for (const ServerGroup& g : groups) {
       if (g.tier == Tier::kAiTraining) {
         train_servers += static_cast<double>(g.count);
       }
     }
-    const double horizon_s = to_seconds(config_.horizon);
-    const double avg_train_w =
-        horizon_s > 0.0
-            ? to_joules(result.it_energy_for(Tier::kAiTraining)) / horizon_s
-            : 0.0;
-    for (const fault::FaultEvent& e :
-         plan.events_of(fault::FaultKind::kSilentCorruption)) {
-      ++fs.sdc_events;
-      const double lost_s =
-          to_seconds(config_.faults.checkpoint.lost_work(e.time));
-      fs.redone_work_hours += lost_s / kSecondsPerHour * train_servers;
-      fs.wasted_energy += joules(avg_train_w * lost_s);
-    }
-    fs.checkpoints = config_.faults.checkpoint.checkpoints_over(config_.horizon);
-    fs.checkpoint_energy =
-        joules(avg_train_w * to_seconds(config_.faults.checkpoint.cost) *
-               static_cast<double>(fs.checkpoints));
-    const double horizon_years = to_seconds(config_.horizon) / kSecondsPerYear;
-    fs.measured_sdc_per_server_year =
-        train_servers > 0.0 && horizon_years > 0.0
-            ? static_cast<double>(fs.sdc_events) /
-                  (train_servers * horizon_years)
-            : 0.0;
+    finish_fault_stats(plan, config_.faults, config_.horizon, train_servers,
+                       result.it_energy_for(Tier::kAiTraining), fs);
     // One span per fault event, on a deterministic per-event lane; emitted
     // serially post-merge so the trace stays byte-identical at any thread
     // count.
@@ -278,6 +219,35 @@ FleetSimulator::Result FleetSimulator::run() const {
         .add(to_joules(fs.checkpoint_energy));
   }
   return result;
+}
+
+void finish_fault_stats(const fault::FaultPlan& plan,
+                        const fault::FaultSpec& spec, Duration horizon,
+                        double train_servers, Energy training_it_energy,
+                        FleetSimulator::FaultStats& fs) {
+  // SDC rollbacks hit the training tier: deterministic replay from the
+  // last checkpoint reproduces the same weights, so the cost is pure
+  // accounting — the redone server-hours and the energy they burned —
+  // rather than a dynamics change.
+  const double horizon_s = to_seconds(horizon);
+  const double avg_train_w =
+      horizon_s > 0.0 ? to_joules(training_it_energy) / horizon_s : 0.0;
+  for (const fault::FaultEvent& e :
+       plan.events_of(fault::FaultKind::kSilentCorruption)) {
+    ++fs.sdc_events;
+    const double lost_s = to_seconds(spec.checkpoint.lost_work(e.time));
+    fs.redone_work_hours += lost_s / kSecondsPerHour * train_servers;
+    fs.wasted_energy += joules(avg_train_w * lost_s);
+  }
+  fs.checkpoints = spec.checkpoint.checkpoints_over(horizon);
+  fs.checkpoint_energy =
+      joules(avg_train_w * to_seconds(spec.checkpoint.cost) *
+             static_cast<double>(fs.checkpoints));
+  const double horizon_years = horizon_s / kSecondsPerYear;
+  fs.measured_sdc_per_server_year =
+      train_servers > 0.0 && horizon_years > 0.0
+          ? static_cast<double>(fs.sdc_events) / (train_servers * horizon_years)
+          : 0.0;
 }
 
 }  // namespace sustainai::datacenter

@@ -130,4 +130,14 @@ class FleetSimulator {
   FleetSoA soa_;                           // empty for the reference kernel
 };
 
+// Fill the event-derived half of `fs` from a fault plan: SDC rollback waste
+// against the training tier, checkpoint overhead, and the measured SDC rate.
+// The caller has already filled the chunk-accumulated half (lost hours,
+// outage waste, event counts). Shared by FleetSimulator and PlanetSimulator
+// so both account faults with the identical expression tree.
+void finish_fault_stats(const fault::FaultPlan& plan,
+                        const fault::FaultSpec& spec, Duration horizon,
+                        double train_servers, Energy training_it_energy,
+                        FleetSimulator::FaultStats& fs);
+
 }  // namespace sustainai::datacenter

@@ -1,0 +1,519 @@
+#include "datacenter/planet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+#include "core/check.h"
+#include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sustainai::datacenter {
+
+namespace {
+
+constexpr const char* kCheckpointSchema = "sustainai-planet-checkpoint-v1";
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t bits) {
+  char hex[17];
+  for (int i = 15; i >= 0; --i) {
+    hex[i] = "0123456789abcdef"[bits & 0xf];
+    bits >>= 4;
+  }
+  hex[16] = '\0';
+  return std::string(hex);
+}
+
+void digest_double(std::string& out, double v) {
+  out += report::shortest_double(v);
+  out += '|';
+}
+
+void digest_long(std::string& out, long v) {
+  out += std::to_string(v);
+  out += '|';
+}
+
+void digest_string(std::string& out, const std::string& s) {
+  out += s;
+  out += '|';
+}
+
+// The required-member dance parse_checkpoint repeats per field.
+const report::JsonValue& require(const report::JsonValue& object,
+                                 const char* key) {
+  const report::JsonValue* member = object.find(key);
+  check_arg(member != nullptr, std::string("planet checkpoint: missing \"") +
+                                   key + "\" member");
+  return *member;
+}
+
+double require_number(const report::JsonValue& object, const char* key) {
+  const report::JsonValue& member = require(object, key);
+  check_arg(member.is_number(), std::string("planet checkpoint: \"") + key +
+                                    "\" must be a number");
+  return member.as_number();
+}
+
+}  // namespace
+
+PlanetSimulator::PlanetSimulator(Config config)
+    : config_(std::move(config)), scaler_(config_.autoscaler) {
+  check_arg(!config_.regions.empty(),
+            "PlanetSimulator: at least one region is required");
+  check_arg(to_seconds(config_.step) > 0.0,
+            "PlanetSimulator: step must be positive");
+  check_arg(to_seconds(config_.horizon) >= to_seconds(config_.step),
+            "PlanetSimulator: horizon must cover at least one step");
+  check_arg(config_.opportunistic_utilization >= 0.0 &&
+                config_.opportunistic_utilization <= 1.0,
+            "PlanetSimulator: opportunistic utilization must be in [0, 1]");
+  check_arg(config_.steps_per_chunk >= 1,
+            "PlanetSimulator: steps_per_chunk must be >= 1");
+
+  step_s_ = to_seconds(config_.step);
+  steps_ = static_cast<long>(to_seconds(config_.horizon) / step_s_);
+  // Interior chunk boundaries stay on lane-block multiples, exactly like
+  // FleetSimulator's plan (chunk_align = kStepLanes), so a 1-region planet
+  // reproduces the fleet's chunk fold bit-for-bit.
+  steps_per_chunk_ =
+      (config_.steps_per_chunk + kStepLanes - 1) / kStepLanes * kStepLanes;
+
+  if (config_.intensity_cache != nullptr) {
+    cache_ = config_.intensity_cache;
+  } else {
+    owned_cache_ = std::make_unique<IntensityCache>();
+    cache_ = owned_cache_.get();
+  }
+
+  regions_.reserve(config_.regions.size());
+  for (const RegionConfig& rc : config_.regions) {
+    check_arg(!rc.cluster.groups().empty(),
+              "PlanetSimulator: region needs at least one server group");
+    check_arg(rc.pue >= 1.0, "PlanetSimulator: region PUE must be >= 1.0");
+    check_arg(rc.cfe_coverage >= 0.0 && rc.cfe_coverage <= 1.0,
+              "PlanetSimulator: region CFE coverage must be in [0, 1]");
+    check_arg(rc.utc_offset_hours >= 0.0 && rc.utc_offset_hours < 24.0,
+              "PlanetSimulator: utc_offset_hours must be in [0, 24)");
+
+    RegionState st;
+    const double offset_s = rc.utc_offset_hours * kSecondsPerHour;
+    st.offset_steps = std::lround(offset_s / step_s_);
+    check_arg(static_cast<double>(st.offset_steps) * step_s_ == offset_s,
+              "PlanetSimulator: utc_offset_hours must be a whole number of "
+              "steps");
+
+    // Rebase each group's diurnal peak to the region's local solar time.
+    // Offset zero copies the cluster untouched so the peak-hour doubles stay
+    // bit-identical to a standalone FleetSimulator over the same cluster.
+    if (st.offset_steps == 0) {
+      st.shifted_cluster = rc.cluster;
+    } else {
+      for (ServerGroup group : rc.cluster.groups()) {
+        group.load.peak_hour =
+            std::fmod(group.load.peak_hour - rc.utc_offset_hours + 48.0, 24.0);
+        st.shifted_cluster.add_group(std::move(group));
+      }
+    }
+
+    st.plan = rc.faults.enabled() ? rc.faults.plan(config_.horizon)
+                                  : fault::FaultPlan();
+    st.projection = project_faults(st.plan, st.shifted_cluster, steps_, step_s_);
+
+    // Prebuild through horizon + offset: the region reads the shared table
+    // at [offset, offset + steps). Intensity pointers are resolved in a
+    // second pass below, after every prebuild-extension has happened.
+    st.shared = cache_->get(rc.grid, config_.step, steps_ + st.offset_steps);
+
+    if (config_.kernel == StepKernel::kSimd) {
+      st.soa = build_fleet_soa(st.shifted_cluster, config_.autoscaler,
+                               config_.enable_autoscaler,
+                               config_.opportunistic_training,
+                               config_.opportunistic_utilization, steps_,
+                               step_s_);
+    }
+    for (const ServerGroup& group : st.shifted_cluster.groups()) {
+      if (group.tier == Tier::kAiTraining) {
+        st.train_servers += static_cast<double>(group.count);
+      }
+    }
+    regions_.push_back(std::move(st));
+  }
+
+  // Second pass: every shared table is now fully extended (a later region's
+  // larger prebuild would have reallocated raw() storage), so the direct
+  // pointers are stable for the simulator's lifetime.
+  for (RegionState& st : regions_) {
+    if (st.projection.any_gap()) {
+      const double* raw = st.shared->table.raw();
+      st.gap_lane.resize(static_cast<std::size_t>(steps_));
+      for (long s = 0; s < steps_; ++s) {
+        st.gap_lane[static_cast<std::size_t>(s)] =
+            raw[st.projection.intensity_remap[static_cast<std::size_t>(s)] +
+                st.offset_steps];
+      }
+      st.intensity = st.gap_lane.data();
+    } else {
+      st.intensity = st.shared->table.raw() + st.offset_steps;
+    }
+  }
+}
+
+std::size_t PlanetSimulator::distinct_intensity_tables() const {
+  std::unordered_set<const SharedIntensityTable*> distinct;
+  for (const RegionState& st : regions_) {
+    distinct.insert(st.shared.get());
+  }
+  return distinct.size();
+}
+
+long PlanetSimulator::checkpoint_stride_steps(
+    const fault::CheckpointPolicy& policy) const {
+  const double interval_s = to_seconds(policy.interval);
+  if (interval_s <= 0.0) {
+    return 0;
+  }
+  const long stride = static_cast<long>(std::ceil(interval_s / step_s_));
+  const long chunks = std::max(1L, (stride + steps_per_chunk_ - 1) / steps_per_chunk_);
+  return chunks * steps_per_chunk_;
+}
+
+PlanetSimulator::Checkpoint PlanetSimulator::start() const {
+  Checkpoint cp;
+  cp.next_step = 0;
+  cp.region_partials.reserve(regions_.size());
+  for (const RegionState& st : regions_) {
+    cp.region_partials.emplace_back(st.shifted_cluster.groups().size());
+  }
+  return cp;
+}
+
+FleetStepInputs PlanetSimulator::inputs_for(const RegionState& st) const {
+  FleetStepInputs in;
+  in.cluster = &st.shifted_cluster;
+  in.scaler = &scaler_;
+  in.soa = config_.kernel == StepKernel::kSimd ? &st.soa : nullptr;
+  in.enable_autoscaler = config_.enable_autoscaler;
+  in.opportunistic_training = config_.opportunistic_training;
+  in.opportunistic_utilization = config_.opportunistic_utilization;
+  in.step_s = step_s_;
+  in.intensity = st.intensity;
+  in.down = st.projection.any_down() ? &st.projection.down : nullptr;
+  return in;
+}
+
+void PlanetSimulator::advance(Checkpoint& cp, long max_steps) const {
+  check_arg(max_steps >= 1, "PlanetSimulator::advance: max_steps must be >= 1");
+  check_arg(cp.region_partials.size() == regions_.size(),
+            "PlanetSimulator::advance: checkpoint region count mismatch");
+  const long begin = cp.next_step;
+  check_arg(begin >= 0 && begin <= steps_,
+            "PlanetSimulator::advance: checkpoint step out of range");
+  if (begin >= steps_) {
+    return;
+  }
+  check_arg(begin % steps_per_chunk_ == 0,
+            "PlanetSimulator::advance: checkpoint not on a chunk boundary");
+
+  // Segment ends round UP to a chunk boundary (clipped to the horizon), so
+  // the sequence of per-region chunk folds — and therefore every byte of
+  // the result — is independent of how a run is cut into segments.
+  const long cpc = steps_per_chunk_;
+  const long c0 = begin / cpc;
+  const long c1 = (std::min(steps_, begin + max_steps) + cpc - 1) / cpc;
+  const long end = std::min(steps_, c1 * cpc);
+  const long windows = c1 - c0;
+
+  obs::Span segment_span("planet.segment", step_s_ * static_cast<double>(begin),
+                         step_s_ * static_cast<double>(end));
+
+  // Per-(region, window) facility energy and location carbon, written by
+  // the owning region's chunk only; merged across regions serially below.
+  std::vector<std::vector<double>> window_energy(
+      regions_.size(), std::vector<double>(static_cast<std::size_t>(windows), 0.0));
+  std::vector<std::vector<double>> window_carbon(
+      regions_.size(), std::vector<double>(static_cast<std::size_t>(windows), 0.0));
+
+  exec::ParallelOptions options;
+  options.pool = config_.pool;
+  // One region per exec chunk: each region is one deterministic obs track
+  // and one unit of shard scheduling, whatever the pool size.
+  options.chunk_size = 1;
+  exec::parallel_for(
+      regions_.size(),
+      [&](std::size_t r) {
+        const RegionState& st = regions_[r];
+        FleetStepInputs in = inputs_for(st);
+        in.pue = config_.regions[r].pue;
+        obs::Span shard_span("planet.shard",
+                             step_s_ * static_cast<double>(begin),
+                             step_s_ * static_cast<double>(end));
+        FleetPartial& acc = cp.region_partials[r];
+        for (long c = c0; c < c1; ++c) {
+          const long b = c * cpc;
+          const long e = std::min(steps_, b + cpc);
+          FleetPartial partial =
+              run_fleet_chunk(in, config_.kernel, static_cast<std::size_t>(b),
+                              static_cast<std::size_t>(e));
+          window_energy[r][static_cast<std::size_t>(c - c0)] =
+              partial.total(partial.group_energy_j()) * in.pue;
+          window_carbon[r][static_cast<std::size_t>(c - c0)] =
+              partial.total(partial.location_g());
+          acc.merge(partial);
+        }
+      },
+      options);
+
+  // Cross-region series merge: ascending region order per window, appended
+  // in window order — a serial left-to-right fold, thread-count-free.
+  for (long w = 0; w < windows; ++w) {
+    const long b = (c0 + w) * cpc;
+    const long e = std::min(steps_, b + cpc);
+    SeriesSample sample;
+    sample.t_begin_s = step_s_ * static_cast<double>(b);
+    sample.t_end_s = step_s_ * static_cast<double>(e);
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+      sample.facility_energy_j += window_energy[r][static_cast<std::size_t>(w)];
+      sample.location_carbon_g += window_carbon[r][static_cast<std::size_t>(w)];
+    }
+    cp.series.push_back(sample);
+  }
+  cp.next_step = end;
+}
+
+void PlanetSimulator::finalize_into(const Checkpoint& cp, Result& result) const {
+  check_arg(cp.next_step == steps_,
+            "PlanetSimulator::finalize: checkpoint has not reached the horizon");
+  check_arg(cp.region_partials.size() == regions_.size(),
+            "PlanetSimulator::finalize: checkpoint region count mismatch");
+
+  result = Result();
+  result.regions.reserve(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const RegionConfig& rc = config_.regions[r];
+    const RegionState& st = regions_[r];
+    const FleetPartial& total = cp.region_partials[r];
+    const auto& groups = st.shifted_cluster.groups();
+
+    RegionResult region;
+    region.name = rc.name;
+    const double* group_energy = total.group_energy_j();
+    // Per-tier sums accumulate in group order (the fleet's convention).
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      region.tier_it_energy[static_cast<std::size_t>(groups[i].tier)] +=
+          joules(group_energy[i]);
+    }
+    region.it_energy = joules(total.total(group_energy));
+    region.facility_energy = region.it_energy * rc.pue;
+    region.location_carbon = grams_co2e(total.total(total.location_g()));
+    region.market_carbon = market_based(region.location_carbon, rc.cfe_coverage);
+    region.opportunistic_energy = joules(total.total(total.opp_energy_j()));
+    region.opportunistic_server_hours = total.total(total.opp_hours());
+    if (rc.faults.enabled()) {
+      FleetSimulator::FaultStats& fs = region.faults;
+      fs.host_crashes = st.plan.count(fault::FaultKind::kHostCrash);
+      fs.grid_gaps = st.plan.count(fault::FaultKind::kGridDataGap);
+      fs.lost_server_hours = total.total(total.fault_lost_hours());
+      fs.wasted_energy = joules(total.total(total.fault_wasted_j()));
+      finish_fault_stats(
+          st.plan, rc.faults, config_.horizon, st.train_servers,
+          region.tier_it_energy[static_cast<std::size_t>(Tier::kAiTraining)],
+          fs);
+    }
+
+    // Planetary totals: a deterministic left-to-right fold in region order.
+    result.it_energy += region.it_energy;
+    result.facility_energy += region.facility_energy;
+    result.location_carbon += region.location_carbon;
+    result.market_carbon += region.market_carbon;
+    result.opportunistic_energy += region.opportunistic_energy;
+    result.opportunistic_server_hours += region.opportunistic_server_hours;
+    for (std::size_t t = 0; t < kNumTiers; ++t) {
+      result.tier_it_energy[t] += region.tier_it_energy[t];
+    }
+    result.regions.push_back(std::move(region));
+  }
+  result.series = cp.series;
+
+  // Recorded post-merge on the calling thread, deterministic at any thread
+  // count (the fleet's convention for metrics).
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.counter("planet_it_energy_joules").add(to_joules(result.it_energy));
+  metrics.counter("planet_facility_energy_joules")
+      .add(to_joules(result.facility_energy));
+  metrics.counter("planet_location_carbon_grams")
+      .add(to_grams_co2e(result.location_carbon));
+  metrics.counter("planet_opportunistic_server_hours")
+      .add(result.opportunistic_server_hours);
+  for (const RegionResult& region : result.regions) {
+    metrics
+        .counter("planet_region_it_energy_joules", {{"region", region.name}})
+        .add(to_joules(region.it_energy));
+  }
+}
+
+PlanetSimulator::Result PlanetSimulator::finalize(const Checkpoint& cp) const {
+  Result result;
+  finalize_into(cp, result);
+  return result;
+}
+
+PlanetSimulator::Result PlanetSimulator::run() const {
+  obs::Span run_span("planet.run", 0.0,
+                     step_s_ * static_cast<double>(steps_));
+  Checkpoint cp = start();
+  advance(cp, steps_);
+  return finalize(cp);
+}
+
+report::JsonValue PlanetSimulator::checkpoint_json(const Checkpoint& cp) const {
+  check_arg(cp.region_partials.size() == regions_.size(),
+            "PlanetSimulator::checkpoint_json: region count mismatch");
+  report::JsonValue root = report::JsonValue::object();
+  root.set("schema", report::JsonValue::string(kCheckpointSchema));
+  root.set("config_digest", report::JsonValue::string(config_digest()));
+  root.set("next_step",
+           report::JsonValue::number(static_cast<double>(cp.next_step)));
+  report::JsonValue regions = report::JsonValue::array();
+  for (const FleetPartial& partial : cp.region_partials) {
+    report::JsonValue buffer = report::JsonValue::array();
+    for (const double v : partial.buffer()) {
+      buffer.append(report::JsonValue::number(v));
+    }
+    regions.append(std::move(buffer));
+  }
+  root.set("regions", std::move(regions));
+  report::JsonValue series = report::JsonValue::array();
+  for (const SeriesSample& s : cp.series) {
+    report::JsonValue sample = report::JsonValue::object();
+    sample.set("t_begin_s", report::JsonValue::number(s.t_begin_s));
+    sample.set("t_end_s", report::JsonValue::number(s.t_end_s));
+    sample.set("facility_energy_j",
+               report::JsonValue::number(s.facility_energy_j));
+    sample.set("location_carbon_g",
+               report::JsonValue::number(s.location_carbon_g));
+    series.append(std::move(sample));
+  }
+  root.set("series", std::move(series));
+  return root;
+}
+
+PlanetSimulator::Checkpoint PlanetSimulator::parse_checkpoint(
+    const report::JsonValue& value) const {
+  check_arg(value.is_object(), "planet checkpoint: root must be an object");
+  const report::JsonValue& schema = require(value, "schema");
+  check_arg(schema.is_string() && schema.as_string() == kCheckpointSchema,
+            "planet checkpoint: unknown schema");
+  const report::JsonValue& digest = require(value, "config_digest");
+  check_arg(digest.is_string() && digest.as_string() == config_digest(),
+            "planet checkpoint: config digest mismatch (snapshot belongs to a "
+            "differently-configured planet)");
+
+  const double next_d = require_number(value, "next_step");
+  const long next_step = static_cast<long>(next_d);
+  check_arg(static_cast<double>(next_step) == next_d && next_step >= 0 &&
+                next_step <= steps_,
+            "planet checkpoint: next_step out of range");
+  check_arg(next_step == steps_ || next_step % steps_per_chunk_ == 0,
+            "planet checkpoint: next_step must be on a chunk boundary");
+
+  const report::JsonValue& regions = require(value, "regions");
+  check_arg(regions.is_array() && regions.items().size() == regions_.size(),
+            "planet checkpoint: region count mismatch");
+
+  Checkpoint cp;
+  cp.next_step = next_step;
+  cp.region_partials.reserve(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const report::JsonValue& buffer_json = regions.items()[r];
+    check_arg(buffer_json.is_array(),
+              "planet checkpoint: region buffer must be an array");
+    std::vector<double> buffer;
+    buffer.reserve(buffer_json.items().size());
+    for (const report::JsonValue& v : buffer_json.items()) {
+      check_arg(v.is_number(),
+                "planet checkpoint: region buffer entries must be numbers");
+      buffer.push_back(v.as_number());
+    }
+    FleetPartial partial(regions_[r].shifted_cluster.groups().size());
+    partial.set_buffer(std::move(buffer));  // throws on a size mismatch
+    cp.region_partials.push_back(std::move(partial));
+  }
+
+  const report::JsonValue& series = require(value, "series");
+  check_arg(series.is_array(), "planet checkpoint: series must be an array");
+  cp.series.reserve(series.items().size());
+  for (const report::JsonValue& s : series.items()) {
+    check_arg(s.is_object(), "planet checkpoint: series samples must be objects");
+    SeriesSample sample;
+    sample.t_begin_s = require_number(s, "t_begin_s");
+    sample.t_end_s = require_number(s, "t_end_s");
+    sample.facility_energy_j = require_number(s, "facility_energy_j");
+    sample.location_carbon_g = require_number(s, "location_carbon_g");
+    cp.series.push_back(sample);
+  }
+  return cp;
+}
+
+std::string PlanetSimulator::config_digest() const {
+  std::string d;
+  d.reserve(512);
+  digest_double(d, step_s_);
+  digest_long(d, steps_);
+  digest_long(d, steps_per_chunk_);
+  digest_long(d, static_cast<long>(config_.kernel));
+  digest_long(d, config_.enable_autoscaler ? 1 : 0);
+  digest_long(d, config_.opportunistic_training ? 1 : 0);
+  digest_double(d, config_.opportunistic_utilization);
+  digest_double(d, config_.autoscaler.target_utilization);
+  digest_double(d, config_.autoscaler.min_active_fraction);
+  digest_double(d, config_.autoscaler.max_freed_fraction);
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const RegionConfig& rc = config_.regions[r];
+    const RegionState& st = regions_[r];
+    digest_string(d, rc.name);
+    digest_string(d, IntensityCache::key_of(rc.grid, config_.step));
+    digest_long(d, st.offset_steps);
+    digest_double(d, rc.pue);
+    digest_double(d, rc.cfe_coverage);
+    digest_string(d, std::to_string(rc.faults.seed));
+    digest_double(d, rc.faults.rates.host_crash_per_day);
+    digest_double(d, rc.faults.rates.preemption_per_day);
+    digest_double(d, rc.faults.rates.sdc_per_day);
+    digest_double(d, rc.faults.rates.grid_gap_per_day);
+    digest_double(d, to_seconds(rc.faults.rates.crash_rewarm));
+    digest_double(d, to_seconds(rc.faults.rates.gap_duration));
+    digest_double(d, to_seconds(rc.faults.checkpoint.interval));
+    digest_double(d, to_seconds(rc.faults.checkpoint.cost));
+    for (const ServerGroup& g : rc.cluster.groups()) {
+      digest_string(d, g.name);
+      digest_long(d, g.count);
+      digest_long(d, static_cast<long>(g.tier));
+      digest_long(d, g.autoscalable ? 1 : 0);
+      digest_double(d, g.load.trough);
+      digest_double(d, g.load.peak);
+      digest_double(d, g.load.peak_hour);
+      digest_string(d, g.sku.name());
+      digest_double(d, to_watts(g.sku.host().tdp));
+      digest_double(d, g.sku.host().idle_fraction);
+      digest_double(d, to_watts(g.sku.accelerator().tdp));
+      digest_double(d, g.sku.accelerator().idle_fraction);
+      digest_long(d, g.sku.accelerator_count());
+    }
+  }
+  return hex64(fnv1a(d));
+}
+
+}  // namespace sustainai::datacenter

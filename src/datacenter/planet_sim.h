@@ -1,0 +1,200 @@
+// Planetary-scale sharded fleet simulation.
+//
+// A planet is N region-fleets stepped over one shared horizon: each region
+// has its own cluster mix, grid, PUE, CFE coverage, fault spec, and a UTC
+// offset that phase-shifts both its diurnal demand and its position in the
+// grid's intensity series. Regions are independent by construction, so the
+// planet shards them over src/exec/ with exactly one region per exec chunk
+// (chunk_size = 1): every region is one deterministic obs track, and the
+// cross-region merge is a serial left-to-right fold in region order —
+// byte-identical at any SUSTAINAI_THREADS (tests/planet_sim_test.cc).
+//
+// Two things keep a 40-region decade cheap:
+//   * IntensityTables are memoized across shards through an IntensityCache
+//     keyed by exact grid parameters (core/intensity_cache.h): 40 regions
+//     on 6 distinct grids build 6 tables, not 40. A region reads the shared
+//     table through `raw() + offset_steps` — zero copies, and same-grid
+//     regions at different offsets are views into one lane.
+//   * Runs advance in checkpointable segments. A Checkpoint is the exact
+//     accumulator state (per-region FleetPartial buffers + the series so
+//     far + the next step index, always on a chunk boundary), and it round-
+//     trips through canonical JSON losslessly (shortest_double), so a run
+//     killed mid-flight resumes — even in a fresh process — to the same
+//     bytes as an uninterrupted run. Segment boundaries round up to chunk
+//     boundaries, so the per-region chunk fold never depends on where a
+//     run was cut (DESIGN.md, "Planetary merge & checkpoint contract").
+//
+// Alongside the per-region/global totals, the planet keeps a carbon-
+// weighted time series with one sample per chunk window (facility energy,
+// location carbon, and their ratio), merged across regions in region order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/carbon_intensity.h"
+#include "core/intensity_cache.h"
+#include "core/units.h"
+#include "datacenter/autoscaler.h"
+#include "datacenter/cluster.h"
+#include "datacenter/fleet_kernels.h"
+#include "datacenter/fleet_sim.h"
+#include "exec/thread_pool.h"
+#include "fault/recovery.h"
+#include "report/json.h"
+
+namespace sustainai::datacenter {
+
+class PlanetSimulator {
+ public:
+  struct RegionConfig {
+    std::string name;
+    Cluster cluster;
+    IntermittentGrid::Config grid;
+    double pue = 1.10;
+    double cfe_coverage = 0.0;
+    // Local solar time leads UTC by this many hours, in [0, 24). Must be a
+    // whole number of steps: it shifts the diurnal peak hour of every group
+    // and the region's read offset into the shared intensity table.
+    double utc_offset_hours = 0.0;
+    fault::FaultSpec faults;
+  };
+
+  struct Config {
+    std::vector<RegionConfig> regions;
+    Duration step = minutes(15.0);
+    Duration horizon = days(365.0);
+    bool enable_autoscaler = true;
+    AutoScaler::Config autoscaler;
+    bool opportunistic_training = true;
+    double opportunistic_utilization = 0.90;
+    exec::ThreadPool* pool = nullptr;
+    // Steps per fleet chunk; also the stride of one series window and the
+    // granule checkpoint boundaries round to. Rounded up to a kStepLanes
+    // multiple at construction so chunk interiors match FleetSimulator's.
+    long steps_per_chunk = 1024;
+    StepKernel kernel = StepKernel::kSimd;
+    // Shared table memo; nullptr builds a cache owned by this simulator.
+    IntensityCache* intensity_cache = nullptr;
+  };
+
+  struct RegionResult {
+    std::string name;
+    Energy it_energy;
+    Energy facility_energy;
+    CarbonMass location_carbon;
+    CarbonMass market_carbon;
+    double opportunistic_server_hours = 0.0;
+    Energy opportunistic_energy;
+    std::array<Energy, kNumTiers> tier_it_energy{};
+    FleetSimulator::FaultStats faults;
+  };
+
+  // One chunk-window sample of the planetary carbon-weighted series.
+  struct SeriesSample {
+    double t_begin_s = 0.0;
+    double t_end_s = 0.0;
+    double facility_energy_j = 0.0;
+    double location_carbon_g = 0.0;
+    [[nodiscard]] double intensity_g_per_j() const {
+      return facility_energy_j > 0.0 ? location_carbon_g / facility_energy_j
+                                     : 0.0;
+    }
+  };
+
+  struct Result {
+    std::vector<RegionResult> regions;
+    Energy it_energy;
+    Energy facility_energy;
+    CarbonMass location_carbon;
+    CarbonMass market_carbon;
+    double opportunistic_server_hours = 0.0;
+    Energy opportunistic_energy;
+    std::array<Energy, kNumTiers> tier_it_energy{};
+    std::vector<SeriesSample> series;
+  };
+
+  // Resumable run state: the exact accumulators after simulating steps
+  // [0, next_step), with next_step always on a chunk boundary (or the
+  // horizon end). Serializes losslessly via checkpoint_json/parse_checkpoint.
+  struct Checkpoint {
+    long next_step = 0;
+    std::vector<FleetPartial> region_partials;  // one per region
+    std::vector<SeriesSample> series;
+  };
+
+  // Validates the config and builds all steady-run state: per-region
+  // shifted clusters, fault plans/projections, SoA images, and the shared
+  // intensity tables (prebuilt through horizon + offset, then read-only).
+  explicit PlanetSimulator(Config config);
+
+  PlanetSimulator(const PlanetSimulator&) = delete;
+  PlanetSimulator& operator=(const PlanetSimulator&) = delete;
+
+  [[nodiscard]] long steps() const { return steps_; }
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] long steps_per_chunk() const { return steps_per_chunk_; }
+  // Distinct IntensityTable objects actually backing the regions — the memo
+  // hit metric (regions sharing a grid share one table, pointer-identical).
+  [[nodiscard]] std::size_t distinct_intensity_tables() const;
+
+  // Steps between checkpoints under `policy`, rounded up to a chunk
+  // boundary; 0 when the policy disables checkpointing.
+  [[nodiscard]] long checkpoint_stride_steps(
+      const fault::CheckpointPolicy& policy) const;
+
+  // Fresh zeroed checkpoint at step 0.
+  [[nodiscard]] Checkpoint start() const;
+
+  // Advances `cp` by up to `max_steps` steps (rounded up to a chunk
+  // boundary, clipped to the horizon), sharding regions over the pool.
+  void advance(Checkpoint& cp, long max_steps) const;
+
+  // Folds a completed checkpoint (next_step == steps()) into a Result.
+  void finalize_into(const Checkpoint& cp, Result& result) const;
+  [[nodiscard]] Result finalize(const Checkpoint& cp) const;
+
+  // start + advance(all) + finalize.
+  [[nodiscard]] Result run() const;
+
+  // Lossless JSON snapshot of a checkpoint (schema "sustainai-planet-
+  // checkpoint-v1"; see DESIGN.md). The embedded config digest is checked
+  // on parse, so a snapshot cannot resume a differently-configured planet.
+  [[nodiscard]] report::JsonValue checkpoint_json(const Checkpoint& cp) const;
+  [[nodiscard]] Checkpoint parse_checkpoint(
+      const report::JsonValue& value) const;
+
+  // FNV-1a digest over every result-affecting config parameter.
+  [[nodiscard]] std::string config_digest() const;
+
+ private:
+  struct RegionState {
+    Cluster shifted_cluster;  // peak hours rebased to the region's UTC offset
+    std::shared_ptr<SharedIntensityTable> shared;
+    FleetSoA soa;  // built for kSimd only
+    // Per-step intensity lane: points into the shared table at the region's
+    // offset, or at `gap_lane` when a grid-data-gap remap materialized one.
+    const double* intensity = nullptr;
+    std::vector<double> gap_lane;
+    fault::FaultPlan plan;
+    FaultProjection projection;
+    long offset_steps = 0;
+    double train_servers = 0.0;
+  };
+
+  [[nodiscard]] FleetStepInputs inputs_for(const RegionState& st) const;
+
+  Config config_;
+  AutoScaler scaler_;
+  double step_s_ = 0.0;
+  long steps_ = 0;
+  long steps_per_chunk_ = 0;
+  std::unique_ptr<IntensityCache> owned_cache_;
+  IntensityCache* cache_ = nullptr;
+  std::vector<RegionState> regions_;
+};
+
+}  // namespace sustainai::datacenter

@@ -45,7 +45,6 @@ void Tracer::set_enabled(bool on) {
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     buffer->spans.clear();
   }
   next_region_.store(0, std::memory_order_relaxed);
@@ -55,6 +54,10 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   auto buffer = std::static_pointer_cast<ThreadBuffer>(t_state.buffer);
   if (buffer == nullptr) {
     buffer = std::make_shared<ThreadBuffer>();
+    // Amortize the first growth steps: a traced run emits thousands of
+    // spans per thread, so starting at a real capacity keeps early records
+    // off the allocator.
+    buffer->spans.reserve(256);
     buffer->thread_index =
         next_thread_index_.fetch_add(1, std::memory_order_relaxed);
     t_state.buffer = buffer;
@@ -65,9 +68,11 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 }
 
 void Tracer::record(SpanRecord&& rec) {
+  // Lock-free: the buffer is thread-local, and the readers (collect, clear,
+  // span_count) require quiescence — see the header contract — so no other
+  // thread ever touches `spans` while a record is in flight.
   ThreadBuffer& buffer = local_buffer();
   rec.thread_index = buffer.thread_index;
-  std::lock_guard<std::mutex> lock(buffer.mu);
   buffer.spans.push_back(std::move(rec));
 }
 
@@ -76,7 +81,6 @@ std::vector<SpanRecord> Tracer::collect() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
     }
   }
@@ -96,7 +100,6 @@ std::size_t Tracer::span_count() const {
   std::size_t n = 0;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     n += buffer->spans.size();
   }
   return n;

@@ -84,16 +84,22 @@ class Tracer {
   }
 
   // Drops every recorded span and resets the deterministic region allocator.
-  // Call between traced runs that must produce identical exports.
+  // Call between traced runs that must produce identical exports. Requires
+  // quiescence (see collect).
   void clear();
 
   // Merged deterministic view of all per-thread buffers, stably sorted by
   // (track, seq). The caller must ensure no span is concurrently being
   // recorded (quiescence); the simulators satisfy this by collecting only
-  // after run() returns.
+  // after run() returns — exec::run_chunks blocks until every chunk has
+  // finished, so the calling thread is a natural quiescent point. record()
+  // relies on this contract to append to its thread-local buffer without a
+  // lock (the per-record mutex was the bulk of tracer-on overhead on the
+  // fleet hot lane).
   [[nodiscard]] std::vector<SpanRecord> collect() const;
 
   // Number of spans currently buffered (post-merge count of collect()).
+  // Requires quiescence (see collect).
   [[nodiscard]] std::size_t span_count() const;
 
   // Next parallel-region ordinal, counting from 1. Deterministic as long as
@@ -103,6 +109,8 @@ class Tracer {
   }
 
   // Internal: appends a finished record to the calling thread's buffer.
+  // Lock-free — safe because buffers are thread-local for writes and the
+  // cross-thread readers (collect/clear/span_count) require quiescence.
   void record(SpanRecord&& rec);
 
   // Nanoseconds since the tracer singleton was created (steady clock).
@@ -110,7 +118,6 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    std::mutex mu;
     std::vector<SpanRecord> spans;
     int thread_index = 0;
   };

@@ -1,6 +1,6 @@
 // Name → Simulation registry: the scenario engine's single front door.
 //
-// Registry::global() carries the six built-in simulations (fleet,
+// Registry::global() carries the seven built-in simulations (fleet, planet,
 // queue_schedule, cross_region_schedule, fl_rounds, lifecycle_estimate,
 // scaling_sweep); tests and downstream tools may register more. Lookups
 // that miss throw with the full list of registered names, mirroring the
@@ -42,7 +42,7 @@ class Registry {
   std::vector<std::unique_ptr<Simulation>> simulations_;
 };
 
-// Registers the six built-in simulations into `registry` (sims.cc).
+// Registers the seven built-in simulations into `registry` (sims.cc).
 void register_builtin_simulations(Registry& registry);
 
 }  // namespace sustainai::scenario

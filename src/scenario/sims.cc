@@ -1,4 +1,4 @@
-// The six built-in simulations: adapters from declarative Specs onto the
+// The seven built-in simulations: adapters from declarative Specs onto the
 // module Configs of datacenter/, fl/, mlcycle/, and scaling/.
 //
 // Conventions shared by every adapter:
@@ -20,6 +20,7 @@
 #include "core/lifecycle.h"
 #include "core/operational.h"
 #include "datacenter/fleet_sim.h"
+#include "datacenter/planet_sim.h"
 #include "datacenter/queue_sim.h"
 #include "datacenter/scheduler.h"
 #include "fault/recovery.h"
@@ -431,6 +432,259 @@ class FleetSimulation final : public Simulation {
           std::to_string(fs.grid_gaps) + " grid gaps; wasted " +
           to_string(fs.wasted_energy));
     }
+    return out;
+  }
+};
+
+// --- planet ---------------------------------------------------------------
+
+class PlanetSimulation final : public Simulation {
+ public:
+  std::string name() const override { return "planet"; }
+
+  std::string description() const override {
+    return "planetary fleet: N region-fleets (own cluster, grid, PUE, UTC "
+           "phase offset, faults) sharded one-region-per-exec-chunk over a "
+           "multi-year horizon, with memoized intensity tables and "
+           "checkpointed segments (Sections III-C, IV-C at planetary scale)";
+  }
+
+  std::vector<ParamDoc> params() const override {
+    std::vector<ParamDoc> docs = {
+        {"years", "number", "1", "simulated horizon in years (365.25-day)"},
+        {"step_min", "number", "60", "simulation step (minutes)"},
+        {"chunk_steps", "int", "1024",
+         "steps per fleet chunk; also the series window and checkpoint "
+         "granule (determinism-neutral)"},
+        {"pue", "number", "1.1", "default PUE for regions that omit one"},
+        {"cfe", "number", "0", "default market CFE share for regions"},
+        {"autoscaler", "bool", "true", "consolidate web tiers off-peak"},
+        {"opportunistic", "bool", "true",
+         "run offline training on freed web servers"},
+        {"opportunistic_utilization", "number", "0.9",
+         "utilization of harvested servers"},
+        {"checkpoint_segments", "int", "1",
+         "split the run into this many checkpointed segments, round-tripping "
+         "the snapshot through canonical JSON between them (byte-identical "
+         "to an uninterrupted run by contract)"},
+        {"regions", "object list", "(required)", "region fleets (see below)"},
+        {"regions[i].name", "string", "region-<i>", "region label"},
+        {"regions[i].utc_offset_h", "number", "0",
+         "local solar time leads UTC by this many hours; must be a whole "
+         "number of steps"},
+        {"regions[i].pue", "number", "top-level pue", "region PUE"},
+        {"regions[i].cfe", "number", "top-level cfe", "region CFE share"},
+        {"regions[i].web_servers", "int", "300", "web-tier server count"},
+        {"regions[i].train_servers", "int", "12", "8-GPU training hosts"},
+        {"regions[i].train_utilization", "number", "0.5",
+         "flat training-tier load"},
+        {"regions[i].web_load.trough", "number", "0.3",
+         "overnight web utilization"},
+        {"regions[i].web_load.peak", "number", "0.9", "peak web utilization"},
+        {"regions[i].web_load.peak_hour", "number", "20",
+         "local hour of the web peak"},
+    };
+    for (ParamDoc& d : grid_param_docs("regions[i].grid")) {
+      docs.push_back(std::move(d));
+    }
+    // Per-region faults block, same schema as the fleet's top-level one.
+    for (ParamDoc& d : fault_param_docs()) {
+      d.name = "regions[i]." + d.name;
+      docs.push_back(std::move(d));
+    }
+    return docs;
+  }
+
+  RunResult run(const Spec& params, const RunContext& ctx) const override {
+    params.allow_only({"years", "step_min", "chunk_steps", "pue", "cfe",
+                       "autoscaler", "opportunistic",
+                       "opportunistic_utilization", "checkpoint_segments",
+                       "regions"});
+    using namespace datacenter;
+
+    const double default_pue =
+        params.optional_double_in("pue", kHyperscalePue, 1.0, 3.0);
+    const double default_cfe = params.optional_double_in("cfe", 0.0, 0.0, 1.0);
+
+    PlanetSimulator::Config config;
+    config.horizon =
+        years(params.optional_double_in("years", 1.0, 0.001, 100.0));
+    config.step =
+        minutes(params.optional_double_in("step_min", 60.0, 0.01, 1440.0));
+    config.steps_per_chunk =
+        params.optional_int_in("chunk_steps", 1024, 1, 1000000);
+    config.enable_autoscaler = params.optional_bool("autoscaler", true);
+    config.opportunistic_training = params.optional_bool("opportunistic", true);
+    config.opportunistic_utilization =
+        params.optional_double_in("opportunistic_utilization", 0.90, 0.0, 1.0);
+    config.pool = ctx.pool;
+
+    const std::vector<Spec> region_specs = params.object_list("regions");
+    if (region_specs.empty()) {
+      throw SpecError(params.path() + ".regions: need at least one region");
+    }
+    std::vector<bool> region_faults_present;
+    for (std::size_t i = 0; i < region_specs.size(); ++i) {
+      const Spec& region = region_specs[i];
+      region.allow_only({"name", "grid", "utc_offset_h", "pue", "cfe",
+                         "web_servers", "train_servers", "train_utilization",
+                         "web_load", "faults"});
+      PlanetSimulator::RegionConfig rc;
+      rc.name =
+          region.optional_string("name", "region-" + std::to_string(i));
+      // Same base seed for every region: regions naming the same grid share
+      // one physical grid — and therefore one memoized IntensityTable.
+      rc.grid = parse_grid(region.optional_child("grid"), ctx.seed);
+      rc.utc_offset_hours =
+          region.optional_double_in("utc_offset_h", 0.0, 0.0, 24.0);
+      rc.pue = region.optional_double_in("pue", default_pue, 1.0, 3.0);
+      rc.cfe_coverage = region.optional_double_in("cfe", default_cfe, 0.0, 1.0);
+
+      const Spec web_load = region.optional_child("web_load");
+      web_load.allow_only({"trough", "peak", "peak_hour"});
+      ServerGroup web;
+      web.name = "web";
+      web.sku = hw::skus::web_tier();
+      web.count = static_cast<int>(
+          region.optional_int_in("web_servers", 300, 0, 10000000));
+      web.tier = Tier::kWeb;
+      web.load = DiurnalProfile{
+          web_load.optional_double_in("trough", 0.3, 0.0, 1.0),
+          web_load.optional_double_in("peak", 0.9, 0.0, 1.0),
+          web_load.optional_double_in("peak_hour", 20.0, 0.0, 24.0)};
+      web.autoscalable = true;
+      rc.cluster.add_group(web);
+
+      ServerGroup train;
+      train.name = "train";
+      train.sku = hw::skus::gpu_training_8x();
+      train.count = static_cast<int>(
+          region.optional_int_in("train_servers", 12, 0, 1000000));
+      train.tier = Tier::kAiTraining;
+      train.load = flat_profile(
+          region.optional_double_in("train_utilization", 0.5, 0.0, 1.0));
+      rc.cluster.add_group(train);
+
+      // Per-region fault schedules fork off the run seed by region ordinal
+      // so sibling regions never share an event stream.
+      const std::uint64_t region_seed =
+          ctx.seed ^ (0x51ed2701ULL * static_cast<std::uint64_t>(i + 1));
+      const ParsedFaults parsed_faults = parse_faults(region, region_seed);
+      rc.faults = parsed_faults.spec;
+      region_faults_present.push_back(parsed_faults.present);
+      config.regions.push_back(std::move(rc));
+    }
+
+    const PlanetSimulator sim(config);
+    const long segments = params.optional_int_in(
+        "checkpoint_segments", 1, 1,
+        std::max(1L, sim.steps() / sim.steps_per_chunk()));
+    PlanetSimulator::Result result;
+    if (segments <= 1) {
+      result = sim.run();
+    } else {
+      // Segmented run with a canonical-JSON snapshot round trip at every
+      // boundary: exercises the exact stop/resume path a killed multi-year
+      // run takes, and is byte-identical to sim.run() by the checkpoint
+      // contract (tests/planet_sim_test.cc).
+      PlanetSimulator::Checkpoint cp = sim.start();
+      const long stride = (sim.steps() + segments - 1) / segments;
+      while (cp.next_step < sim.steps()) {
+        sim.advance(cp, stride);
+        cp = sim.parse_checkpoint(
+            report::parse_json(report::canonical_json(sim.checkpoint_json(cp))));
+      }
+      result = sim.finalize(cp);
+    }
+
+    RunResult out;
+    out.scenario = name();
+    out.summary_header = {"region", "IT energy", "facility", "location carbon",
+                          "market carbon"};
+    JsonValue regions = JsonValue::array();
+    for (std::size_t r = 0; r < result.regions.size(); ++r) {
+      const PlanetSimulator::RegionResult& region = result.regions[r];
+      out.summary_rows.push_back(
+          {region.name, to_string(region.it_energy),
+           to_string(region.facility_energy),
+           to_string(region.location_carbon),
+           to_string(region.market_carbon)});
+      JsonValue jr = JsonValue::object();
+      jr.set("name", str(region.name));
+      jr.set("it_energy_j", num(to_joules(region.it_energy)));
+      jr.set("facility_energy_j", num(to_joules(region.facility_energy)));
+      jr.set("location_carbon_g", num(to_grams_co2e(region.location_carbon)));
+      jr.set("market_carbon_g", num(to_grams_co2e(region.market_carbon)));
+      jr.set("opportunistic_server_hours",
+             num(region.opportunistic_server_hours));
+      jr.set("opportunistic_energy_j",
+             num(to_joules(region.opportunistic_energy)));
+      if (region_faults_present[r]) {
+        const FleetSimulator::FaultStats& fs = region.faults;
+        JsonValue jf = JsonValue::object();
+        jf.set("host_crashes", num(static_cast<double>(fs.host_crashes)));
+        jf.set("sdc_events", num(static_cast<double>(fs.sdc_events)));
+        jf.set("grid_gaps", num(static_cast<double>(fs.grid_gaps)));
+        jf.set("checkpoints", num(static_cast<double>(fs.checkpoints)));
+        jf.set("lost_server_hours", num(fs.lost_server_hours));
+        jf.set("redone_work_hours", num(fs.redone_work_hours));
+        jf.set("wasted_energy_j", num(to_joules(fs.wasted_energy)));
+        jf.set("checkpoint_energy_j", num(to_joules(fs.checkpoint_energy)));
+        jf.set("measured_sdc_per_server_year",
+               num(fs.measured_sdc_per_server_year));
+        jr.set("faults", std::move(jf));
+      }
+      regions.append(std::move(jr));
+    }
+
+    JsonValue tiers = JsonValue::object();
+    for (std::size_t t = 0; t < kNumTiers; ++t) {
+      if (to_joules(result.tier_it_energy[t]) == 0.0) {
+        continue;
+      }
+      tiers.set(to_string(static_cast<Tier>(t)),
+                num(to_joules(result.tier_it_energy[t])));
+    }
+
+    JsonValue& rep = out.report;
+    rep.set("it_energy_j", num(to_joules(result.it_energy)));
+    rep.set("facility_energy_j", num(to_joules(result.facility_energy)));
+    rep.set("location_carbon_g", num(to_grams_co2e(result.location_carbon)));
+    rep.set("market_carbon_g", num(to_grams_co2e(result.market_carbon)));
+    rep.set("opportunistic_server_hours",
+            num(result.opportunistic_server_hours));
+    rep.set("opportunistic_energy_j",
+            num(to_joules(result.opportunistic_energy)));
+    rep.set("tier_it_energy_j", std::move(tiers));
+    rep.set("region_count", num(static_cast<double>(sim.region_count())));
+    rep.set("distinct_intensity_tables",
+            num(static_cast<double>(sim.distinct_intensity_tables())));
+    rep.set("checkpoint_segments", num(static_cast<double>(segments)));
+    rep.set("regions", std::move(regions));
+
+    report::CsvWriter csv({"t_begin_s", "t_end_s", "facility_energy_j",
+                           "location_carbon_g", "intensity_g_per_j"});
+    for (const PlanetSimulator::SeriesSample& s : result.series) {
+      csv.add_row({report::shortest_double(s.t_begin_s),
+                   report::shortest_double(s.t_end_s),
+                   report::shortest_double(s.facility_energy_j),
+                   report::shortest_double(s.location_carbon_g),
+                   report::shortest_double(s.intensity_g_per_j())});
+    }
+    out.csv_series.emplace_back("planet_series", csv.to_string());
+
+    out.notes = {
+        "regions:          " + std::to_string(sim.region_count()) + " (" +
+            std::to_string(sim.distinct_intensity_tables()) +
+            " distinct intensity tables)",
+        "IT energy:        " + to_string(result.it_energy),
+        "facility energy:  " + to_string(result.facility_energy),
+        "location carbon:  " + to_string(result.location_carbon),
+        "market carbon:    " + to_string(result.market_carbon),
+        "opportunistic:    " +
+            report::fmt(result.opportunistic_server_hours) + " server-h, " +
+            to_string(result.opportunistic_energy),
+    };
     return out;
   }
 };
@@ -1137,6 +1391,7 @@ class ScalingSweepSimulation final : public Simulation {
 
 void register_builtin_simulations(Registry& registry) {
   registry.add(std::make_unique<FleetSimulation>());
+  registry.add(std::make_unique<PlanetSimulation>());
   registry.add(std::make_unique<QueueScheduleSimulation>());
   registry.add(std::make_unique<CrossRegionScheduleSimulation>());
   registry.add(std::make_unique<FlRoundsSimulation>());

@@ -1,0 +1,89 @@
+#include "core/intensity_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace sustainai {
+namespace {
+
+IntermittentGrid::Config solar_config(std::uint64_t seed) {
+  IntermittentGrid::Config g;
+  g.profile = grids::us_west_solar();
+  g.solar_share = 0.5;
+  g.firm_share = 0.1;
+  g.seed = seed;
+  return g;
+}
+
+TEST(IntensityCache, SameKeyReturnsIdenticalObject) {
+  IntensityCache cache;
+  const auto a = cache.get(solar_config(42), minutes(15.0), 96);
+  const auto b = cache.get(solar_config(42), minutes(15.0), 96);
+  EXPECT_EQ(a.get(), b.get());  // pointer equality, not just value equality
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(IntensityCache, SecondGetExtendsPrebuildInPlace) {
+  IntensityCache cache;
+  const auto a = cache.get(solar_config(42), minutes(15.0), 96);
+  EXPECT_GE(a->table.built(), 96L);
+  const auto b = cache.get(solar_config(42), minutes(15.0), 400);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GE(a->table.built(), 400L);
+}
+
+TEST(IntensityCache, DistinctParametersGetDistinctTables) {
+  IntensityCache cache;
+  const auto base = cache.get(solar_config(42), minutes(15.0), 8);
+  // A different seed, a different share, and a different step are all
+  // distinct exact-match keys.
+  EXPECT_NE(base.get(), cache.get(solar_config(43), minutes(15.0), 8).get());
+  auto shifted = solar_config(42);
+  shifted.solar_share = 0.5000000001;
+  EXPECT_NE(base.get(), cache.get(shifted, minutes(15.0), 8).get());
+  EXPECT_NE(base.get(), cache.get(solar_config(42), minutes(30.0), 8).get());
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(IntensityCache, LookupsAreByteIdenticalToDirectGrid) {
+  IntensityCache cache;
+  const auto shared = cache.get(solar_config(42), minutes(15.0), 192);
+  const IntermittentGrid direct(solar_config(42));
+  for (long k = 0; k < 192; ++k) {
+    const double t_s = to_seconds(minutes(15.0)) * static_cast<double>(k);
+    EXPECT_EQ(shared->table.raw()[k],
+              direct.intensity_at(seconds(t_s)).base())
+        << "k=" << k;
+  }
+}
+
+TEST(IntensityCache, BoundedButEvictionFree) {
+  IntensityCache cache(/*max_entries=*/2);
+  const auto a = cache.get(solar_config(1), minutes(15.0), 8);
+  const auto b = cache.get(solar_config(2), minutes(15.0), 8);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // At capacity: a third key builds a private table, displacing nothing.
+  const auto c1 = cache.get(solar_config(3), minutes(15.0), 8);
+  const auto c2 = cache.get(solar_config(3), minutes(15.0), 8);
+  EXPECT_NE(c1.get(), c2.get());  // unshared: each miss builds its own
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The resident entries are still served shared.
+  EXPECT_EQ(a.get(), cache.get(solar_config(1), minutes(15.0), 8).get());
+  EXPECT_EQ(b.get(), cache.get(solar_config(2), minutes(15.0), 8).get());
+}
+
+TEST(IntensityCache, RejectsBadArguments) {
+  EXPECT_THROW(IntensityCache{0}, std::invalid_argument);
+  IntensityCache cache;
+  EXPECT_THROW((void)cache.get(solar_config(42), seconds(0.0), 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai

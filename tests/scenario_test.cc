@@ -288,14 +288,22 @@ const char* minimal_spec(const std::string& name) {
                "params": {"data_factors": [1, 2, 4],
                           "model_factors": [1, 2, 4]}})";
   }
+  if (name == "planet") {
+    return R"({"scenario": "planet",
+               "params": {"years": 0.02, "chunk_steps": 16,
+                          "regions": [{"grid": {"name": "us-west-solar"}},
+                                      {"grid": {"name": "nordic-hydro"},
+                                       "utc_offset_h": 8}]}})";
+  }
   ADD_FAILURE() << "no minimal spec for " << name;
   return "{}";
 }
 
-TEST(Registry, HasExactlyTheSixBuiltins) {
+TEST(Registry, HasExactlyTheSevenBuiltins) {
   const std::vector<std::string> expected = {
       "cross_region_schedule", "fl_rounds",      "fleet",
-      "lifecycle_estimate",    "queue_schedule", "scaling_sweep"};
+      "lifecycle_estimate",    "planet",         "queue_schedule",
+      "scaling_sweep"};
   std::vector<std::string> actual;
   for (const scenario::Simulation* sim : Registry::global().simulations()) {
     actual.push_back(sim->name());

@@ -7,10 +7,13 @@
 //   sustainai schedule --jobs 24 --duration-h 4 --slack-h 20 --grid us-west-solar
 //   sustainai fl --clients 100 --rounds-per-day 24 --days 90
 //   sustainai fleet --days 7 --trace /tmp/fleet.json --metrics /tmp/fleet.prom
+//   sustainai planet --regions 8 --years 1 --checkpoint /tmp/planet.ckpt
 //   sustainai run scenarios/fleet_week.json --out /tmp/fleet_week
 //   sustainai scenarios            # list registered scenario simulations
 //
 // Each subcommand prints the same accounting the paper's figures use.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -21,6 +24,7 @@
 
 #include "core/equivalence.h"
 #include "datacenter/fleet_sim.h"
+#include "datacenter/planet_sim.h"
 #include "datacenter/scheduler.h"
 #include "fl/round_sim.h"
 #include "hw/server.h"
@@ -315,6 +319,136 @@ std::string read_text_file(const std::string& path) {
   return buffer.str();
 }
 
+// Deterministic built-in planet: `--regions` fleets cycling over `--grids`
+// distinct grid profiles (same profile + same seed => one shared memoized
+// IntensityTable) with UTC offsets marching around the globe in 3-hour
+// increments.
+datacenter::PlanetSimulator::Config planet_config(const Flags& flags) {
+  using namespace sustainai::datacenter;
+  static const char* kGridCycle[] = {"us-west-solar",   "us-average",
+                                     "nordic-hydro",    "asia-pacific",
+                                     "us-midwest-coal", "hydro-quebec"};
+  constexpr long kGridCycleSize = 6;
+  const long regions = static_cast<long>(flag_double(flags, "regions", 8.0));
+  long distinct = static_cast<long>(flag_double(flags, "grids", 3.0));
+  if (regions < 1) {
+    throw std::invalid_argument("--regions must be >= 1");
+  }
+  distinct = std::min(std::max(distinct, 1L), kGridCycleSize);
+
+  PlanetSimulator::Config config;
+  config.horizon = years(flag_double(flags, "years", 1.0));
+  config.step = minutes(flag_double(flags, "step-min", 60.0));
+  config.steps_per_chunk =
+      static_cast<long>(flag_double(flags, "chunk-steps", 1024.0));
+  for (long r = 0; r < regions; ++r) {
+    PlanetSimulator::RegionConfig rc;
+    const char* grid_name = kGridCycle[r % distinct];
+    rc.name = "region-" + std::to_string(r) + "-" + grid_name;
+    rc.grid.profile = grid_by_name(grid_name);
+    rc.grid.seed = 42;  // shared: same-grid regions memoize one table
+    rc.utc_offset_hours = static_cast<double>((r * 3) % 24);
+
+    ServerGroup web;
+    web.name = "web";
+    web.sku = hw::skus::web_tier();
+    web.count = static_cast<int>(flag_double(flags, "web-servers", 300.0));
+    web.tier = Tier::kWeb;
+    web.load = DiurnalProfile{0.3, 0.9, 20.0};
+    web.autoscalable = true;
+    rc.cluster.add_group(web);
+    ServerGroup train;
+    train.name = "train";
+    train.sku = hw::skus::gpu_training_8x();
+    train.count = static_cast<int>(flag_double(flags, "train-servers", 12.0));
+    train.tier = Tier::kAiTraining;
+    train.load = flat_profile(0.5);
+    rc.cluster.add_group(train);
+    config.regions.push_back(std::move(rc));
+  }
+  return config;
+}
+
+int cmd_planet(const Flags& flags) {
+  using namespace sustainai::datacenter;
+  const PlanetSimulator sim(planet_config(flags));
+
+  const std::string checkpoint_path = flag_string(flags, "checkpoint", "");
+  const std::string resume_path = flag_string(flags, "resume", "");
+  long segment_steps =
+      static_cast<long>(flag_double(flags, "segment-steps", 0.0));
+  const long stop_after =
+      static_cast<long>(flag_double(flags, "stop-after", 0.0));
+  if (segment_steps <= 0) {
+    segment_steps = sim.steps();
+  }
+
+  PlanetSimulator::Checkpoint cp =
+      resume_path.empty()
+          ? sim.start()
+          : sim.parse_checkpoint(report::parse_json(read_text_file(resume_path)));
+  const long start_step = cp.next_step;
+  if (!resume_path.empty()) {
+    std::printf("resumed from %s at step %ld/%ld\n", resume_path.c_str(),
+                start_step, sim.steps());
+  }
+
+  long segments_run = 0;
+  const auto wall0 = std::chrono::steady_clock::now();
+  while (cp.next_step < sim.steps()) {
+    sim.advance(cp, segment_steps);
+    ++segments_run;
+    if (!checkpoint_path.empty()) {
+      write_text_file(checkpoint_path,
+                      report::canonical_json(sim.checkpoint_json(cp)) + "\n");
+    }
+    if (stop_after > 0 && segments_run >= stop_after &&
+        cp.next_step < sim.steps()) {
+      std::printf("stopped after %ld segment(s) at step %ld/%ld", segments_run,
+                  cp.next_step, sim.steps());
+      if (!checkpoint_path.empty()) {
+        std::printf("; resume with --resume %s", checkpoint_path.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  const PlanetSimulator::Result result = sim.finalize(cp);
+  report::Table t({"region", "IT energy", "facility", "location carbon",
+                   "market carbon"});
+  for (const PlanetSimulator::RegionResult& region : result.regions) {
+    t.add_row({region.name, to_string(region.it_energy),
+               to_string(region.facility_energy),
+               to_string(region.location_carbon),
+               to_string(region.market_carbon)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("  regions:          %zu (%zu distinct intensity tables)\n",
+              sim.region_count(), sim.distinct_intensity_tables());
+  std::printf("  IT energy:        %s\n", to_string(result.it_energy).c_str());
+  std::printf("  facility energy:  %s\n",
+              to_string(result.facility_energy).c_str());
+  std::printf("  location carbon:  %s\n",
+              to_string(result.location_carbon).c_str());
+  std::printf("  market carbon:    %s\n",
+              to_string(result.market_carbon).c_str());
+  const double step_s = flag_double(flags, "step-min", 60.0) * 60.0;
+  const double region_years_done =
+      static_cast<double>(sim.region_count()) *
+      (static_cast<double>(sim.steps() - start_step) * step_s /
+       kSecondsPerYear);
+  if (wall_s > 0.0 && region_years_done > 0.0) {
+    std::printf("  throughput:       %.0f region-years/min (%.1f region-years "
+                "in %.2f s)\n",
+                region_years_done / (wall_s / 60.0), region_years_done, wall_s);
+  }
+  return 0;
+}
+
 int cmd_run(int argc, char** argv) {
   if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
     std::fprintf(stderr, "usage: sustainai run <scenario.json> [--out DIR]\n");
@@ -400,6 +534,12 @@ int usage() {
       "             Chrome trace and Prometheus metrics\n"
       "             (--days --web-servers --train-servers --grid --chunk-steps\n"
       "              --trace PATH --metrics PATH)\n"
+      "  planet     run the planetary sharded fleet simulator: N region-fleets\n"
+      "             cycling distinct grids with UTC phase offsets, optionally\n"
+      "             checkpointed in resumable segments\n"
+      "             (--regions --grids --years --step-min --chunk-steps\n"
+      "              --segment-steps --checkpoint PATH --resume PATH\n"
+      "              --stop-after K)\n"
       "  model-card render the carbon section of a model card (markdown)\n"
       "             (--name --device --count --runtime-days --utilization --grid)\n"
       "  run        run a declarative JSON scenario through the registry,\n"
@@ -444,6 +584,9 @@ int main(int argc, char** argv) {
     }
     if (command == "fleet") {
       return cmd_fleet(flags);
+    }
+    if (command == "planet") {
+      return cmd_planet(flags);
     }
     if (command == "model-card") {
       return cmd_model_card(flags);
