@@ -4,12 +4,33 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/intensity_cache.h"
 #include "exec/parallel.h"
 #include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sustainai::datacenter {
+
+namespace {
+
+constexpr const char* kCheckpointSchema = "sustainai-fleet-checkpoint-v1";
+
+const char* fault_span_name(fault::FaultKind kind) {
+  switch (kind) {
+    case fault::FaultKind::kHostCrash:
+      return "fault.host_crash";
+    case fault::FaultKind::kJobPreemption:
+      return "fault.job_preemption";
+    case fault::FaultKind::kSilentCorruption:
+      return "fault.silent_corruption";
+    case fault::FaultKind::kGridDataGap:
+      return "fault.grid_data_gap";
+  }
+  return "fault.unknown";
+}
+
+}  // namespace
 
 Energy FleetSimulator::Result::it_energy_for(Tier tier) const {
   const auto index = static_cast<std::size_t>(tier);
@@ -35,8 +56,9 @@ FleetSimulator::FleetSimulator(Config config)
   steps_ = static_cast<long>(to_seconds(config_.horizon) / step_s_);
 
   // All per-run invariants are built here, once: run() must never pay a
-  // table or SoA rebuild (that rebuild is exactly what used to make the
-  // "optimized" table path lose to the direct one in the benchmarks).
+  // table, SoA, or fault-projection rebuild (that rebuild is exactly what
+  // used to make the "optimized" table path lose to the direct one in the
+  // benchmarks).
   if (config_.use_intensity_table) {
     table_ = std::make_unique<IntensityTable>(grid_, seconds(0.0), config_.step);
     table_->prebuild(steps_);
@@ -47,58 +69,58 @@ FleetSimulator::FleetSimulator(Config config)
                            config_.opportunistic_training,
                            config_.opportunistic_utilization, steps_, step_s_);
   }
-}
 
-namespace {
-
-const char* fault_span_name(fault::FaultKind kind) {
-  switch (kind) {
-    case fault::FaultKind::kHostCrash:
-      return "fault.host_crash";
-    case fault::FaultKind::kJobPreemption:
-      return "fault.job_preemption";
-    case fault::FaultKind::kSilentCorruption:
-      return "fault.silent_corruption";
-    case fault::FaultKind::kGridDataGap:
-      return "fault.grid_data_gap";
-  }
-  return "fault.unknown";
-}
-
-}  // namespace
-
-FleetSimulator::Result FleetSimulator::run() const {
-  const auto& groups = config_.cluster.groups();
-  const double step_s = step_s_;
-  const long steps = steps_;
-
-  obs::Span run_span("fleet.run", 0.0, step_s * static_cast<double>(steps));
-
-  // Fault plan and its per-step projections are built serially up front —
-  // like the intensity table — so the parallel chunks only ever read them.
-  const bool faults_enabled = config_.faults.enabled();
-  const fault::FaultPlan plan = faults_enabled
-                                    ? config_.faults.plan(config_.horizon)
-                                    : fault::FaultPlan();
-  const FaultProjection proj =
-      project_faults(plan, config_.cluster, steps, step_s);
-  const bool any_gap = proj.any_gap();
+  // Fault plan and its per-step projections, built serially up front — like
+  // the intensity table — so the parallel chunks only ever read them.
+  faults_enabled_ = config_.faults.enabled();
+  plan_ = faults_enabled_ ? config_.faults.plan(config_.horizon)
+                          : fault::FaultPlan();
+  projection_ = project_faults(plan_, config_.cluster, steps_, step_s_);
+  const bool any_gap = projection_.any_gap();
 
   // Per-step intensity lane, hoisted out of the kernels entirely: the chunk
   // loops index a contiguous double array instead of calling through the
   // table (or the harmonic evaluation) per step per group.
-  std::vector<double> intensity(static_cast<std::size_t>(steps), 0.0);
-  for (long s = 0; s < steps; ++s) {
+  intensity_.assign(static_cast<std::size_t>(steps_), 0.0);
+  for (long s = 0; s < steps_; ++s) {
     const long index =
-        any_gap ? proj.intensity_remap[static_cast<std::size_t>(s)] : s;
-    intensity[static_cast<std::size_t>(s)] =
+        any_gap ? projection_.intensity_remap[static_cast<std::size_t>(s)] : s;
+    intensity_[static_cast<std::size_t>(s)] =
         table_ ? table_->at_index(index).base()
                : grid_
                      .intensity_at(
-                         seconds(step_s * static_cast<double>(index)))
+                         seconds(step_s_ * static_cast<double>(index)))
                      .base();
   }
 
+  for (const ServerGroup& g : config_.cluster.groups()) {
+    if (g.tier == Tier::kAiTraining) {
+      train_servers_ += static_cast<double>(g.count);
+    }
+  }
+
+  engine::ShardedRun<FleetPartial>::Config rcfg;
+  rcfg.steps = steps_;
+  rcfg.steps_per_chunk = config_.steps_per_chunk;
+  // Interior chunk boundaries stay on lane-block multiples, so every chunk
+  // fills its lanes in the same pattern regardless of where it starts.
+  rcfg.chunk_align = kStepLanes;
+  rcfg.shards = 1;
+  rcfg.pool = config_.pool;
+  rcfg.topology = engine::ShardedRun<FleetPartial>::Topology::kChunkMajor;
+  rcfg.step_seconds = step_s_;
+  rcfg.context = "fleet checkpoint";
+  rcfg.segment_span = "fleet.segment";
+  runner_ = engine::ShardedRun<FleetPartial>(rcfg);
+}
+
+FleetSimulator::Checkpoint FleetSimulator::start() const {
+  Checkpoint cp;
+  cp.shards.emplace_back(config_.cluster.groups().size());
+  return cp;
+}
+
+void FleetSimulator::advance(Checkpoint& cp, long max_steps) const {
   FleetStepInputs inputs;
   inputs.cluster = &config_.cluster;
   inputs.scaler = &scaler_;
@@ -107,35 +129,32 @@ FleetSimulator::Result FleetSimulator::run() const {
   inputs.opportunistic_training = config_.opportunistic_training;
   inputs.opportunistic_utilization = config_.opportunistic_utilization;
   inputs.pue = config_.pue;
-  inputs.step_s = step_s;
-  inputs.intensity = intensity.data();
-  inputs.down = proj.any_down() ? &proj.down : nullptr;
+  inputs.step_s = step_s_;
+  inputs.intensity = intensity_.data();
+  inputs.down = projection_.any_down() ? &projection_.down : nullptr;
 
-  auto simulate_chunk = [&](std::size_t begin, std::size_t end,
-                            std::size_t) -> FleetPartial {
-    obs::Span chunk_span("fleet.chunk", step_s * static_cast<double>(begin),
-                         step_s * static_cast<double>(end));
-    return run_fleet_chunk(inputs, config_.kernel, begin, end);
-  };
-  auto merge = [](FleetPartial acc, FleetPartial p) -> FleetPartial {
-    acc.merge(p);
-    return acc;
-  };
+  runner_.advance(cp.next_step, cp.shards, max_steps,
+                  [&](std::size_t, long begin, long end) -> FleetPartial {
+                    obs::Span chunk_span(
+                        "fleet.chunk", step_s_ * static_cast<double>(begin),
+                        step_s_ * static_cast<double>(end));
+                    return run_fleet_chunk(inputs, config_.kernel,
+                                           static_cast<std::size_t>(begin),
+                                           static_cast<std::size_t>(end));
+                  });
+}
 
-  exec::ParallelOptions options;
-  options.pool = config_.pool;
-  options.chunk_size = static_cast<std::size_t>(config_.steps_per_chunk);
-  // Interior chunk boundaries stay on lane-block multiples, so every chunk
-  // fills its lanes in the same pattern regardless of where it starts.
-  options.chunk_align = static_cast<std::size_t>(kStepLanes);
-  const FleetPartial total =
-      exec::parallel_reduce(static_cast<std::size_t>(steps),
-                            FleetPartial(groups.size()), simulate_chunk, merge,
-                            options);
+FleetSimulator::Result FleetSimulator::finalize(const Checkpoint& cp) const {
+  check_arg(cp.next_step == steps_,
+            "FleetSimulator::finalize: checkpoint has not reached the horizon");
+  check_arg(cp.shards.size() == 1,
+            "FleetSimulator::finalize: checkpoint shard count mismatch");
+  const auto& groups = config_.cluster.groups();
+  const FleetPartial& total = cp.shards[0];
 
   Result result;
   result.groups.resize(groups.size());
-  const double step_count = static_cast<double>(steps);
+  const double step_count = static_cast<double>(steps_);
   const double* group_energy = total.group_energy_j();
   for (std::size_t i = 0; i < groups.size(); ++i) {
     result.groups[i].name = groups[i].name;
@@ -158,28 +177,22 @@ FleetSimulator::Result FleetSimulator::run() const {
   result.location_carbon = grams_co2e(total.total(total.location_g()));
   result.market_carbon = market_based(result.location_carbon, config_.cfe_coverage);
 
-  if (faults_enabled) {
+  if (faults_enabled_) {
     FaultStats& fs = result.faults;
-    fs.host_crashes = plan.count(fault::FaultKind::kHostCrash);
-    fs.grid_gaps = plan.count(fault::FaultKind::kGridDataGap);
+    fs.host_crashes = plan_.count(fault::FaultKind::kHostCrash);
+    fs.grid_gaps = plan_.count(fault::FaultKind::kGridDataGap);
     fs.lost_server_hours = total.total(total.fault_lost_hours());
     fs.wasted_energy = joules(total.total(total.fault_wasted_j()));
-    double train_servers = 0.0;
-    for (const ServerGroup& g : groups) {
-      if (g.tier == Tier::kAiTraining) {
-        train_servers += static_cast<double>(g.count);
-      }
-    }
-    finish_fault_stats(plan, config_.faults, config_.horizon, train_servers,
+    finish_fault_stats(plan_, config_.faults, config_.horizon, train_servers_,
                        result.it_energy_for(Tier::kAiTraining), fs);
     // One span per fault event, on a deterministic per-event lane; emitted
     // serially post-merge so the trace stays byte-identical at any thread
     // count.
     std::uint64_t lane = 0;
-    for (const fault::FaultEvent& e : plan.events()) {
+    for (const fault::FaultEvent& e : plan_.events()) {
       obs::Span span(fault_span_name(e.kind), to_seconds(e.time),
                      to_seconds(e.time) +
-                         std::max(to_seconds(e.duration), step_s));
+                         std::max(to_seconds(e.duration), step_s_));
       span.set_track(obs::kUserTrackBase + lane++);
     }
   }
@@ -203,7 +216,7 @@ FleetSimulator::Result FleetSimulator::run() const {
       .add(to_grams_co2e(result.location_carbon));
   metrics.counter("fleet_opportunistic_server_hours")
       .add(result.opportunistic_server_hours);
-  if (faults_enabled) {
+  if (faults_enabled_) {
     const FaultStats& fs = result.faults;
     metrics.counter("fleet_fault_events_total", {{"kind", "host_crash"}})
         .add(static_cast<double>(fs.host_crashes));
@@ -219,6 +232,47 @@ FleetSimulator::Result FleetSimulator::run() const {
         .add(to_joules(fs.checkpoint_energy));
   }
   return result;
+}
+
+FleetSimulator::Result FleetSimulator::run() const {
+  obs::Span run_span("fleet.run", 0.0, step_s_ * static_cast<double>(steps_));
+  Checkpoint cp = start();
+  advance(cp, steps_);
+  return finalize(cp);
+}
+
+report::JsonValue FleetSimulator::checkpoint_json(const Checkpoint& cp) const {
+  return runner_.state_json(cp.next_step, cp.shards, kCheckpointSchema,
+                            config_digest(), "shards");
+}
+
+FleetSimulator::Checkpoint FleetSimulator::parse_checkpoint(
+    const report::JsonValue& value) const {
+  return runner_.parse_state(value, kCheckpointSchema, config_digest(),
+                             "shards", [this](std::size_t) {
+                               return FleetPartial(
+                                   config_.cluster.groups().size());
+                             });
+}
+
+std::string FleetSimulator::config_digest() const {
+  engine::ConfigDigest d;
+  d.add_double(step_s_);
+  d.add_long(steps_);
+  d.add_long(runner_.steps_per_chunk());
+  d.add_long(static_cast<long>(config_.kernel));
+  d.add_long(config_.enable_autoscaler ? 1 : 0);
+  d.add_long(config_.opportunistic_training ? 1 : 0);
+  d.add_double(config_.opportunistic_utilization);
+  d.add_double(config_.autoscaler.target_utilization);
+  d.add_double(config_.autoscaler.min_active_fraction);
+  d.add_double(config_.autoscaler.max_freed_fraction);
+  d.add_double(config_.pue);
+  d.add_double(config_.cfe_coverage);
+  d.add_string(IntensityCache::key_of(config_.grid, config_.step));
+  digest_fault_spec(d, config_.faults);
+  digest_cluster(d, config_.cluster);
+  return d.hex();
 }
 
 void finish_fault_stats(const fault::FaultPlan& plan,
@@ -248,6 +302,36 @@ void finish_fault_stats(const fault::FaultPlan& plan,
       train_servers > 0.0 && horizon_years > 0.0
           ? static_cast<double>(fs.sdc_events) / (train_servers * horizon_years)
           : 0.0;
+}
+
+void digest_cluster(engine::ConfigDigest& d, const Cluster& cluster) {
+  for (const ServerGroup& g : cluster.groups()) {
+    d.add_string(g.name);
+    d.add_long(g.count);
+    d.add_long(static_cast<long>(g.tier));
+    d.add_long(g.autoscalable ? 1 : 0);
+    d.add_double(g.load.trough);
+    d.add_double(g.load.peak);
+    d.add_double(g.load.peak_hour);
+    d.add_string(g.sku.name());
+    d.add_double(to_watts(g.sku.host().tdp));
+    d.add_double(g.sku.host().idle_fraction);
+    d.add_double(to_watts(g.sku.accelerator().tdp));
+    d.add_double(g.sku.accelerator().idle_fraction);
+    d.add_long(g.sku.accelerator_count());
+  }
+}
+
+void digest_fault_spec(engine::ConfigDigest& d, const fault::FaultSpec& spec) {
+  d.add_string(std::to_string(spec.seed));
+  d.add_double(spec.rates.host_crash_per_day);
+  d.add_double(spec.rates.preemption_per_day);
+  d.add_double(spec.rates.sdc_per_day);
+  d.add_double(spec.rates.grid_gap_per_day);
+  d.add_double(to_seconds(spec.rates.crash_rewarm));
+  d.add_double(to_seconds(spec.rates.gap_duration));
+  d.add_double(to_seconds(spec.checkpoint.interval));
+  d.add_double(to_seconds(spec.checkpoint.cost));
 }
 
 }  // namespace sustainai::datacenter

@@ -23,6 +23,8 @@
 #include "datacenter/autoscaler.h"
 #include "datacenter/cluster.h"
 #include "datacenter/fleet_kernels.h"
+#include "engine/sharded_run.h"
+#include "engine/snapshot.h"
 #include "exec/thread_pool.h"
 #include "fault/recovery.h"
 
@@ -107,10 +109,16 @@ class FleetSimulator {
     std::array<Energy, kNumTiers> tier_it_energy_{};
   };
 
+  // Resumable run state: the single time-sharded accumulator after steps
+  // [0, next_step), next_step always on a chunk boundary (or the horizon
+  // end). Round-trips losslessly via checkpoint_json/parse_checkpoint.
+  using Checkpoint = engine::ShardState<FleetPartial>;
+
   // Validates the config and eagerly builds all steady-run state: the grid,
-  // the prebuilt intensity table, the autoscaler, and (for the SoA kernel)
-  // the structure-of-arrays image of the cluster. run() is then pure
-  // lookup + arithmetic and can be called repeatedly at steady cost.
+  // the prebuilt intensity table, the autoscaler, the fault plan and its
+  // per-step projections, and (for the SoA kernel) the structure-of-arrays
+  // image of the cluster. run() is then pure lookup + arithmetic and can be
+  // called repeatedly at steady cost.
   explicit FleetSimulator(Config config);
 
   // Non-copyable/movable: the intensity table holds a reference to the
@@ -118,7 +126,37 @@ class FleetSimulator {
   FleetSimulator(const FleetSimulator&) = delete;
   FleetSimulator& operator=(const FleetSimulator&) = delete;
 
+  [[nodiscard]] long steps() const { return steps_; }
+  // Chunk granule checkpoint boundaries round to (the configured
+  // steps_per_chunk rounded up to a kStepLanes multiple).
+  [[nodiscard]] long steps_per_chunk() const { return runner_.steps_per_chunk(); }
+
+  // Fresh zeroed checkpoint at step 0.
+  [[nodiscard]] Checkpoint start() const;
+  // Advances `cp` by up to `max_steps` steps (rounded up to a chunk
+  // boundary, clipped to the horizon), running time chunks in parallel and
+  // merging them in ascending chunk order — segmented and whole runs are
+  // byte-identical (tests/resume_test.cc).
+  void advance(Checkpoint& cp, long max_steps) const;
+  [[nodiscard]] bool done(const Checkpoint& cp) const {
+    return cp.next_step >= steps_;
+  }
+  // Folds a completed checkpoint (next_step == steps()) into a Result.
+  [[nodiscard]] Result finalize(const Checkpoint& cp) const;
+
+  // start + advance(all) + finalize.
   [[nodiscard]] Result run() const;
+
+  // Lossless JSON snapshot of a checkpoint (schema
+  // "sustainai-fleet-checkpoint-v1"; see DESIGN.md §11). The embedded
+  // config digest is checked on parse (engine::SnapshotDigestMismatch), so
+  // a snapshot cannot resume a differently-configured fleet.
+  [[nodiscard]] report::JsonValue checkpoint_json(const Checkpoint& cp) const;
+  [[nodiscard]] Checkpoint parse_checkpoint(
+      const report::JsonValue& value) const;
+
+  // FNV-1a digest over every result-affecting config parameter.
+  [[nodiscard]] std::string config_digest() const;
 
  private:
   Config config_;
@@ -128,6 +166,12 @@ class FleetSimulator {
   long steps_ = 0;
   std::unique_ptr<IntensityTable> table_;  // null when !use_intensity_table
   FleetSoA soa_;                           // empty for the reference kernel
+  bool faults_enabled_ = false;
+  fault::FaultPlan plan_;
+  FaultProjection projection_;
+  std::vector<double> intensity_;  // per-step lane, gap-remapped
+  double train_servers_ = 0.0;
+  engine::ShardedRun<FleetPartial> runner_;
 };
 
 // Fill the event-derived half of `fs` from a fault plan: SDC rollback waste
@@ -139,5 +183,12 @@ void finish_fault_stats(const fault::FaultPlan& plan,
                         const fault::FaultSpec& spec, Duration horizon,
                         double train_servers, Energy training_it_energy,
                         FleetSimulator::FaultStats& fs);
+
+// Digest every result-affecting field of a cluster (group order, counts,
+// tiers, load shapes, SKU power envelopes) / a fault spec (seed, rates,
+// checkpoint policy) into `d`. One implementation, shared by every
+// simulator's config_digest, so the field encodings can never drift apart.
+void digest_cluster(engine::ConfigDigest& d, const Cluster& cluster);
+void digest_fault_spec(engine::ConfigDigest& d, const fault::FaultSpec& spec);
 
 }  // namespace sustainai::datacenter

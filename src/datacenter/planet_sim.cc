@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "engine/snapshot.h"
 #include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,56 +17,7 @@ namespace sustainai::datacenter {
 namespace {
 
 constexpr const char* kCheckpointSchema = "sustainai-planet-checkpoint-v1";
-
-std::uint64_t fnv1a(const std::string& data) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const unsigned char c : data) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::string hex64(std::uint64_t bits) {
-  char hex[17];
-  for (int i = 15; i >= 0; --i) {
-    hex[i] = "0123456789abcdef"[bits & 0xf];
-    bits >>= 4;
-  }
-  hex[16] = '\0';
-  return std::string(hex);
-}
-
-void digest_double(std::string& out, double v) {
-  out += report::shortest_double(v);
-  out += '|';
-}
-
-void digest_long(std::string& out, long v) {
-  out += std::to_string(v);
-  out += '|';
-}
-
-void digest_string(std::string& out, const std::string& s) {
-  out += s;
-  out += '|';
-}
-
-// The required-member dance parse_checkpoint repeats per field.
-const report::JsonValue& require(const report::JsonValue& object,
-                                 const char* key) {
-  const report::JsonValue* member = object.find(key);
-  check_arg(member != nullptr, std::string("planet checkpoint: missing \"") +
-                                   key + "\" member");
-  return *member;
-}
-
-double require_number(const report::JsonValue& object, const char* key) {
-  const report::JsonValue& member = require(object, key);
-  check_arg(member.is_number(), std::string("planet checkpoint: \"") + key +
-                                    "\" must be a number");
-  return member.as_number();
-}
+constexpr const char* kCheckpointContext = "planet checkpoint";
 
 }  // namespace
 
@@ -169,6 +121,19 @@ PlanetSimulator::PlanetSimulator(Config config)
       st.intensity = st.shared->table.raw() + st.offset_steps;
     }
   }
+
+  engine::ShardedRun<FleetPartial>::Config rcfg;
+  rcfg.steps = steps_;
+  rcfg.steps_per_chunk = steps_per_chunk_;
+  rcfg.chunk_align = kStepLanes;
+  rcfg.shards = regions_.size();
+  rcfg.pool = config_.pool;
+  rcfg.topology = engine::ShardedRun<FleetPartial>::Topology::kShardMajor;
+  rcfg.step_seconds = step_s_;
+  rcfg.context = kCheckpointContext;
+  rcfg.segment_span = "planet.segment";
+  rcfg.shard_span = "planet.shard";
+  runner_ = engine::ShardedRun<FleetPartial>(rcfg);
 }
 
 std::size_t PlanetSimulator::distinct_intensity_tables() const {
@@ -215,29 +180,14 @@ FleetStepInputs PlanetSimulator::inputs_for(const RegionState& st) const {
 }
 
 void PlanetSimulator::advance(Checkpoint& cp, long max_steps) const {
-  check_arg(max_steps >= 1, "PlanetSimulator::advance: max_steps must be >= 1");
-  check_arg(cp.region_partials.size() == regions_.size(),
-            "PlanetSimulator::advance: checkpoint region count mismatch");
   const long begin = cp.next_step;
-  check_arg(begin >= 0 && begin <= steps_,
-            "PlanetSimulator::advance: checkpoint step out of range");
-  if (begin >= steps_) {
+  const long end = runner_.segment_end(begin, max_steps);
+  if (end <= begin) {
     return;
   }
-  check_arg(begin % steps_per_chunk_ == 0,
-            "PlanetSimulator::advance: checkpoint not on a chunk boundary");
-
-  // Segment ends round UP to a chunk boundary (clipped to the horizon), so
-  // the sequence of per-region chunk folds — and therefore every byte of
-  // the result — is independent of how a run is cut into segments.
   const long cpc = steps_per_chunk_;
   const long c0 = begin / cpc;
-  const long c1 = (std::min(steps_, begin + max_steps) + cpc - 1) / cpc;
-  const long end = std::min(steps_, c1 * cpc);
-  const long windows = c1 - c0;
-
-  obs::Span segment_span("planet.segment", step_s_ * static_cast<double>(begin),
-                         step_s_ * static_cast<double>(end));
+  const long windows = (end + cpc - 1) / cpc - c0;
 
   // Per-(region, window) facility energy and location carbon, written by
   // the owning region's chunk only; merged across regions serially below.
@@ -246,35 +196,22 @@ void PlanetSimulator::advance(Checkpoint& cp, long max_steps) const {
   std::vector<std::vector<double>> window_carbon(
       regions_.size(), std::vector<double>(static_cast<std::size_t>(windows), 0.0));
 
-  exec::ParallelOptions options;
-  options.pool = config_.pool;
-  // One region per exec chunk: each region is one deterministic obs track
-  // and one unit of shard scheduling, whatever the pool size.
-  options.chunk_size = 1;
-  exec::parallel_for(
-      regions_.size(),
-      [&](std::size_t r) {
-        const RegionState& st = regions_[r];
-        FleetStepInputs in = inputs_for(st);
+  // The engine drives segmentation and the per-region ascending chunk fold;
+  // the cell runs one fleet chunk, the observer extracts the window series.
+  runner_.advance(
+      cp.next_step, cp.region_partials, max_steps,
+      [&](std::size_t r, long b, long e) -> FleetPartial {
+        FleetStepInputs in = inputs_for(regions_[r]);
         in.pue = config_.regions[r].pue;
-        obs::Span shard_span("planet.shard",
-                             step_s_ * static_cast<double>(begin),
-                             step_s_ * static_cast<double>(end));
-        FleetPartial& acc = cp.region_partials[r];
-        for (long c = c0; c < c1; ++c) {
-          const long b = c * cpc;
-          const long e = std::min(steps_, b + cpc);
-          FleetPartial partial =
-              run_fleet_chunk(in, config_.kernel, static_cast<std::size_t>(b),
-                              static_cast<std::size_t>(e));
-          window_energy[r][static_cast<std::size_t>(c - c0)] =
-              partial.total(partial.group_energy_j()) * in.pue;
-          window_carbon[r][static_cast<std::size_t>(c - c0)] =
-              partial.total(partial.location_g());
-          acc.merge(partial);
-        }
+        return run_fleet_chunk(in, config_.kernel, static_cast<std::size_t>(b),
+                               static_cast<std::size_t>(e));
       },
-      options);
+      [&](std::size_t r, long c, const FleetPartial& partial) {
+        window_energy[r][static_cast<std::size_t>(c - c0)] =
+            partial.total(partial.group_energy_j()) * config_.regions[r].pue;
+        window_carbon[r][static_cast<std::size_t>(c - c0)] =
+            partial.total(partial.location_g());
+      });
 
   // Cross-region series merge: ascending region order per window, appended
   // in window order — a serial left-to-right fold, thread-count-free.
@@ -290,7 +227,6 @@ void PlanetSimulator::advance(Checkpoint& cp, long max_steps) const {
     }
     cp.series.push_back(sample);
   }
-  cp.next_step = end;
 }
 
 void PlanetSimulator::finalize_into(const Checkpoint& cp, Result& result) const {
@@ -379,22 +315,9 @@ PlanetSimulator::Result PlanetSimulator::run() const {
 }
 
 report::JsonValue PlanetSimulator::checkpoint_json(const Checkpoint& cp) const {
-  check_arg(cp.region_partials.size() == regions_.size(),
-            "PlanetSimulator::checkpoint_json: region count mismatch");
-  report::JsonValue root = report::JsonValue::object();
-  root.set("schema", report::JsonValue::string(kCheckpointSchema));
-  root.set("config_digest", report::JsonValue::string(config_digest()));
-  root.set("next_step",
-           report::JsonValue::number(static_cast<double>(cp.next_step)));
-  report::JsonValue regions = report::JsonValue::array();
-  for (const FleetPartial& partial : cp.region_partials) {
-    report::JsonValue buffer = report::JsonValue::array();
-    for (const double v : partial.buffer()) {
-      buffer.append(report::JsonValue::number(v));
-    }
-    regions.append(std::move(buffer));
-  }
-  root.set("regions", std::move(regions));
+  report::JsonValue root = runner_.state_json(
+      cp.next_step, cp.region_partials, kCheckpointSchema, config_digest(),
+      "regions");
   report::JsonValue series = report::JsonValue::array();
   for (const SeriesSample& s : cp.series) {
     report::JsonValue sample = report::JsonValue::object();
@@ -412,108 +335,58 @@ report::JsonValue PlanetSimulator::checkpoint_json(const Checkpoint& cp) const {
 
 PlanetSimulator::Checkpoint PlanetSimulator::parse_checkpoint(
     const report::JsonValue& value) const {
-  check_arg(value.is_object(), "planet checkpoint: root must be an object");
-  const report::JsonValue& schema = require(value, "schema");
-  check_arg(schema.is_string() && schema.as_string() == kCheckpointSchema,
-            "planet checkpoint: unknown schema");
-  const report::JsonValue& digest = require(value, "config_digest");
-  check_arg(digest.is_string() && digest.as_string() == config_digest(),
-            "planet checkpoint: config digest mismatch (snapshot belongs to a "
-            "differently-configured planet)");
-
-  const double next_d = require_number(value, "next_step");
-  const long next_step = static_cast<long>(next_d);
-  check_arg(static_cast<double>(next_step) == next_d && next_step >= 0 &&
-                next_step <= steps_,
-            "planet checkpoint: next_step out of range");
-  check_arg(next_step == steps_ || next_step % steps_per_chunk_ == 0,
-            "planet checkpoint: next_step must be on a chunk boundary");
-
-  const report::JsonValue& regions = require(value, "regions");
-  check_arg(regions.is_array() && regions.items().size() == regions_.size(),
-            "planet checkpoint: region count mismatch");
+  engine::ShardState<FleetPartial> state = runner_.parse_state(
+      value, kCheckpointSchema, config_digest(), "regions",
+      [this](std::size_t r) {
+        return FleetPartial(regions_[r].shifted_cluster.groups().size());
+      });
 
   Checkpoint cp;
-  cp.next_step = next_step;
-  cp.region_partials.reserve(regions_.size());
-  for (std::size_t r = 0; r < regions_.size(); ++r) {
-    const report::JsonValue& buffer_json = regions.items()[r];
-    check_arg(buffer_json.is_array(),
-              "planet checkpoint: region buffer must be an array");
-    std::vector<double> buffer;
-    buffer.reserve(buffer_json.items().size());
-    for (const report::JsonValue& v : buffer_json.items()) {
-      check_arg(v.is_number(),
-                "planet checkpoint: region buffer entries must be numbers");
-      buffer.push_back(v.as_number());
-    }
-    FleetPartial partial(regions_[r].shifted_cluster.groups().size());
-    partial.set_buffer(std::move(buffer));  // throws on a size mismatch
-    cp.region_partials.push_back(std::move(partial));
-  }
+  cp.next_step = state.next_step;
+  cp.region_partials = std::move(state.shards);
 
-  const report::JsonValue& series = require(value, "series");
+  const report::JsonValue& series =
+      engine::require_member(value, "series", kCheckpointContext);
   check_arg(series.is_array(), "planet checkpoint: series must be an array");
   cp.series.reserve(series.items().size());
   for (const report::JsonValue& s : series.items()) {
     check_arg(s.is_object(), "planet checkpoint: series samples must be objects");
     SeriesSample sample;
-    sample.t_begin_s = require_number(s, "t_begin_s");
-    sample.t_end_s = require_number(s, "t_end_s");
-    sample.facility_energy_j = require_number(s, "facility_energy_j");
-    sample.location_carbon_g = require_number(s, "location_carbon_g");
+    sample.t_begin_s = engine::require_number(s, "t_begin_s", kCheckpointContext);
+    sample.t_end_s = engine::require_number(s, "t_end_s", kCheckpointContext);
+    sample.facility_energy_j =
+        engine::require_number(s, "facility_energy_j", kCheckpointContext);
+    sample.location_carbon_g =
+        engine::require_number(s, "location_carbon_g", kCheckpointContext);
     cp.series.push_back(sample);
   }
   return cp;
 }
 
 std::string PlanetSimulator::config_digest() const {
-  std::string d;
-  d.reserve(512);
-  digest_double(d, step_s_);
-  digest_long(d, steps_);
-  digest_long(d, steps_per_chunk_);
-  digest_long(d, static_cast<long>(config_.kernel));
-  digest_long(d, config_.enable_autoscaler ? 1 : 0);
-  digest_long(d, config_.opportunistic_training ? 1 : 0);
-  digest_double(d, config_.opportunistic_utilization);
-  digest_double(d, config_.autoscaler.target_utilization);
-  digest_double(d, config_.autoscaler.min_active_fraction);
-  digest_double(d, config_.autoscaler.max_freed_fraction);
+  engine::ConfigDigest d;
+  d.add_double(step_s_);
+  d.add_long(steps_);
+  d.add_long(steps_per_chunk_);
+  d.add_long(static_cast<long>(config_.kernel));
+  d.add_long(config_.enable_autoscaler ? 1 : 0);
+  d.add_long(config_.opportunistic_training ? 1 : 0);
+  d.add_double(config_.opportunistic_utilization);
+  d.add_double(config_.autoscaler.target_utilization);
+  d.add_double(config_.autoscaler.min_active_fraction);
+  d.add_double(config_.autoscaler.max_freed_fraction);
   for (std::size_t r = 0; r < regions_.size(); ++r) {
     const RegionConfig& rc = config_.regions[r];
     const RegionState& st = regions_[r];
-    digest_string(d, rc.name);
-    digest_string(d, IntensityCache::key_of(rc.grid, config_.step));
-    digest_long(d, st.offset_steps);
-    digest_double(d, rc.pue);
-    digest_double(d, rc.cfe_coverage);
-    digest_string(d, std::to_string(rc.faults.seed));
-    digest_double(d, rc.faults.rates.host_crash_per_day);
-    digest_double(d, rc.faults.rates.preemption_per_day);
-    digest_double(d, rc.faults.rates.sdc_per_day);
-    digest_double(d, rc.faults.rates.grid_gap_per_day);
-    digest_double(d, to_seconds(rc.faults.rates.crash_rewarm));
-    digest_double(d, to_seconds(rc.faults.rates.gap_duration));
-    digest_double(d, to_seconds(rc.faults.checkpoint.interval));
-    digest_double(d, to_seconds(rc.faults.checkpoint.cost));
-    for (const ServerGroup& g : rc.cluster.groups()) {
-      digest_string(d, g.name);
-      digest_long(d, g.count);
-      digest_long(d, static_cast<long>(g.tier));
-      digest_long(d, g.autoscalable ? 1 : 0);
-      digest_double(d, g.load.trough);
-      digest_double(d, g.load.peak);
-      digest_double(d, g.load.peak_hour);
-      digest_string(d, g.sku.name());
-      digest_double(d, to_watts(g.sku.host().tdp));
-      digest_double(d, g.sku.host().idle_fraction);
-      digest_double(d, to_watts(g.sku.accelerator().tdp));
-      digest_double(d, g.sku.accelerator().idle_fraction);
-      digest_long(d, g.sku.accelerator_count());
-    }
+    d.add_string(rc.name);
+    d.add_string(IntensityCache::key_of(rc.grid, config_.step));
+    d.add_long(st.offset_steps);
+    d.add_double(rc.pue);
+    d.add_double(rc.cfe_coverage);
+    digest_fault_spec(d, rc.faults);
+    digest_cluster(d, rc.cluster);
   }
-  return hex64(fnv1a(d));
+  return d.hex();
 }
 
 }  // namespace sustainai::datacenter

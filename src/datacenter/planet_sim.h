@@ -42,6 +42,7 @@
 #include "datacenter/cluster.h"
 #include "datacenter/fleet_kernels.h"
 #include "datacenter/fleet_sim.h"
+#include "engine/sharded_run.h"
 #include "exec/thread_pool.h"
 #include "fault/recovery.h"
 #include "report/json.h"
@@ -153,6 +154,10 @@ class PlanetSimulator {
   // boundary, clipped to the horizon), sharding regions over the pool.
   void advance(Checkpoint& cp, long max_steps) const;
 
+  [[nodiscard]] bool done(const Checkpoint& cp) const {
+    return cp.next_step >= steps_;
+  }
+
   // Folds a completed checkpoint (next_step == steps()) into a Result.
   void finalize_into(const Checkpoint& cp, Result& result) const;
   [[nodiscard]] Result finalize(const Checkpoint& cp) const;
@@ -195,6 +200,9 @@ class PlanetSimulator {
   std::unique_ptr<IntensityCache> owned_cache_;
   IntensityCache* cache_ = nullptr;
   std::vector<RegionState> regions_;
+  // Generic segment/merge/snapshot driver (engine/sharded_run.h): one shard
+  // per region, shard-major topology.
+  engine::ShardedRun<FleetPartial> runner_;
 };
 
 }  // namespace sustainai::datacenter

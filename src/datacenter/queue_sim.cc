@@ -1,13 +1,55 @@
 #include "datacenter/queue_sim.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
 
 #include "core/check.h"
-#include "core/intensity_table.h"
+#include "core/intensity_cache.h"
+#include "datacenter/fleet_sim.h"
+#include "engine/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sustainai::datacenter {
+
+namespace {
+
+constexpr const char* kCheckpointSchema = "sustainai-queue-checkpoint-v1";
+constexpr const char* kCheckpointContext = "queue checkpoint";
+
+std::size_t require_index(const report::JsonValue& object, const char* key,
+                          std::size_t bound, const char* what) {
+  const long v = engine::require_integer(object, key, kCheckpointContext);
+  check_arg(v >= 0 && static_cast<std::size_t>(v) <= bound,
+            std::string(kCheckpointContext) + ": " + what + " out of range");
+  return static_cast<std::size_t>(v);
+}
+
+// Validation happens in the member-init list (before the grid / intensity
+// table are built from the config), preserving the legacy error precedence.
+std::vector<BatchJob> checked_jobs(std::vector<BatchJob> jobs) {
+  for (const BatchJob& j : jobs) {
+    check_arg(to_seconds(j.duration) > 0.0,
+              "run_queue_sim: job durations must be positive");
+    check_arg(to_seconds(j.slack) >= 0.0,
+              "run_queue_sim: job slack must be >= 0");
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const BatchJob& a, const BatchJob& b) {
+              return to_seconds(a.arrival) < to_seconds(b.arrival);
+            });
+  return jobs;
+}
+
+QueueSimConfig checked_config(QueueSimConfig config) {
+  check_arg(config.machines >= 1, "run_queue_sim: need >= 1 machine");
+  check_arg(to_seconds(config.step) > 0.0, "run_queue_sim: step must be > 0");
+  return config;
+}
+
+}  // namespace
 
 const char* to_string(QueuePolicy policy) {
   switch (policy) {
@@ -19,234 +61,237 @@ const char* to_string(QueuePolicy policy) {
   return "unknown";
 }
 
-QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
-                             const QueueSimConfig& config, QueuePolicy policy) {
-  check_arg(config.machines >= 1, "run_queue_sim: need >= 1 machine");
-  check_arg(to_seconds(config.step) > 0.0, "run_queue_sim: step must be > 0");
-  for (const BatchJob& j : jobs) {
-    check_arg(to_seconds(j.duration) > 0.0,
-              "run_queue_sim: job durations must be positive");
-    check_arg(to_seconds(j.slack) >= 0.0,
-              "run_queue_sim: job slack must be >= 0");
+QueueSim::QueueSim(std::vector<BatchJob> jobs, QueueSimConfig config,
+                   QueuePolicy policy)
+    : jobs_(checked_jobs(std::move(jobs))),
+      config_(checked_config(std::move(config))),
+      policy_(policy),
+      grid_(config_.grid),
+      table_(grid_, seconds(0.0), config_.step) {
+  step_s_ = to_seconds(config_.step);
+  faults_enabled_ = config_.faults.enabled();
+  // The plan spans max_horizon so the schedule never depends on the
+  // (fault-dependent) makespan.
+  if (faults_enabled_) {
+    plan_ = config_.faults.plan(config_.max_horizon);
+    preempt_events_ = plan_.events_of(fault::FaultKind::kJobPreemption);
   }
-  std::sort(jobs.begin(), jobs.end(), [](const BatchJob& a, const BatchJob& b) {
-    return to_seconds(a.arrival) < to_seconds(b.arrival);
-  });
+}
+
+QueueSim::Checkpoint QueueSim::start() const {
+  Checkpoint cp;
+  cp.outcomes.assign(jobs_.size(), JobOutcome{});
+  if (faults_enabled_) {
+    cp.faults.preserved_s.assign(jobs_.size(), 0.0);
+    cp.faults.prior_carbon_g.assign(jobs_.size(), 0.0);
+    cp.faults.earliest_restart_s.assign(jobs_.size(), 0.0);
+    cp.faults.first_start_s.assign(jobs_.size(), -1.0);
+    cp.faults.preempt_count.assign(jobs_.size(), 0);
+  }
+  return cp;
+}
+
+void QueueSim::step_once(Checkpoint& cp, obs::Gauge& depth_gauge) const {
+  check_arg(cp.now_s <= to_seconds(config_.max_horizon),
+            "run_queue_sim: exceeded max horizon (overloaded config?)");
+  // Admit arrivals up to now.
+  while (cp.next_arrival < jobs_.size() &&
+         to_seconds(jobs_[cp.next_arrival].arrival) <= cp.now_s + 1e-9) {
+    cp.queue.push_back(cp.next_arrival);
+    ++cp.next_arrival;
+  }
+  // Fire due preemption events: the victim loses progress back to its
+  // last checkpoint, re-enters the queue, and re-consults the policy
+  // after an exponential backoff.
+  while (cp.next_preempt < preempt_events_.size() &&
+         to_seconds(preempt_events_[cp.next_preempt].time) <= cp.now_s + 1e-9) {
+    const fault::FaultEvent e = preempt_events_[cp.next_preempt];
+    ++cp.next_preempt;
+    if (cp.running.empty()) {
+      continue;  // nothing to evict at this instant
+    }
+    const std::size_t vi = static_cast<std::size_t>(
+        e.target % static_cast<std::uint64_t>(cp.running.size()));
+    const RunningJob r = cp.running[vi];
+    const std::size_t ji = r.job_index;
+    ++cp.faults.acc.faults_injected;
+    ++cp.faults.preempt_count[ji];
+    const double done_this_attempt = r.attempt_total_s - r.remaining_s;
+    const double lost_s = to_seconds(
+        config_.faults.checkpoint.lost_work(seconds(done_this_attempt)));
+    cp.faults.acc.redone_work_hours += lost_s / kSecondsPerHour;
+    cp.faults.acc.wasted_energy +=
+        joules(to_watts(jobs_[ji].power) * lost_s * config_.pue);
+    if (cp.faults.preempt_count[ji] > config_.faults.retry.max_retries) {
+      throw fault::RetriesExhaustedError(
+          "job '" + jobs_[ji].id + "' preempted " +
+              std::to_string(cp.faults.preempt_count[ji]) +
+              " times, exceeding max_retries=" +
+              std::to_string(config_.faults.retry.max_retries),
+          cp.faults.acc);
+    }
+    ++cp.faults.acc.recoveries;
+    cp.faults.preserved_s[ji] += done_this_attempt - lost_s;
+    cp.faults.prior_carbon_g[ji] += r.carbon_g;
+    cp.faults.earliest_restart_s[ji] =
+        cp.now_s + to_seconds(config_.faults.retry.backoff_after(
+                       cp.faults.preempt_count[ji] - 1));
+    {
+      obs::Span span("queue.preempt", r.started_s, cp.now_s);
+      span.set_track(obs::kUserTrackBase + ji);
+      span.label("id", jobs_[ji].id);
+    }
+    cp.queue.push_back(ji);
+    cp.running[vi] = cp.running.back();
+    cp.running.pop_back();
+  }
+  // One grid lookup per step, shared by the admission decision and the
+  // energy accounting below — they must never drift apart.
+  const double intensity_now =
+      (config_.use_intensity_table ? table_.intensity_at(seconds(cp.now_s))
+                                   : grid_.intensity_at(seconds(cp.now_s)))
+          .base();
+  // Start jobs while machines are free.
+  std::vector<std::size_t> still_waiting;
+  for (std::size_t qi = 0; qi < cp.queue.size(); ++qi) {
+    const std::size_t ji = cp.queue[qi];
+    if (static_cast<int>(cp.running.size()) >= config_.machines) {
+      still_waiting.insert(still_waiting.end(), cp.queue.begin() + qi,
+                           cp.queue.end());
+      break;
+    }
+    const BatchJob& job = jobs_[ji];
+    if (faults_enabled_ && cp.now_s + 1e-9 < cp.faults.earliest_restart_s[ji]) {
+      still_waiting.push_back(ji);  // still backing off after preemption
+      continue;
+    }
+    const double waited_s = cp.now_s - to_seconds(job.arrival);
+    bool start = true;
+    if (policy_ == QueuePolicy::kGreedyGreen &&
+        waited_s + 1e-9 < to_seconds(job.slack) &&
+        intensity_now > config_.green_threshold.base()) {
+      start = false;  // defer: grid is dirty and we still have slack
+    }
+    if (start) {
+      double attempt_total = to_seconds(job.duration);
+      if (faults_enabled_) {
+        attempt_total -= cp.faults.preserved_s[ji];
+        if (cp.faults.first_start_s[ji] < 0.0) {
+          cp.faults.first_start_s[ji] = cp.now_s;
+        }
+      }
+      cp.running.push_back(
+          RunningJob{ji, attempt_total, cp.now_s, 0.0, attempt_total});
+    } else {
+      still_waiting.push_back(ji);
+    }
+  }
+  cp.queue.swap(still_waiting);
+  cp.peak_running =
+      std::max(cp.peak_running, static_cast<int>(cp.running.size()));
+  depth_gauge.set(static_cast<double>(cp.running.size() + cp.queue.size()));
+
+  // Advance one step.
+  for (RunningJob& r : cp.running) {
+    const double dt = std::min(step_s_, r.remaining_s);
+    const double energy_j =
+        to_watts(jobs_[r.job_index].power) * dt * config_.pue;
+    r.carbon_g += energy_j * intensity_now;
+    r.remaining_s -= dt;
+    cp.busy_machine_s += dt;
+  }
+  cp.now_s += step_s_;
+  ++cp.next_step;
+  // Retire finished jobs.
+  for (std::size_t i = 0; i < cp.running.size();) {
+    if (cp.running[i].remaining_s <= 1e-9) {
+      const RunningJob& r = cp.running[i];
+      const std::size_t ji = r.job_index;
+      JobOutcome& out = cp.outcomes[ji];
+      out.completed = true;
+      out.start_s = faults_enabled_ && cp.faults.first_start_s[ji] >= 0.0
+                        ? cp.faults.first_start_s[ji]
+                        : r.started_s;
+      out.finish_s = r.started_s + r.attempt_total_s;
+      out.carbon_g = faults_enabled_
+                         ? cp.faults.prior_carbon_g[ji] + r.carbon_g
+                         : r.carbon_g;
+      if (faults_enabled_) {
+        // Checkpoint overhead is charged per unit of useful work done;
+        // it is accounting-only so the step timeline stays untouched.
+        const long cps =
+            config_.faults.checkpoint.checkpoints_over(jobs_[ji].duration);
+        cp.faults.acc.checkpoints += cps;
+        cp.faults.acc.checkpoint_energy +=
+            joules(to_watts(jobs_[ji].power) *
+                   to_seconds(config_.faults.checkpoint.cost) *
+                   static_cast<double>(cps) * config_.pue);
+      }
+      // One deterministic lane per job (kUserTrackBase + index), so the
+      // exported span order is a pure function of the job set.
+      const double arrival_s = to_seconds(jobs_[ji].arrival);
+      if (out.start_s > arrival_s) {
+        obs::Span wait_span("queue.wait", arrival_s, out.start_s);
+        wait_span.set_track(obs::kUserTrackBase + ji);
+        wait_span.label("id", jobs_[ji].id);
+      }
+      {
+        obs::Span job_span("queue.job", r.started_s, out.finish_s);
+        job_span.set_track(obs::kUserTrackBase + ji);
+        job_span.label("id", jobs_[ji].id);
+      }
+      ++cp.finished;
+      cp.running[i] = cp.running.back();
+      cp.running.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void QueueSim::advance(Checkpoint& cp, long max_steps) const {
+  check_arg(max_steps >= 1, "QueueSim::advance: max_steps must be >= 1");
+  check_arg(cp.outcomes.size() == jobs_.size(),
+            "QueueSim::advance: checkpoint job count mismatch");
 
   obs::Span sim_span("queue.sim");
-  sim_span.label("policy", to_string(policy));
-  const obs::Labels policy_labels{{"policy", to_string(policy)}};
+  sim_span.label("policy", to_string(policy_));
   // Hoisted: the gauge reference is stable, so the per-step update below is
   // lock-light (no registry lookup inside the loop).
-  obs::Gauge& depth_gauge =
-      obs::MetricsRegistry::global().gauge("queue_depth", policy_labels);
+  obs::Gauge& depth_gauge = obs::MetricsRegistry::global().gauge(
+      "queue_depth", obs::Labels{{"policy", to_string(policy_)}});
 
-  const IntermittentGrid grid(config.grid);
-  IntensityTable table(grid, seconds(0.0), config.step);
-  struct Running {
-    std::size_t job_index;
-    double remaining_s;
-    double started_s;
-    double carbon_g = 0.0;
-    // Work this attempt must do (job duration minus checkpointed progress;
-    // equal to the job duration when faults are disabled).
-    double attempt_total_s = 0.0;
-  };
-  std::vector<Running> running;
-  std::vector<std::size_t> queue;  // FIFO order of waiting job indices
-  std::vector<CompletedJob> done(jobs.size());
-  std::vector<bool> completed(jobs.size(), false);
-
-  // Fault injection: the plan spans max_horizon so the schedule never
-  // depends on the (fault-dependent) makespan.
-  const bool faults_enabled = config.faults.enabled();
-  const fault::FaultPlan plan = faults_enabled
-                                    ? config.faults.plan(config.max_horizon)
-                                    : fault::FaultPlan();
-  const std::vector<fault::FaultEvent> preempt_events =
-      plan.events_of(fault::FaultKind::kJobPreemption);
-  std::size_t next_preempt = 0;
-  fault::Accounting acc;
-  std::vector<double> preserved_s;         // checkpointed progress per job
-  std::vector<double> prior_carbon_g;      // carbon from preempted attempts
-  std::vector<double> earliest_restart_s;  // backoff gate per job
-  std::vector<double> first_start_s;       // first machine grant per job
-  std::vector<int> preempt_count;
-  if (faults_enabled) {
-    preserved_s.assign(jobs.size(), 0.0);
-    prior_carbon_g.assign(jobs.size(), 0.0);
-    earliest_restart_s.assign(jobs.size(), 0.0);
-    first_start_s.assign(jobs.size(), -1.0);
-    preempt_count.assign(jobs.size(), 0);
+  const double begin_s = cp.now_s;
+  long stepped = 0;
+  while (cp.finished < jobs_.size() && stepped < max_steps) {
+    step_once(cp, depth_gauge);
+    ++stepped;
   }
+  sim_span.sim_interval(begin_s, cp.now_s);
+}
 
-  const double step_s = to_seconds(config.step);
-  std::size_t next_arrival = 0;
-  std::size_t finished = 0;
-  double now_s = 0.0;
-  double busy_machine_s = 0.0;
-  int peak_running = 0;
+QueueSimResult QueueSim::finalize(const Checkpoint& cp) const {
+  check_arg(cp.finished >= jobs_.size(),
+            "QueueSim::finalize: checkpoint has not finished every job");
+  check_arg(cp.outcomes.size() == jobs_.size(),
+            "QueueSim::finalize: checkpoint job count mismatch");
 
-  while (finished < jobs.size()) {
-    check_arg(now_s <= to_seconds(config.max_horizon),
-              "run_queue_sim: exceeded max horizon (overloaded config?)");
-    // Admit arrivals up to now.
-    while (next_arrival < jobs.size() &&
-           to_seconds(jobs[next_arrival].arrival) <= now_s + 1e-9) {
-      queue.push_back(next_arrival);
-      ++next_arrival;
-    }
-    // Fire due preemption events: the victim loses progress back to its
-    // last checkpoint, re-enters the queue, and re-consults the policy
-    // after an exponential backoff.
-    while (next_preempt < preempt_events.size() &&
-           to_seconds(preempt_events[next_preempt].time) <= now_s + 1e-9) {
-      const fault::FaultEvent e = preempt_events[next_preempt];
-      ++next_preempt;
-      if (running.empty()) {
-        continue;  // nothing to evict at this instant
-      }
-      const std::size_t vi = static_cast<std::size_t>(
-          e.target % static_cast<std::uint64_t>(running.size()));
-      const Running r = running[vi];
-      const std::size_t ji = r.job_index;
-      ++acc.faults_injected;
-      ++preempt_count[ji];
-      const double done_this_attempt = r.attempt_total_s - r.remaining_s;
-      const double lost_s = to_seconds(
-          config.faults.checkpoint.lost_work(seconds(done_this_attempt)));
-      acc.redone_work_hours += lost_s / kSecondsPerHour;
-      acc.wasted_energy +=
-          joules(to_watts(jobs[ji].power) * lost_s * config.pue);
-      if (preempt_count[ji] > config.faults.retry.max_retries) {
-        throw fault::RetriesExhaustedError(
-            "job '" + jobs[ji].id + "' preempted " +
-                std::to_string(preempt_count[ji]) +
-                " times, exceeding max_retries=" +
-                std::to_string(config.faults.retry.max_retries),
-            acc);
-      }
-      ++acc.recoveries;
-      preserved_s[ji] += done_this_attempt - lost_s;
-      prior_carbon_g[ji] += r.carbon_g;
-      earliest_restart_s[ji] =
-          now_s +
-          to_seconds(config.faults.retry.backoff_after(preempt_count[ji] - 1));
-      {
-        obs::Span span("queue.preempt", r.started_s, now_s);
-        span.set_track(obs::kUserTrackBase + ji);
-        span.label("id", jobs[ji].id);
-      }
-      queue.push_back(ji);
-      running[vi] = running.back();
-      running.pop_back();
-    }
-    // One grid lookup per step, shared by the admission decision and the
-    // energy accounting below — they must never drift apart.
-    const double intensity_now =
-        (config.use_intensity_table ? table.intensity_at(seconds(now_s))
-                                    : grid.intensity_at(seconds(now_s)))
-            .base();
-    // Start jobs while machines are free.
-    std::vector<std::size_t> still_waiting;
-    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
-      const std::size_t ji = queue[qi];
-      if (static_cast<int>(running.size()) >= config.machines) {
-        still_waiting.insert(still_waiting.end(), queue.begin() + qi,
-                             queue.end());
-        break;
-      }
-      const BatchJob& job = jobs[ji];
-      if (faults_enabled && now_s + 1e-9 < earliest_restart_s[ji]) {
-        still_waiting.push_back(ji);  // still backing off after preemption
-        continue;
-      }
-      const double waited_s = now_s - to_seconds(job.arrival);
-      bool start = true;
-      if (policy == QueuePolicy::kGreedyGreen &&
-          waited_s + 1e-9 < to_seconds(job.slack) &&
-          intensity_now > config.green_threshold.base()) {
-        start = false;  // defer: grid is dirty and we still have slack
-      }
-      if (start) {
-        double attempt_total = to_seconds(job.duration);
-        if (faults_enabled) {
-          attempt_total -= preserved_s[ji];
-          if (first_start_s[ji] < 0.0) {
-            first_start_s[ji] = now_s;
-          }
-        }
-        running.push_back(Running{ji, attempt_total, now_s, 0.0, attempt_total});
-      } else {
-        still_waiting.push_back(ji);
-      }
-    }
-    queue.swap(still_waiting);
-    peak_running = std::max(peak_running, static_cast<int>(running.size()));
-    depth_gauge.set(static_cast<double>(running.size() + queue.size()));
-
-    // Advance one step.
-    for (Running& r : running) {
-      const double dt = std::min(step_s, r.remaining_s);
-      const double energy_j =
-          to_watts(jobs[r.job_index].power) * dt * config.pue;
-      r.carbon_g += energy_j * intensity_now;
-      r.remaining_s -= dt;
-      busy_machine_s += dt;
-    }
-    now_s += step_s;
-    // Retire finished jobs.
-    for (std::size_t i = 0; i < running.size();) {
-      if (running[i].remaining_s <= 1e-9) {
-        const Running& r = running[i];
-        CompletedJob c;
-        c.job = jobs[r.job_index];
-        const double start_s =
-            faults_enabled && first_start_s[r.job_index] >= 0.0
-                ? first_start_s[r.job_index]
-                : r.started_s;
-        c.start = seconds(start_s);
-        c.finish = seconds(r.started_s + r.attempt_total_s);
-        c.carbon = grams_co2e(
-            faults_enabled ? prior_carbon_g[r.job_index] + r.carbon_g
-                           : r.carbon_g);
-        if (faults_enabled) {
-          // Checkpoint overhead is charged per unit of useful work done;
-          // it is accounting-only so the step timeline stays untouched.
-          const long cps = config.faults.checkpoint.checkpoints_over(
-              c.job.duration);
-          acc.checkpoints += cps;
-          acc.checkpoint_energy += joules(
-              to_watts(c.job.power) *
-              to_seconds(config.faults.checkpoint.cost) *
-              static_cast<double>(cps) * config.pue);
-        }
-        // One deterministic lane per job (kUserTrackBase + index), so the
-        // exported span order is a pure function of the job set.
-        const double arrival_s = to_seconds(c.job.arrival);
-        if (start_s > arrival_s) {
-          obs::Span wait_span("queue.wait", arrival_s, start_s);
-          wait_span.set_track(obs::kUserTrackBase + r.job_index);
-          wait_span.label("id", c.job.id);
-        }
-        {
-          obs::Span job_span("queue.job", r.started_s, to_seconds(c.finish));
-          job_span.set_track(obs::kUserTrackBase + r.job_index);
-          job_span.label("id", c.job.id);
-        }
-        done[r.job_index] = c;
-        completed[r.job_index] = true;
-        ++finished;
-        running[i] = running.back();
-        running.pop_back();
-      } else {
-        ++i;
-      }
-    }
+  // Rebuild the typed per-job records in job-index order, then fold the
+  // totals left-to-right in the same order — identical to the legacy
+  // single-pass simulator's expression tree.
+  std::vector<CompletedJob> done(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobOutcome& out = cp.outcomes[i];
+    CompletedJob c;
+    c.job = jobs_[i];
+    c.start = seconds(out.start_s);
+    c.finish = seconds(out.finish_s);
+    c.carbon = grams_co2e(out.carbon_g);
+    done[i] = c;
   }
 
   QueueSimResult result;
-  result.policy_name = to_string(policy);
+  result.policy_name = to_string(policy_);
   result.total_carbon = grams_co2e(0.0);
   double wait_s = 0.0;
   double makespan_s = 0.0;
@@ -256,30 +301,266 @@ QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
     makespan_s = std::max(makespan_s, to_seconds(c.finish));
   }
   result.mean_wait =
-      seconds(jobs.empty() ? 0.0 : wait_s / static_cast<double>(jobs.size()));
+      seconds(jobs_.empty() ? 0.0 : wait_s / static_cast<double>(jobs_.size()));
   result.makespan = seconds(makespan_s);
-  result.utilization =
-      makespan_s > 0.0 ? busy_machine_s / (makespan_s * config.machines) : 0.0;
-  result.peak_running = peak_running;
+  result.utilization = makespan_s > 0.0
+                           ? cp.busy_machine_s / (makespan_s * config_.machines)
+                           : 0.0;
+  result.peak_running = cp.peak_running;
   result.jobs = std::move(done);
-  result.preemptions = acc.faults_injected;
-  result.faults = acc;
+  result.preemptions = cp.faults.acc.faults_injected;
+  result.faults = cp.faults.acc;
 
-  sim_span.sim_interval(0.0, now_s);
+  const obs::Labels policy_labels{{"policy", to_string(policy_)}};
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   metrics.counter("queue_sim_carbon_grams", policy_labels)
       .add(to_grams_co2e(result.total_carbon));
   metrics.counter("queue_sim_jobs", policy_labels)
       .add(static_cast<double>(result.jobs.size()));
-  if (faults_enabled) {
+  if (faults_enabled_) {
     metrics.counter("queue_preemptions_total", policy_labels)
-        .add(static_cast<double>(acc.faults_injected));
+        .add(static_cast<double>(cp.faults.acc.faults_injected));
     metrics.counter("queue_fault_redone_work_hours", policy_labels)
-        .add(acc.redone_work_hours);
+        .add(cp.faults.acc.redone_work_hours);
     metrics.counter("queue_fault_wasted_energy_joules", policy_labels)
-        .add(to_joules(acc.wasted_energy));
+        .add(to_joules(cp.faults.acc.wasted_energy));
   }
   return result;
+}
+
+QueueSimResult QueueSim::run() const {
+  Checkpoint cp = start();
+  if (!done(cp)) {
+    advance(cp, std::numeric_limits<long>::max());
+  }
+  return finalize(cp);
+}
+
+report::JsonValue QueueSim::checkpoint_json(const Checkpoint& cp) const {
+  report::JsonValue root = report::JsonValue::object();
+  engine::write_envelope(root, kCheckpointSchema, config_digest());
+  root.set("next_step", report::JsonValue::number(
+                            static_cast<double>(cp.next_step)));
+  root.set("now_s", report::JsonValue::number(cp.now_s));
+  root.set("busy_machine_s", report::JsonValue::number(cp.busy_machine_s));
+  root.set("peak_running", report::JsonValue::number(
+                               static_cast<double>(cp.peak_running)));
+  root.set("next_arrival", report::JsonValue::number(
+                               static_cast<double>(cp.next_arrival)));
+  root.set("next_preempt", report::JsonValue::number(
+                               static_cast<double>(cp.next_preempt)));
+
+  report::JsonValue running = report::JsonValue::array();
+  for (const RunningJob& r : cp.running) {
+    report::JsonValue j = report::JsonValue::object();
+    j.set("job", report::JsonValue::number(static_cast<double>(r.job_index)));
+    j.set("remaining_s", report::JsonValue::number(r.remaining_s));
+    j.set("started_s", report::JsonValue::number(r.started_s));
+    j.set("carbon_g", report::JsonValue::number(r.carbon_g));
+    j.set("attempt_total_s", report::JsonValue::number(r.attempt_total_s));
+    running.append(std::move(j));
+  }
+  root.set("running", std::move(running));
+
+  report::JsonValue queue = report::JsonValue::array();
+  for (const std::size_t ji : cp.queue) {
+    queue.append(report::JsonValue::number(static_cast<double>(ji)));
+  }
+  root.set("queue", std::move(queue));
+
+  // Sparse: only completed jobs appear; `finished` is recomputed on parse.
+  report::JsonValue outcomes = report::JsonValue::array();
+  for (std::size_t i = 0; i < cp.outcomes.size(); ++i) {
+    const JobOutcome& out = cp.outcomes[i];
+    if (!out.completed) {
+      continue;
+    }
+    report::JsonValue j = report::JsonValue::object();
+    j.set("job", report::JsonValue::number(static_cast<double>(i)));
+    j.set("start_s", report::JsonValue::number(out.start_s));
+    j.set("finish_s", report::JsonValue::number(out.finish_s));
+    j.set("carbon_g", report::JsonValue::number(out.carbon_g));
+    outcomes.append(std::move(j));
+  }
+  root.set("outcomes", std::move(outcomes));
+
+  if (faults_enabled_) {
+    report::JsonValue f = report::JsonValue::object();
+    const auto lane = [](const std::vector<double>& v) {
+      report::JsonValue a = report::JsonValue::array();
+      for (const double x : v) {
+        a.append(report::JsonValue::number(x));
+      }
+      return a;
+    };
+    f.set("preserved_s", lane(cp.faults.preserved_s));
+    f.set("prior_carbon_g", lane(cp.faults.prior_carbon_g));
+    f.set("earliest_restart_s", lane(cp.faults.earliest_restart_s));
+    f.set("first_start_s", lane(cp.faults.first_start_s));
+    report::JsonValue counts = report::JsonValue::array();
+    for (const int c : cp.faults.preempt_count) {
+      counts.append(report::JsonValue::number(static_cast<double>(c)));
+    }
+    f.set("preempt_count", std::move(counts));
+    const fault::Accounting& acc = cp.faults.acc;
+    f.set("faults_injected", report::JsonValue::number(
+                                 static_cast<double>(acc.faults_injected)));
+    f.set("recoveries",
+          report::JsonValue::number(static_cast<double>(acc.recoveries)));
+    f.set("checkpoints",
+          report::JsonValue::number(static_cast<double>(acc.checkpoints)));
+    f.set("redone_work_hours",
+          report::JsonValue::number(acc.redone_work_hours));
+    f.set("lost_capacity_hours",
+          report::JsonValue::number(acc.lost_capacity_hours));
+    f.set("wasted_energy_j",
+          report::JsonValue::number(to_joules(acc.wasted_energy)));
+    f.set("checkpoint_energy_j",
+          report::JsonValue::number(to_joules(acc.checkpoint_energy)));
+    root.set("faults", std::move(f));
+  }
+  return root;
+}
+
+QueueSim::Checkpoint QueueSim::parse_checkpoint(
+    const report::JsonValue& value) const {
+  engine::check_envelope(value, kCheckpointSchema, config_digest(),
+                         kCheckpointContext);
+  Checkpoint cp = start();
+  cp.next_step = engine::require_integer(value, "next_step", kCheckpointContext);
+  check_arg(cp.next_step >= 0,
+            "queue checkpoint: next_step must be non-negative");
+  cp.now_s = engine::require_number(value, "now_s", kCheckpointContext);
+  cp.busy_machine_s =
+      engine::require_number(value, "busy_machine_s", kCheckpointContext);
+  cp.peak_running = static_cast<int>(
+      engine::require_integer(value, "peak_running", kCheckpointContext));
+  cp.next_arrival =
+      require_index(value, "next_arrival", jobs_.size(), "next_arrival");
+  cp.next_preempt = require_index(value, "next_preempt",
+                                  preempt_events_.size(), "next_preempt");
+
+  const report::JsonValue& running =
+      engine::require_member(value, "running", kCheckpointContext);
+  check_arg(running.is_array(), "queue checkpoint: running must be an array");
+  for (const report::JsonValue& j : running.items()) {
+    check_arg(j.is_object(),
+              "queue checkpoint: running entries must be objects");
+    RunningJob r;
+    r.job_index =
+        require_index(j, "job", jobs_.size() - 1, "running job index");
+    r.remaining_s =
+        engine::require_number(j, "remaining_s", kCheckpointContext);
+    r.started_s = engine::require_number(j, "started_s", kCheckpointContext);
+    r.carbon_g = engine::require_number(j, "carbon_g", kCheckpointContext);
+    r.attempt_total_s =
+        engine::require_number(j, "attempt_total_s", kCheckpointContext);
+    cp.running.push_back(r);
+  }
+
+  const report::JsonValue& queue =
+      engine::require_member(value, "queue", kCheckpointContext);
+  check_arg(queue.is_array(), "queue checkpoint: queue must be an array");
+  for (const report::JsonValue& j : queue.items()) {
+    check_arg(j.is_number() && j.as_number() >= 0.0 &&
+                  j.as_number() < static_cast<double>(jobs_.size()),
+              "queue checkpoint: queued job index out of range");
+    cp.queue.push_back(static_cast<std::size_t>(j.as_number()));
+  }
+
+  const report::JsonValue& outcomes =
+      engine::require_member(value, "outcomes", kCheckpointContext);
+  check_arg(outcomes.is_array(),
+            "queue checkpoint: outcomes must be an array");
+  for (const report::JsonValue& j : outcomes.items()) {
+    check_arg(j.is_object(),
+              "queue checkpoint: outcome entries must be objects");
+    const std::size_t ji =
+        require_index(j, "job", jobs_.size() - 1, "outcome job index");
+    JobOutcome& out = cp.outcomes[ji];
+    check_arg(!out.completed,
+              "queue checkpoint: duplicate outcome for one job");
+    out.completed = true;
+    out.start_s = engine::require_number(j, "start_s", kCheckpointContext);
+    out.finish_s = engine::require_number(j, "finish_s", kCheckpointContext);
+    out.carbon_g = engine::require_number(j, "carbon_g", kCheckpointContext);
+    ++cp.finished;
+  }
+
+  if (faults_enabled_) {
+    const report::JsonValue& f =
+        engine::require_member(value, "faults", kCheckpointContext);
+    check_arg(f.is_object(), "queue checkpoint: faults must be an object");
+    const auto lane = [&](const char* key) {
+      const report::JsonValue& a =
+          engine::require_member(f, key, kCheckpointContext);
+      check_arg(a.is_array() && a.items().size() == jobs_.size(),
+                std::string("queue checkpoint: faults.") + key +
+                    " must be an array with one entry per job");
+      std::vector<double> v;
+      v.reserve(jobs_.size());
+      for (const report::JsonValue& x : a.items()) {
+        check_arg(x.is_number(),
+                  std::string("queue checkpoint: faults.") + key +
+                      " entries must be numbers");
+        v.push_back(x.as_number());
+      }
+      return v;
+    };
+    cp.faults.preserved_s = lane("preserved_s");
+    cp.faults.prior_carbon_g = lane("prior_carbon_g");
+    cp.faults.earliest_restart_s = lane("earliest_restart_s");
+    cp.faults.first_start_s = lane("first_start_s");
+    const std::vector<double> counts = lane("preempt_count");
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cp.faults.preempt_count[i] = static_cast<int>(counts[i]);
+    }
+    fault::Accounting& acc = cp.faults.acc;
+    acc.faults_injected =
+        engine::require_integer(f, "faults_injected", kCheckpointContext);
+    acc.recoveries =
+        engine::require_integer(f, "recoveries", kCheckpointContext);
+    acc.checkpoints =
+        engine::require_integer(f, "checkpoints", kCheckpointContext);
+    acc.redone_work_hours =
+        engine::require_number(f, "redone_work_hours", kCheckpointContext);
+    acc.lost_capacity_hours =
+        engine::require_number(f, "lost_capacity_hours", kCheckpointContext);
+    acc.wasted_energy =
+        joules(engine::require_number(f, "wasted_energy_j", kCheckpointContext));
+    acc.checkpoint_energy = joules(
+        engine::require_number(f, "checkpoint_energy_j", kCheckpointContext));
+  }
+  return cp;
+}
+
+std::string QueueSim::config_digest() const {
+  engine::ConfigDigest d;
+  d.add_double(step_s_);
+  d.add_long(config_.machines);
+  d.add_double(config_.pue);
+  d.add_double(config_.green_threshold.base());
+  d.add_double(to_seconds(config_.max_horizon));
+  d.add_long(static_cast<long>(policy_));
+  d.add_string(IntensityCache::key_of(config_.grid, config_.step));
+  digest_fault_spec(d, config_.faults);
+  d.add_long(config_.faults.retry.max_retries);
+  d.add_double(to_seconds(config_.faults.retry.base_backoff));
+  d.add_double(config_.faults.retry.backoff_multiplier);
+  for (const BatchJob& j : jobs_) {
+    d.add_string(j.id);
+    d.add_double(to_watts(j.power));
+    d.add_double(to_seconds(j.duration));
+    d.add_double(to_seconds(j.arrival));
+    d.add_double(to_seconds(j.slack));
+  }
+  return d.hex();
+}
+
+QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
+                             const QueueSimConfig& config, QueuePolicy policy) {
+  QueueSim sim(std::move(jobs), config, policy);
+  return sim.run();
 }
 
 }  // namespace sustainai::datacenter

@@ -6,15 +6,27 @@
 // green policy additionally holds *deferrable* jobs back while the grid is
 // dirty — but never beyond their slack — modeling the interplay the paper
 // highlights between carbon-aware shifting and capacity over-provisioning.
+//
+// The simulator follows the engine checkpoint contract (DESIGN.md §11):
+// start() yields a Checkpoint, advance() steps it by a bounded number of
+// steps, and finalize() folds a finished Checkpoint into a result. The
+// Checkpoint round-trips losslessly through canonical JSON (schema
+// "sustainai-queue-checkpoint-v1", engine/snapshot.h envelope), so a run
+// killed mid-flight — even with preemption faults in play — resumes in a
+// fresh process to the same bytes as an uninterrupted run.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/carbon_intensity.h"
+#include "core/intensity_table.h"
 #include "core/units.h"
 #include "datacenter/scheduler.h"
 #include "fault/recovery.h"
+#include "obs/metrics.h"
+#include "report/json.h"
 
 namespace sustainai::datacenter {
 
@@ -70,8 +82,124 @@ struct QueueSimResult {
   fault::Accounting faults;
 };
 
+// Checkpointable queue simulator. Jobs must have positive duration; each
+// job occupies one machine for its whole duration (non-preemptible by the
+// scheduler; fault-injected preemptions evict and re-queue).
+class QueueSim {
+ public:
+  // One machine-occupying attempt in flight.
+  struct RunningJob {
+    std::size_t job_index = 0;
+    double remaining_s = 0.0;
+    double started_s = 0.0;
+    double carbon_g = 0.0;
+    // Work this attempt must do (job duration minus checkpointed progress;
+    // equal to the job duration when faults are disabled).
+    double attempt_total_s = 0.0;
+  };
+
+  // Terminal record of a finished job (raw doubles; finalize() rebuilds
+  // the typed CompletedJob from these plus the job spec).
+  struct JobOutcome {
+    bool completed = false;
+    double start_s = 0.0;   // first machine grant (survives preemptions)
+    double finish_s = 0.0;  // end of the successful attempt
+    double carbon_g = 0.0;  // across all attempts
+  };
+
+  // Per-job fault-recovery state plus the wasted-work ledger. Sized to the
+  // job count when faults are enabled, empty otherwise.
+  struct FaultState {
+    std::vector<double> preserved_s;         // checkpointed progress per job
+    std::vector<double> prior_carbon_g;      // carbon from preempted attempts
+    std::vector<double> earliest_restart_s;  // backoff gate per job
+    std::vector<double> first_start_s;       // first machine grant per job
+    std::vector<int> preempt_count;
+    fault::Accounting acc;
+  };
+
+  // Resumable run state: the exact simulator state after `next_step` steps.
+  // `now_s` is the accumulated clock double, serialized verbatim — it is
+  // NOT recomputed as next_step * step on resume, so the float fold of the
+  // clock is identical to an uninterrupted run.
+  struct Checkpoint {
+    long next_step = 0;
+    double now_s = 0.0;
+    double busy_machine_s = 0.0;
+    int peak_running = 0;
+    std::size_t next_arrival = 0;  // jobs admitted so far
+    std::size_t next_preempt = 0;  // preemption events fired so far
+    std::size_t finished = 0;
+    std::vector<RunningJob> running;
+    std::vector<std::size_t> queue;  // FIFO order of waiting job indices
+    std::vector<JobOutcome> outcomes;  // one per job
+    FaultState faults;
+  };
+
+  // Validates the config, sorts jobs by arrival, and builds all steady-run
+  // state (grid, lazily-extended intensity table, fault plan).
+  QueueSim(std::vector<BatchJob> jobs, QueueSimConfig config,
+           QueuePolicy policy);
+
+  // Non-copyable/movable: the intensity table holds a reference to the
+  // simulator-owned grid.
+  QueueSim(const QueueSim&) = delete;
+  QueueSim& operator=(const QueueSim&) = delete;
+
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  [[nodiscard]] QueuePolicy policy() const { return policy_; }
+  // Upper bound on the run's step count: the max-horizon guard throws
+  // before any run exceeds it. Used to size checkpoint segment strides.
+  [[nodiscard]] long steps() const {
+    return static_cast<long>(to_seconds(config_.max_horizon) / step_s_) + 1;
+  }
+
+  // Fresh zeroed checkpoint at step 0.
+  [[nodiscard]] Checkpoint start() const;
+  // Advances `cp` by up to `max_steps` steps, stopping early when every
+  // job has finished. Serial (the queue has a single timeline); throws
+  // fault::RetriesExhaustedError / the max-horizon guard exactly where an
+  // unsegmented run would.
+  void advance(Checkpoint& cp, long max_steps) const;
+  [[nodiscard]] bool done(const Checkpoint& cp) const {
+    return cp.finished >= jobs_.size();
+  }
+  // Folds a completed checkpoint into a result.
+  [[nodiscard]] QueueSimResult finalize(const Checkpoint& cp) const;
+
+  // start + advance(all) + finalize.
+  [[nodiscard]] QueueSimResult run() const;
+
+  // Lossless JSON snapshot of a checkpoint (schema
+  // "sustainai-queue-checkpoint-v1"). The embedded config digest is checked
+  // on parse (engine::SnapshotDigestMismatch), so a snapshot cannot resume
+  // a differently-configured queue.
+  [[nodiscard]] report::JsonValue checkpoint_json(const Checkpoint& cp) const;
+  [[nodiscard]] Checkpoint parse_checkpoint(
+      const report::JsonValue& value) const;
+
+  // FNV-1a digest over every result-affecting config parameter (machine
+  // pool, grid, policy, fault block including the retry policy, and the
+  // full sorted job list).
+  [[nodiscard]] std::string config_digest() const;
+
+ private:
+  void step_once(Checkpoint& cp, obs::Gauge& depth_gauge) const;
+
+  std::vector<BatchJob> jobs_;  // sorted by arrival
+  QueueSimConfig config_;
+  QueuePolicy policy_;
+  double step_s_ = 0.0;
+  bool faults_enabled_ = false;
+  IntermittentGrid grid_;
+  IntensityTable table_;
+  fault::FaultPlan plan_;
+  std::vector<fault::FaultEvent> preempt_events_;
+};
+
 // Jobs must have positive duration; each job occupies one machine for its
-// whole duration (non-preemptible).
+// whole duration (non-preemptible). Equivalent to QueueSim's
+// start + advance(all) + finalize, byte-for-byte.
 [[nodiscard]] QueueSimResult run_queue_sim(std::vector<BatchJob> jobs,
                                            const QueueSimConfig& config,
                                            QueuePolicy policy);

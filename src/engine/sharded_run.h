@@ -1,0 +1,307 @@
+// Generic checkpointable shard/merge run driver (DESIGN.md §11).
+//
+// A simulator models its horizon as `steps` fixed time steps cut into
+// chunks of `steps_per_chunk` (rounded up to a `chunk_align` multiple so
+// interior chunk boundaries never split a SIMD lane block), across one or
+// more independent *shards*. The simulator supplies one pure function —
+// the cell — that simulates chunk [begin, end) of one shard and returns a
+// Partial; the driver owns everything around it:
+//
+//   * Segmentation: advance() runs up to `max_steps` steps, with the
+//     segment end rounded UP to a chunk boundary (clipped to the horizon),
+//     so the sequence of per-shard chunk folds — and therefore every byte
+//     of the result — is independent of how a run is cut into segments.
+//   * Deterministic merging: each chunk Partial is merged into its shard's
+//     accumulator strictly in ascending chunk order, one at a time — the
+//     exact left-to-right floating-point fold an uninterrupted
+//     exec::parallel_reduce would produce, which is what makes segmented
+//     and whole runs byte-identical.
+//   * Snapshots: state_json()/parse_state() serialize (next_step, shard
+//     buffers) through canonical JSON losslessly (shortest_double), under
+//     a versioned schema string and an FNV-1a config digest
+//     (engine/snapshot.h), so a killed run resumes in a fresh process to
+//     the same bytes.
+//
+// Two topologies cover the current simulators:
+//   * kShardMajor (planet): shards run in parallel, one shard per exec
+//     chunk; each shard walks its chunks serially.
+//   * kChunkMajor (fleet): a single shard whose time chunks run in
+//     parallel, one time chunk per exec chunk — the same plan
+//     exec::parallel_reduce would build, so exec work counters and chunk
+//     spans are unchanged for an unsegmented run.
+//
+// The Partial type must be default-constructible at merge identity and
+// provide merge(const Partial&), buffer() -> iterable of double, and
+// set_buffer(std::vector<double>) (throwing on a size mismatch) —
+// datacenter::FleetPartial is the canonical model.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "engine/snapshot.h"
+#include "exec/parallel.h"
+#include "obs/trace.h"
+#include "report/json.h"
+
+namespace sustainai::engine {
+
+// Resumable run state: the exact shard accumulators after simulating steps
+// [0, next_step), with next_step always on a chunk boundary (or the horizon
+// end). Simulators with no extra state use this directly as their
+// Checkpoint; ones with more (planet's series) embed the same fields.
+template <typename Partial>
+struct ShardState {
+  long next_step = 0;
+  std::vector<Partial> shards;
+};
+
+template <typename Partial>
+class ShardedRun {
+ public:
+  enum class Topology {
+    kShardMajor,  // parallel over shards, serial over each shard's chunks
+    kChunkMajor,  // single shard, parallel over its time chunks
+  };
+
+  struct Config {
+    long steps = 0;
+    // Rounded up to a chunk_align multiple at construction.
+    long steps_per_chunk = 1;
+    long chunk_align = 1;
+    std::size_t shards = 1;
+    exec::ThreadPool* pool = nullptr;  // nullptr => ThreadPool::global()
+    Topology topology = Topology::kShardMajor;
+    double step_seconds = 0.0;  // sim-time scale for the obs spans
+    // Error-message prefix, e.g. "planet checkpoint".
+    const char* context = "checkpoint";
+    // Optional obs span names; nullptr emits none.
+    const char* segment_span = nullptr;          // one per advance()
+    const char* shard_span = nullptr;            // one per shard (kShardMajor)
+  };
+
+  // cell(shard, begin, end): simulate steps [begin, end) of `shard`.
+  using CellFn = std::function<Partial(std::size_t, long, long)>;
+  // observe(shard, chunk, partial): called per chunk before its merge, on
+  // the thread that computed it (kShardMajor) or serially in ascending
+  // chunk order (kChunkMajor) — a hook for per-window series extraction.
+  using ObserveFn = std::function<void(std::size_t, long, const Partial&)>;
+
+  ShardedRun() = default;
+
+  explicit ShardedRun(Config config) : config_(std::move(config)) {
+    check_arg(config_.steps >= 1, ctx("steps must be >= 1"));
+    check_arg(config_.steps_per_chunk >= 1, ctx("steps_per_chunk must be >= 1"));
+    check_arg(config_.chunk_align >= 1, ctx("chunk_align must be >= 1"));
+    check_arg(config_.shards >= 1, ctx("at least one shard is required"));
+    check_arg(config_.topology == Topology::kShardMajor || config_.shards == 1,
+              ctx("kChunkMajor requires exactly one shard"));
+    config_.steps_per_chunk = (config_.steps_per_chunk + config_.chunk_align - 1) /
+                              config_.chunk_align * config_.chunk_align;
+  }
+
+  [[nodiscard]] long steps() const { return config_.steps; }
+  [[nodiscard]] long steps_per_chunk() const { return config_.steps_per_chunk; }
+  [[nodiscard]] std::size_t shard_count() const { return config_.shards; }
+  [[nodiscard]] long chunk_count() const {
+    return (config_.steps + config_.steps_per_chunk - 1) / config_.steps_per_chunk;
+  }
+  [[nodiscard]] bool done(long next_step) const {
+    return next_step >= config_.steps;
+  }
+
+  // Fresh zeroed state at step 0 (Partial's default must be merge identity).
+  [[nodiscard]] ShardState<Partial> start() const {
+    ShardState<Partial> state;
+    state.shards.resize(config_.shards);
+    return state;
+  }
+
+  // Validates `begin` as a resumable position and returns the segment end
+  // for an advance of up to `max_steps`: rounded up to a chunk boundary,
+  // clipped to the horizon. begin == steps() returns steps() (no-op).
+  [[nodiscard]] long segment_end(long begin, long max_steps) const {
+    check_arg(max_steps >= 1, ctx("advance needs max_steps >= 1"));
+    check_arg(begin >= 0 && begin <= config_.steps,
+              ctx("checkpoint step out of range"));
+    if (begin >= config_.steps) {
+      return config_.steps;
+    }
+    check_arg(begin % config_.steps_per_chunk == 0,
+              ctx("checkpoint not on a chunk boundary"));
+    const long cpc = config_.steps_per_chunk;
+    const long c1 = (std::min(config_.steps, begin + max_steps) + cpc - 1) / cpc;
+    return std::min(config_.steps, c1 * cpc);
+  }
+
+  // Advances `shards` from `next_step` by up to `max_steps` steps (rounded
+  // up to a chunk boundary, clipped to the horizon), merging each chunk's
+  // Partial into its shard accumulator in ascending chunk order.
+  void advance(long& next_step, std::vector<Partial>& shards, long max_steps,
+               const CellFn& cell, const ObserveFn& observe = {}) const {
+    check_arg(shards.size() == config_.shards,
+              ctx("checkpoint shard count mismatch"));
+    const long begin = next_step;
+    const long end = segment_end(begin, max_steps);
+    if (end <= begin) {
+      return;
+    }
+    const long cpc = config_.steps_per_chunk;
+    const long c0 = begin / cpc;
+    const long c1 = (end + cpc - 1) / cpc;
+
+    std::optional<obs::Span> segment_span;
+    if (config_.segment_span != nullptr) {
+      segment_span.emplace(config_.segment_span,
+                           config_.step_seconds * static_cast<double>(begin),
+                           config_.step_seconds * static_cast<double>(end));
+    }
+
+    if (config_.topology == Topology::kShardMajor) {
+      exec::ParallelOptions options;
+      options.pool = config_.pool;
+      // One shard per exec chunk: each shard is one deterministic obs track
+      // and one unit of scheduling, whatever the pool size.
+      options.chunk_size = 1;
+      exec::parallel_for(
+          config_.shards,
+          [&](std::size_t r) {
+            std::optional<obs::Span> shard_span;
+            if (config_.shard_span != nullptr) {
+              shard_span.emplace(
+                  config_.shard_span,
+                  config_.step_seconds * static_cast<double>(begin),
+                  config_.step_seconds * static_cast<double>(end));
+            }
+            Partial& acc = shards[r];
+            for (long c = c0; c < c1; ++c) {
+              const long b = c * cpc;
+              const long e = std::min(config_.steps, b + cpc);
+              Partial partial = cell(r, b, e);
+              if (observe) {
+                observe(r, c, partial);
+              }
+              acc.merge(partial);
+            }
+          },
+          options);
+    } else {
+      // One time chunk per exec chunk. For a whole-horizon advance this is
+      // exactly the plan exec::parallel_reduce would build, and the serial
+      // ascending merge below is exactly its fold — byte-identical.
+      exec::ParallelOptions options;
+      options.pool = config_.pool;
+      options.chunk_size = static_cast<std::size_t>(cpc);
+      options.chunk_align = static_cast<std::size_t>(config_.chunk_align);
+      const exec::ChunkPlan plan =
+          exec::plan_chunks(static_cast<std::size_t>(end - begin),
+                            options.chunk_size, options.chunk_align);
+      std::vector<Partial> partials(plan.num_chunks());
+      exec::run_chunks(config_.pool, plan,
+                       [&](std::size_t c, std::size_t b, std::size_t e) {
+                         partials[c] = cell(0, begin + static_cast<long>(b),
+                                            begin + static_cast<long>(e));
+                       });
+      Partial& acc = shards[0];
+      for (std::size_t i = 0; i < partials.size(); ++i) {
+        if (observe) {
+          observe(0, c0 + static_cast<long>(i), partials[i]);
+        }
+        acc.merge(partials[i]);
+      }
+    }
+    next_step = end;
+  }
+
+  void advance(ShardState<Partial>& state, long max_steps, const CellFn& cell,
+               const ObserveFn& observe = {}) const {
+    advance(state.next_step, state.shards, max_steps, cell, observe);
+  }
+
+  // Lossless JSON image of (next_step, shards) under the envelope; the
+  // shard buffers land under `shard_key`. Callers may append extra members
+  // (planet adds "series") — parse_state ignores unknown keys.
+  [[nodiscard]] report::JsonValue state_json(long next_step,
+                                             const std::vector<Partial>& shards,
+                                             const char* schema,
+                                             const std::string& digest,
+                                             const char* shard_key) const {
+    check_arg(shards.size() == config_.shards,
+              ctx("checkpoint shard count mismatch"));
+    report::JsonValue root = report::JsonValue::object();
+    write_envelope(root, schema, digest);
+    root.set("next_step",
+             report::JsonValue::number(static_cast<double>(next_step)));
+    report::JsonValue shard_array = report::JsonValue::array();
+    for (const Partial& partial : shards) {
+      report::JsonValue buffer = report::JsonValue::array();
+      for (const double v : partial.buffer()) {
+        buffer.append(report::JsonValue::number(v));
+      }
+      shard_array.append(std::move(buffer));
+    }
+    root.set(shard_key, std::move(shard_array));
+    return root;
+  }
+
+  // Inverse of state_json. `make(shard)` constructs an empty Partial of the
+  // right shape for `shard`; its set_buffer enforces the buffer size.
+  // Throws SnapshotDigestMismatch when only the digest disagrees.
+  template <typename MakeShard>
+  [[nodiscard]] ShardState<Partial> parse_state(const report::JsonValue& value,
+                                                const char* schema,
+                                                const std::string& digest,
+                                                const char* shard_key,
+                                                MakeShard&& make) const {
+    check_envelope(value, schema, digest, config_.context);
+
+    const double next_d = require_number(value, "next_step", config_.context);
+    const long next_step = static_cast<long>(next_d);
+    check_arg(static_cast<double>(next_step) == next_d && next_step >= 0 &&
+                  next_step <= config_.steps,
+              ctx("next_step out of range"));
+    check_arg(next_step == config_.steps ||
+                  next_step % config_.steps_per_chunk == 0,
+              ctx("next_step must be on a chunk boundary"));
+
+    const report::JsonValue& shard_array =
+        require_member(value, shard_key, config_.context);
+    check_arg(shard_array.is_array() &&
+                  shard_array.items().size() == config_.shards,
+              ctx("shard count mismatch"));
+
+    ShardState<Partial> state;
+    state.next_step = next_step;
+    state.shards.reserve(config_.shards);
+    for (std::size_t r = 0; r < config_.shards; ++r) {
+      const report::JsonValue& buffer_json = shard_array.items()[r];
+      check_arg(buffer_json.is_array(),
+                ctx("shard buffer must be an array"));
+      std::vector<double> buffer;
+      buffer.reserve(buffer_json.items().size());
+      for (const report::JsonValue& v : buffer_json.items()) {
+        check_arg(v.is_number(), ctx("shard buffer entries must be numbers"));
+        buffer.push_back(v.as_number());
+      }
+      Partial partial = make(r);
+      partial.set_buffer(std::move(buffer));  // throws on a size mismatch
+      state.shards.push_back(std::move(partial));
+    }
+    return state;
+  }
+
+ private:
+  [[nodiscard]] std::string ctx(const char* what) const {
+    return std::string(config_.context) + ": " + what;
+  }
+
+  Config config_;
+};
+
+}  // namespace sustainai::engine

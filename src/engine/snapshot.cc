@@ -1,0 +1,94 @@
+#include "engine/snapshot.h"
+
+#include "core/check.h"
+
+namespace sustainai::engine {
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t bits) {
+  char hex[17];
+  for (int i = 15; i >= 0; --i) {
+    hex[i] = "0123456789abcdef"[bits & 0xf];
+    bits >>= 4;
+  }
+  hex[16] = '\0';
+  return std::string(hex);
+}
+
+ConfigDigest& ConfigDigest::add_double(double v) {
+  data_ += report::shortest_double(v);
+  data_ += '|';
+  return *this;
+}
+
+ConfigDigest& ConfigDigest::add_long(long v) {
+  data_ += std::to_string(v);
+  data_ += '|';
+  return *this;
+}
+
+ConfigDigest& ConfigDigest::add_string(const std::string& s) {
+  data_ += s;
+  data_ += '|';
+  return *this;
+}
+
+const report::JsonValue& require_member(const report::JsonValue& object,
+                                        const char* key, const char* context) {
+  const report::JsonValue* member = object.find(key);
+  check_arg(member != nullptr, std::string(context) + ": missing \"" + key +
+                                   "\" member");
+  return *member;
+}
+
+double require_number(const report::JsonValue& object, const char* key,
+                      const char* context) {
+  const report::JsonValue& member = require_member(object, key, context);
+  check_arg(member.is_number(), std::string(context) + ": \"" + key +
+                                    "\" must be a number");
+  return member.as_number();
+}
+
+long require_integer(const report::JsonValue& object, const char* key,
+                     const char* context) {
+  const double v = require_number(object, key, context);
+  const long n = static_cast<long>(v);
+  check_arg(static_cast<double>(n) == v, std::string(context) + ": \"" + key +
+                                             "\" must be an integer");
+  return n;
+}
+
+void write_envelope(report::JsonValue& root, const char* schema,
+                    const std::string& digest) {
+  root.set("schema", report::JsonValue::string(schema));
+  root.set("config_digest", report::JsonValue::string(digest));
+}
+
+void check_envelope(const report::JsonValue& value, const char* schema,
+                    const std::string& digest, const char* context) {
+  check_arg(value.is_object(),
+            std::string(context) + ": root must be an object");
+  const report::JsonValue& got_schema = require_member(value, "schema", context);
+  check_arg(got_schema.is_string() && got_schema.as_string() == schema,
+            std::string(context) + ": unknown schema");
+  const report::JsonValue& got_digest =
+      require_member(value, "config_digest", context);
+  check_arg(got_digest.is_string(),
+            std::string(context) + ": \"config_digest\" must be a string");
+  if (got_digest.as_string() != digest) {
+    throw SnapshotDigestMismatch(
+        std::string(context) +
+        ": config digest mismatch (snapshot belongs to a "
+        "differently-configured run)");
+  }
+}
+
+}  // namespace sustainai::engine

@@ -25,8 +25,10 @@ const Artifact* Bundle::find(const std::string& filename) const {
 
 Runner::Runner(const Registry& registry) : registry_(&registry) {}
 
-Bundle Runner::run(const Spec& spec, exec::ThreadPool* pool) const {
-  spec.allow_only({"scenario", "seed", "params", "artifacts"});
+Bundle Runner::run(const Spec& spec, exec::ThreadPool* pool,
+                   const CheckpointRequest& checkpoint) const {
+  spec.allow_only(
+      {"scenario", "seed", "params", "artifacts", "checkpoint_segments"});
   const std::string scenario_name = spec.require_string("scenario");
   const Simulation& simulation = registry_->require(scenario_name);
 
@@ -34,6 +36,26 @@ Bundle Runner::run(const Spec& spec, exec::ThreadPool* pool) const {
   ctx.pool = pool;
   ctx.seed = static_cast<std::uint64_t>(
       spec.optional_int_in("seed", 42, 0, 1L << 62));
+  ctx.checkpoint = checkpoint;
+  // The spec itself may ask for segmentation; an explicit caller request
+  // (CLI flags) wins.
+  const long spec_segments =
+      spec.optional_int_in("checkpoint_segments", 1, 1, 1000000);
+  if (spec_segments > 1 && ctx.checkpoint.segments <= 1) {
+    ctx.checkpoint.segments = spec_segments;
+  }
+  if (ctx.checkpoint.active() && !simulation.supports_checkpoint()) {
+    std::string checkpointable;
+    for (const Simulation* sim : registry_->simulations()) {
+      if (sim->supports_checkpoint()) {
+        checkpointable += (checkpointable.empty() ? "" : ", ") + sim->name();
+      }
+    }
+    throw std::invalid_argument(
+        "scenario '" + scenario_name +
+        "' does not support checkpoint/resume; checkpointable scenarios: " +
+        checkpointable);
+  }
 
   const Spec artifacts = spec.optional_child("artifacts");
   artifacts.allow_only({"trace", "metrics"});
@@ -128,6 +150,21 @@ Bundle Runner::run(const Spec& spec, exec::ThreadPool* pool) const {
     return bundle;
   }
 
+  if (bundle.result.stopped) {
+    // Halted at a segment boundary by stop_after: there is no result to
+    // report. The snapshot handed to write_snapshot is the resume handle.
+    bundle.stopped = true;
+    bundle.result.scenario = scenario_name;
+    bundle.files.push_back({"spec.json", spec.canonical()});
+    if (want_trace) {
+      bundle.files.push_back({"trace.json", std::move(trace_text)});
+    }
+    if (want_metrics) {
+      bundle.files.push_back({"metrics.prom", std::move(metrics_text)});
+    }
+    return bundle;
+  }
+
   // The report tree can be large; move it into the envelope for
   // serialization and back out instead of deep-copying it.
   JsonValue result_json = JsonValue::object();
@@ -153,9 +190,9 @@ Bundle Runner::run(const Spec& spec, exec::ThreadPool* pool) const {
   return bundle;
 }
 
-Bundle Runner::run_text(std::string_view spec_text,
-                        exec::ThreadPool* pool) const {
-  return run(Spec::parse(spec_text), pool);
+Bundle Runner::run_text(std::string_view spec_text, exec::ThreadPool* pool,
+                        const CheckpointRequest& checkpoint) const {
+  return run(Spec::parse(spec_text), pool, checkpoint);
 }
 
 bool Runner::write(const Bundle& bundle, const std::string& dir,

@@ -46,6 +46,12 @@ struct Bundle {
   // run is recorded on disk and sibling scenarios still execute.
   bool failed = false;
 
+  // True when a CheckpointRequest's stop_after halted the run at a segment
+  // boundary. The bundle carries `spec.json` (plus trace/metrics if
+  // requested) but no `result.json`; the snapshot handed to
+  // `write_snapshot` is the resume handle.
+  bool stopped = false;
+
   // nullptr when the bundle has no file named `filename`.
   [[nodiscard]] const Artifact* find(const std::string& filename) const;
 };
@@ -57,13 +63,17 @@ class Runner {
   // Validates the top-level spec, runs the named simulation, and returns
   // the full bundle. `pool` overrides the exec pool (nullptr means
   // exec::ThreadPool::global()). Throws SpecError on schema problems and
-  // std::invalid_argument on unknown scenario names.
-  [[nodiscard]] Bundle run(const Spec& spec,
-                           exec::ThreadPool* pool = nullptr) const;
+  // std::invalid_argument on unknown scenario names, or when `checkpoint`
+  // is active for a simulation without supports_checkpoint(). The spec's
+  // optional top-level "checkpoint_segments" raises checkpoint.segments
+  // when the caller didn't set one.
+  [[nodiscard]] Bundle run(const Spec& spec, exec::ThreadPool* pool = nullptr,
+                           const CheckpointRequest& checkpoint = {}) const;
 
   // Convenience: parse + run.
   [[nodiscard]] Bundle run_text(std::string_view spec_text,
-                                exec::ThreadPool* pool = nullptr) const;
+                                exec::ThreadPool* pool = nullptr,
+                                const CheckpointRequest& checkpoint = {}) const;
 
   // Writes every artifact into `dir` (created if missing). Returns false
   // and sets `*error` on I/O failure.

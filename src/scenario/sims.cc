@@ -264,6 +264,59 @@ std::unique_ptr<datacenter::SchedulerPolicy> make_policy(
                   "'; available: fifo, threshold, forecast");
 }
 
+// --- shared checkpoint driver --------------------------------------------
+
+// Drives any simulator that follows the engine checkpoint contract
+// (start/advance/done/checkpoint_json/parse_checkpoint, plus steps() as a
+// stride bound) through a segmented run: resume-or-start, then advance in
+// segments, round-tripping the snapshot through canonical JSON at every
+// boundary (and handing it to write_snapshot, when set). Returns false when
+// stop_after halted the run before completion — the caller then reports a
+// stopped RunResult instead of finalizing. Byte-identical to a single
+// sim.run() by the checkpoint contract (tests/resume_test.cc).
+template <typename Sim>
+[[nodiscard]] bool drive_checkpointed(const Sim& sim, const RunContext& ctx,
+                                      long param_segments,
+                                      typename Sim::Checkpoint& cp) {
+  const CheckpointRequest& req = ctx.checkpoint;
+  if (!req.resume_text.empty()) {
+    cp = sim.parse_checkpoint(report::parse_json(req.resume_text));
+  } else {
+    cp = sim.start();
+  }
+  const long segments = std::max(param_segments, req.segments);
+  long stride = req.segment_steps > 0
+                    ? req.segment_steps
+                    : (sim.steps() + segments - 1) / std::max(1L, segments);
+  if (stride <= 0) {
+    stride = sim.steps();
+  }
+  long done_segments = 0;
+  while (!sim.done(cp)) {
+    sim.advance(cp, stride);
+    const std::string snapshot =
+        report::canonical_json(sim.checkpoint_json(cp));
+    if (req.write_snapshot) {
+      req.write_snapshot(snapshot);
+    }
+    cp = sim.parse_checkpoint(report::parse_json(snapshot));
+    ++done_segments;
+    if (req.stop_after > 0 && done_segments >= req.stop_after &&
+        !sim.done(cp)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Shared doc row for the sims that honor checkpoint_segments.
+ParamDoc checkpoint_segments_doc() {
+  return {"checkpoint_segments", "int", "1",
+          "split the run into this many checkpointed segments, round-tripping "
+          "the snapshot through canonical JSON between them (byte-identical "
+          "to an uninterrupted run by contract)"};
+}
+
 // --- fleet ----------------------------------------------------------------
 
 class FleetSimulation final : public Simulation {
@@ -297,6 +350,7 @@ class FleetSimulation final : public Simulation {
          "utilization of harvested servers"},
         {"use_intensity_table", "bool", "true",
          "serve grid lookups from the prebuilt IntensityTable"},
+        checkpoint_segments_doc(),
     };
     for (ParamDoc& d : grid_param_docs("grid")) {
       docs.push_back(std::move(d));
@@ -307,12 +361,14 @@ class FleetSimulation final : public Simulation {
     return docs;
   }
 
+  bool supports_checkpoint() const override { return true; }
+
   RunResult run(const Spec& params, const RunContext& ctx) const override {
     params.allow_only({"days", "step_min", "chunk_steps", "pue", "cfe",
                        "web_servers", "train_servers", "train_utilization",
                        "web_load", "autoscaler", "opportunistic",
                        "opportunistic_utilization", "use_intensity_table",
-                       "grid", "faults"});
+                       "checkpoint_segments", "grid", "faults"});
     using namespace datacenter;
 
     const Spec web_load = params.optional_child("web_load");
@@ -363,7 +419,23 @@ class FleetSimulation final : public Simulation {
     const ParsedFaults parsed_faults = parse_faults(params, ctx.seed);
     config.faults = parsed_faults.spec;
 
-    const FleetSimulator::Result result = FleetSimulator(config).run();
+    const FleetSimulator sim(config);
+    const long segments = params.optional_int_in(
+        "checkpoint_segments", 1, 1,
+        std::max(1L, sim.steps() / sim.steps_per_chunk()));
+    FleetSimulator::Result result;
+    if (!ctx.checkpoint.active() && segments <= 1) {
+      result = sim.run();
+    } else {
+      FleetSimulator::Checkpoint cp;
+      if (!drive_checkpointed(sim, ctx, segments, cp)) {
+        RunResult stopped;
+        stopped.scenario = name();
+        stopped.stopped = true;
+        return stopped;
+      }
+      result = sim.finalize(cp);
+    }
 
     RunResult out;
     out.scenario = name();
@@ -463,10 +535,7 @@ class PlanetSimulation final : public Simulation {
          "run offline training on freed web servers"},
         {"opportunistic_utilization", "number", "0.9",
          "utilization of harvested servers"},
-        {"checkpoint_segments", "int", "1",
-         "split the run into this many checkpointed segments, round-tripping "
-         "the snapshot through canonical JSON between them (byte-identical "
-         "to an uninterrupted run by contract)"},
+        checkpoint_segments_doc(),
         {"regions", "object list", "(required)", "region fleets (see below)"},
         {"regions[i].name", "string", "region-<i>", "region label"},
         {"regions[i].utc_offset_h", "number", "0",
@@ -494,6 +563,8 @@ class PlanetSimulation final : public Simulation {
     }
     return docs;
   }
+
+  bool supports_checkpoint() const override { return true; }
 
   RunResult run(const Spec& params, const RunContext& ctx) const override {
     params.allow_only({"years", "step_min", "chunk_steps", "pue", "cfe",
@@ -580,19 +651,15 @@ class PlanetSimulation final : public Simulation {
         "checkpoint_segments", 1, 1,
         std::max(1L, sim.steps() / sim.steps_per_chunk()));
     PlanetSimulator::Result result;
-    if (segments <= 1) {
+    if (!ctx.checkpoint.active() && segments <= 1) {
       result = sim.run();
     } else {
-      // Segmented run with a canonical-JSON snapshot round trip at every
-      // boundary: exercises the exact stop/resume path a killed multi-year
-      // run takes, and is byte-identical to sim.run() by the checkpoint
-      // contract (tests/planet_sim_test.cc).
-      PlanetSimulator::Checkpoint cp = sim.start();
-      const long stride = (sim.steps() + segments - 1) / segments;
-      while (cp.next_step < sim.steps()) {
-        sim.advance(cp, stride);
-        cp = sim.parse_checkpoint(
-            report::parse_json(report::canonical_json(sim.checkpoint_json(cp))));
+      PlanetSimulator::Checkpoint cp;
+      if (!drive_checkpointed(sim, ctx, segments, cp)) {
+        RunResult stopped;
+        stopped.scenario = name();
+        stopped.stopped = true;
+        return stopped;
       }
       result = sim.finalize(cp);
     }
@@ -712,6 +779,7 @@ class QueueScheduleSimulation final : public Simulation {
                     "abort horizon for overloaded configurations"});
     docs.push_back({"policies", "string list", "[\"fifo\", \"greedy_green\"]",
                     "queue policies to compare (fifo, greedy_green)"});
+    docs.push_back(checkpoint_segments_doc());
     for (ParamDoc& d : grid_param_docs("grid")) {
       docs.push_back(std::move(d));
     }
@@ -721,11 +789,13 @@ class QueueScheduleSimulation final : public Simulation {
     return docs;
   }
 
+  bool supports_checkpoint() const override { return true; }
+
   RunResult run(const Spec& params, const RunContext& ctx) const override {
     params.allow_only({"jobs", "power_kw", "duration_h", "slack_h",
                        "arrival_spread_h", "machines", "step_min", "pue",
                        "green_threshold_g_per_kwh", "max_horizon_days",
-                       "policies", "grid", "faults"});
+                       "policies", "checkpoint_segments", "grid", "faults"});
     using namespace datacenter;
 
     QueueSimConfig config;
@@ -749,6 +819,16 @@ class QueueScheduleSimulation final : public Simulation {
     if (policy_names.empty()) {
       throw SpecError(params.path() + ".policies: need at least one policy");
     }
+    const long segments =
+        params.optional_int_in("checkpoint_segments", 1, 1, 1000000);
+    // A snapshot belongs to exactly one (config, policy) pair, so resume /
+    // snapshot-writing requests only make sense against a single policy.
+    if (ctx.checkpoint.active() && policy_names.size() > 1) {
+      throw SpecError(params.path() +
+                      ".policies: checkpoint/resume requires a single "
+                      "policy (snapshots are per-policy); narrow \"policies\" "
+                      "to one entry");
+    }
 
     RunResult out;
     out.scenario = name();
@@ -765,7 +845,20 @@ class QueueScheduleSimulation final : public Simulation {
         throw SpecError(params.path() + ".policies: unknown policy '" +
                         policy_name + "'; available: fifo, greedy_green");
       }
-      const QueueSimResult r = run_queue_sim(jobs, config, policy);
+      QueueSimResult r;
+      if (!ctx.checkpoint.active() && segments <= 1) {
+        r = run_queue_sim(jobs, config, policy);
+      } else {
+        const QueueSim sim(jobs, config, policy);
+        QueueSim::Checkpoint cp;
+        if (!drive_checkpointed(sim, ctx, segments, cp)) {
+          RunResult stopped;
+          stopped.scenario = name();
+          stopped.stopped = true;
+          return stopped;
+        }
+        r = sim.finalize(cp);
+      }
       out.summary_rows.push_back(
           {r.policy_name, to_string(r.total_carbon),
            report::fmt(to_hours(r.mean_wait)), report::fmt(to_hours(r.makespan)),

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +33,34 @@ struct ParamDoc {
   std::string description;
 };
 
+// Uniform checkpoint/resume request, honored by every simulation that
+// advertises supports_checkpoint(). The run is split into segments; at each
+// segment boundary the simulator's snapshot round-trips through canonical
+// JSON (and is handed to `write_snapshot`, when set), so the path a killed
+// and resumed run takes is exercised — byte-identical to an uninterrupted
+// run by the engine checkpoint contract (DESIGN.md §11).
+struct CheckpointRequest {
+  // Split the run into this many equal segments (1 = unsegmented). A
+  // sim-level "checkpoint_segments" param may raise this further.
+  long segments = 1;
+  // Explicit steps per segment; overrides `segments` when > 0. Rounded up
+  // to the simulator's chunk granule where one exists.
+  long segment_steps = 0;
+  // Stop (without finalizing) after this many segments; 0 runs to the end.
+  // A stopped run yields a Bundle with `stopped` set and no result.json.
+  long stop_after = 0;
+  // Snapshot JSON to resume from instead of starting fresh. The embedded
+  // config digest must match the spec's simulator configuration.
+  std::string resume_text;
+  // Called with the canonical snapshot at every segment boundary.
+  std::function<void(const std::string&)> write_snapshot;
+
+  [[nodiscard]] bool active() const {
+    return segments > 1 || segment_steps > 0 || stop_after > 0 ||
+           !resume_text.empty() || static_cast<bool>(write_snapshot);
+  }
+};
+
 // What one simulation run produced.
 struct RunResult {
   std::string scenario;  // registry name of the simulation
@@ -45,6 +74,10 @@ struct RunResult {
   std::vector<std::pair<std::string, std::string>> csv_series;
   // Headline one-liners printed after the summary table ("IT energy: 1.2 GWh").
   std::vector<std::string> notes;
+  // True when a CheckpointRequest's stop_after halted the run mid-flight.
+  // Summary/report are incomplete; the snapshot written at the last segment
+  // boundary is the resume handle.
+  bool stopped = false;
 
   // The summary rendered as a fixed-width report::Table.
   [[nodiscard]] report::Table summary_table() const {
@@ -62,6 +95,9 @@ struct RunContext {
   // Base seed, taken from the spec's top-level "seed" (default 42). Sims
   // whose module defaults differ (fl_rounds) document their own seed params.
   std::uint64_t seed = 42;
+  // Checkpoint/resume request; ignored unless active(). The Runner rejects
+  // an active request against a sim without supports_checkpoint().
+  CheckpointRequest checkpoint;
 };
 
 class Simulation {
@@ -71,6 +107,10 @@ class Simulation {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual std::string description() const = 0;
   [[nodiscard]] virtual std::vector<ParamDoc> params() const = 0;
+
+  // True when the simulation honors RunContext::checkpoint (segmented
+  // advance, canonical-JSON snapshots, resume). Default: no.
+  [[nodiscard]] virtual bool supports_checkpoint() const { return false; }
 
   // Runs the simulation. `params` is the spec's "params" object; unknown or
   // ill-typed keys throw SpecError with the full JSON path.

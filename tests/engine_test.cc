@@ -1,0 +1,337 @@
+#include "engine/sharded_run.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/snapshot.h"
+#include "exec/thread_pool.h"
+#include "report/json.h"
+
+namespace sustainai::engine {
+namespace {
+
+// --- snapshot primitives --------------------------------------------------
+
+TEST(EngineSnapshot, Fnv1aIsStableAndSensitive) {
+  // Empty input hashes to the offset basis; any byte change flips the hash.
+  EXPECT_EQ(fnv1a(""), 1469598103934665603ULL);
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("ab"));
+  // Order matters (not a bag-of-bytes hash).
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+TEST(EngineSnapshot, Hex64FormatsSixteenLowercaseDigits) {
+  EXPECT_EQ(hex64(0), "0000000000000000");
+  EXPECT_EQ(hex64(0xffffffffffffffffULL), "ffffffffffffffff");
+  EXPECT_EQ(hex64(0x0123456789abcdefULL), "0123456789abcdef");
+}
+
+TEST(EngineSnapshot, ConfigDigestIsValueFaithful) {
+  const auto hex = [](auto&& fill) {
+    ConfigDigest d;
+    fill(d);
+    return d.hex();
+  };
+  const std::string base = hex([](ConfigDigest& d) {
+    d.add_string("fleet").add_long(96).add_double(0.1);
+  });
+  EXPECT_EQ(base.size(), 16u);
+  EXPECT_EQ(base, hex([](ConfigDigest& d) {
+              d.add_string("fleet").add_long(96).add_double(0.1);
+            }));
+  // The tiniest value change — one ULP — flips the digest: shortest_double
+  // is a lossless image of the double.
+  EXPECT_NE(base, hex([](ConfigDigest& d) {
+              d.add_string("fleet").add_long(96).add_double(
+                  std::nextafter(0.1, 1.0));
+            }));
+  EXPECT_NE(base, hex([](ConfigDigest& d) {
+              d.add_string("fleet").add_long(97).add_double(0.1);
+            }));
+  // Field order is part of the digest.
+  EXPECT_NE(base, hex([](ConfigDigest& d) {
+              d.add_long(96).add_string("fleet").add_double(0.1);
+            }));
+}
+
+TEST(EngineSnapshot, RequireHelpersNameFieldAndContext) {
+  report::JsonValue obj = report::JsonValue::object();
+  obj.set("n", report::JsonValue::number(3.0));
+  obj.set("half", report::JsonValue::number(0.5));
+  obj.set("s", report::JsonValue::string("x"));
+
+  EXPECT_EQ(require_number(obj, "n", "test checkpoint"), 3.0);
+  EXPECT_EQ(require_integer(obj, "n", "test checkpoint"), 3);
+
+  const auto expect_message = [&](const char* key, const char* needle,
+                                  auto&& call) {
+    try {
+      call();
+      FAIL() << "expected std::invalid_argument for key " << key;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("test checkpoint"), std::string::npos) << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+  expect_message("missing", "missing", [&] {
+    (void)require_member(obj, "missing", "test checkpoint");
+  });
+  expect_message("s", "number", [&] {
+    (void)require_number(obj, "s", "test checkpoint");
+  });
+  expect_message("half", "integer", [&] {
+    (void)require_integer(obj, "half", "test checkpoint");
+  });
+}
+
+TEST(EngineSnapshot, EnvelopeRoundTripsAndRejects) {
+  const std::string digest = "0123456789abcdef";
+  report::JsonValue root = report::JsonValue::object();
+  write_envelope(root, "test-schema-v1", digest);
+  EXPECT_NO_THROW(check_envelope(root, "test-schema-v1", digest, "test"));
+
+  // Structural / schema problems are plain invalid_argument...
+  EXPECT_THROW(check_envelope(report::JsonValue::array(), "test-schema-v1",
+                              digest, "test"),
+               std::invalid_argument);
+  EXPECT_THROW(check_envelope(root, "other-schema-v1", digest, "test"),
+               std::invalid_argument);
+  report::JsonValue no_digest = report::JsonValue::object();
+  no_digest.set("schema", report::JsonValue::string("test-schema-v1"));
+  EXPECT_THROW(check_envelope(no_digest, "test-schema-v1", digest, "test"),
+               std::invalid_argument);
+
+  // ...while a digest-only disagreement is the dedicated subclass, so the
+  // CLI can tell "foreign run" apart from "corrupt file".
+  try {
+    check_envelope(root, "test-schema-v1", "ffffffffffffffff", "test");
+    FAIL() << "expected SnapshotDigestMismatch";
+  } catch (const SnapshotDigestMismatch& e) {
+    EXPECT_NE(std::string(e.what()).find("digest mismatch"),
+              std::string::npos);
+  }
+}
+
+// --- ShardedRun driver ----------------------------------------------------
+
+// Minimal Partial satisfying the driver contract: default = merge identity,
+// elementwise left-to-right merge, lossless double buffer.
+struct ToyPartial {
+  std::vector<double> lanes = std::vector<double>(3, 0.0);
+
+  void merge(const ToyPartial& other) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      lanes[i] += other.lanes[i];
+    }
+  }
+  [[nodiscard]] const std::vector<double>& buffer() const { return lanes; }
+  void set_buffer(std::vector<double> b) {
+    if (b.size() != lanes.size()) {
+      throw std::invalid_argument("toy checkpoint: buffer size mismatch");
+    }
+    lanes = std::move(b);
+  }
+};
+
+using ToyRun = ShardedRun<ToyPartial>;
+using ToyState = ShardState<ToyPartial>;
+
+// Per-step values with no algebraic shortcuts, so the float fold order is
+// observable: byte-identity across segmentations is a real statement.
+ToyPartial toy_cell(std::size_t shard, long begin, long end) {
+  ToyPartial p;
+  for (long s = begin; s < end; ++s) {
+    const double v =
+        1.0 / (1.0 + static_cast<double>(s) + 17.0 * static_cast<double>(shard));
+    p.lanes[0] += v;
+    p.lanes[1] += v * v;
+    p.lanes[2] += 1.0;
+  }
+  return p;
+}
+
+ToyRun::Config toy_config(ToyRun::Topology topology, std::size_t shards,
+                          exec::ThreadPool* pool = nullptr) {
+  ToyRun::Config c;
+  c.steps = 331;  // prime: the last chunk is ragged
+  c.steps_per_chunk = 14;
+  c.chunk_align = 4;  // rounds steps_per_chunk up to 16
+  c.shards = shards;
+  c.pool = pool;
+  c.topology = topology;
+  c.context = "toy checkpoint";
+  return c;
+}
+
+std::string state_text(const ToyRun& run, const ToyState& state) {
+  return report::canonical_json(
+      run.state_json(state.next_step, state.shards, "toy-v1", "toydigest",
+                     "shards"));
+}
+
+TEST(ShardedRun, ValidatesConfigAndAlignsChunks) {
+  EXPECT_EQ(ToyRun(toy_config(ToyRun::Topology::kShardMajor, 3))
+                .steps_per_chunk(),
+            16);
+  EXPECT_EQ(ToyRun(toy_config(ToyRun::Topology::kShardMajor, 3)).chunk_count(),
+            (331 + 15) / 16);
+
+  ToyRun::Config zero_steps = toy_config(ToyRun::Topology::kShardMajor, 1);
+  zero_steps.steps = 0;
+  EXPECT_THROW((void)ToyRun{zero_steps}, std::invalid_argument);
+
+  ToyRun::Config no_shards = toy_config(ToyRun::Topology::kShardMajor, 1);
+  no_shards.shards = 0;
+  EXPECT_THROW((void)ToyRun{no_shards}, std::invalid_argument);
+
+  // kChunkMajor parallelizes over time, so it is single-shard by contract.
+  EXPECT_THROW((void)ToyRun{toy_config(ToyRun::Topology::kChunkMajor, 2)},
+               std::invalid_argument);
+}
+
+TEST(ShardedRun, SegmentEndRoundsUpToChunkBoundary) {
+  const ToyRun run(toy_config(ToyRun::Topology::kShardMajor, 2));
+  EXPECT_EQ(run.segment_end(0, 1), 16);    // rounds a tiny segment up
+  EXPECT_EQ(run.segment_end(0, 16), 16);   // exact boundary stays
+  EXPECT_EQ(run.segment_end(0, 17), 32);   // one step over -> next chunk
+  EXPECT_EQ(run.segment_end(320, 1000), 331);  // clipped to the horizon
+  EXPECT_EQ(run.segment_end(331, 5), 331);     // done: no-op
+  EXPECT_THROW((void)run.segment_end(8, 16), std::invalid_argument);
+  EXPECT_THROW((void)run.segment_end(-1, 16), std::invalid_argument);
+  EXPECT_THROW((void)run.segment_end(0, 0), std::invalid_argument);
+}
+
+TEST(ShardedRun, SegmentationInvariantBothTopologies) {
+  for (const auto topology :
+       {ToyRun::Topology::kShardMajor, ToyRun::Topology::kChunkMajor}) {
+    const std::size_t shards =
+        topology == ToyRun::Topology::kShardMajor ? 5u : 1u;
+    const ToyRun run(toy_config(topology, shards));
+
+    ToyState whole = run.start();
+    run.advance(whole, run.steps(), toy_cell);
+    ASSERT_TRUE(run.done(whole.next_step));
+    const std::string fp_whole = state_text(run, whole);
+
+    for (const long stride : {1L, 16L, 50L, 333L}) {
+      ToyState seg = run.start();
+      while (!run.done(seg.next_step)) {
+        run.advance(seg, stride, toy_cell);
+      }
+      EXPECT_EQ(state_text(run, seg), fp_whole) << "stride=" << stride;
+    }
+  }
+}
+
+TEST(ShardedRun, ByteIdenticalAcrossThreadCounts) {
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool8(8);
+  for (const auto topology :
+       {ToyRun::Topology::kShardMajor, ToyRun::Topology::kChunkMajor}) {
+    const std::size_t shards =
+        topology == ToyRun::Topology::kShardMajor ? 7u : 1u;
+    const ToyRun serial(toy_config(topology, shards, &pool1));
+    const ToyRun wide(toy_config(topology, shards, &pool8));
+    ToyState a = serial.start();
+    serial.advance(a, serial.steps(), toy_cell);
+    ToyState b = wide.start();
+    wide.advance(b, wide.steps(), toy_cell);
+    EXPECT_EQ(state_text(serial, a), state_text(wide, b));
+  }
+}
+
+TEST(ShardedRun, ObserveSeesEveryChunkAscendingPreMerge) {
+  const ToyRun run(toy_config(ToyRun::Topology::kChunkMajor, 1));
+  std::vector<long> chunks;
+  std::vector<double> counts;
+  ToyState state = run.start();
+  run.advance(state, run.steps(), toy_cell,
+              [&](std::size_t shard, long chunk, const ToyPartial& p) {
+                EXPECT_EQ(shard, 0u);
+                chunks.push_back(chunk);
+                counts.push_back(p.lanes[2]);
+              });
+  ASSERT_EQ(chunks.size(), static_cast<std::size_t>(run.chunk_count()));
+  double total = 0.0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i], static_cast<long>(i));
+    // Pre-merge: each partial carries only its own window's steps.
+    EXPECT_LE(counts[i], static_cast<double>(run.steps_per_chunk()));
+    total += counts[i];
+  }
+  EXPECT_EQ(total, static_cast<double>(run.steps()));
+}
+
+TEST(ShardedRun, StateRoundTripsThroughCanonicalJson) {
+  const ToyRun run(toy_config(ToyRun::Topology::kShardMajor, 3));
+  ToyState state = run.start();
+  run.advance(state, 40, toy_cell);  // lands on a chunk boundary (48)
+  ASSERT_EQ(state.next_step % run.steps_per_chunk(), 0);
+
+  const report::JsonValue snapshot =
+      run.state_json(state.next_step, state.shards, "toy-v1", "toydigest",
+                     "shards");
+  const ToyState parsed = run.parse_state(
+      report::parse_json(report::canonical_json(snapshot)), "toy-v1",
+      "toydigest", "shards", [](std::size_t) { return ToyPartial{}; });
+  EXPECT_EQ(parsed.next_step, state.next_step);
+  ASSERT_EQ(parsed.shards.size(), state.shards.size());
+  for (std::size_t r = 0; r < state.shards.size(); ++r) {
+    EXPECT_EQ(parsed.shards[r].lanes, state.shards[r].lanes);
+  }
+}
+
+TEST(ShardedRun, ParseStateRejectsBadSnapshots) {
+  const ToyRun run(toy_config(ToyRun::Topology::kShardMajor, 3));
+  ToyState state = run.start();
+  run.advance(state, 16, toy_cell);
+  const auto make = [](std::size_t) { return ToyPartial{}; };
+  const report::JsonValue good =
+      run.state_json(state.next_step, state.shards, "toy-v1", "toydigest",
+                     "shards");
+
+  // Foreign digest is the dedicated subclass.
+  EXPECT_THROW((void)run.parse_state(good, "toy-v1", "otherdigest", "shards",
+                                     make),
+               SnapshotDigestMismatch);
+
+  // Off-boundary next_step.
+  report::JsonValue off = report::parse_json(report::canonical_json(good));
+  off.set("next_step", report::JsonValue::number(7.0));
+  EXPECT_THROW(
+      (void)run.parse_state(off, "toy-v1", "toydigest", "shards", make),
+      std::invalid_argument);
+
+  // Wrong shard count.
+  report::JsonValue fewer = report::parse_json(report::canonical_json(good));
+  report::JsonValue two = report::JsonValue::array();
+  two.append(report::JsonValue::array());
+  two.append(report::JsonValue::array());
+  fewer.set("shards", std::move(two));
+  EXPECT_THROW(
+      (void)run.parse_state(fewer, "toy-v1", "toydigest", "shards", make),
+      std::invalid_argument);
+
+  // Wrong buffer width is caught by the Partial's set_buffer.
+  report::JsonValue narrow = report::parse_json(report::canonical_json(good));
+  report::JsonValue narrow_shards = report::JsonValue::array();
+  for (int r = 0; r < 3; ++r) {
+    report::JsonValue buffer = report::JsonValue::array();
+    buffer.append(report::JsonValue::number(0.0));  // 1 lane, not 3
+    narrow_shards.append(std::move(buffer));
+  }
+  narrow.set("shards", std::move(narrow_shards));
+  EXPECT_THROW(
+      (void)run.parse_state(narrow, "toy-v1", "toydigest", "shards", make),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sustainai::engine

@@ -1,0 +1,400 @@
+// Kill/resume byte-identity for the fleet and queue simulators, mirroring
+// tests/planet_sim_test.cc: a run snapshotted mid-flight and resumed by a
+// FRESH simulator (the "new process") from canonical-JSON text produces the
+// same bytes as an uninterrupted run, at any thread count, with fault
+// injection live — and a snapshot from a differently-configured run is
+// rejected by its config digest.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datacenter/fleet_sim.h"
+#include "datacenter/queue_sim.h"
+#include "engine/snapshot.h"
+#include "exec/thread_pool.h"
+#include "report/json.h"
+#include "scenario/runner.h"
+
+namespace sustainai {
+namespace {
+
+using datacenter::FleetSimulator;
+using datacenter::QueuePolicy;
+using datacenter::QueueSim;
+using datacenter::QueueSimConfig;
+using datacenter::QueueSimResult;
+
+// --- fleet ----------------------------------------------------------------
+
+datacenter::Cluster resume_cluster() {
+  datacenter::Cluster cluster;
+  datacenter::ServerGroup web;
+  web.name = "web";
+  web.sku = hw::skus::web_tier();
+  web.count = 90;
+  web.tier = datacenter::Tier::kWeb;
+  web.load = datacenter::DiurnalProfile{0.3, 0.9, 20.0};
+  web.autoscalable = true;
+  cluster.add_group(web);
+
+  datacenter::ServerGroup train;
+  train.name = "train";
+  train.sku = hw::skus::gpu_training_8x();
+  train.count = 5;
+  train.tier = datacenter::Tier::kAiTraining;
+  train.load = datacenter::flat_profile(0.5);
+  cluster.add_group(train);
+  return cluster;
+}
+
+FleetSimulator::Config fleet_config(bool with_faults) {
+  FleetSimulator::Config c;
+  c.cluster = resume_cluster();
+  c.pue = 1.09;
+  c.grid.profile = grids::us_west_solar();
+  c.grid.solar_share = 0.45;
+  c.grid.firm_share = 0.15;
+  c.grid.seed = 42;
+  c.horizon = days(5.0);
+  c.step = minutes(15.0);
+  c.steps_per_chunk = 32;
+  if (with_faults) {
+    c.faults.rates.host_crash_per_day = 2.0;
+    c.faults.rates.sdc_per_day = 1.0;
+    c.faults.rates.grid_gap_per_day = 0.5;
+    c.faults.seed = 21;
+  }
+  return c;
+}
+
+// Exact textual image of every Result field (shortest_double round-trips
+// doubles losslessly): equal fingerprints mean byte-identical results.
+std::string fingerprint(const FleetSimulator::Result& r) {
+  std::ostringstream os;
+  const auto d = [&os](double v) { os << report::shortest_double(v) << '|'; };
+  d(to_joules(r.it_energy));
+  d(to_joules(r.facility_energy));
+  d(to_grams_co2e(r.location_carbon));
+  d(to_grams_co2e(r.market_carbon));
+  d(r.opportunistic_server_hours);
+  d(to_joules(r.opportunistic_energy));
+  for (std::size_t t = 0; t < datacenter::kNumTiers; ++t) {
+    d(to_joules(r.it_energy_for(static_cast<datacenter::Tier>(t))));
+  }
+  for (const auto& g : r.groups) {
+    os << g.name << '|';
+    d(to_joules(g.it_energy));
+    d(g.mean_utilization);
+    d(g.freed_server_hours);
+  }
+  os << r.faults.host_crashes << '|' << r.faults.sdc_events << '|'
+     << r.faults.grid_gaps << '|' << r.faults.checkpoints << '|';
+  d(r.faults.lost_server_hours);
+  d(r.faults.redone_work_hours);
+  d(to_joules(r.faults.wasted_energy));
+  d(to_joules(r.faults.checkpoint_energy));
+  d(r.faults.measured_sdc_per_server_year);
+  return os.str();
+}
+
+TEST(FleetResume, KillResumeByteIdenticalAcrossThreadCounts) {
+  // Kill a faulted run mid-flight, round-trip the checkpoint through
+  // canonical JSON text, resume in a FRESH simulator at a different thread
+  // count and an unaligned stride: same bytes as an uninterrupted run.
+  const FleetSimulator::Config config = fleet_config(/*with_faults=*/true);
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool2(2);
+  exec::ThreadPool pool8(8);
+  exec::ThreadPool* pools[] = {&pool1, &pool2, &pool8};
+
+  FleetSimulator::Config whole_cfg = config;
+  whole_cfg.pool = pools[0];
+  const std::string fp_whole =
+      fingerprint(FleetSimulator(whole_cfg).run());
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE(i);
+    FleetSimulator::Config first_cfg = config;
+    first_cfg.pool = pools[i];
+    const FleetSimulator first(first_cfg);
+    auto cp = first.start();
+    first.advance(cp, 150);  // not a chunk multiple; rounds up internally
+    ASSERT_LT(cp.next_step, first.steps());
+    EXPECT_EQ(cp.next_step % first.steps_per_chunk(), 0);
+    const std::string snapshot =
+        report::canonical_json(first.checkpoint_json(cp));
+
+    // "New process": a separately constructed simulator, different pool.
+    FleetSimulator::Config resumed_cfg = config;
+    resumed_cfg.pool = pools[(i + 1) % 3];
+    const FleetSimulator resumed(resumed_cfg);
+    auto cp2 = resumed.parse_checkpoint(report::parse_json(snapshot));
+    EXPECT_EQ(cp2.next_step, cp.next_step);
+    while (!resumed.done(cp2)) {
+      resumed.advance(cp2, 160);
+    }
+    EXPECT_EQ(fingerprint(resumed.finalize(cp2)), fp_whole);
+  }
+}
+
+TEST(FleetResume, WastedEnergySurvivesResume) {
+  // The fault ledger (wasted energy, redone work, crash counts) lives in
+  // the checkpoint buffer: a killed-and-resumed run loses none of it.
+  const FleetSimulator::Config config = fleet_config(/*with_faults=*/true);
+  const FleetSimulator sim(config);
+  const FleetSimulator::Result whole = sim.run();
+  ASSERT_GT(to_joules(whole.faults.wasted_energy), 0.0);
+  ASSERT_GT(whole.faults.host_crashes, 0);
+
+  auto cp = sim.start();
+  sim.advance(cp, sim.steps() / 2);
+  const std::string snapshot = report::canonical_json(sim.checkpoint_json(cp));
+  const FleetSimulator resumed(config);
+  auto cp2 = resumed.parse_checkpoint(report::parse_json(snapshot));
+  while (!resumed.done(cp2)) {
+    resumed.advance(cp2, 64);
+  }
+  const FleetSimulator::Result result = resumed.finalize(cp2);
+  EXPECT_EQ(to_joules(result.faults.wasted_energy),
+            to_joules(whole.faults.wasted_energy));
+  EXPECT_EQ(result.faults.redone_work_hours, whole.faults.redone_work_hours);
+  EXPECT_EQ(result.faults.host_crashes, whole.faults.host_crashes);
+  EXPECT_EQ(to_joules(result.faults.checkpoint_energy),
+            to_joules(whole.faults.checkpoint_energy));
+}
+
+TEST(FleetResume, CheckpointRejectsForeignConfig) {
+  const FleetSimulator sim_a(fleet_config(/*with_faults=*/true));
+  FleetSimulator::Config other = fleet_config(/*with_faults=*/true);
+  other.pue = 1.25;  // any result-affecting change flips the digest
+  const FleetSimulator sim_b(other);
+  auto cp = sim_a.start();
+  sim_a.advance(cp, 32);
+  const auto snapshot = sim_a.checkpoint_json(cp);
+  EXPECT_NE(sim_a.config_digest(), sim_b.config_digest());
+  EXPECT_THROW((void)sim_b.parse_checkpoint(snapshot),
+               engine::SnapshotDigestMismatch);
+  EXPECT_NO_THROW((void)sim_a.parse_checkpoint(snapshot));
+}
+
+// --- queue ----------------------------------------------------------------
+
+std::vector<datacenter::BatchJob> queue_jobs(int n) {
+  std::vector<datacenter::BatchJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    datacenter::BatchJob j;
+    j.id = "j" + std::to_string(i);
+    j.power = kilowatts(3.0);
+    j.duration = hours(2.0);
+    j.arrival = hours(1.0 + (i % 8) * 0.5);
+    j.slack = hours(18.0);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+QueueSimConfig queue_config(bool with_faults) {
+  QueueSimConfig cfg;
+  cfg.machines = 3;
+  cfg.grid.profile = grids::us_west_solar();
+  cfg.grid.solar_share = 0.6;
+  cfg.grid.firm_share = 0.1;
+  cfg.grid.seed = 7;
+  cfg.green_threshold = grams_per_kwh(250.0);
+  if (with_faults) {
+    cfg.faults.rates.preemption_per_day = 12.0;
+    cfg.faults.seed = 9;
+    cfg.faults.retry.max_retries = 50;
+    cfg.faults.retry.base_backoff = minutes(5.0);
+  }
+  return cfg;
+}
+
+std::string fingerprint(const QueueSimResult& r) {
+  std::ostringstream os;
+  const auto d = [&os](double v) { os << report::shortest_double(v) << '|'; };
+  os << r.policy_name << '|' << r.peak_running << '|' << r.preemptions << '|';
+  d(to_grams_co2e(r.total_carbon));
+  d(to_seconds(r.mean_wait));
+  d(to_seconds(r.makespan));
+  d(r.utilization);
+  for (const datacenter::CompletedJob& j : r.jobs) {
+    os << j.job.id << '|';
+    d(to_seconds(j.start));
+    d(to_seconds(j.finish));
+    d(to_grams_co2e(j.carbon));
+  }
+  os << r.faults.faults_injected << '|' << r.faults.recoveries << '|'
+     << r.faults.checkpoints << '|';
+  d(r.faults.redone_work_hours);
+  d(r.faults.lost_capacity_hours);
+  d(to_joules(r.faults.wasted_energy));
+  d(to_joules(r.faults.checkpoint_energy));
+  return os.str();
+}
+
+TEST(QueueResume, KillResumeByteIdenticalBothPolicies) {
+  for (const QueuePolicy policy :
+       {QueuePolicy::kFifo, QueuePolicy::kGreedyGreen}) {
+    SCOPED_TRACE(datacenter::to_string(policy));
+    const QueueSim whole(queue_jobs(10), queue_config(/*with_faults=*/true),
+                         policy);
+    const std::string fp_whole = fingerprint(whole.run());
+
+    const QueueSim first(queue_jobs(10), queue_config(/*with_faults=*/true),
+                         policy);
+    auto cp = first.start();
+    first.advance(cp, 29);  // mid-run, nowhere near a "nice" boundary
+    ASSERT_FALSE(first.done(cp));
+    const std::string snapshot =
+        report::canonical_json(first.checkpoint_json(cp));
+
+    // "New process": a separately constructed simulator from the same jobs.
+    const QueueSim resumed(queue_jobs(10), queue_config(/*with_faults=*/true),
+                           policy);
+    auto cp2 = resumed.parse_checkpoint(report::parse_json(snapshot));
+    EXPECT_EQ(cp2.next_step, cp.next_step);
+    EXPECT_EQ(cp2.now_s, cp.now_s);
+    while (!resumed.done(cp2)) {
+      resumed.advance(cp2, 41);
+    }
+    EXPECT_EQ(fingerprint(resumed.finalize(cp2)), fp_whole);
+  }
+}
+
+TEST(QueueResume, WastedEnergySurvivesResume) {
+  const QueueSim sim(queue_jobs(10), queue_config(/*with_faults=*/true),
+                     QueuePolicy::kFifo);
+  const QueueSimResult whole = sim.run();
+  ASSERT_GT(whole.preemptions, 0);
+  ASSERT_GT(to_joules(whole.faults.wasted_energy), 0.0);
+
+  auto cp = sim.start();
+  sim.advance(cp, 50);
+  const std::string snapshot = report::canonical_json(sim.checkpoint_json(cp));
+  auto cp2 = sim.parse_checkpoint(report::parse_json(snapshot));
+  while (!sim.done(cp2)) {
+    sim.advance(cp2, 50);
+  }
+  const QueueSimResult result = sim.finalize(cp2);
+  EXPECT_EQ(result.preemptions, whole.preemptions);
+  EXPECT_EQ(to_joules(result.faults.wasted_energy),
+            to_joules(whole.faults.wasted_energy));
+  EXPECT_EQ(result.faults.redone_work_hours, whole.faults.redone_work_hours);
+}
+
+TEST(QueueResume, CheckpointRejectsForeignConfig) {
+  const QueueSim sim_a(queue_jobs(8), queue_config(/*with_faults=*/false),
+                       QueuePolicy::kFifo);
+  QueueSimConfig other = queue_config(/*with_faults=*/false);
+  other.machines = 4;  // any result-affecting change flips the digest
+  const QueueSim sim_b(queue_jobs(8), other, QueuePolicy::kFifo);
+  auto cp = sim_a.start();
+  sim_a.advance(cp, 20);
+  const auto snapshot = sim_a.checkpoint_json(cp);
+  EXPECT_NE(sim_a.config_digest(), sim_b.config_digest());
+  EXPECT_THROW((void)sim_b.parse_checkpoint(snapshot),
+               engine::SnapshotDigestMismatch);
+  EXPECT_NO_THROW((void)sim_a.parse_checkpoint(snapshot));
+
+  // Policy is result-affecting too: a FIFO snapshot cannot resume green.
+  const QueueSim green(queue_jobs(8), queue_config(/*with_faults=*/false),
+                       QueuePolicy::kGreedyGreen);
+  EXPECT_THROW((void)green.parse_checkpoint(snapshot),
+               engine::SnapshotDigestMismatch);
+}
+
+TEST(QueueResume, MatchesRunQueueSimWrapper) {
+  // The legacy entry point is exactly start + advance(all) + finalize.
+  const auto direct = datacenter::run_queue_sim(
+      queue_jobs(10), queue_config(/*with_faults=*/true), QueuePolicy::kFifo);
+  const QueueSim sim(queue_jobs(10), queue_config(/*with_faults=*/true),
+                     QueuePolicy::kFifo);
+  EXPECT_EQ(fingerprint(direct), fingerprint(sim.run()));
+}
+
+// --- scenario layer -------------------------------------------------------
+
+TEST(ScenarioResume, SegmentedStopResumeBundleByteIdentical) {
+  // Drive a fleet scenario through the Runner three ways — whole, spec-level
+  // segmentation, and a stop_after kill resumed from the written snapshot —
+  // and require the same result.json bytes.
+  const std::string spec =
+      R"({"scenario": "fleet", "params": {"days": 2, "chunk_steps": 16}})";
+  const scenario::Runner runner;
+  const scenario::Bundle whole = runner.run_text(spec);
+  ASSERT_FALSE(whole.failed);
+  const scenario::Artifact* whole_result = whole.find("result.json");
+  ASSERT_NE(whole_result, nullptr);
+
+  scenario::CheckpointRequest segmented;
+  segmented.segments = 5;
+  const scenario::Bundle seg = runner.run_text(spec, nullptr, segmented);
+  const scenario::Artifact* seg_result = seg.find("result.json");
+  ASSERT_NE(seg_result, nullptr);
+  EXPECT_EQ(seg_result->content, whole_result->content);
+
+  std::string snapshot;
+  scenario::CheckpointRequest stop;
+  stop.segment_steps = 48;
+  stop.stop_after = 2;
+  stop.write_snapshot = [&snapshot](const std::string& s) { snapshot = s; };
+  const scenario::Bundle stopped = runner.run_text(spec, nullptr, stop);
+  EXPECT_TRUE(stopped.stopped);
+  EXPECT_EQ(stopped.find("result.json"), nullptr);
+  ASSERT_FALSE(snapshot.empty());
+
+  scenario::CheckpointRequest resume;
+  resume.segment_steps = 48;
+  resume.resume_text = snapshot;
+  const scenario::Bundle resumed = runner.run_text(spec, nullptr, resume);
+  ASSERT_FALSE(resumed.stopped);
+  const scenario::Artifact* resumed_result = resumed.find("result.json");
+  ASSERT_NE(resumed_result, nullptr);
+  EXPECT_EQ(resumed_result->content, whole_result->content);
+}
+
+TEST(ScenarioResume, RunnerRejectsUncheckpointableScenario) {
+  scenario::CheckpointRequest request;
+  request.segments = 4;
+  try {
+    (void)scenario::Runner().run_text(
+        R"({"scenario": "lifecycle_estimate"})", nullptr, request);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("does not support checkpoint/resume"),
+              std::string::npos)
+        << what;
+    // The error lists every scenario that does.
+    EXPECT_NE(what.find("fleet"), std::string::npos) << what;
+    EXPECT_NE(what.find("planet"), std::string::npos) << what;
+    EXPECT_NE(what.find("queue_schedule"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioResume, QueueScheduleSegmentedMatchesWhole) {
+  const std::string spec = R"({
+    "scenario": "queue_schedule",
+    "params": {"jobs": 12, "machines": 3, "policies": ["fifo"],
+               "faults": {"preemption_per_day": 8.0, "seed": 9,
+                          "max_retries": 50}}
+  })";
+  const scenario::Runner runner;
+  const scenario::Bundle whole = runner.run_text(spec);
+  ASSERT_FALSE(whole.failed);
+  const scenario::Artifact* whole_result = whole.find("result.json");
+  ASSERT_NE(whole_result, nullptr);
+
+  scenario::CheckpointRequest segmented;
+  segmented.segments = 7;
+  const scenario::Bundle seg = runner.run_text(spec, nullptr, segmented);
+  const scenario::Artifact* seg_result = seg.find("result.json");
+  ASSERT_NE(seg_result, nullptr);
+  EXPECT_EQ(seg_result->content, whole_result->content);
+}
+
+}  // namespace
+}  // namespace sustainai

@@ -3,7 +3,9 @@
 # Sanitizer. The sanitized tree lives in build-sanitized/ so it never
 # pollutes the regular build directory.
 #
-#   tools/run_sanitized.sh              # fault/scenario suites (ctest -L sanitize)
+#   tools/run_sanitized.sh              # labeled suites (ctest -L sanitize):
+#                                       #   fault/scenario, SIMD kernels,
+#                                       #   planet, engine + kill/resume
 #   tools/run_sanitized.sh --full       # the entire test suite, sanitized
 #   SUSTAINAI_SANITIZE=thread tools/run_sanitized.sh   # other sanitizers
 set -euo pipefail

@@ -26,6 +26,7 @@
 #include "datacenter/fleet_sim.h"
 #include "datacenter/planet_sim.h"
 #include "datacenter/scheduler.h"
+#include "engine/snapshot.h"
 #include "fl/round_sim.h"
 #include "hw/server.h"
 #include "mlcycle/model_zoo.h"
@@ -238,8 +239,134 @@ void write_text_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// --- checkpoint/resume flags (fleet, planet, run) -------------------------
+
+struct CheckpointFlags {
+  std::string checkpoint_path;  // snapshot written here at every boundary
+  std::string resume_path;      // snapshot to resume from
+  long segment_steps = 0;       // steps per segment (0 = whole horizon)
+  long stop_after = 0;          // stop after K segments (0 = run to the end)
+
+  [[nodiscard]] bool any() const {
+    return !checkpoint_path.empty() || !resume_path.empty() ||
+           segment_steps > 0 || stop_after > 0;
+  }
+};
+
+CheckpointFlags parse_checkpoint_flags(const Flags& flags) {
+  CheckpointFlags cf;
+  cf.checkpoint_path = flag_string(flags, "checkpoint", "");
+  cf.resume_path = flag_string(flags, "resume", "");
+  cf.segment_steps = static_cast<long>(flag_double(flags, "segment-steps", 0.0));
+  cf.stop_after = static_cast<long>(flag_double(flags, "stop-after", 0.0));
+  if (!cf.resume_path.empty() && cf.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "--resume requires --checkpoint (the path further snapshots are "
+        "written to); pass --checkpoint " +
+        cf.resume_path + " to continue updating the same file");
+  }
+  return cf;
+}
+
+// Reads and validates a resume snapshot with errors a human can act on:
+// names the file, and says whether the problem is a missing/corrupt file or
+// a config-digest mismatch.
+report::JsonValue load_resume_json(const std::string& path) {
+  std::string text;
+  try {
+    text = read_text_file(path);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("cannot resume: checkpoint file '" + path +
+                                "' is missing or unreadable");
+  }
+  try {
+    return report::parse_json(text);
+  } catch (const report::JsonParseError& e) {
+    throw std::invalid_argument(
+        "cannot resume from '" + path + "': not valid JSON (" +
+        std::string(e.what()) +
+        "); the checkpoint file may be truncated or corrupt");
+  }
+}
+
+// parse_checkpoint with the digest-mismatch case called out by name.
+template <typename Sim>
+typename Sim::Checkpoint load_resume_checkpoint(const Sim& sim,
+                                                const std::string& path) {
+  const report::JsonValue parsed = load_resume_json(path);
+  try {
+    return sim.parse_checkpoint(parsed);
+  } catch (const engine::SnapshotDigestMismatch&) {
+    throw std::invalid_argument(
+        "cannot resume from '" + path +
+        "': config digest mismatch — this checkpoint was written by a "
+        "differently-configured run; re-run with the original flags, or "
+        "start fresh without --resume");
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("cannot resume from '" + path +
+                                "': " + std::string(e.what()));
+  }
+}
+
+// Resume-or-start per the flags (printing the resume banner) and return
+// the step the run begins from.
+template <typename Sim>
+long init_checkpoint(const Sim& sim, const CheckpointFlags& cf,
+                     typename Sim::Checkpoint& cp) {
+  cp = cf.resume_path.empty() ? sim.start()
+                              : load_resume_checkpoint(sim, cf.resume_path);
+  if (!cf.resume_path.empty()) {
+    std::printf("resumed from %s at step %ld/%ld\n", cf.resume_path.c_str(),
+                cp.next_step, sim.steps());
+  }
+  return cp.next_step;
+}
+
+// Drives an initialized checkpoint (fleet or planet) through segmented
+// advance/snapshot cycles per the flags. Returns false when --stop-after
+// halted the run before the horizon (nothing to finalize yet).
+template <typename Sim>
+bool drive_segments(const Sim& sim, typename Sim::Checkpoint& cp,
+                    const CheckpointFlags& cf) {
+  long segment_steps = cf.segment_steps;
+  if (segment_steps <= 0) {
+    segment_steps = sim.steps();
+  }
+  long segments_run = 0;
+  while (!sim.done(cp)) {
+    sim.advance(cp, segment_steps);
+    ++segments_run;
+    if (!cf.checkpoint_path.empty()) {
+      write_text_file(cf.checkpoint_path,
+                      report::canonical_json(sim.checkpoint_json(cp)) + "\n");
+    }
+    if (cf.stop_after > 0 && segments_run >= cf.stop_after &&
+        !sim.done(cp)) {
+      std::printf("stopped after %ld segment(s) at step %ld/%ld", segments_run,
+                  cp.next_step, sim.steps());
+      if (!cf.checkpoint_path.empty()) {
+        std::printf("; resume with --resume %s", cf.checkpoint_path.c_str());
+      }
+      std::printf("\n");
+      return false;
+    }
+  }
+  return true;
+}
+
 int cmd_fleet(const Flags& flags) {
   using namespace sustainai::datacenter;
+  const CheckpointFlags cf = parse_checkpoint_flags(flags);
   const std::string trace_path = flag_string(flags, "trace", "");
   const std::string metrics_path = flag_string(flags, "metrics", "");
   const bool observing = !trace_path.empty() || !metrics_path.empty();
@@ -278,7 +405,22 @@ int cmd_fleet(const Flags& flags) {
       static_cast<long>(flag_double(flags, "chunk-steps", 16.0));
   config.pue = flag_double(flags, "pue", kHyperscalePue);
   config.cfe_coverage = flag_double(flags, "cfe", 0.0);
-  const FleetSimulator::Result result = FleetSimulator(config).run();
+  const FleetSimulator sim(config);
+
+  FleetSimulator::Result result;
+  if (cf.any()) {
+    FleetSimulator::Checkpoint cp;
+    init_checkpoint(sim, cf, cp);
+    if (!drive_segments(sim, cp, cf)) {
+      if (observing) {
+        obs::Tracer::global().set_enabled(false);
+      }
+      return 0;
+    }
+    result = sim.finalize(cp);
+  } else {
+    result = sim.run();
+  }
 
   std::printf("fleet over %.1f days on %s:\n",
               flag_double(flags, "days", 7.0), config.grid.profile.name.c_str());
@@ -307,16 +449,6 @@ int cmd_fleet(const Flags& flags) {
     obs::Tracer::global().set_enabled(false);
   }
   return 0;
-}
-
-std::string read_text_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::invalid_argument("cannot open '" + path + "' for reading");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
 }
 
 // Deterministic built-in planet: `--regions` fleets cycling over `--grids`
@@ -372,46 +504,13 @@ datacenter::PlanetSimulator::Config planet_config(const Flags& flags) {
 int cmd_planet(const Flags& flags) {
   using namespace sustainai::datacenter;
   const PlanetSimulator sim(planet_config(flags));
+  const CheckpointFlags cf = parse_checkpoint_flags(flags);
 
-  const std::string checkpoint_path = flag_string(flags, "checkpoint", "");
-  const std::string resume_path = flag_string(flags, "resume", "");
-  long segment_steps =
-      static_cast<long>(flag_double(flags, "segment-steps", 0.0));
-  const long stop_after =
-      static_cast<long>(flag_double(flags, "stop-after", 0.0));
-  if (segment_steps <= 0) {
-    segment_steps = sim.steps();
-  }
-
-  PlanetSimulator::Checkpoint cp =
-      resume_path.empty()
-          ? sim.start()
-          : sim.parse_checkpoint(report::parse_json(read_text_file(resume_path)));
-  const long start_step = cp.next_step;
-  if (!resume_path.empty()) {
-    std::printf("resumed from %s at step %ld/%ld\n", resume_path.c_str(),
-                start_step, sim.steps());
-  }
-
-  long segments_run = 0;
+  PlanetSimulator::Checkpoint cp;
+  const long start_step = init_checkpoint(sim, cf, cp);
   const auto wall0 = std::chrono::steady_clock::now();
-  while (cp.next_step < sim.steps()) {
-    sim.advance(cp, segment_steps);
-    ++segments_run;
-    if (!checkpoint_path.empty()) {
-      write_text_file(checkpoint_path,
-                      report::canonical_json(sim.checkpoint_json(cp)) + "\n");
-    }
-    if (stop_after > 0 && segments_run >= stop_after &&
-        cp.next_step < sim.steps()) {
-      std::printf("stopped after %ld segment(s) at step %ld/%ld", segments_run,
-                  cp.next_step, sim.steps());
-      if (!checkpoint_path.empty()) {
-        std::printf("; resume with --resume %s", checkpoint_path.c_str());
-      }
-      std::printf("\n");
-      return 0;
-    }
+  if (!drive_segments(sim, cp, cf)) {
+    return 0;
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
@@ -451,16 +550,41 @@ int cmd_planet(const Flags& flags) {
 
 int cmd_run(int argc, char** argv) {
   if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
-    std::fprintf(stderr, "usage: sustainai run <scenario.json> [--out DIR]\n");
+    std::fprintf(stderr,
+                 "usage: sustainai run <scenario.json> [--out DIR]\n"
+                 "                 [--checkpoint PATH] [--resume PATH]\n"
+                 "                 [--segment-steps N] [--stop-after K]\n");
     return 2;
   }
   const std::string spec_path = argv[2];
   const Flags flags = parse_flags(argc, argv, 3);
   const std::string out_dir = flag_string(flags, "out", "");
+  const CheckpointFlags cf = parse_checkpoint_flags(flags);
+
+  scenario::CheckpointRequest request;
+  request.segment_steps = cf.segment_steps;
+  request.stop_after = cf.stop_after;
+  if (!cf.resume_path.empty()) {
+    request.resume_text = report::canonical_json(load_resume_json(cf.resume_path));
+  }
+  if (!cf.checkpoint_path.empty()) {
+    request.write_snapshot = [&cf](const std::string& snapshot) {
+      write_text_file(cf.checkpoint_path, snapshot + "\n");
+    };
+  }
 
   const scenario::Spec spec = scenario::Spec::parse(read_text_file(spec_path));
   const scenario::Runner runner;
-  const scenario::Bundle bundle = runner.run(spec);
+  scenario::Bundle bundle;
+  try {
+    bundle = runner.run(spec, nullptr, request);
+  } catch (const engine::SnapshotDigestMismatch&) {
+    throw std::invalid_argument(
+        "cannot resume from '" + cf.resume_path +
+        "': config digest mismatch — this checkpoint was written by a "
+        "differently-configured run; re-run with the original spec, or "
+        "start fresh without --resume");
+  }
 
   std::printf("scenario: %s\n", bundle.result.scenario.c_str());
   if (bundle.failed) {
@@ -471,6 +595,13 @@ int cmd_run(int argc, char** argv) {
     if (err != nullptr) {
       std::printf("%s\n", err->content.c_str());
     }
+  } else if (bundle.stopped) {
+    std::printf("stopped at a segment boundary (--stop-after %ld)",
+                cf.stop_after);
+    if (!cf.checkpoint_path.empty()) {
+      std::printf("; resume with --resume %s", cf.checkpoint_path.c_str());
+    }
+    std::printf("\n");
   } else {
     std::printf("%s", bundle.result.summary_table().to_string().c_str());
     for (const std::string& note : bundle.result.notes) {
@@ -500,7 +631,12 @@ int cmd_scenarios(int argc, char** argv) {
   const scenario::Registry& registry = scenario::Registry::global();
   if (argc >= 3 && std::string(argv[2]).rfind("--", 0) != 0) {
     const scenario::Simulation& sim = registry.require(argv[2]);
-    std::printf("%s: %s\n\n", sim.name().c_str(), sim.description().c_str());
+    std::printf("%s: %s\n", sim.name().c_str(), sim.description().c_str());
+    if (sim.supports_checkpoint()) {
+      std::printf("supports checkpoint/resume "
+                  "(--checkpoint/--resume/--segment-steps/--stop-after)\n");
+    }
+    std::printf("\n");
     report::Table t({"param", "type", "default", "description"});
     for (const scenario::ParamDoc& doc : sim.params()) {
       t.add_row({doc.name, doc.type, doc.default_value, doc.description});
@@ -508,9 +644,10 @@ int cmd_scenarios(int argc, char** argv) {
     std::printf("%s", t.to_string().c_str());
     return 0;
   }
-  report::Table t({"scenario", "description"});
+  report::Table t({"scenario", "checkpointable", "description"});
   for (const scenario::Simulation* sim : registry.simulations()) {
-    t.add_row({sim->name(), sim->description()});
+    t.add_row({sim->name(), sim->supports_checkpoint() ? "yes" : "no",
+               sim->description()});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("run one with: sustainai run <spec.json>; "
@@ -531,9 +668,11 @@ int usage() {
       "  fl         footprint of a federated-learning campaign\n"
       "             (--clients --rounds-per-day --days --model-mb --compute-min)\n"
       "  fleet      run the datacenter fleet simulator, optionally dumping a\n"
-      "             Chrome trace and Prometheus metrics\n"
+      "             Chrome trace and Prometheus metrics, optionally\n"
+      "             checkpointed in resumable segments\n"
       "             (--days --web-servers --train-servers --grid --chunk-steps\n"
-      "              --trace PATH --metrics PATH)\n"
+      "              --trace PATH --metrics PATH --segment-steps\n"
+      "              --checkpoint PATH --resume PATH --stop-after K)\n"
       "  planet     run the planetary sharded fleet simulator: N region-fleets\n"
       "             cycling distinct grids with UTC phase offsets, optionally\n"
       "             checkpointed in resumable segments\n"
@@ -543,8 +682,11 @@ int usage() {
       "  model-card render the carbon section of a model card (markdown)\n"
       "             (--name --device --count --runtime-days --utilization --grid)\n"
       "  run        run a declarative JSON scenario through the registry,\n"
-      "             optionally writing the artifact bundle\n"
-      "             (sustainai run <scenario.json> [--out DIR])\n"
+      "             optionally writing the artifact bundle; checkpointable\n"
+      "             scenarios accept segmented/resumable execution\n"
+      "             (sustainai run <scenario.json> [--out DIR]\n"
+      "              [--checkpoint PATH] [--resume PATH] [--segment-steps N]\n"
+      "              [--stop-after K])\n"
       "  scenarios  list registered scenarios, or show one scenario's\n"
       "             parameters (sustainai scenarios [name])\n");
   return 2;
